@@ -1,0 +1,234 @@
+//! Criterion micro-benchmarks of the hot paths: the ReVive log and parity
+//! engines, the directory controller, and the simulator primitives they
+//! sit on. These are *implementation* benchmarks (ns per operation of the
+//! simulator itself), complementing the `src/bin/*` experiment binaries
+//! that regenerate the paper's tables and figures.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use revive_coherence::cache_ctrl::{Access, CacheCtrl, OpToken};
+use revive_coherence::directory::{DirCtrl, DirIn};
+use revive_coherence::hook::{NullHook, WriteHook};
+use revive_coherence::msg::CacheReq;
+use revive_coherence::port::VecPort;
+use revive_core::dirext::ReviveHook;
+use revive_core::lbits::LBits;
+use revive_core::log::MemLog;
+use revive_core::parity::ParityMap;
+use revive_mem::addr::{AddressMap, LineAddr, LINES_PER_PAGE, PAGE_SIZE};
+use revive_mem::cache::{Cache, CacheConfig, LineState};
+use revive_mem::line::LineData;
+use revive_net::{Fabric, FabricConfig, Torus};
+use revive_sim::engine::EventQueue;
+use revive_sim::time::Ns;
+use revive_sim::types::NodeId;
+
+fn bench_line_xor(c: &mut Criterion) {
+    let a = LineData::from_seed(1);
+    let b = LineData::from_seed(2);
+    c.bench_function("parity/line_xor", |bench| {
+        bench.iter(|| black_box(black_box(a) ^ black_box(b)))
+    });
+}
+
+fn bench_parity_map(c: &mut Criterion) {
+    let map = AddressMap::new(16, 8 * 1024 * 1024);
+    let parity = ParityMap::new(map, 7);
+    let lines: Vec<LineAddr> = (0..1024)
+        .map(|i| LineAddr(i * 37 % map.lines_per_node()))
+        .filter(|l| !parity.is_parity_page(l.page()))
+        .collect();
+    c.bench_function("parity/line_lookup", |bench| {
+        let mut i = 0;
+        bench.iter(|| {
+            i = (i + 1) % lines.len();
+            black_box(parity.parity_line_of(black_box(lines[i])))
+        })
+    });
+}
+
+fn bench_log_append(c: &mut Criterion) {
+    c.bench_function("log/append", |bench| {
+        bench.iter_batched(
+            || {
+                let slots: Vec<LineAddr> = (0..4096).map(LineAddr).collect();
+                (MemLog::new(NodeId(0), slots), VecPort::new(LineAddr(0), 4096))
+            },
+            |(mut log, mut port)| {
+                for i in 0..1024u64 {
+                    black_box(log.append(
+                        0,
+                        LineAddr(10_000 + i),
+                        LineData::from_seed(i),
+                        true,
+                        &mut port,
+                    ));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_log_scan(c: &mut Criterion) {
+    let slots: Vec<LineAddr> = (0..4096).map(LineAddr).collect();
+    let mut log = MemLog::new(NodeId(0), slots);
+    let mut port = VecPort::new(LineAddr(0), 4096);
+    for i in 0..2000u64 {
+        log.append(i / 500, LineAddr(10_000 + i), LineData::from_seed(i), true, &mut port);
+    }
+    c.bench_function("log/scan_2000_records", |bench| {
+        bench.iter(|| black_box(log.scan(|l| port.peek(l))))
+    });
+}
+
+fn bench_directory_read(c: &mut Criterion) {
+    c.bench_function("directory/read_uncached", |bench| {
+        bench.iter_batched(
+            || (DirCtrl::new(), VecPort::new(LineAddr(0), 4096)),
+            |(mut dir, mut port)| {
+                let mut hook = NullHook;
+                for i in 0..512u64 {
+                    black_box(dir.handle(
+                        DirIn::Req {
+                            from: NodeId((i % 16) as u16),
+                            line: LineAddr(i * 7 % 4096),
+                            req: CacheReq::Read,
+                        },
+                        &mut port,
+                        &mut hook,
+                    ));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_hook_write_intent(c: &mut Criterion) {
+    let map = AddressMap::new(4, 4 * PAGE_SIZE as u64);
+    let parity = ParityMap::new(map, 3);
+    let log_page = map.global_page(NodeId(0), 3);
+    c.bench_function("revive/write_intent_unlogged", |bench| {
+        bench.iter_batched(
+            || {
+                let log = MemLog::new(NodeId(0), log_page.lines().collect());
+                let hook = ReviveHook::new(parity, log, LBits::full(map.lines_per_node()));
+                (hook, VecPort::new(LineAddr(0), 4 * LINES_PER_PAGE))
+            },
+            |(mut hook, mut port)| {
+                for i in 0..24u64 {
+                    let line = LineAddr(LINES_PER_PAGE as u64 + i);
+                    black_box(hook.write_intent(line, None, &mut port));
+                }
+                black_box(hook.drain_outbox());
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache_hit(c: &mut Criterion) {
+    let mut cache = Cache::new(CacheConfig::l2_paper());
+    for i in 0..1024u64 {
+        cache.fill(LineAddr(i), LineState::Shared, LineData::ZERO);
+    }
+    c.bench_function("cache/l2_hit", |bench| {
+        let mut i = 0u64;
+        bench.iter(|| {
+            i = (i + 17) % 1024;
+            black_box(cache.access(LineAddr(i)))
+        })
+    });
+}
+
+fn bench_cache_ctrl_miss_path(c: &mut Criterion) {
+    c.bench_function("cache_ctrl/miss_issue", |bench| {
+        bench.iter_batched(
+            || {
+                CacheCtrl::new(
+                    NodeId(0),
+                    CacheConfig {
+                        size_bytes: 16 * 1024,
+                        ways: 4,
+                    },
+                    CacheConfig {
+                        size_bytes: 128 * 1024,
+                        ways: 4,
+                    },
+                    8,
+                )
+            },
+            |mut ctrl| {
+                for i in 0..8u64 {
+                    black_box(ctrl.cpu_access(LineAddr(i * 64), Access::Read, OpToken(i)));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_torus_route(c: &mut Criterion) {
+    let t = Torus::new(4, 4);
+    c.bench_function("net/route", |bench| {
+        let mut i = 0u16;
+        bench.iter(|| {
+            i = (i + 1) % 256;
+            black_box(t.route(NodeId(i % 16), NodeId((i * 7 + 3) % 16)))
+        })
+    });
+}
+
+fn bench_fabric_send(c: &mut Criterion) {
+    c.bench_function("net/fabric_send", |bench| {
+        bench.iter_batched(
+            || Fabric::new(Torus::new(4, 4), FabricConfig::default()),
+            |mut f| {
+                for i in 0..64u64 {
+                    black_box(f.send(
+                        Ns(i * 10),
+                        NodeId((i % 16) as u16),
+                        NodeId(((i * 5 + 2) % 16) as u16),
+                        72,
+                    ));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("sim/event_queue_push_pop", |bench| {
+        bench.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..256u64 {
+                    q.schedule(Ns(i * 13 % 997), i);
+                }
+                while let Some(ev) = q.pop() {
+                    black_box(ev);
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_line_xor,
+    bench_parity_map,
+    bench_log_append,
+    bench_log_scan,
+    bench_directory_read,
+    bench_hook_write_intent,
+    bench_cache_hit,
+    bench_cache_ctrl_miss_path,
+    bench_torus_route,
+    bench_fabric_send,
+    bench_event_queue,
+);
+criterion_main!(benches);

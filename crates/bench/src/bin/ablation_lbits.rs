@@ -1,0 +1,62 @@
+//! Ablation: the Logged-bit implementation (Section 4.1.2).
+//!
+//! The paper notes L bits are optional: a design that keeps them only for
+//! lines resident in a directory cache occasionally loses a bit, logging
+//! a line more than once per interval — wasted log bandwidth and space,
+//! never lost correctness. This binary compares the full per-line L-bit
+//! array against directory caches of shrinking capacity on a write-heavy
+//! workload.
+
+use revive_bench::{banner, overhead_pct, Opts, Table, CP_INTERVAL};
+use revive_machine::{ExperimentConfig, ReviveConfig, Runner, WorkloadSpec};
+use revive_workloads::AppId;
+
+fn main() {
+    let opts = Opts::from_env();
+    banner(
+        "Ablation — L bits: full array vs directory cache",
+        "ReVive (ISCA 2002) Section 4.1.2",
+        opts,
+    );
+    let app = AppId::Fft;
+    let mut base_cfg =
+        ExperimentConfig::experiment(WorkloadSpec::Splash(app), ReviveConfig::off());
+    base_cfg.ops_per_cpu = opts.ops_per_cpu() / 2;
+    let base = Runner::new(base_cfg).expect("cfg").run().expect("run");
+
+    let mut table = Table::new([
+        "L bits", "overhead%", "log records", "peak log KB", "ckpts",
+    ]);
+    let variants: [(&str, Option<usize>); 4] = [
+        ("full array", None),
+        ("cache 1024", Some(1024)),
+        ("cache 256", Some(256)),
+        ("cache 64", Some(64)),
+    ];
+    for (label, cap) in variants {
+        let mut revive = ReviveConfig::parity(CP_INTERVAL);
+        revive.log_fraction = 0.28;
+        revive.lbit_dir_cache = cap;
+        let mut cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), revive);
+        cfg.ops_per_cpu = opts.ops_per_cpu() / 2;
+        let r = Runner::new(cfg).expect("cfg").run().expect("run");
+        let records = r.metrics.costs.rdx_unlogged + r.metrics.costs.wb_unlogged;
+        table.row([
+            label.to_string(),
+            format!("{:.1}", overhead_pct(r.sim_time, base.sim_time)),
+            records.to_string(),
+            format!("{:.0}", r.metrics.max_log_bytes() as f64 / 1024.0),
+            r.checkpoints.to_string(),
+        ]);
+        eprintln!("  {label} done");
+    }
+    table.print();
+    println!();
+    println!(
+        "expected: smaller directory caches log the same lines repeatedly —\n\
+         more records, more log bytes, and more log-pressure-triggered early\n\
+         checkpoints (the ckpts column), which is where most of the extra\n\
+         overhead comes from. Recovery correctness is untouched (asserted by\n\
+         the integration suite)."
+    );
+}

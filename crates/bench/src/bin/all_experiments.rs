@@ -1,0 +1,56 @@
+//! Runs every table/figure binary in sequence, teeing output to
+//! `results/<name>.txt`. Pass `--quick` (or set `REVIVE_QUICK=1`) to run
+//! reduced budgets.
+
+use std::io::Write as _;
+use std::process::Command;
+
+const BINS: [&str; 9] = [
+    "table1_events",
+    "table4_apps",
+    "fig6_checkpoint_timeline",
+    "fig8_overhead",
+    "fig9_net_traffic",
+    "fig10_mem_traffic",
+    "fig11_log_size",
+    "fig12_recovery",
+    "availability",
+];
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    std::fs::create_dir_all("results").expect("create results dir");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut extra = vec![
+        "table2_matrix".to_string(),
+        "storage_overhead".to_string(),
+        "ablation_group_size".to_string(),
+        "ablation_lbits".to_string(),
+        "ablation_mixed".to_string(),
+        "scalability".to_string(),
+    ];
+    let mut all: Vec<String> = BINS.iter().map(|s| s.to_string()).collect();
+    all.append(&mut extra);
+    for bin in all {
+        let t0 = std::time::Instant::now();
+        eprintln!("== {bin} ==");
+        let mut cmd = Command::new(exe_dir.join(&bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let out = cmd.output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
+        let path = format!("results/{bin}.txt");
+        let mut f = std::fs::File::create(&path).expect("create result file");
+        f.write_all(&out.stdout).expect("write results");
+        if !out.status.success() {
+            eprintln!("!! {bin} FAILED:\n{}", String::from_utf8_lossy(&out.stderr));
+            std::process::exit(1);
+        }
+        eprintln!("   -> {path} ({:.1?})", t0.elapsed());
+    }
+    eprintln!("all experiments complete; see results/");
+}

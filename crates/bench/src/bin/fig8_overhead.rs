@@ -1,0 +1,69 @@
+//! Figure 8: performance overhead of ReVive in error-free execution.
+//!
+//! For each of the 12 SPLASH-2 models, runs the baseline machine and the
+//! four ReVive configurations (parity/mirroring × checkpointing/infinite
+//! interval) and reports the slowdown relative to baseline. The paper's
+//! headline numbers: 6.3 % average for Cp10ms with 7+1 parity, 22 % worst
+//! case (FFT), with CpInf ≈ 2.7 % and CpInfM ≈ 1 % on average.
+
+use revive_bench::{banner, overhead_pct, run_app, FigConfig, Opts, Table};
+use revive_workloads::AppId;
+
+fn main() {
+    let opts = Opts::from_env();
+    banner(
+        "Figure 8 — error-free execution overhead",
+        "ReVive (ISCA 2002) Figure 8; averages in Sections 1, 6.1, 8",
+        opts,
+    );
+    let mut table = Table::new(["app", "Cp10ms%", "CpInf%", "Cp10msM%", "CpInfM%", "ckpts"]);
+    let mut sums = [0.0f64; 4];
+    for app in AppId::ALL {
+        let base = run_app(app, FigConfig::Baseline, opts);
+        let mut cells = vec![app.name().to_string()];
+        let mut ckpts = 0;
+        for (i, fig) in [
+            FigConfig::Cp,
+            FigConfig::CpInf,
+            FigConfig::CpM,
+            FigConfig::CpInfM,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let r = run_app(app, fig, opts);
+            let pct = overhead_pct(r.sim_time, base.sim_time);
+            sums[i] += pct;
+            cells.push(format!("{pct:.1}"));
+            if fig == FigConfig::Cp {
+                ckpts = r.checkpoints;
+            }
+        }
+        cells.push(ckpts.to_string());
+        table.row(cells);
+        eprintln!("  {} done", app.name());
+    }
+    let n = AppId::ALL.len() as f64;
+    table.row([
+        "MEAN".to_string(),
+        format!("{:.1}", sums[0] / n),
+        format!("{:.1}", sums[1] / n),
+        format!("{:.1}", sums[2] / n),
+        format!("{:.1}", sums[3] / n),
+        String::new(),
+    ]);
+    table.row([
+        "paper-mean".to_string(),
+        "6.3".to_string(),
+        "2.7".to_string(),
+        "~3".to_string(),
+        "1.0".to_string(),
+        String::new(),
+    ]);
+    table.print();
+    println!();
+    println!(
+        "shape checks: FFT/Ocean/Radix should dominate every column; mirroring\n\
+         (CpInfM) should be cheaper than parity (CpInf); checkpointing adds on top."
+    );
+}

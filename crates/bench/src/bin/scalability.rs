@@ -1,0 +1,67 @@
+//! Scalability: Section 3.3.1's claim that "logging and parity maintenance
+//! … do not significantly affect scalability of the system: adding more
+//! nodes to the system results in more logging and parity maintenance, but
+//! also adds more directory controllers to perform these operations."
+//!
+//! Runs the same per-CPU work on 4-, 16-, and 64-node machines (2×2, 4×4,
+//! 8×8 tori) and reports ReVive's relative overhead at each size: the
+//! percentage should stay roughly flat rather than growing with the node
+//! count.
+
+use revive_bench::{banner, overhead_pct, Opts, Table, CP_INTERVAL};
+use revive_machine::{ExperimentConfig, ReviveConfig, ReviveMode, Runner, WorkloadSpec};
+use revive_workloads::AppId;
+
+fn main() {
+    let opts = Opts::from_env();
+    banner(
+        "Scalability — ReVive overhead vs machine size",
+        "ReVive (ISCA 2002) Section 3.3.1",
+        opts,
+    );
+    let app = AppId::Ocean; // stencil + boundary exchange: real communication
+    let mut table = Table::new([
+        "nodes", "base time", "revive time", "overhead%", "par MB", "ckpts",
+    ]);
+    for nodes in [4usize, 16, 64] {
+        // 3+1 parity divides every size; per-CPU work is held constant.
+        let mk = |revive: ReviveConfig| {
+            let mut cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), revive);
+            cfg.machine.nodes = nodes;
+            cfg.ops_per_cpu = opts.ops_per_cpu() / 4;
+            cfg
+        };
+        let base = Runner::new(mk(ReviveConfig::off()))
+            .expect("cfg")
+            .run()
+            .expect("run");
+        let mut revive = ReviveConfig::parity(CP_INTERVAL);
+        revive.mode = ReviveMode::Parity {
+            group_data_pages: 3,
+        };
+        revive.log_fraction = 0.28;
+        let r = Runner::new(mk(revive)).expect("cfg").run().expect("run");
+        table.row([
+            nodes.to_string(),
+            base.sim_time.to_string(),
+            r.sim_time.to_string(),
+            format!("{:.1}", overhead_pct(r.sim_time, base.sim_time)),
+            format!(
+                "{:.2}",
+                r.metrics.traffic.net_bytes
+                    [revive_machine::TrafficClass::Par.index()] as f64
+                    / 1e6
+            ),
+            r.checkpoints.to_string(),
+        ]);
+        eprintln!("  {nodes} nodes done");
+    }
+    table.print();
+    println!();
+    println!(
+        "expected: absolute parity traffic grows with the machine, but the\n\
+         relative overhead stays roughly flat — each added node brings its\n\
+         own directory controller and memory banks to absorb its own\n\
+         logging/parity work."
+    );
+}

@@ -1,0 +1,221 @@
+//! A general-purpose command-line front end to the simulator — the tool a
+//! downstream user reaches for before writing code against the library.
+//!
+//! ```text
+//! simulate [--app NAME | --synthetic NAME] [--mode parity|mirroring|mixed|off]
+//!          [--group N] [--mirrored-frac F] [--interval-us N] [--ops N]
+//!          [--nodes N] [--seed N] [--inject node-loss:K | --inject transient]
+//!          [--lbit-cache N] [--verbose]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! simulate --app radix --mode parity --interval-us 2000 --ops 400000
+//! simulate --app ocean --inject node-loss:5
+//! simulate --synthetic ws-exceeds-l2 --mode mirroring
+//! ```
+
+use revive_machine::{
+    ErrorKind, ExperimentConfig, InjectionPlan, ReviveConfig, ReviveMode, Runner, TrafficClass,
+    WorkloadSpec,
+};
+use revive_sim::time::Ns;
+use revive_sim::types::NodeId;
+use revive_workloads::{AppId, SyntheticKind};
+
+#[derive(Debug)]
+struct Args {
+    workload: WorkloadSpec,
+    mode: String,
+    group: usize,
+    mirrored_frac: f64,
+    interval_us: u64,
+    ops: u64,
+    nodes: Option<usize>,
+    seed: u64,
+    inject: Option<String>,
+    lbit_cache: Option<usize>,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--app NAME|--synthetic NAME] [--mode parity|mirroring|mixed|off]\n\
+         \t[--group N] [--mirrored-frac F] [--interval-us N] [--ops N] [--nodes N]\n\
+         \t[--seed N] [--inject node-loss:K|transient] [--lbit-cache N] [--verbose]\n\
+         apps: {}\n\
+         synthetics: {}",
+        AppId::ALL.map(|a| a.name()).join(", "),
+        SyntheticKind::ALL.map(|s| s.name()).join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        workload: WorkloadSpec::Splash(AppId::Fft),
+        mode: "parity".into(),
+        group: 7,
+        mirrored_frac: 0.25,
+        interval_us: 2_000,
+        ops: 400_000,
+        nodes: None,
+        seed: 2002,
+        inject: None,
+        lbit_cache: None,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |it: &mut dyn Iterator<Item = String>| {
+            it.next().unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--app" => {
+                let name = value(&mut it);
+                let Some(app) = AppId::ALL.into_iter().find(|a| a.name() == name) else {
+                    eprintln!("unknown app: {name}");
+                    usage()
+                };
+                args.workload = WorkloadSpec::Splash(app);
+            }
+            "--synthetic" => {
+                let name = value(&mut it);
+                let Some(s) = SyntheticKind::ALL.into_iter().find(|s| s.name() == name)
+                else {
+                    eprintln!("unknown synthetic: {name}");
+                    usage()
+                };
+                args.workload = WorkloadSpec::Synthetic(s);
+            }
+            "--mode" => args.mode = value(&mut it),
+            "--group" => args.group = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--mirrored-frac" => {
+                args.mirrored_frac = value(&mut it).parse().unwrap_or_else(|_| usage())
+            }
+            "--interval-us" => {
+                args.interval_us = value(&mut it).parse().unwrap_or_else(|_| usage())
+            }
+            "--ops" => args.ops = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--nodes" => args.nodes = Some(value(&mut it).parse().unwrap_or_else(|_| usage())),
+            "--seed" => args.seed = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--inject" => args.inject = Some(value(&mut it)),
+            "--lbit-cache" => {
+                args.lbit_cache = Some(value(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
+            "--verbose" => args.verbose = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    let interval = Ns(a.interval_us * 1_000);
+    let mut revive = ReviveConfig::parity(interval);
+    revive.mode = match a.mode.as_str() {
+        "off" => ReviveMode::Off,
+        "parity" => ReviveMode::Parity {
+            group_data_pages: a.group,
+        },
+        "mirroring" => ReviveMode::Mirroring,
+        "mixed" => ReviveMode::Mixed {
+            group_data_pages: a.group,
+            mirrored_fraction: a.mirrored_frac,
+        },
+        other => {
+            eprintln!("unknown mode: {other}");
+            usage()
+        }
+    };
+    revive.lbit_dir_cache = a.lbit_cache;
+    revive.ckpt.retained = 3;
+    let mut cfg = ExperimentConfig::experiment(a.workload, revive);
+    cfg.ops_per_cpu = a.ops;
+    cfg.seed = a.seed;
+    if let Some(n) = a.nodes {
+        cfg.machine.nodes = n;
+    }
+    cfg.shadow_checkpoints = a.inject.is_some();
+
+    let runner = match Runner::new(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("configuration error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let result = match a.inject.as_deref() {
+        None => runner.run().expect("run"),
+        Some(spec) => {
+            let kind = if spec == "transient" {
+                ErrorKind::CacheWipe
+            } else if let Some(node) = spec.strip_prefix("node-loss:") {
+                ErrorKind::NodeLoss(NodeId(node.parse().unwrap_or_else(|_| usage())))
+            } else {
+                eprintln!("unknown injection: {spec}");
+                usage()
+            };
+            let plan = InjectionPlan {
+                kind,
+                ..InjectionPlan::paper_worst_case(interval, NodeId(0))
+            };
+            match runner.run_with_injection(plan) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("injection failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
+
+    println!("workload        : {}", a.workload.name());
+    println!("mode            : {}", a.mode);
+    println!("sim time        : {}", result.sim_time);
+    println!("events          : {}", result.events);
+    println!("ops / instr     : {} / {}", result.metrics.traffic.cpu_ops, result.metrics.traffic.instructions);
+    println!("L2 miss rate    : {:.3}%", 100.0 * result.metrics.l2_miss_rate());
+    println!("checkpoints     : {} (early: {})", result.checkpoints, result.ckpt.early_triggers);
+    if result.checkpoints > 0 {
+        println!("mean ckpt cost  : {}", result.ckpt.mean_duration());
+        println!("peak log        : {:.0} KB", result.metrics.max_log_bytes() as f64 / 1024.0);
+    }
+    if a.verbose {
+        println!("--- traffic (network bytes / memory accesses) ---");
+        for class in TrafficClass::ALL {
+            println!(
+                "  {:8}: {:>12} / {:>12}",
+                class.name(),
+                result.metrics.traffic.net_bytes[class.index()],
+                result.metrics.traffic.mem_accesses[class.index()]
+            );
+        }
+        println!("dram row hits   : {:.1}%", 100.0 * result.metrics.dram_row_hit_rate);
+        println!("mean net latency: {}", result.metrics.mean_net_latency);
+        println!("nack retries    : {}", result.metrics.nack_retries);
+    }
+    if let Some(rec) = result.recovery {
+        println!("--- recovery ---");
+        println!("rolled back to  : checkpoint {}", rec.target_interval);
+        println!("phases 1/2/3/4  : {} / {} / {} / {}", rec.report.phase1, rec.report.phase2, rec.report.phase3, rec.report.phase4);
+        println!("entries replayed: {}", rec.report.entries_replayed);
+        println!("lost work       : {}", rec.lost_work);
+        println!("unavailable     : {}", rec.unavailable);
+        println!(
+            "verified        : {}",
+            match rec.verified {
+                Some(true) => "exact",
+                Some(false) => "MISMATCH",
+                None => "n/a",
+            }
+        );
+    }
+}

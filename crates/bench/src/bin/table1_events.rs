@@ -1,0 +1,188 @@
+//! Table 1: the events that trigger parity updates and logging, with their
+//! per-event costs — extra memory accesses, extra lines touched, and extra
+//! network messages.
+//!
+//! Two views are printed: the *paper-convention* costs (single-line log
+//! records, the reply read shared with the log copy), which this
+//! implementation accounts per event class and which must match Table 1
+//! exactly; and the *measured functional* costs from directed single-line
+//! scenarios run against the real directory + hook (this implementation's
+//! records take two lines: data + self-describing marker, Section 4.2).
+
+use revive_bench::{banner, Opts, Table};
+use revive_coherence::directory::{DirCtrl, DirIn};
+use revive_coherence::msg::CacheReq;
+use revive_coherence::port::{MemPort, VecPort};
+use revive_core::dirext::{
+    ReviveHook, COST_RDX_UNLOGGED, COST_WB_LOGGED, COST_WB_UNLOGGED,
+};
+use revive_core::lbits::LBits;
+use revive_core::log::MemLog;
+use revive_core::parity::ParityMap;
+use revive_mem::addr::{AddressMap, LineAddr, LINES_PER_PAGE, PAGE_SIZE};
+use revive_mem::line::LineData;
+use revive_sim::types::NodeId;
+
+/// Builds a 4-node 3+1-parity world with a log on node 0 and returns the
+/// pieces needed to drive directed scenarios at node 0's directory.
+fn world() -> (DirCtrl, ReviveHook, VecPort, LineAddr) {
+    let map = AddressMap::new(4, 4 * PAGE_SIZE as u64);
+    let parity = ParityMap::new(map, 3);
+    let log_page = map.global_page(NodeId(0), 3);
+    assert!(!parity.is_parity_page(log_page));
+    let log = MemLog::new(NodeId(0), log_page.lines().collect());
+    let hook = ReviveHook::new(parity, log, LBits::full(map.lines_per_node()));
+    let mut port = VecPort::new(LineAddr(0), 4 * LINES_PER_PAGE);
+    let line = LineAddr(LINES_PER_PAGE as u64 + 7); // node 0, stripe 1 (data)
+    port.write(line, LineData::fill(0xA0));
+    port.reset_counts();
+    (DirCtrl::new(), hook, port, line)
+}
+
+fn main() {
+    let opts = Opts::from_env();
+    banner(
+        "Table 1 — events triggering parity updates and logging",
+        "ReVive (ISCA 2002) Table 1",
+        opts,
+    );
+
+    let mut table = Table::new([
+        "event",
+        "paper acc",
+        "paper lines",
+        "paper msgs",
+        "measured acc",
+        "measured msgs",
+    ]);
+
+    // --- Event: write-back, already logged (Figure 4). ---
+    {
+        let (mut dir, mut hook, mut port, line) = world();
+        // Log the line first via a read-exclusive, then write it back.
+        dir.handle(
+            DirIn::Req {
+                from: NodeId(1),
+                line,
+                req: CacheReq::ReadEx,
+            },
+            &mut port,
+            &mut hook,
+        );
+        hook.drain_outbox();
+        dir.handle(DirIn::HookAck { line }, &mut port, &mut hook);
+        port.reset_counts();
+        dir.handle(
+            DirIn::WriteBack {
+                from: NodeId(1),
+                line,
+                data: Some(LineData::fill(1)),
+                keep: false,
+            },
+            &mut port,
+            &mut hook,
+        );
+        let msgs = hook.drain_outbox();
+        // Home-side accesses minus the baseline write; parity-home adds
+        // read+write per delta.
+        let home_extra = port.accesses() - 1;
+        let parity_home: u64 = msgs
+            .iter()
+            .map(|m| 2 * m.update.deltas.len() as u64)
+            .sum();
+        let wire: u64 = msgs.iter().map(|_| 2u64).sum(); // update + ack
+        table.row([
+            "WB, logged (L=1)".to_string(),
+            COST_WB_LOGGED.mem_accesses.to_string(),
+            COST_WB_LOGGED.lines.to_string(),
+            COST_WB_LOGGED.messages.to_string(),
+            (home_extra + parity_home).to_string(),
+            wire.to_string(),
+        ]);
+    }
+
+    // --- Event: read-exclusive/upgrade, not yet logged (Figure 5a). ---
+    {
+        let (mut dir, mut hook, mut port, line) = world();
+        port.reset_counts();
+        dir.handle(
+            DirIn::Req {
+                from: NodeId(1),
+                line,
+                req: CacheReq::ReadEx,
+            },
+            &mut port,
+            &mut hook,
+        );
+        let msgs = hook.drain_outbox();
+        let home_extra = port.accesses() - 1; // baseline: the reply read
+        let parity_home: u64 = msgs
+            .iter()
+            .map(|m| 2 * m.update.deltas.len() as u64)
+            .sum();
+        let wire: u64 = msgs.iter().map(|_| 2u64).sum();
+        table.row([
+            "RDX/UPG, unlogged (L=0)".to_string(),
+            COST_RDX_UNLOGGED.mem_accesses.to_string(),
+            COST_RDX_UNLOGGED.lines.to_string(),
+            COST_RDX_UNLOGGED.messages.to_string(),
+            (home_extra + parity_home).to_string(),
+            wire.to_string(),
+        ]);
+    }
+
+    // --- Event: write-back, not yet logged (Figure 5b). ---
+    {
+        let (mut dir, mut hook, mut port, line) = world();
+        // Grant exclusive without triggering the hook (pretend a silent
+        // E-state write): take ownership via Read (exclusive-clean grant).
+        dir.handle(
+            DirIn::Req {
+                from: NodeId(1),
+                line,
+                req: CacheReq::Read,
+            },
+            &mut port,
+            &mut hook,
+        );
+        assert!(hook.drain_outbox().is_empty(), "read must not log");
+        port.reset_counts();
+        dir.handle(
+            DirIn::WriteBack {
+                from: NodeId(1),
+                line,
+                data: Some(LineData::fill(2)),
+                keep: false,
+            },
+            &mut port,
+            &mut hook,
+        );
+        let msgs = hook.drain_outbox();
+        let home_extra = port.accesses() - 1;
+        let parity_home: u64 = msgs
+            .iter()
+            .map(|m| 2 * m.update.deltas.len() as u64)
+            .sum();
+        let wire: u64 = msgs.iter().map(|_| 2u64).sum();
+        table.row([
+            "WB, unlogged (L=0)".to_string(),
+            COST_WB_UNLOGGED.mem_accesses.to_string(),
+            COST_WB_UNLOGGED.lines.to_string(),
+            COST_WB_UNLOGGED.messages.to_string(),
+            (home_extra + parity_home).to_string(),
+            wire.to_string(),
+        ]);
+    }
+
+    table.print();
+    println!();
+    println!(
+        "paper columns must match Table 1 exactly: 3/1/2, (1+3)/2/2, (2+3+3)/3/4.\n\
+         measured columns are higher by the marker line of each log record\n\
+         (this implementation's records are two lines: data + validity marker)."
+    );
+    println!(
+        "critical path (as in Table 1): none of these delay the reply; only the\n\
+         unlogged write-back delays its acknowledgment."
+    );
+}

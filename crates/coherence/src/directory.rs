@@ -1,0 +1,1209 @@
+//! The full-map directory controller.
+//!
+//! One [`DirCtrl`] per node tracks the coherence state of every memory line
+//! homed on that node: `Uncached`, `Shared(sharer set)`, or
+//! `Exclusive(owner)`, plus a transient Busy state while a multi-step
+//! transaction (owner fetch, invalidation collection, or a ReVive log/parity
+//! update) is in flight. Requests that hit a Busy entry are deferred in a
+//! per-line FIFO and serviced when the entry settles — this is the per-line
+//! serialization the paper relies on ("serializing accesses to the same
+//! memory line").
+//!
+//! The controller is a *pure* state machine: it touches memory through a
+//! [`MemPort`] and announces outbound messages as return values. Timing,
+//! network, and ReVive parity messages are layered on by `revive-machine`.
+
+use std::collections::{HashMap, VecDeque};
+
+use revive_mem::addr::LineAddr;
+use revive_mem::line::LineData;
+use revive_sim::types::NodeId;
+
+use crate::hook::WriteHook;
+use crate::msg::{CacheReq, DirToCache};
+use crate::port::MemPort;
+
+/// A compact set of sharer nodes (bitmask; full-map directory).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    /// The empty set.
+    pub fn empty() -> SharerSet {
+        SharerSet(0)
+    }
+
+    /// A singleton set.
+    pub fn single(n: NodeId) -> SharerSet {
+        let mut s = SharerSet::empty();
+        s.insert(n);
+        s
+    }
+
+    /// Adds a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index exceeds 63 (full-map width).
+    pub fn insert(&mut self, n: NodeId) {
+        assert!(n.index() < 64, "full-map directory supports up to 64 nodes");
+        self.0 |= 1 << n.index();
+    }
+
+    /// Removes a node.
+    pub fn remove(&mut self, n: NodeId) {
+        self.0 &= !(1 << n.index());
+    }
+
+    /// Membership test.
+    pub fn contains(&self, n: NodeId) -> bool {
+        n.index() < 64 && self.0 & (1 << n.index()) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over members in ascending node order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..64u16).filter(|i| self.0 & (1 << i) != 0).map(NodeId)
+    }
+}
+
+/// The stable coherence state of one line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirState {
+    /// No cache holds the line; memory is the only copy.
+    Uncached,
+    /// One or more caches hold read-only copies; memory is up to date.
+    Shared(SharerSet),
+    /// One cache holds the line with write permission; memory may be stale.
+    Exclusive(NodeId),
+}
+
+/// Why an entry is Busy (beyond outstanding acks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BusyKind {
+    /// Only waiting for invalidation and/or hook acks.
+    Acks,
+    /// Waiting for the owner to supply data for a reader.
+    FetchForRead { requester: NodeId, owner: NodeId },
+    /// Waiting for the owner to supply data for a writer.
+    FetchForWrite { requester: NodeId, owner: NodeId },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Busy {
+    kind: BusyKind,
+    inv_acks: u32,
+    hook_acks: u32,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    state: DirState,
+    busy: Option<Busy>,
+}
+
+impl Entry {
+    fn idle() -> Entry {
+        Entry {
+            state: DirState::Uncached,
+            busy: None,
+        }
+    }
+}
+
+/// Inputs to the directory controller.
+#[derive(Clone, Copy, Debug)]
+pub enum DirIn {
+    /// A cache request (read / read-exclusive / upgrade).
+    Req {
+        /// Requesting node.
+        from: NodeId,
+        /// Target line.
+        line: LineAddr,
+        /// Request kind.
+        req: CacheReq,
+    },
+    /// A write-back or clean replacement notice.
+    WriteBack {
+        /// Evicting node.
+        from: NodeId,
+        /// Target line.
+        line: LineAddr,
+        /// Dirty contents, or `None` for a clean notice.
+        data: Option<LineData>,
+        /// Whether the cache keeps the (now clean) line — checkpoint flush.
+        keep: bool,
+    },
+    /// The owner's reply to a fetch.
+    FetchResp {
+        /// Responding (former) owner.
+        from: NodeId,
+        /// Target line.
+        line: LineAddr,
+        /// The owner's copy.
+        data: LineData,
+        /// Whether the copy differed from memory.
+        dirty: bool,
+    },
+    /// A sharer acknowledged an invalidation.
+    InvalAck {
+        /// Acknowledging node.
+        from: NodeId,
+        /// Target line.
+        line: LineAddr,
+    },
+    /// A ReVive parity/log acknowledgment for this line arrived.
+    HookAck {
+        /// Target line.
+        line: LineAddr,
+    },
+}
+
+/// An outbound message produced by the directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Send {
+    /// Destination node.
+    pub to: NodeId,
+    /// The message.
+    pub msg: DirToCache,
+}
+
+/// Aggregate directory statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DirStats {
+    /// Read requests processed.
+    pub reads: u64,
+    /// Read-exclusive requests processed.
+    pub read_exes: u64,
+    /// Upgrade requests processed (granted).
+    pub upgrades: u64,
+    /// Requests nacked.
+    pub nacks: u64,
+    /// Dirty write-backs processed.
+    pub writebacks: u64,
+    /// Clean replacement notices processed.
+    pub clean_notices: u64,
+    /// Owner fetches issued.
+    pub fetches: u64,
+    /// Invalidations issued.
+    pub invalidations: u64,
+    /// Requests that found the entry Busy and were deferred.
+    pub deferrals: u64,
+}
+
+/// The full-map directory controller of one home node (see module docs).
+#[derive(Debug)]
+pub struct DirCtrl {
+    entries: HashMap<LineAddr, Entry>,
+    deferred: HashMap<LineAddr, VecDeque<DirIn>>,
+    stats: DirStats,
+}
+
+impl Default for DirCtrl {
+    fn default() -> Self {
+        DirCtrl::new()
+    }
+}
+
+impl DirCtrl {
+    /// Creates a directory with every line Uncached.
+    pub fn new() -> DirCtrl {
+        DirCtrl {
+            entries: HashMap::new(),
+            deferred: HashMap::new(),
+            stats: DirStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> DirStats {
+        self.stats
+    }
+
+    /// The stable state of a line (Uncached if never touched).
+    pub fn state_of(&self, line: LineAddr) -> DirState {
+        self.entries
+            .get(&line)
+            .map(|e| e.state)
+            .unwrap_or(DirState::Uncached)
+    }
+
+    /// Whether the line's entry is currently Busy.
+    pub fn is_busy(&self, line: LineAddr) -> bool {
+        self.entries
+            .get(&line)
+            .is_some_and(|e| e.busy.is_some())
+    }
+
+    /// Number of lines with pending deferred work (diagnostics).
+    pub fn deferred_lines(&self) -> usize {
+        self.deferred.values().filter(|q| !q.is_empty()).count()
+    }
+
+    /// Human-readable dump of stuck state: busy entries and non-empty
+    /// deferred queues (deadlock diagnostics).
+    pub fn debug_stuck(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .entries
+            .iter()
+            .filter_map(|(l, e)| {
+                e.busy
+                    .map(|b| format!("{l}: state={:?} busy={b:?}", e.state))
+            })
+            .collect();
+        for (l, q) in &self.deferred {
+            if !q.is_empty() {
+                out.push(format!("{l}: {} deferred {:?}", q.len(), q));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Drops all coherence state (recovery rollback resets the directory and
+    /// invalidates all caches, so Uncached-everywhere is the correct
+    /// post-rollback state).
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.deferred.clear();
+    }
+
+    /// Processes one input, returning the messages to send. Deferred
+    /// requests unblocked by this input are processed too (their sends are
+    /// included).
+    pub fn handle(
+        &mut self,
+        input: DirIn,
+        mem: &mut dyn MemPort,
+        hook: &mut dyn WriteHook,
+    ) -> Vec<Send> {
+        let mut out = Vec::new();
+        self.dispatch(input, mem, hook, &mut out);
+        out
+    }
+
+    fn dispatch(
+        &mut self,
+        input: DirIn,
+        mem: &mut dyn MemPort,
+        hook: &mut dyn WriteHook,
+        out: &mut Vec<Send>,
+    ) {
+        let line = match input {
+            DirIn::Req { line, .. }
+            | DirIn::WriteBack { line, .. }
+            | DirIn::FetchResp { line, .. }
+            | DirIn::InvalAck { line, .. }
+            | DirIn::HookAck { line } => line,
+        };
+        match input {
+            DirIn::Req { from, req, .. } => self.on_req(from, line, req, mem, hook, out),
+            DirIn::WriteBack {
+                from, data, keep, ..
+            } => self.on_writeback(from, line, data, keep, mem, hook, out),
+            DirIn::FetchResp {
+                from, data, dirty, ..
+            } => self.on_fetch_resp(from, line, data, dirty, mem, hook, out),
+            DirIn::InvalAck { .. } => self.on_inval_ack(line, mem, hook, out),
+            DirIn::HookAck { .. } => self.on_hook_ack(line, mem, hook, out),
+        }
+    }
+
+    fn entry_mut(&mut self, line: LineAddr) -> &mut Entry {
+        self.entries.entry(line).or_insert_with(Entry::idle)
+    }
+
+    fn defer(&mut self, line: LineAddr, input: DirIn) {
+        self.stats.deferrals += 1;
+        self.deferred.entry(line).or_default().push_back(input);
+    }
+
+    /// Called whenever an entry might have settled: if it is no longer Busy,
+    /// replay deferred inputs until one re-busies it (or none remain).
+    fn settle(
+        &mut self,
+        line: LineAddr,
+        mem: &mut dyn MemPort,
+        hook: &mut dyn WriteHook,
+        out: &mut Vec<Send>,
+    ) {
+        loop {
+            if self.is_busy(line) {
+                return;
+            }
+            let next = match self.deferred.get_mut(&line).and_then(|q| q.pop_front()) {
+                Some(i) => i,
+                None => return,
+            };
+            self.dispatch(next, mem, hook, out);
+        }
+    }
+
+    /// Decrements ack counts and settles when both reach zero.
+    fn finish_acks_check(
+        &mut self,
+        line: LineAddr,
+        mem: &mut dyn MemPort,
+        hook: &mut dyn WriteHook,
+        out: &mut Vec<Send>,
+    ) {
+        let e = self.entry_mut(line);
+        if let Some(b) = e.busy {
+            if b.kind == BusyKind::Acks && b.inv_acks == 0 && b.hook_acks == 0 {
+                e.busy = None;
+                self.settle(line, mem, hook, out);
+            }
+        }
+    }
+
+    fn on_req(
+        &mut self,
+        from: NodeId,
+        line: LineAddr,
+        req: CacheReq,
+        mem: &mut dyn MemPort,
+        hook: &mut dyn WriteHook,
+        out: &mut Vec<Send>,
+    ) {
+        if self.is_busy(line) {
+            self.defer(line, DirIn::Req { from, line, req });
+            return;
+        }
+        match req {
+            CacheReq::Read => self.on_read(from, line, mem, hook, out),
+            CacheReq::ReadEx => self.on_read_ex(from, line, mem, hook, out),
+            CacheReq::Upgrade => self.on_upgrade(from, line, mem, hook, out),
+        }
+    }
+
+    fn on_read(
+        &mut self,
+        from: NodeId,
+        line: LineAddr,
+        mem: &mut dyn MemPort,
+        _hook: &mut dyn WriteHook,
+        out: &mut Vec<Send>,
+    ) {
+        self.stats.reads += 1;
+        let state = self.entry_mut(line).state;
+        match state {
+            DirState::Uncached => {
+                // Grant exclusive-clean on a read to an uncached line
+                // (DASH-style), so private data never pays upgrade traffic.
+                let data = mem.read(line);
+                mem.mark();
+                self.entry_mut(line).state = DirState::Exclusive(from);
+                out.push(Send {
+                    to: from,
+                    msg: DirToCache::Data {
+                        line,
+                        excl: true,
+                        data,
+                    },
+                });
+            }
+            DirState::Shared(mut set) => {
+                let data = mem.read(line);
+                mem.mark();
+                set.insert(from);
+                self.entry_mut(line).state = DirState::Shared(set);
+                out.push(Send {
+                    to: from,
+                    msg: DirToCache::Data {
+                        line,
+                        excl: false,
+                        data,
+                    },
+                });
+            }
+            DirState::Exclusive(owner) => {
+                if owner == from {
+                    // Late-write-back race: the owner's eviction is still in
+                    // flight. Nack; the cache retries after the WB lands.
+                    self.stats.nacks += 1;
+                    out.push(Send {
+                        to: from,
+                        msg: DirToCache::Nack {
+                            line,
+                            req: CacheReq::Read,
+                        },
+                    });
+                    return;
+                }
+                self.stats.fetches += 1;
+                let e = self.entry_mut(line);
+                e.busy = Some(Busy {
+                    kind: BusyKind::FetchForRead {
+                        requester: from,
+                        owner,
+                    },
+                    inv_acks: 0,
+                    hook_acks: 0,
+                });
+                out.push(Send {
+                    to: owner,
+                    msg: DirToCache::Fetch { line },
+                });
+            }
+        }
+    }
+
+    fn on_read_ex(
+        &mut self,
+        from: NodeId,
+        line: LineAddr,
+        mem: &mut dyn MemPort,
+        hook: &mut dyn WriteHook,
+        out: &mut Vec<Send>,
+    ) {
+        self.stats.read_exes += 1;
+        let state = self.entry_mut(line).state;
+        match state {
+            DirState::Uncached => {
+                // Fig 5(a): data is supplied as soon as it is read from
+                // memory; the hook then copies the checkpoint contents to
+                // the log in the background (the entry stays Busy until the
+                // log parity is acknowledged, but the reply is not delayed).
+                let data = mem.read(line);
+                mem.mark();
+                let hook_acks = hook.write_intent(line, Some(data), mem);
+                let e = self.entry_mut(line);
+                e.state = DirState::Exclusive(from);
+                if hook_acks > 0 {
+                    e.busy = Some(Busy {
+                        kind: BusyKind::Acks,
+                        inv_acks: 0,
+                        hook_acks,
+                    });
+                }
+                out.push(Send {
+                    to: from,
+                    msg: DirToCache::Data {
+                        line,
+                        excl: true,
+                        data,
+                    },
+                });
+            }
+            DirState::Shared(mut set) => {
+                // The requester may appear in the sharer set if it silently
+                // evicted its Shared copy and later missed; drop it first.
+                set.remove(from);
+                let data = mem.read(line);
+                mem.mark();
+                let hook_acks = hook.write_intent(line, Some(data), mem);
+                let mut inv_acks = 0;
+                for sharer in set.iter() {
+                    self.stats.invalidations += 1;
+                    inv_acks += 1;
+                    out.push(Send {
+                        to: sharer,
+                        msg: DirToCache::Invalidate { line },
+                    });
+                }
+                let e = self.entry_mut(line);
+                e.state = DirState::Exclusive(from);
+                if inv_acks > 0 || hook_acks > 0 {
+                    e.busy = Some(Busy {
+                        kind: BusyKind::Acks,
+                        inv_acks,
+                        hook_acks,
+                    });
+                }
+                // Data is supplied as soon as it is read from memory; the
+                // entry stays busy until all acks arrive (paper Fig 5(a)).
+                out.push(Send {
+                    to: from,
+                    msg: DirToCache::Data {
+                        line,
+                        excl: true,
+                        data,
+                    },
+                });
+            }
+            DirState::Exclusive(owner) => {
+                if owner == from {
+                    self.stats.nacks += 1;
+                    out.push(Send {
+                        to: from,
+                        msg: DirToCache::Nack {
+                            line,
+                            req: CacheReq::ReadEx,
+                        },
+                    });
+                    return;
+                }
+                self.stats.fetches += 1;
+                let e = self.entry_mut(line);
+                e.busy = Some(Busy {
+                    kind: BusyKind::FetchForWrite {
+                        requester: from,
+                        owner,
+                    },
+                    inv_acks: 0,
+                    hook_acks: 0,
+                });
+                out.push(Send {
+                    to: owner,
+                    msg: DirToCache::FetchInval { line },
+                });
+            }
+        }
+    }
+
+    fn on_upgrade(
+        &mut self,
+        from: NodeId,
+        line: LineAddr,
+        mem: &mut dyn MemPort,
+        hook: &mut dyn WriteHook,
+        out: &mut Vec<Send>,
+    ) {
+        let state = self.entry_mut(line).state;
+        match state {
+            DirState::Shared(mut set) if set.contains(from) => {
+                self.stats.upgrades += 1;
+                set.remove(from);
+                mem.mark();
+                let hook_acks = hook.write_intent(line, None, mem);
+                let mut inv_acks = 0;
+                for sharer in set.iter() {
+                    self.stats.invalidations += 1;
+                    inv_acks += 1;
+                    out.push(Send {
+                        to: sharer,
+                        msg: DirToCache::Invalidate { line },
+                    });
+                }
+                let e = self.entry_mut(line);
+                e.state = DirState::Exclusive(from);
+                if inv_acks > 0 || hook_acks > 0 {
+                    e.busy = Some(Busy {
+                        kind: BusyKind::Acks,
+                        inv_acks,
+                        hook_acks,
+                    });
+                }
+                out.push(Send {
+                    to: from,
+                    msg: DirToCache::UpgradeAck { line },
+                });
+            }
+            _ => {
+                // The requester lost its Shared copy to a racing writer (or
+                // the directory has no record of it): the upgrade is stale.
+                self.stats.nacks += 1;
+                out.push(Send {
+                    to: from,
+                    msg: DirToCache::Nack {
+                        line,
+                        req: CacheReq::Upgrade,
+                    },
+                });
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the DirIn::WriteBack fields
+    fn on_writeback(
+        &mut self,
+        from: NodeId,
+        line: LineAddr,
+        data: Option<LineData>,
+        keep: bool,
+        mem: &mut dyn MemPort,
+        hook: &mut dyn WriteHook,
+        out: &mut Vec<Send>,
+    ) {
+        // An *eviction* write-back racing with a fetch to the same (former)
+        // owner satisfies the fetch: the fetch will find nothing at the
+        // cache. A checkpoint-flush write-back (`keep`) does not qualify —
+        // the cache still holds the line and will answer the fetch itself —
+        // so it is deferred like any other transaction.
+        if let Some(b) = self.entry_mut(line).busy {
+            match b.kind {
+                BusyKind::FetchForRead { owner, .. } | BusyKind::FetchForWrite { owner, .. }
+                    if owner == from && !keep =>
+                {
+                    let dirty = data.is_some();
+                    let d = data.unwrap_or_else(|| mem.read(line));
+                    // Answer the fetch with the written-back data; the WB
+                    // itself still needs acknowledging.
+                    out.push(Send {
+                        to: from,
+                        msg: DirToCache::WbAck { line, flush: keep },
+                    });
+                    self.on_fetch_resp(from, line, d, dirty, mem, hook, out);
+                    return;
+                }
+                _ => {
+                    self.defer(
+                        line,
+                        DirIn::WriteBack {
+                            from,
+                            line,
+                            data,
+                            keep,
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+        let state = self.entry_mut(line).state;
+        match state {
+            DirState::Exclusive(owner) if owner == from => {
+                match data {
+                    Some(d) => {
+                        self.stats.writebacks += 1;
+                        // Fig 4 / Fig 5(b): log (if first write since the
+                        // checkpoint) and parity-update before/around the
+                        // memory write.
+                        let hook_acks = hook.memory_write(line, d, mem);
+                        mem.write(line, d);
+                        let e = self.entry_mut(line);
+                        if hook_acks > 0 {
+                            e.busy = Some(Busy {
+                                kind: BusyKind::Acks,
+                                inv_acks: 0,
+                                hook_acks,
+                            });
+                        }
+                    }
+                    None => {
+                        self.stats.clean_notices += 1;
+                    }
+                }
+                let e = self.entry_mut(line);
+                e.state = if keep {
+                    DirState::Exclusive(from)
+                } else {
+                    DirState::Uncached
+                };
+                out.push(Send {
+                    to: from,
+                    msg: DirToCache::WbAck { line, flush: keep },
+                });
+            }
+            _ => {
+                // Ownership moved on while the write-back was in flight:
+                // the data (if any) has already been banked. For evictions
+                // the fetch race above consumed it; for checkpoint flushes
+                // the owner's fetch response reported the line dirty (the
+                // cache flags lines with an unacknowledged flush, see
+                // `CacheCtrl::on_fetch`), so home memory took the contents
+                // at fetch completion. Acknowledge and drop.
+                self.stats.clean_notices += 1;
+                out.push(Send {
+                    to: from,
+                    msg: DirToCache::WbAck { line, flush: keep },
+                });
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the DirIn::FetchResp fields
+    fn on_fetch_resp(
+        &mut self,
+        from: NodeId,
+        line: LineAddr,
+        data: LineData,
+        dirty: bool,
+        mem: &mut dyn MemPort,
+        hook: &mut dyn WriteHook,
+        out: &mut Vec<Send>,
+    ) {
+        let busy = self
+            .entry_mut(line)
+            .busy
+            .unwrap_or_else(|| panic!("FetchResp for non-busy line {line}"));
+        match busy.kind {
+            BusyKind::FetchForRead { requester, owner } => {
+                assert_eq!(owner, from, "FetchResp from unexpected node");
+                let mut hook_acks = busy.hook_acks;
+                if dirty {
+                    // Sharing write-back: dirty data returns to memory so
+                    // Shared copies match memory. This is a memory write and
+                    // is intercepted like any other (logged + parity).
+                    hook_acks += hook.memory_write(line, data, mem);
+                    mem.write(line, data);
+                }
+                mem.mark();
+                let mut set = SharerSet::single(requester);
+                set.insert(owner);
+                let e = self.entry_mut(line);
+                e.state = DirState::Shared(set);
+                e.busy = (hook_acks > 0 || busy.inv_acks > 0).then_some(Busy {
+                    kind: BusyKind::Acks,
+                    inv_acks: busy.inv_acks,
+                    hook_acks,
+                });
+                out.push(Send {
+                    to: requester,
+                    msg: DirToCache::Data {
+                        line,
+                        excl: false,
+                        data,
+                    },
+                });
+                self.settle(line, mem, hook, out);
+            }
+            BusyKind::FetchForWrite { requester, owner } => {
+                assert_eq!(owner, from, "FetchResp from unexpected node");
+                let mut hook_acks = busy.hook_acks;
+                if dirty {
+                    hook_acks += hook.memory_write(line, data, mem);
+                    mem.write(line, data);
+                }
+                mem.mark();
+                // The new owner will modify the line: write intent, logged
+                // in the background. When the dirty path above already
+                // logged it this is a no-op (the L bit is set); when clean,
+                // the fetched data is the memory content.
+                hook_acks += hook.write_intent(line, Some(data), mem);
+                let e = self.entry_mut(line);
+                e.state = DirState::Exclusive(requester);
+                e.busy = (hook_acks > 0 || busy.inv_acks > 0).then_some(Busy {
+                    kind: BusyKind::Acks,
+                    inv_acks: busy.inv_acks,
+                    hook_acks,
+                });
+                out.push(Send {
+                    to: requester,
+                    msg: DirToCache::Data {
+                        line,
+                        excl: true,
+                        data,
+                    },
+                });
+                self.settle(line, mem, hook, out);
+            }
+            BusyKind::Acks => panic!(
+                "FetchResp from {from} while only awaiting acks for {line}: busy={busy:?} state={:?}",
+                self.state_of(line)
+            ),
+        }
+    }
+
+    fn on_inval_ack(
+        &mut self,
+        line: LineAddr,
+        mem: &mut dyn MemPort,
+        hook: &mut dyn WriteHook,
+        out: &mut Vec<Send>,
+    ) {
+        let e = self.entry_mut(line);
+        let b = e.busy.as_mut().expect("InvalAck for non-busy line");
+        assert!(b.inv_acks > 0, "unexpected InvalAck for {line}");
+        b.inv_acks -= 1;
+        self.finish_acks_check(line, mem, hook, out);
+    }
+
+    fn on_hook_ack(
+        &mut self,
+        line: LineAddr,
+        mem: &mut dyn MemPort,
+        hook: &mut dyn WriteHook,
+        out: &mut Vec<Send>,
+    ) {
+        let e = self.entry_mut(line);
+        let b = e.busy.as_mut().expect("HookAck for non-busy line");
+        assert!(b.hook_acks > 0, "unexpected HookAck for {line}");
+        b.hook_acks -= 1;
+        self.finish_acks_check(line, mem, hook, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hook::NullHook;
+    use crate::port::VecPort;
+
+    const L: LineAddr = LineAddr(3);
+
+    fn setup() -> (DirCtrl, VecPort, NullHook) {
+        let mut port = VecPort::new(LineAddr(0), 16);
+        port.write(L, LineData::fill(0xAB));
+        port.reset_counts();
+        (DirCtrl::new(), port, NullHook)
+    }
+
+    fn req(from: u16, req: CacheReq) -> DirIn {
+        DirIn::Req {
+            from: NodeId(from),
+            line: L,
+            req,
+        }
+    }
+
+    #[test]
+    fn read_uncached_grants_exclusive_clean() {
+        let (mut dir, mut mem, mut hook) = setup();
+        let out = dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        assert_eq!(
+            out,
+            vec![Send {
+                to: NodeId(1),
+                msg: DirToCache::Data {
+                    line: L,
+                    excl: true,
+                    data: LineData::fill(0xAB)
+                }
+            }]
+        );
+        assert_eq!(dir.state_of(L), DirState::Exclusive(NodeId(1)));
+        assert!(!dir.is_busy(L));
+    }
+
+    #[test]
+    fn second_reader_triggers_fetch_and_shares() {
+        let (mut dir, mut mem, mut hook) = setup();
+        dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        let out = dir.handle(req(2, CacheReq::Read), &mut mem, &mut hook);
+        assert_eq!(
+            out,
+            vec![Send {
+                to: NodeId(1),
+                msg: DirToCache::Fetch { line: L }
+            }]
+        );
+        assert!(dir.is_busy(L));
+        // Owner responds with dirty data.
+        let out = dir.handle(
+            DirIn::FetchResp {
+                from: NodeId(1),
+                line: L,
+                data: LineData::fill(0xCD),
+                dirty: true,
+            },
+            &mut mem,
+            &mut hook,
+        );
+        assert_eq!(
+            out,
+            vec![Send {
+                to: NodeId(2),
+                msg: DirToCache::Data {
+                    line: L,
+                    excl: false,
+                    data: LineData::fill(0xCD)
+                }
+            }]
+        );
+        // Memory took the sharing write-back.
+        assert_eq!(mem.peek(L), LineData::fill(0xCD));
+        match dir.state_of(L) {
+            DirState::Shared(s) => {
+                assert!(s.contains(NodeId(1)) && s.contains(NodeId(2)));
+                assert_eq!(s.len(), 2);
+            }
+            s => panic!("expected Shared, got {s:?}"),
+        }
+        assert!(!dir.is_busy(L));
+    }
+
+    #[test]
+    fn read_ex_on_shared_invalidates_sharers() {
+        let (mut dir, mut mem, mut hook) = setup();
+        // Build up two sharers via read + fetch.
+        dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        dir.handle(req(2, CacheReq::Read), &mut mem, &mut hook);
+        dir.handle(
+            DirIn::FetchResp {
+                from: NodeId(1),
+                line: L,
+                data: LineData::fill(0xAB),
+                dirty: false,
+            },
+            &mut mem,
+            &mut hook,
+        );
+        // Node 3 writes.
+        let out = dir.handle(req(3, CacheReq::ReadEx), &mut mem, &mut hook);
+        let invals: Vec<NodeId> = out
+            .iter()
+            .filter_map(|s| match s.msg {
+                DirToCache::Invalidate { .. } => Some(s.to),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(invals, vec![NodeId(1), NodeId(2)]);
+        assert!(out.iter().any(|s| matches!(
+            s.msg,
+            DirToCache::Data { excl: true, .. }
+        ) && s.to == NodeId(3)));
+        assert!(dir.is_busy(L));
+        dir.handle(
+            DirIn::InvalAck {
+                from: NodeId(1),
+                line: L,
+            },
+            &mut mem,
+            &mut hook,
+        );
+        assert!(dir.is_busy(L));
+        dir.handle(
+            DirIn::InvalAck {
+                from: NodeId(2),
+                line: L,
+            },
+            &mut mem,
+            &mut hook,
+        );
+        assert!(!dir.is_busy(L));
+        assert_eq!(dir.state_of(L), DirState::Exclusive(NodeId(3)));
+    }
+
+    #[test]
+    fn upgrade_grants_and_invalidates() {
+        let (mut dir, mut mem, mut hook) = setup();
+        dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        dir.handle(req(2, CacheReq::Read), &mut mem, &mut hook);
+        dir.handle(
+            DirIn::FetchResp {
+                from: NodeId(1),
+                line: L,
+                data: LineData::fill(0xAB),
+                dirty: false,
+            },
+            &mut mem,
+            &mut hook,
+        );
+        let out = dir.handle(req(2, CacheReq::Upgrade), &mut mem, &mut hook);
+        assert!(out.contains(&Send {
+            to: NodeId(2),
+            msg: DirToCache::UpgradeAck { line: L }
+        }));
+        assert!(out.contains(&Send {
+            to: NodeId(1),
+            msg: DirToCache::Invalidate { line: L }
+        }));
+        assert_eq!(dir.state_of(L), DirState::Exclusive(NodeId(2)));
+    }
+
+    #[test]
+    fn stale_upgrade_is_nacked() {
+        let (mut dir, mut mem, mut hook) = setup();
+        // Node 1 owns exclusively; node 2's upgrade is stale.
+        dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        let out = dir.handle(req(2, CacheReq::Upgrade), &mut mem, &mut hook);
+        assert_eq!(
+            out,
+            vec![Send {
+                to: NodeId(2),
+                msg: DirToCache::Nack {
+                    line: L,
+                    req: CacheReq::Upgrade
+                }
+            }]
+        );
+        assert_eq!(dir.stats().nacks, 1);
+    }
+
+    #[test]
+    fn dirty_writeback_updates_memory() {
+        let (mut dir, mut mem, mut hook) = setup();
+        dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        let out = dir.handle(
+            DirIn::WriteBack {
+                from: NodeId(1),
+                line: L,
+                data: Some(LineData::fill(0x11)),
+                keep: false,
+            },
+            &mut mem,
+            &mut hook,
+        );
+        assert_eq!(
+            out,
+            vec![Send {
+                to: NodeId(1),
+                msg: DirToCache::WbAck { line: L, flush: false }
+            }]
+        );
+        assert_eq!(mem.peek(L), LineData::fill(0x11));
+        assert_eq!(dir.state_of(L), DirState::Uncached);
+    }
+
+    #[test]
+    fn flush_writeback_keeps_ownership() {
+        let (mut dir, mut mem, mut hook) = setup();
+        dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        dir.handle(
+            DirIn::WriteBack {
+                from: NodeId(1),
+                line: L,
+                data: Some(LineData::fill(0x22)),
+                keep: true,
+            },
+            &mut mem,
+            &mut hook,
+        );
+        assert_eq!(dir.state_of(L), DirState::Exclusive(NodeId(1)));
+        assert_eq!(mem.peek(L), LineData::fill(0x22));
+    }
+
+    #[test]
+    fn request_from_owner_is_nacked_until_wb_lands() {
+        let (mut dir, mut mem, mut hook) = setup();
+        dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        // Owner re-requests (its WB is in flight): nack.
+        let out = dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        assert!(matches!(out[0].msg, DirToCache::Nack { .. }));
+        // WB lands; retry succeeds.
+        dir.handle(
+            DirIn::WriteBack {
+                from: NodeId(1),
+                line: L,
+                data: Some(LineData::fill(9)),
+                keep: false,
+            },
+            &mut mem,
+            &mut hook,
+        );
+        let out = dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        assert!(matches!(
+            out[0].msg,
+            DirToCache::Data { excl: true, .. }
+        ));
+    }
+
+    #[test]
+    fn writeback_races_with_fetch() {
+        let (mut dir, mut mem, mut hook) = setup();
+        dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        // Node 2 reads; directory fetches from node 1.
+        dir.handle(req(2, CacheReq::Read), &mut mem, &mut hook);
+        assert!(dir.is_busy(L));
+        // But node 1's eviction WB was already in flight and arrives first.
+        let out = dir.handle(
+            DirIn::WriteBack {
+                from: NodeId(1),
+                line: L,
+                data: Some(LineData::fill(0x77)),
+                keep: false,
+            },
+            &mut mem,
+            &mut hook,
+        );
+        // The WB satisfied the fetch: node 2 gets data, node 1 gets WbAck.
+        assert!(out.iter().any(|s| s.to == NodeId(1)
+            && matches!(s.msg, DirToCache::WbAck { .. })));
+        assert!(out.iter().any(|s| s.to == NodeId(2)
+            && matches!(s.msg, DirToCache::Data { excl: false, .. })));
+        assert!(!dir.is_busy(L));
+        assert_eq!(mem.peek(L), LineData::fill(0x77));
+    }
+
+    #[test]
+    fn requests_defer_while_busy_and_replay() {
+        let (mut dir, mut mem, mut hook) = setup();
+        dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        dir.handle(req(2, CacheReq::Read), &mut mem, &mut hook); // fetch in flight
+        // Node 3's request arrives while busy: deferred.
+        let out = dir.handle(req(3, CacheReq::Read), &mut mem, &mut hook);
+        assert!(out.is_empty());
+        assert_eq!(dir.stats().deferrals, 1);
+        // Fetch response settles the entry and replays node 3's read.
+        let out = dir.handle(
+            DirIn::FetchResp {
+                from: NodeId(1),
+                line: L,
+                data: LineData::fill(0xAB),
+                dirty: false,
+            },
+            &mut mem,
+            &mut hook,
+        );
+        let recipients: Vec<NodeId> = out.iter().map(|s| s.to).collect();
+        assert!(recipients.contains(&NodeId(2)));
+        assert!(recipients.contains(&NodeId(3)));
+        match dir.state_of(L) {
+            DirState::Shared(s) => assert_eq!(s.len(), 3),
+            s => panic!("expected Shared, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn clean_fetch_resp_does_not_write_memory() {
+        let (mut dir, mut mem, mut hook) = setup();
+        dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        dir.handle(req(2, CacheReq::Read), &mut mem, &mut hook);
+        mem.reset_counts();
+        dir.handle(
+            DirIn::FetchResp {
+                from: NodeId(1),
+                line: L,
+                data: LineData::fill(0xAB),
+                dirty: false,
+            },
+            &mut mem,
+            &mut hook,
+        );
+        assert_eq!(mem.writes, 0);
+    }
+
+    #[test]
+    fn read_ex_transfer_from_owner() {
+        let (mut dir, mut mem, mut hook) = setup();
+        dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        let out = dir.handle(req(2, CacheReq::ReadEx), &mut mem, &mut hook);
+        assert_eq!(
+            out,
+            vec![Send {
+                to: NodeId(1),
+                msg: DirToCache::FetchInval { line: L }
+            }]
+        );
+        let out = dir.handle(
+            DirIn::FetchResp {
+                from: NodeId(1),
+                line: L,
+                data: LineData::fill(0x99),
+                dirty: true,
+            },
+            &mut mem,
+            &mut hook,
+        );
+        assert!(out.iter().any(|s| s.to == NodeId(2)
+            && matches!(s.msg, DirToCache::Data { excl: true, .. })));
+        assert_eq!(dir.state_of(L), DirState::Exclusive(NodeId(2)));
+        assert_eq!(mem.peek(L), LineData::fill(0x99));
+    }
+
+    #[test]
+    fn sharer_set_operations() {
+        let mut s = SharerSet::empty();
+        assert!(s.is_empty());
+        s.insert(NodeId(0));
+        s.insert(NodeId(5));
+        s.insert(NodeId(63));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(NodeId(5)));
+        s.remove(NodeId(5));
+        assert!(!s.contains(NodeId(5)));
+        let members: Vec<NodeId> = s.iter().collect();
+        assert_eq!(members, vec![NodeId(0), NodeId(63)]);
+    }
+
+    #[test]
+    fn reset_clears_all_state() {
+        let (mut dir, mut mem, mut hook) = setup();
+        dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+        dir.handle(req(2, CacheReq::Read), &mut mem, &mut hook);
+        dir.reset();
+        assert_eq!(dir.state_of(L), DirState::Uncached);
+        assert!(!dir.is_busy(L));
+        assert_eq!(dir.deferred_lines(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! The directory-controller write hook.
+//!
+//! ReVive's entire hardware footprint is an extension of the directory
+//! controller (Section 4 of the paper). This trait is the seam: the
+//! baseline directory calls it at the two interception points the paper
+//! defines, and the ReVive implementation (in `revive-core`) performs
+//! logging and parity updates there. The baseline machine uses [`NullHook`].
+//!
+//! Both methods return the number of *hook acknowledgments* the directory
+//! must receive (via [`crate::directory::DirIn::HookAck`]) before the line's
+//! directory entry leaves the Busy state — this models the paper's rule that
+//! "the directory entry for the block stays busy until the acknowledgment is
+//! received for the parity update".
+//!
+//! Hook implementations ship their own outbound messages (parity updates)
+//! through their own queue, drained by the machine after each directory
+//! call; the coherence layer never sees them.
+
+use revive_mem::addr::LineAddr;
+use revive_mem::line::LineData;
+
+use crate::port::MemPort;
+
+/// Directory-controller extension points (see module docs).
+pub trait WriteHook {
+    /// A write intent (read-exclusive or upgrade) was processed for `line`:
+    /// the requester will modify it, so its current memory content is about
+    /// to become stale. This is the paper's Figure 5(a) interception point.
+    /// `current` carries the line's contents when the directory already read
+    /// them for the reply — the log copy then shares that read, exactly as
+    /// Table 1 counts it. Returns the number of hook acks to await.
+    fn write_intent(
+        &mut self,
+        line: LineAddr,
+        current: Option<LineData>,
+        mem: &mut dyn MemPort,
+    ) -> u32;
+
+    /// Home memory of `line` is about to be overwritten with `new` (the
+    /// directory performs the actual write after this returns). This is the
+    /// Figure 4 / Figure 5(b) interception point. Returns the number of
+    /// hook acks to await.
+    fn memory_write(&mut self, line: LineAddr, new: LineData, mem: &mut dyn MemPort) -> u32;
+}
+
+/// The baseline (no recovery support) hook: does nothing, requires no acks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullHook;
+
+impl WriteHook for NullHook {
+    fn write_intent(
+        &mut self,
+        _line: LineAddr,
+        _current: Option<LineData>,
+        _mem: &mut dyn MemPort,
+    ) -> u32 {
+        0
+    }
+
+    fn memory_write(&mut self, _line: LineAddr, _new: LineData, _mem: &mut dyn MemPort) -> u32 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::VecPort;
+
+    #[test]
+    fn null_hook_is_free() {
+        let mut hook = NullHook;
+        let mut port = VecPort::new(LineAddr(0), 1);
+        assert_eq!(hook.write_intent(LineAddr(0), None, &mut port), 0);
+        assert_eq!(hook.memory_write(LineAddr(0), LineData::ZERO, &mut port), 0);
+        assert_eq!(port.accesses(), 0);
+    }
+}

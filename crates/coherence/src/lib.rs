@@ -1,0 +1,64 @@
+//! Full-map directory cache coherence for the ReVive reproduction.
+//!
+//! The evaluated machine (Section 5 of the paper) uses "a full-map directory
+//! and a cache coherence protocol similar to that used in DASH". This crate
+//! implements that substrate as two *pure* state machines:
+//!
+//! * [`directory::DirCtrl`] — the home-node directory controller: MESI
+//!   states, owner fetches, invalidation collection, per-line busy
+//!   serialization, and the [`hook::WriteHook`] seam where ReVive's logging
+//!   and parity updates attach.
+//! * [`cache_ctrl::CacheCtrl`] — the cache side: inclusive L1/L2, MSHRs,
+//!   upgrades, nack retries, fetch/invalidate handling, and checkpoint
+//!   flush support.
+//!
+//! Neither component knows about time or the network; `revive-machine`
+//! interprets their outputs with the timing models from `revive-sim`,
+//! `revive-net`, and `revive-mem`.
+//!
+//! # Example: two caches sharing a line through the directory
+//!
+//! ```
+//! use revive_coherence::cache_ctrl::{Access, CacheCtrl, OpToken};
+//! use revive_coherence::directory::{DirCtrl, DirIn};
+//! use revive_coherence::hook::NullHook;
+//! use revive_coherence::msg::CacheToDir;
+//! use revive_coherence::port::VecPort;
+//! use revive_mem::addr::LineAddr;
+//! use revive_mem::cache::CacheConfig;
+//! use revive_sim::types::NodeId;
+//!
+//! let mut dir = DirCtrl::new();
+//! let mut mem = VecPort::new(LineAddr(0), 256);
+//! let mut hook = NullHook;
+//! let mut cache = CacheCtrl::new(
+//!     NodeId(1),
+//!     CacheConfig { size_bytes: 1024, ways: 2 },
+//!     CacheConfig { size_bytes: 4096, ways: 4 },
+//!     8,
+//! );
+//!
+//! // CPU 1 misses; its request reaches the home directory.
+//! let (_, sends) = cache.cpu_access(LineAddr(7), Access::Read, OpToken(1));
+//! let CacheToDir::Req { line, req } = sends[0] else { unreachable!() };
+//! let replies = dir.handle(
+//!     DirIn::Req { from: NodeId(1), line, req },
+//!     &mut mem,
+//!     &mut hook,
+//! );
+//! // The fill completes the CPU operation.
+//! let reaction = cache.handle_dir_msg(replies[0].msg);
+//! assert_eq!(reaction.completed, vec![OpToken(1)]);
+//! ```
+
+pub mod cache_ctrl;
+pub mod directory;
+pub mod hook;
+pub mod msg;
+pub mod port;
+
+pub use cache_ctrl::{Access, CacheCtrl, CpuOutcome, OpToken, Reaction};
+pub use directory::{DirCtrl, DirIn, DirState, Send, SharerSet};
+pub use hook::{NullHook, WriteHook};
+pub use msg::{CacheReq, CacheToDir, DirToCache};
+pub use port::{MemPort, VecPort};

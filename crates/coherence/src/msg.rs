@@ -1,0 +1,188 @@
+//! Coherence protocol messages.
+//!
+//! The protocol is home-based and DASH-like: caches talk only to the home
+//! directory of a line; the directory forwards fetches to owners and
+//! invalidations to sharers. Message sizes follow the usual convention:
+//! control messages are a small header, data messages add one 64-byte line.
+
+use revive_mem::addr::LineAddr;
+use revive_mem::line::LineData;
+
+/// Size in bytes of a control-only message (header + address).
+pub const CTRL_MSG_BYTES: u32 = 8;
+/// Size in bytes of a message carrying one cache line.
+pub const DATA_MSG_BYTES: u32 = 8 + 64;
+
+/// A cache's request to the home directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CacheReq {
+    /// Read miss: requests a readable copy.
+    Read,
+    /// Write miss: requests an exclusive copy (paper's RDX).
+    ReadEx,
+    /// Write hit on a Shared line: requests write permission without data.
+    Upgrade,
+}
+
+/// Messages from a home directory to a cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirToCache {
+    /// Fill reply carrying the line. `excl` grants Exclusive (write
+    /// permission); otherwise the line arrives Shared.
+    Data {
+        /// The line being filled.
+        line: LineAddr,
+        /// Whether the copy is exclusive.
+        excl: bool,
+        /// The line contents.
+        data: LineData,
+    },
+    /// Grants an [`CacheReq::Upgrade`]: the cache may transition S → M.
+    UpgradeAck {
+        /// The upgraded line.
+        line: LineAddr,
+    },
+    /// The request cannot be serviced in the current state; retry.
+    Nack {
+        /// The nacked line.
+        line: LineAddr,
+        /// The request that was nacked.
+        req: CacheReq,
+    },
+    /// Invalidate any copy of the line and acknowledge to home.
+    Invalidate {
+        /// The line to drop.
+        line: LineAddr,
+    },
+    /// Owner must supply the line to home and downgrade to Shared
+    /// (another node is reading).
+    Fetch {
+        /// The fetched line.
+        line: LineAddr,
+    },
+    /// Owner must supply the line to home and invalidate (another node
+    /// is writing).
+    FetchInval {
+        /// The fetched line.
+        line: LineAddr,
+    },
+    /// Acknowledges a write-back; used by checkpoint flushes to know all
+    /// dirty data has safely reached home memory. `flush` echoes the
+    /// write-back's `keep` flag so the cache can match flush acknowledgments
+    /// even when the write-back was deferred at a busy directory entry.
+    WbAck {
+        /// The written-back line.
+        line: LineAddr,
+        /// Whether this acknowledges a checkpoint-flush write-back.
+        flush: bool,
+    },
+}
+
+impl DirToCache {
+    /// Wire size of this message in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            DirToCache::Data { .. } => DATA_MSG_BYTES,
+            _ => CTRL_MSG_BYTES,
+        }
+    }
+}
+
+/// Messages from a cache to a home directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheToDir {
+    /// A miss/upgrade request.
+    Req {
+        /// The requested line.
+        line: LineAddr,
+        /// What is requested.
+        req: CacheReq,
+    },
+    /// Eviction or flush write-back. `data` is `None` for a clean
+    /// (Exclusive, unmodified) replacement notice. `keep` is set by
+    /// checkpoint flushes: the cache keeps the line (Exclusive, now clean)
+    /// and the directory keeps it as owner.
+    WriteBack {
+        /// The written-back line.
+        line: LineAddr,
+        /// The dirty contents, or `None` for a clean replacement notice.
+        data: Option<LineData>,
+        /// Whether the cache retains ownership (checkpoint flush).
+        keep: bool,
+    },
+    /// Owner's reply to [`DirToCache::Fetch`] / [`DirToCache::FetchInval`].
+    FetchResp {
+        /// The fetched line.
+        line: LineAddr,
+        /// The owner's copy.
+        data: LineData,
+        /// Whether the copy differed from memory (was Modified).
+        dirty: bool,
+    },
+    /// Acknowledges an [`DirToCache::Invalidate`].
+    InvalAck {
+        /// The invalidated line.
+        line: LineAddr,
+    },
+}
+
+impl CacheToDir {
+    /// Wire size of this message in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            CacheToDir::WriteBack { data: Some(_), .. } => DATA_MSG_BYTES,
+            CacheToDir::FetchResp { .. } => DATA_MSG_BYTES,
+            _ => CTRL_MSG_BYTES,
+        }
+    }
+
+    /// The line this message concerns.
+    pub fn line(&self) -> LineAddr {
+        match *self {
+            CacheToDir::Req { line, .. }
+            | CacheToDir::WriteBack { line, .. }
+            | CacheToDir::FetchResp { line, .. }
+            | CacheToDir::InvalAck { line } => line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_messages_are_bigger() {
+        let fill = DirToCache::Data {
+            line: LineAddr(1),
+            excl: true,
+            data: LineData::ZERO,
+        };
+        assert_eq!(fill.size_bytes(), DATA_MSG_BYTES);
+        assert_eq!(
+            DirToCache::Invalidate { line: LineAddr(1) }.size_bytes(),
+            CTRL_MSG_BYTES
+        );
+        let wb = CacheToDir::WriteBack {
+            line: LineAddr(1),
+            data: Some(LineData::ZERO),
+            keep: false,
+        };
+        assert_eq!(wb.size_bytes(), DATA_MSG_BYTES);
+        let notice = CacheToDir::WriteBack {
+            line: LineAddr(1),
+            data: None,
+            keep: false,
+        };
+        assert_eq!(notice.size_bytes(), CTRL_MSG_BYTES);
+    }
+
+    #[test]
+    fn line_accessor() {
+        let m = CacheToDir::Req {
+            line: LineAddr(9),
+            req: CacheReq::Read,
+        };
+        assert_eq!(m.line(), LineAddr(9));
+    }
+}

@@ -1,0 +1,131 @@
+//! The memory port: how protocol state machines touch home memory.
+//!
+//! Directory controllers (and the ReVive hook that extends them) access the
+//! home node's memory through [`MemPort`]. In the assembled machine the port
+//! implementation routes to the node's functional memory *and* charges DRAM
+//! timing and traffic accounting; in unit tests a [`VecPort`] provides plain
+//! storage with access counters.
+
+use revive_mem::addr::LineAddr;
+use revive_mem::line::LineData;
+
+/// Line-granularity access to the home node's memory.
+///
+/// Every call represents one DRAM line access; implementations are expected
+/// to count them (that is how the paper's Table 1 "extra memory accesses"
+/// are measured).
+pub trait MemPort {
+    /// Reads one line.
+    fn read(&mut self, line: LineAddr) -> LineData;
+    /// Writes one line.
+    fn write(&mut self, line: LineAddr, data: LineData);
+    /// Marks the *reply point*: everything read/written so far is on the
+    /// requester's critical path; accesses after this point are background
+    /// work (ReVive logging and parity, Section 3.3.1: "these operations
+    /// overlap with useful computation"). Timing implementations ship
+    /// protocol replies at the marked time; the default is a no-op.
+    fn mark(&mut self) {}
+}
+
+/// A plain in-memory [`MemPort`] for unit tests: a dense vector of lines
+/// starting at a base line address, with read/write counters.
+///
+/// # Example
+///
+/// ```
+/// use revive_coherence::port::{MemPort, VecPort};
+/// use revive_mem::addr::LineAddr;
+/// use revive_mem::line::LineData;
+///
+/// let mut p = VecPort::new(LineAddr(0), 16);
+/// p.write(LineAddr(3), LineData::fill(1));
+/// assert_eq!(p.read(LineAddr(3)), LineData::fill(1));
+/// assert_eq!((p.reads, p.writes), (1, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct VecPort {
+    base: LineAddr,
+    lines: Vec<LineData>,
+    /// Number of line reads performed.
+    pub reads: u64,
+    /// Number of line writes performed.
+    pub writes: u64,
+}
+
+impl VecPort {
+    /// Creates a zeroed port covering `[base, base + count)`.
+    pub fn new(base: LineAddr, count: usize) -> VecPort {
+        VecPort {
+            base,
+            lines: vec![LineData::ZERO; count],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    fn index(&self, line: LineAddr) -> usize {
+        let i = line
+            .0
+            .checked_sub(self.base.0)
+            .expect("line below port base");
+        assert!((i as usize) < self.lines.len(), "line {line} beyond port");
+        i as usize
+    }
+
+    /// Peeks without counting an access (test assertions).
+    pub fn peek(&self, line: LineAddr) -> LineData {
+        self.lines[self.index(line)]
+    }
+
+    /// Total accesses so far.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Zeroes the access counters (between test phases).
+    pub fn reset_counts(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+impl MemPort for VecPort {
+    fn read(&mut self, line: LineAddr) -> LineData {
+        self.reads += 1;
+        self.lines[self.index(line)]
+    }
+
+    fn write(&mut self, line: LineAddr, data: LineData) {
+        self.writes += 1;
+        let i = self.index(line);
+        self.lines[i] = data;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accesses() {
+        let mut p = VecPort::new(LineAddr(10), 4);
+        p.write(LineAddr(11), LineData::fill(7));
+        let _ = p.read(LineAddr(11));
+        let _ = p.read(LineAddr(10));
+        assert_eq!(p.reads, 2);
+        assert_eq!(p.writes, 1);
+        assert_eq!(p.accesses(), 3);
+        p.reset_counts();
+        assert_eq!(p.accesses(), 0);
+        // peek does not count
+        assert_eq!(p.peek(LineAddr(11)), LineData::fill(7));
+        assert_eq!(p.accesses(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond port")]
+    fn out_of_range_panics() {
+        let mut p = VecPort::new(LineAddr(0), 2);
+        let _ = p.read(LineAddr(2));
+    }
+}

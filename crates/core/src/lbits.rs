@@ -1,0 +1,200 @@
+//! The Logged (L) bits (Sections 3.2.2 and 4.1.2 of the paper).
+//!
+//! One L bit per home-memory line records whether the line has already been
+//! logged in the current checkpoint interval, so each line is logged at most
+//! once between checkpoints. The bits are gang-cleared when a checkpoint is
+//! established.
+//!
+//! The paper notes the bits are an *optimization, not a correctness
+//! requirement*: a design that keeps L bits only for lines present in a
+//! directory cache occasionally loses a bit (logging the line again), which
+//! wastes log space but never loses a checkpoint value — recovery replays
+//! the log in reverse order, so the oldest (true checkpoint) value wins.
+//! [`LBits::dir_cache`] models that cheaper design; property tests verify
+//! that recovery is unaffected.
+
+use std::collections::VecDeque;
+
+/// The per-node L-bit store.
+#[derive(Clone, Debug)]
+pub struct LBits {
+    bits: Vec<u64>,
+    lines: u64,
+    mode: Mode,
+    /// How many times a set bit was lost to directory-cache eviction
+    /// (each loss causes one redundant log entry later).
+    pub evictions: u64,
+}
+
+#[derive(Clone, Debug)]
+enum Mode {
+    /// One bit per memory line (the paper's main design).
+    Full,
+    /// Bits live only while the line's directory entry is cached; a FIFO of
+    /// at most `capacity` lines models the directory cache (Section 4.1.2).
+    DirCache {
+        capacity: usize,
+        resident: VecDeque<u64>,
+    },
+}
+
+impl LBits {
+    /// Full L-bit array covering `lines` home-memory lines.
+    pub fn full(lines: u64) -> LBits {
+        LBits {
+            bits: vec![0; lines.div_ceil(64) as usize],
+            lines,
+            mode: Mode::Full,
+            evictions: 0,
+        }
+    }
+
+    /// Directory-cache-limited L bits: at most `capacity` lines can hold a
+    /// set bit simultaneously; setting more evicts the oldest (losing its
+    /// bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn dir_cache(lines: u64, capacity: usize) -> LBits {
+        assert!(capacity > 0, "directory cache needs capacity");
+        LBits {
+            bits: vec![0; lines.div_ceil(64) as usize],
+            lines,
+            mode: Mode::DirCache {
+                capacity,
+                resident: VecDeque::new(),
+            },
+            evictions: 0,
+        }
+    }
+
+    /// Number of lines covered.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    fn index(&self, line: u64) -> (usize, u64) {
+        assert!(line < self.lines, "L bit index {line} out of range");
+        ((line / 64) as usize, 1u64 << (line % 64))
+    }
+
+    /// Whether the line is marked as already logged.
+    pub fn is_logged(&self, line: u64) -> bool {
+        let (w, m) = self.index(line);
+        self.bits[w] & m != 0
+    }
+
+    /// Marks the line as logged. In directory-cache mode this may evict the
+    /// oldest resident bit (which will cause a redundant-but-harmless log
+    /// entry if that line is written again).
+    pub fn set_logged(&mut self, line: u64) {
+        let (w, m) = self.index(line);
+        if self.bits[w] & m != 0 {
+            return;
+        }
+        self.bits[w] |= m;
+        if let Mode::DirCache { capacity, resident } = &mut self.mode {
+            resident.push_back(line);
+            if resident.len() > *capacity {
+                let evicted = resident.pop_front().expect("nonempty");
+                let (we, me) = ((evicted / 64) as usize, 1u64 << (evicted % 64));
+                self.bits[we] &= !me;
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Clears every bit — the gang-clear performed when a new checkpoint is
+    /// established.
+    pub fn gang_clear(&mut self) {
+        self.bits.fill(0);
+        if let Mode::DirCache { resident, .. } = &mut self.mode {
+            resident.clear();
+        }
+    }
+
+    /// Number of currently set bits (lines logged this interval).
+    pub fn count_set(&self) -> u64 {
+        self.bits.iter().map(|w| w.count_ones() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_test() {
+        let mut l = LBits::full(200);
+        assert!(!l.is_logged(130));
+        l.set_logged(130);
+        assert!(l.is_logged(130));
+        assert!(!l.is_logged(129));
+        assert_eq!(l.count_set(), 1);
+    }
+
+    #[test]
+    fn gang_clear_resets_all() {
+        let mut l = LBits::full(100);
+        for i in 0..100 {
+            l.set_logged(i);
+        }
+        assert_eq!(l.count_set(), 100);
+        l.gang_clear();
+        assert_eq!(l.count_set(), 0);
+        assert!(!l.is_logged(0));
+    }
+
+    #[test]
+    fn idempotent_set() {
+        let mut l = LBits::full(10);
+        l.set_logged(3);
+        l.set_logged(3);
+        assert_eq!(l.count_set(), 1);
+    }
+
+    #[test]
+    fn dir_cache_mode_loses_old_bits() {
+        let mut l = LBits::dir_cache(100, 2);
+        l.set_logged(1);
+        l.set_logged(2);
+        assert!(l.is_logged(1) && l.is_logged(2));
+        l.set_logged(3); // evicts 1
+        assert!(!l.is_logged(1));
+        assert!(l.is_logged(2) && l.is_logged(3));
+        assert_eq!(l.evictions, 1);
+    }
+
+    #[test]
+    fn dir_cache_re_set_after_eviction_works() {
+        let mut l = LBits::dir_cache(100, 1);
+        l.set_logged(1);
+        l.set_logged(2); // evicts 1
+        l.set_logged(1); // evicts 2
+        assert!(l.is_logged(1));
+        assert!(!l.is_logged(2));
+        assert_eq!(l.evictions, 2);
+    }
+
+    #[test]
+    fn dir_cache_gang_clear_empties_fifo() {
+        let mut l = LBits::dir_cache(100, 2);
+        l.set_logged(1);
+        l.set_logged(2);
+        l.gang_clear();
+        assert_eq!(l.count_set(), 0);
+        // Setting after clear does not phantom-evict.
+        l.set_logged(5);
+        l.set_logged(6);
+        assert_eq!(l.evictions, 0);
+        assert_eq!(l.count_set(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let l = LBits::full(10);
+        let _ = l.is_logged(10);
+    }
+}

@@ -1,0 +1,504 @@
+//! Distributed N+1 parity (Section 3.2.1 of the paper).
+//!
+//! Memory pages are organized into parity groups of `G` data pages plus one
+//! parity page, each page on a *different* node, with parity pages
+//! distributed evenly across the system (Figure 3). The node count must be
+//! a multiple of the group size `G + 1` (Section 6.2), which also makes the
+//! parity-home computation a trivial modulo.
+//!
+//! Layout: nodes are partitioned into *chunks* of `G + 1` consecutive nodes.
+//! For stripe `s` (the pages at local page index `s` on every node of a
+//! chunk), the page on the node at chunk position `s mod (G + 1)` is the
+//! parity page; the other `G` pages are its data pages. Every node therefore
+//! dedicates exactly `1/(G+1)` of its memory to parity — 12.5 % for the
+//! paper's 7+1 configuration, 50 % for mirroring (`G = 1`).
+//!
+//! The invariant maintained by the ReVive hardware, and checked by this
+//! crate's tests, is: for every line offset within every group,
+//! `data₀ ^ … ^ data_{G-1} ^ parity == 0`.
+
+use revive_mem::addr::{AddressMap, LineAddr, PageAddr};
+use revive_mem::line::LineData;
+use revive_sim::types::NodeId;
+
+/// The parity-group geometry of the machine.
+///
+/// # Example
+///
+/// ```
+/// use revive_core::parity::ParityMap;
+/// use revive_mem::addr::{AddressMap, PageAddr};
+///
+/// // 16 nodes, 7+1 parity: 12.5% of memory is parity.
+/// let map = AddressMap::new(16, 64 * 4096);
+/// let parity = ParityMap::new(map, 7);
+/// assert_eq!(parity.storage_overhead(), 0.125);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ParityMap {
+    map: AddressMap,
+    group_data_pages: usize,
+    /// Stripes `[0, mirrored_stripes)` use 1+1 mirroring; the rest use
+    /// `group_data_pages`+1 parity (the paper's Section 8 extension:
+    /// "mirroring support for the most frequently accessed pages and N+1
+    /// parity for all other pages").
+    mirrored_stripes: u64,
+}
+
+impl ParityMap {
+    /// Creates a parity map with `group_data_pages` data pages per group
+    /// (`1` selects mirroring).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_data_pages` is zero or the node count is not a
+    /// multiple of `group_data_pages + 1`.
+    pub fn new(map: AddressMap, group_data_pages: usize) -> ParityMap {
+        ParityMap::mixed(map, group_data_pages, 0)
+    }
+
+    /// Creates a *mixed* layout: the lowest `mirrored_stripes` local page
+    /// indices are mirrored (1+1), everything above uses
+    /// `group_data_pages`+1 parity (the paper's Section 8 extension:
+    /// "mirroring support for the most frequently accessed pages and N+1
+    /// parity for all other pages"). The machine's first-touch allocator
+    /// hands out low pages first, which approximates the paper's "careful
+    /// allocation of frequently used pages into the mirrored region".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_data_pages` is zero, the node count is not a
+    /// multiple of both chunk sizes, or `mirrored_stripes` exceeds the
+    /// node's page count.
+    pub fn mixed(map: AddressMap, group_data_pages: usize, mirrored_stripes: u64) -> ParityMap {
+        assert!(group_data_pages > 0, "parity group needs data pages");
+        let chunk = group_data_pages + 1;
+        assert!(
+            map.nodes().is_multiple_of(chunk),
+            "node count {} is not a multiple of the parity group size {}",
+            map.nodes(),
+            chunk
+        );
+        if mirrored_stripes > 0 {
+            assert!(
+                map.nodes().is_multiple_of(2),
+                "mirroring pairs nodes; node count {} is odd",
+                map.nodes()
+            );
+            assert!(
+                mirrored_stripes <= map.pages_per_node(),
+                "mirrored stripes exceed the node's pages"
+            );
+        }
+        ParityMap {
+            map,
+            group_data_pages,
+            mirrored_stripes,
+        }
+    }
+
+    /// The address map this parity layout covers.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Data pages per group (`G`).
+    pub fn group_data_pages(&self) -> usize {
+        self.group_data_pages
+    }
+
+    /// Nodes per chunk (`G + 1`) of the parity region.
+    pub fn chunk_size(&self) -> usize {
+        self.group_data_pages + 1
+    }
+
+    /// Nodes per chunk for a given stripe (2 in the mirrored region).
+    fn chunk_size_at(&self, stripe: u64) -> usize {
+        if stripe < self.mirrored_stripes {
+            2
+        } else {
+            self.group_data_pages + 1
+        }
+    }
+
+    /// Whether this layout is mirroring everywhere (`G = 1`).
+    pub fn is_mirroring(&self) -> bool {
+        self.group_data_pages == 1
+    }
+
+    /// Whether `page`'s stripe belongs to the mirrored region (always true
+    /// under full mirroring).
+    pub fn is_mirrored_page(&self, page: PageAddr) -> bool {
+        self.is_mirroring() || self.stripe_of(page) < self.mirrored_stripes
+    }
+
+    /// Number of mirrored stripes (0 unless the mixed layout is used).
+    pub fn mirrored_stripes(&self) -> u64 {
+        self.mirrored_stripes
+    }
+
+    /// Fraction of memory consumed by parity/mirror pages: `1/(G+1)` for a
+    /// uniform layout, the stripe-weighted blend for a mixed one.
+    pub fn storage_overhead(&self) -> f64 {
+        let total = self.map.pages_per_node() as f64;
+        let mirrored = self.mirrored_stripes as f64;
+        (mirrored / 2.0 + (total - mirrored) / self.chunk_size() as f64) / total
+    }
+
+    fn chunk_of(&self, node: NodeId, stripe: u64) -> usize {
+        node.index() / self.chunk_size_at(stripe)
+    }
+
+    fn pos_in_chunk(&self, node: NodeId, stripe: u64) -> usize {
+        node.index() % self.chunk_size_at(stripe)
+    }
+
+    /// The stripe (local page index) of a page.
+    pub fn stripe_of(&self, page: PageAddr) -> u64 {
+        self.map.local_page_index(page)
+    }
+
+    /// Whether `page` is a parity page under this layout.
+    pub fn is_parity_page(&self, page: PageAddr) -> bool {
+        let node = self.map.home_of_page(page);
+        let stripe = self.stripe_of(page);
+        stripe % self.chunk_size_at(stripe) as u64 == self.pos_in_chunk(node, stripe) as u64
+    }
+
+    /// The node holding the parity page for stripe `stripe` of the chunk
+    /// containing `node`.
+    fn parity_node(&self, node: NodeId, stripe: u64) -> NodeId {
+        let chunk = self.chunk_size_at(stripe);
+        let chunk_start = self.chunk_of(node, stripe) * chunk;
+        NodeId::from(chunk_start + (stripe % chunk as u64) as usize)
+    }
+
+    /// The parity page protecting a data page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is itself a parity page.
+    pub fn parity_page_of(&self, page: PageAddr) -> PageAddr {
+        assert!(
+            !self.is_parity_page(page),
+            "{page} is a parity page, it has no parity of its own"
+        );
+        let node = self.map.home_of_page(page);
+        let stripe = self.stripe_of(page);
+        self.map
+            .global_page(self.parity_node(node, stripe), stripe)
+    }
+
+    /// The parity line protecting a data line (same offset within the page).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line lives in a parity page.
+    pub fn parity_line_of(&self, line: LineAddr) -> LineAddr {
+        let ppage = self.parity_page_of(line.page());
+        LineAddr(ppage.first_line().0 + line.index_in_page() as u64)
+    }
+
+    /// The `G` data pages protected by a parity page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parity` is not a parity page.
+    pub fn data_pages_of(&self, parity: PageAddr) -> Vec<PageAddr> {
+        assert!(
+            self.is_parity_page(parity),
+            "{parity} is not a parity page"
+        );
+        let node = self.map.home_of_page(parity);
+        let stripe = self.stripe_of(parity);
+        let chunk = self.chunk_size_at(stripe);
+        let chunk_start = self.chunk_of(node, stripe) * chunk;
+        (chunk_start..chunk_start + chunk)
+            .map(NodeId::from)
+            .filter(|&n| n != node)
+            .map(|n| self.map.global_page(n, stripe))
+            .collect()
+    }
+
+    /// The full group (data pages + parity page) containing `page`.
+    pub fn group_of(&self, page: PageAddr) -> ParityGroup {
+        let parity = if self.is_parity_page(page) {
+            page
+        } else {
+            self.parity_page_of(page)
+        };
+        ParityGroup {
+            data: self.data_pages_of(parity),
+            parity,
+        }
+    }
+
+    /// Every parity group that has a member page homed on `node` — the
+    /// groups rendered inaccessible when `node` is lost (Section 3.2.4:
+    /// `M × N` megabytes of data plus `M` of parity become unavailable).
+    pub fn groups_touching(&self, node: NodeId) -> Vec<ParityGroup> {
+        self.map
+            .pages_of(node)
+            .map(|p| self.group_of(p))
+            .collect()
+    }
+
+    /// Checks the parity invariant for the group containing `page`, reading
+    /// lines through `read`. Returns the first violating line offset, if
+    /// any.
+    pub fn check_group<F>(&self, page: PageAddr, mut read: F) -> Option<usize>
+    where
+        F: FnMut(LineAddr) -> LineData,
+    {
+        let group = self.group_of(page);
+        for offset in 0..revive_mem::addr::LINES_PER_PAGE {
+            let mut acc = read(LineAddr(
+                group.parity.first_line().0 + offset as u64,
+            ));
+            for dp in &group.data {
+                acc ^= read(LineAddr(dp.first_line().0 + offset as u64));
+            }
+            if !acc.is_zero() {
+                return Some(offset);
+            }
+        }
+        None
+    }
+}
+
+/// One parity group: `G` data pages and their parity page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParityGroup {
+    /// The data pages (each on a different node).
+    pub data: Vec<PageAddr>,
+    /// The parity page (on yet another node).
+    pub parity: PageAddr,
+}
+
+/// A parity-update message: XOR deltas to apply at the parity home
+/// (Figure 4's `U = D ^ D'`). One message may carry the deltas of a log
+/// entry's adjacent lines when they share a parity home.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParityUpdate {
+    /// The protected line whose directory entry is Busy awaiting this
+    /// update's acknowledgment; `None` for fire-and-forget updates (e.g.
+    /// checkpoint-commit markers).
+    pub ack_to_line: Option<LineAddr>,
+    /// `(parity line, delta)` pairs to XOR in at the destination.
+    pub deltas: Vec<(LineAddr, LineData)>,
+}
+
+impl ParityUpdate {
+    /// Wire size: header plus one line payload per delta.
+    pub fn size_bytes(&self) -> u32 {
+        8 + 64 * self.deltas.len() as u32
+    }
+}
+
+/// Acknowledgment of a [`ParityUpdate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParityAck {
+    /// The protected line whose directory entry awaits this ack.
+    pub ack_to_line: LineAddr,
+}
+
+impl ParityAck {
+    /// Wire size (control message).
+    pub fn size_bytes(&self) -> u32 {
+        8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revive_mem::addr::PAGE_SIZE;
+
+    fn setup(nodes: usize, pages_per_node: u64, g: usize) -> ParityMap {
+        let map = AddressMap::new(nodes, pages_per_node * PAGE_SIZE as u64);
+        ParityMap::new(map, g)
+    }
+
+    #[test]
+    fn storage_overhead_matches_paper() {
+        assert_eq!(setup(16, 16, 7).storage_overhead(), 0.125);
+        assert_eq!(setup(16, 16, 1).storage_overhead(), 0.5);
+        assert!(setup(16, 16, 1).is_mirroring());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn group_size_must_divide_nodes() {
+        let _ = setup(16, 16, 4); // chunk 5 does not divide 16
+    }
+
+    #[test]
+    fn every_page_is_data_or_parity_consistently() {
+        let pm = setup(8, 16, 3); // chunks of 4
+        let map = *pm.address_map();
+        let mut data = 0;
+        let mut parity = 0;
+        for node in NodeId::all(8) {
+            for page in map.pages_of(node) {
+                if pm.is_parity_page(page) {
+                    parity += 1;
+                    // Its data pages must all be non-parity and in distinct
+                    // nodes of the same chunk.
+                    let dps = pm.data_pages_of(page);
+                    assert_eq!(dps.len(), 3);
+                    for dp in &dps {
+                        assert!(!pm.is_parity_page(*dp));
+                        assert_eq!(pm.parity_page_of(*dp), page);
+                    }
+                    let mut nodes: Vec<usize> = dps
+                        .iter()
+                        .map(|p| map.home_of_page(*p).index())
+                        .collect();
+                    nodes.push(map.home_of_page(page).index());
+                    nodes.sort_unstable();
+                    nodes.dedup();
+                    assert_eq!(nodes.len(), 4, "group spans distinct nodes");
+                } else {
+                    data += 1;
+                }
+            }
+        }
+        // 1/4 of pages are parity.
+        assert_eq!(parity * 3, data);
+    }
+
+    #[test]
+    fn parity_is_distributed_evenly() {
+        let pm = setup(16, 64, 7);
+        let map = *pm.address_map();
+        for node in NodeId::all(16) {
+            let n_parity = map
+                .pages_of(node)
+                .filter(|&p| pm.is_parity_page(p))
+                .count();
+            assert_eq!(n_parity, 8, "each node holds 1/8 of its pages as parity");
+        }
+    }
+
+    #[test]
+    fn parity_line_shares_page_offset() {
+        let pm = setup(8, 16, 3);
+        let map = *pm.address_map();
+        // Find some data page and check line mapping.
+        let page = map
+            .pages_of(NodeId(1))
+            .find(|&p| !pm.is_parity_page(p))
+            .unwrap();
+        let line = LineAddr(page.first_line().0 + 5);
+        let pline = pm.parity_line_of(line);
+        assert_eq!(pline.index_in_page(), 5);
+        assert_eq!(pline.page(), pm.parity_page_of(page));
+    }
+
+    #[test]
+    fn mirroring_pairs_nodes() {
+        let pm = setup(4, 8, 1); // chunks of 2: (0,1), (2,3)
+        let map = *pm.address_map();
+        for page in map.pages_of(NodeId(0)) {
+            if !pm.is_parity_page(page) {
+                let mirror = pm.parity_page_of(page);
+                assert_eq!(map.home_of_page(mirror), NodeId(1));
+                assert_eq!(pm.data_pages_of(mirror), vec![page]);
+            }
+        }
+    }
+
+    #[test]
+    fn group_of_round_trips() {
+        let pm = setup(8, 16, 3);
+        let map = *pm.address_map();
+        let page = map
+            .pages_of(NodeId(2))
+            .find(|&p| !pm.is_parity_page(p))
+            .unwrap();
+        let g = pm.group_of(page);
+        assert!(g.data.contains(&page));
+        assert_eq!(pm.group_of(g.parity), g);
+    }
+
+    #[test]
+    fn groups_touching_covers_whole_node() {
+        let pm = setup(8, 16, 3);
+        let groups = pm.groups_touching(NodeId(3));
+        assert_eq!(groups.len(), 16); // one group per local page
+    }
+
+    #[test]
+    fn check_group_detects_violations() {
+        let pm = setup(4, 4, 1);
+        let map = *pm.address_map();
+        let page = map
+            .pages_of(NodeId(0))
+            .find(|&p| !pm.is_parity_page(p))
+            .unwrap();
+        // All-zero memory satisfies the invariant.
+        assert_eq!(pm.check_group(page, |_| LineData::ZERO), None);
+        // Corrupt one line.
+        let bad = LineAddr(page.first_line().0 + 3);
+        let violation = pm.check_group(page, |l| {
+            if l == bad {
+                LineData::fill(1)
+            } else {
+                LineData::ZERO
+            }
+        });
+        assert_eq!(violation, Some(3));
+    }
+
+    #[test]
+    fn mixed_layout_blends_modes() {
+        let map = AddressMap::new(8, 16 * PAGE_SIZE as u64);
+        let pm = ParityMap::mixed(map, 3, 4); // 4 mirrored stripes of 16
+        assert_eq!(pm.mirrored_stripes(), 4);
+        assert!(!pm.is_mirroring());
+        // Low stripes are mirrored: their groups have exactly one data page.
+        let low = map.global_page(NodeId(1), 0); // stripe 0, pos 1 (chunk 2) => data
+        assert!(pm.is_mirrored_page(low));
+        assert!(!pm.is_parity_page(low));
+        let mirror = pm.parity_page_of(low);
+        assert_eq!(pm.data_pages_of(mirror), vec![low]);
+        // High stripes use 3+1 parity.
+        let high = map.global_page(NodeId(1), 5);
+        assert!(!pm.is_mirrored_page(high));
+        if !pm.is_parity_page(high) {
+            assert_eq!(pm.data_pages_of(pm.parity_page_of(high)).len(), 3);
+        }
+        // Storage overhead interpolates between 1/2 and 1/4.
+        let expected = (4.0 / 2.0 + 12.0 / 4.0) / 16.0;
+        assert!((pm.storage_overhead() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mixed_zero_stripes_equals_plain_parity() {
+        let a = setup(8, 16, 3);
+        let map = AddressMap::new(8, 16 * PAGE_SIZE as u64);
+        let b = ParityMap::mixed(map, 3, 0);
+        for node in NodeId::all(8) {
+            for page in map.pages_of(node) {
+                assert_eq!(a.is_parity_page(page), b.is_parity_page(page));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the node's pages")]
+    fn mixed_stripe_bound_checked() {
+        let map = AddressMap::new(8, 4 * PAGE_SIZE as u64);
+        let _ = ParityMap::mixed(map, 3, 5);
+    }
+
+    #[test]
+    fn update_message_sizes() {
+        let u = ParityUpdate {
+            ack_to_line: Some(LineAddr(1)),
+            deltas: vec![(LineAddr(2), LineData::ZERO), (LineAddr(3), LineData::ZERO)],
+        };
+        assert_eq!(u.size_bytes(), 8 + 128);
+        assert_eq!(ParityAck { ack_to_line: LineAddr(1) }.size_bytes(), 8);
+    }
+}

@@ -1,0 +1,572 @@
+//! Rollback recovery (Section 3.2.4, Figure 7).
+//!
+//! When an error is detected the machine runs four phases:
+//!
+//! 1. **Hardware recovery** — diagnosis, reconfiguration, protocol reset
+//!    (outside the paper's scope; charged a fixed time, 50 ms on the real
+//!    machine, from the Hive/FLASH measurements the paper cites).
+//! 2. **Log reconstruction** — if a node's memory was lost, the pages
+//!    holding its log are rebuilt from distributed parity so its log can be
+//!    replayed.
+//! 3. **Rollback** — every node replays its local log in reverse, restoring
+//!    memory to the target checkpoint. Lost pages that receive restored data
+//!    are rebuilt on demand first. Caches and directories are reset by the
+//!    machine around this call. After this phase the machine is *available*
+//!    again.
+//! 4. **Background rebuild** — remaining lost pages and stale parity groups
+//!    are reconstructed while the application runs degraded.
+//!
+//! The engine operates on the *functional* memory images, so tests can
+//! verify value-exact restoration; phase timings come from an explicit
+//! bandwidth model ([`RecoveryTiming`]) because recovery runs outside the
+//! cycle-level simulation (the paper, likewise, reports recovery at
+//! millisecond granularity).
+
+use std::collections::HashSet;
+
+use revive_mem::addr::{AddressMap, LineAddr, PageAddr, LINES_PER_PAGE};
+use revive_mem::line::LineData;
+use revive_mem::main_memory::NodeMemory;
+use revive_sim::time::Ns;
+use revive_sim::types::NodeId;
+
+use crate::log::MemLog;
+use crate::parity::ParityMap;
+
+/// The bandwidth model for recovery timing.
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryTiming {
+    /// Phase 1: fixed hardware recovery time.
+    pub hw_recovery: Ns,
+    /// Cost to rebuild one 4 KB page from its parity group.
+    pub page_rebuild: Ns,
+    /// Cost to replay one log entry (read entry, write memory, update
+    /// parity).
+    pub entry_replay: Ns,
+    /// Processors participating in parallel reconstruction.
+    pub workers: usize,
+}
+
+impl RecoveryTiming {
+    /// Derives costs from the machine's parameters: rebuilding a page
+    /// fetches `G` remote pages (network-bound at ~3.2 bytes/ns plus DRAM
+    /// row-streaming) and writes one; replaying an entry is a couple of
+    /// local line accesses plus a parity update.
+    pub fn derive(group_data_pages: usize, workers: usize) -> RecoveryTiming {
+        assert!(workers > 0, "recovery needs at least one worker");
+        let page_bytes = 4096u64;
+        // Per remote page: network transfer + source DRAM streaming.
+        let per_remote = Ns((page_bytes as f64 / 3.2) as u64) + Ns(64 * 20);
+        let page_rebuild = per_remote * group_data_pages as u64 + Ns(64 * 20);
+        RecoveryTiming {
+            hw_recovery: Ns::from_ms(50),
+            page_rebuild,
+            entry_replay: Ns(3 * 60 + 46), // 3 line accesses + parity message
+            workers,
+        }
+    }
+}
+
+/// Everything recovery needs to see and mutate.
+pub struct RecoveryInput<'a> {
+    /// Functional memory of every node.
+    pub memories: &'a mut [NodeMemory],
+    /// Every node's log (bookkeeping; contents are read from the memories).
+    pub logs: &'a [&'a MemLog],
+    /// The parity layout.
+    pub parity: &'a ParityMap,
+    /// Roll back to the state at the establishment of this checkpoint
+    /// interval.
+    pub target_interval: u64,
+    /// The node whose memory was lost, if any.
+    pub lost: Option<NodeId>,
+}
+
+/// What recovery did and how long each phase took (Figures 7 and 12).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryReport {
+    /// Phase 1 duration (fixed hardware recovery).
+    pub phase1: Ns,
+    /// Phase 2 duration (log-page reconstruction).
+    pub phase2: Ns,
+    /// Phase 3 duration (rollback).
+    pub phase3: Ns,
+    /// Phase 4 duration (background rebuild; machine is available).
+    pub phase4: Ns,
+    /// Log pages rebuilt in Phase 2.
+    pub log_pages_rebuilt: u64,
+    /// Lost pages rebuilt on demand during rollback.
+    pub pages_rebuilt_on_demand: u64,
+    /// Log entries replayed.
+    pub entries_replayed: u64,
+    /// Pages reconstructed in the background (Phase 4).
+    pub pages_rebuilt_background: u64,
+}
+
+impl RecoveryReport {
+    /// Machine-unavailable time: Phases 1–3 (Phase 4 runs concurrently with
+    /// useful work).
+    pub fn unavailable(&self) -> Ns {
+        self.phase1 + self.phase2 + self.phase3
+    }
+}
+
+fn read_global(mems: &[NodeMemory], map: &AddressMap, line: LineAddr) -> LineData {
+    mems[map.home_of_line(line).index()].read_line(map.local_line_index(line))
+}
+
+fn write_global(mems: &mut [NodeMemory], map: &AddressMap, line: LineAddr, data: LineData) {
+    mems[map.home_of_line(line).index()].write_line(map.local_line_index(line), data);
+}
+
+/// Reconstructs `page` (data or parity) from the other members of its
+/// group, writing the result into its (blank) home memory.
+fn rebuild_page(mems: &mut [NodeMemory], parity: &ParityMap, page: PageAddr) {
+    let map = parity.address_map();
+    let group = parity.group_of(page);
+    let sources: Vec<PageAddr> = std::iter::once(group.parity)
+        .chain(group.data.iter().copied())
+        .filter(|&p| p != page)
+        .collect();
+    for offset in 0..LINES_PER_PAGE {
+        let mut acc = LineData::ZERO;
+        for src in &sources {
+            let line = LineAddr(src.first_line().0 + offset as u64);
+            acc ^= read_global(mems, map, line);
+        }
+        let dst = LineAddr(page.first_line().0 + offset as u64);
+        write_global(mems, map, dst, acc);
+    }
+}
+
+/// Recomputes a parity page from its (intact) data pages.
+fn recompute_parity(mems: &mut [NodeMemory], parity: &ParityMap, parity_page: PageAddr) {
+    let map = parity.address_map();
+    let data_pages = parity.data_pages_of(parity_page);
+    for offset in 0..LINES_PER_PAGE {
+        let mut acc = LineData::ZERO;
+        for dp in &data_pages {
+            acc ^= read_global(mems, map, LineAddr(dp.first_line().0 + offset as u64));
+        }
+        write_global(
+            mems,
+            map,
+            LineAddr(parity_page.first_line().0 + offset as u64),
+            acc,
+        );
+    }
+}
+
+/// Runs recovery (see module docs). The caller is responsible for wiping
+/// caches, resetting directories, and restarting the ReVive hooks for a
+/// fresh interval afterwards.
+///
+/// # Panics
+///
+/// Panics if the lost node's memory was not marked lost, or on internal
+/// inconsistencies (a parity group with two members on one node, etc.).
+pub fn recover(input: RecoveryInput<'_>, timing: &RecoveryTiming) -> RecoveryReport {
+    let RecoveryInput {
+        memories,
+        logs,
+        parity,
+        target_interval,
+        lost,
+    } = input;
+    let map = *parity.address_map();
+    let mut report = RecoveryReport {
+        phase1: timing.hw_recovery,
+        ..RecoveryReport::default()
+    };
+    let mut rebuilt: HashSet<PageAddr> = HashSet::new();
+    // Parity groups whose parity page could not be maintained during replay
+    // (it was lost) and must be recomputed in Phase 4.
+    let mut stale_parity: HashSet<PageAddr> = HashSet::new();
+
+    // ---- Phase 2: reconstruct the lost node's log pages. ----
+    if let Some(l) = lost {
+        assert!(
+            memories[l.index()].is_lost(),
+            "lost node {l} memory was not destroyed"
+        );
+        memories[l.index()].reconstruct_blank();
+        let log_pages: HashSet<PageAddr> = logs[l.index()]
+            .slot_lines()
+            .iter()
+            .map(|s| s.page())
+            .collect();
+        for page in log_pages {
+            rebuild_page(memories, parity, page);
+            rebuilt.insert(page);
+            report.log_pages_rebuilt += 1;
+        }
+    }
+    report.phase2 = timing.page_rebuild
+        * report.log_pages_rebuilt.div_ceil(timing.workers as u64);
+
+    // ---- Phase 3: replay every node's log in reverse. ----
+    let mut max_node_time = Ns::ZERO;
+    for (n, log) in logs.iter().enumerate() {
+        let node = NodeId::from(n);
+        let entries = log.rollback_entries(target_interval, |l| {
+            read_global(memories, &map, l)
+        });
+        let mut node_time = Ns::ZERO;
+        for e in entries {
+            debug_assert_eq!(
+                map.home_of_line(e.line),
+                node,
+                "log entries restore lines homed on their own node"
+            );
+            let page = e.line.page();
+            if lost == Some(node) && !rebuilt.contains(&page) {
+                // Rebuild on demand: the rest of the page holds unmodified
+                // checkpoint data that only parity can supply.
+                rebuild_page(memories, parity, page);
+                rebuilt.insert(page);
+                report.pages_rebuilt_on_demand += 1;
+                node_time += timing.page_rebuild;
+            }
+            let old = read_global(memories, &map, e.line);
+            write_global(memories, &map.clone(), e.line, e.data);
+            // Maintain parity across the restore write, exactly as the
+            // hardware would; skip (and mark stale) when the parity page
+            // died with the lost node.
+            let ppage = parity.parity_page_of(page);
+            if lost == Some(map.home_of_page(ppage)) && !rebuilt.contains(&ppage) {
+                stale_parity.insert(ppage);
+            } else {
+                let pline = parity.parity_line_of(e.line);
+                let delta = old ^ e.data;
+                let cur = read_global(memories, &map, pline);
+                write_global(memories, &map.clone(), pline, cur ^ delta);
+            }
+            report.entries_replayed += 1;
+            node_time += timing.entry_replay;
+        }
+        max_node_time = max_node_time.max(node_time);
+    }
+    report.phase3 = max_node_time;
+
+    // ---- Phase 4: background reconstruction of everything still missing. ----
+    if let Some(l) = lost {
+        for page in map.pages_of(l) {
+            if rebuilt.contains(&page) {
+                continue;
+            }
+            if parity.is_parity_page(page) {
+                recompute_parity(memories, parity, page);
+            } else {
+                rebuild_page(memories, parity, page);
+            }
+            rebuilt.insert(page);
+            stale_parity.remove(&page);
+            report.pages_rebuilt_background += 1;
+        }
+    }
+    for ppage in stale_parity {
+        recompute_parity(memories, parity, ppage);
+        report.pages_rebuilt_background += 1;
+    }
+    let bg_workers = (timing.workers / 2).max(1) as u64;
+    report.phase4 =
+        timing.page_rebuild * report.pages_rebuilt_background.div_ceil(bg_workers);
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use revive_coherence::port::MemPort;
+    use revive_mem::addr::PAGE_SIZE;
+
+    /// A tiny machine: 4 nodes × 4 pages, 3+1 parity, log in each node's
+    /// last data page.
+    struct World {
+        memories: Vec<NodeMemory>,
+        logs: Vec<MemLog>,
+        parity: ParityMap,
+    }
+
+    /// MemPort view over one node's memory for feeding the log.
+    struct NodePort<'a> {
+        mem: &'a mut NodeMemory,
+        map: AddressMap,
+    }
+
+    impl MemPort for NodePort<'_> {
+        fn read(&mut self, line: LineAddr) -> LineData {
+            self.mem.read_line(self.map.local_line_index(line))
+        }
+        fn write(&mut self, line: LineAddr, data: LineData) {
+            self.mem.write_line(self.map.local_line_index(line), data);
+        }
+    }
+
+    impl World {
+        fn new() -> World {
+            let map = AddressMap::new(4, 4 * PAGE_SIZE as u64);
+            let parity = ParityMap::new(map, 3);
+            let memories: Vec<NodeMemory> = (0..4)
+                .map(|_| NodeMemory::new(4 * PAGE_SIZE))
+                .collect();
+            let logs: Vec<MemLog> = (0..4)
+                .map(|n| {
+                    let node = NodeId::from(n);
+                    // Pick the node's highest-stripe data page for the log.
+                    let page = (0..4u64)
+                        .rev()
+                        .map(|s| map.global_page(node, s))
+                        .find(|&p| !parity.is_parity_page(p))
+                        .unwrap();
+                    MemLog::new(node, page.lines().collect())
+                })
+                .collect();
+            World {
+                memories,
+                logs,
+                parity,
+            }
+        }
+
+        fn map(&self) -> AddressMap {
+            *self.parity.address_map()
+        }
+
+        /// A writable data line on `node` outside its log and parity pages.
+        fn app_line(&self, node: u16) -> LineAddr {
+            let map = self.map();
+            let log_pages: HashSet<PageAddr> = self.logs[node as usize]
+                .slot_lines()
+                .iter()
+                .map(|l| l.page())
+                .collect();
+            let page = map
+                .pages_of(NodeId(node))
+                .find(|&p| !self.parity.is_parity_page(p) && !log_pages.contains(&p))
+                .unwrap();
+            LineAddr(page.first_line().0 + 7)
+        }
+
+        /// Simulates the hardware write path: log the old value, write the
+        /// new one, update both parities (data + log lines).
+        fn logged_write(&mut self, interval: u64, line: LineAddr, new: LineData) {
+            let map = self.map();
+            let node = map.home_of_line(line);
+            let old =
+                self.memories[node.index()].read_line(map.local_line_index(line));
+            let deltas = {
+                let mut port = NodePort {
+                    mem: &mut self.memories[node.index()],
+                    map,
+                };
+                self.logs[node.index()].append(interval, line, old, true, &mut port)
+            };
+            // Apply log parity.
+            for (slot, delta) in deltas {
+                let pl = self.parity.parity_line_of(slot);
+                let cur = read_global(&self.memories, &map, pl);
+                write_global(&mut self.memories, &map, pl, cur ^ delta);
+            }
+            // Write data + its parity.
+            write_global(&mut self.memories, &map, line, new);
+            let pl = self.parity.parity_line_of(line);
+            let cur = read_global(&self.memories, &map, pl);
+            write_global(&mut self.memories, &map, pl, cur ^ (old ^ new));
+        }
+
+        fn check_all_parity(&self) {
+            let map = self.map();
+            for node in NodeId::all(4) {
+                for page in map.pages_of(node) {
+                    if self.parity.is_parity_page(page) {
+                        continue;
+                    }
+                    let v = self
+                        .parity
+                        .check_group(page, |l| read_global(&self.memories, &map, l));
+                    assert_eq!(v, None, "parity violated in group of {page}");
+                }
+            }
+        }
+
+        fn snapshot(&self) -> Vec<Vec<u8>> {
+            self.memories.iter().map(NodeMemory::snapshot).collect()
+        }
+
+        fn timing(&self) -> RecoveryTiming {
+            RecoveryTiming::derive(3, 3)
+        }
+    }
+
+    #[test]
+    fn rollback_restores_exact_checkpoint_no_loss() {
+        let mut w = World::new();
+        let line = w.app_line(1);
+        w.logged_write(0, line, LineData::fill(1));
+        // Checkpoint 1 established here — snapshot is the reference.
+        let reference = w.snapshot();
+        // Interval 1 modifications.
+        let line2 = w.app_line(2);
+        w.logged_write(1, line, LineData::fill(2));
+        w.logged_write(1, line2, LineData::fill(3));
+        w.check_all_parity();
+        // Roll back to checkpoint 1.
+        let timing = w.timing();
+        let report = recover(
+            RecoveryInput {
+                memories: &mut w.memories,
+                logs: &w.logs.iter().collect::<Vec<_>>(),
+                parity: &w.parity,
+                target_interval: 1,
+                lost: None,
+            },
+            &timing,
+        );
+        assert_eq!(report.entries_replayed, 2);
+        assert_eq!(report.phase2, Ns::ZERO);
+        let map = w.map();
+        // Restored values match the checkpoint exactly.
+        assert_eq!(
+            read_global(&w.memories, &map, line),
+            LineData::fill(1)
+        );
+        assert_eq!(read_global(&w.memories, &map, line2), LineData::ZERO);
+        // Full-memory comparison: every non-log page equals the reference.
+        // (Log pages accumulated interval-1 records; they are reclaimed by
+        // the next interval, not rolled back.)
+        let log_pages: HashSet<PageAddr> = w
+            .logs
+            .iter()
+            .flat_map(|l| l.slot_lines().iter().map(|s| s.page()))
+            .collect();
+        #[allow(clippy::needless_range_loop)] // node names both memories and reference
+        for node in 0..4usize {
+            for page in map.pages_of(NodeId::from(node)) {
+                if log_pages.contains(&page) || w.parity.is_parity_page(page) {
+                    continue;
+                }
+                for l in page.lines() {
+                    let got = read_global(&w.memories, &map, l);
+                    let want_off = (map.local_line_index(l) * 64) as usize;
+                    let want: [u8; 64] = reference[node][want_off..want_off + 64]
+                        .try_into()
+                        .unwrap();
+                    assert_eq!(got, LineData::from(want), "line {l}");
+                }
+            }
+        }
+        w.check_all_parity();
+    }
+
+    #[test]
+    fn node_loss_recovery_restores_checkpoint_and_parity() {
+        let mut w = World::new();
+        let lines: Vec<LineAddr> = (0..4).map(|n| w.app_line(n)).collect();
+        for (i, &l) in lines.iter().enumerate() {
+            w.logged_write(0, l, LineData::fill(0x10 + i as u8));
+        }
+        let reference = w.snapshot();
+        // Interval 1 writes on every node.
+        for (i, &l) in lines.iter().enumerate() {
+            w.logged_write(1, l, LineData::fill(0x20 + i as u8));
+        }
+        w.check_all_parity();
+        // Node 2 dies.
+        w.memories[2].destroy();
+        let timing = w.timing();
+        let report = recover(
+            RecoveryInput {
+                memories: &mut w.memories,
+                logs: &w.logs.iter().collect::<Vec<_>>(),
+                parity: &w.parity,
+                target_interval: 1,
+                lost: Some(NodeId(2)),
+            },
+            &timing,
+        );
+        assert!(report.log_pages_rebuilt > 0);
+        assert_eq!(report.entries_replayed, 4);
+        assert!(report.unavailable() > report.phase1);
+        let map = w.map();
+        // Every node, including the lost one, is back at the checkpoint.
+        for (i, &l) in lines.iter().enumerate() {
+            assert_eq!(
+                read_global(&w.memories, &map, l),
+                LineData::fill(0x10 + i as u8),
+                "line {l}"
+            );
+        }
+        // Full lost-node reconstruction: compare non-log pages byte-exact.
+        let log_pages: HashSet<PageAddr> = w.logs[2]
+            .slot_lines()
+            .iter()
+            .map(|s| s.page())
+            .collect();
+        for page in map.pages_of(NodeId(2)) {
+            if log_pages.contains(&page) || w.parity.is_parity_page(page) {
+                continue;
+            }
+            for l in page.lines() {
+                let got = read_global(&w.memories, &map, l);
+                let off = (map.local_line_index(l) * 64) as usize;
+                let want: [u8; 64] = reference[2][off..off + 64].try_into().unwrap();
+                assert_eq!(got, LineData::from(want), "lost-node line {l}");
+            }
+        }
+        // Phase 4 restored the global parity invariant.
+        w.check_all_parity();
+    }
+
+    #[test]
+    fn losing_the_parity_home_still_recovers() {
+        let mut w = World::new();
+        let map = w.map();
+        let line = w.app_line(0);
+        // Find the node holding this line's parity and kill that one.
+        let pnode = map.home_of_page(w.parity.parity_page_of(line.page()));
+        assert_ne!(pnode, NodeId(0));
+        w.logged_write(0, line, LineData::fill(0xAA));
+        w.logged_write(1, line, LineData::fill(0xBB));
+        w.memories[pnode.index()].destroy();
+        recover(
+            RecoveryInput {
+                memories: &mut w.memories,
+                logs: &w.logs.iter().collect::<Vec<_>>(),
+                parity: &w.parity,
+                target_interval: 1,
+                lost: Some(pnode),
+            },
+            &RecoveryTiming::derive(3, 3),
+        );
+        assert_eq!(
+            read_global(&w.memories, &map, line),
+            LineData::fill(0xAA)
+        );
+        w.check_all_parity();
+    }
+
+    #[test]
+    fn timing_model_scales() {
+        let t = RecoveryTiming::derive(7, 15);
+        assert!(t.page_rebuild > Ns::ZERO);
+        assert!(t.entry_replay > Ns::ZERO);
+        assert_eq!(t.hw_recovery, Ns::from_ms(50));
+        // More data pages per group → slower rebuilds.
+        let t2 = RecoveryTiming::derive(1, 15);
+        assert!(t2.page_rebuild < t.page_rebuild);
+    }
+
+    #[test]
+    fn report_unavailable_excludes_phase4() {
+        let r = RecoveryReport {
+            phase1: Ns(10),
+            phase2: Ns(20),
+            phase3: Ns(30),
+            phase4: Ns(1000),
+            ..RecoveryReport::default()
+        };
+        assert_eq!(r.unavailable(), Ns(60));
+    }
+}

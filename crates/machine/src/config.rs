@@ -1,0 +1,377 @@
+//! Machine and experiment configuration.
+
+use revive_core::checkpoint::CheckpointConfig;
+use revive_mem::cache::CacheConfig;
+use revive_mem::dram::DramConfig;
+use revive_net::fabric::FabricConfig;
+use revive_sim::time::Ns;
+use revive_workloads::{AppId, Scale, SyntheticKind, Workload};
+
+/// Errors surfaced while assembling or running a machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// The workload touched more pages than the machine's allocatable
+    /// memory holds.
+    OutOfMemory {
+        /// Pages the allocator could not satisfy.
+        needed: u64,
+    },
+    /// The configuration is internally inconsistent.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::OutOfMemory { needed } => {
+                write!(f, "out of allocatable memory ({needed} pages short)")
+            }
+            MachineError::BadConfig(why) => write!(f, "bad configuration: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Hardware parameters of the simulated machine (Table 3 of the paper).
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Node count; must be a perfect square (2-D torus) and a multiple of
+    /// the parity chunk when ReVive runs with parity.
+    pub nodes: usize,
+    /// Local memory per node, in bytes (whole pages).
+    pub mem_per_node: u64,
+    /// L1 geometry.
+    pub l1: CacheConfig,
+    /// L2 geometry.
+    pub l2: CacheConfig,
+    /// Outstanding-miss capacity per node.
+    pub mshrs: usize,
+    /// DRAM timing.
+    pub dram: DramConfig,
+    /// Interconnect timing.
+    pub fabric: FabricConfig,
+    /// Directory-controller pipeline occupancy per transaction (21 ns).
+    pub dir_latency: Ns,
+    /// L1 hit latency (2 ns).
+    pub l1_hit: Ns,
+    /// L2 hit latency (12 ns).
+    pub l2_hit: Ns,
+    /// Store-buffer entries per CPU (16).
+    pub store_buffer: usize,
+    /// Delay before retrying a nacked request.
+    pub nack_retry_delay: Ns,
+    /// Delay before retrying when MSHRs are exhausted.
+    pub mshr_retry_delay: Ns,
+    /// Maximum inline CPU execution per scheduling quantum; invalidations
+    /// and fills are applied at quantum granularity (DESIGN.md §2).
+    pub cpu_quantum: Ns,
+    /// Outstanding checkpoint-flush write-backs per CPU.
+    pub flush_outstanding: usize,
+}
+
+impl MachineConfig {
+    /// The paper's Table 3 machine: 16 nodes, 16 KB L1 / 128 KB L2.
+    pub fn paper() -> MachineConfig {
+        MachineConfig {
+            nodes: 16,
+            mem_per_node: 8 * 1024 * 1024,
+            l1: CacheConfig::l1_paper(),
+            l2: CacheConfig::l2_paper(),
+            mshrs: 8,
+            dram: DramConfig::default(),
+            fabric: FabricConfig::default(),
+            dir_latency: Ns(21),
+            l1_hit: Ns(2),
+            l2_hit: Ns(12),
+            store_buffer: 16,
+            nack_retry_delay: Ns(120),
+            mshr_retry_delay: Ns(40),
+            cpu_quantum: Ns(400),
+            flush_outstanding: 4,
+        }
+    }
+
+    /// The default *experiment* machine: the paper's topology and timing
+    /// with caches scaled 8× down (4 KB / 16 KB) so runs of a few simulated
+    /// milliseconds exercise several checkpoints — the same
+    /// scale-caches-and-checkpoint-more-often methodology the paper itself
+    /// applies in Section 5 (2 MB→128 KB, 100 ms→10 ms).
+    pub fn scaled() -> MachineConfig {
+        MachineConfig {
+            mem_per_node: 4 * 1024 * 1024,
+            l1: CacheConfig {
+                size_bytes: 4 * 1024,
+                ways: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 16 * 1024,
+                ways: 4,
+            },
+            ..MachineConfig::paper()
+        }
+    }
+
+    /// A tiny 4-node machine for tests.
+    pub fn test_small() -> MachineConfig {
+        MachineConfig {
+            nodes: 4,
+            mem_per_node: 1024 * 1024,
+            l1: CacheConfig {
+                size_bytes: 1024,
+                ways: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 4 * 1024,
+                ways: 4,
+            },
+            ..MachineConfig::paper()
+        }
+    }
+
+    /// The workload scale implied by this machine's L2.
+    pub fn scale(&self) -> Scale {
+        Scale {
+            l2_bytes: self.l2.size_bytes as u64,
+        }
+    }
+}
+
+/// Which recovery mechanism the machine runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReviveMode {
+    /// Baseline: no recovery support (the comparison system of Section 6.1).
+    Off,
+    /// N+1 distributed parity with `group_data_pages` data pages per group
+    /// (the paper's default is 7).
+    Parity {
+        /// Data pages per parity group.
+        group_data_pages: usize,
+    },
+    /// Memory mirroring (the degenerate 1+1 group).
+    Mirroring,
+    /// The paper's Section 8 extension: the hottest fraction of each node's
+    /// pages is mirrored (fast updates), the rest uses N+1 parity (cheap
+    /// storage). First-touch allocation fills the mirrored region first.
+    Mixed {
+        /// Data pages per group in the parity region.
+        group_data_pages: usize,
+        /// Fraction of each node's stripes protected by mirroring.
+        mirrored_fraction: f64,
+    },
+}
+
+impl ReviveMode {
+    /// The parity group's data-page count, when ReVive is on.
+    pub fn group_data_pages(self) -> Option<usize> {
+        match self {
+            ReviveMode::Off => None,
+            ReviveMode::Parity { group_data_pages }
+            | ReviveMode::Mixed {
+                group_data_pages, ..
+            } => Some(group_data_pages),
+            ReviveMode::Mirroring => Some(1),
+        }
+    }
+
+    /// The fraction of stripes to mirror (0 except for the mixed mode).
+    pub fn mirrored_fraction(self) -> f64 {
+        match self {
+            ReviveMode::Mixed {
+                mirrored_fraction, ..
+            } => mirrored_fraction,
+            _ => 0.0,
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReviveMode::Off => "baseline",
+            ReviveMode::Parity { .. } => "parity",
+            ReviveMode::Mirroring => "mirroring",
+            ReviveMode::Mixed { .. } => "mixed",
+        }
+    }
+}
+
+/// ReVive-side configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ReviveConfig {
+    /// The recovery mechanism.
+    pub mode: ReviveMode,
+    /// Checkpointing parameters; `interval: Ns::MAX` models the paper's
+    /// infinite-interval configurations (CpInf / CpInfM).
+    pub ckpt: CheckpointConfig,
+    /// Log capacity as a fraction of each node's allocatable pages.
+    pub log_fraction: f64,
+    /// When set, L bits live in a directory cache of this many entries
+    /// (Section 4.1.2) instead of a full per-line array.
+    pub lbit_dir_cache: Option<usize>,
+}
+
+impl ReviveConfig {
+    /// Baseline: everything off.
+    pub fn off() -> ReviveConfig {
+        ReviveConfig {
+            mode: ReviveMode::Off,
+            ckpt: CheckpointConfig::default(),
+            log_fraction: 0.0,
+            lbit_dir_cache: None,
+        }
+    }
+
+    /// The paper's main configuration: 7+1 parity, checkpointing at
+    /// `interval`.
+    pub fn parity(interval: Ns) -> ReviveConfig {
+        ReviveConfig {
+            mode: ReviveMode::Parity {
+                group_data_pages: 7,
+            },
+            ckpt: CheckpointConfig {
+                interval,
+                ..CheckpointConfig::default()
+            },
+            log_fraction: 0.15,
+            lbit_dir_cache: None,
+        }
+    }
+
+    /// Mirroring at the given checkpoint interval.
+    pub fn mirroring(interval: Ns) -> ReviveConfig {
+        ReviveConfig {
+            mode: ReviveMode::Mirroring,
+            ..ReviveConfig::parity(interval)
+        }
+    }
+}
+
+/// Which workload drives the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadSpec {
+    /// One of the 12 SPLASH-2 models.
+    Splash(AppId),
+    /// A synthetic corner.
+    Synthetic(SyntheticKind),
+}
+
+impl WorkloadSpec {
+    /// The workload's short name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadSpec::Splash(a) => a.name(),
+            WorkloadSpec::Synthetic(s) => s.name(),
+        }
+    }
+
+    /// Builds the generator.
+    pub fn build(self, cpus: usize, scale: Scale, seed: u64) -> Box<dyn Workload> {
+        match self {
+            WorkloadSpec::Splash(a) => Box::new(a.build(cpus, scale, seed)),
+            WorkloadSpec::Synthetic(s) => Box::new(s.build(cpus, scale, seed)),
+        }
+    }
+}
+
+/// A complete experiment: machine + recovery config + workload + budget.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Hardware parameters.
+    pub machine: MachineConfig,
+    /// Recovery mechanism parameters.
+    pub revive: ReviveConfig,
+    /// The driving workload.
+    pub workload: WorkloadSpec,
+    /// Memory operations each CPU issues before the run completes.
+    pub ops_per_cpu: u64,
+    /// Root seed; fixes the workload streams bit-for-bit.
+    pub seed: u64,
+    /// Capture a memory snapshot at each checkpoint commit so recovery can
+    /// be verified value-exactly (testing/validation only).
+    pub shadow_checkpoints: bool,
+}
+
+impl ExperimentConfig {
+    /// A small, fast test experiment on a 4-node machine (3+1 parity, since
+    /// the chunk must divide the node count). The tiny caches overflow the
+    /// log quickly, so extra checkpoints trigger early; retaining four
+    /// checkpoints keeps the detection-latency window recoverable
+    /// (Section 3.2.3: "for larger error detection latencies we can keep
+    /// sufficient logs").
+    pub fn test_small(app: AppId) -> ExperimentConfig {
+        let mut revive = ReviveConfig {
+            mode: ReviveMode::Parity {
+                group_data_pages: 3,
+            },
+            log_fraction: 0.3,
+            ..ReviveConfig::parity(Ns::from_us(100))
+        };
+        revive.ckpt.retained = 6;
+        ExperimentConfig {
+            machine: MachineConfig::test_small(),
+            revive,
+            workload: WorkloadSpec::Splash(app),
+            ops_per_cpu: 60_000,
+            seed: 42,
+            shadow_checkpoints: true,
+        }
+    }
+
+    /// The default experiment scale used by the benchmark harness: long
+    /// enough to span several checkpoint intervals at the scaled cadence
+    /// (see EXPERIMENTS.md for the scaling argument).
+    pub fn experiment(workload: WorkloadSpec, revive: ReviveConfig) -> ExperimentConfig {
+        ExperimentConfig {
+            machine: MachineConfig::scaled(),
+            revive,
+            workload,
+            ops_per_cpu: 1_200_000,
+            seed: 20_02,
+            shadow_checkpoints: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machine_matches_table3() {
+        let m = MachineConfig::paper();
+        assert_eq!(m.nodes, 16);
+        assert_eq!(m.l1.size_bytes, 16 * 1024);
+        assert_eq!(m.l2.size_bytes, 128 * 1024);
+        assert_eq!(m.dir_latency, Ns(21));
+        assert_eq!(m.l1_hit, Ns(2));
+        assert_eq!(m.l2_hit, Ns(12));
+    }
+
+    #[test]
+    fn revive_modes() {
+        assert_eq!(ReviveMode::Off.group_data_pages(), None);
+        assert_eq!(
+            ReviveMode::Parity {
+                group_data_pages: 7
+            }
+            .group_data_pages(),
+            Some(7)
+        );
+        assert_eq!(ReviveMode::Mirroring.group_data_pages(), Some(1));
+    }
+
+    #[test]
+    fn workload_spec_builds() {
+        let w = WorkloadSpec::Splash(AppId::Lu).build(2, Scale { l2_bytes: 4096 }, 1);
+        assert_eq!(w.name(), "lu");
+        let s =
+            WorkloadSpec::Synthetic(SyntheticKind::Uniform).build(2, Scale { l2_bytes: 4096 }, 1);
+        assert_eq!(s.name(), "uniform");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MachineError::OutOfMemory { needed: 3 };
+        assert!(e.to_string().contains("3 pages"));
+    }
+}

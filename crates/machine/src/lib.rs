@@ -1,0 +1,43 @@
+//! Machine assembly for the ReVive reproduction.
+//!
+//! This crate wires the substrates — the event kernel (`revive-sim`), torus
+//! (`revive-net`), caches/DRAM/memory (`revive-mem`), directory coherence
+//! (`revive-coherence`), and the ReVive mechanisms (`revive-core`) — into a
+//! runnable CC-NUMA machine, and provides the experiment drivers the
+//! benchmark harness and examples build on.
+//!
+//! * [`config`] — Table 3 machine parameters, ReVive modes, experiment
+//!   specifications.
+//! * [`system`] — the assembled machine and its discrete-event loop.
+//! * [`runner`] — plain runs, error injection, recovery, and value-exact
+//!   verification against shadow checkpoints.
+//! * [`metrics`] — the Figure 9/10 traffic classes and derived summaries.
+//! * [`page_table`] — first-touch page placement.
+//!
+//! # Example
+//!
+//! ```
+//! use revive_machine::{ExperimentConfig, Runner};
+//! use revive_workloads::AppId;
+//!
+//! # fn main() -> Result<(), revive_machine::MachineError> {
+//! let cfg = ExperimentConfig::test_small(AppId::Lu);
+//! let result = Runner::new(cfg)?.run()?;
+//! assert!(result.metrics.traffic.cpu_ops > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod metrics;
+pub mod page_table;
+pub mod runner;
+pub mod system;
+
+pub use config::{
+    ExperimentConfig, MachineConfig, MachineError, ReviveConfig, ReviveMode, WorkloadSpec,
+};
+pub use metrics::{Metrics, Summary, TrafficClass};
+pub use page_table::PageTable;
+pub use runner::{ErrorKind, InjectionPlan, RecoveryOutcome, RunResult, Runner};
+pub use system::System;

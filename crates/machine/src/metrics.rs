@@ -1,0 +1,203 @@
+//! Traffic and execution metrics.
+//!
+//! The paper's Figures 9 and 10 break network and memory traffic into five
+//! classes; [`TrafficClass`] mirrors them exactly. [`Metrics`] accumulates
+//! the raw counters during a run; [`Summary`] is the derived, reportable
+//! view attached to a `RunResult`.
+
+use revive_core::dirext::CostStats;
+use revive_sim::time::Ns;
+
+/// The paper's traffic classes (Figures 9 and 10).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// Supplying data on cache misses (requests, fills, invalidations,
+    /// fetches and their acks).
+    RdRdx,
+    /// Write-backs of dirty lines during regular execution.
+    ExeWb,
+    /// Write-backs forced by checkpoint establishment.
+    CkpWb,
+    /// Writing data to the logs.
+    Log,
+    /// Parity updates (for both data and logs).
+    Par,
+}
+
+impl TrafficClass {
+    /// All classes, in the paper's stacking order.
+    pub const ALL: [TrafficClass; 5] = [
+        TrafficClass::RdRdx,
+        TrafficClass::ExeWb,
+        TrafficClass::CkpWb,
+        TrafficClass::Log,
+        TrafficClass::Par,
+    ];
+
+    /// Dense index for counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            TrafficClass::RdRdx => 0,
+            TrafficClass::ExeWb => 1,
+            TrafficClass::CkpWb => 2,
+            TrafficClass::Log => 3,
+            TrafficClass::Par => 4,
+        }
+    }
+
+    /// The paper's label.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrafficClass::RdRdx => "RD/RDX",
+            TrafficClass::ExeWb => "Exe WB",
+            TrafficClass::CkpWb => "Ckp WB",
+            TrafficClass::Log => "LOG",
+            TrafficClass::Par => "PAR",
+        }
+    }
+}
+
+/// Raw counters accumulated during a run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Network bytes per class.
+    pub net_bytes: [u64; 5],
+    /// Network messages per class.
+    pub net_msgs: [u64; 5],
+    /// Memory (DRAM line) accesses per class.
+    pub mem_accesses: [u64; 5],
+    /// Instructions represented by the issued ops.
+    pub instructions: u64,
+    /// Memory operations issued by CPUs.
+    pub cpu_ops: u64,
+}
+
+impl Metrics {
+    /// Records one network message.
+    pub fn net(&mut self, class: TrafficClass, bytes: u32) {
+        self.net_bytes[class.index()] += bytes as u64;
+        self.net_msgs[class.index()] += 1;
+    }
+
+    /// Records one DRAM line access.
+    pub fn mem(&mut self, class: TrafficClass) {
+        self.mem_accesses[class.index()] += 1;
+    }
+
+    /// Total network bytes across classes.
+    pub fn net_bytes_total(&self) -> u64 {
+        self.net_bytes.iter().sum()
+    }
+
+    /// Total memory accesses across classes.
+    pub fn mem_accesses_total(&self) -> u64 {
+        self.mem_accesses.iter().sum()
+    }
+}
+
+/// The derived, reportable metrics of one run.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    /// Raw traffic counters.
+    pub traffic: Metrics,
+    /// Aggregate L1 hits across CPUs.
+    pub l1_hits: u64,
+    /// Aggregate L1 misses.
+    pub l1_misses: u64,
+    /// Aggregate L2 hits (of L1 misses).
+    pub l2_hits: u64,
+    /// Aggregate L2 misses.
+    pub l2_misses: u64,
+    /// Dirty write-backs from evictions.
+    pub eviction_writebacks: u64,
+    /// Nack retries.
+    pub nack_retries: u64,
+    /// Per-node log high-water marks in bytes (ReVive runs only).
+    pub log_high_water: Vec<u64>,
+    /// Aggregate Table 1 event accounting (ReVive runs only).
+    pub costs: CostStats,
+    /// Aggregate DRAM row-hit rate.
+    pub dram_row_hit_rate: f64,
+    /// Mean end-to-end network message latency.
+    pub mean_net_latency: Ns,
+}
+
+impl Summary {
+    /// Global L2 miss rate over all CPU memory accesses (Table 4's metric).
+    pub fn l2_miss_rate(&self) -> f64 {
+        let total = self.l1_hits + self.l1_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / total as f64
+        }
+    }
+
+    /// L2 misses per 1000 instructions (the commercial-workload comparison
+    /// of Section 5).
+    pub fn misses_per_kilo_instruction(&self) -> f64 {
+        if self.traffic.instructions == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 * 1000.0 / self.traffic.instructions as f64
+        }
+    }
+
+    /// The largest per-node log high-water mark (Figure 11's metric).
+    pub fn max_log_bytes(&self) -> u64 {
+        self.log_high_water.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_indices_are_dense_and_unique() {
+        let mut seen = [false; 5];
+        for c in TrafficClass::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+            assert!(!c.name().is_empty());
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut m = Metrics::default();
+        m.net(TrafficClass::RdRdx, 72);
+        m.net(TrafficClass::Par, 8);
+        m.mem(TrafficClass::Log);
+        assert_eq!(m.net_bytes_total(), 80);
+        assert_eq!(m.net_msgs[TrafficClass::RdRdx.index()], 1);
+        assert_eq!(m.mem_accesses_total(), 1);
+    }
+
+    #[test]
+    fn summary_rates() {
+        let s = Summary {
+            l1_hits: 900,
+            l1_misses: 100,
+            l2_hits: 80,
+            l2_misses: 20,
+            traffic: Metrics {
+                instructions: 10_000,
+                ..Metrics::default()
+            },
+            log_high_water: vec![100, 300, 200],
+            ..Summary::default()
+        };
+        assert!((s.l2_miss_rate() - 0.02).abs() < 1e-12);
+        assert!((s.misses_per_kilo_instruction() - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_log_bytes(), 300);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Summary::default();
+        assert_eq!(s.l2_miss_rate(), 0.0);
+        assert_eq!(s.max_log_bytes(), 0);
+    }
+}

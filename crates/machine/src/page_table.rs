@@ -1,0 +1,170 @@
+//! First-touch page placement.
+//!
+//! "The data are allocated on the nodes of the machine according to the
+//! first-touch policy" (Section 5): a virtual page is placed in the memory
+//! of the first node that touches it, falling back to the globally
+//! least-loaded node when the toucher's memory is full. Pages reserved for
+//! parity and for the logs are never handed to applications.
+
+use std::collections::HashMap;
+
+use revive_mem::addr::{Addr, AddressMap, PageAddr, PAGE_SIZE};
+use revive_sim::types::NodeId;
+
+use crate::config::MachineError;
+
+/// The machine-wide page table / physical allocator.
+#[derive(Debug)]
+pub struct PageTable {
+    map: AddressMap,
+    table: HashMap<u64, PageAddr>,
+    free: Vec<Vec<PageAddr>>,
+    allocated: Vec<PageAddr>,
+}
+
+impl PageTable {
+    /// Creates a table whose free pool is every page for which
+    /// `allocatable` returns true (the machine excludes parity and log
+    /// pages).
+    pub fn new<F>(map: AddressMap, mut allocatable: F) -> PageTable
+    where
+        F: FnMut(PageAddr) -> bool,
+    {
+        let free = (0..map.nodes())
+            .map(|n| {
+                let mut pages: Vec<PageAddr> = map
+                    .pages_of(NodeId::from(n))
+                    .filter(|&p| allocatable(p))
+                    .collect();
+                pages.reverse(); // pop() hands out low pages first
+                pages
+            })
+            .collect();
+        PageTable {
+            map,
+            table: HashMap::new(),
+            free,
+            allocated: Vec::new(),
+        }
+    }
+
+    /// Translates a virtual address touched by `toucher`, allocating the
+    /// page on first touch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::OutOfMemory`] when no node has free pages.
+    pub fn translate(&mut self, vaddr: u64, toucher: NodeId) -> Result<Addr, MachineError> {
+        let vpage = vaddr / PAGE_SIZE as u64;
+        let page = match self.table.get(&vpage) {
+            Some(&p) => p,
+            None => {
+                let p = self.allocate(toucher)?;
+                self.table.insert(vpage, p);
+                p
+            }
+        };
+        Ok(Addr(page.base().0 + vaddr % PAGE_SIZE as u64))
+    }
+
+    fn allocate(&mut self, toucher: NodeId) -> Result<PageAddr, MachineError> {
+        if let Some(p) = self.free[toucher.index()].pop() {
+            self.allocated.push(p);
+            return Ok(p);
+        }
+        // Toucher full: steal from the node with the most free pages.
+        let richest = (0..self.free.len())
+            .max_by_key(|&n| self.free[n].len())
+            .expect("at least one node");
+        match self.free[richest].pop() {
+            Some(p) => {
+                self.allocated.push(p);
+                Ok(p)
+            }
+            None => Err(MachineError::OutOfMemory { needed: 1 }),
+        }
+    }
+
+    /// Pages handed out so far, in allocation order.
+    pub fn allocated_pages(&self) -> &[PageAddr] {
+        &self.allocated
+    }
+
+    /// Free pages remaining on `node`.
+    pub fn free_on(&self, node: NodeId) -> usize {
+        self.free[node.index()].len()
+    }
+
+    /// Number of virtual pages mapped.
+    pub fn mapped(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The address map this table allocates within.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PageTable {
+        let map = AddressMap::new(2, 4 * PAGE_SIZE as u64);
+        PageTable::new(map, |_| true)
+    }
+
+    #[test]
+    fn first_touch_places_locally() {
+        let mut t = table();
+        let a = t.translate(100, NodeId(1)).unwrap();
+        assert_eq!(t.address_map().home_of(a), NodeId(1));
+        // Same virtual page resolves to the same physical page.
+        let b = t.translate(200, NodeId(0)).unwrap();
+        assert_eq!(a.page(), b.page());
+        assert_eq!(b.0 - a.page().base().0, 200);
+        assert_eq!(t.mapped(), 1);
+    }
+
+    #[test]
+    fn falls_back_when_local_full() {
+        let mut t = table();
+        // Exhaust node 0 (4 pages).
+        for v in 0..4u64 {
+            t.translate(v * PAGE_SIZE as u64, NodeId(0)).unwrap();
+        }
+        assert_eq!(t.free_on(NodeId(0)), 0);
+        let a = t.translate(100 * PAGE_SIZE as u64, NodeId(0)).unwrap();
+        assert_eq!(t.address_map().home_of(a), NodeId(1));
+    }
+
+    #[test]
+    fn out_of_memory_error() {
+        let mut t = table();
+        for v in 0..8u64 {
+            t.translate(v * PAGE_SIZE as u64, NodeId(0)).unwrap();
+        }
+        let err = t.translate(99 * PAGE_SIZE as u64, NodeId(0)).unwrap_err();
+        assert_eq!(err, MachineError::OutOfMemory { needed: 1 });
+    }
+
+    #[test]
+    fn reserved_pages_are_never_allocated() {
+        let map = AddressMap::new(2, 4 * PAGE_SIZE as u64);
+        // Reserve even pages.
+        let mut t = PageTable::new(map, |p| p.index() % 2 == 1);
+        for v in 0..4u64 {
+            let a = t.translate(v * PAGE_SIZE as u64, NodeId(0)).unwrap();
+            assert_eq!(a.page().index() % 2, 1, "allocated a reserved page");
+        }
+    }
+
+    #[test]
+    fn allocation_order_is_tracked() {
+        let mut t = table();
+        t.translate(0, NodeId(0)).unwrap();
+        t.translate(PAGE_SIZE as u64, NodeId(1)).unwrap();
+        assert_eq!(t.allocated_pages().len(), 2);
+    }
+}

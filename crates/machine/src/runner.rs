@@ -1,0 +1,495 @@
+//! Experiment drivers: plain runs, error injection, recovery, verification.
+
+use std::collections::HashSet;
+
+use revive_core::checkpoint::CkptStats;
+use revive_core::recovery::{recover, RecoveryInput, RecoveryReport, RecoveryTiming};
+use revive_mem::addr::PageAddr;
+use revive_mem::line::LineData;
+use revive_mem::main_memory::NodeMemory;
+use revive_sim::time::Ns;
+use revive_sim::types::NodeId;
+
+use crate::config::{ExperimentConfig, MachineError, ReviveMode};
+use crate::metrics::Summary;
+use crate::system::System;
+
+/// What error to inject, and when, relative to the checkpoint stream.
+/// The paper's Section 6.3 scenario is
+/// `after_checkpoint: 2, interval_fraction: 0.8` with a detection delay of
+/// `0.8 × interval` — an error just before the next checkpoint, detected one
+/// scaled detection-latency later, forcing a rollback across a full
+/// interval (maximum lost work and maximum recovery time).
+#[derive(Clone, Copy, Debug)]
+pub struct InjectionPlan {
+    /// Fire after this many checkpoints have committed.
+    pub after_checkpoint: u64,
+    /// …plus this fraction of a checkpoint interval.
+    pub interval_fraction: f64,
+    /// Detection latency: the machine keeps (conservatively) executing for
+    /// this long before recovery starts — all of it lost work.
+    pub detection_delay: Ns,
+    /// The error class.
+    pub kind: ErrorKind,
+}
+
+impl InjectionPlan {
+    /// The paper's worst-case Section 6.3 scenario against `lost` node.
+    pub fn paper_worst_case(interval: Ns, lost: NodeId) -> InjectionPlan {
+        InjectionPlan {
+            after_checkpoint: 2,
+            interval_fraction: 0.8,
+            detection_delay: Ns((interval.0 as f64 * 0.8) as u64),
+            kind: ErrorKind::NodeLoss(lost),
+        }
+    }
+
+    /// The same timing but a transient error that wipes every cache and
+    /// in-flight message while leaving all memory intact (Section 3.1.2's
+    /// multi-node transient class — e.g. a global reset glitch).
+    pub fn paper_transient(interval: Ns) -> InjectionPlan {
+        InjectionPlan {
+            after_checkpoint: 2,
+            interval_fraction: 0.8,
+            detection_delay: Ns((interval.0 as f64 * 0.8) as u64),
+            kind: ErrorKind::CacheWipe,
+        }
+    }
+}
+
+/// The supported error classes (Section 3.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Permanent loss of an entire node: its memory (checkpoint, log and
+    /// parity pages included) is gone and must be reconstructed.
+    NodeLoss(NodeId),
+    /// A machine-wide transient: all caches and in-flight messages lost,
+    /// every memory intact.
+    CacheWipe,
+}
+
+/// What recovery produced, attached to a [`RunResult`].
+#[derive(Clone, Copy, Debug)]
+pub struct RecoveryOutcome {
+    /// Per-phase recovery report.
+    pub report: RecoveryReport,
+    /// Work discarded by the rollback: everything executed between the
+    /// recovered checkpoint's commit and the error's detection.
+    pub lost_work: Ns,
+    /// Total unavailable time: lost work + Phases 1–3.
+    pub unavailable: Ns,
+    /// The checkpoint interval recovered to.
+    pub target_interval: u64,
+    /// Value-exact comparison against the shadow snapshot (when shadow
+    /// checkpoints were enabled); `None` when no snapshot was available.
+    pub verified: Option<bool>,
+}
+
+/// The result of one experiment run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Time at which the last CPU finished its op budget — the
+    /// baseline-vs-ReVive comparison metric of Figure 8.
+    pub sim_time: Ns,
+    /// Derived metrics.
+    pub metrics: Summary,
+    /// Checkpoint statistics (empty for baseline runs).
+    pub ckpt: CkptStats,
+    /// Checkpoints committed.
+    pub checkpoints: u64,
+    /// Discrete events processed (simulator diagnostics).
+    pub events: u64,
+    /// Recovery outcome for injection runs (the last one, when several
+    /// errors were injected).
+    pub recovery: Option<RecoveryOutcome>,
+    /// Every recovery outcome, in injection order.
+    pub recoveries: Vec<RecoveryOutcome>,
+}
+
+/// Drives one experiment to completion.
+pub struct Runner {
+    sys: System,
+}
+
+impl Runner {
+    /// Builds the machine for the experiment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from [`System::new`].
+    pub fn new(cfg: ExperimentConfig) -> Result<Runner, MachineError> {
+        Ok(Runner {
+            sys: System::new(cfg)?,
+        })
+    }
+
+    /// Read-only access to the machine (diagnostics, examples).
+    pub fn system(&self) -> &System {
+        &self.sys
+    }
+
+    /// Runs the experiment to budget completion.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible after construction; the `Result` is kept for
+    /// forward compatibility (deadlocks and overflow are panics — they are
+    /// simulator bugs, not outcomes).
+    pub fn run(mut self) -> Result<RunResult, MachineError> {
+        self.sys.run();
+        Ok(self.collect(Vec::new()))
+    }
+
+    /// Runs with a scripted error: executes normally, injects the error,
+    /// conservatively keeps executing through the detection window (the
+    /// paper's footnote 1), then performs ReVive recovery and — when shadow
+    /// checkpoints are on — verifies the restored memory value-for-value.
+    /// The machine then resumes and finishes its budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::BadConfig`] if ReVive is off or the run
+    /// finished before the injection point fired.
+    pub fn run_with_injection(self, plan: InjectionPlan) -> Result<RunResult, MachineError> {
+        self.run_with_injections(&[plan])
+    }
+
+    /// Runs with a *sequence* of scripted errors: each plan's
+    /// `after_checkpoint` counts checkpoints committed since the previous
+    /// recovery (or the run's start). The machine recovers from each error
+    /// — each recovery verified when shadow checkpoints are on — and keeps
+    /// executing until its budget completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::BadConfig`] if ReVive is off or the run
+    /// finished before any injection point fired.
+    pub fn run_with_injections(
+        mut self,
+        plans: &[InjectionPlan],
+    ) -> Result<RunResult, MachineError> {
+        if self.sys.cfg.revive.mode == ReviveMode::Off {
+            return Err(MachineError::BadConfig(
+                "cannot inject errors into the baseline machine".into(),
+            ));
+        }
+        for plan in plans {
+            if let ErrorKind::NodeLoss(n) = plan.kind {
+                if n.index() >= self.sys.cfg.machine.nodes {
+                    return Err(MachineError::BadConfig(format!(
+                        "cannot lose node {n}: the machine has {} nodes",
+                        self.sys.cfg.machine.nodes
+                    )));
+                }
+            }
+        }
+        let mut outcomes = Vec::with_capacity(plans.len());
+        for plan in plans {
+            let base = self.sys.ckpt_counter;
+            self.sys.inject_at_ckpt =
+                Some((base + plan.after_checkpoint, plan.interval_fraction));
+            self.sys.halted = false;
+            self.sys.run();
+            let Some(t_err) = self.sys.inject_time.take() else {
+                return Err(MachineError::BadConfig(format!(
+                    "injection after checkpoint {} never fired                      ({} checkpoints in budget)",
+                    base + plan.after_checkpoint,
+                    self.sys.ckpt_counter
+                )));
+            };
+            // Roll back to the most recent checkpoint committed before the
+            // error. Work after it — including anything executed during
+            // the detection window — is lost.
+            let target = self.sys.ckpt_counter;
+            let commit_of_target = self
+                .sys
+                .ck_stats
+                .timelines
+                .last()
+                .map(|t| t.committed)
+                .unwrap_or(Ns::ZERO);
+            self.sys.halted = false;
+            self.sys.run_until(t_err + plan.detection_delay);
+            let t_detect = self.sys.now().max(t_err + plan.detection_delay);
+
+            let lost = match plan.kind {
+                ErrorKind::NodeLoss(n) => {
+                    self.sys.nodes[n.index()].mem.destroy();
+                    Some(n)
+                }
+                ErrorKind::CacheWipe => None,
+            };
+            let outcome = self.recover_machine(target, lost, commit_of_target, t_detect);
+            let t_resume = t_detect + outcome.report.unavailable();
+            self.sys.resume_after_recovery(t_resume);
+            outcomes.push(outcome);
+        }
+        self.sys.run();
+        Ok(self.collect(outcomes))
+    }
+
+    fn recover_machine(
+        &mut self,
+        target: u64,
+        lost: Option<NodeId>,
+        commit_of_target: Ns,
+        t_detect: Ns,
+    ) -> RecoveryOutcome {
+        let sys = &mut self.sys;
+        let parity = sys.parity.expect("revive is on");
+        let workers = sys.nodes.len() - lost.map(|_| 1).unwrap_or(0);
+        let timing = RecoveryTiming::derive(parity.group_data_pages(), workers.max(1));
+
+        // In-flight parity updates on healthy paths complete before the
+        // reset (see `System::drain_parity_inflight`); then Phase 1 resets
+        // caches, directories, and the remaining in-flight traffic.
+        sys.drain_parity_inflight(lost);
+        sys.reset_coherence();
+
+        // Extract the memories for the recovery engine.
+        let mut memories: Vec<NodeMemory> = sys.take_memories();
+        let logs: Vec<&revive_core::log::MemLog> = sys
+            .nodes
+            .iter()
+            .map(|n| &n.hook.as_ref().expect("revive on").log)
+            .collect();
+        let report = recover(
+            RecoveryInput {
+                memories: &mut memories,
+                logs: &logs,
+                parity: &parity,
+                target_interval: target,
+                lost,
+            },
+            &timing,
+        );
+        drop(logs);
+        sys.put_memories(memories);
+
+        // The replayed log space belongs to discarded intervals: scrub it
+        // (keeping parity consistent) and restart the hooks at the
+        // recovered interval.
+        sys.scrub_logs_after_rollback(target);
+
+        let verified = self.verify_against_shadow(target, lost);
+        let lost_work = t_detect.saturating_sub(commit_of_target);
+        RecoveryOutcome {
+            report,
+            lost_work,
+            unavailable: lost_work + report.unavailable(),
+            target_interval: target,
+            verified,
+        }
+    }
+
+    /// Byte-compares every application page against the shadow snapshot of
+    /// the recovered checkpoint, and checks the global parity invariant.
+    fn verify_against_shadow(&self, target: u64, _lost: Option<NodeId>) -> Option<bool> {
+        let sys = &self.sys;
+        let shadow = match sys.shadows.iter().find(|s| s.interval == target) {
+            Some(s) => s,
+            None => {
+                if sys.cfg.shadow_checkpoints {
+                    eprintln!(
+                        "verify: no shadow for target {target}; have {:?}",
+                        sys.shadows.iter().map(|s| s.interval).collect::<Vec<_>>()
+                    );
+                }
+                return None;
+            }
+        };
+        let map = sys.map;
+        let mut ok = true;
+        'pages: for &page in sys.page_table.allocated_pages() {
+            let node = map.home_of_page(page).index();
+            for line in page.lines() {
+                let local = map.local_line_index(line);
+                let got = sys.nodes[node].mem.read_line(local);
+                let base = (local * 64) as usize;
+                let want: [u8; 64] = shadow.memories[node][base..base + 64]
+                    .try_into()
+                    .expect("64-byte slice");
+                if got != LineData::from(want) {
+                    if sys.cfg.shadow_checkpoints {
+                        eprintln!(
+                            "verify: mismatch at {line} (page {page}, node {node}): got {got:?} want {:?}",
+                            LineData::from(want)
+                        );
+                    }
+                    ok = false;
+                    break 'pages;
+                }
+            }
+        }
+        // The parity invariant must hold for every group after Phase 4.
+        if ok {
+            if let Some(pm) = sys.parity.as_ref() {
+                'outer: for n in NodeId::all(map.nodes()) {
+                    for page in map.pages_of(n) {
+                        if pm.is_parity_page(page) {
+                            continue;
+                        }
+                        let bad = pm.check_group(page, |l| {
+                            sys.nodes[map.home_of_line(l).index()]
+                                .mem
+                                .read_line(map.local_line_index(l))
+                        });
+                        if let Some(off) = bad {
+                            if sys.cfg.shadow_checkpoints {
+                                eprintln!(
+                                    "verify: parity violated in group of {page} at offset {off}"
+                                );
+                            }
+                            ok = false;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        Some(ok)
+    }
+
+    fn collect(self, recoveries: Vec<RecoveryOutcome>) -> RunResult {
+        let sys = self.sys;
+        let sim_time = sys.finish_time.unwrap_or_else(|| sys.now());
+        let mut summary = Summary {
+            traffic: sys.metrics.clone(),
+            ..Summary::default()
+        };
+        let mut row_hits = 0u64;
+        let mut row_total = 0u64;
+        for node in &sys.nodes {
+            let cs = node.ctrl.stats();
+            summary.l1_hits += cs.l1_hits;
+            summary.l1_misses += cs.l1_misses;
+            summary.l2_hits += cs.l2_hits;
+            summary.l2_misses += cs.l2_misses;
+            summary.eviction_writebacks += cs.eviction_writebacks;
+            summary.nack_retries += cs.nack_retries;
+            let ds = node.dram.stats();
+            row_hits += ds.row_hits;
+            row_total += ds.total();
+            if let Some(h) = node.hook.as_ref() {
+                summary.log_high_water.push(h.log.stats().high_water_bytes);
+                summary.costs.wb_logged += h.costs.wb_logged;
+                summary.costs.rdx_unlogged += h.costs.rdx_unlogged;
+                summary.costs.wb_unlogged += h.costs.wb_unlogged;
+                summary.costs.intents_already_logged += h.costs.intents_already_logged;
+            }
+        }
+        summary.dram_row_hit_rate = if row_total == 0 {
+            0.0
+        } else {
+            row_hits as f64 / row_total as f64
+        };
+        summary.mean_net_latency = sys.fabric_mean_latency();
+        RunResult {
+            sim_time,
+            metrics: summary,
+            ckpt: sys.ck_stats.clone(),
+            checkpoints: sys.ckpt_counter,
+            events: sys.events_processed(),
+            recovery: recoveries.last().copied(),
+            recoveries,
+        }
+    }
+}
+
+// Machine-reset plumbing the runner needs; kept on System so field access
+// stays within the crate.
+impl System {
+    /// Wipes caches, resets directories, drops in-flight messages, and
+    /// clears per-CPU transaction state (rollback Phase 1/3 side effects).
+    pub(crate) fn reset_coherence(&mut self) {
+        for node in &mut self.nodes {
+            node.ctrl.wipe();
+            node.dir.reset();
+            if let Some(h) = node.hook.as_mut() {
+                h.set_enabled(false);
+            }
+        }
+        self.clear_inflight();
+    }
+
+    pub(crate) fn clear_inflight(&mut self) {
+        self.queue_clear();
+        for c in 0..self.cpus.len() {
+            self.reset_cpu_transactions(c);
+        }
+    }
+
+    /// Zeroes the log regions (their records belong to discarded
+    /// intervals), fixing parity along the way, then restarts hooks and
+    /// execution state for the recovered interval.
+    pub(crate) fn scrub_logs_after_rollback(&mut self, target: u64) {
+        let map = self.map;
+        let parity = self.parity.expect("revive on");
+        let log_lines: Vec<revive_mem::addr::LineAddr> = self
+            .nodes
+            .iter()
+            .flat_map(|n| n.log_pages.iter().flat_map(|p| p.lines()))
+            .collect();
+        for line in log_lines {
+            let home = map.home_of_line(line).index();
+            let local = map.local_line_index(line);
+            let old = self.nodes[home].mem.read_line(local);
+            if old == LineData::ZERO {
+                continue;
+            }
+            self.nodes[home].mem.write_line(local, LineData::ZERO);
+            let pline = parity.parity_line_of(line);
+            let phome = map.home_of_line(pline).index();
+            let plocal = map.local_line_index(pline);
+            if parity.is_mirrored_page(line.page()) {
+                self.nodes[phome].mem.write_line(plocal, LineData::ZERO);
+            } else {
+                self.nodes[phome].mem.xor_line(plocal, old);
+            }
+        }
+        for node in &mut self.nodes {
+            if let Some(h) = node.hook.as_mut() {
+                h.log.reset();
+                h.begin_interval(target, target);
+                h.set_enabled(true);
+            }
+        }
+        self.ckpt_counter = target;
+    }
+
+    /// Restarts execution after a recovery outage.
+    pub(crate) fn resume_after_recovery(&mut self, t_resume: Ns) {
+        let t = t_resume.max(self.now());
+        for c in 0..self.cpus.len() {
+            if !self.cpu_done(c) {
+                self.wake_cpu_at(c, t);
+            }
+        }
+        if self.cfg.revive.ckpt.interval != Ns::MAX {
+            self.schedule_ckpt(t + self.cfg.revive.ckpt.interval);
+        }
+        // One injection per run.
+        self.inject_at_ckpt = None;
+    }
+
+    pub(crate) fn take_memories(&mut self) -> Vec<NodeMemory> {
+        self.nodes
+            .iter_mut()
+            .map(|n| std::mem::replace(&mut n.mem, NodeMemory::new(4096)))
+            .collect()
+    }
+
+    pub(crate) fn put_memories(&mut self, memories: Vec<NodeMemory>) {
+        for (node, mem) in self.nodes.iter_mut().zip(memories) {
+            node.mem = mem;
+        }
+    }
+
+    /// Pages reserved for logs, machine-wide (reporting).
+    pub fn log_pages(&self) -> HashSet<PageAddr> {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.log_pages.iter().copied())
+            .collect()
+    }
+}

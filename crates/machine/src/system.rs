@@ -1,0 +1,1051 @@
+//! The assembled CC-NUMA machine.
+//!
+//! [`System`] wires every substrate together and runs the discrete-event
+//! loop: CPUs execute their workload streams inline (L1/L2 hits cost pure
+//! latency), and every L2-level transaction — misses, upgrades, write-backs,
+//! invalidations, parity updates — flows through the event queue with
+//! directory-pipeline, DRAM-bank, and torus-link contention. With ReVive
+//! enabled, the directory hook performs logging and parity updates exactly
+//! as Sections 3.2.1–3.2.2 describe, and a checkpoint orchestrator runs the
+//! Figure 6 sequence at the configured interval.
+//!
+//! Timing approximations (all documented in DESIGN.md §2): CPUs run inline
+//! for at most one quantum before yielding to the event queue, so external
+//! invalidations land at quantum granularity; directory memory accesses
+//! serialize within a transaction; recovery is timed by an explicit
+//! bandwidth model rather than the cycle-level loop.
+
+use std::collections::{HashSet, VecDeque};
+
+use revive_coherence::cache_ctrl::{Access, CacheCtrl, CpuOutcome, OpToken};
+use revive_coherence::directory::{DirCtrl, DirIn};
+use revive_coherence::hook::NullHook;
+use revive_coherence::msg::{CacheToDir, DirToCache};
+use revive_coherence::port::MemPort;
+use revive_core::checkpoint::CkptTimeline;
+use revive_core::dirext::ReviveHook;
+use revive_core::lbits::LBits;
+use revive_core::log::MemLog;
+use revive_core::parity::{ParityAck, ParityMap, ParityUpdate};
+use revive_mem::addr::{AddressMap, LineAddr, PageAddr};
+use revive_mem::dram::{Dram, DramOp};
+use revive_mem::line::LineData;
+use revive_mem::main_memory::NodeMemory;
+use revive_net::fabric::Fabric;
+use revive_net::topology::Torus;
+use revive_sim::engine::EventQueue;
+use revive_sim::resource::Resource;
+use revive_sim::time::Ns;
+use revive_sim::types::NodeId;
+use revive_workloads::Workload;
+
+use crate::config::{ExperimentConfig, MachineError};
+use crate::metrics::{Metrics, TrafficClass};
+use crate::page_table::PageTable;
+
+/// Debug aid: set `REVIVE_TRACE_LINE` to a decimal global line number to
+/// print every message touching that line to stderr — the fastest way to
+/// reconstruct a protocol interleaving when an invariant trips.
+fn trace_line() -> Option<u64> {
+    static LINE: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    *LINE.get_or_init(|| {
+        std::env::var("REVIVE_TRACE_LINE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    })
+}
+
+/// One node's hardware.
+pub(crate) struct Node {
+    pub(crate) ctrl: CacheCtrl,
+    pub(crate) dir: DirCtrl,
+    pub(crate) hook: Option<ReviveHook>,
+    pub(crate) mem: NodeMemory,
+    pub(crate) dram: Dram,
+    dir_pipe: Resource,
+    pub(crate) log_pages: HashSet<PageAddr>,
+}
+
+/// One CPU's execution state.
+pub(crate) struct Cpu {
+    local_time: Ns,
+    blocked_load: Option<OpToken>,
+    pending_stores: usize,
+    store_stalled: bool,
+    retry: Option<revive_workloads::Op>,
+    next_seq: u64,
+    pub(crate) done: bool,
+    at_barrier: bool,
+    flush_queue: VecDeque<LineAddr>,
+    flush_outstanding: usize,
+}
+
+impl Cpu {
+    fn new() -> Cpu {
+        Cpu {
+            local_time: Ns::ZERO,
+            blocked_load: None,
+            pending_stores: 0,
+            store_stalled: false,
+            retry: None,
+            next_seq: 0,
+            done: false,
+            at_barrier: false,
+            flush_queue: VecDeque::new(),
+            flush_outstanding: 0,
+        }
+    }
+}
+
+/// A message in flight on the torus.
+#[derive(Clone, Debug)]
+pub(crate) struct NetMsg {
+    src: NodeId,
+    dst: NodeId,
+    class: TrafficClass,
+    payload: Payload,
+}
+
+#[derive(Clone, Debug)]
+enum Payload {
+    ToDir(CacheToDir),
+    ToCache(DirToCache),
+    Par {
+        update: ParityUpdate,
+        mirror: bool,
+    },
+    ParAck(ParityAck),
+}
+
+impl Payload {
+    fn size_bytes(&self) -> u32 {
+        match self {
+            Payload::ToDir(m) => m.size_bytes(),
+            Payload::ToCache(m) => m.size_bytes(),
+            Payload::Par { update, .. } => update.size_bytes(),
+            Payload::ParAck(a) => a.size_bytes(),
+        }
+    }
+}
+
+/// Events of the machine's discrete-event loop.
+pub(crate) enum Ev {
+    /// A CPU resumes inline execution.
+    Cpu(usize),
+    /// A network message arrives at its destination node.
+    Deliver(NetMsg),
+    /// The checkpoint timer fires.
+    CkptStart,
+    /// A scripted error fires (the runner handles the aftermath).
+    Inject,
+}
+
+/// Checkpoint orchestration state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum CkPhase {
+    Running,
+    Flushing,
+}
+
+/// The MemPort implementation the directory and hook see: functional memory
+/// plus DRAM timing plus class-tagged access accounting.
+struct NodePort<'a> {
+    mem: &'a mut NodeMemory,
+    dram: &'a mut Dram,
+    map: AddressMap,
+    parity: Option<ParityMap>,
+    log_pages: &'a HashSet<PageAddr>,
+    metrics: &'a mut Metrics,
+    node: NodeId,
+    cursor: Ns,
+    reply_at: Option<Ns>,
+    ctx_class: TrafficClass,
+}
+
+impl NodePort<'_> {
+    fn classify(&self, line: LineAddr) -> TrafficClass {
+        let page = line.page();
+        if self.log_pages.contains(&page) {
+            TrafficClass::Log
+        } else if self.parity.is_some_and(|p| p.is_parity_page(page)) {
+            TrafficClass::Par
+        } else {
+            self.ctx_class
+        }
+    }
+}
+
+impl MemPort for NodePort<'_> {
+    fn read(&mut self, line: LineAddr) -> LineData {
+        debug_assert_eq!(self.map.home_of_line(line), self.node);
+        let local = self.map.local_line_index(line);
+        self.cursor = self.dram.access(self.cursor, local, DramOp::Read);
+        self.metrics.mem(self.classify(line));
+        self.mem.read_line(local)
+    }
+
+    fn write(&mut self, line: LineAddr, data: LineData) {
+        debug_assert_eq!(self.map.home_of_line(line), self.node);
+        let local = self.map.local_line_index(line);
+        self.cursor = self.dram.access(self.cursor, local, DramOp::Write);
+        self.metrics.mem(self.classify(line));
+        self.mem.write_line(local, data);
+    }
+
+    fn mark(&mut self) {
+        self.reply_at = Some(self.cursor);
+    }
+}
+
+/// A memory snapshot captured at a checkpoint commit (validation mode).
+pub(crate) struct Shadow {
+    /// The checkpoint interval the snapshot belongs to.
+    pub(crate) interval: u64,
+    /// Full per-node memory images.
+    pub(crate) memories: Vec<Vec<u8>>,
+}
+
+/// The assembled machine (see module docs).
+pub struct System {
+    pub(crate) cfg: ExperimentConfig,
+    pub(crate) map: AddressMap,
+    pub(crate) parity: Option<ParityMap>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) cpus: Vec<Cpu>,
+    fabric: Fabric,
+    queue: EventQueue<Ev>,
+    pub(crate) page_table: PageTable,
+    workload: Box<dyn Workload>,
+    pub(crate) metrics: Metrics,
+    pub(crate) ops_done: Vec<u64>,
+    running_cpus: usize,
+    pub(crate) finish_time: Option<Ns>,
+    ck_phase: CkPhase,
+    ck_arrived: usize,
+    ck_timeline: CkptTimeline,
+    pub(crate) ck_stats: revive_core::checkpoint::CkptStats,
+    pub(crate) ckpt_counter: u64,
+    early_pending: bool,
+    pub(crate) shadows: VecDeque<Shadow>,
+    pub(crate) halted: bool,
+    pub(crate) inject_at_ckpt: Option<(u64, f64)>,
+    pub(crate) inject_time: Option<Ns>,
+}
+
+impl System {
+    /// Builds the machine for an experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::BadConfig`] for inconsistent configurations
+    /// (non-square node counts, parity groups not dividing the node count,
+    /// log fraction leaving no allocatable memory, …).
+    pub fn new(cfg: ExperimentConfig) -> Result<System, MachineError> {
+        let m = &cfg.machine;
+        let nodes = m.nodes;
+        let side = (nodes as f64).sqrt().round() as usize;
+        if side * side != nodes {
+            return Err(MachineError::BadConfig(format!(
+                "node count {nodes} is not a perfect square"
+            )));
+        }
+        let map = AddressMap::new(nodes, m.mem_per_node);
+        let parity = match cfg.revive.mode.group_data_pages() {
+            Some(g) => {
+                if !nodes.is_multiple_of(g + 1) {
+                    return Err(MachineError::BadConfig(format!(
+                        "parity chunk {} does not divide node count {nodes}",
+                        g + 1
+                    )));
+                }
+                let frac = cfg.revive.mode.mirrored_fraction();
+                if !(0.0..1.0).contains(&frac) {
+                    return Err(MachineError::BadConfig(format!(
+                        "mirrored fraction {frac} outside [0, 1)"
+                    )));
+                }
+                if frac > 0.0 && !nodes.is_multiple_of(2) {
+                    return Err(MachineError::BadConfig(
+                        "mixed mode needs an even node count".into(),
+                    ));
+                }
+                let mirrored = (map.pages_per_node() as f64 * frac) as u64;
+                Some(ParityMap::mixed(map, g, mirrored))
+            }
+            None => None,
+        };
+
+        // Reserve log pages: the highest non-parity pages of each node.
+        let mut log_page_sets: Vec<HashSet<PageAddr>> = vec![HashSet::new(); nodes];
+        if let Some(pm) = parity.as_ref() {
+            let protected_per_node: u64 = map.pages_per_node()
+                - map
+                    .pages_of(NodeId(0))
+                    .filter(|&p| pm.is_parity_page(p))
+                    .count() as u64;
+            let log_pages =
+                ((protected_per_node as f64 * cfg.revive.log_fraction).ceil() as u64).max(1);
+            if log_pages >= protected_per_node {
+                return Err(MachineError::BadConfig(
+                    "log fraction leaves no allocatable memory".into(),
+                ));
+            }
+            for n in NodeId::all(nodes) {
+                let mut candidates: Vec<PageAddr> =
+                    map.pages_of(n).filter(|&p| !pm.is_parity_page(p)).collect();
+                candidates.reverse(); // logs take the highest stripes
+                log_page_sets[n.index()] =
+                    candidates.into_iter().take(log_pages as usize).collect();
+            }
+        }
+
+        let node_states: Vec<Node> = NodeId::all(nodes)
+            .map(|n| {
+                let hook = parity.map(|pm| {
+                    let mut slots: Vec<LineAddr> = log_page_sets[n.index()]
+                        .iter()
+                        .flat_map(|p| p.lines())
+                        .collect();
+                    slots.sort_unstable();
+                    let log = MemLog::new(n, slots);
+                    let lbits = match cfg.revive.lbit_dir_cache {
+                        Some(cap) => LBits::dir_cache(map.lines_per_node(), cap),
+                        None => LBits::full(map.lines_per_node()),
+                    };
+                    ReviveHook::new(pm, log, lbits)
+                });
+                Node {
+                    ctrl: CacheCtrl::new(n, m.l1, m.l2, m.mshrs),
+                    dir: DirCtrl::new(),
+                    hook,
+                    mem: NodeMemory::new(m.mem_per_node as usize),
+                    dram: Dram::new(m.dram),
+                    dir_pipe: Resource::new(),
+                    log_pages: log_page_sets[n.index()].clone(),
+                }
+            })
+            .collect();
+
+        let reserved: Vec<HashSet<PageAddr>> = log_page_sets;
+        let parity_copy = parity;
+        let page_table = PageTable::new(map, |p| {
+            let n = map.home_of_page(p);
+            if reserved[n.index()].contains(&p) {
+                return false;
+            }
+            !parity_copy.is_some_and(|pm| pm.is_parity_page(p))
+        });
+
+        let workload = cfg.workload.build(nodes, m.scale(), cfg.seed);
+        let mut queue = EventQueue::new();
+        for c in 0..nodes {
+            queue.schedule(Ns::ZERO, Ev::Cpu(c));
+        }
+        if parity.is_some() && cfg.revive.ckpt.interval != Ns::MAX {
+            queue.schedule(cfg.revive.ckpt.interval, Ev::CkptStart);
+        }
+
+        Ok(System {
+            map,
+            parity,
+            nodes: node_states,
+            cpus: (0..nodes).map(|_| Cpu::new()).collect(),
+            fabric: Fabric::new(Torus::new(side, side), m.fabric),
+            queue,
+            page_table,
+            workload,
+            metrics: Metrics::default(),
+            ops_done: vec![0; nodes],
+            running_cpus: nodes,
+            finish_time: None,
+            ck_phase: CkPhase::Running,
+            ck_arrived: 0,
+            ck_timeline: CkptTimeline::default(),
+            ck_stats: revive_core::checkpoint::CkptStats::default(),
+            ckpt_counter: 0,
+            early_pending: false,
+            shadows: VecDeque::new(),
+            halted: false,
+            inject_at_ckpt: None,
+            inject_time: None,
+            cfg,
+        })
+    }
+
+    /// The global address map.
+    pub fn address_map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// Simulated time so far.
+    pub fn now(&self) -> Ns {
+        self.queue.now()
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.events_processed()
+    }
+
+    /// Checkpoints committed so far.
+    pub fn checkpoints(&self) -> u64 {
+        self.ckpt_counter
+    }
+
+    fn make_token(&mut self, cpu: usize, write: bool) -> OpToken {
+        let seq = self.cpus[cpu].next_seq;
+        self.cpus[cpu].next_seq += 1;
+        let mut t = seq & 0x0000_7FFF_FFFF_FFFF;
+        t |= (cpu as u64) << 47;
+        if write {
+            t |= 1 << 63;
+        }
+        OpToken(t)
+    }
+
+    fn token_cpu(token: OpToken) -> usize {
+        ((token.0 >> 47) & 0xFFFF) as usize
+    }
+
+    fn token_is_write(token: OpToken) -> bool {
+        token.0 >> 63 == 1
+    }
+
+    fn send(&mut self, at: Ns, src: NodeId, dst: NodeId, class: TrafficClass, payload: Payload) {
+        let size = payload.size_bytes();
+        self.metrics.net(class, size);
+        let arrival = self.fabric.send(at, src, dst, size);
+        self.queue.schedule(
+            arrival.max(self.queue.now()),
+            Ev::Deliver(NetMsg {
+                src,
+                dst,
+                class,
+                payload,
+            }),
+        );
+    }
+
+    fn home_of(&self, line: LineAddr) -> NodeId {
+        self.map.home_of_line(line)
+    }
+
+    /// Runs until every CPU has issued its op budget and the event queue
+    /// drained, or until a scripted injection halts the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on deadlock (no events pending while CPUs still have work) —
+    /// always a simulator bug, never a legal outcome.
+    pub fn run(&mut self) {
+        self.run_until(Ns::MAX);
+    }
+
+    /// Runs until `deadline` (exclusive), budget exhaustion, or injection.
+    pub fn run_until(&mut self, deadline: Ns) {
+        while !self.halted {
+            match self.queue.peek_time() {
+                None => {
+                    if self.running_cpus != 0 {
+                        let states: Vec<String> = self
+                            .cpus
+                            .iter()
+                            .enumerate()
+                            .map(|(i, c)| {
+                                format!(
+                                    "cpu{i}: done={} blocked={:?} stores={} stalled={} retry={} barrier={} fq={} fo={} mshrs={} wbs={}",
+                                    c.done,
+                                    c.blocked_load,
+                                    c.pending_stores,
+                                    c.store_stalled,
+                                    c.retry.is_some(),
+                                    c.at_barrier,
+                                    c.flush_queue.len(),
+                                    c.flush_outstanding,
+                                    self.nodes[i].ctrl.outstanding_misses(),
+                                    self.nodes[i].ctrl.outstanding_wbs(),
+                                )
+                            })
+                            .collect();
+                        let dirs: Vec<String> = self
+                            .nodes
+                            .iter()
+                            .enumerate()
+                            .flat_map(|(i, n)| {
+                                n.dir
+                                    .debug_stuck()
+                                    .into_iter()
+                                    .map(move |s| format!("dir{i} {s}"))
+                            })
+                            .collect();
+                        panic!(
+                            "deadlock: no events but {} CPUs unfinished (ops_done={:?}, ck_phase={:?}, arrived={})\n{}\n{}",
+                            self.running_cpus,
+                            self.ops_done,
+                            self.ck_phase,
+                            self.ck_arrived,
+                            states.join("\n"),
+                            dirs.join("\n")
+                        );
+                    }
+                    return;
+                }
+                Some(t) if t >= deadline => return,
+                Some(_) => {}
+            }
+            let (t, ev) = self.queue.pop().expect("peeked");
+            match ev {
+                Ev::Cpu(c) => self.cpu_step(c, t),
+                Ev::Deliver(msg) => self.deliver(msg, t),
+                Ev::CkptStart => self.ckpt_start(t),
+                Ev::Inject => {
+                    self.inject_time = Some(t);
+                    self.halted = true;
+                }
+            }
+        }
+    }
+
+    // ---------------- CPU execution ----------------
+
+    fn cpu_step(&mut self, c: usize, now: Ns) {
+        if self.halted
+            || self.cpus[c].done
+            || self.ck_phase != CkPhase::Running
+            || self.cpus[c].blocked_load.is_some()
+            || self.cpus[c].store_stalled
+        {
+            return;
+        }
+        let quantum = self.cfg.machine.cpu_quantum;
+        let mut t = now.max(self.cpus[c].local_time);
+        let deadline = t + quantum;
+        let node_id = NodeId::from(c);
+        loop {
+            if self.ops_done[c] >= self.cfg.ops_per_cpu {
+                self.cpus[c].done = true;
+                self.running_cpus -= 1;
+                if self.running_cpus == 0 {
+                    self.finish_time = Some(t);
+                }
+                return;
+            }
+            let op = match self.cpus[c].retry.take() {
+                Some(op) => op,
+                None => self.workload.next(c),
+            };
+            t += Ns(op.think_ns as u64);
+            let addr = self
+                .page_table
+                .translate(op.vaddr, node_id)
+                .unwrap_or_else(|e| panic!("page allocation failed: {e}"));
+            let line = addr.line();
+            let access = if op.write { Access::Write } else { Access::Read };
+            let token = self.make_token(c, op.write);
+            let (outcome, sends) = self.nodes[c].ctrl.cpu_access(line, access, token);
+            match outcome {
+                CpuOutcome::L1Hit => {
+                    t += self.cfg.machine.l1_hit;
+                    self.finish_op(c, &op);
+                }
+                CpuOutcome::L2Hit => {
+                    t += self.cfg.machine.l2_hit;
+                    self.finish_op(c, &op);
+                }
+                CpuOutcome::Miss | CpuOutcome::Coalesced => {
+                    for s in sends {
+                        let class = match s {
+                            CacheToDir::WriteBack { .. } => TrafficClass::ExeWb,
+                            _ => TrafficClass::RdRdx,
+                        };
+                        let dst = self.home_of(s.line());
+                        self.send(t, node_id, dst, class, Payload::ToDir(s));
+                    }
+                    self.finish_op(c, &op);
+                    if op.write {
+                        self.cpus[c].pending_stores += 1;
+                        if self.cpus[c].pending_stores >= self.cfg.machine.store_buffer {
+                            self.cpus[c].store_stalled = true;
+                            self.cpus[c].local_time = t;
+                            return;
+                        }
+                    } else {
+                        self.cpus[c].blocked_load = Some(token);
+                        self.cpus[c].local_time = t;
+                        return;
+                    }
+                }
+                CpuOutcome::MshrFull => {
+                    self.cpus[c].retry = Some(op);
+                    self.cpus[c].local_time = t;
+                    self.queue
+                        .schedule(t + self.cfg.machine.mshr_retry_delay, Ev::Cpu(c));
+                    return;
+                }
+            }
+            if t >= deadline {
+                self.cpus[c].local_time = t;
+                self.queue.schedule(t, Ev::Cpu(c));
+                return;
+            }
+        }
+    }
+
+    fn finish_op(&mut self, c: usize, op: &revive_workloads::Op) {
+        self.ops_done[c] += 1;
+        self.metrics.cpu_ops += 1;
+        self.metrics.instructions += op.instructions as u64;
+    }
+
+    fn wake_cpu(&mut self, c: usize, t: Ns) {
+        let at = t.max(self.cpus[c].local_time);
+        self.cpus[c].local_time = at;
+        self.queue.schedule(at.max(self.queue.now()), Ev::Cpu(c));
+    }
+
+    fn complete_token(&mut self, token: OpToken, t: Ns) {
+        let c = Self::token_cpu(token);
+        if Self::token_is_write(token) {
+            debug_assert!(self.cpus[c].pending_stores > 0);
+            self.cpus[c].pending_stores -= 1;
+            if self.cpus[c].store_stalled {
+                self.cpus[c].store_stalled = false;
+                if self.ck_phase == CkPhase::Running {
+                    self.wake_cpu(c, t);
+                }
+            }
+        } else if self.cpus[c].blocked_load == Some(token) {
+            self.cpus[c].blocked_load = None;
+            if self.ck_phase == CkPhase::Running {
+                self.wake_cpu(c, t);
+            }
+        }
+    }
+
+    // ---------------- message delivery ----------------
+
+    fn deliver(&mut self, msg: NetMsg, t: Ns) {
+        let NetMsg {
+            src,
+            dst,
+            class,
+            payload,
+        } = msg;
+        if let Some(l) = trace_line() {
+            let hit = match &payload {
+                Payload::ToDir(m) => m.line().0 == l,
+                Payload::ToCache(m) => format!("{m:?}").contains(&format!("LineAddr({l})")),
+                _ => false,
+            };
+            if hit {
+                eprintln!("[{t}] {src}->{dst} {payload:?}");
+            }
+        }
+        match payload {
+            Payload::ToCache(m) => self.deliver_to_cache(dst, m, class, t),
+            Payload::ToDir(m) => {
+                let din = match m {
+                    CacheToDir::Req { line, req } => DirIn::Req {
+                        from: src,
+                        line,
+                        req,
+                    },
+                    CacheToDir::WriteBack { line, data, keep } => DirIn::WriteBack {
+                        from: src,
+                        line,
+                        data,
+                        keep,
+                    },
+                    CacheToDir::FetchResp { line, data, dirty } => DirIn::FetchResp {
+                        from: src,
+                        line,
+                        data,
+                        dirty,
+                    },
+                    CacheToDir::InvalAck { line } => DirIn::InvalAck { from: src, line },
+                };
+                self.dir_in(dst, din, class, t);
+            }
+            Payload::Par { update, mirror } => self.apply_parity(dst, src, update, mirror, t),
+            Payload::ParAck(ack) => {
+                self.dir_in(
+                    dst,
+                    DirIn::HookAck {
+                        line: ack.ack_to_line,
+                    },
+                    TrafficClass::Par,
+                    t,
+                );
+            }
+        }
+    }
+
+    fn deliver_to_cache(&mut self, dst: NodeId, m: DirToCache, class: TrafficClass, t: Ns) {
+        let c = dst.index();
+        let is_nack = matches!(m, DirToCache::Nack { .. });
+        let is_flush_ack = matches!(m, DirToCache::WbAck { flush: true, .. });
+        let reaction = self.nodes[c].ctrl.handle_dir_msg(m);
+        let delay = if is_nack {
+            self.cfg.machine.nack_retry_delay
+        } else {
+            Ns(10)
+        };
+        for s in reaction.sends {
+            let cls = match s {
+                CacheToDir::WriteBack { .. } => TrafficClass::ExeWb,
+                _ => TrafficClass::RdRdx,
+            };
+            let home = self.home_of(s.line());
+            self.send(t + delay, dst, home, cls, Payload::ToDir(s));
+        }
+        for token in reaction.completed {
+            self.complete_token(token, t);
+        }
+        let _ = class;
+        if self.ck_phase == CkPhase::Flushing {
+            if is_flush_ack {
+                debug_assert!(self.cpus[c].flush_outstanding > 0);
+                self.cpus[c].flush_outstanding -= 1;
+                self.pump_flush(c, t);
+            }
+            self.check_barrier_arrival(c, t);
+        }
+    }
+
+    /// Runs a directory input at its home node, charging pipeline + DRAM
+    /// time, then ships the outputs and any ReVive parity messages.
+    fn dir_in(&mut self, node: NodeId, din: DirIn, class: TrafficClass, t: Ns) {
+        let n = node.index();
+        let t1 = self.nodes[n].dir_pipe.acquire(t, self.cfg.machine.dir_latency);
+        let (outs, hook_msgs, t_done, t_reply) = {
+            let Node {
+                ctrl: _,
+                dir,
+                hook,
+                mem,
+                dram,
+                dir_pipe: _,
+                log_pages,
+            } = &mut self.nodes[n];
+            let mut port = NodePort {
+                mem,
+                dram,
+                map: self.map,
+                parity: self.parity,
+                log_pages,
+                metrics: &mut self.metrics,
+                node,
+                cursor: t1,
+                reply_at: None,
+                ctx_class: class,
+            };
+            let mut null = NullHook;
+            let outs = match hook.as_mut() {
+                Some(h) => dir.handle(din, &mut port, h),
+                None => dir.handle(din, &mut port, &mut null),
+            };
+            let hook_msgs = hook.as_mut().map(ReviveHook::drain_outbox).unwrap_or_default();
+            let reply_at = port.reply_at.unwrap_or(port.cursor);
+            (outs, hook_msgs, port.cursor, reply_at)
+        };
+        for out in outs {
+            let cls = match out.msg {
+                DirToCache::WbAck { .. } => class,
+                _ => TrafficClass::RdRdx,
+            };
+            self.send(t_reply, node, out.to, cls, Payload::ToCache(out.msg));
+        }
+        for hm in hook_msgs {
+            self.send(
+                t_done,
+                node,
+                hm.to,
+                TrafficClass::Par,
+                Payload::Par {
+                    update: hm.update,
+                    mirror: hm.mirror,
+                },
+            );
+        }
+        self.maybe_early_checkpoint(n, t_done);
+    }
+
+    /// Applies a parity update at its parity home: XOR (or overwrite, for
+    /// mirroring) each delta, then acknowledge.
+    fn apply_parity(
+        &mut self,
+        dst: NodeId,
+        src: NodeId,
+        update: ParityUpdate,
+        mirror: bool,
+        t: Ns,
+    ) {
+        let n = dst.index();
+        let mut cursor = t;
+        for (pline, delta) in &update.deltas {
+            debug_assert_eq!(self.map.home_of_line(*pline), dst);
+            let local = self.map.local_line_index(*pline);
+            if mirror {
+                cursor = self.nodes[n].dram.access(cursor, local, DramOp::Write);
+                self.metrics.mem(TrafficClass::Par);
+                self.nodes[n].mem.write_line(local, *delta);
+            } else {
+                cursor = self.nodes[n].dram.access(cursor, local, DramOp::Read);
+                cursor = self.nodes[n].dram.access(cursor, local, DramOp::Write);
+                self.metrics.mem(TrafficClass::Par);
+                self.metrics.mem(TrafficClass::Par);
+                self.nodes[n].mem.xor_line(local, *delta);
+            }
+        }
+        if let Some(line) = update.ack_to_line {
+            self.send(
+                cursor,
+                dst,
+                src,
+                TrafficClass::Par,
+                Payload::ParAck(ParityAck { ack_to_line: line }),
+            );
+        }
+    }
+
+    // ---------------- checkpointing ----------------
+
+    fn maybe_early_checkpoint(&mut self, n: usize, t: Ns) {
+        if self.ck_phase != CkPhase::Running || self.early_pending {
+            return;
+        }
+        let Some(hook) = self.nodes[n].hook.as_mut() else {
+            return;
+        };
+        if hook.log.utilization() < self.cfg.revive.ckpt.early_trigger_utilization {
+            return;
+        }
+        if self.cfg.revive.ckpt.interval == Ns::MAX {
+            // Infinite-interval measurement configs (CpInf) never commit;
+            // recycle the oldest half of the log to keep the fiction alive.
+            hook.log.reclaim_oldest_half();
+            return;
+        }
+        self.early_pending = true;
+        self.ck_stats.early_triggers += 1;
+        self.queue.schedule(t.max(self.queue.now()), Ev::CkptStart);
+    }
+
+    fn ckpt_start(&mut self, t: Ns) {
+        // Reschedule the periodic timer regardless.
+        if self.ck_phase != CkPhase::Running {
+            return;
+        }
+        if self.running_cpus == 0 {
+            return; // run is over; no more checkpoints
+        }
+        self.early_pending = false;
+        self.ck_phase = CkPhase::Flushing;
+        self.ck_arrived = 0;
+        self.ck_timeline = CkptTimeline {
+            id: self.ckpt_counter + 1,
+            started: t,
+            ..CkptTimeline::default()
+        };
+        let flush_at = t + self.cfg.revive.ckpt.interrupt_latency + self.cfg.revive.ckpt.context_save;
+        self.ck_timeline.flush_started = flush_at;
+        for c in 0..self.cpus.len() {
+            self.cpus[c].at_barrier = false;
+            self.cpus[c].flush_queue = self.nodes[c].ctrl.dirty_lines().into();
+            self.cpus[c].flush_outstanding = 0;
+        }
+        for c in 0..self.cpus.len() {
+            self.pump_flush(c, flush_at);
+            self.check_barrier_arrival(c, flush_at);
+        }
+    }
+
+    fn pump_flush(&mut self, c: usize, t: Ns) {
+        while self.cpus[c].flush_outstanding < self.cfg.machine.flush_outstanding {
+            let Some(line) = self.cpus[c].flush_queue.pop_front() else {
+                return;
+            };
+            let Some(wb) = self.nodes[c].ctrl.flush_line(line) else {
+                continue; // no longer dirty (fetched away since listing)
+            };
+            self.cpus[c].flush_outstanding += 1;
+            self.ck_timeline.lines_flushed += 1;
+            let home = self.home_of(line);
+            self.send(t, NodeId::from(c), home, TrafficClass::CkpWb, Payload::ToDir(wb));
+        }
+    }
+
+    fn check_barrier_arrival(&mut self, c: usize, t: Ns) {
+        if self.ck_phase != CkPhase::Flushing || self.cpus[c].at_barrier {
+            return;
+        }
+        let cpu = &self.cpus[c];
+        let node = &self.nodes[c];
+        let drained = cpu.flush_queue.is_empty()
+            && cpu.flush_outstanding == 0
+            && node.ctrl.outstanding_wbs() == 0
+            && node.ctrl.outstanding_misses() == 0
+            && cpu.pending_stores == 0
+            && cpu.blocked_load.is_none();
+        if !drained {
+            return;
+        }
+        self.cpus[c].at_barrier = true;
+        self.ck_arrived += 1;
+        if self.ck_arrived == self.cpus.len() {
+            self.commit_checkpoint(t);
+        }
+    }
+
+    fn commit_checkpoint(&mut self, t: Ns) {
+        let barrier = self.cfg.revive.ckpt.barrier_latency;
+        self.ck_timeline.flush_done = t;
+        let t_b1 = t + barrier;
+        self.ck_timeline.barrier1_done = t_b1;
+        // Between the barriers every node marks the checkpoint in its local
+        // log (the two-phase commit of Section 4.2).
+        let new_id = self.ckpt_counter + 1;
+        let mut mark_done = t_b1;
+        for n in 0..self.nodes.len() {
+            let Node {
+                hook,
+                mem,
+                dram,
+                log_pages,
+                ..
+            } = &mut self.nodes[n];
+            let Some(h) = hook.as_mut() else { continue };
+            let mut port = NodePort {
+                mem,
+                dram,
+                map: self.map,
+                parity: self.parity,
+                log_pages,
+                metrics: &mut self.metrics,
+                node: NodeId::from(n),
+                cursor: t_b1,
+                reply_at: None,
+                ctx_class: TrafficClass::Log,
+            };
+            h.mark_checkpoint(new_id, &mut port);
+            mark_done = mark_done.max(port.cursor);
+            let msgs = h.drain_outbox();
+            for hm in msgs {
+                self.send(
+                    mark_done,
+                    NodeId::from(n),
+                    hm.to,
+                    TrafficClass::Par,
+                    Payload::Par {
+                        update: hm.update,
+                        mirror: hm.mirror,
+                    },
+                );
+            }
+        }
+        self.ck_timeline.marked = mark_done;
+        let t_commit = mark_done + barrier;
+        self.ck_timeline.committed = t_commit;
+        self.ck_timeline.resumed = t_commit;
+        self.ckpt_counter = new_id;
+        // Reclaim logs for checkpoints no longer needed and clear L bits.
+        let reclaim_before = new_id.saturating_sub(self.cfg.revive.ckpt.retained - 1);
+        for node in &mut self.nodes {
+            if let Some(h) = node.hook.as_mut() {
+                h.begin_interval(new_id, reclaim_before);
+            }
+        }
+        self.ck_stats.timelines.push(self.ck_timeline);
+        if self.cfg.shadow_checkpoints {
+            self.shadows.push_back(Shadow {
+                interval: new_id,
+                memories: self.nodes.iter().map(|n| n.mem.snapshot()).collect(),
+            });
+            while self.shadows.len() > self.cfg.revive.ckpt.retained as usize {
+                self.shadows.pop_front();
+            }
+        }
+        // Resume execution.
+        self.ck_phase = CkPhase::Running;
+        for c in 0..self.cpus.len() {
+            if !self.cpus[c].done {
+                self.wake_cpu(c, t_commit);
+            }
+        }
+        // Schedule the next periodic checkpoint and any scripted injection.
+        if self.cfg.revive.ckpt.interval != Ns::MAX {
+            self.queue
+                .schedule(t_commit + self.cfg.revive.ckpt.interval, Ev::CkptStart);
+        }
+        if let Some((after, frac)) = self.inject_at_ckpt {
+            if new_id == after {
+                let delay = Ns((self.cfg.revive.ckpt.interval.0 as f64 * frac) as u64);
+                self.queue.schedule(t_commit + delay, Ev::Inject);
+            }
+        }
+    }
+
+    // ---------------- reset plumbing (used by the runner) ----------------
+
+    pub(crate) fn queue_clear(&mut self) {
+        self.queue.clear();
+    }
+
+    /// At error-injection teardown, in-flight parity updates that do not
+    /// involve the lost node physically survive (they are traversing healthy
+    /// links toward healthy memory controllers) and complete before the
+    /// protocol is reset. Applying them keeps every surviving parity group
+    /// consistent with its members' memory, which is the precondition both
+    /// for on-demand page reconstruction and for the delta-maintained parity
+    /// of log replay. Updates to or from the lost node die with it; the
+    /// log-before-data ordering (Section 4.2) makes those drops safe.
+    pub(crate) fn drain_parity_inflight(&mut self, lost: Option<NodeId>) {
+        for (_, ev) in self.queue.drain() {
+            let Ev::Deliver(msg) = ev else { continue };
+            let Payload::Par { update, mirror } = msg.payload else {
+                continue;
+            };
+            if lost.is_some_and(|l| l == msg.src || l == msg.dst) {
+                continue;
+            }
+            let n = msg.dst.index();
+            for (pline, delta) in &update.deltas {
+                let local = self.map.local_line_index(*pline);
+                if mirror {
+                    self.nodes[n].mem.write_line(local, *delta);
+                } else {
+                    self.nodes[n].mem.xor_line(local, *delta);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn reset_cpu_transactions(&mut self, c: usize) {
+        let cpu = &mut self.cpus[c];
+        cpu.blocked_load = None;
+        cpu.pending_stores = 0;
+        cpu.store_stalled = false;
+        cpu.retry = None;
+        cpu.at_barrier = false;
+        cpu.flush_queue.clear();
+        cpu.flush_outstanding = 0;
+        self.ck_phase = CkPhase::Running;
+        self.ck_arrived = 0;
+    }
+
+    pub(crate) fn cpu_done(&self, c: usize) -> bool {
+        self.cpus[c].done
+    }
+
+    pub(crate) fn wake_cpu_at(&mut self, c: usize, t: Ns) {
+        self.wake_cpu(c, t);
+    }
+
+    pub(crate) fn schedule_ckpt(&mut self, at: Ns) {
+        self.queue.schedule(at.max(self.queue.now()), Ev::CkptStart);
+    }
+
+    pub(crate) fn fabric_mean_latency(&self) -> Ns {
+        self.fabric.mean_latency()
+    }
+}

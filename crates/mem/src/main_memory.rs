@@ -1,0 +1,229 @@
+//! Functional main memory.
+//!
+//! Each node owns a byte-addressable slice of the machine's memory. Unlike a
+//! pure timing model, the contents are real: ReVive's parity reconstruction
+//! and log replay are verified against actual values. A node's memory can be
+//! *destroyed* (node-loss injection), after which reads panic — anything
+//! still reading it is a simulator bug; recovery must reconstruct pages from
+//! parity before touching them.
+
+use crate::addr::{LINE_SIZE, PAGE_SIZE};
+use crate::line::LineData;
+
+/// The functional memory of one node.
+///
+/// Addresses here are *node-local line indices*; the global↔local mapping
+/// lives in [`crate::addr::AddressMap`].
+///
+/// # Example
+///
+/// ```
+/// use revive_mem::main_memory::NodeMemory;
+/// use revive_mem::line::LineData;
+///
+/// let mut m = NodeMemory::new(8 * 4096);
+/// m.write_line(3, LineData::fill(0xCD));
+/// assert_eq!(m.read_line(3), LineData::fill(0xCD));
+/// ```
+#[derive(Clone)]
+pub struct NodeMemory {
+    bytes: Vec<u8>,
+    lost: bool,
+}
+
+impl NodeMemory {
+    /// Creates a zero-filled memory of `size_bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the size is not a nonzero whole number of pages.
+    pub fn new(size_bytes: usize) -> NodeMemory {
+        assert!(
+            size_bytes > 0 && size_bytes.is_multiple_of(PAGE_SIZE),
+            "node memory must be a nonzero whole number of pages"
+        );
+        NodeMemory {
+            bytes: vec![0; size_bytes],
+            lost: false,
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Capacity in lines.
+    pub fn lines(&self) -> u64 {
+        (self.bytes.len() / LINE_SIZE) as u64
+    }
+
+    /// Capacity in pages.
+    pub fn pages(&self) -> u64 {
+        (self.bytes.len() / PAGE_SIZE) as u64
+    }
+
+    /// Whether this memory has been destroyed and not yet reconstructed.
+    pub fn is_lost(&self) -> bool {
+        self.lost
+    }
+
+    fn line_range(&self, local_line: u64) -> std::ops::Range<usize> {
+        let start = local_line as usize * LINE_SIZE;
+        assert!(
+            start + LINE_SIZE <= self.bytes.len(),
+            "line {local_line} outside node memory"
+        );
+        start..start + LINE_SIZE
+    }
+
+    /// Reads one line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is out of range, or if the memory is lost —
+    /// recovery must reconstruct pages before reading them.
+    pub fn read_line(&self, local_line: u64) -> LineData {
+        assert!(
+            !self.lost,
+            "read of destroyed memory (line {local_line}); reconstruct first"
+        );
+        let r = self.line_range(local_line);
+        let mut out = [0u8; LINE_SIZE];
+        out.copy_from_slice(&self.bytes[r]);
+        LineData(out)
+    }
+
+    /// Writes one line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is out of range or the memory is lost.
+    pub fn write_line(&mut self, local_line: u64, data: LineData) {
+        assert!(
+            !self.lost,
+            "write to destroyed memory (line {local_line}); reconstruct first"
+        );
+        let r = self.line_range(local_line);
+        self.bytes[r].copy_from_slice(&data.0);
+    }
+
+    /// XORs `delta` into a line in place (the parity-home update
+    /// `P' = P ^ U` of Figure 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is out of range or the memory is lost.
+    pub fn xor_line(&mut self, local_line: u64, delta: LineData) {
+        let cur = self.read_line(local_line);
+        self.write_line(local_line, cur ^ delta);
+    }
+
+    /// Destroys the contents (node-loss injection): data becomes garbage
+    /// and all further access panics until [`NodeMemory::reconstruct_blank`]
+    /// resets it.
+    pub fn destroy(&mut self) {
+        self.bytes.fill(0xDE);
+        self.lost = true;
+    }
+
+    /// Replaces the destroyed contents with a zeroed memory ready for
+    /// reconstruction (recovery Phase 2 writes rebuilt pages into it).
+    pub fn reconstruct_blank(&mut self) {
+        self.bytes.fill(0);
+        self.lost = false;
+    }
+
+    /// A full copy of the contents, for shadow-snapshot verification.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory is lost.
+    pub fn snapshot(&self) -> Vec<u8> {
+        assert!(!self.lost, "snapshot of destroyed memory");
+        self.bytes.clone()
+    }
+
+    /// Restores contents from a snapshot taken with [`NodeMemory::snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot size does not match.
+    pub fn restore(&mut self, snapshot: &[u8]) {
+        assert_eq!(snapshot.len(), self.bytes.len(), "snapshot size mismatch");
+        self.bytes.copy_from_slice(snapshot);
+        self.lost = false;
+    }
+}
+
+impl std::fmt::Debug for NodeMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "NodeMemory({} KB{})",
+            self.bytes.len() / 1024,
+            if self.lost { ", LOST" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = NodeMemory::new(PAGE_SIZE);
+        assert_eq!(m.read_line(0), LineData::ZERO);
+        let d = LineData::from_seed(5);
+        m.write_line(7, d);
+        assert_eq!(m.read_line(7), d);
+        assert_eq!(m.lines(), (PAGE_SIZE / LINE_SIZE) as u64);
+        assert_eq!(m.pages(), 1);
+    }
+
+    #[test]
+    fn xor_line_applies_delta() {
+        let mut m = NodeMemory::new(PAGE_SIZE);
+        m.write_line(0, LineData::fill(0xF0));
+        m.xor_line(0, LineData::fill(0x0F));
+        assert_eq!(m.read_line(0), LineData::fill(0xFF));
+    }
+
+    #[test]
+    fn snapshot_restore() {
+        let mut m = NodeMemory::new(PAGE_SIZE);
+        m.write_line(3, LineData::fill(1));
+        let snap = m.snapshot();
+        m.write_line(3, LineData::fill(2));
+        m.restore(&snap);
+        assert_eq!(m.read_line(3), LineData::fill(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "destroyed memory")]
+    fn read_after_destroy_panics() {
+        let mut m = NodeMemory::new(PAGE_SIZE);
+        m.destroy();
+        assert!(m.is_lost());
+        let _ = m.read_line(0);
+    }
+
+    #[test]
+    fn reconstruct_blank_allows_access_again() {
+        let mut m = NodeMemory::new(PAGE_SIZE);
+        m.write_line(0, LineData::fill(9));
+        m.destroy();
+        m.reconstruct_blank();
+        assert!(!m.is_lost());
+        // Contents were genuinely lost.
+        assert_eq!(m.read_line(0), LineData::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside node memory")]
+    fn out_of_range_line_panics() {
+        let m = NodeMemory::new(PAGE_SIZE);
+        let _ = m.read_line(m.lines());
+    }
+}

@@ -1,0 +1,30 @@
+//! 2-D torus interconnect model.
+//!
+//! The evaluated machine (Table 3 of the paper) connects its 16 nodes with a
+//! 4×4 2-D torus using virtual cut-through routing; an uncontended message
+//! takes `30ns + 8ns × hops`. This crate provides:
+//!
+//! * [`topology::Torus`] — coordinates, wrap-around distances, and
+//!   deterministic dimension-order (X-then-Y) routing.
+//! * [`fabric::Fabric`] — the timing model: per-link busy-until contention
+//!   plus the cut-through latency formula, and byte accounting per link.
+//!
+//! # Example
+//!
+//! ```
+//! use revive_net::{Fabric, FabricConfig, Torus};
+//! use revive_sim::{time::Ns, types::NodeId};
+//!
+//! let torus = Torus::new(4, 4);
+//! assert_eq!(torus.hops(NodeId(0), NodeId(5)), 2); // one X hop + one Y hop
+//!
+//! let mut fabric = Fabric::new(torus, FabricConfig::default());
+//! let arrival = fabric.send(Ns(0), NodeId(0), NodeId(5), 72);
+//! assert_eq!(arrival, Ns(30 + 8 * 2)); // uncontended
+//! ```
+
+pub mod fabric;
+pub mod topology;
+
+pub use fabric::{Fabric, FabricConfig};
+pub use topology::Torus;

@@ -1,0 +1,290 @@
+//! Torus coordinates and dimension-order routing.
+
+use revive_sim::types::NodeId;
+
+/// A 2-D torus of `width × height` nodes.
+///
+/// Node `i` sits at coordinates `(i % width, i / width)`. Links wrap around
+/// in both dimensions. Routing is deterministic dimension-order: first move
+/// along X (taking the shorter way around), then along Y.
+///
+/// # Example
+///
+/// ```
+/// use revive_net::Torus;
+/// use revive_sim::types::NodeId;
+///
+/// let t = Torus::new(4, 4);
+/// assert_eq!(t.coords(NodeId(6)), (2, 1));
+/// // Wrap-around: node 0 to node 3 is 1 hop, not 3.
+/// assert_eq!(t.hops(NodeId(0), NodeId(3)), 1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Torus {
+    width: usize,
+    height: usize,
+}
+
+/// A unidirectional link between two adjacent torus nodes, identified by its
+/// source node and direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LinkId {
+    /// Node the link leaves from.
+    pub from: NodeId,
+    /// Direction the link points in.
+    pub dir: Direction,
+}
+
+/// The four torus link directions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Toward larger X (wrapping).
+    East,
+    /// Toward smaller X (wrapping).
+    West,
+    /// Toward larger Y (wrapping).
+    South,
+    /// Toward smaller Y (wrapping).
+    North,
+}
+
+impl Direction {
+    /// All four directions, in a fixed order (used for link indexing).
+    pub const ALL: [Direction; 4] = [
+        Direction::East,
+        Direction::West,
+        Direction::South,
+        Direction::North,
+    ];
+
+    /// Position of this direction within [`Direction::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Direction::East => 0,
+            Direction::West => 1,
+            Direction::South => 2,
+            Direction::North => 3,
+        }
+    }
+}
+
+impl Torus {
+    /// Creates a torus of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Torus {
+        assert!(width > 0 && height > 0, "torus dimensions must be nonzero");
+        Torus { width, height }
+    }
+
+    /// A square torus holding at least `n` nodes; `n` must be a perfect
+    /// square (the paper's 16-node machine is a 4×4 torus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive perfect square.
+    pub fn square_for(n: usize) -> Torus {
+        let side = (n as f64).sqrt().round() as usize;
+        assert!(
+            side * side == n && n > 0,
+            "node count {n} is not a perfect square"
+        );
+        Torus::new(side, side)
+    }
+
+    /// Width of the torus (nodes per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height of the torus (number of rows).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Whether the torus has no nodes (never true; see [`Torus::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Coordinates `(x, y)` of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is outside the torus.
+    pub fn coords(&self, n: NodeId) -> (usize, usize) {
+        let i = n.index();
+        assert!(i < self.len(), "node {n} outside {}x{} torus", self.width, self.height);
+        (i % self.width, i / self.width)
+    }
+
+    /// The node at coordinates `(x, y)` (taken modulo the dimensions).
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        NodeId::from((y % self.height) * self.width + (x % self.width))
+    }
+
+    /// Signed shortest step along one wrapping dimension: -1, 0, or +1 times
+    /// the direction that minimizes hop count.
+    fn step(from: usize, to: usize, size: usize) -> isize {
+        if from == to {
+            return 0;
+        }
+        let forward = (to + size - from) % size;
+        let backward = (from + size - to) % size;
+        // Ties go forward, keeping routing deterministic.
+        if forward <= backward {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Minimal hop distance between two nodes under wrap-around routing.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let dx = {
+            let f = (bx + self.width - ax) % self.width;
+            f.min(self.width - f)
+        };
+        let dy = {
+            let f = (by + self.height - ay) % self.height;
+            f.min(self.height - f)
+        };
+        dx + dy
+    }
+
+    /// The deterministic X-then-Y route from `a` to `b` as the sequence of
+    /// links traversed. Empty when `a == b`.
+    pub fn route(&self, a: NodeId, b: NodeId) -> Vec<LinkId> {
+        let (mut x, mut y) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        let mut links = Vec::with_capacity(self.hops(a, b));
+        while x != bx {
+            let s = Self::step(x, bx, self.width);
+            let dir = if s > 0 { Direction::East } else { Direction::West };
+            links.push(LinkId {
+                from: self.node_at(x, y),
+                dir,
+            });
+            x = (x as isize + s).rem_euclid(self.width as isize) as usize;
+        }
+        while y != by {
+            let s = Self::step(y, by, self.height);
+            let dir = if s > 0 { Direction::South } else { Direction::North };
+            links.push(LinkId {
+                from: self.node_at(x, y),
+                dir,
+            });
+            y = (y as isize + s).rem_euclid(self.height as isize) as usize;
+        }
+        links
+    }
+
+    /// Flat index of a link, for dense per-link state: each node owns four
+    /// outgoing links, ordered by [`Direction::ALL`].
+    pub fn link_index(&self, link: LinkId) -> usize {
+        link.from.index() * 4 + link.dir.index()
+    }
+
+    /// Total number of unidirectional links.
+    pub fn link_count(&self) -> usize {
+        self.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_and_node_at_are_inverse() {
+        let t = Torus::new(4, 4);
+        for n in NodeId::all(16) {
+            let (x, y) = t.coords(n);
+            assert_eq!(t.node_at(x, y), n);
+        }
+    }
+
+    #[test]
+    fn square_for_sixteen() {
+        let t = Torus::square_for(16);
+        assert_eq!((t.width(), t.height()), (4, 4));
+        assert_eq!(t.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a perfect square")]
+    fn square_for_rejects_non_square() {
+        let _ = Torus::square_for(12);
+    }
+
+    #[test]
+    fn wraparound_distance() {
+        let t = Torus::new(4, 4);
+        // 0=(0,0), 3=(3,0): wrap makes this one hop.
+        assert_eq!(t.hops(NodeId(0), NodeId(3)), 1);
+        // 0=(0,0), 10=(2,2): 2+2 hops (both at the max distance of 2).
+        assert_eq!(t.hops(NodeId(0), NodeId(10)), 4);
+        // Distance to self is zero.
+        assert_eq!(t.hops(NodeId(5), NodeId(5)), 0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let t = Torus::new(4, 4);
+        for a in NodeId::all(16) {
+            for b in NodeId::all(16) {
+                assert_eq!(t.hops(a, b), t.hops(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn route_length_matches_hops() {
+        let t = Torus::new(4, 4);
+        for a in NodeId::all(16) {
+            for b in NodeId::all(16) {
+                let r = t.route(a, b);
+                assert_eq!(r.len(), t.hops(a, b), "route {a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn route_links_are_contiguous() {
+        let t = Torus::new(4, 4);
+        let r = t.route(NodeId(0), NodeId(10));
+        // First link must leave the source.
+        assert_eq!(r[0].from, NodeId(0));
+    }
+
+    #[test]
+    fn link_indices_are_unique_and_dense() {
+        let t = Torus::new(4, 4);
+        let mut seen = vec![false; t.link_count()];
+        for n in NodeId::all(16) {
+            for d in Direction::ALL {
+                let idx = t.link_index(LinkId { from: n, dir: d });
+                assert!(!seen[idx]);
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn rectangular_torus_works() {
+        let t = Torus::new(8, 2);
+        assert_eq!(t.len(), 16);
+        assert_eq!(t.hops(NodeId(0), NodeId(7)), 1); // X wrap on width 8
+        assert_eq!(t.hops(NodeId(0), NodeId(8)), 1); // one Y hop
+    }
+}

@@ -1,0 +1,228 @@
+//! Deterministic discrete-event scheduler.
+//!
+//! The simulator is a classic discrete-event simulation: components schedule
+//! events at future times, and a central loop pops them in time order and
+//! dispatches them. [`EventQueue`] is the priority queue at the heart of the
+//! loop. Ties in time are broken by insertion order (FIFO), which makes runs
+//! bit-for-bit reproducible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Ns;
+
+/// A monotonically increasing sequence number used to break ties between
+/// events scheduled for the same instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Seq(u64);
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Ns,
+    seq: Seq,
+    event: E,
+}
+
+// Order by (time, seq); the payload never participates in the ordering, so
+// `E` needs no trait bounds.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A deterministic time-ordered event queue.
+///
+/// Events scheduled for the same time are delivered in the order they were
+/// scheduled (FIFO), so a simulation driven by this queue is fully
+/// deterministic for a given input.
+///
+/// # Example
+///
+/// ```
+/// use revive_sim::engine::EventQueue;
+/// use revive_sim::time::Ns;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Ns(5), 'x');
+/// q.schedule(Ns(5), 'y'); // same instant: FIFO
+/// q.schedule(Ns(1), 'z');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['z', 'x', 'y']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    now: Ns,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue positioned at time zero.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: Ns::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The time of the most recently popped event (the simulation clock).
+    pub fn now(&self) -> Ns {
+        self.now
+    }
+
+    /// Total number of events popped so far.
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of events currently pending.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past (before the last popped event): the
+    /// simulation clock never runs backwards.
+    pub fn schedule(&mut self, at: Ns, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = Seq(self.next_seq);
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
+    }
+
+    /// Schedules `event` to fire `delay` after the current clock.
+    pub fn schedule_in(&mut self, delay: Ns, event: E) {
+        let at = self.now + delay;
+        self.schedule(at, event);
+    }
+
+    /// Pops the next event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<(Ns, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        self.popped += 1;
+        Some((entry.time, entry.event))
+    }
+
+    /// The time of the next pending event, if any, without popping it.
+    pub fn peek_time(&self) -> Option<Ns> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Drops every pending event, keeping the clock where it is. Used when
+    /// a machine is reset after an error: in-flight messages died with the
+    /// hardware they were traversing.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Removes and returns every pending event (in time order) without
+    /// advancing the clock. Used at error-injection teardown to examine
+    /// in-flight messages: those that physically survive the error are
+    /// applied, the rest discarded.
+    pub fn drain(&mut self) -> Vec<(Ns, E)> {
+        let mut entries: Vec<Entry<E>> = self.heap.drain().map(|Reverse(e)| e).collect();
+        entries.sort_by_key(|e| (e.time, e.seq));
+        entries.into_iter().map(|e| (e.time, e.event)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(30), 3u32);
+        q.schedule(Ns(10), 1);
+        q.schedule(Ns(20), 2);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((Ns(10), 1)));
+        assert_eq!(q.pop(), Some((Ns(20), 2)));
+        assert_eq!(q.pop(), Some((Ns(30), 3)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+        assert_eq!(q.events_processed(), 3);
+    }
+
+    #[test]
+    fn simultaneous_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Ns(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Ns(7), i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(10), ());
+        assert_eq!(q.now(), Ns::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Ns(10));
+        q.schedule_in(Ns(5), ());
+        assert_eq!(q.peek_time(), Some(Ns(15)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(10), ());
+        q.pop();
+        q.schedule(Ns(5), ());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(1), "a");
+        q.schedule(Ns(5), "c");
+        assert_eq!(q.pop(), Some((Ns(1), "a")));
+        q.schedule(Ns(3), "b");
+        assert_eq!(q.pop(), Some((Ns(3), "b")));
+        assert_eq!(q.pop(), Some((Ns(5), "c")));
+    }
+}

@@ -1,0 +1,339 @@
+//! Statistics primitives used by the metrics layer.
+//!
+//! The evaluation section of the paper reports aggregate counters (traffic
+//! breakdowns, log high-water marks) and a handful of distributions. This
+//! module provides the small set of accumulators those reports are built
+//! from: [`Counter`], [`Running`] (mean/min/max), and a power-of-two bucketed
+//! [`Histogram`].
+
+use std::fmt;
+
+/// A simple monotonically increasing event/byte counter.
+///
+/// # Example
+///
+/// ```
+/// use revive_sim::stats::Counter;
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.inc();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Counter {
+        Counter(0)
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero, returning the previous value.
+    pub fn take(&mut self) -> u64 {
+        std::mem::take(&mut self.0)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Running summary statistics: count, sum, mean, min, max.
+///
+/// # Example
+///
+/// ```
+/// use revive_sim::stats::Running;
+/// let mut r = Running::new();
+/// for x in [2.0, 4.0, 6.0] { r.record(x); }
+/// assert_eq!(r.count(), 3);
+/// assert_eq!(r.mean(), 4.0);
+/// assert_eq!(r.min(), 2.0);
+/// assert_eq!(r.max(), 6.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Running {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Running {
+        Running {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Arithmetic mean; zero when no samples have been recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample; zero when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample; zero when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &Running) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Running {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} max={:.3}",
+            self.count,
+            self.mean(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// A histogram with power-of-two buckets: bucket `i` holds samples in
+/// `[2^(i-1), 2^i)` (bucket 0 holds the value 0).
+///
+/// # Example
+///
+/// ```
+/// use revive_sim::stats::Histogram;
+/// let mut h = Histogram::new();
+/// h.record(0);
+/// h.record(1);
+/// h.record(5); // falls in [4, 8) => bucket 3
+/// assert_eq!(h.total(), 3);
+/// assert_eq!(h.bucket_count(3), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    fn bucket_of(x: u64) -> usize {
+        if x == 0 {
+            0
+        } else {
+            (64 - x.leading_zeros()) as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: u64) {
+        let b = Self::bucket_of(x);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of samples in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// The smallest value `v` such that at least `q` (in `[0,1]`) of the
+    /// samples are `<= v`, reported at bucket-boundary granularity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let upper = |i: usize| -> u64 {
+            if i == 0 {
+                0
+            } else if i >= 64 {
+                u64::MAX // the top bucket's bound saturates
+            } else {
+                (1u64 << i) - 1
+            }
+        };
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return upper(i);
+            }
+        }
+        upper(self.buckets.len())
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hist(n={})", self.total)?;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                write!(f, " [{lo}..):{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.take(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn running_empty_is_zeroed() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.min(), 0.0);
+        assert_eq!(r.max(), 0.0);
+    }
+
+    #[test]
+    fn running_merge() {
+        let mut a = Running::new();
+        a.record(1.0);
+        a.record(3.0);
+        let mut b = Running::new();
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.max(), 5.0);
+        let empty = Running::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 1: [1,2)
+        h.record(2); // bucket 2: [2,4)
+        h.record(3); // bucket 2
+        h.record(1024); // bucket 11
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(2), 2);
+        assert_eq!(h.bucket_count(11), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for x in 0..100u64 {
+            h.record(x);
+        }
+        assert_eq!(h.quantile_upper_bound(0.0), 0);
+        // Median of 0..100 is within [32..64) => upper bound 63.
+        assert_eq!(h.quantile_upper_bound(0.5), 63);
+        assert_eq!(h.quantile_upper_bound(1.0), 127);
+        assert_eq!(Histogram::new().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_top_bucket_saturates() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX); // lands in bucket 64
+        assert_eq!(h.quantile_upper_bound(1.0), u64::MAX);
+        assert_eq!(h.bucket_count(64), 1);
+    }
+
+    #[test]
+    fn histogram_display_nonempty() {
+        let mut h = Histogram::new();
+        h.record(4);
+        assert!(!h.to_string().is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Simulation time.
+//!
+//! All timing in the simulator is expressed in integer nanoseconds via the
+//! [`Ns`] newtype. The modeled machine runs a 1 GHz processor (Table 3 of the
+//! paper), so one nanosecond is also one processor cycle.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or duration of) simulated time, in nanoseconds.
+///
+/// `Ns` is deliberately a plain integer newtype: integer time keeps the
+/// event queue deterministic across platforms (no floating-point ordering
+/// surprises).
+///
+/// # Example
+///
+/// ```
+/// use revive_sim::time::Ns;
+/// let t = Ns::from_us(5) + Ns(30);
+/// assert_eq!(t, Ns(5_030));
+/// assert_eq!(t.as_us(), 5.03);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ns(pub u64);
+
+impl Ns {
+    /// Zero time; the epoch of every simulation.
+    pub const ZERO: Ns = Ns(0);
+    /// The largest representable time (used as "never").
+    pub const MAX: Ns = Ns(u64::MAX);
+
+    /// Builds a time from microseconds.
+    ///
+    /// ```
+    /// # use revive_sim::time::Ns;
+    /// assert_eq!(Ns::from_us(2), Ns(2_000));
+    /// ```
+    pub const fn from_us(us: u64) -> Ns {
+        Ns(us * 1_000)
+    }
+
+    /// Builds a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Ns {
+        Ns(ms * 1_000_000)
+    }
+
+    /// Builds a time from seconds.
+    pub const fn from_secs(s: u64) -> Ns {
+        Ns(s * 1_000_000_000)
+    }
+
+    /// This time expressed in fractional microseconds.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This time expressed in fractional milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This time expressed in fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating subtraction: `a.saturating_sub(b)` is zero when `b > a`.
+    pub fn saturating_sub(self, rhs: Ns) -> Ns {
+        Ns(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The larger of two times.
+    pub fn max(self, rhs: Ns) -> Ns {
+        if self >= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// The smaller of two times.
+    pub fn min(self, rhs: Ns) -> Ns {
+        if self <= rhs {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add for Ns {
+    type Output = Ns;
+    fn add(self, rhs: Ns) -> Ns {
+        Ns(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ns {
+    fn add_assign(&mut self, rhs: Ns) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ns {
+    type Output = Ns;
+    fn sub(self, rhs: Ns) -> Ns {
+        Ns(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Ns {
+    fn sub_assign(&mut self, rhs: Ns) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Ns {
+    type Output = Ns;
+    fn mul(self, rhs: u64) -> Ns {
+        Ns(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Ns {
+    type Output = Ns;
+    fn div(self, rhs: u64) -> Ns {
+        Ns(self.0 / rhs)
+    }
+}
+
+impl Sum for Ns {
+    fn sum<I: Iterator<Item = Ns>>(iter: I) -> Ns {
+        iter.fold(Ns::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Ns {
+    /// Human-readable rendering with an auto-selected unit.
+    ///
+    /// ```
+    /// # use revive_sim::time::Ns;
+    /// assert_eq!(Ns(42).to_string(), "42ns");
+    /// assert_eq!(Ns(42_000).to_string(), "42.000us");
+    /// assert_eq!(Ns::from_ms(3).to_string(), "3.000ms");
+    /// ```
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_ms())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_us())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Ns::from_us(1), Ns(1_000));
+        assert_eq!(Ns::from_ms(1), Ns(1_000_000));
+        assert_eq!(Ns::from_secs(1), Ns(1_000_000_000));
+        assert_eq!(Ns::from_secs(2).as_secs(), 2.0);
+        assert_eq!(Ns::from_ms(5).as_ms(), 5.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let mut t = Ns(100);
+        t += Ns(50);
+        assert_eq!(t, Ns(150));
+        t -= Ns(25);
+        assert_eq!(t, Ns(125));
+        assert_eq!(t * 2, Ns(250));
+        assert_eq!(t / 5, Ns(25));
+        assert_eq!(Ns(10).saturating_sub(Ns(20)), Ns::ZERO);
+        assert_eq!(Ns(30).saturating_sub(Ns(20)), Ns(10));
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(Ns(3).max(Ns(7)), Ns(7));
+        assert_eq!(Ns(3).min(Ns(7)), Ns(3));
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Ns = [Ns(1), Ns(2), Ns(3)].into_iter().sum();
+        assert_eq!(total, Ns(6));
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Ns(999).to_string(), "999ns");
+        assert_eq!(Ns(1_500).to_string(), "1.500us");
+        assert_eq!(Ns(2_500_000).to_string(), "2.500ms");
+        assert_eq!(Ns(1_500_000_000).to_string(), "1.500s");
+    }
+}

@@ -1,0 +1,241 @@
+//! Address-stream building blocks.
+//!
+//! Each [`Pattern`] turns a position in an abstract region into concrete
+//! byte addresses: streaming sweeps, blocked (tiled) walks, 5-point stencil
+//! sweeps, uniform-random accesses, dependent pointer chases, and
+//! radix-style scatters. The SPLASH-2 models in [`crate::splash`] are
+//! compositions of these over private and shared regions.
+
+use revive_sim::rng::DetRng;
+
+/// Where a phase's accesses land in the application's virtual space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// First byte of the region.
+    pub base: u64,
+    /// Region length in bytes.
+    pub len: u64,
+}
+
+impl Region {
+    /// A region `[base, base + len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn new(base: u64, len: u64) -> Region {
+        assert!(len > 0, "empty region");
+        Region { base, len }
+    }
+
+    /// Clamps an offset into the region.
+    fn at(&self, off: u64) -> u64 {
+        self.base + off % self.len
+    }
+}
+
+/// An address-generation pattern over a region.
+#[derive(Clone, Debug)]
+pub enum Pattern {
+    /// Sequential sweep with a stride (unit-stride streaming, or the large
+    /// strides of an FFT transpose).
+    Sequential {
+        /// Stride in bytes between consecutive accesses.
+        stride: u64,
+    },
+    /// Tiled walk: sweep a `block`-byte tile densely, then jump to the next
+    /// tile (LU/Cholesky-style blocked kernels with high reuse).
+    Blocked {
+        /// Tile size in bytes.
+        block: u64,
+        /// Dense revisits of each tile before moving on.
+        reuse: u32,
+    },
+    /// 5-point stencil sweep over a logically 2-D grid (Ocean): each step
+    /// touches the element and its four neighbors.
+    Stencil {
+        /// Bytes per grid row.
+        row_bytes: u64,
+        /// Bytes per element.
+        elem: u64,
+    },
+    /// Uniform-random accesses over the region.
+    Random,
+    /// Dependent pointer chase: the next address derives from the previous
+    /// one (Barnes/FMM tree walks); defeats spatial prefetch-like locality.
+    Chase,
+    /// Radix-style scatter: sequential key reads translated into random
+    /// bucket writes across the region.
+    Scatter,
+}
+
+/// A running cursor of one pattern over one region for one CPU.
+#[derive(Clone, Debug)]
+pub struct Cursor {
+    pattern: Pattern,
+    region: Region,
+    pos: u64,
+    chase_state: u64,
+    step: u64,
+}
+
+impl Cursor {
+    /// Creates a cursor at the region's start.
+    pub fn new(pattern: Pattern, region: Region, salt: u64) -> Cursor {
+        Cursor {
+            pattern,
+            region,
+            pos: salt.wrapping_mul(0x9E37_79B9) % region.len,
+            chase_state: salt | 1,
+            step: 0,
+        }
+    }
+
+    /// The region this cursor walks.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Produces the next address.
+    pub fn next(&mut self, rng: &mut DetRng) -> u64 {
+        self.step += 1;
+        match self.pattern {
+            Pattern::Sequential { stride } => {
+                let a = self.region.at(self.pos);
+                self.pos = (self.pos + stride) % self.region.len;
+                a
+            }
+            Pattern::Blocked { block, reuse } => {
+                let block = block.min(self.region.len);
+                let blocks = (self.region.len / block).max(1);
+                // Visit `reuse` random cells of the tile per linear step.
+                let tile = (self.step / (block / 64).max(1) / reuse as u64) % blocks;
+                let within = if self.step.is_multiple_of(2) {
+                    (self.step * 64) % block
+                } else {
+                    rng.range(0, block / 64) * 64
+                };
+                self.region.at(tile * block + within)
+            }
+            Pattern::Stencil { row_bytes, elem } => {
+                // Sweep the grid; each logical element emits its center and
+                // neighbors in turn.
+                let neighbors = 5;
+                let cell = self.step / neighbors;
+                let which = self.step % neighbors;
+                let center = cell * elem;
+                let off = match which {
+                    0 => center,
+                    1 => center.wrapping_add(elem),
+                    2 => center.wrapping_sub(elem),
+                    3 => center.wrapping_add(row_bytes),
+                    _ => center.wrapping_sub(row_bytes),
+                };
+                self.region.at(off)
+            }
+            Pattern::Random => self.region.at(rng.range(0, self.region.len)),
+            Pattern::Chase => {
+                // Next address is a hash of the previous: a dependent chain.
+                let mut z = self.chase_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z ^= z >> 27;
+                self.chase_state = z;
+                self.region.at(z)
+            }
+            Pattern::Scatter => {
+                // Keys are read sequentially elsewhere; the destination
+                // bucket is effectively random.
+                self.region.at(rng.next_u64())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::seed(11)
+    }
+
+    #[test]
+    fn sequential_strides() {
+        let mut c = Cursor::new(
+            Pattern::Sequential { stride: 64 },
+            Region::new(1000, 256),
+            0,
+        );
+        let mut r = rng();
+        let a = c.next(&mut r);
+        let b = c.next(&mut r);
+        assert_eq!(b, if a + 64 < 1000 + 256 { a + 64 } else { 1000 });
+    }
+
+    #[test]
+    fn addresses_stay_in_region() {
+        let region = Region::new(4096, 8192);
+        let pats = [
+            Pattern::Sequential { stride: 192 },
+            Pattern::Blocked {
+                block: 1024,
+                reuse: 4,
+            },
+            Pattern::Stencil {
+                row_bytes: 512,
+                elem: 8,
+            },
+            Pattern::Random,
+            Pattern::Chase,
+            Pattern::Scatter,
+        ];
+        for p in pats {
+            let mut c = Cursor::new(p.clone(), region, 5);
+            let mut r = rng();
+            for _ in 0..2000 {
+                let a = c.next(&mut r);
+                assert!(
+                    (4096..4096 + 8192).contains(&a),
+                    "{p:?} escaped: {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chase_is_deterministic_dependent_chain() {
+        let region = Region::new(0, 1 << 20);
+        let mut c1 = Cursor::new(Pattern::Chase, region, 9);
+        let mut c2 = Cursor::new(Pattern::Chase, region, 9);
+        let mut r1 = rng();
+        let mut r2 = rng();
+        for _ in 0..100 {
+            assert_eq!(c1.next(&mut r1), c2.next(&mut r2));
+        }
+    }
+
+    #[test]
+    fn blocked_reuses_tiles() {
+        let region = Region::new(0, 64 * 1024);
+        let mut c = Cursor::new(
+            Pattern::Blocked {
+                block: 4096,
+                reuse: 8,
+            },
+            region,
+            0,
+        );
+        let mut r = rng();
+        // Consecutive accesses should mostly stay within one 4 KB tile.
+        let addrs: Vec<u64> = (0..64).map(|_| c.next(&mut r)).collect();
+        let tiles: std::collections::HashSet<u64> =
+            addrs.iter().map(|a| a / 4096).collect();
+        assert!(tiles.len() <= 3, "too many tiles: {}", tiles.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn empty_region_rejected() {
+        let _ = Region::new(0, 0);
+    }
+}

@@ -1,0 +1,66 @@
+//! Parity vs mirroring: the paper's memory-vs-performance trade-off
+//! (Sections 3.2.1 and 6.1).
+//!
+//! N+1 parity spends 1/(N+1) of memory and pays XOR read-modify-writes on
+//! every update; mirroring spends half of memory but each update is a
+//! single remote write. The paper suggests machines could even mix the two
+//! (hot pages mirrored, the rest parity-protected).
+//!
+//! ```text
+//! cargo run --release --example parity_vs_mirroring
+//! ```
+
+use revive::core::parity::ParityMap;
+use revive::machine::{ExperimentConfig, ReviveConfig, Runner, WorkloadSpec};
+use revive::mem::addr::AddressMap;
+use revive::sim::time::Ns;
+use revive::workloads::AppId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let interval = Ns::from_ms(2);
+    let ops = 400_000;
+    println!(
+        "{:>10}  {:>10}  {:>10}  {:>10}  {:>12}  {:>10}",
+        "app", "parity%", "mixed25%", "mirror%", "parity mem", "mirror mem"
+    );
+    for app in [AppId::Fft, AppId::Radix, AppId::Lu] {
+        let mut base_cfg =
+            ExperimentConfig::experiment(WorkloadSpec::Splash(app), ReviveConfig::off());
+        base_cfg.ops_per_cpu = ops;
+        let base = Runner::new(base_cfg)?.run()?;
+
+        let time_with = |revive: ReviveConfig| -> Result<Ns, Box<dyn std::error::Error>> {
+            let mut cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), revive);
+            cfg.ops_per_cpu = ops;
+            Ok(Runner::new(cfg)?.run()?.sim_time)
+        };
+        let t_parity = time_with(ReviveConfig::parity(interval))?;
+        let t_mirror = time_with(ReviveConfig::mirroring(interval))?;
+        let t_mixed = {
+            let mut c = ReviveConfig::parity(interval);
+            c.mode = revive::machine::ReviveMode::Mixed {
+                group_data_pages: 7,
+                mirrored_fraction: 0.25,
+            };
+            time_with(c)?
+        };
+
+        let map = AddressMap::new(16, 2 * 1024 * 1024);
+        let pct = |t: Ns| 100.0 * (t.0 as f64 / base.sim_time.0 as f64 - 1.0);
+        println!(
+            "{:>10}  {:>10.1}  {:>10.1}  {:>10.1}  {:>11.1}%  {:>9.0}%",
+            app.name(),
+            pct(t_parity),
+            pct(t_mixed),
+            pct(t_mirror),
+            100.0 * ParityMap::new(map, 7).storage_overhead(),
+            100.0 * ParityMap::new(map, 1).storage_overhead(),
+        );
+    }
+    println!(
+        "\nexpected shape (paper Fig 8 + §6.2): mirroring is faster — each\n\
+         update is one write instead of XOR read-modify-writes — but costs\n\
+         50% of memory where 7+1 parity costs 12.5%."
+    );
+    Ok(())
+}

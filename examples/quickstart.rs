@@ -1,0 +1,53 @@
+//! Quickstart: build a ReVive-protected multiprocessor, run a workload,
+//! and look at what the recovery hardware did.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use revive::machine::{ExperimentConfig, Runner, TrafficClass, WorkloadSpec};
+use revive::workloads::AppId;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 16-node CC-NUMA machine (Table 3 of the paper, caches scaled per
+    // EXPERIMENTS.md) running an FFT-like workload with 7+1 parity and
+    // periodic global checkpoints.
+    let mut cfg = ExperimentConfig::experiment(
+        WorkloadSpec::Splash(AppId::Fft),
+        revive::machine::ReviveConfig::parity(revive::sim::time::Ns::from_us(500)),
+    );
+    cfg.ops_per_cpu = 300_000; // a few checkpoint intervals, still snappy
+
+    let result = Runner::new(cfg)?.run()?;
+
+    println!("simulated time          : {}", result.sim_time);
+    println!("events processed        : {}", result.events);
+    println!(
+        "memory ops / instructions: {} / {}",
+        result.metrics.traffic.cpu_ops, result.metrics.traffic.instructions
+    );
+    println!(
+        "global L2 miss rate     : {:.2}%",
+        100.0 * result.metrics.l2_miss_rate()
+    );
+    println!();
+    println!("--- ReVive activity ---");
+    println!("checkpoints committed   : {}", result.checkpoints);
+    println!(
+        "mean checkpoint cost    : {}",
+        result.ckpt.mean_duration()
+    );
+    println!(
+        "lines logged (Fig 5a/5b): {} / {}",
+        result.metrics.costs.rdx_unlogged, result.metrics.costs.wb_unlogged
+    );
+    println!(
+        "parity network traffic  : {:.2} MB",
+        result.metrics.traffic.net_bytes[TrafficClass::Par.index()] as f64 / 1e6
+    );
+    println!(
+        "peak log usage (a node) : {:.0} KB",
+        result.metrics.max_log_bytes() as f64 / 1024.0
+    );
+    Ok(())
+}

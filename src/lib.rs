@@ -1,0 +1,53 @@
+//! # ReVive — rollback recovery for shared-memory multiprocessors
+//!
+//! This is a from-scratch Rust reproduction of *"ReVive: Cost-Effective
+//! Architectural Support for Rollback Recovery in Shared-Memory
+//! Multiprocessors"* (Prvulovic, Zhang, Torrellas; ISCA 2002), including the
+//! full CC-NUMA directory-coherence simulator substrate the paper evaluates
+//! on.
+//!
+//! This crate is a facade that re-exports the workspace crates:
+//!
+//! * [`sim`] — discrete-event simulation kernel (time, events, resources,
+//!   statistics, deterministic RNG).
+//! * [`net`] — 2-D torus interconnect with virtual cut-through routing and
+//!   link contention.
+//! * [`mem`] — addresses, set-associative write-back caches, banked DRAM
+//!   timing, and functional (data-carrying) main memory.
+//! * [`coherence`] — full-map MESI directory cache-coherence protocol.
+//! * [`core`] — the paper's contribution: hardware logging, distributed N+1
+//!   parity / mirroring, global two-phase-commit checkpointing, and
+//!   multi-phase rollback recovery.
+//! * [`workloads`] — synthetic SPLASH-2-like workload models (Table 4).
+//! * [`machine`] — node/system assembly, the timing CPU model, metrics, and
+//!   experiment runners.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use revive::machine::{ExperimentConfig, Runner};
+//! use revive::workloads::AppId;
+//!
+//! # fn main() -> Result<(), revive::machine::MachineError> {
+//! // A small 4-node system running a scaled-down FFT-like workload.
+//! let mut cfg = ExperimentConfig::test_small(AppId::Fft);
+//! cfg.ops_per_cpu = 5_000; // keep the doctest fast
+//! let result = Runner::new(cfg)?.run()?;
+//! assert!(result.sim_time > revive::sim::time::Ns::ZERO);
+//! println!("L2 miss rate: {:.2}%", 100.0 * result.metrics.l2_miss_rate());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios: error injection
+//! and recovery, checkpoint-interval tuning, and parity-vs-mirroring
+//! trade-offs. The `crates/bench` binaries regenerate every table and figure
+//! of the paper's evaluation section.
+
+pub use revive_coherence as coherence;
+pub use revive_core as core;
+pub use revive_machine as machine;
+pub use revive_mem as mem;
+pub use revive_net as net;
+pub use revive_sim as sim;
+pub use revive_workloads as workloads;
