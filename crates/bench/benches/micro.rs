@@ -1,12 +1,17 @@
-//! Criterion micro-benchmarks of the hot paths: the ReVive log and parity
-//! engines, the directory controller, and the simulator primitives they
-//! sit on. These are *implementation* benchmarks (ns per operation of the
-//! simulator itself), complementing the `src/bin/*` experiment binaries
-//! that regenerate the paper's tables and figures.
+//! Micro-benchmarks of the hot paths: the ReVive log and parity engines,
+//! the directory controller, and the simulator primitives they sit on.
+//! These are *implementation* benchmarks (ns per operation of the simulator
+//! itself), complementing the `src/bin/*` experiment binaries that
+//! regenerate the paper's tables and figures.
+//!
+//! Self-timed (no external harness crate — the workspace builds offline):
+//! each benchmark is warmed up, then run for a fixed iteration budget, and
+//! the per-iteration wall time is reported. Run with
+//! `cargo bench -p revive-bench`.
 
 use std::hint::black_box;
+use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use revive_coherence::cache_ctrl::{Access, CacheCtrl, OpToken};
 use revive_coherence::directory::{DirCtrl, DirIn};
 use revive_coherence::hook::{NullHook, WriteHook};
@@ -24,211 +29,196 @@ use revive_sim::engine::EventQueue;
 use revive_sim::time::Ns;
 use revive_sim::types::NodeId;
 
-fn bench_line_xor(c: &mut Criterion) {
+/// Times `op` (which runs `batch` logical operations per call) and prints
+/// ns per logical operation.
+fn bench(name: &str, batch: u64, mut op: impl FnMut()) {
+    const WARMUP: u64 = 3;
+    // Calibrate the call count so each measurement takes roughly 50 ms.
+    for _ in 0..WARMUP {
+        op();
+    }
+    let probe = Instant::now();
+    op();
+    let per_call = probe.elapsed().as_nanos().max(1);
+    let calls = (50_000_000 / per_call).clamp(1, 100_000) as u64;
+    let start = Instant::now();
+    for _ in 0..calls {
+        op();
+    }
+    let total = start.elapsed().as_nanos();
+    let per_op = total as f64 / (calls * batch) as f64;
+    println!("{name:<34} {per_op:>12.1} ns/op   ({calls} calls x {batch})");
+}
+
+fn bench_line_xor() {
     let a = LineData::from_seed(1);
     let b = LineData::from_seed(2);
-    c.bench_function("parity/line_xor", |bench| {
-        bench.iter(|| black_box(black_box(a) ^ black_box(b)))
+    bench("parity/line_xor", 1, || {
+        black_box(black_box(a) ^ black_box(b));
     });
 }
 
-fn bench_parity_map(c: &mut Criterion) {
+fn bench_parity_map() {
     let map = AddressMap::new(16, 8 * 1024 * 1024);
     let parity = ParityMap::new(map, 7);
     let lines: Vec<LineAddr> = (0..1024)
         .map(|i| LineAddr(i * 37 % map.lines_per_node()))
         .filter(|l| !parity.is_parity_page(l.page()))
         .collect();
-    c.bench_function("parity/line_lookup", |bench| {
-        let mut i = 0;
-        bench.iter(|| {
-            i = (i + 1) % lines.len();
-            black_box(parity.parity_line_of(black_box(lines[i])))
-        })
+    let mut i = 0;
+    bench("parity/line_lookup", 1, || {
+        i = (i + 1) % lines.len();
+        black_box(parity.parity_line_of(black_box(lines[i])));
     });
 }
 
-fn bench_log_append(c: &mut Criterion) {
-    c.bench_function("log/append", |bench| {
-        bench.iter_batched(
-            || {
-                let slots: Vec<LineAddr> = (0..4096).map(LineAddr).collect();
-                (MemLog::new(NodeId(0), slots), VecPort::new(LineAddr(0), 4096))
-            },
-            |(mut log, mut port)| {
-                for i in 0..1024u64 {
-                    black_box(log.append(
-                        0,
-                        LineAddr(10_000 + i),
-                        LineData::from_seed(i),
-                        true,
-                        &mut port,
-                    ));
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        )
+fn bench_log_append() {
+    bench("log/append", 1024, || {
+        let slots: Vec<LineAddr> = (0..4096).map(LineAddr).collect();
+        let mut log = MemLog::new(NodeId(0), slots);
+        let mut port = VecPort::new(LineAddr(0), 4096);
+        for i in 0..1024u64 {
+            black_box(log.append(
+                0,
+                LineAddr(10_000 + i),
+                LineData::from_seed(i),
+                true,
+                &mut port,
+            ));
+        }
     });
 }
 
-fn bench_log_scan(c: &mut Criterion) {
+fn bench_log_scan() {
     let slots: Vec<LineAddr> = (0..4096).map(LineAddr).collect();
     let mut log = MemLog::new(NodeId(0), slots);
     let mut port = VecPort::new(LineAddr(0), 4096);
     for i in 0..2000u64 {
-        log.append(i / 500, LineAddr(10_000 + i), LineData::from_seed(i), true, &mut port);
+        log.append(
+            i / 500,
+            LineAddr(10_000 + i),
+            LineData::from_seed(i),
+            true,
+            &mut port,
+        );
     }
-    c.bench_function("log/scan_2000_records", |bench| {
-        bench.iter(|| black_box(log.scan(|l| port.peek(l))))
+    bench("log/scan_2000_records", 1, || {
+        black_box(log.scan(|l| port.peek(l)));
     });
 }
 
-fn bench_directory_read(c: &mut Criterion) {
-    c.bench_function("directory/read_uncached", |bench| {
-        bench.iter_batched(
-            || (DirCtrl::new(), VecPort::new(LineAddr(0), 4096)),
-            |(mut dir, mut port)| {
-                let mut hook = NullHook;
-                for i in 0..512u64 {
-                    black_box(dir.handle(
-                        DirIn::Req {
-                            from: NodeId((i % 16) as u16),
-                            line: LineAddr(i * 7 % 4096),
-                            req: CacheReq::Read,
-                        },
-                        &mut port,
-                        &mut hook,
-                    ));
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        )
+fn bench_directory_read() {
+    bench("directory/read_uncached", 512, || {
+        let mut dir = DirCtrl::new();
+        let mut port = VecPort::new(LineAddr(0), 4096);
+        let mut hook = NullHook;
+        for i in 0..512u64 {
+            black_box(dir.handle(
+                DirIn::Req {
+                    from: NodeId((i % 16) as u16),
+                    line: LineAddr(i * 7 % 4096),
+                    req: CacheReq::Read,
+                },
+                &mut port,
+                &mut hook,
+            ));
+        }
     });
 }
 
-fn bench_hook_write_intent(c: &mut Criterion) {
+fn bench_hook_write_intent() {
     let map = AddressMap::new(4, 4 * PAGE_SIZE as u64);
     let parity = ParityMap::new(map, 3);
     let log_page = map.global_page(NodeId(0), 3);
-    c.bench_function("revive/write_intent_unlogged", |bench| {
-        bench.iter_batched(
-            || {
-                let log = MemLog::new(NodeId(0), log_page.lines().collect());
-                let hook = ReviveHook::new(parity, log, LBits::full(map.lines_per_node()));
-                (hook, VecPort::new(LineAddr(0), 4 * LINES_PER_PAGE))
-            },
-            |(mut hook, mut port)| {
-                for i in 0..24u64 {
-                    let line = LineAddr(LINES_PER_PAGE as u64 + i);
-                    black_box(hook.write_intent(line, None, &mut port));
-                }
-                black_box(hook.drain_outbox());
-            },
-            criterion::BatchSize::SmallInput,
-        )
+    bench("revive/write_intent_unlogged", 24, || {
+        let log = MemLog::new(NodeId(0), log_page.lines().collect());
+        let mut hook = ReviveHook::new(parity, log, LBits::full(map.lines_per_node()));
+        let mut port = VecPort::new(LineAddr(0), 4 * LINES_PER_PAGE);
+        for i in 0..24u64 {
+            let line = LineAddr(LINES_PER_PAGE as u64 + i);
+            black_box(hook.write_intent(line, None, &mut port));
+        }
+        black_box(hook.drain_outbox());
     });
 }
 
-fn bench_cache_hit(c: &mut Criterion) {
+fn bench_cache_hit() {
     let mut cache = Cache::new(CacheConfig::l2_paper());
     for i in 0..1024u64 {
         cache.fill(LineAddr(i), LineState::Shared, LineData::ZERO);
     }
-    c.bench_function("cache/l2_hit", |bench| {
-        let mut i = 0u64;
-        bench.iter(|| {
-            i = (i + 17) % 1024;
-            black_box(cache.access(LineAddr(i)))
-        })
+    let mut i = 0u64;
+    bench("cache/l2_hit", 1, || {
+        i = (i + 17) % 1024;
+        black_box(cache.access(LineAddr(i)));
     });
 }
 
-fn bench_cache_ctrl_miss_path(c: &mut Criterion) {
-    c.bench_function("cache_ctrl/miss_issue", |bench| {
-        bench.iter_batched(
-            || {
-                CacheCtrl::new(
-                    NodeId(0),
-                    CacheConfig {
-                        size_bytes: 16 * 1024,
-                        ways: 4,
-                    },
-                    CacheConfig {
-                        size_bytes: 128 * 1024,
-                        ways: 4,
-                    },
-                    8,
-                )
+fn bench_cache_ctrl_miss_path() {
+    bench("cache_ctrl/miss_issue", 8, || {
+        let mut ctrl = CacheCtrl::new(
+            NodeId(0),
+            CacheConfig {
+                size_bytes: 16 * 1024,
+                ways: 4,
             },
-            |mut ctrl| {
-                for i in 0..8u64 {
-                    black_box(ctrl.cpu_access(LineAddr(i * 64), Access::Read, OpToken(i)));
-                }
+            CacheConfig {
+                size_bytes: 128 * 1024,
+                ways: 4,
             },
-            criterion::BatchSize::SmallInput,
-        )
+            8,
+        );
+        for i in 0..8u64 {
+            black_box(ctrl.cpu_access(LineAddr(i * 64), Access::Read, OpToken(i)));
+        }
     });
 }
 
-fn bench_torus_route(c: &mut Criterion) {
+fn bench_torus_route() {
     let t = Torus::new(4, 4);
-    c.bench_function("net/route", |bench| {
-        let mut i = 0u16;
-        bench.iter(|| {
-            i = (i + 1) % 256;
-            black_box(t.route(NodeId(i % 16), NodeId((i * 7 + 3) % 16)))
-        })
+    let mut i = 0u16;
+    bench("net/route", 1, || {
+        i = (i + 1) % 256;
+        black_box(t.route(NodeId(i % 16), NodeId((i * 7 + 3) % 16)));
     });
 }
 
-fn bench_fabric_send(c: &mut Criterion) {
-    c.bench_function("net/fabric_send", |bench| {
-        bench.iter_batched(
-            || Fabric::new(Torus::new(4, 4), FabricConfig::default()),
-            |mut f| {
-                for i in 0..64u64 {
-                    black_box(f.send(
-                        Ns(i * 10),
-                        NodeId((i % 16) as u16),
-                        NodeId(((i * 5 + 2) % 16) as u16),
-                        72,
-                    ));
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        )
+fn bench_fabric_send() {
+    bench("net/fabric_send", 64, || {
+        let mut f = Fabric::new(Torus::new(4, 4), FabricConfig::default());
+        for i in 0..64u64 {
+            black_box(f.send(
+                Ns(i * 10),
+                NodeId((i % 16) as u16),
+                NodeId(((i * 5 + 2) % 16) as u16),
+                72,
+            ));
+        }
     });
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("sim/event_queue_push_pop", |bench| {
-        bench.iter_batched(
-            EventQueue::<u64>::new,
-            |mut q| {
-                for i in 0..256u64 {
-                    q.schedule(Ns(i * 13 % 997), i);
-                }
-                while let Some(ev) = q.pop() {
-                    black_box(ev);
-                }
-            },
-            criterion::BatchSize::SmallInput,
-        )
+fn bench_event_queue() {
+    bench("sim/event_queue_push_pop", 256, || {
+        let mut q = EventQueue::<u64>::new();
+        for i in 0..256u64 {
+            q.schedule(Ns(i * 13 % 997), i);
+        }
+        while let Some(ev) = q.pop() {
+            black_box(ev);
+        }
     });
 }
 
-criterion_group!(
-    benches,
-    bench_line_xor,
-    bench_parity_map,
-    bench_log_append,
-    bench_log_scan,
-    bench_directory_read,
-    bench_hook_write_intent,
-    bench_cache_hit,
-    bench_cache_ctrl_miss_path,
-    bench_torus_route,
-    bench_fabric_send,
-    bench_event_queue,
-);
-criterion_main!(benches);
+fn main() {
+    bench_line_xor();
+    bench_parity_map();
+    bench_log_append();
+    bench_log_scan();
+    bench_directory_read();
+    bench_hook_write_intent();
+    bench_cache_hit();
+    bench_cache_ctrl_miss_path();
+    bench_torus_route();
+    bench_fabric_send();
+    bench_event_queue();
+}

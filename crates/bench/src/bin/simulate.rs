@@ -68,7 +68,7 @@ fn parse_args() -> Args {
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |it: &mut dyn Iterator<Item = String>| {
+        let value = |it: &mut dyn Iterator<Item = String>| {
             it.next().unwrap_or_else(|| usage())
         };
         match flag.as_str() {

@@ -277,6 +277,36 @@ impl DirCtrl {
         self.deferred.clear();
     }
 
+    /// Deterministically corrupts every allocated directory entry (fault
+    /// injection: a directory whose SRAM state was lost). Busy flags and
+    /// deferred queues are dropped and each stable state is replaced by a
+    /// salt-derived bogus one. Keys are visited in sorted order so the
+    /// damage is identical across runs regardless of `HashMap` iteration
+    /// order.
+    pub fn scramble(&mut self, salt: u64) {
+        self.deferred.clear();
+        let mut lines: Vec<LineAddr> = self.entries.keys().copied().collect();
+        lines.sort_unstable();
+        for (i, line) in lines.into_iter().enumerate() {
+            let e = self.entries.get_mut(&line).expect("key just listed");
+            e.busy = None;
+            let x = salt
+                .wrapping_add(line.0)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (i as u64);
+            e.state = match x % 3 {
+                0 => DirState::Uncached,
+                1 => DirState::Exclusive(NodeId(((x >> 8) % 64) as u16)),
+                _ => {
+                    let mut s = SharerSet::empty();
+                    s.insert(NodeId(((x >> 16) % 64) as u16));
+                    s.insert(NodeId(((x >> 24) % 64) as u16));
+                    DirState::Shared(s)
+                }
+            };
+        }
+    }
+
     /// Processes one input, returning the messages to send. Deferred
     /// requests unblocked by this input are processed too (their sends are
     /// included).
@@ -1194,6 +1224,24 @@ mod tests {
         assert!(!s.contains(NodeId(5)));
         let members: Vec<NodeId> = s.iter().collect();
         assert_eq!(members, vec![NodeId(0), NodeId(63)]);
+    }
+
+    #[test]
+    fn scramble_is_deterministic_and_drops_busy() {
+        let make = || {
+            let (mut dir, mut mem, mut hook) = setup();
+            dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
+            dir.handle(req(2, CacheReq::Read), &mut mem, &mut hook); // busy
+            dir.handle(req(3, CacheReq::Read), &mut mem, &mut hook); // deferred
+            dir
+        };
+        let mut a = make();
+        let mut b = make();
+        a.scramble(0xBAD);
+        b.scramble(0xBAD);
+        assert_eq!(a.state_of(L), b.state_of(L), "same salt, same damage");
+        assert!(!a.is_busy(L));
+        assert_eq!(a.deferred_lines(), 0);
     }
 
     #[test]

@@ -14,7 +14,6 @@
 
 use std::collections::VecDeque;
 
-use proptest::prelude::*;
 use revive_coherence::cache_ctrl::{Access, CacheCtrl, CpuOutcome, OpToken};
 use revive_coherence::directory::{DirCtrl, DirIn, DirState};
 use revive_coherence::hook::NullHook;
@@ -221,19 +220,19 @@ impl World {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_traffic_preserves_swmr(
-        seed in any::<u64>(),
-        ops in proptest::collection::vec(
-            (0usize..NODES, 0u64..(NODES as u64 * LINES_PER_NODE), any::<bool>(), 0u8..4),
-            1..300
-        ),
-    ) {
+#[test]
+fn random_traffic_preserves_swmr() {
+    let mut root = DetRng::seed(0x5072e55);
+    for case in 0..48u64 {
+        let seed = root.next_u64();
+        let mut gen = root.fork(case);
         let mut w = World::new(seed);
-        for (cpu, line, write, pump) in ops {
+        let n_ops = gen.range(1, 300);
+        for _ in 0..n_ops {
+            let cpu = gen.index(NODES);
+            let line = gen.range(0, NODES as u64 * LINES_PER_NODE);
+            let write = gen.chance(0.5);
+            let pump = gen.range(0, 4);
             w.cpu_op(cpu, LineAddr(line), write);
             // Interleave a few deliveries between ops so transactions
             // overlap and race.
@@ -246,10 +245,13 @@ proptest! {
         w.quiesce();
         w.check_invariants();
     }
+}
 
-    #[test]
-    fn quiesced_flush_cleans_all_caches(seed in any::<u64>()) {
-        let mut w = World::new(seed);
+#[test]
+fn quiesced_flush_cleans_all_caches() {
+    let mut root = DetRng::seed(0xf1054);
+    for _ in 0..48u64 {
+        let mut w = World::new(root.next_u64());
         // Dirty a bunch of lines.
         for i in 0..80u64 {
             let cpu = (i % NODES as u64) as usize;
@@ -267,15 +269,12 @@ proptest! {
         }
         w.quiesce();
         for n in 0..NODES {
-            prop_assert_eq!(w.caches[n].dirty_count(), 0, "cache {} still dirty", n);
+            assert_eq!(w.caches[n].dirty_count(), 0, "cache {n} still dirty");
             // Every flushed line's memory matches the cache's copy.
             for (line, state) in w.caches[n].valid_lines_snapshot() {
                 if state.is_valid() {
                     let home = World::home_of(line);
-                    prop_assert_eq!(
-                        Some(w.mems[home].peek(line)),
-                        w.caches[n].cached_data(line)
-                    );
+                    assert_eq!(Some(w.mems[home].peek(line)), w.caches[n].cached_data(line));
                 }
             }
         }

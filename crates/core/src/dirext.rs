@@ -31,6 +31,7 @@ use revive_sim::types::NodeId;
 use crate::lbits::LBits;
 use crate::log::MemLog;
 use crate::parity::{ParityMap, ParityUpdate};
+use crate::validate::ShadowLog;
 
 /// Per-event costs as Table 1 reports them.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -122,6 +123,9 @@ pub struct ReviveHook {
     outbox: Vec<OutMsg>,
     /// Table 1 event accounting.
     pub costs: CostStats,
+    /// Optional software replica of the log, fed every append, marker,
+    /// reclaim, and reset — the validation harness's scan/replay oracle.
+    pub shadow: Option<ShadowLog>,
 }
 
 impl ReviveHook {
@@ -152,7 +156,14 @@ impl ReviveHook {
             enabled: true,
             outbox: Vec::new(),
             costs: CostStats::default(),
+            shadow: None,
         }
+    }
+
+    /// Attaches a fresh shadow replica sized to the log. Every subsequent
+    /// log mutation routed through the hook is mirrored into it.
+    pub fn attach_shadow(&mut self) {
+        self.shadow = Some(ShadowLog::new(self.log.capacity_records()));
     }
 
     /// The current checkpoint interval id.
@@ -186,6 +197,9 @@ impl ReviveHook {
     pub fn mark_checkpoint(&mut self, interval: u64, mem: &mut dyn MemPort) {
         let mirror = self.log_mirrored;
         let deltas = self.log.mark_checkpoint(interval, !mirror, mem);
+        if let Some(s) = self.shadow.as_mut() {
+            s.record_marker(interval);
+        }
         self.ship_deltas(None, deltas, mirror);
     }
 
@@ -195,6 +209,27 @@ impl ReviveHook {
         self.interval = interval;
         self.lbits.gang_clear();
         self.log.reclaim_before(reclaim_before);
+        if let Some(s) = self.shadow.as_mut() {
+            s.reclaim_before(reclaim_before);
+        }
+    }
+
+    /// Drops the oldest half of the live records (the CpInf measurement
+    /// configurations' pressure valve), keeping the shadow in step.
+    pub fn recycle_oldest_half(&mut self) {
+        self.log.reclaim_oldest_half();
+        if let Some(s) = self.shadow.as_mut() {
+            s.reclaim_oldest_half();
+        }
+    }
+
+    /// Forgets all log bookkeeping (after a rollback's log scrub), keeping
+    /// the shadow in step.
+    pub fn reset_log(&mut self) {
+        self.log.reset();
+        if let Some(s) = self.shadow.as_mut() {
+            s.reset();
+        }
     }
 
     /// Groups `(line, delta)` pairs by parity home and queues one update
@@ -232,6 +267,9 @@ impl ReviveHook {
     fn log_line(&mut self, line: LineAddr, old: LineData, mem: &mut dyn MemPort) -> u32 {
         let mirror = self.log_mirrored;
         let deltas = self.log.append(self.interval, line, old, !mirror, mem);
+        if let Some(s) = self.shadow.as_mut() {
+            s.record_append(self.interval, line, old);
+        }
         let acks = self.ship_deltas(Some(line), deltas, mirror);
         self.lbits.set_logged(self.map.local_line_index(line));
         acks

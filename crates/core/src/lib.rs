@@ -18,6 +18,9 @@
 //! * [`recovery`] — the four-phase rollback engine (Figure 7), operating on
 //!   functional memory images for value-exact verification.
 //! * [`availability`] — the availability arithmetic of Sections 3.3.2/6.3.
+//! * [`validate`] — recovery-correctness oracles: a shadow log, a full
+//!   parity-group auditor, and virtual-page memory images for differential
+//!   (golden vs. injected) comparison.
 //!
 //! # Example: parity protects a lost line
 //!
@@ -41,6 +44,7 @@ pub mod lbits;
 pub mod log;
 pub mod parity;
 pub mod recovery;
+pub mod validate;
 
 pub use availability::{monte_carlo_availability, nines, AvailabilityModel};
 pub use checkpoint::{CheckpointConfig, CkptPhase, CkptStats, CkptTimeline};
@@ -49,3 +53,6 @@ pub use lbits::LBits;
 pub use log::{MemLog, ReplayEntry};
 pub use parity::{ParityAck, ParityMap, ParityUpdate};
 pub use recovery::{recover, RecoveryInput, RecoveryReport, RecoveryTiming};
+pub use validate::{
+    audit_parity, LogDivergence, MemoryDiff, MemoryImage, ParityAudit, ShadowLog,
+};

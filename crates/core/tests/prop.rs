@@ -3,7 +3,6 @@
 //! sequences, robustness to lossy L bits (redundant entries), and the §4.2
 //! ordering races.
 
-use proptest::prelude::*;
 use revive_coherence::port::MemPort;
 use revive_core::lbits::LBits;
 use revive_core::log::{MemLog, RECORD_LINES};
@@ -11,6 +10,7 @@ use revive_core::parity::ParityMap;
 use revive_mem::addr::{AddressMap, LineAddr, PageAddr, PAGE_SIZE};
 use revive_mem::line::LineData;
 use revive_mem::main_memory::NodeMemory;
+use revive_sim::rng::DetRng;
 use revive_sim::types::NodeId;
 
 /// A miniature functional machine: 4 nodes × 4 pages, 3+1 parity, a log in
@@ -203,44 +203,51 @@ impl MiniWorld {
     }
 }
 
-/// Strategy: a trace of (line index, value seed, checkpoint?) steps.
-fn trace() -> impl Strategy<Value = Vec<(usize, u64, bool)>> {
-    proptest::collection::vec((0usize..64, any::<u64>(), proptest::bool::weighted(0.08)), 1..120)
+/// A random trace of (line index, value seed, checkpoint?) steps.
+fn trace(rng: &mut DetRng) -> Vec<(usize, u64, bool)> {
+    let len = rng.range(1, 120);
+    (0..len)
+        .map(|_| (rng.index(64), rng.next_u64(), rng.chance(0.08)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// After any write/checkpoint trace, every parity group XORs to zero.
-    #[test]
-    fn parity_invariant_holds(ops in trace()) {
+/// After any write/checkpoint trace, every parity group XORs to zero.
+#[test]
+fn parity_invariant_holds() {
+    let mut rng = DetRng::seed(0x9a21);
+    for _ in 0..CASES {
         let mut w = MiniWorld::new(None);
         let lines = w.app_lines();
-        for (i, seed, ckpt) in ops {
+        for (i, seed, ckpt) in trace(&mut rng) {
             if ckpt {
                 w.commit_checkpoint();
             } else {
                 w.logged_write(lines[i % lines.len()], LineData::from_seed(seed));
             }
         }
-        prop_assert!(w.check_parity_everywhere().is_ok());
+        assert!(w.check_parity_everywhere().is_ok());
     }
+}
 
-    /// Rollback to the latest checkpoint restores the exact memory image
-    /// captured at its commit — for any interleaving of writes.
-    #[test]
-    #[allow(clippy::needless_range_loop)] // node index names both memories and reference
-    fn rollback_is_value_exact(before in trace(), after in trace()) {
+/// Rollback to the latest checkpoint restores the exact memory image
+/// captured at its commit — for any interleaving of writes.
+#[test]
+#[allow(clippy::needless_range_loop)] // node index names both memories and reference
+fn rollback_is_value_exact() {
+    let mut rng = DetRng::seed(0x2011b);
+    for _ in 0..CASES {
         let mut w = MiniWorld::new(None);
         let lines = w.app_lines();
-        for (i, seed, _) in before {
+        for (i, seed, _) in trace(&mut rng) {
             w.logged_write(lines[i % lines.len()], LineData::from_seed(seed));
         }
         w.commit_checkpoint();
         let target = w.interval;
         let reference = w.snapshot();
-        for (i, seed, _) in &after {
-            w.logged_write(lines[i % lines.len()], LineData::from_seed(*seed));
+        for (i, seed, _) in trace(&mut rng) {
+            w.logged_write(lines[i % lines.len()], LineData::from_seed(seed));
         }
         w.rollback(target);
         // Compare every non-log page (log pages legitimately accumulated
@@ -261,33 +268,40 @@ proptest! {
                     let base = (local * 64) as usize;
                     let want: [u8; 64] =
                         reference[n][base..base + 64].try_into().expect("64 bytes");
-                    prop_assert_eq!(got, LineData::from(want), "line {} differs", line);
+                    assert_eq!(got, LineData::from(want), "line {line} differs");
                 }
             }
         }
         // And replay maintained parity throughout.
-        prop_assert!(w.check_parity_everywhere().is_ok());
+        assert!(w.check_parity_everywhere().is_ok());
     }
+}
 
-    /// Lossy L bits (directory-cache mode, Section 4.1.2) produce redundant
-    /// log entries but never break rollback: reverse-order replay applies
-    /// the oldest (true checkpoint) value last.
-    #[test]
-    fn lossy_lbits_never_break_rollback(
-        cap in 1usize..8,
-        after in trace(),
-    ) {
+/// Lossy L bits (directory-cache mode, Section 4.1.2) produce redundant
+/// log entries but never break rollback: reverse-order replay applies
+/// the oldest (true checkpoint) value last.
+#[test]
+fn lossy_lbits_never_break_rollback() {
+    let mut rng = DetRng::seed(0x1b175);
+    for _ in 0..CASES {
+        let cap = rng.range(1, 8) as usize;
         let mut w = MiniWorld::new(Some(cap));
         let lines = w.app_lines();
         w.commit_checkpoint();
-        let target = w.interval;
-        let reference = w.snapshot();
-        let mut evictions_possible = false;
-        for (i, seed, _) in &after {
-            w.logged_write(lines[i % lines.len()], LineData::from_seed(*seed));
-            evictions_possible |= w.lbits.iter().any(|l| l.evictions > 0);
+        let mut target = w.interval;
+        let mut reference = w.snapshot();
+        for (i, seed, _) in trace(&mut rng) {
+            // Lossy L bits re-log the same line within one interval, so a
+            // long interval can exhaust the log. The real machine forces an
+            // early checkpoint at high log utilization
+            // (`System::maybe_early_checkpoint`); model the same policy.
+            if w.logs.iter().any(|l| l.utilization() >= 0.5) {
+                w.commit_checkpoint();
+                target = w.interval;
+                reference = w.snapshot();
+            }
+            w.logged_write(lines[i % lines.len()], LineData::from_seed(seed));
         }
-        let _ = evictions_possible;
         w.rollback(target);
         for (n, memory) in w.memories.iter().enumerate() {
             let log_pages: std::collections::HashSet<PageAddr> = w.logs[n]
@@ -304,32 +318,36 @@ proptest! {
                     let base = (local * 64) as usize;
                     let want: [u8; 64] =
                         reference[n][base..base + 64].try_into().expect("64 bytes");
-                    prop_assert_eq!(memory.read_line(local), LineData::from(want));
+                    assert_eq!(memory.read_line(local), LineData::from(want));
                 }
             }
         }
     }
+}
 
-    /// The full recovery engine, fuzzed: arbitrary pre/post-checkpoint
-    /// writes, an arbitrary lost node (or none) — recovery must restore
-    /// every application line to the checkpoint image and re-establish the
-    /// global parity invariant.
-    #[test]
-    fn recovery_engine_is_exact_for_any_lost_node(
-        before in trace(),
-        after in trace(),
-        lost in proptest::option::of(0usize..4),
-    ) {
+/// The full recovery engine, fuzzed: arbitrary pre/post-checkpoint
+/// writes, an arbitrary lost node (or none) — recovery must restore
+/// every application line to the checkpoint image and re-establish the
+/// global parity invariant.
+#[test]
+fn recovery_engine_is_exact_for_any_lost_node() {
+    let mut rng = DetRng::seed(0x2ec0);
+    for _ in 0..CASES {
+        let lost = if rng.chance(0.8) {
+            Some(rng.index(4))
+        } else {
+            None
+        };
         let mut w = MiniWorld::new(None);
         let lines = w.app_lines();
-        for (i, seed, _) in before {
+        for (i, seed, _) in trace(&mut rng) {
             w.logged_write(lines[i % lines.len()], LineData::from_seed(seed));
         }
         w.commit_checkpoint();
         let target = w.interval;
         let reference = w.snapshot();
-        for (i, seed, _) in &after {
-            w.logged_write(lines[i % lines.len()], LineData::from_seed(*seed));
+        for (i, seed, _) in trace(&mut rng) {
+            w.logged_write(lines[i % lines.len()], LineData::from_seed(seed));
         }
         w.recover_engine(target, lost);
         let log_pages: std::collections::HashSet<PageAddr> = w
@@ -347,38 +365,39 @@ proptest! {
                     let base = (local * 64) as usize;
                     let want: [u8; 64] =
                         reference[n][base..base + 64].try_into().expect("64 bytes");
-                    prop_assert_eq!(
+                    assert_eq!(
                         memory.read_line(local),
                         LineData::from(want),
-                        "node {} line {} differs (lost={:?})",
-                        n,
-                        line,
-                        lost
+                        "node {n} line {line} differs (lost={lost:?})"
                     );
                 }
             }
         }
-        prop_assert!(w.check_parity_everywhere().is_ok());
+        assert!(w.check_parity_everywhere().is_ok());
     }
+}
 
-    /// The §4.2 "Atomic Log Update" race: corrupting the *last* record's
-    /// marker (an append cut short by an error) makes recovery skip exactly
-    /// that record and still restore the previous checkpoint correctly.
-    #[test]
-    #[allow(clippy::needless_range_loop)] // node index names both memories and reference
-    fn torn_tail_record_is_skipped(writes in proptest::collection::vec((0usize..16, any::<u64>()), 1..20)) {
+/// The §4.2 "Atomic Log Update" race: corrupting the *last* record's
+/// marker (an append cut short by an error) makes recovery skip exactly
+/// that record and still restore the previous checkpoint correctly.
+#[test]
+#[allow(clippy::needless_range_loop)] // node index names both memories and reference
+fn torn_tail_record_is_skipped() {
+    let mut rng = DetRng::seed(0x70a2);
+    for _ in 0..CASES {
         let mut w = MiniWorld::new(None);
         let lines = w.app_lines();
         w.commit_checkpoint();
         let target = w.interval;
         let reference = w.snapshot();
-        for (i, seed) in &writes {
-            w.logged_write(lines[i % lines.len()], LineData::from_seed(*seed));
+        let n_writes = rng.range(1, 20);
+        for _ in 0..n_writes {
+            let i = rng.index(16);
+            let seed = rng.next_u64();
+            w.logged_write(lines[i % lines.len()], LineData::from_seed(seed));
         }
         // Tear the most recent record's marker on node 0 (if it has one).
-        let scanned = w.logs[0].scan(|l| {
-            w.memories[0].read_line(w.map.local_line_index(l))
-        });
+        let scanned = w.logs[0].scan(|l| w.memories[0].read_line(w.map.local_line_index(l)));
         if let Some(last) = scanned.last() {
             let marker_slot = w.logs[0].slot_lines()[last.data_slot + RECORD_LINES - 1];
             let local = w.map.local_line_index(marker_slot);
@@ -386,10 +405,9 @@ proptest! {
             torn.set_u64_at(32, 0xDEAD_BEEF);
             w.memories[0].write_line(local, torn);
             // The torn record vanishes from the scan…
-            let rescanned = w.logs[0].scan(|l| {
-                w.memories[0].read_line(w.map.local_line_index(l))
-            });
-            prop_assert_eq!(rescanned.len() + 1, scanned.len());
+            let rescanned =
+                w.logs[0].scan(|l| w.memories[0].read_line(w.map.local_line_index(l)));
+            assert_eq!(rescanned.len() + 1, scanned.len());
         }
         // …and rollback still restores every line that *was* durably
         // logged. (The torn record's line may retain its post-checkpoint
@@ -411,7 +429,67 @@ proptest! {
                     let base = (local * 64) as usize;
                     let want: [u8; 64] =
                         reference[n][base..base + 64].try_into().expect("64 bytes");
-                    prop_assert_eq!(w.memories[n].read_line(local), LineData::from(want));
+                    assert_eq!(w.memories[n].read_line(local), LineData::from(want));
+                }
+            }
+        }
+    }
+}
+
+/// `parity_page_of` / `data_pages_of` are inverses and `is_parity_page`
+/// never misclassifies a data page — for plain parity and for mixed
+/// (mirrored-stripe) configurations alike.
+#[test]
+fn parity_map_lookups_are_inverses() {
+    let mut rng = DetRng::seed(0x1ae2);
+    for _ in 0..CASES {
+        // Random legal geometry: G in 1..=7, nodes a multiple of G+1 (and
+        // even when stripes are mirrored), a few dozen pages per node.
+        let g = rng.range(1, 8) as usize;
+        let mut chunks = rng.range(1, 4) as usize;
+        if !(g + 1).is_multiple_of(2) && !chunks.is_multiple_of(2) {
+            chunks *= 2; // keep the node count even so mixed mode is legal
+        }
+        let nodes = (g + 1) * chunks;
+        let pages_per_node = rng.range(4, 40);
+        let map = AddressMap::new(nodes, pages_per_node * PAGE_SIZE as u64);
+        let mirrored = rng.range(0, pages_per_node);
+        let parity = if rng.chance(0.5) {
+            ParityMap::new(map, g)
+        } else {
+            ParityMap::mixed(map, g, mirrored)
+        };
+        for node in 0..nodes {
+            for page in map.pages_of(NodeId::from(node)) {
+                if parity.is_parity_page(page) {
+                    // The parity page's data set must map straight back.
+                    for data in parity.data_pages_of(page) {
+                        assert!(
+                            !parity.is_parity_page(data),
+                            "{data} listed as data for {page} but classified parity"
+                        );
+                        assert_eq!(
+                            parity.parity_page_of(data),
+                            page,
+                            "data page {data} does not map back to parity page {page}"
+                        );
+                    }
+                } else {
+                    // Every data page's parity page must list it.
+                    let ppage = parity.parity_page_of(page);
+                    assert!(
+                        parity.is_parity_page(ppage),
+                        "parity_page_of({page}) = {ppage} is not a parity page"
+                    );
+                    assert_ne!(
+                        map.home_of_page(ppage),
+                        map.home_of_page(page),
+                        "parity for {page} stored on the same node"
+                    );
+                    assert!(
+                        parity.data_pages_of(ppage).contains(&page),
+                        "data_pages_of({ppage}) omits {page}"
+                    );
                 }
             }
         }

@@ -11,6 +11,8 @@
 //! * [`system`] — the assembled machine and its discrete-event loop.
 //! * [`runner`] — plain runs, error injection, recovery, and value-exact
 //!   verification against shadow checkpoints.
+//! * [`differential`] — the golden-vs-injected recovery-correctness
+//!   harness: exact final-memory equality plus parity and log audits.
 //! * [`metrics`] — the Figure 9/10 traffic classes and derived summaries.
 //! * [`page_table`] — first-touch page placement.
 //!
@@ -29,6 +31,7 @@
 //! ```
 
 pub mod config;
+pub mod differential;
 pub mod metrics;
 pub mod page_table;
 pub mod runner;
@@ -37,7 +40,8 @@ pub mod system;
 pub use config::{
     ExperimentConfig, MachineConfig, MachineError, ReviveConfig, ReviveMode, WorkloadSpec,
 };
+pub use differential::{differential_run, injected_vs_golden, AuditReport, DifferentialReport};
 pub use metrics::{Metrics, Summary, TrafficClass};
 pub use page_table::PageTable;
-pub use runner::{ErrorKind, InjectionPlan, RecoveryOutcome, RunResult, Runner};
+pub use runner::{ErrorKind, InjectPhase, InjectionPlan, RecoveryOutcome, RunResult, Runner};
 pub use system::System;

@@ -100,6 +100,14 @@ impl PageTable {
         self.table.len()
     }
 
+    /// Every established mapping as `(virtual page, physical page)`, sorted
+    /// by virtual page — the basis for placement-independent memory images.
+    pub fn mappings(&self) -> Vec<(u64, PageAddr)> {
+        let mut v: Vec<(u64, PageAddr)> = self.table.iter().map(|(&vp, &p)| (vp, p)).collect();
+        v.sort_unstable_by_key(|&(vp, _)| vp);
+        v
+    }
+
     /// The address map this table allocates within.
     pub fn address_map(&self) -> &AddressMap {
         &self.map

@@ -4,6 +4,7 @@ use std::collections::HashSet;
 
 use revive_core::checkpoint::CkptStats;
 use revive_core::recovery::{recover, RecoveryInput, RecoveryReport, RecoveryTiming};
+use revive_core::validate::{LogDivergence, MemoryImage, ParityAudit};
 use revive_mem::addr::PageAddr;
 use revive_mem::line::LineData;
 use revive_mem::main_memory::NodeMemory;
@@ -11,6 +12,7 @@ use revive_sim::time::Ns;
 use revive_sim::types::NodeId;
 
 use crate::config::{ExperimentConfig, MachineError, ReviveMode};
+use crate::differential::AuditReport;
 use crate::metrics::Summary;
 use crate::system::System;
 
@@ -31,6 +33,8 @@ pub struct InjectionPlan {
     pub detection_delay: Ns,
     /// The error class.
     pub kind: ErrorKind,
+    /// Where in the checkpoint lifecycle the error strikes.
+    pub phase: InjectPhase,
 }
 
 impl InjectionPlan {
@@ -41,6 +45,7 @@ impl InjectionPlan {
             interval_fraction: 0.8,
             detection_delay: Ns((interval.0 as f64 * 0.8) as u64),
             kind: ErrorKind::NodeLoss(lost),
+            phase: InjectPhase::MidLogging,
         }
     }
 
@@ -53,8 +58,29 @@ impl InjectionPlan {
             interval_fraction: 0.8,
             detection_delay: Ns((interval.0 as f64 * 0.8) as u64),
             kind: ErrorKind::CacheWipe,
+            phase: InjectPhase::MidLogging,
         }
     }
+}
+
+/// Where in the checkpoint lifecycle a scripted error strikes. ReVive's
+/// claim is that recovery works no matter when the error hits; the three
+/// phases probe the three qualitatively different windows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InjectPhase {
+    /// Mid-interval, while the machine is logging normally — the paper's
+    /// Section 6.3 scenario (`interval_fraction` into the interval after
+    /// `after_checkpoint` commits).
+    MidLogging,
+    /// Inside the two-phase-commit window of checkpoint
+    /// `after_checkpoint + 1`: logs are marked but the commit never
+    /// completes, so the machine must roll back to the *previous*
+    /// checkpoint (`interval_fraction` is ignored).
+    CommitWindow,
+    /// The same timing as `MidLogging`, but the error recurs during
+    /// recovery itself: after the first recovery completes the damage is
+    /// re-applied and the machine recovers again to the same checkpoint.
+    DuringRecovery,
 }
 
 /// The supported error classes (Section 3.1.2).
@@ -66,6 +92,10 @@ pub enum ErrorKind {
     /// A machine-wide transient: all caches and in-flight messages lost,
     /// every memory intact.
     CacheWipe,
+    /// Every directory's sharing state is scrambled (a fault in the
+    /// directory controller SRAM). Recovery must not depend on any of it —
+    /// Phase 1 discards coherence state wholesale.
+    DirectoryCorrupt,
 }
 
 /// What recovery produced, attached to a [`RunResult`].
@@ -83,6 +113,9 @@ pub struct RecoveryOutcome {
     /// Value-exact comparison against the shadow snapshot (when shadow
     /// checkpoints were enabled); `None` when no snapshot was available.
     pub verified: Option<bool>,
+    /// Completed ops discarded by rewinding the CPUs to the recovered
+    /// checkpoint (they are re-executed after the machine resumes).
+    pub ops_rolled_back: u64,
 }
 
 /// The result of one experiment run.
@@ -104,6 +137,10 @@ pub struct RunResult {
     pub recovery: Option<RecoveryOutcome>,
     /// Every recovery outcome, in injection order.
     pub recoveries: Vec<RecoveryOutcome>,
+    /// Validation-mode audit reports (commit-time parity sweeps, log
+    /// round-trips, post-recovery parity sweeps), in chronological order.
+    /// Empty unless shadow checkpoints are enabled.
+    pub audits: Vec<AuditReport>,
 }
 
 /// Drives one experiment to completion.
@@ -140,6 +177,18 @@ impl Runner {
         Ok(self.collect(Vec::new()))
     }
 
+    /// Runs to completion and also returns the final functional memory
+    /// image (virtual-page keyed) for differential comparison.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::run`].
+    pub fn run_to_image(mut self) -> Result<(RunResult, MemoryImage), MachineError> {
+        self.sys.run();
+        let image = self.sys.memory_image();
+        Ok((self.collect(Vec::new()), image))
+    }
+
     /// Runs with a scripted error: executes normally, injects the error,
     /// conservatively keeps executing through the detection window (the
     /// paper's footnote 1), then performs ReVive recovery and — when shadow
@@ -168,6 +217,32 @@ impl Runner {
         mut self,
         plans: &[InjectionPlan],
     ) -> Result<RunResult, MachineError> {
+        let outcomes = self.run_injections_inner(plans)?;
+        self.sys.run();
+        Ok(self.collect(outcomes))
+    }
+
+    /// As [`Runner::run_with_injections`], also returning the final
+    /// functional memory image for differential comparison against a
+    /// clean run.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runner::run_with_injections`].
+    pub fn run_with_injections_to_image(
+        mut self,
+        plans: &[InjectionPlan],
+    ) -> Result<(RunResult, MemoryImage), MachineError> {
+        let outcomes = self.run_injections_inner(plans)?;
+        self.sys.run();
+        let image = self.sys.memory_image();
+        Ok((self.collect(outcomes), image))
+    }
+
+    fn run_injections_inner(
+        &mut self,
+        plans: &[InjectionPlan],
+    ) -> Result<Vec<RecoveryOutcome>, MachineError> {
         if self.sys.cfg.revive.mode == ReviveMode::Off {
             return Err(MachineError::BadConfig(
                 "cannot inject errors into the baseline machine".into(),
@@ -186,8 +261,18 @@ impl Runner {
         let mut outcomes = Vec::with_capacity(plans.len());
         for plan in plans {
             let base = self.sys.ckpt_counter;
-            self.sys.inject_at_ckpt =
-                Some((base + plan.after_checkpoint, plan.interval_fraction));
+            match plan.phase {
+                InjectPhase::MidLogging | InjectPhase::DuringRecovery => {
+                    self.sys.inject_at_ckpt =
+                        Some((base + plan.after_checkpoint, plan.interval_fraction));
+                }
+                InjectPhase::CommitWindow => {
+                    // Strike inside the commit of the *next* checkpoint after
+                    // `after_checkpoint` commits, mirroring the other phases'
+                    // "after N commits" anchor.
+                    self.sys.inject_in_commit_of = Some(base + plan.after_checkpoint + 1);
+                }
+            }
             self.sys.halted = false;
             self.sys.run();
             let Some(t_err) = self.sys.inject_time.take() else {
@@ -199,7 +284,9 @@ impl Runner {
             };
             // Roll back to the most recent checkpoint committed before the
             // error. Work after it — including anything executed during
-            // the detection window — is lost.
+            // the detection window — is lost. (For a commit-window error the
+            // interrupted checkpoint never committed, so this is the one
+            // before it.)
             let target = self.sys.ckpt_counter;
             let commit_of_target = self
                 .sys
@@ -212,20 +299,53 @@ impl Runner {
             self.sys.run_until(t_err + plan.detection_delay);
             let t_detect = self.sys.now().max(t_err + plan.detection_delay);
 
-            let lost = match plan.kind {
-                ErrorKind::NodeLoss(n) => {
-                    self.sys.nodes[n.index()].mem.destroy();
-                    Some(n)
-                }
-                ErrorKind::CacheWipe => None,
-            };
-            let outcome = self.recover_machine(target, lost, commit_of_target, t_detect);
-            let t_resume = t_detect + outcome.report.unavailable();
+            let lost = self.apply_damage(plan.kind, target);
+            let mut outcome = self.recover_machine(target, lost, commit_of_target, t_detect);
+            if plan.phase == InjectPhase::DuringRecovery {
+                // The error recurs while recovery is still running: re-apply
+                // the damage and recover again to the same checkpoint. The
+                // second pass must hold with the logs already scrubbed — for
+                // a node loss it is pure parity reconstruction, for the
+                // others an idempotence check.
+                let lost2 = self.apply_damage(plan.kind, target);
+                let second = self.recover_machine(target, lost2, commit_of_target, t_detect);
+                outcome = RecoveryOutcome {
+                    report: second.report,
+                    lost_work: outcome.lost_work,
+                    unavailable: outcome.unavailable + second.report.unavailable(),
+                    target_interval: target,
+                    verified: match (outcome.verified, second.verified) {
+                        (Some(a), Some(b)) => Some(a && b),
+                        (Some(a), None) | (None, Some(a)) => Some(a),
+                        (None, None) => None,
+                    },
+                    ops_rolled_back: outcome.ops_rolled_back.max(second.ops_rolled_back),
+                };
+            }
+            let t_resume = t_detect + (outcome.unavailable - outcome.lost_work);
             self.sys.resume_after_recovery(t_resume);
             outcomes.push(outcome);
         }
-        self.sys.run();
-        Ok(self.collect(outcomes))
+        Ok(outcomes)
+    }
+
+    /// Inflicts the plan's damage on the machine; returns the lost node for
+    /// damage the recovery engine must reconstruct around.
+    fn apply_damage(&mut self, kind: ErrorKind, target: u64) -> Option<NodeId> {
+        match kind {
+            ErrorKind::NodeLoss(n) => {
+                self.sys.nodes[n.index()].mem.destroy();
+                Some(n)
+            }
+            ErrorKind::CacheWipe => None,
+            ErrorKind::DirectoryCorrupt => {
+                let salt = self.sys.cfg.seed ^ target;
+                for n in 0..self.sys.nodes.len() {
+                    self.sys.nodes[n].dir.scramble(salt.wrapping_add(n as u64));
+                }
+                None
+            }
+        }
     }
 
     fn recover_machine(
@@ -266,10 +386,27 @@ impl Runner {
         drop(logs);
         sys.put_memories(memories);
 
+        // Round-trip every log against its software shadow while the
+        // records are still in memory: the hardware scan and the replay
+        // stream must match the shadow record-for-record. Skipped for the
+        // lost node — its log was just reconstructed from parity, which by
+        // design lacks any record whose parity update was still in flight
+        // (log-before-data makes those records unnecessary: their data
+        // updates are equally absent from the reconstruction).
+        self.audit_logs_against_shadows(target, lost);
+
         // The replayed log space belongs to discarded intervals: scrub it
         // (keeping parity consistent) and restart the hooks at the
         // recovered interval.
-        sys.scrub_logs_after_rollback(target);
+        self.sys.scrub_logs_after_rollback(target);
+        self.sys
+            .audit_parity_now(format!("after recovery to checkpoint {target}"));
+
+        // Rewind the CPUs to the recovered checkpoint so the discarded work
+        // is re-executed — without this the resumed computation would run
+        // against rolled-back memory it never wrote, and the final state
+        // could not match a clean run.
+        let ops_rolled_back = self.sys.rollback_execution(target);
 
         let verified = self.verify_against_shadow(target, lost);
         let lost_work = t_detect.saturating_sub(commit_of_target);
@@ -279,7 +416,45 @@ impl Runner {
             unavailable: lost_work + report.unavailable(),
             target_interval: target,
             verified,
+            ops_rolled_back,
         }
+    }
+
+    /// Validation mode: scan each node's log from memory and replay it to
+    /// `target`, comparing both streams against the software shadow log.
+    /// Divergences are recorded as an [`AuditReport`].
+    fn audit_logs_against_shadows(&mut self, target: u64, lost: Option<NodeId>) {
+        if !self.sys.cfg.shadow_checkpoints {
+            return;
+        }
+        let map = self.sys.map;
+        let mut divergences: Vec<(NodeId, LogDivergence)> = Vec::new();
+        for n in 0..self.sys.nodes.len() {
+            let node_id = NodeId::from(n);
+            if lost == Some(node_id) {
+                continue;
+            }
+            let node = &self.sys.nodes[n];
+            let Some(h) = node.hook.as_ref() else { continue };
+            let Some(shadow) = h.shadow.as_ref() else {
+                continue;
+            };
+            let mem = &node.mem;
+            let read = |l| mem.read_line(map.local_line_index(l));
+            let scanned = h.log.scan(read);
+            for d in shadow.verify_scan(&scanned) {
+                divergences.push((node_id, d));
+            }
+            let entries = h.log.rollback_entries(target, read);
+            for d in shadow.verify_rollback(target, &entries) {
+                divergences.push((node_id, d));
+            }
+        }
+        self.sys.audits.push(AuditReport {
+            context: format!("log round-trip before rollback to checkpoint {target}"),
+            parity: ParityAudit::default(),
+            log_divergences: divergences,
+        });
     }
 
     /// Byte-compares every application page against the shadow snapshot of
@@ -350,8 +525,8 @@ impl Runner {
         Some(ok)
     }
 
-    fn collect(self, recoveries: Vec<RecoveryOutcome>) -> RunResult {
-        let sys = self.sys;
+    fn collect(&self, recoveries: Vec<RecoveryOutcome>) -> RunResult {
+        let sys = &self.sys;
         let sim_time = sys.finish_time.unwrap_or_else(|| sys.now());
         let mut summary = Summary {
             traffic: sys.metrics.clone(),
@@ -392,6 +567,7 @@ impl Runner {
             events: sys.events_processed(),
             recovery: recoveries.last().copied(),
             recoveries,
+            audits: sys.audits.clone(),
         }
     }
 }
@@ -449,7 +625,7 @@ impl System {
         }
         for node in &mut self.nodes {
             if let Some(h) = node.hook.as_mut() {
-                h.log.reset();
+                h.reset_log();
                 h.begin_interval(target, target);
                 h.set_enabled(true);
             }
@@ -470,6 +646,8 @@ impl System {
         }
         // One injection per run.
         self.inject_at_ckpt = None;
+        self.inject_in_commit_of = None;
+        self.suppress_deadlock_panic = false;
     }
 
     pub(crate) fn take_memories(&mut self) -> Vec<NodeMemory> {

@@ -15,7 +15,7 @@
 //! serialize within a transaction; recovery is timed by an explicit
 //! bandwidth model rather than the cycle-level loop.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use revive_coherence::cache_ctrl::{Access, CacheCtrl, CpuOutcome, OpToken};
 use revive_coherence::directory::{DirCtrl, DirIn};
@@ -27,6 +27,7 @@ use revive_core::dirext::ReviveHook;
 use revive_core::lbits::LBits;
 use revive_core::log::MemLog;
 use revive_core::parity::{ParityAck, ParityMap, ParityUpdate};
+use revive_core::validate::{audit_parity, MemoryImage};
 use revive_mem::addr::{AddressMap, LineAddr, PageAddr};
 use revive_mem::dram::{Dram, DramOp};
 use revive_mem::line::LineData;
@@ -40,6 +41,7 @@ use revive_sim::types::NodeId;
 use revive_workloads::Workload;
 
 use crate::config::{ExperimentConfig, MachineError};
+use crate::differential::AuditReport;
 use crate::metrics::{Metrics, TrafficClass};
 use crate::page_table::PageTable;
 
@@ -73,7 +75,10 @@ pub(crate) struct Cpu {
     pending_stores: usize,
     store_stalled: bool,
     retry: Option<revive_workloads::Op>,
-    next_seq: u64,
+    /// Ops fetched from the workload stream so far (≥ `ops_done`: a fetched
+    /// op may still sit in `retry`). Snapshotted at checkpoints so rollback
+    /// can fast-forward a rebuilt workload to the exact stream position.
+    fetched: u64,
     pub(crate) done: bool,
     at_barrier: bool,
     flush_queue: VecDeque<LineAddr>,
@@ -88,7 +93,7 @@ impl Cpu {
             pending_stores: 0,
             store_stalled: false,
             retry: None,
-            next_seq: 0,
+            fetched: 0,
             done: false,
             at_barrier: false,
             flush_queue: VecDeque::new(),
@@ -136,6 +141,9 @@ pub(crate) enum Ev {
     Deliver(NetMsg),
     /// The checkpoint timer fires.
     CkptStart,
+    /// The post-interrupt cache flush actually begins (interrupt latency and
+    /// context save have elapsed).
+    FlushStart,
     /// A scripted error fires (the runner handles the aftermath).
     Inject,
 }
@@ -205,6 +213,35 @@ pub(crate) struct Shadow {
     pub(crate) memories: Vec<Vec<u8>>,
 }
 
+/// Execution-stream state captured at a checkpoint commit, so that rollback
+/// can rewind the CPUs to the checkpoint and *re-execute* the discarded work
+/// (the paper's recovery model: memory and computation both resume from the
+/// checkpoint). Cheap — a few counters per CPU — so it is always captured.
+#[derive(Clone)]
+struct ExecSnapshot {
+    /// The checkpoint interval the snapshot belongs to (0 = run start).
+    interval: u64,
+    ops_done: Vec<u64>,
+    fetched: Vec<u64>,
+    /// A fetched-but-unissued op parked by an MshrFull retry.
+    retry: Vec<Option<revive_workloads::Op>>,
+    cpu_ops: u64,
+    instructions: u64,
+}
+
+impl ExecSnapshot {
+    fn initial(cpus: usize) -> ExecSnapshot {
+        ExecSnapshot {
+            interval: 0,
+            ops_done: vec![0; cpus],
+            fetched: vec![0; cpus],
+            retry: vec![None; cpus],
+            cpu_ops: 0,
+            instructions: 0,
+        }
+    }
+}
+
 /// The assembled machine (see module docs).
 pub struct System {
     pub(crate) cfg: ExperimentConfig,
@@ -221,15 +258,28 @@ pub struct System {
     running_cpus: usize,
     pub(crate) finish_time: Option<Ns>,
     ck_phase: CkPhase,
+    /// Whether the current flush phase has actually started pumping lines
+    /// (false in the interrupt/context-save window right after the timer).
+    ck_flush_begun: bool,
     ck_arrived: usize,
     ck_timeline: CkptTimeline,
     pub(crate) ck_stats: revive_core::checkpoint::CkptStats,
     pub(crate) ckpt_counter: u64,
     early_pending: bool,
     pub(crate) shadows: VecDeque<Shadow>,
+    exec_snaps: VecDeque<ExecSnapshot>,
     pub(crate) halted: bool,
     pub(crate) inject_at_ckpt: Option<(u64, f64)>,
+    /// Scripted error inside the two-phase-commit window of this checkpoint:
+    /// halt after the logs are marked but before the commit completes.
+    pub(crate) inject_in_commit_of: Option<u64>,
     pub(crate) inject_time: Option<Ns>,
+    /// After a commit-window injection the CPUs are legitimately frozen in
+    /// the flush phase while the runner drains the detection window; an
+    /// empty queue then is expected, not a deadlock.
+    pub(crate) suppress_deadlock_panic: bool,
+    /// Validation-mode audit reports (parity sweeps, log round-trips).
+    pub(crate) audits: Vec<AuditReport>,
 }
 
 impl System {
@@ -299,7 +349,7 @@ impl System {
             }
         }
 
-        let node_states: Vec<Node> = NodeId::all(nodes)
+        let mut node_states: Vec<Node> = NodeId::all(nodes)
             .map(|n| {
                 let hook = parity.map(|pm| {
                     let mut slots: Vec<LineAddr> = log_page_sets[n.index()]
@@ -325,6 +375,15 @@ impl System {
                 }
             })
             .collect();
+        if cfg.shadow_checkpoints {
+            // Validation mode: mirror every log into a software shadow so
+            // recovery can round-trip scan/replay against it.
+            for node in &mut node_states {
+                if let Some(h) = node.hook.as_mut() {
+                    h.attach_shadow();
+                }
+            }
+        }
 
         let reserved: Vec<HashSet<PageAddr>> = log_page_sets;
         let parity_copy = parity;
@@ -359,15 +418,20 @@ impl System {
             running_cpus: nodes,
             finish_time: None,
             ck_phase: CkPhase::Running,
+            ck_flush_begun: false,
             ck_arrived: 0,
             ck_timeline: CkptTimeline::default(),
             ck_stats: revive_core::checkpoint::CkptStats::default(),
             ckpt_counter: 0,
             early_pending: false,
             shadows: VecDeque::new(),
+            exec_snaps: VecDeque::from([ExecSnapshot::initial(nodes)]),
             halted: false,
             inject_at_ckpt: None,
+            inject_in_commit_of: None,
             inject_time: None,
+            suppress_deadlock_panic: false,
+            audits: Vec::new(),
             cfg,
         })
     }
@@ -375,6 +439,11 @@ impl System {
     /// The global address map.
     pub fn address_map(&self) -> &AddressMap {
         &self.map
+    }
+
+    /// The machine-wide page table (diagnostics, placement inspection).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
     }
 
     /// Simulated time so far.
@@ -393,8 +462,12 @@ impl System {
     }
 
     fn make_token(&mut self, cpu: usize, write: bool) -> OpToken {
-        let seq = self.cpus[cpu].next_seq;
-        self.cpus[cpu].next_seq += 1;
+        // The sequence number is the op's position in the CPU's workload
+        // stream, not a per-attempt counter: the cache derives store values
+        // from the token, so replay after a rollback must hand the same op
+        // the same token regardless of MshrFull retries or timing. (A
+        // MshrFull'd op reuses its token — nothing was issued for it.)
+        let seq = self.ops_done[cpu];
         let mut t = seq & 0x0000_7FFF_FFFF_FFFF;
         t |= (cpu as u64) << 47;
         if write {
@@ -446,7 +519,7 @@ impl System {
         while !self.halted {
             match self.queue.peek_time() {
                 None => {
-                    if self.running_cpus != 0 {
+                    if self.running_cpus != 0 && !self.suppress_deadlock_panic {
                         let states: Vec<String> = self
                             .cpus
                             .iter()
@@ -498,6 +571,7 @@ impl System {
                 Ev::Cpu(c) => self.cpu_step(c, t),
                 Ev::Deliver(msg) => self.deliver(msg, t),
                 Ev::CkptStart => self.ckpt_start(t),
+                Ev::FlushStart => self.flush_start(t),
                 Ev::Inject => {
                     self.inject_time = Some(t);
                     self.halted = true;
@@ -532,7 +606,10 @@ impl System {
             }
             let op = match self.cpus[c].retry.take() {
                 Some(op) => op,
-                None => self.workload.next(c),
+                None => {
+                    self.cpus[c].fetched += 1;
+                    self.workload.next(c)
+                }
             };
             t += Ns(op.think_ns as u64);
             let addr = self
@@ -823,7 +900,7 @@ impl System {
         if self.cfg.revive.ckpt.interval == Ns::MAX {
             // Infinite-interval measurement configs (CpInf) never commit;
             // recycle the oldest half of the log to keep the fiction alive.
-            hook.log.reclaim_oldest_half();
+            hook.recycle_oldest_half();
             return;
         }
         self.early_pending = true;
@@ -841,6 +918,7 @@ impl System {
         }
         self.early_pending = false;
         self.ck_phase = CkPhase::Flushing;
+        self.ck_flush_begun = false;
         self.ck_arrived = 0;
         self.ck_timeline = CkptTimeline {
             id: self.ckpt_counter + 1,
@@ -851,12 +929,34 @@ impl System {
         self.ck_timeline.flush_started = flush_at;
         for c in 0..self.cpus.len() {
             self.cpus[c].at_barrier = false;
-            self.cpus[c].flush_queue = self.nodes[c].ctrl.dirty_lines().into();
+            self.cpus[c].flush_queue.clear();
             self.cpus[c].flush_outstanding = 0;
         }
+        // The flush itself starts only after the checkpoint interrupt has
+        // been taken and context saved. Crucially the caches must not be
+        // touched before then: flushing a line downgrades it to
+        // Exclusive-clean *now*, and if its write-back message were stamped
+        // with the future `flush_at`, an in-flight fill landing inside the
+        // window could evict the line and send a clean replacement notice
+        // that overtakes the flush data on the same cache→home path. The
+        // home would process the notice first (line becomes Uncached), then
+        // drop the late flush write-back as a stale owner's — losing the
+        // only copy of the dirty data. Mutating cache state at the same
+        // instant the message departs keeps the path FIFO.
+        self.queue.schedule(flush_at, Ev::FlushStart);
+    }
+
+    fn flush_start(&mut self, t: Ns) {
+        if self.ck_phase != CkPhase::Flushing || self.ck_flush_begun {
+            return; // checkpoint aborted (recovery) since the timer fired
+        }
+        self.ck_flush_begun = true;
         for c in 0..self.cpus.len() {
-            self.pump_flush(c, flush_at);
-            self.check_barrier_arrival(c, flush_at);
+            self.cpus[c].flush_queue = self.nodes[c].ctrl.dirty_lines().into();
+        }
+        for c in 0..self.cpus.len() {
+            self.pump_flush(c, t);
+            self.check_barrier_arrival(c, t);
         }
     }
 
@@ -876,7 +976,7 @@ impl System {
     }
 
     fn check_barrier_arrival(&mut self, c: usize, t: Ns) {
-        if self.ck_phase != CkPhase::Flushing || self.cpus[c].at_barrier {
+        if self.ck_phase != CkPhase::Flushing || !self.ck_flush_begun || self.cpus[c].at_barrier {
             return;
         }
         let cpu = &self.cpus[c];
@@ -944,6 +1044,16 @@ impl System {
             }
         }
         self.ck_timeline.marked = mark_done;
+        if self.inject_in_commit_of == Some(new_id) {
+            // Scripted error inside the two-phase-commit window: every log
+            // is marked but the commit never completes, so the previous
+            // checkpoint must stay recoverable. CPUs remain frozen in the
+            // flush phase until the runner recovers the machine.
+            self.inject_time = Some(mark_done);
+            self.halted = true;
+            self.suppress_deadlock_panic = true;
+            return;
+        }
         let t_commit = mark_done + barrier;
         self.ck_timeline.committed = t_commit;
         self.ck_timeline.resumed = t_commit;
@@ -965,6 +1075,8 @@ impl System {
                 self.shadows.pop_front();
             }
         }
+        self.capture_exec_snapshot(new_id);
+        self.audit_parity_at_commit(new_id);
         // Resume execution.
         self.ck_phase = CkPhase::Running;
         for c in 0..self.cpus.len() {
@@ -983,6 +1095,175 @@ impl System {
                 self.queue.schedule(t_commit + delay, Ev::Inject);
             }
         }
+    }
+
+    // ---------------- validation: snapshots, rollback, audits ----------------
+
+    fn capture_exec_snapshot(&mut self, interval: u64) {
+        self.exec_snaps.push_back(ExecSnapshot {
+            interval,
+            ops_done: self.ops_done.clone(),
+            fetched: self.cpus.iter().map(|c| c.fetched).collect(),
+            retry: self.cpus.iter().map(|c| c.retry).collect(),
+            cpu_ops: self.metrics.cpu_ops,
+            instructions: self.metrics.instructions,
+        });
+        // Keep the same window as the retained checkpoints, plus interval 0.
+        while self.exec_snaps.len() > self.cfg.revive.ckpt.retained as usize + 1 {
+            self.exec_snaps.pop_front();
+        }
+    }
+
+    /// Rewinds the CPUs' workload streams to the state captured at `target`'s
+    /// commit, so the work discarded by a rollback is re-executed. The
+    /// workload generators are rebuilt from the experiment seed and
+    /// fast-forwarded to the snapshotted stream positions — every workload's
+    /// per-CPU stream is deterministic, so the replayed ops are bit-identical
+    /// to the discarded ones. Returns how many completed ops were rolled back.
+    pub(crate) fn rollback_execution(&mut self, target: u64) -> u64 {
+        let snap = self
+            .exec_snaps
+            .iter()
+            .find(|s| s.interval == target)
+            .unwrap_or_else(|| panic!("no execution snapshot for interval {target}"))
+            .clone();
+        let nodes = self.cfg.machine.nodes;
+        let mut workload = self
+            .cfg
+            .workload
+            .build(nodes, self.cfg.machine.scale(), self.cfg.seed);
+        for c in 0..nodes {
+            for _ in 0..snap.fetched[c] {
+                let _ = workload.next(c);
+            }
+        }
+        self.workload = workload;
+        let mut rolled = 0;
+        let mut running = 0;
+        for c in 0..nodes {
+            rolled += self.ops_done[c] - snap.ops_done[c];
+            self.ops_done[c] = snap.ops_done[c];
+            self.cpus[c].fetched = snap.fetched[c];
+            self.cpus[c].retry = snap.retry[c];
+            self.cpus[c].done = snap.ops_done[c] >= self.cfg.ops_per_cpu;
+            if !self.cpus[c].done {
+                running += 1;
+            }
+        }
+        self.running_cpus = running;
+        if running > 0 {
+            self.finish_time = None;
+        }
+        self.metrics.cpu_ops = snap.cpu_ops;
+        self.metrics.instructions = snap.instructions;
+        // Snapshots past the target belong to discarded intervals.
+        self.exec_snaps.retain(|s| s.interval <= target);
+        rolled
+    }
+
+    /// Audits every parity group at a checkpoint commit (validation mode).
+    ///
+    /// Parity traffic for the flushed write-backs and the just-shipped
+    /// checkpoint markers may still be in flight at commit, so the invariant
+    /// audited is memory ⊕ pending updates: the queue is drained, pending
+    /// XOR deltas (and mirror writes, in delivery order) are folded into a
+    /// read overlay, and the events are rescheduled untouched.
+    fn audit_parity_at_commit(&mut self, interval: u64) {
+        if !self.cfg.shadow_checkpoints {
+            return;
+        }
+        let Some(pm) = self.parity else { return };
+        let pending = self.queue.drain();
+        let mut xor_overlay: HashMap<LineAddr, LineData> = HashMap::new();
+        let mut mirror_overlay: HashMap<LineAddr, LineData> = HashMap::new();
+        for (_, ev) in &pending {
+            if let Ev::Deliver(NetMsg {
+                payload: Payload::Par { update, mirror },
+                ..
+            }) = ev
+            {
+                for (pline, delta) in &update.deltas {
+                    if *mirror {
+                        mirror_overlay.insert(*pline, *delta);
+                    } else {
+                        let e = xor_overlay.entry(*pline).or_insert(LineData::ZERO);
+                        *e ^= *delta;
+                    }
+                }
+            }
+        }
+        for (at, ev) in pending {
+            self.queue.schedule(at, ev);
+        }
+        let nodes = &self.nodes;
+        let map = self.map;
+        let audit = audit_parity(&pm, |line| {
+            let local = map.local_line_index(line);
+            let mut v = nodes[map.home_of_line(line).index()].mem.read_line(local);
+            if let Some(d) = xor_overlay.get(&line) {
+                v ^= *d;
+            }
+            if let Some(m) = mirror_overlay.get(&line) {
+                v = *m;
+            }
+            v
+        });
+        self.audits.push(AuditReport {
+            context: format!("commit of checkpoint {interval}"),
+            parity: audit,
+            log_divergences: Vec::new(),
+        });
+    }
+
+    /// Audits every parity group against current memory (validation mode);
+    /// used after recovery, when no parity traffic is in flight.
+    pub(crate) fn audit_parity_now(&mut self, context: String) {
+        if !self.cfg.shadow_checkpoints {
+            return;
+        }
+        let Some(pm) = self.parity else { return };
+        let nodes = &self.nodes;
+        let map = self.map;
+        let audit = audit_parity(&pm, |line| {
+            nodes[map.home_of_line(line).index()]
+                .mem
+                .read_line(map.local_line_index(line))
+        });
+        self.audits.push(AuditReport {
+            context,
+            parity: audit,
+            log_divergences: Vec::new(),
+        });
+    }
+
+    /// The functional memory contents by *virtual* page: node memory with
+    /// every dirty L2 line overlaid. Keyed by virtual page so that two runs
+    /// of the same program compare equal even when first-touch placement
+    /// put their pages on different nodes (physical placement is a timing
+    /// artifact; the program-visible contents are not).
+    pub fn memory_image(&self) -> MemoryImage {
+        use revive_mem::addr::PAGE_SIZE;
+        let mut overlay: HashMap<LineAddr, LineData> = HashMap::new();
+        for node in &self.nodes {
+            for line in node.ctrl.dirty_lines() {
+                if let Some(d) = node.ctrl.cached_data(line) {
+                    overlay.insert(line, d);
+                }
+            }
+        }
+        let mut img = MemoryImage::default();
+        for (vpage, page) in self.page_table.mappings() {
+            let node = self.map.home_of_page(page).index();
+            let mut bytes = Vec::with_capacity(PAGE_SIZE);
+            for line in page.lines() {
+                let data = overlay.get(&line).copied().unwrap_or_else(|| {
+                    self.nodes[node].mem.read_line(self.map.local_line_index(line))
+                });
+                bytes.extend_from_slice(data.as_bytes());
+            }
+            img.insert_page(vpage, bytes);
+        }
+        img
     }
 
     // ---------------- reset plumbing (used by the runner) ----------------
@@ -1030,6 +1311,7 @@ impl System {
         cpu.flush_queue.clear();
         cpu.flush_outstanding = 0;
         self.ck_phase = CkPhase::Running;
+        self.ck_flush_begun = false;
         self.ck_arrived = 0;
     }
 

@@ -1,77 +1,85 @@
-//! Property-based tests for the memory substrates.
+//! Randomized property tests for the memory substrates.
+//!
+//! Each test sweeps many [`DetRng`]-generated cases (deterministic, so
+//! failures reproduce exactly) in place of an external property-testing
+//! framework — the workspace builds with no network access.
 
-use proptest::prelude::*;
 use revive_mem::addr::{AddressMap, LineAddr, PageAddr, PAGE_SIZE};
 use revive_mem::cache::{Cache, CacheConfig, LineState};
 use revive_mem::line::LineData;
+use revive_sim::rng::DetRng;
 
-proptest! {
-    /// XOR over lines is an abelian group with identity ZERO — the algebra
-    /// distributed parity relies on.
-    #[test]
-    fn line_xor_group_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+const CASES: usize = 256;
+
+/// XOR over lines is an abelian group with identity ZERO — the algebra
+/// distributed parity relies on.
+#[test]
+fn line_xor_group_laws() {
+    let mut rng = DetRng::seed(0x11ea);
+    for _ in 0..CASES {
         let (x, y, z) = (
-            LineData::from_seed(a),
-            LineData::from_seed(b),
-            LineData::from_seed(c),
+            LineData::from_seed(rng.next_u64()),
+            LineData::from_seed(rng.next_u64()),
+            LineData::from_seed(rng.next_u64()),
         );
-        prop_assert_eq!(x ^ y, y ^ x);
-        prop_assert_eq!((x ^ y) ^ z, x ^ (y ^ z));
-        prop_assert_eq!(x ^ LineData::ZERO, x);
-        prop_assert_eq!(x ^ x, LineData::ZERO);
+        assert_eq!(x ^ y, y ^ x);
+        assert_eq!((x ^ y) ^ z, x ^ (y ^ z));
+        assert_eq!(x ^ LineData::ZERO, x);
+        assert_eq!(x ^ x, LineData::ZERO);
     }
+}
 
-    /// Applying a delta `old ^ new` to a parity word that contained `old`'s
-    /// contribution swaps it for `new` — one-step parity maintenance.
-    #[test]
-    fn parity_delta_swaps_contribution(
-        others in any::<u64>(),
-        old in any::<u64>(),
-        new in any::<u64>(),
-    ) {
-        let rest = LineData::from_seed(others);
-        let old = LineData::from_seed(old);
-        let new = LineData::from_seed(new);
+/// Applying a delta `old ^ new` to a parity word that contained `old`'s
+/// contribution swaps it for `new` — one-step parity maintenance.
+#[test]
+fn parity_delta_swaps_contribution() {
+    let mut rng = DetRng::seed(0xde17a);
+    for _ in 0..CASES {
+        let rest = LineData::from_seed(rng.next_u64());
+        let old = LineData::from_seed(rng.next_u64());
+        let new = LineData::from_seed(rng.next_u64());
         let parity = rest ^ old;
-        prop_assert_eq!(parity ^ (old ^ new), rest ^ new);
+        assert_eq!(parity ^ (old ^ new), rest ^ new);
     }
+}
 
-    /// The global↔local address mapping is a bijection over the machine.
-    #[test]
-    fn address_map_round_trips(
-        nodes in 1usize..9,
-        pages in 1u64..32,
-        pick in any::<u64>(),
-    ) {
+/// The global↔local address mapping is a bijection over the machine.
+#[test]
+fn address_map_round_trips() {
+    let mut rng = DetRng::seed(0xadd2);
+    for _ in 0..CASES {
+        let nodes = rng.range(1, 9) as usize;
+        let pages = rng.range(1, 32);
         let map = AddressMap::new(nodes, pages * PAGE_SIZE as u64);
         let total = map.pages_per_node() * nodes as u64;
-        let page = PageAddr(pick % total);
+        let page = PageAddr(rng.next_u64() % total);
         let node = map.home_of_page(page);
         let local = map.local_page_index(page);
-        prop_assert_eq!(map.global_page(node, local), page);
+        assert_eq!(map.global_page(node, local), page);
         let line = page.first_line();
-        prop_assert_eq!(map.home_of_line(line), node);
-        prop_assert_eq!(
-            map.global_line(node, map.local_line_index(line)),
-            line
-        );
+        assert_eq!(map.home_of_line(line), node);
+        assert_eq!(map.global_line(node, map.local_line_index(line)), line);
     }
+}
 
-    /// A cache never holds more lines than its capacity, never holds
-    /// duplicates, and every line it returns as a victim was previously
-    /// filled. (Reference-model check over random fill/invalidate traces.)
-    #[test]
-    fn cache_capacity_and_victims(
-        ops in proptest::collection::vec((0u64..64, any::<bool>()), 1..200),
-        ways in 1usize..5,
-    ) {
+/// A cache never holds more lines than its capacity, never holds
+/// duplicates, and every line it returns as a victim was previously
+/// filled. (Reference-model check over random fill/invalidate traces.)
+#[test]
+fn cache_capacity_and_victims() {
+    let mut rng = DetRng::seed(0xcac4e);
+    for _ in 0..CASES {
+        let ways = rng.range(1, 5) as usize;
         let config = CacheConfig {
             size_bytes: 8 * ways * 64, // 8 sets
             ways,
         };
         let mut cache = Cache::new(config);
         let mut resident: std::collections::HashSet<u64> = Default::default();
-        for (line, invalidate) in ops {
+        let n_ops = rng.range(1, 200);
+        for _ in 0..n_ops {
+            let line = rng.range(0, 64);
+            let invalidate = rng.chance(0.5);
             let addr = LineAddr(line);
             if invalidate {
                 cache.invalidate(addr);
@@ -79,33 +87,41 @@ proptest! {
             } else if !resident.contains(&line) {
                 let victim = cache.fill(addr, LineState::Shared, LineData::ZERO);
                 if let Some(v) = victim {
-                    prop_assert!(resident.remove(&v.line.0), "victim {:?} not resident", v.line);
+                    assert!(resident.remove(&v.line.0), "victim {:?} not resident", v.line);
                 }
                 resident.insert(line);
             } else {
-                prop_assert!(cache.access(addr).is_valid());
+                assert!(cache.access(addr).is_valid());
             }
-            prop_assert!(cache.valid_count() <= config.lines());
-            prop_assert_eq!(cache.valid_count(), resident.len());
+            assert!(cache.valid_count() <= config.lines());
+            assert_eq!(cache.valid_count(), resident.len());
         }
     }
+}
 
-    /// Cached data round-trips through fills, writes, and victims.
-    #[test]
-    fn cache_data_round_trips(lines in proptest::collection::vec(0u64..32, 1..50)) {
-        let mut cache = Cache::new(CacheConfig { size_bytes: 64 * 64, ways: 4 });
+/// Cached data round-trips through fills, writes, and victims.
+#[test]
+fn cache_data_round_trips() {
+    let mut rng = DetRng::seed(0xda7a);
+    for _ in 0..CASES {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 64 * 64,
+            ways: 4,
+        });
         let mut model: std::collections::HashMap<u64, LineData> = Default::default();
-        for (i, line) in lines.into_iter().enumerate() {
+        let n_lines = rng.range(1, 50);
+        for i in 0..n_lines {
+            let line = rng.range(0, 32);
             let addr = LineAddr(line);
-            let data = LineData::from_seed(i as u64);
+            let data = LineData::from_seed(i);
             if model.contains_key(&line) {
                 cache.write_data(addr, data);
             } else if let Some(v) = cache.fill(addr, LineState::Modified, data) {
                 let expect = model.remove(&v.line.0).expect("victim was resident");
-                prop_assert_eq!(v.data, expect);
+                assert_eq!(v.data, expect);
             }
             model.insert(line, data);
-            prop_assert_eq!(cache.data_of(addr), Some(data));
+            assert_eq!(cache.data_of(addr), Some(data));
         }
     }
 }

@@ -1,66 +1,80 @@
-//! Property-based tests for the torus and fabric.
+//! Randomized property tests for the torus and fabric.
+//!
+//! Each test sweeps many [`DetRng`]-generated cases (deterministic, so
+//! failures reproduce exactly) in place of an external property-testing
+//! framework — the workspace builds with no network access.
 
-use proptest::prelude::*;
 use revive_net::{Fabric, FabricConfig, Torus};
+use revive_sim::rng::DetRng;
 use revive_sim::time::Ns;
 use revive_sim::types::NodeId;
 
-proptest! {
-    /// Routes exist for every pair, have minimal length, and distances
-    /// satisfy symmetry and the triangle inequality.
-    #[test]
-    fn routing_is_minimal_and_metric(
-        w in 2usize..6,
-        h in 2usize..6,
-        a in 0usize..36,
-        b in 0usize..36,
-        c in 0usize..36,
-    ) {
+const CASES: usize = 256;
+
+/// Routes exist for every pair, have minimal length, and distances
+/// satisfy symmetry and the triangle inequality.
+#[test]
+fn routing_is_minimal_and_metric() {
+    let mut rng = DetRng::seed(0x70125);
+    for _ in 0..CASES {
+        let w = rng.range(2, 6) as usize;
+        let h = rng.range(2, 6) as usize;
         let t = Torus::new(w, h);
         let n = t.len();
-        let (a, b, c) = (NodeId::from(a % n), NodeId::from(b % n), NodeId::from(c % n));
-        prop_assert_eq!(t.route(a, b).len(), t.hops(a, b));
-        prop_assert_eq!(t.hops(a, b), t.hops(b, a));
-        prop_assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
-        prop_assert_eq!(t.hops(a, a), 0);
+        let (a, b, c) = (
+            NodeId::from(rng.index(n)),
+            NodeId::from(rng.index(n)),
+            NodeId::from(rng.index(n)),
+        );
+        assert_eq!(t.route(a, b).len(), t.hops(a, b));
+        assert_eq!(t.hops(a, b), t.hops(b, a));
+        assert!(t.hops(a, c) <= t.hops(a, b) + t.hops(b, c));
+        assert_eq!(t.hops(a, a), 0);
         // Distance is bounded by the torus diameter.
-        prop_assert!(t.hops(a, b) <= w / 2 + h / 2);
+        assert!(t.hops(a, b) <= w / 2 + h / 2);
     }
+}
 
-    /// Every route's links are head-to-tail contiguous: link i+1 departs
-    /// from a neighbor reachable by link i.
-    #[test]
-    fn routes_are_contiguous(a in 0usize..16, b in 0usize..16) {
-        let t = Torus::new(4, 4);
-        let (a, b) = (NodeId::from(a), NodeId::from(b));
+/// Every route's links are head-to-tail contiguous: link i+1 departs
+/// from a neighbor reachable by link i.
+#[test]
+fn routes_are_contiguous() {
+    let mut rng = DetRng::seed(0xc0417);
+    let t = Torus::new(4, 4);
+    for _ in 0..CASES {
+        let (a, b) = (NodeId::from(rng.index(16)), NodeId::from(rng.index(16)));
         let route = t.route(a, b);
         if !route.is_empty() {
-            prop_assert_eq!(route[0].from, a);
+            assert_eq!(route[0].from, a);
             for pair in route.windows(2) {
                 // The next link must start one hop away from the previous
                 // link's origin.
-                prop_assert_eq!(t.hops(pair[0].from, pair[1].from), 1);
+                assert_eq!(t.hops(pair[0].from, pair[1].from), 1);
             }
-            prop_assert_eq!(t.hops(route[route.len() - 1].from, b), 1);
+            assert_eq!(t.hops(route[route.len() - 1].from, b), 1);
         }
     }
+}
 
-    /// Message arrival never beats the uncontended latency, and messages
-    /// sent later on the same path arrive no earlier (FIFO per pair).
-    #[test]
-    fn fabric_latency_bounds_and_pair_fifo(
-        sends in proptest::collection::vec((0u64..200, 0usize..16, 0usize..16, 8u32..256), 1..40)
-    ) {
+/// Message arrival never beats the uncontended latency, and messages
+/// sent later on the same path arrive no earlier (FIFO per pair).
+#[test]
+fn fabric_latency_bounds_and_pair_fifo() {
+    let mut rng = DetRng::seed(0xf1f0);
+    for _ in 0..CASES {
         let mut fabric = Fabric::new(Torus::new(4, 4), FabricConfig::default());
         let mut last_arrival: std::collections::HashMap<(usize, usize), Ns> = Default::default();
         let mut now = Ns::ZERO;
-        for (dt, src, dst, size) in sends {
-            now += Ns(dt);
+        let sends = rng.range(1, 40);
+        for _ in 0..sends {
+            now += Ns(rng.range(0, 200));
+            let (src, dst) = (rng.index(16), rng.index(16));
+            let size = rng.range(8, 256) as u32;
             let (s, d) = (NodeId::from(src), NodeId::from(dst));
             let arrival = fabric.send(now, s, d, size);
-            prop_assert!(arrival >= now + fabric.uncontended(s, d));
+            assert!(arrival >= now + fabric.uncontended(s, d));
             if let Some(prev) = last_arrival.insert((src, dst), arrival) {
-                prop_assert!(arrival >= prev, "same-pair reordering: {arrival} < {prev}");
+                assert!(arrival >= prev, "same-pair reordering: {arrival} < {prev}");
             }
         }
     }

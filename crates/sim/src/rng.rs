@@ -5,13 +5,11 @@
 //! so that runs are exactly reproducible and baseline-vs-ReVive comparisons
 //! see identical workloads.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// A seedable, fast, reproducible random-number generator.
 ///
-/// Wraps [`rand::rngs::SmallRng`] behind a stable façade so the rest of the
-/// workspace does not depend on `rand`'s API directly.
+/// Implements xoshiro256++ seeded through splitmix64 — self-contained so the
+/// workspace builds with no external crates and the streams are stable across
+/// toolchain updates.
 ///
 /// # Example
 ///
@@ -25,15 +23,28 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Clone, Debug)]
 pub struct DetRng {
-    inner: SmallRng,
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> DetRng {
-        DetRng {
-            inner: SmallRng::seed_from_u64(seed),
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
         }
+        // splitmix64 never yields four zeros for any input, so the xoshiro
+        // state is always valid.
+        DetRng { s }
     }
 
     /// Derives a child generator with an independent stream. Used to give
@@ -48,9 +59,20 @@ impl DetRng {
         DetRng::seed(z ^ (z >> 31))
     }
 
-    /// Next raw 64-bit value.
+    /// Next raw 64-bit value (xoshiro256++).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
+        let out = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
     }
 
     /// Uniform value in `[lo, hi)`.
@@ -60,7 +82,16 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.random_range(lo..hi)
+        let span = hi - lo;
+        // Rejection sampling to avoid modulo bias: reject draws from the
+        // incomplete final bucket of the u64 space.
+        let zone = span.wrapping_neg() % span; // (2^64 mod span)
+        loop {
+            let x = self.next_u64();
+            if x >= zone {
+                return lo + (x % span);
+            }
+        }
     }
 
     /// Uniform `usize` in `[0, n)`.
@@ -70,7 +101,7 @@ impl DetRng {
     /// Panics if `n` is zero.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot sample an index from an empty set");
-        self.inner.random_range(0..n)
+        self.range(0, n as u64) as usize
     }
 
     /// `true` with probability `p`.
@@ -85,13 +116,14 @@ impl DetRng {
         } else if p >= 1.0 {
             true
         } else {
-            self.inner.random::<f64>() < p
+            self.unit() < p
         }
     }
 
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
-        self.inner.random()
+        // 53 high bits → the dyadic rationals k/2^53, uniform in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Fisher–Yates shuffle of a slice.
@@ -117,6 +149,19 @@ mod tests {
     }
 
     #[test]
+    fn matches_xoshiro_reference() {
+        // xoshiro256++ reference vector: state seeded by splitmix64(0)
+        // produces splitmix-derived words; spot-check the generator against
+        // values computed from the published algorithm.
+        let mut r = DetRng::seed(0);
+        let first = r.next_u64();
+        let mut sm = 0u64;
+        let s: Vec<u64> = (0..4).map(|_| splitmix64(&mut sm)).collect();
+        let expect = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        assert_eq!(first, expect);
+    }
+
+    #[test]
     fn forks_are_reproducible_and_distinct() {
         let mut root1 = DetRng::seed(1);
         let mut root2 = DetRng::seed(1);
@@ -138,6 +183,16 @@ mod tests {
     }
 
     #[test]
+    fn range_hits_every_value() {
+        let mut r = DetRng::seed(11);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.range(0, 7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "range misses values: {seen:?}");
+    }
+
+    #[test]
     fn chance_extremes() {
         let mut r = DetRng::seed(3);
         assert!(!r.chance(0.0));
@@ -149,6 +204,15 @@ mod tests {
         let mut r = DetRng::seed(9);
         let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
         assert!((2_500..3_500).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn unit_is_in_half_open_interval() {
+        let mut r = DetRng::seed(13);
+        for _ in 0..1000 {
+            let u = r.unit();
+            assert!((0.0..1.0).contains(&u), "unit out of range: {u}");
+        }
     }
 
     #[test]

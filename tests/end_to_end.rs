@@ -150,6 +150,7 @@ fn injection_into_baseline_is_rejected() {
         interval_fraction: 0.5,
         detection_delay: Ns::from_us(10),
         kind: ErrorKind::CacheWipe,
+        ..InjectionPlan::paper_transient(Ns::from_us(100))
     };
     assert!(Runner::new(cfg)
         .unwrap()
