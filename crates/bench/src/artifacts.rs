@@ -1,0 +1,101 @@
+//! Run-artifact emission for the experiment binaries.
+//!
+//! Every benchmark run can leave behind a machine-readable JSON artifact
+//! (see `revive_machine::report`) so results are diffable and scriptable
+//! instead of living only in stdout tables. Artifacts land under
+//! `results/artifacts/<experiment>/<label>.json`; the experiment name is
+//! set once per binary with [`init`] (falling back to the executable name).
+//!
+//! Set `REVIVE_NO_ARTIFACTS=1` to suppress writing (e.g. sandboxed CI
+//! steps that only care about the tables), or `REVIVE_ARTIFACT_DIR` to
+//! redirect the root directory.
+
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use revive_machine::{render_artifact, validate_artifact, ExperimentConfig, RunMeta, RunResult};
+
+static EXPERIMENT: OnceLock<String> = OnceLock::new();
+
+/// Names this binary's artifact subdirectory. Call once at the top of
+/// `main`; later calls are ignored.
+pub fn init(experiment: &str) {
+    let _ = EXPERIMENT.set(experiment.to_string());
+}
+
+fn experiment() -> String {
+    if let Some(name) = EXPERIMENT.get() {
+        return name.clone();
+    }
+    std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string())
+}
+
+/// Whether artifact emission is active.
+pub fn enabled() -> bool {
+    !std::env::var("REVIVE_NO_ARTIFACTS").is_ok_and(|v| v != "0")
+}
+
+/// The directory artifacts for this binary land in.
+pub fn dir() -> PathBuf {
+    let root = std::env::var("REVIVE_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results").join("artifacts"));
+    root.join(experiment())
+}
+
+fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders, validates, and writes one run artifact. Returns the path, or
+/// `None` when emission is disabled or the write failed (benchmarks must
+/// not die because a results directory is read-only — the tables on stdout
+/// are still the primary output).
+pub fn emit(label: &str, cfg: &ExperimentConfig, result: &RunResult) -> Option<PathBuf> {
+    if !enabled() {
+        return None;
+    }
+    let meta = RunMeta::from_config(label, cfg);
+    let text = render_artifact(&meta, result);
+    debug_assert!(
+        validate_artifact(&text).is_ok(),
+        "emitted artifact failed validation: {:?}",
+        validate_artifact(&text)
+    );
+    let dir = dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{}.json", sanitize(label)));
+    match std::fs::write(&path, text) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_sanitize_to_safe_filenames() {
+        assert_eq!(sanitize("fft/Cp10ms"), "fft_Cp10ms");
+        assert_eq!(sanitize("water-n2 x=3"), "water-n2_x_3");
+    }
+}

@@ -16,6 +16,7 @@ use revive_workloads::AppId;
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("ablation_group_size");
     banner(
         "Ablation — parity group size",
         "ReVive (ISCA 2002) Sections 3.2.1, 6.2 (memory vs recovery trade-off)",
@@ -23,14 +24,16 @@ fn main() {
     );
     for app in [AppId::Radix, AppId::Lu] {
         println!("--- {} ---", app.name());
-        let mut base_cfg = ExperimentConfig::experiment(
-            WorkloadSpec::Splash(app),
-            ReviveConfig::off(),
-        );
+        let mut base_cfg =
+            ExperimentConfig::experiment(WorkloadSpec::Splash(app), ReviveConfig::off());
         base_cfg.ops_per_cpu = opts.ops_per_cpu();
-        let base = Runner::new(base_cfg).expect("cfg").run().expect("run");
+        let base = revive_bench::run_config(base_cfg, &format!("{}_base", app.name()));
         let mut table = Table::new([
-            "group", "overhead%", "storage%", "recovery p2+p3", "verified",
+            "group",
+            "overhead%",
+            "storage%",
+            "recovery p2+p3",
+            "verified",
         ]);
         for g in [1usize, 3, 7, 15] {
             let mut revive = ReviveConfig::parity(CP_INTERVAL);
@@ -45,16 +48,16 @@ fn main() {
             revive.ckpt.retained = 3;
             // Error-free overhead and recovery cost come from separate
             // runs: an injection run's completion time includes the outage.
-            let mut cfg =
-                ExperimentConfig::experiment(WorkloadSpec::Splash(app), revive);
+            let mut cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), revive);
             cfg.ops_per_cpu = opts.ops_per_cpu();
-            let clean = Runner::new(cfg).expect("cfg").run().expect("run");
+            let clean = revive_bench::run_config(cfg, &format!("{}_{g}p1", app.name()));
             cfg.shadow_checkpoints = true;
             let plan = InjectionPlan::paper_worst_case(CP_INTERVAL, NodeId(5));
             let result = Runner::new(cfg)
                 .expect("cfg")
                 .run_with_injection(plan)
                 .expect("injection");
+            revive_bench::artifacts::emit(&format!("{}_{g}p1_inject", app.name()), &cfg, &result);
             let rec = result.recovery.expect("recovery ran");
             table.row([
                 format!("{g}+1"),

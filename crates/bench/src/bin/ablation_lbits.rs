@@ -8,25 +8,23 @@
 //! workload.
 
 use revive_bench::{banner, overhead_pct, Opts, Table, CP_INTERVAL};
-use revive_machine::{ExperimentConfig, ReviveConfig, Runner, WorkloadSpec};
+use revive_machine::{ExperimentConfig, ReviveConfig, WorkloadSpec};
 use revive_workloads::AppId;
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("ablation_lbits");
     banner(
         "Ablation — L bits: full array vs directory cache",
         "ReVive (ISCA 2002) Section 4.1.2",
         opts,
     );
     let app = AppId::Fft;
-    let mut base_cfg =
-        ExperimentConfig::experiment(WorkloadSpec::Splash(app), ReviveConfig::off());
+    let mut base_cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), ReviveConfig::off());
     base_cfg.ops_per_cpu = opts.ops_per_cpu() / 2;
-    let base = Runner::new(base_cfg).expect("cfg").run().expect("run");
+    let base = revive_bench::run_config(base_cfg, "fft_base");
 
-    let mut table = Table::new([
-        "L bits", "overhead%", "log records", "peak log KB", "ckpts",
-    ]);
+    let mut table = Table::new(["L bits", "overhead%", "log records", "peak log KB", "ckpts"]);
     let variants: [(&str, Option<usize>); 4] = [
         ("full array", None),
         ("cache 1024", Some(1024)),
@@ -39,7 +37,7 @@ fn main() {
         revive.lbit_dir_cache = cap;
         let mut cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), revive);
         cfg.ops_per_cpu = opts.ops_per_cpu() / 2;
-        let r = Runner::new(cfg).expect("cfg").run().expect("run");
+        let r = revive_bench::run_config(cfg, &format!("fft_{label}"));
         let records = r.metrics.costs.rdx_unlogged + r.metrics.costs.wb_unlogged;
         table.row([
             label.to_string(),

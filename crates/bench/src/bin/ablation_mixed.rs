@@ -12,24 +12,22 @@
 
 use revive_bench::{banner, overhead_pct, Opts, Table, CP_INTERVAL};
 use revive_core::parity::ParityMap;
-use revive_machine::{
-    ExperimentConfig, ReviveConfig, ReviveMode, Runner, WorkloadSpec,
-};
+use revive_machine::{ExperimentConfig, ReviveConfig, ReviveMode, WorkloadSpec};
 use revive_mem::addr::AddressMap;
 use revive_workloads::AppId;
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("ablation_mixed");
     banner(
         "Ablation — mixed mirroring + parity",
         "ReVive (ISCA 2002) Sections 6.1 and 8 (proposed extension)",
         opts,
     );
     let app = AppId::Radix; // write-heavy: parity-update costs dominate
-    let mut base_cfg =
-        ExperimentConfig::experiment(WorkloadSpec::Splash(app), ReviveConfig::off());
+    let mut base_cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), ReviveConfig::off());
     base_cfg.ops_per_cpu = opts.ops_per_cpu() / 2;
-    let base = Runner::new(base_cfg).expect("cfg").run().expect("run");
+    let base = revive_bench::run_config(base_cfg, "radix_base");
     println!("workload: {}\n", app.name());
 
     let mut table = Table::new(["mirrored frac", "overhead%", "storage%"]);
@@ -52,7 +50,8 @@ fn main() {
         revive.log_fraction = 0.28 + 0.25 * frac; // keep absolute log size steady
         let mut cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), revive);
         cfg.ops_per_cpu = opts.ops_per_cpu() / 2;
-        let r = Runner::new(cfg).expect("cfg").run().expect("run");
+        let r =
+            revive_bench::run_config(cfg, &format!("radix_mirrored_{:02}", (frac * 100.0) as u32));
         let mirrored = (map.pages_per_node() as f64 * frac) as u64;
         let pm = if frac >= 1.0 {
             ParityMap::new(map, 1)

@@ -27,16 +27,18 @@ fn measured_recovery(app: AppId, node_loss: bool, opts: Opts) -> revive_machine:
     } else {
         InjectionPlan::paper_transient(CP_INTERVAL)
     };
-    Runner::new(cfg)
+    let result = Runner::new(cfg)
         .expect("config")
         .run_with_injection(plan)
-        .expect("injection fired")
-        .recovery
-        .expect("recovery ran")
+        .expect("injection fired");
+    let label = if node_loss { "node_loss" } else { "transient" };
+    revive_bench::artifacts::emit(&format!("{}_{label}", app.name()), &cfg, &result);
+    result.recovery.expect("recovery ran")
 }
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("availability");
     banner(
         "Availability — measured recovery + the paper's real-machine parameters",
         "ReVive (ISCA 2002) Sections 3.3.2 and 6.3",

@@ -1,0 +1,28 @@
+//! Validates run-artifact JSON files (`simulate --json` output, bench
+//! emissions under `results/artifacts/`) against the `revive-run-artifact`
+//! schema. Prints one line per file and exits nonzero on the first invalid
+//! one — CI's smoke step pipes `simulate --json` output through this.
+
+use revive_machine::validate_artifact;
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: check_artifact <artifact.json> [more.json ...]");
+        std::process::exit(2);
+    }
+    let mut checked = 0usize;
+    for path in paths {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("{path}: read failed: {e}");
+            std::process::exit(1);
+        });
+        if let Err(e) = validate_artifact(&text) {
+            eprintln!("{path}: INVALID: {e}");
+            std::process::exit(1);
+        }
+        println!("{path}: ok");
+        checked += 1;
+    }
+    println!("{checked} artifact(s) valid");
+}

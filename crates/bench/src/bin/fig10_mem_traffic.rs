@@ -9,6 +9,7 @@ use revive_workloads::AppId;
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("fig10_mem_traffic");
     let mirroring = std::env::args().any(|a| a == "--mirroring");
     let fig = if mirroring {
         FigConfig::CpM

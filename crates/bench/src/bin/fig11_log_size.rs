@@ -10,6 +10,7 @@ use revive_workloads::AppId;
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("fig11_log_size");
     banner(
         "Figure 11 — maximum log size (Cp10ms, two checkpoints retained)",
         "ReVive (ISCA 2002) Figure 11 and Section 6.2",
@@ -32,7 +33,10 @@ fn main() {
             format!("{:.0} KB", max as f64 / 1024.0),
             format!("{:.2} MB", total as f64 / 1e6),
             format!("{:.1} MB", max as f64 * scale_to_real / 1e6),
-            format!("{}", r.metrics.costs.rdx_unlogged + r.metrics.costs.wb_unlogged),
+            format!(
+                "{}",
+                r.metrics.costs.rdx_unlogged + r.metrics.costs.wb_unlogged
+            ),
         ]);
         eprintln!("  {} done", app.name());
     }

@@ -18,13 +18,21 @@ use revive_workloads::AppId;
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("fig12_recovery");
     banner(
         "Figure 12 — unavailable time after a worst-case node loss",
         "ReVive (ISCA 2002) Figures 7 and 12, Section 6.3",
         opts,
     );
     let mut table = Table::new([
-        "app", "lost work", "phase2", "phase3", "p2+p3", "phase4(bg)", "replays", "verified",
+        "app",
+        "lost work",
+        "phase2",
+        "phase3",
+        "p2+p3",
+        "phase4(bg)",
+        "replays",
+        "verified",
     ]);
     let mut worst: Option<(AppId, revive_machine::RecoveryOutcome)> = None;
     let mut sum_p23 = Ns::ZERO;
@@ -40,6 +48,7 @@ fn main() {
             .expect("config")
             .run_with_injection(plan)
             .expect("injection fired");
+        revive_bench::artifacts::emit(&format!("{}_node_loss", app.name()), &cfg, &result);
         let rec = result.recovery.expect("recovery ran");
         let p23 = rec.report.phase2 + rec.report.phase3;
         sum_p23 += p23;

@@ -11,6 +11,7 @@ use revive_workloads::AppId;
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("fig6_checkpoint_timeline");
     let app = std::env::args()
         .nth(1)
         .filter(|a| a != "--quick")
@@ -24,7 +25,14 @@ fn main() {
     println!("application: {}\n", app.name());
     let r = run_app(app, FigConfig::Cp, opts);
     let mut table = Table::new([
-        "ckpt", "start", "flush dur", "barrier1", "mark", "commit", "total", "lines",
+        "ckpt",
+        "start",
+        "flush dur",
+        "barrier1",
+        "mark",
+        "commit",
+        "total",
+        "lines",
     ]);
     for t in &r.ckpt.timelines {
         table.row([

@@ -11,6 +11,7 @@ use revive_workloads::AppId;
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("fig8_overhead");
     banner(
         "Figure 8 — error-free execution overhead",
         "ReVive (ISCA 2002) Figure 8; averages in Sections 1, 6.1, 8",

@@ -11,6 +11,7 @@ use revive_workloads::AppId;
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("fig9_net_traffic");
     banner(
         "Figure 9 — network traffic breakdown (Cp10ms)",
         "ReVive (ISCA 2002) Figure 9",
@@ -22,9 +23,8 @@ fn main() {
     for app in AppId::ALL {
         let r = run_app(app, FigConfig::Cp, opts);
         let total = r.metrics.traffic.net_bytes_total().max(1);
-        let pct = |c: TrafficClass| {
-            100.0 * r.metrics.traffic.net_bytes[c.index()] as f64 / total as f64
-        };
+        let pct =
+            |c: TrafficClass| 100.0 * r.metrics.traffic.net_bytes[c.index()] as f64 / total as f64;
         table.row([
             app.name().to_string(),
             format!("{:.2}", total as f64 / 1e6),

@@ -9,11 +9,12 @@
 //! count.
 
 use revive_bench::{banner, overhead_pct, Opts, Table, CP_INTERVAL};
-use revive_machine::{ExperimentConfig, ReviveConfig, ReviveMode, Runner, WorkloadSpec};
+use revive_machine::{ExperimentConfig, ReviveConfig, ReviveMode, WorkloadSpec};
 use revive_workloads::AppId;
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("scalability");
     banner(
         "Scalability — ReVive overhead vs machine size",
         "ReVive (ISCA 2002) Section 3.3.1",
@@ -21,7 +22,12 @@ fn main() {
     );
     let app = AppId::Ocean; // stencil + boundary exchange: real communication
     let mut table = Table::new([
-        "nodes", "base time", "revive time", "overhead%", "par MB", "ckpts",
+        "nodes",
+        "base time",
+        "revive time",
+        "overhead%",
+        "par MB",
+        "ckpts",
     ]);
     for nodes in [4usize, 16, 64] {
         // 3+1 parity divides every size; per-CPU work is held constant.
@@ -31,16 +37,14 @@ fn main() {
             cfg.ops_per_cpu = opts.ops_per_cpu() / 4;
             cfg
         };
-        let base = Runner::new(mk(ReviveConfig::off()))
-            .expect("cfg")
-            .run()
-            .expect("run");
+        let base =
+            revive_bench::run_config(mk(ReviveConfig::off()), &format!("ocean_{nodes}n_base"));
         let mut revive = ReviveConfig::parity(CP_INTERVAL);
         revive.mode = ReviveMode::Parity {
             group_data_pages: 3,
         };
         revive.log_fraction = 0.28;
-        let r = Runner::new(mk(revive)).expect("cfg").run().expect("run");
+        let r = revive_bench::run_config(mk(revive), &format!("ocean_{nodes}n_revive"));
         table.row([
             nodes.to_string(),
             base.sim_time.to_string(),
@@ -48,9 +52,7 @@ fn main() {
             format!("{:.1}", overhead_pct(r.sim_time, base.sim_time)),
             format!(
                 "{:.2}",
-                r.metrics.traffic.net_bytes
-                    [revive_machine::TrafficClass::Par.index()] as f64
-                    / 1e6
+                r.metrics.traffic.net_bytes[revive_machine::TrafficClass::Par.index()] as f64 / 1e6
             ),
             r.checkpoints.to_string(),
         ]);

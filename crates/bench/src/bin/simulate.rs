@@ -6,6 +6,7 @@
 //!          [--group N] [--mirrored-frac F] [--interval-us N] [--ops N]
 //!          [--nodes N] [--seed N] [--inject node-loss:K | --inject transient]
 //!          [--lbit-cache N] [--verbose]
+//!          [--json PATH] [--trace-jsonl PATH] [--trace-chrome PATH]
 //! ```
 //!
 //! Examples:
@@ -14,11 +15,19 @@
 //! simulate --app radix --mode parity --interval-us 2000 --ops 400000
 //! simulate --app ocean --inject node-loss:5
 //! simulate --synthetic ws-exceeds-l2 --mode mirroring
+//! simulate --app fft --json run.json --trace-chrome trace.json
 //! ```
+//!
+//! `--json` writes the full machine-readable run artifact (schema
+//! `revive-run-artifact`: per-class traffic and latency histograms,
+//! checkpoint/recovery phase timelines, per-epoch time series, trace
+//! summary). `--trace-chrome` writes a Chrome `trace_event` file — load it
+//! at `chrome://tracing` or <https://ui.perfetto.dev>. Any of the three
+//! output flags switches full observability on (tracing + sampling).
 
 use revive_machine::{
-    ErrorKind, ExperimentConfig, InjectionPlan, ReviveConfig, ReviveMode, Runner, TrafficClass,
-    WorkloadSpec,
+    render_artifact, ErrorKind, ExperimentConfig, InjectionPlan, ObsConfig, ReviveConfig,
+    ReviveMode, RunMeta, Runner, TrafficClass, WorkloadSpec,
 };
 use revive_sim::time::Ns;
 use revive_sim::types::NodeId;
@@ -37,6 +46,9 @@ struct Args {
     inject: Option<String>,
     lbit_cache: Option<usize>,
     verbose: bool,
+    json: Option<String>,
+    trace_jsonl: Option<String>,
+    trace_chrome: Option<String>,
 }
 
 fn usage() -> ! {
@@ -44,6 +56,7 @@ fn usage() -> ! {
         "usage: simulate [--app NAME|--synthetic NAME] [--mode parity|mirroring|mixed|off]\n\
          \t[--group N] [--mirrored-frac F] [--interval-us N] [--ops N] [--nodes N]\n\
          \t[--seed N] [--inject node-loss:K|transient] [--lbit-cache N] [--verbose]\n\
+         \t[--json PATH] [--trace-jsonl PATH] [--trace-chrome PATH]\n\
          apps: {}\n\
          synthetics: {}",
         AppId::ALL.map(|a| a.name()).join(", "),
@@ -65,12 +78,13 @@ fn parse_args() -> Args {
         inject: None,
         lbit_cache: None,
         verbose: false,
+        json: None,
+        trace_jsonl: None,
+        trace_chrome: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let value = |it: &mut dyn Iterator<Item = String>| {
-            it.next().unwrap_or_else(|| usage())
-        };
+        let value = |it: &mut dyn Iterator<Item = String>| it.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--app" => {
                 let name = value(&mut it);
@@ -82,8 +96,7 @@ fn parse_args() -> Args {
             }
             "--synthetic" => {
                 let name = value(&mut it);
-                let Some(s) = SyntheticKind::ALL.into_iter().find(|s| s.name() == name)
-                else {
+                let Some(s) = SyntheticKind::ALL.into_iter().find(|s| s.name() == name) else {
                     eprintln!("unknown synthetic: {name}");
                     usage()
                 };
@@ -105,6 +118,9 @@ fn parse_args() -> Args {
                 args.lbit_cache = Some(value(&mut it).parse().unwrap_or_else(|_| usage()))
             }
             "--verbose" => args.verbose = true,
+            "--json" => args.json = Some(value(&mut it)),
+            "--trace-jsonl" => args.trace_jsonl = Some(value(&mut it)),
+            "--trace-chrome" => args.trace_chrome = Some(value(&mut it)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -143,6 +159,9 @@ fn main() {
         cfg.machine.nodes = n;
     }
     cfg.shadow_checkpoints = a.inject.is_some();
+    if a.json.is_some() || a.trace_jsonl.is_some() || a.trace_chrome.is_some() {
+        cfg.obs = ObsConfig::full();
+    }
 
     let runner = match Runner::new(cfg) {
         Ok(r) => r,
@@ -181,12 +200,24 @@ fn main() {
     println!("mode            : {}", a.mode);
     println!("sim time        : {}", result.sim_time);
     println!("events          : {}", result.events);
-    println!("ops / instr     : {} / {}", result.metrics.traffic.cpu_ops, result.metrics.traffic.instructions);
-    println!("L2 miss rate    : {:.3}%", 100.0 * result.metrics.l2_miss_rate());
-    println!("checkpoints     : {} (early: {})", result.checkpoints, result.ckpt.early_triggers);
+    println!(
+        "ops / instr     : {} / {}",
+        result.metrics.traffic.cpu_ops, result.metrics.traffic.instructions
+    );
+    println!(
+        "L2 miss rate    : {:.3}%",
+        100.0 * result.metrics.l2_miss_rate()
+    );
+    println!(
+        "checkpoints     : {} (early: {})",
+        result.checkpoints, result.ckpt.early_triggers
+    );
     if result.checkpoints > 0 {
         println!("mean ckpt cost  : {}", result.ckpt.mean_duration());
-        println!("peak log        : {:.0} KB", result.metrics.max_log_bytes() as f64 / 1024.0);
+        println!(
+            "peak log        : {:.0} KB",
+            result.metrics.max_log_bytes() as f64 / 1024.0
+        );
     }
     if a.verbose {
         println!("--- traffic (network bytes / memory accesses) ---");
@@ -198,14 +229,38 @@ fn main() {
                 result.metrics.traffic.mem_accesses[class.index()]
             );
         }
-        println!("dram row hits   : {:.1}%", 100.0 * result.metrics.dram_row_hit_rate);
+        println!(
+            "dram row hits   : {:.1}%",
+            100.0 * result.metrics.dram_row_hit_rate
+        );
         println!("mean net latency: {}", result.metrics.mean_net_latency);
         println!("nack retries    : {}", result.metrics.nack_retries);
+    }
+    let write_or_die = |path: &str, contents: String| {
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote           : {path}");
+    };
+    if let Some(path) = a.json.as_deref() {
+        let label = format!("simulate_{}_{}", a.workload.name(), a.mode);
+        let meta = RunMeta::from_config(label, &cfg);
+        write_or_die(path, render_artifact(&meta, &result));
+    }
+    if let Some(path) = a.trace_jsonl.as_deref() {
+        write_or_die(path, result.trace.to_jsonl());
+    }
+    if let Some(path) = a.trace_chrome.as_deref() {
+        write_or_die(path, result.trace.to_chrome_trace(&result.spans));
     }
     if let Some(rec) = result.recovery {
         println!("--- recovery ---");
         println!("rolled back to  : checkpoint {}", rec.target_interval);
-        println!("phases 1/2/3/4  : {} / {} / {} / {}", rec.report.phase1, rec.report.phase2, rec.report.phase3, rec.report.phase4);
+        println!(
+            "phases 1/2/3/4  : {} / {} / {} / {}",
+            rec.report.phase1, rec.report.phase2, rec.report.phase3, rec.report.phase4
+        );
         println!("entries replayed: {}", rec.report.entries_replayed);
         println!("lost work       : {}", rec.lost_work);
         println!("unavailable     : {}", rec.unavailable);

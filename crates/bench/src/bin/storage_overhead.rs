@@ -14,6 +14,7 @@ use revive_workloads::AppId;
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("storage_overhead");
     banner(
         "Storage overhead — parity + logs",
         "ReVive (ISCA 2002) Section 6.2",

@@ -13,9 +13,7 @@ use revive_bench::{banner, Opts, Table};
 use revive_coherence::directory::{DirCtrl, DirIn};
 use revive_coherence::msg::CacheReq;
 use revive_coherence::port::{MemPort, VecPort};
-use revive_core::dirext::{
-    ReviveHook, COST_RDX_UNLOGGED, COST_WB_LOGGED, COST_WB_UNLOGGED,
-};
+use revive_core::dirext::{ReviveHook, COST_RDX_UNLOGGED, COST_WB_LOGGED, COST_WB_UNLOGGED};
 use revive_core::lbits::LBits;
 use revive_core::log::MemLog;
 use revive_core::parity::ParityMap;
@@ -86,10 +84,7 @@ fn main() {
         // Home-side accesses minus the baseline write; parity-home adds
         // read+write per delta.
         let home_extra = port.accesses() - 1;
-        let parity_home: u64 = msgs
-            .iter()
-            .map(|m| 2 * m.update.deltas.len() as u64)
-            .sum();
+        let parity_home: u64 = msgs.iter().map(|m| 2 * m.update.deltas.len() as u64).sum();
         let wire: u64 = msgs.iter().map(|_| 2u64).sum(); // update + ack
         table.row([
             "WB, logged (L=1)".to_string(),
@@ -116,10 +111,7 @@ fn main() {
         );
         let msgs = hook.drain_outbox();
         let home_extra = port.accesses() - 1; // baseline: the reply read
-        let parity_home: u64 = msgs
-            .iter()
-            .map(|m| 2 * m.update.deltas.len() as u64)
-            .sum();
+        let parity_home: u64 = msgs.iter().map(|m| 2 * m.update.deltas.len() as u64).sum();
         let wire: u64 = msgs.iter().map(|_| 2u64).sum();
         table.row([
             "RDX/UPG, unlogged (L=0)".to_string(),
@@ -159,10 +151,7 @@ fn main() {
         );
         let msgs = hook.drain_outbox();
         let home_extra = port.accesses() - 1;
-        let parity_home: u64 = msgs
-            .iter()
-            .map(|m| 2 * m.update.deltas.len() as u64)
-            .sum();
+        let parity_home: u64 = msgs.iter().map(|m| 2 * m.update.deltas.len() as u64).sum();
         let wire: u64 = msgs.iter().map(|_| 2u64).sum();
         table.row([
             "WB, unlogged (L=0)".to_string(),

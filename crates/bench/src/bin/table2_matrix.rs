@@ -14,22 +14,19 @@
 //! the standard interval).
 
 use revive_bench::{banner, overhead_pct, run, FigConfig, Opts, Table, CP_INTERVAL};
-use revive_machine::{ExperimentConfig, ReviveConfig, Runner, WorkloadSpec};
+use revive_machine::{ExperimentConfig, ReviveConfig, WorkloadSpec};
 use revive_sim::time::Ns;
 use revive_workloads::SyntheticKind;
 
-fn run_at(kind: SyntheticKind, revive: ReviveConfig, opts: Opts) -> Ns {
+fn run_at(kind: SyntheticKind, revive: ReviveConfig, opts: Opts, label: &str) -> Ns {
     let mut cfg = ExperimentConfig::experiment(WorkloadSpec::Synthetic(kind), revive);
     cfg.ops_per_cpu = opts.ops_per_cpu() / 2;
-    Runner::new(cfg)
-        .expect("config")
-        .run()
-        .expect("run")
-        .sim_time
+    revive_bench::run_config(cfg, &format!("{}_{label}", kind.name())).sim_time
 }
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("table2_matrix");
     banner(
         "Table 2 — overhead vs working set and checkpoint frequency",
         "ReVive (ISCA 2002) Table 2",
@@ -44,13 +41,13 @@ fn main() {
         (SyntheticKind::WsFitsClean, "Medium / Low"),
     ];
     for (kind, paper) in corners {
-        let base = run_at(kind, FigConfig::Baseline.revive(), opts);
+        let base = run_at(kind, FigConfig::Baseline.revive(), opts, "base");
         let mut revive_high = ReviveConfig::parity(high);
         revive_high.log_fraction = 0.25;
         let mut revive_low = ReviveConfig::parity(low);
         revive_low.log_fraction = 0.25;
-        let t_high = run_at(kind, revive_high, opts);
-        let t_low = run_at(kind, revive_low, opts);
+        let t_high = run_at(kind, revive_high, opts, "high_freq");
+        let t_low = run_at(kind, revive_low, opts, "low_freq");
         table.row([
             kind.name().to_string(),
             format!("{:.1}", overhead_pct(t_high, base)),

@@ -13,6 +13,7 @@ use revive_workloads::AppId;
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("table4_apps");
     banner(
         "Table 4 — application characteristics (baseline machine)",
         "ReVive (ISCA 2002) Table 4 and the Section 5 miss-rate discussion",

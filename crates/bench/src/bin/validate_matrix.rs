@@ -8,11 +8,11 @@
 //! parity sweep and log round-trip audit came back clean. Exits nonzero if
 //! any cell fails.
 
+use revive_bench::{banner, Opts, Table};
 use revive_machine::differential::injected_vs_golden;
 use revive_machine::{
     ErrorKind, ExperimentConfig, InjectPhase, InjectionPlan, Runner, WorkloadSpec,
 };
-use revive_bench::{banner, Opts, Table};
 use revive_sim::time::Ns;
 use revive_sim::types::NodeId;
 use revive_workloads::{AppId, SyntheticKind};
@@ -33,12 +33,21 @@ const PHASES: [InjectPhase; 3] = [
 
 fn main() {
     let opts = Opts::from_env();
+    revive_bench::artifacts::init("validate_matrix");
     banner(
         "Recovery-correctness validation matrix",
         "ReVive (ISCA 2002) §4 — rollback must restore exact memory",
         opts,
     );
-    let mut table = Table::new(["app", "error", "phase", "memory", "verify", "rolled back", "audits"]);
+    let mut table = Table::new([
+        "app",
+        "error",
+        "phase",
+        "memory",
+        "verify",
+        "rolled back",
+        "audits",
+    ]);
     let mut failures = 0u32;
     for app in APPS {
         let mut cfg = ExperimentConfig::test_small(AppId::Lu);
@@ -59,6 +68,11 @@ fn main() {
                     phase,
                 };
                 let (result, diff) = injected_vs_golden(cfg, &[plan], &golden).expect("run");
+                revive_bench::artifacts::emit(
+                    &format!("{}_{kind:?}_{phase:?}", app.name()),
+                    &cfg,
+                    &result,
+                );
                 let rec = result.recovery.expect("recovery outcome");
                 let mem_ok = diff.is_match();
                 let ver_ok = rec.verified == Some(true);
@@ -71,7 +85,11 @@ fn main() {
                     app.name().to_string(),
                     format!("{kind:?}"),
                     format!("{phase:?}"),
-                    if mem_ok { "exact".into() } else { format!("DIVERGED ({diff})") },
+                    if mem_ok {
+                        "exact".into()
+                    } else {
+                        format!("DIVERGED ({diff})")
+                    },
                     if ver_ok { "ok" } else { "FAILED" }.to_string(),
                     format!("{} ops", rec.ops_rolled_back),
                     if audits_ok {

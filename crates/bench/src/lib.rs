@@ -12,6 +12,8 @@ use revive_machine::{ExperimentConfig, ReviveConfig, RunResult, Runner, Workload
 use revive_sim::time::Ns;
 use revive_workloads::AppId;
 
+pub mod artifacts;
+
 /// The simulated checkpoint interval that stands in for the paper's Cp10ms
 /// (see EXPERIMENTS.md: caches are 8× smaller than the paper's simulated
 /// machine, so checkpoints come proportionally more often).
@@ -106,6 +108,29 @@ impl FigConfig {
     }
 }
 
+/// Builds the experiment configuration one `run` call would use.
+pub fn experiment_config(workload: WorkloadSpec, fig: FigConfig, opts: Opts) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::experiment(workload, fig.revive());
+    cfg.ops_per_cpu = opts.ops_per_cpu();
+    cfg
+}
+
+/// Runs an explicit configuration and emits its run artifact (see
+/// [`artifacts`]) under the given label.
+///
+/// # Panics
+///
+/// Panics on configuration errors — experiment configs are static and a
+/// failure is a harness bug worth a loud stop.
+pub fn run_config(cfg: ExperimentConfig, label: &str) -> RunResult {
+    let result = Runner::new(cfg)
+        .unwrap_or_else(|e| panic!("bad experiment config ({label}): {e}"))
+        .run()
+        .unwrap_or_else(|e| panic!("run failed ({label}): {e}"));
+    artifacts::emit(label, &cfg, &result);
+    result
+}
+
 /// Runs one experiment configuration for one workload.
 ///
 /// # Panics
@@ -113,12 +138,9 @@ impl FigConfig {
 /// Panics on configuration errors — experiment configs are static and a
 /// failure is a harness bug worth a loud stop.
 pub fn run(workload: WorkloadSpec, fig: FigConfig, opts: Opts) -> RunResult {
-    let mut cfg = ExperimentConfig::experiment(workload, fig.revive());
-    cfg.ops_per_cpu = opts.ops_per_cpu();
-    Runner::new(cfg)
-        .unwrap_or_else(|e| panic!("bad experiment config ({workload:?}, {fig:?}): {e}"))
-        .run()
-        .unwrap_or_else(|e| panic!("run failed ({workload:?}, {fig:?}): {e}"))
+    let cfg = experiment_config(workload, fig, opts);
+    let label = format!("{}_{}", cfg.workload.name(), fig.name());
+    run_config(cfg, &label)
 }
 
 /// Runs one SPLASH model under one configuration.

@@ -43,9 +43,7 @@ pub enum Access {
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum MshrKind {
     /// Waiting for a Data fill (`excl` when the request was ReadEx).
-    WaitData {
-        excl: bool,
-    },
+    WaitData { excl: bool },
     /// Waiting for an UpgradeAck.
     WaitUpgrade,
 }
@@ -392,18 +390,14 @@ impl CacheCtrl {
             self.l1.downgrade(line);
             self.l2.downgrade(line);
         }
-        reaction.sends.push(CacheToDir::FetchResp { line, data, dirty });
+        reaction
+            .sends
+            .push(CacheToDir::FetchResp { line, data, dirty });
     }
 
     /// Processes an L2 eviction: dirty lines write back data, Exclusive
     /// clean lines send a replacement notice, Shared lines leave silently.
-    fn evict(
-        &mut self,
-        line: LineAddr,
-        state: LineState,
-        data: LineData,
-        reaction: &mut Reaction,
-    ) {
+    fn evict(&mut self, line: LineAddr, state: LineState, data: LineData, reaction: &mut Reaction) {
         // Inclusion: the L1 must not outlive the L2 copy.
         self.l1.invalidate(line);
         match state {
@@ -709,7 +703,7 @@ mod tests {
         c.cpu_access(L, Access::Read, OpToken(1));
         fill(&mut c, L, false);
         c.cpu_access(L, Access::Write, OpToken(2)); // upgrade in flight
-        // A racing writer invalidates us first.
+                                                    // A racing writer invalidates us first.
         let r = c.handle_dir_msg(DirToCache::Invalidate { line: L });
         assert_eq!(r.sends, vec![CacheToDir::InvalAck { line: L }]);
         // The grant arrives but the line is gone: release ownership and
@@ -822,7 +816,10 @@ mod tests {
             ref other => panic!("unexpected {other:?}"),
         }
         assert_eq!(c.outstanding_wbs(), 1);
-        c.handle_dir_msg(DirToCache::WbAck { line: LineAddr(0), flush: false });
+        c.handle_dir_msg(DirToCache::WbAck {
+            line: LineAddr(0),
+            flush: false,
+        });
         assert_eq!(c.outstanding_wbs(), 0);
         assert_eq!(c.stats().eviction_writebacks, 1);
     }

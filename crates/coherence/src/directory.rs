@@ -168,6 +168,19 @@ pub enum DirIn {
     },
 }
 
+impl DirIn {
+    /// The line this input targets (every variant carries one).
+    pub fn line(&self) -> LineAddr {
+        match self {
+            DirIn::Req { line, .. }
+            | DirIn::WriteBack { line, .. }
+            | DirIn::FetchResp { line, .. }
+            | DirIn::InvalAck { line, .. }
+            | DirIn::HookAck { line } => *line,
+        }
+    }
+}
+
 /// An outbound message produced by the directory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Send {
@@ -239,14 +252,18 @@ impl DirCtrl {
 
     /// Whether the line's entry is currently Busy.
     pub fn is_busy(&self, line: LineAddr) -> bool {
-        self.entries
-            .get(&line)
-            .is_some_and(|e| e.busy.is_some())
+        self.entries.get(&line).is_some_and(|e| e.busy.is_some())
     }
 
     /// Number of lines with pending deferred work (diagnostics).
     pub fn deferred_lines(&self) -> usize {
         self.deferred.values().filter(|q| !q.is_empty()).count()
+    }
+
+    /// Number of lines whose entry is currently mid-transaction (Busy) —
+    /// the directory's outstanding-transaction count at this instant.
+    pub fn busy_count(&self) -> usize {
+        self.entries.values().filter(|e| e.busy.is_some()).count()
     }
 
     /// Human-readable dump of stuck state: busy entries and non-empty
@@ -968,10 +985,9 @@ mod tests {
             })
             .collect();
         assert_eq!(invals, vec![NodeId(1), NodeId(2)]);
-        assert!(out.iter().any(|s| matches!(
-            s.msg,
-            DirToCache::Data { excl: true, .. }
-        ) && s.to == NodeId(3)));
+        assert!(out
+            .iter()
+            .any(|s| matches!(s.msg, DirToCache::Data { excl: true, .. }) && s.to == NodeId(3)));
         assert!(dir.is_busy(L));
         dir.handle(
             DirIn::InvalAck {
@@ -1058,7 +1074,10 @@ mod tests {
             out,
             vec![Send {
                 to: NodeId(1),
-                msg: DirToCache::WbAck { line: L, flush: false }
+                msg: DirToCache::WbAck {
+                    line: L,
+                    flush: false
+                }
             }]
         );
         assert_eq!(mem.peek(L), LineData::fill(0x11));
@@ -1102,10 +1121,7 @@ mod tests {
             &mut hook,
         );
         let out = dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
-        assert!(matches!(
-            out[0].msg,
-            DirToCache::Data { excl: true, .. }
-        ));
+        assert!(matches!(out[0].msg, DirToCache::Data { excl: true, .. }));
     }
 
     #[test]
@@ -1127,10 +1143,12 @@ mod tests {
             &mut hook,
         );
         // The WB satisfied the fetch: node 2 gets data, node 1 gets WbAck.
-        assert!(out.iter().any(|s| s.to == NodeId(1)
-            && matches!(s.msg, DirToCache::WbAck { .. })));
-        assert!(out.iter().any(|s| s.to == NodeId(2)
-            && matches!(s.msg, DirToCache::Data { excl: false, .. })));
+        assert!(out
+            .iter()
+            .any(|s| s.to == NodeId(1) && matches!(s.msg, DirToCache::WbAck { .. })));
+        assert!(out
+            .iter()
+            .any(|s| s.to == NodeId(2) && matches!(s.msg, DirToCache::Data { excl: false, .. })));
         assert!(!dir.is_busy(L));
         assert_eq!(mem.peek(L), LineData::fill(0x77));
     }
@@ -1140,7 +1158,7 @@ mod tests {
         let (mut dir, mut mem, mut hook) = setup();
         dir.handle(req(1, CacheReq::Read), &mut mem, &mut hook);
         dir.handle(req(2, CacheReq::Read), &mut mem, &mut hook); // fetch in flight
-        // Node 3's request arrives while busy: deferred.
+                                                                 // Node 3's request arrives while busy: deferred.
         let out = dir.handle(req(3, CacheReq::Read), &mut mem, &mut hook);
         assert!(out.is_empty());
         assert_eq!(dir.stats().deferrals, 1);
@@ -1205,8 +1223,9 @@ mod tests {
             &mut mem,
             &mut hook,
         );
-        assert!(out.iter().any(|s| s.to == NodeId(2)
-            && matches!(s.msg, DirToCache::Data { excl: true, .. })));
+        assert!(out
+            .iter()
+            .any(|s| s.to == NodeId(2) && matches!(s.msg, DirToCache::Data { excl: true, .. })));
         assert_eq!(dir.state_of(L), DirState::Exclusive(NodeId(2)));
         assert_eq!(mem.peek(L), LineData::fill(0x99));
     }

@@ -102,9 +102,11 @@ impl World {
             .flat_map(|s| (0..NODES).map(move |d| (s, d)))
             .filter(|&(s, d)| !self.channels[s][d].is_empty())
             .collect();
-        let Some(&(src, dst)) = nonempty
-            .get(self.rng.index(nonempty.len().max(1)).min(nonempty.len().saturating_sub(1)))
-        else {
+        let Some(&(src, dst)) = nonempty.get(
+            self.rng
+                .index(nonempty.len().max(1))
+                .min(nonempty.len().saturating_sub(1)),
+        ) else {
             return false;
         };
         if nonempty.is_empty() {
@@ -174,10 +176,7 @@ impl World {
                 .map(|n| (n, self.caches[n].l2_state(line)))
                 .filter(|(_, s)| s.is_valid())
                 .collect();
-            let owners = holders
-                .iter()
-                .filter(|(_, s)| s.is_exclusive())
-                .count();
+            let owners = holders.iter().filter(|(_, s)| s.is_exclusive()).count();
             assert!(owners <= 1, "line {line}: multiple owners: {holders:?}");
             if owners == 1 {
                 assert_eq!(holders.len(), 1, "line {line}: owner plus sharers");

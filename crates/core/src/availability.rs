@@ -111,10 +111,9 @@ pub fn monte_carlo_availability(
         errors += 1;
         // Where in the checkpoint interval did the error land?
         let phase = rng.unit();
-        let lost_work = phase * model.checkpoint_interval.0 as f64
-            + model.detection_latency.0 as f64;
-        let outage = lost_work
-            + (model.hw_recovery + model.phase2 + model.phase3).0 as f64;
+        let lost_work =
+            phase * model.checkpoint_interval.0 as f64 + model.detection_latency.0 as f64;
+        let outage = lost_work + (model.hw_recovery + model.phase2 + model.phase3).0 as f64;
         down += outage;
     }
     (((horizon_ns - down) / horizon_ns).max(0.0), errors)

@@ -104,6 +104,22 @@ impl CkptTimeline {
     pub fn flush_time(&self) -> Ns {
         self.flush_done.saturating_sub(self.flush_started)
     }
+
+    /// The Figure-6 phase decomposition as named `(name, start, end)`
+    /// intervals, in order: interrupt → flush → drain/barrier 1 → mark →
+    /// barrier 2 → reclaim. Intervals the machine skipped (e.g. nothing to
+    /// flush) come out empty rather than being omitted, so every timeline
+    /// has the same shape.
+    pub fn phases(&self) -> [(&'static str, Ns, Ns); 6] {
+        [
+            ("interrupt", self.started, self.flush_started),
+            ("flush", self.flush_started, self.flush_done),
+            ("barrier1", self.flush_done, self.barrier1_done),
+            ("mark", self.barrier1_done, self.marked),
+            ("barrier2", self.marked, self.committed),
+            ("reclaim", self.committed, self.resumed),
+        ]
+    }
 }
 
 /// Aggregate checkpoint statistics for a run.

@@ -426,17 +426,40 @@ mod tests {
         let data_delta = out
             .iter()
             .flat_map(|m| m.update.deltas.iter())
-            .find(|(pl, _)| pl.index_in_page() == data_line().index_in_page()
-                && pl.page() == hook.parity_map().parity_page_of(data_line().page()))
+            .find(|(pl, _)| {
+                pl.index_in_page() == data_line().index_in_page()
+                    && pl.page() == hook.parity_map().parity_page_of(data_line().page())
+            })
             .expect("data parity delta present");
         assert_eq!(data_delta.1, LineData::fill(0x5A ^ 0xA5));
     }
 
     #[test]
     fn table1_paper_costs() {
-        assert_eq!(COST_WB_LOGGED, EventCost { mem_accesses: 3, lines: 1, messages: 2 });
-        assert_eq!(COST_RDX_UNLOGGED, EventCost { mem_accesses: 4, lines: 2, messages: 2 });
-        assert_eq!(COST_WB_UNLOGGED, EventCost { mem_accesses: 8, lines: 3, messages: 4 });
+        assert_eq!(
+            COST_WB_LOGGED,
+            EventCost {
+                mem_accesses: 3,
+                lines: 1,
+                messages: 2
+            }
+        );
+        assert_eq!(
+            COST_RDX_UNLOGGED,
+            EventCost {
+                mem_accesses: 4,
+                lines: 2,
+                messages: 2
+            }
+        );
+        assert_eq!(
+            COST_WB_UNLOGGED,
+            EventCost {
+                mem_accesses: 8,
+                lines: 3,
+                messages: 4
+            }
+        );
         let stats = CostStats {
             wb_logged: 10,
             rdx_unlogged: 5,
@@ -478,8 +501,8 @@ mod tests {
     fn mirroring_ships_new_values_without_reads() {
         let map = AddressMap::new(4, 4 * PAGE_SIZE as u64);
         let parity = ParityMap::new(map, 1); // mirroring
-        // On node 0 with chunk size 2: stripes 1, 3 are data (pos 0 → even
-        // stripes are mirror targets homed here).
+                                             // On node 0 with chunk size 2: stripes 1, 3 are data (pos 0 → even
+                                             // stripes are mirror targets homed here).
         let log_page = map.global_page(NodeId(0), 3);
         assert!(!parity.is_parity_page(log_page));
         let log = MemLog::new(NodeId(0), log_page.lines().collect());

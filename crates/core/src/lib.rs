@@ -53,6 +53,4 @@ pub use lbits::LBits;
 pub use log::{MemLog, ReplayEntry};
 pub use parity::{ParityAck, ParityMap, ParityUpdate};
 pub use recovery::{recover, RecoveryInput, RecoveryReport, RecoveryTiming};
-pub use validate::{
-    audit_parity, LogDivergence, MemoryDiff, MemoryImage, ParityAudit, ShadowLog,
-};
+pub use validate::{audit_parity, LogDivergence, MemoryDiff, MemoryImage, ParityAudit, ShadowLog};

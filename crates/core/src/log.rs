@@ -378,12 +378,7 @@ mod tests {
         // Meta slot is a valid marker.
         let scanned = log.scan(|l| mem.peek(l));
         assert_eq!(scanned.len(), 1);
-        assert_eq!(
-            scanned[0].kind,
-            RecordKind::Entry {
-                line: LineAddr(42)
-            }
-        );
+        assert_eq!(scanned[0].kind, RecordKind::Entry { line: LineAddr(42) });
         assert_eq!(scanned[0].interval, 0);
     }
 
@@ -494,7 +489,13 @@ mod tests {
         // Two records each in intervals 0, 1, 2.
         for interval in 0..3u64 {
             for i in 0..2u64 {
-                log.append(interval, LineAddr(interval * 10 + i), LineData::ZERO, true, &mut mem);
+                log.append(
+                    interval,
+                    LineAddr(interval * 10 + i),
+                    LineData::ZERO,
+                    true,
+                    &mut mem,
+                );
             }
         }
         log.reclaim_before(0); // no-op: nothing precedes interval 0
@@ -569,7 +570,13 @@ mod tests {
     fn wraparound_preserves_alignment() {
         let (mut log, mut mem) = setup(4);
         for round in 0..6u64 {
-            log.append(round, LineAddr(round), LineData::fill(round as u8), true, &mut mem);
+            log.append(
+                round,
+                LineAddr(round),
+                LineData::fill(round as u8),
+                true,
+                &mut mem,
+            );
             log.reclaim_before(round); // keep at most 2 records live
         }
         let entries = log.rollback_entries(5, |l| mem.peek(l));

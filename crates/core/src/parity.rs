@@ -185,8 +185,7 @@ impl ParityMap {
         );
         let node = self.map.home_of_page(page);
         let stripe = self.stripe_of(page);
-        self.map
-            .global_page(self.parity_node(node, stripe), stripe)
+        self.map.global_page(self.parity_node(node, stripe), stripe)
     }
 
     /// The parity line protecting a data line (same offset within the page).
@@ -205,10 +204,7 @@ impl ParityMap {
     ///
     /// Panics if `parity` is not a parity page.
     pub fn data_pages_of(&self, parity: PageAddr) -> Vec<PageAddr> {
-        assert!(
-            self.is_parity_page(parity),
-            "{parity} is not a parity page"
-        );
+        assert!(self.is_parity_page(parity), "{parity} is not a parity page");
         let node = self.map.home_of_page(parity);
         let stripe = self.stripe_of(parity);
         let chunk = self.chunk_size_at(stripe);
@@ -237,10 +233,7 @@ impl ParityMap {
     /// groups rendered inaccessible when `node` is lost (Section 3.2.4:
     /// `M × N` megabytes of data plus `M` of parity become unavailable).
     pub fn groups_touching(&self, node: NodeId) -> Vec<ParityGroup> {
-        self.map
-            .pages_of(node)
-            .map(|p| self.group_of(p))
-            .collect()
+        self.map.pages_of(node).map(|p| self.group_of(p)).collect()
     }
 
     /// Checks the parity invariant for the group containing `page`, reading
@@ -252,9 +245,7 @@ impl ParityMap {
     {
         let group = self.group_of(page);
         for offset in 0..revive_mem::addr::LINES_PER_PAGE {
-            let mut acc = read(LineAddr(
-                group.parity.first_line().0 + offset as u64,
-            ));
+            let mut acc = read(LineAddr(group.parity.first_line().0 + offset as u64));
             for dp in &group.data {
                 acc ^= read(LineAddr(dp.first_line().0 + offset as u64));
             }
@@ -350,10 +341,8 @@ mod tests {
                         assert!(!pm.is_parity_page(*dp));
                         assert_eq!(pm.parity_page_of(*dp), page);
                     }
-                    let mut nodes: Vec<usize> = dps
-                        .iter()
-                        .map(|p| map.home_of_page(*p).index())
-                        .collect();
+                    let mut nodes: Vec<usize> =
+                        dps.iter().map(|p| map.home_of_page(*p).index()).collect();
                     nodes.push(map.home_of_page(page).index());
                     nodes.sort_unstable();
                     nodes.dedup();
@@ -372,10 +361,7 @@ mod tests {
         let pm = setup(16, 64, 7);
         let map = *pm.address_map();
         for node in NodeId::all(16) {
-            let n_parity = map
-                .pages_of(node)
-                .filter(|&p| pm.is_parity_page(p))
-                .count();
+            let n_parity = map.pages_of(node).filter(|&p| pm.is_parity_page(p)).count();
             assert_eq!(n_parity, 8, "each node holds 1/8 of its pages as parity");
         }
     }
@@ -499,6 +485,12 @@ mod tests {
             deltas: vec![(LineAddr(2), LineData::ZERO), (LineAddr(3), LineData::ZERO)],
         };
         assert_eq!(u.size_bytes(), 8 + 128);
-        assert_eq!(ParityAck { ack_to_line: LineAddr(1) }.size_bytes(), 8);
+        assert_eq!(
+            ParityAck {
+                ack_to_line: LineAddr(1)
+            }
+            .size_bytes(),
+            8
+        );
     }
 }

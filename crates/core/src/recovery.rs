@@ -109,6 +109,22 @@ impl RecoveryReport {
     pub fn unavailable(&self) -> Ns {
         self.phase1 + self.phase2 + self.phase3
     }
+
+    /// The Figure-7 phase decomposition as named `(name, start, end)`
+    /// intervals relative to `origin` (the detection time). Phases 1–3 run
+    /// back to back; phase 4 starts when the machine becomes available
+    /// again and overlaps resumed execution.
+    pub fn phases(&self, origin: Ns) -> [(&'static str, Ns, Ns); 4] {
+        let p1 = origin + self.phase1;
+        let p2 = p1 + self.phase2;
+        let p3 = p2 + self.phase3;
+        [
+            ("hw_recovery", origin, p1),
+            ("log_rebuild", p1, p2),
+            ("rollback", p2, p3),
+            ("bg_rebuild", p3, p3 + self.phase4),
+        ]
+    }
 }
 
 fn read_global(mems: &[NodeMemory], map: &AddressMap, line: LineAddr) -> LineData {
@@ -201,16 +217,13 @@ pub fn recover(input: RecoveryInput<'_>, timing: &RecoveryTiming) -> RecoveryRep
             report.log_pages_rebuilt += 1;
         }
     }
-    report.phase2 = timing.page_rebuild
-        * report.log_pages_rebuilt.div_ceil(timing.workers as u64);
+    report.phase2 = timing.page_rebuild * report.log_pages_rebuilt.div_ceil(timing.workers as u64);
 
     // ---- Phase 3: replay every node's log in reverse. ----
     let mut max_node_time = Ns::ZERO;
     for (n, log) in logs.iter().enumerate() {
         let node = NodeId::from(n);
-        let entries = log.rollback_entries(target_interval, |l| {
-            read_global(memories, &map, l)
-        });
+        let entries = log.rollback_entries(target_interval, |l| read_global(memories, &map, l));
         let mut node_time = Ns::ZERO;
         for e in entries {
             debug_assert_eq!(
@@ -269,8 +282,7 @@ pub fn recover(input: RecoveryInput<'_>, timing: &RecoveryTiming) -> RecoveryRep
         report.pages_rebuilt_background += 1;
     }
     let bg_workers = (timing.workers / 2).max(1) as u64;
-    report.phase4 =
-        timing.page_rebuild * report.pages_rebuilt_background.div_ceil(bg_workers);
+    report.phase4 = timing.page_rebuild * report.pages_rebuilt_background.div_ceil(bg_workers);
 
     report
 }
@@ -308,9 +320,8 @@ mod tests {
         fn new() -> World {
             let map = AddressMap::new(4, 4 * PAGE_SIZE as u64);
             let parity = ParityMap::new(map, 3);
-            let memories: Vec<NodeMemory> = (0..4)
-                .map(|_| NodeMemory::new(4 * PAGE_SIZE))
-                .collect();
+            let memories: Vec<NodeMemory> =
+                (0..4).map(|_| NodeMemory::new(4 * PAGE_SIZE)).collect();
             let logs: Vec<MemLog> = (0..4)
                 .map(|n| {
                     let node = NodeId::from(n);
@@ -354,8 +365,7 @@ mod tests {
         fn logged_write(&mut self, interval: u64, line: LineAddr, new: LineData) {
             let map = self.map();
             let node = map.home_of_line(line);
-            let old =
-                self.memories[node.index()].read_line(map.local_line_index(line));
+            let old = self.memories[node.index()].read_line(map.local_line_index(line));
             let deltas = {
                 let mut port = NodePort {
                     mem: &mut self.memories[node.index()],
@@ -428,10 +438,7 @@ mod tests {
         assert_eq!(report.phase2, Ns::ZERO);
         let map = w.map();
         // Restored values match the checkpoint exactly.
-        assert_eq!(
-            read_global(&w.memories, &map, line),
-            LineData::fill(1)
-        );
+        assert_eq!(read_global(&w.memories, &map, line), LineData::fill(1));
         assert_eq!(read_global(&w.memories, &map, line2), LineData::ZERO);
         // Full-memory comparison: every non-log page equals the reference.
         // (Log pages accumulated interval-1 records; they are reclaimed by
@@ -450,9 +457,8 @@ mod tests {
                 for l in page.lines() {
                     let got = read_global(&w.memories, &map, l);
                     let want_off = (map.local_line_index(l) * 64) as usize;
-                    let want: [u8; 64] = reference[node][want_off..want_off + 64]
-                        .try_into()
-                        .unwrap();
+                    let want: [u8; 64] =
+                        reference[node][want_off..want_off + 64].try_into().unwrap();
                     assert_eq!(got, LineData::from(want), "line {l}");
                 }
             }
@@ -499,11 +505,8 @@ mod tests {
             );
         }
         // Full lost-node reconstruction: compare non-log pages byte-exact.
-        let log_pages: HashSet<PageAddr> = w.logs[2]
-            .slot_lines()
-            .iter()
-            .map(|s| s.page())
-            .collect();
+        let log_pages: HashSet<PageAddr> =
+            w.logs[2].slot_lines().iter().map(|s| s.page()).collect();
         for page in map.pages_of(NodeId(2)) {
             if log_pages.contains(&page) || w.parity.is_parity_page(page) {
                 continue;
@@ -540,10 +543,7 @@ mod tests {
             },
             &RecoveryTiming::derive(3, 3),
         );
-        assert_eq!(
-            read_global(&w.memories, &map, line),
-            LineData::fill(0xAA)
-        );
+        assert_eq!(read_global(&w.memories, &map, line), LineData::fill(0xAA));
         w.check_all_parity();
     }
 

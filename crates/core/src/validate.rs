@@ -442,11 +442,7 @@ mod tests {
             .map(|i| LineAddr(1000 + i as u64))
             .collect();
         let port = VecPort::new(LineAddr(1000), records * RECORD_LINES);
-        (
-            MemLog::new(NodeId(0), slots),
-            ShadowLog::new(records),
-            port,
-        )
+        (MemLog::new(NodeId(0), slots), ShadowLog::new(records), port)
     }
 
     #[test]

@@ -76,11 +76,8 @@ impl MiniWorld {
         let mut out = Vec::new();
         for n in 0..4 {
             let node = NodeId::from(n);
-            let log_pages: std::collections::HashSet<PageAddr> = self.logs[n]
-                .slot_lines()
-                .iter()
-                .map(|l| l.page())
-                .collect();
+            let log_pages: std::collections::HashSet<PageAddr> =
+                self.logs[n].slot_lines().iter().map(|l| l.page()).collect();
             for page in self.map.pages_of(node) {
                 if self.parity.is_parity_page(page) || log_pages.contains(&page) {
                     continue;
@@ -304,11 +301,8 @@ fn lossy_lbits_never_break_rollback() {
         }
         w.rollback(target);
         for (n, memory) in w.memories.iter().enumerate() {
-            let log_pages: std::collections::HashSet<PageAddr> = w.logs[n]
-                .slot_lines()
-                .iter()
-                .map(|s| s.page())
-                .collect();
+            let log_pages: std::collections::HashSet<PageAddr> =
+                w.logs[n].slot_lines().iter().map(|s| s.page()).collect();
             for page in w.map.pages_of(NodeId::from(n)) {
                 if log_pages.contains(&page) || w.parity.is_parity_page(page) {
                     continue;
@@ -405,8 +399,7 @@ fn torn_tail_record_is_skipped() {
             torn.set_u64_at(32, 0xDEAD_BEEF);
             w.memories[0].write_line(local, torn);
             // The torn record vanishes from the scan…
-            let rescanned =
-                w.logs[0].scan(|l| w.memories[0].read_line(w.map.local_line_index(l)));
+            let rescanned = w.logs[0].scan(|l| w.memories[0].read_line(w.map.local_line_index(l)));
             assert_eq!(rescanned.len() + 1, scanned.len());
         }
         // …and rollback still restores every line that *was* durably
@@ -415,11 +408,8 @@ fn torn_tail_record_is_skipped() {
         // data write it guarded never happened.)
         w.rollback(target);
         for n in 1..4 {
-            let log_pages: std::collections::HashSet<PageAddr> = w.logs[n]
-                .slot_lines()
-                .iter()
-                .map(|s| s.page())
-                .collect();
+            let log_pages: std::collections::HashSet<PageAddr> =
+                w.logs[n].slot_lines().iter().map(|s| s.page()).collect();
             for page in w.map.pages_of(NodeId::from(n)) {
                 if log_pages.contains(&page) || w.parity.is_parity_page(page) {
                     continue;

@@ -273,6 +273,54 @@ impl WorkloadSpec {
     }
 }
 
+/// Observability knobs: event tracing and interval sampling. Both default
+/// to off, in which case the machine records nothing and the hot paths pay
+/// a single branch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Ring-buffer capacity for the event trace; `0` disables tracing.
+    pub trace_capacity: usize,
+    /// Sampling epoch in microseconds for the per-epoch time series; `0`
+    /// disables sampling.
+    pub epoch_us: u64,
+}
+
+impl ObsConfig {
+    /// Everything off (the default for every experiment constructor).
+    pub fn off() -> ObsConfig {
+        ObsConfig {
+            trace_capacity: 0,
+            epoch_us: 0,
+        }
+    }
+
+    /// The standard full-observability setting used by `simulate --json`
+    /// and the artifact-emitting bench binaries: a 64 Ki-event ring and a
+    /// 50 µs epoch (40 samples per 2 ms checkpoint interval).
+    pub fn full() -> ObsConfig {
+        ObsConfig {
+            trace_capacity: 64 * 1024,
+            epoch_us: 50,
+        }
+    }
+
+    /// Whether interval sampling is on.
+    pub fn sampling(&self) -> bool {
+        self.epoch_us > 0
+    }
+
+    /// Whether event tracing is on.
+    pub fn tracing(&self) -> bool {
+        self.trace_capacity > 0
+    }
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig::off()
+    }
+}
+
 /// A complete experiment: machine + recovery config + workload + budget.
 #[derive(Clone, Copy, Debug)]
 pub struct ExperimentConfig {
@@ -289,6 +337,8 @@ pub struct ExperimentConfig {
     /// Capture a memory snapshot at each checkpoint commit so recovery can
     /// be verified value-exactly (testing/validation only).
     pub shadow_checkpoints: bool,
+    /// Observability: event tracing and interval sampling (default off).
+    pub obs: ObsConfig,
 }
 
 impl ExperimentConfig {
@@ -314,6 +364,7 @@ impl ExperimentConfig {
             ops_per_cpu: 60_000,
             seed: 42,
             shadow_checkpoints: true,
+            obs: ObsConfig::off(),
         }
     }
 
@@ -328,6 +379,7 @@ impl ExperimentConfig {
             ops_per_cpu: 1_200_000,
             seed: 20_02,
             shadow_checkpoints: false,
+            obs: ObsConfig::off(),
         }
     }
 }

@@ -14,6 +14,10 @@
 //! * [`differential`] — the golden-vs-injected recovery-correctness
 //!   harness: exact final-memory equality plus parity and log audits.
 //! * [`metrics`] — the Figure 9/10 traffic classes and derived summaries.
+//! * [`sampling`] — per-epoch time series (log occupancy, traffic rates,
+//!   utilization gauges).
+//! * [`report`] — machine-readable run artifacts (deterministic JSON) and
+//!   their validator.
 //! * [`page_table`] — first-touch page placement.
 //!
 //! # Example
@@ -34,14 +38,19 @@ pub mod config;
 pub mod differential;
 pub mod metrics;
 pub mod page_table;
+pub mod report;
 pub mod runner;
+pub mod sampling;
 pub mod system;
 
 pub use config::{
-    ExperimentConfig, MachineConfig, MachineError, ReviveConfig, ReviveMode, WorkloadSpec,
+    ExperimentConfig, MachineConfig, MachineError, ObsConfig, ReviveConfig, ReviveMode,
+    WorkloadSpec,
 };
 pub use differential::{differential_run, injected_vs_golden, AuditReport, DifferentialReport};
 pub use metrics::{Metrics, Summary, TrafficClass};
 pub use page_table::PageTable;
+pub use report::{parse_json, render_artifact, validate_artifact, Json, RunMeta};
 pub use runner::{ErrorKind, InjectPhase, InjectionPlan, RecoveryOutcome, RunResult, Runner};
+pub use sampling::{EpochSample, IntervalSampler, SampleInput};
 pub use system::System;

@@ -6,6 +6,7 @@
 //! view attached to a `RunResult`.
 
 use revive_core::dirext::CostStats;
+use revive_sim::stats::Histogram;
 use revive_sim::time::Ns;
 
 /// The paper's traffic classes (Figures 9 and 10).
@@ -70,6 +71,9 @@ pub struct Metrics {
     pub instructions: u64,
     /// Memory operations issued by CPUs.
     pub cpu_ops: u64,
+    /// Per-class end-to-end network latency distributions (power-of-two
+    /// nanosecond buckets).
+    pub net_latency: [Histogram; 5],
 }
 
 impl Metrics {
@@ -77,6 +81,11 @@ impl Metrics {
     pub fn net(&mut self, class: TrafficClass, bytes: u32) {
         self.net_bytes[class.index()] += bytes as u64;
         self.net_msgs[class.index()] += 1;
+    }
+
+    /// Records one message's end-to-end latency.
+    pub fn net_latency(&mut self, class: TrafficClass, latency: Ns) {
+        self.net_latency[class.index()].record(latency.0);
     }
 
     /// Records one DRAM line access.
@@ -147,6 +156,11 @@ impl Summary {
     pub fn max_log_bytes(&self) -> u64 {
         self.log_high_water.iter().copied().max().unwrap_or(0)
     }
+
+    /// The end-to-end network latency distribution of one traffic class.
+    pub fn net_latency_hist(&self, class: TrafficClass) -> &Histogram {
+        &self.traffic.net_latency[class.index()]
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +187,21 @@ mod tests {
         assert_eq!(m.net_bytes_total(), 80);
         assert_eq!(m.net_msgs[TrafficClass::RdRdx.index()], 1);
         assert_eq!(m.mem_accesses_total(), 1);
+    }
+
+    #[test]
+    fn latency_histograms_per_class() {
+        let mut m = Metrics::default();
+        m.net_latency(TrafficClass::RdRdx, Ns(46));
+        m.net_latency(TrafficClass::RdRdx, Ns(120));
+        m.net_latency(TrafficClass::Par, Ns(5));
+        let s = Summary {
+            traffic: m,
+            ..Summary::default()
+        };
+        assert_eq!(s.net_latency_hist(TrafficClass::RdRdx).total(), 2);
+        assert_eq!(s.net_latency_hist(TrafficClass::Par).total(), 1);
+        assert_eq!(s.net_latency_hist(TrafficClass::Log).total(), 0);
     }
 
     #[test]

@@ -1,0 +1,727 @@
+//! Machine-readable run artifacts.
+//!
+//! [`render_artifact`] serializes one run — configuration, end-of-run
+//! metrics, per-class latency histograms, checkpoint and recovery phase
+//! timelines, the per-epoch time series, and the event-trace summary — as a
+//! single JSON document with a **fixed key order**, so two identical runs
+//! produce byte-identical artifacts (the determinism contract the test
+//! suite asserts). The writer is hand-rolled: the repository builds without
+//! serde, and a fixed emission order is easier to guarantee by hand anyway.
+//!
+//! [`validate_artifact`] is the matching checker: a minimal recursive-
+//! descent JSON parser plus schema assertions, small enough to run in CI
+//! against every emitted artifact.
+
+use std::fmt::Write as _;
+
+use revive_sim::stats::Histogram;
+use revive_sim::trace::escape_json;
+
+use crate::config::ExperimentConfig;
+use crate::metrics::TrafficClass;
+use crate::runner::RunResult;
+
+/// Identity of a run, embedded in its artifact. Wall-clock facts are
+/// deliberately excluded: artifacts must be byte-identical across reruns.
+#[derive(Clone, Debug)]
+pub struct RunMeta {
+    /// Free-form label (e.g. `"fig8/fft/Cp"`).
+    pub label: String,
+    /// Workload short name.
+    pub workload: String,
+    /// ReVive mode short name.
+    pub mode: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Op budget per CPU.
+    pub ops_per_cpu: u64,
+    /// Checkpoint interval in ns (`u64::MAX` = infinite).
+    pub interval_ns: u64,
+}
+
+impl RunMeta {
+    /// Derives the metadata from an experiment configuration.
+    pub fn from_config(label: impl Into<String>, cfg: &ExperimentConfig) -> RunMeta {
+        RunMeta {
+            label: label.into(),
+            workload: cfg.workload.name().to_string(),
+            mode: cfg.revive.mode.name().to_string(),
+            nodes: cfg.machine.nodes,
+            seed: cfg.seed,
+            ops_per_cpu: cfg.ops_per_cpu,
+            interval_ns: cfg.revive.ckpt.interval.0,
+        }
+    }
+}
+
+/// Schema identifier every artifact carries.
+pub const ARTIFACT_SCHEMA: &str = "revive-run-artifact";
+/// Current artifact schema version.
+pub const ARTIFACT_VERSION: u64 = 1;
+
+fn f64_json(x: f64) -> String {
+    if x.is_finite() {
+        let s = format!("{x}");
+        // `{}` prints integers without a fraction ("1"), which is still a
+        // valid JSON number.
+        s
+    } else {
+        "0".to_string()
+    }
+}
+
+fn hist_json(h: &Histogram) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"total\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+        h.total(),
+        h.quantile_upper_bound(0.50),
+        h.quantile_upper_bound(0.90),
+        h.quantile_upper_bound(0.99),
+    );
+    let mut first = true;
+    for (i, &c) in h.buckets().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "[{},{}]", Histogram::bucket_lower_bound(i), c);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn u64_array(xs: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
+    out
+}
+
+/// Renders the run artifact JSON (see module docs). The output ends with a
+/// newline and has a deterministic byte sequence for a deterministic run.
+pub fn render_artifact(meta: &RunMeta, r: &RunResult) -> String {
+    let mut o = String::with_capacity(16 * 1024);
+    o.push_str("{\n");
+    let _ = write!(
+        o,
+        "\"schema\":\"{ARTIFACT_SCHEMA}\",\n\"version\":{ARTIFACT_VERSION},\n"
+    );
+
+    // -- config --
+    let _ = writeln!(
+        o,
+        "\"config\":{{\"label\":\"{}\",\"workload\":\"{}\",\"mode\":\"{}\",\"nodes\":{},\"seed\":{},\"ops_per_cpu\":{},\"interval_ns\":{}}},",
+        escape_json(&meta.label),
+        escape_json(&meta.workload),
+        escape_json(&meta.mode),
+        meta.nodes,
+        meta.seed,
+        meta.ops_per_cpu,
+        meta.interval_ns,
+    );
+
+    // -- result: end-of-run scalars --
+    let m = &r.metrics;
+    let _ = write!(
+        o,
+        "\"result\":{{\"sim_time_ns\":{},\"events\":{},\"checkpoints\":{},\"early_triggers\":{},\"cpu_ops\":{},\"instructions\":{},\"l1_hits\":{},\"l1_misses\":{},\"l2_hits\":{},\"l2_misses\":{},\"eviction_writebacks\":{},\"nack_retries\":{},\"dram_row_hit_rate\":{},\"mean_net_latency_ns\":{},\"max_log_bytes\":{},",
+        r.sim_time.0,
+        r.events,
+        r.checkpoints,
+        r.ckpt.early_triggers,
+        m.traffic.cpu_ops,
+        m.traffic.instructions,
+        m.l1_hits,
+        m.l1_misses,
+        m.l2_hits,
+        m.l2_misses,
+        m.eviction_writebacks,
+        m.nack_retries,
+        f64_json(m.dram_row_hit_rate),
+        m.mean_net_latency.0,
+        m.max_log_bytes(),
+    );
+    let _ = writeln!(
+        o,
+        "\"net_bytes\":{},\"net_msgs\":{},\"mem_accesses\":{},\"log_high_water\":{}}},",
+        u64_array(&m.traffic.net_bytes),
+        u64_array(&m.traffic.net_msgs),
+        u64_array(&m.traffic.mem_accesses),
+        u64_array(&m.log_high_water),
+    );
+
+    // -- per-class network latency histograms --
+    o.push_str("\"latency_ns\":{");
+    for (i, class) in TrafficClass::ALL.into_iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let _ = write!(
+            o,
+            "\"{}\":{}",
+            class.name(),
+            hist_json(&m.traffic.net_latency[class.index()])
+        );
+    }
+    o.push_str("},\n");
+
+    // -- checkpoint phase timelines (Figure 6) --
+    o.push_str("\"checkpoints_timeline\":[");
+    for (i, t) in r.ckpt.timelines.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let _ = write!(
+            o,
+            "{{\"id\":{},\"lines_flushed\":{},\"duration_ns\":{},\"phases\":[",
+            t.id,
+            t.lines_flushed,
+            t.duration().0
+        );
+        for (j, (name, start, end)) in t.phases().into_iter().enumerate() {
+            if j > 0 {
+                o.push(',');
+            }
+            let _ = write!(
+                o,
+                "{{\"name\":\"{name}\",\"start_ns\":{},\"end_ns\":{}}}",
+                start.0, end.0
+            );
+        }
+        o.push_str("]}");
+    }
+    o.push_str("],\n");
+
+    // -- recovery phase timelines (Figures 7 and 12) --
+    o.push_str("\"recoveries\":[");
+    for (i, rec) in r.recoveries.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let _ = write!(
+            o,
+            "{{\"target_interval\":{},\"lost_work_ns\":{},\"unavailable_ns\":{},\"ops_rolled_back\":{},\"entries_replayed\":{},\"log_pages_rebuilt\":{},\"verified\":{},\"phases\":[",
+            rec.target_interval,
+            rec.lost_work.0,
+            rec.unavailable.0,
+            rec.ops_rolled_back,
+            rec.report.entries_replayed,
+            rec.report.log_pages_rebuilt,
+            match rec.verified {
+                Some(true) => "true",
+                Some(false) => "false",
+                None => "null",
+            },
+        );
+        for (j, (name, start, end)) in rec
+            .report
+            .phases(revive_sim::Ns::ZERO)
+            .into_iter()
+            .enumerate()
+        {
+            if j > 0 {
+                o.push(',');
+            }
+            let _ = write!(
+                o,
+                "{{\"name\":\"{name}\",\"start_ns\":{},\"end_ns\":{}}}",
+                start.0, end.0
+            );
+        }
+        o.push_str("]}");
+    }
+    o.push_str("],\n");
+
+    // -- per-epoch time series --
+    o.push_str("\"epochs\":[");
+    for (i, e) in r.epochs.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let _ = write!(
+            o,
+            "{{\"t_ns\":{},\"net_bytes\":{},\"net_msgs\":{},\"mem_accesses\":{},\"ops\":{},\"log_bytes\":{},\"log_utilization_max\":{},\"outstanding_misses\":{},\"dir_busy\":{},\"dram_busy_ns\":{},\"link_busy_ns\":{},\"checkpoints\":{}}}",
+            e.t.0,
+            u64_array(&e.net_bytes),
+            u64_array(&e.net_msgs),
+            u64_array(&e.mem_accesses),
+            e.ops,
+            u64_array(&e.log_bytes),
+            f64_json(e.log_utilization_max),
+            e.outstanding_misses,
+            e.dir_busy,
+            e.dram_busy.0,
+            e.link_busy.0,
+            e.checkpoints,
+        );
+    }
+    o.push_str("],\n");
+
+    // -- event-trace summary --
+    let ts = r.trace.summary();
+    o.push_str("\"trace\":{\"counts\":{");
+    for (i, name) in revive_sim::trace::TraceEvent::KIND_NAMES.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let _ = write!(o, "\"{name}\":{}", ts.counts[i]);
+    }
+    let _ = writeln!(
+        o,
+        "}},\"dropped\":{},\"retained\":{}}}",
+        ts.dropped, ts.retained
+    );
+    o.push_str("}\n");
+    o
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON parser + schema validation
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (just enough structure for validation and small
+/// tooling; numbers are f64).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (f64; large u64s lose precision, which validation does
+    /// not depend on).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("eof"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a position-annotated message on malformed input.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage"));
+    }
+    Ok(v)
+}
+
+/// Validates a run artifact against the schema [`render_artifact`] emits.
+///
+/// # Errors
+///
+/// Returns a description of the first violation found.
+pub fn validate_artifact(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let need = |key: &str| -> Result<&Json, String> {
+        doc.get(key).ok_or_else(|| format!("missing key '{key}'"))
+    };
+    if need("schema")?.as_str() != Some(ARTIFACT_SCHEMA) {
+        return Err(format!("schema is not '{ARTIFACT_SCHEMA}'"));
+    }
+    if need("version")?.as_num() != Some(ARTIFACT_VERSION as f64) {
+        return Err("unsupported artifact version".into());
+    }
+    let config = need("config")?;
+    for key in ["label", "workload", "mode"] {
+        if config.get(key).and_then(Json::as_str).is_none() {
+            return Err(format!("config.{key} missing or not a string"));
+        }
+    }
+    for key in ["nodes", "seed", "ops_per_cpu", "interval_ns"] {
+        if config.get(key).and_then(Json::as_num).is_none() {
+            return Err(format!("config.{key} missing or not a number"));
+        }
+    }
+    let result = need("result")?;
+    for key in [
+        "sim_time_ns",
+        "events",
+        "checkpoints",
+        "cpu_ops",
+        "instructions",
+        "l2_misses",
+        "dram_row_hit_rate",
+        "mean_net_latency_ns",
+    ] {
+        if result.get(key).and_then(Json::as_num).is_none() {
+            return Err(format!("result.{key} missing or not a number"));
+        }
+    }
+    for key in ["net_bytes", "net_msgs", "mem_accesses"] {
+        let arr = result
+            .get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("result.{key} missing or not an array"))?;
+        if arr.len() != 5 {
+            return Err(format!("result.{key} must have 5 traffic classes"));
+        }
+    }
+    let latency = need("latency_ns")?;
+    for class in TrafficClass::ALL {
+        let h = latency
+            .get(class.name())
+            .ok_or_else(|| format!("latency_ns missing class '{}'", class.name()))?;
+        for key in ["total", "p50", "p90", "p99"] {
+            if h.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("latency_ns.{}.{key} missing", class.name()));
+            }
+        }
+        if h.get("buckets").and_then(Json::as_arr).is_none() {
+            return Err(format!("latency_ns.{}.buckets missing", class.name()));
+        }
+    }
+    for (key, phase_count) in [("checkpoints_timeline", 6), ("recoveries", 4)] {
+        let arr = need(key)?
+            .as_arr()
+            .ok_or_else(|| format!("'{key}' is not an array"))?;
+        for entry in arr {
+            let phases = entry
+                .get("phases")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("{key} entry lacks phases"))?;
+            if phases.len() != phase_count {
+                return Err(format!("{key} entry must have {phase_count} phases"));
+            }
+            for p in phases {
+                let (s, e) = (
+                    p.get("start_ns").and_then(Json::as_num),
+                    p.get("end_ns").and_then(Json::as_num),
+                );
+                match (p.get("name").and_then(Json::as_str), s, e) {
+                    (Some(_), Some(s), Some(e)) if s <= e => {}
+                    _ => return Err(format!("malformed phase span in {key}")),
+                }
+            }
+        }
+    }
+    let epochs = need("epochs")?
+        .as_arr()
+        .ok_or_else(|| "'epochs' is not an array".to_string())?;
+    let mut prev_t = -1.0;
+    for e in epochs {
+        let t = e
+            .get("t_ns")
+            .and_then(Json::as_num)
+            .ok_or_else(|| "epoch lacks t_ns".to_string())?;
+        if t <= prev_t {
+            return Err("epoch timestamps are not strictly increasing".into());
+        }
+        prev_t = t;
+        for key in ["net_bytes", "net_msgs", "mem_accesses"] {
+            let arr = e
+                .get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("epoch lacks {key}"))?;
+            if arr.len() != 5 {
+                return Err(format!("epoch {key} must have 5 traffic classes"));
+            }
+        }
+    }
+    let trace = need("trace")?;
+    let counts = trace
+        .get("counts")
+        .ok_or_else(|| "trace.counts missing".to_string())?;
+    for name in revive_sim::trace::TraceEvent::KIND_NAMES {
+        if counts.get(name).and_then(Json::as_num).is_none() {
+            return Err(format!("trace.counts.{name} missing"));
+        }
+    }
+    for key in ["dropped", "retained"] {
+        if trace.get(key).and_then(Json::as_num).is_none() {
+            return Err(format!("trace.{key} missing"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_round_trips_basic_values() {
+        let doc = parse_json(r#"{"a":1,"b":[true,null,"x\n"],"c":{"d":-2.5e1}}"#).unwrap();
+        assert_eq!(doc.get("a").unwrap().as_num(), Some(1.0));
+        let b = doc.get("b").unwrap().as_arr().unwrap();
+        assert_eq!(b[0], Json::Bool(true));
+        assert_eq!(b[1], Json::Null);
+        assert_eq!(b[2].as_str(), Some("x\n"));
+        assert_eq!(
+            doc.get("c").unwrap().get("d").unwrap().as_num(),
+            Some(-25.0)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{} extra").is_err());
+        assert!(parse_json("nulll").is_err());
+    }
+
+    #[test]
+    fn empty_artifact_from_default_result_validates() {
+        let meta = RunMeta {
+            label: "test".into(),
+            workload: "fft".into(),
+            mode: "parity".into(),
+            nodes: 4,
+            seed: 42,
+            ops_per_cpu: 1000,
+            interval_ns: 100_000,
+        };
+        let r = RunResult::default();
+        let text = render_artifact(&meta, &r);
+        validate_artifact(&text).unwrap();
+    }
+
+    #[test]
+    fn validator_catches_missing_sections() {
+        assert!(validate_artifact("{}").is_err());
+        assert!(validate_artifact(r#"{"schema":"other"}"#).is_err());
+    }
+
+    #[test]
+    fn hist_json_lists_nonempty_buckets() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(100);
+        let s = hist_json(&h);
+        assert!(s.contains("\"total\":2"));
+        assert!(s.contains("[0,1]"));
+        assert!(s.contains("[64,1]"));
+    }
+}

@@ -9,11 +9,13 @@ use revive_mem::addr::PageAddr;
 use revive_mem::line::LineData;
 use revive_mem::main_memory::NodeMemory;
 use revive_sim::time::Ns;
+use revive_sim::trace::{Span, TraceBuffer, TraceEvent};
 use revive_sim::types::NodeId;
 
 use crate::config::{ExperimentConfig, MachineError, ReviveMode};
 use crate::differential::AuditReport;
 use crate::metrics::Summary;
+use crate::sampling::EpochSample;
 use crate::system::System;
 
 /// What error to inject, and when, relative to the checkpoint stream.
@@ -119,7 +121,7 @@ pub struct RecoveryOutcome {
 }
 
 /// The result of one experiment run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct RunResult {
     /// Time at which the last CPU finished its op budget — the
     /// baseline-vs-ReVive comparison metric of Figure 8.
@@ -141,6 +143,16 @@ pub struct RunResult {
     /// round-trips, post-recovery parity sweeps), in chronological order.
     /// Empty unless shadow checkpoints are enabled.
     pub audits: Vec<AuditReport>,
+    /// Per-epoch time series (empty unless `cfg.obs` enables sampling).
+    pub epochs: Vec<EpochSample>,
+    /// The event-trace ring buffer (disabled/empty unless `cfg.obs` enables
+    /// tracing).
+    pub trace: TraceBuffer,
+    /// Checkpoint and recovery phase spans (empty unless tracing is on).
+    pub spans: Vec<Span>,
+    /// End-of-run fabric delivery counters (reset by recovery Phase 1, so
+    /// for injection runs this covers only the post-recovery epoch).
+    pub fabric: revive_net::FabricStats,
 }
 
 /// Drives one experiment to completion.
@@ -410,6 +422,24 @@ impl Runner {
 
         let verified = self.verify_against_shadow(target, lost);
         let lost_work = t_detect.saturating_sub(commit_of_target);
+        if self.sys.tracer.is_enabled() {
+            for (i, (name, start, end)) in report.phases(t_detect).into_iter().enumerate() {
+                self.sys.tracer.record(
+                    end,
+                    TraceEvent::RecoveryPhase {
+                        phase: (i + 1) as u8,
+                        duration: end.saturating_sub(start),
+                    },
+                );
+                self.sys.spans.push(Span {
+                    name: format!("recovery/{name}"),
+                    cat: "recovery",
+                    start,
+                    end,
+                    track: 0,
+                });
+            }
+        }
         RecoveryOutcome {
             report,
             lost_work,
@@ -435,7 +465,9 @@ impl Runner {
                 continue;
             }
             let node = &self.sys.nodes[n];
-            let Some(h) = node.hook.as_ref() else { continue };
+            let Some(h) = node.hook.as_ref() else {
+                continue;
+            };
             let Some(shadow) = h.shadow.as_ref() else {
                 continue;
             };
@@ -568,6 +600,14 @@ impl Runner {
             recovery: recoveries.last().copied(),
             recoveries,
             audits: sys.audits.clone(),
+            epochs: sys
+                .sampler
+                .as_ref()
+                .map(|s| s.samples().to_vec())
+                .unwrap_or_default(),
+            trace: sys.tracer.clone(),
+            spans: sys.spans.clone(),
+            fabric: sys.fabric.stats(),
         }
     }
 }

@@ -37,6 +37,7 @@ use revive_net::topology::Torus;
 use revive_sim::engine::EventQueue;
 use revive_sim::resource::Resource;
 use revive_sim::time::Ns;
+use revive_sim::trace::{CkptPhaseEvent, Span, TraceBuffer, TraceEvent};
 use revive_sim::types::NodeId;
 use revive_workloads::Workload;
 
@@ -44,6 +45,7 @@ use crate::config::{ExperimentConfig, MachineError};
 use crate::differential::AuditReport;
 use crate::metrics::{Metrics, TrafficClass};
 use crate::page_table::PageTable;
+use crate::sampling::{IntervalSampler, SampleInput};
 
 /// Debug aid: set `REVIVE_TRACE_LINE` to a decimal global line number to
 /// print every message touching that line to stderr — the fastest way to
@@ -115,10 +117,7 @@ pub(crate) struct NetMsg {
 enum Payload {
     ToDir(CacheToDir),
     ToCache(DirToCache),
-    Par {
-        update: ParityUpdate,
-        mirror: bool,
-    },
+    Par { update: ParityUpdate, mirror: bool },
     ParAck(ParityAck),
 }
 
@@ -146,6 +145,8 @@ pub(crate) enum Ev {
     FlushStart,
     /// A scripted error fires (the runner handles the aftermath).
     Inject,
+    /// The interval sampler takes its periodic reading.
+    Sample,
 }
 
 /// Checkpoint orchestration state.
@@ -249,7 +250,7 @@ pub struct System {
     pub(crate) parity: Option<ParityMap>,
     pub(crate) nodes: Vec<Node>,
     pub(crate) cpus: Vec<Cpu>,
-    fabric: Fabric,
+    pub(crate) fabric: Fabric,
     queue: EventQueue<Ev>,
     pub(crate) page_table: PageTable,
     workload: Box<dyn Workload>,
@@ -280,6 +281,12 @@ pub struct System {
     pub(crate) suppress_deadlock_panic: bool,
     /// Validation-mode audit reports (parity sweeps, log round-trips).
     pub(crate) audits: Vec<AuditReport>,
+    /// Event-trace ring buffer (no-op unless `cfg.obs` enables tracing).
+    pub(crate) tracer: TraceBuffer,
+    /// Per-epoch time-series sampler (None unless `cfg.obs` enables it).
+    pub(crate) sampler: Option<IntervalSampler>,
+    /// Phase spans (checkpoint and recovery timelines) for Chrome traces.
+    pub(crate) spans: Vec<Span>,
 }
 
 impl System {
@@ -403,6 +410,18 @@ impl System {
         if parity.is_some() && cfg.revive.ckpt.interval != Ns::MAX {
             queue.schedule(cfg.revive.ckpt.interval, Ev::CkptStart);
         }
+        let tracer = if cfg.obs.tracing() {
+            TraceBuffer::enabled(cfg.obs.trace_capacity)
+        } else {
+            TraceBuffer::disabled()
+        };
+        let sampler = if cfg.obs.sampling() {
+            let epoch = Ns(cfg.obs.epoch_us * 1_000);
+            queue.schedule(epoch, Ev::Sample);
+            Some(IntervalSampler::new(epoch))
+        } else {
+            None
+        };
 
         Ok(System {
             map,
@@ -432,6 +451,9 @@ impl System {
             inject_time: None,
             suppress_deadlock_panic: false,
             audits: Vec::new(),
+            tracer,
+            sampler,
+            spans: Vec::new(),
             cfg,
         })
     }
@@ -488,6 +510,7 @@ impl System {
         let size = payload.size_bytes();
         self.metrics.net(class, size);
         let arrival = self.fabric.send(at, src, dst, size);
+        self.metrics.net_latency(class, arrival.saturating_sub(at));
         self.queue.schedule(
             arrival.max(self.queue.now()),
             Ev::Deliver(NetMsg {
@@ -501,6 +524,46 @@ impl System {
 
     fn home_of(&self, line: LineAddr) -> NodeId {
         self.map.home_of_line(line)
+    }
+
+    /// Takes one interval sample (see [`crate::sampling`]) and reschedules
+    /// itself while the machine still has work.
+    fn take_sample(&mut self, t: Ns) {
+        let Some(sampler) = self.sampler.as_mut() else {
+            return;
+        };
+        let mut log_bytes = Vec::with_capacity(self.nodes.len());
+        let mut util_max = 0.0f64;
+        let mut outstanding = 0u64;
+        let mut dir_busy = 0u64;
+        let mut dram_busy = Ns::ZERO;
+        for node in &self.nodes {
+            if let Some(h) = node.hook.as_ref() {
+                log_bytes.push(h.log.live_bytes());
+                util_max = util_max.max(h.log.utilization());
+            }
+            outstanding += node.ctrl.outstanding_misses() as u64;
+            dir_busy += node.dir.busy_count() as u64;
+            dram_busy += node.dram.busy_total();
+        }
+        sampler.push(SampleInput {
+            t,
+            net_bytes: self.metrics.net_bytes,
+            net_msgs: self.metrics.net_msgs,
+            mem_accesses: self.metrics.mem_accesses,
+            ops: self.metrics.cpu_ops,
+            log_bytes,
+            log_utilization_max: util_max,
+            outstanding_misses: outstanding,
+            dir_busy,
+            dram_busy,
+            fabric: self.fabric.stats(),
+            checkpoints: self.ckpt_counter,
+        });
+        let epoch = sampler.epoch();
+        if self.running_cpus > 0 && !self.halted {
+            self.queue.schedule(t + epoch, Ev::Sample);
+        }
     }
 
     /// Runs until every CPU has issued its op budget and the event queue
@@ -573,9 +636,11 @@ impl System {
                 Ev::CkptStart => self.ckpt_start(t),
                 Ev::FlushStart => self.flush_start(t),
                 Ev::Inject => {
+                    self.tracer.record(t, TraceEvent::Inject);
                     self.inject_time = Some(t);
                     self.halted = true;
                 }
+                Ev::Sample => self.take_sample(t),
             }
         }
     }
@@ -617,7 +682,11 @@ impl System {
                 .translate(op.vaddr, node_id)
                 .unwrap_or_else(|e| panic!("page allocation failed: {e}"));
             let line = addr.line();
-            let access = if op.write { Access::Write } else { Access::Read };
+            let access = if op.write {
+                Access::Write
+            } else {
+                Access::Read
+            };
             let token = self.make_token(c, op.write);
             let (outcome, sends) = self.nodes[c].ctrl.cpu_access(line, access, token);
             match outcome {
@@ -761,6 +830,17 @@ impl System {
         let c = dst.index();
         let is_nack = matches!(m, DirToCache::Nack { .. });
         let is_flush_ack = matches!(m, DirToCache::WbAck { flush: true, .. });
+        if is_nack && self.tracer.is_enabled() {
+            if let DirToCache::Nack { line, .. } = m {
+                self.tracer.record(
+                    t,
+                    TraceEvent::Nack {
+                        node: c as u16,
+                        line: line.0,
+                    },
+                );
+            }
+        }
         let reaction = self.nodes[c].ctrl.handle_dir_msg(m);
         let delay = if is_nack {
             self.cfg.machine.nack_retry_delay
@@ -793,7 +873,25 @@ impl System {
     /// time, then ships the outputs and any ReVive parity messages.
     fn dir_in(&mut self, node: NodeId, din: DirIn, class: TrafficClass, t: Ns) {
         let n = node.index();
-        let t1 = self.nodes[n].dir_pipe.acquire(t, self.cfg.machine.dir_latency);
+        let trace_coherence = self.tracer.is_enabled();
+        let din_line = if trace_coherence {
+            if let DirIn::Req { from, line, req } = &din {
+                self.tracer.record(
+                    t,
+                    TraceEvent::CoherenceStart {
+                        node: from.index() as u16,
+                        line: line.0,
+                        exclusive: !matches!(req, revive_coherence::msg::CacheReq::Read),
+                    },
+                );
+            }
+            Some(din.line())
+        } else {
+            None
+        };
+        let t1 = self.nodes[n]
+            .dir_pipe
+            .acquire(t, self.cfg.machine.dir_latency);
         let (outs, hook_msgs, t_done, t_reply) = {
             let Node {
                 ctrl: _,
@@ -821,7 +919,10 @@ impl System {
                 Some(h) => dir.handle(din, &mut port, h),
                 None => dir.handle(din, &mut port, &mut null),
             };
-            let hook_msgs = hook.as_mut().map(ReviveHook::drain_outbox).unwrap_or_default();
+            let hook_msgs = hook
+                .as_mut()
+                .map(ReviveHook::drain_outbox)
+                .unwrap_or_default();
             let reply_at = port.reply_at.unwrap_or(port.cursor);
             (outs, hook_msgs, port.cursor, reply_at)
         };
@@ -843,6 +944,19 @@ impl System {
                     mirror: hm.mirror,
                 },
             );
+        }
+        if let Some(line) = din_line {
+            // The transaction on this line concluded iff the entry is no
+            // longer mid-flight after the input was absorbed.
+            if !self.nodes[n].dir.is_busy(line) {
+                self.tracer.record(
+                    t_done,
+                    TraceEvent::CoherenceEnd {
+                        node: n as u16,
+                        line: line.0,
+                    },
+                );
+            }
         }
         self.maybe_early_checkpoint(n, t_done);
     }
@@ -901,8 +1015,12 @@ impl System {
             // Infinite-interval measurement configs (CpInf) never commit;
             // recycle the oldest half of the log to keep the fiction alive.
             hook.recycle_oldest_half();
+            self.tracer
+                .record(t, TraceEvent::LogWrap { node: n as u16 });
             return;
         }
+        self.tracer
+            .record(t, TraceEvent::EarlyCkptTrigger { node: n as u16 });
         self.early_pending = true;
         self.ck_stats.early_triggers += 1;
         self.queue.schedule(t.max(self.queue.now()), Ev::CkptStart);
@@ -925,7 +1043,15 @@ impl System {
             started: t,
             ..CkptTimeline::default()
         };
-        let flush_at = t + self.cfg.revive.ckpt.interrupt_latency + self.cfg.revive.ckpt.context_save;
+        self.tracer.record(
+            t,
+            TraceEvent::CkptPhase {
+                id: self.ck_timeline.id,
+                phase: CkptPhaseEvent::Started,
+            },
+        );
+        let flush_at =
+            t + self.cfg.revive.ckpt.interrupt_latency + self.cfg.revive.ckpt.context_save;
         self.ck_timeline.flush_started = flush_at;
         for c in 0..self.cpus.len() {
             self.cpus[c].at_barrier = false;
@@ -951,6 +1077,13 @@ impl System {
             return; // checkpoint aborted (recovery) since the timer fired
         }
         self.ck_flush_begun = true;
+        self.tracer.record(
+            t,
+            TraceEvent::CkptPhase {
+                id: self.ck_timeline.id,
+                phase: CkptPhaseEvent::FlushStarted,
+            },
+        );
         for c in 0..self.cpus.len() {
             self.cpus[c].flush_queue = self.nodes[c].ctrl.dirty_lines().into();
         }
@@ -971,7 +1104,13 @@ impl System {
             self.cpus[c].flush_outstanding += 1;
             self.ck_timeline.lines_flushed += 1;
             let home = self.home_of(line);
-            self.send(t, NodeId::from(c), home, TrafficClass::CkpWb, Payload::ToDir(wb));
+            self.send(
+                t,
+                NodeId::from(c),
+                home,
+                TrafficClass::CkpWb,
+                Payload::ToDir(wb),
+            );
         }
     }
 
@@ -1000,6 +1139,13 @@ impl System {
     fn commit_checkpoint(&mut self, t: Ns) {
         let barrier = self.cfg.revive.ckpt.barrier_latency;
         self.ck_timeline.flush_done = t;
+        self.tracer.record(
+            t,
+            TraceEvent::CkptPhase {
+                id: self.ck_timeline.id,
+                phase: CkptPhaseEvent::FlushDone,
+            },
+        );
         let t_b1 = t + barrier;
         self.ck_timeline.barrier1_done = t_b1;
         // Between the barriers every node marks the checkpoint in its local
@@ -1044,6 +1190,13 @@ impl System {
             }
         }
         self.ck_timeline.marked = mark_done;
+        self.tracer.record(
+            mark_done,
+            TraceEvent::CkptPhase {
+                id: new_id,
+                phase: CkptPhaseEvent::Marked,
+            },
+        );
         if self.inject_in_commit_of == Some(new_id) {
             // Scripted error inside the two-phase-commit window: every log
             // is marked but the commit never completes, so the previous
@@ -1063,6 +1216,24 @@ impl System {
         for node in &mut self.nodes {
             if let Some(h) = node.hook.as_mut() {
                 h.begin_interval(new_id, reclaim_before);
+            }
+        }
+        self.tracer.record(
+            t_commit,
+            TraceEvent::CkptPhase {
+                id: new_id,
+                phase: CkptPhaseEvent::Committed,
+            },
+        );
+        if self.tracer.is_enabled() {
+            for (name, start, end) in self.ck_timeline.phases() {
+                self.spans.push(Span {
+                    name: format!("ckpt{new_id}/{name}"),
+                    cat: "checkpoint",
+                    start,
+                    end,
+                    track: new_id as u32,
+                });
             }
         }
         self.ck_stats.timelines.push(self.ck_timeline);
@@ -1257,7 +1428,9 @@ impl System {
             let mut bytes = Vec::with_capacity(PAGE_SIZE);
             for line in page.lines() {
                 let data = overlay.get(&line).copied().unwrap_or_else(|| {
-                    self.nodes[node].mem.read_line(self.map.local_line_index(line))
+                    self.nodes[node]
+                        .mem
+                        .read_line(self.map.local_line_index(line))
                 });
                 bytes.extend_from_slice(data.as_bytes());
             }

@@ -86,7 +86,11 @@ fn baseline_produces_no_revive_traffic() {
     let r = Runner::new(cfg).unwrap().run().unwrap();
     for class in [TrafficClass::Par, TrafficClass::Log, TrafficClass::CkpWb] {
         assert_eq!(r.metrics.traffic.net_bytes[class.index()], 0, "{class:?}");
-        assert_eq!(r.metrics.traffic.mem_accesses[class.index()], 0, "{class:?}");
+        assert_eq!(
+            r.metrics.traffic.mem_accesses[class.index()],
+            0,
+            "{class:?}"
+        );
     }
     assert_eq!(r.metrics.max_log_bytes(), 0);
     assert_eq!(r.metrics.costs.paper_mem_accesses(), 0);
@@ -142,6 +146,7 @@ fn paper_machine_config_builds_and_runs() {
         ops_per_cpu: 5_000,
         seed: 7,
         shadow_checkpoints: false,
+        obs: revive_machine::ObsConfig::off(),
     };
     cfg.revive.log_fraction = 0.1;
     let r = Runner::new(cfg).unwrap().run().unwrap();

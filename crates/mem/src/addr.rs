@@ -232,7 +232,10 @@ impl AddressMap {
     ///
     /// Panics if `local` is outside the node's memory.
     pub fn global_page(&self, node: NodeId, local: u64) -> PageAddr {
-        assert!(local < self.pages_per_node(), "local page index {local} out of range");
+        assert!(
+            local < self.pages_per_node(),
+            "local page index {local} out of range"
+        );
         PageAddr(node.index() as u64 * self.pages_per_node() + local)
     }
 
@@ -242,7 +245,10 @@ impl AddressMap {
     ///
     /// Panics if `local` is outside the node's memory.
     pub fn global_line(&self, node: NodeId, local: u64) -> LineAddr {
-        assert!(local < self.lines_per_node(), "local line index {local} out of range");
+        assert!(
+            local < self.lines_per_node(),
+            "local line index {local} out of range"
+        );
         LineAddr(node.index() as u64 * self.lines_per_node() + local)
     }
 
@@ -281,13 +287,8 @@ mod tests {
     fn homes_partition_the_space() {
         let map = AddressMap::new(4, 2 * PAGE_SIZE as u64);
         assert_eq!(map.total_bytes(), 8 * PAGE_SIZE as u64);
-        let homes: Vec<NodeId> = (0..8)
-            .map(|p| map.home_of_page(PageAddr(p)))
-            .collect();
-        assert_eq!(
-            homes,
-            [0, 0, 1, 1, 2, 2, 3, 3].map(NodeId).to_vec()
-        );
+        let homes: Vec<NodeId> = (0..8).map(|p| map.home_of_page(PageAddr(p))).collect();
+        assert_eq!(homes, [0, 0, 1, 1, 2, 2, 3, 3].map(NodeId).to_vec());
     }
 
     #[test]

@@ -198,8 +198,7 @@ impl Cache {
 
     fn find(&self, line: LineAddr) -> Option<usize> {
         let set = &self.sets[self.set_index(line)];
-        set.iter()
-            .position(|w| w.state.is_valid() && w.tag == line)
+        set.iter().position(|w| w.state.is_valid() && w.tag == line)
     }
 
     /// The line's current state ([`LineState::Invalid`] if absent). Does not

@@ -166,6 +166,14 @@ impl Dram {
         self.banks.wait_total()
     }
 
+    /// Per-bank busy time, in bank order (for bank-utilization time series:
+    /// an epoch's utilization is the delta of two snapshots over the epoch).
+    pub fn bank_busy(&self) -> Vec<Ns> {
+        (0..self.banks.len())
+            .map(|i| self.banks.member(i).busy_total())
+            .collect()
+    }
+
     /// Resets timing state (post-error reinitialization). Counters are kept;
     /// open rows and reservations are dropped.
     pub fn reset_timing(&mut self) {

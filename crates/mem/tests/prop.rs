@@ -87,7 +87,11 @@ fn cache_capacity_and_victims() {
             } else if !resident.contains(&line) {
                 let victim = cache.fill(addr, LineState::Shared, LineData::ZERO);
                 if let Some(v) = victim {
-                    assert!(resident.remove(&v.line.0), "victim {:?} not resident", v.line);
+                    assert!(
+                        resident.remove(&v.line.0),
+                        "victim {:?} not resident",
+                        v.line
+                    );
                 }
                 resident.insert(line);
             } else {

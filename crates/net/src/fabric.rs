@@ -155,6 +155,17 @@ impl Fabric {
         self.links.iter().map(Resource::busy_total).sum()
     }
 
+    /// A snapshot of the fabric's delivery counters, cheap enough to take
+    /// every sampling epoch (interval rates are deltas of two snapshots).
+    pub fn stats(&self) -> FabricStats {
+        FabricStats {
+            messages: self.messages.get(),
+            bytes: self.bytes.get(),
+            latency_sum: self.latency_sum,
+            link_busy: self.link_busy_total(),
+        }
+    }
+
     /// Resets all link reservations and statistics (post-error recovery
     /// Phase 1 reinitializes the network).
     pub fn reset(&mut self) {
@@ -165,6 +176,19 @@ impl Fabric {
         self.bytes = Counter::new();
         self.latency_sum = Ns::ZERO;
     }
+}
+
+/// A point-in-time snapshot of fabric delivery counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Messages delivered since the last reset.
+    pub messages: u64,
+    /// Bytes delivered since the last reset.
+    pub bytes: u64,
+    /// Sum of end-to-end message latencies.
+    pub latency_sum: Ns,
+    /// Aggregate busy time across all links.
+    pub link_busy: Ns,
 }
 
 #[cfg(test)]

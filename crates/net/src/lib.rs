@@ -26,5 +26,5 @@
 pub mod fabric;
 pub mod topology;
 
-pub use fabric::{Fabric, FabricConfig};
+pub use fabric::{Fabric, FabricConfig, FabricStats};
 pub use topology::Torus;

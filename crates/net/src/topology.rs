@@ -121,7 +121,12 @@ impl Torus {
     /// Panics if the node is outside the torus.
     pub fn coords(&self, n: NodeId) -> (usize, usize) {
         let i = n.index();
-        assert!(i < self.len(), "node {n} outside {}x{} torus", self.width, self.height);
+        assert!(
+            i < self.len(),
+            "node {n} outside {}x{} torus",
+            self.width,
+            self.height
+        );
         (i % self.width, i / self.width)
     }
 
@@ -169,7 +174,11 @@ impl Torus {
         let mut links = Vec::with_capacity(self.hops(a, b));
         while x != bx {
             let s = Self::step(x, bx, self.width);
-            let dir = if s > 0 { Direction::East } else { Direction::West };
+            let dir = if s > 0 {
+                Direction::East
+            } else {
+                Direction::West
+            };
             links.push(LinkId {
                 from: self.node_at(x, y),
                 dir,
@@ -178,7 +187,11 @@ impl Torus {
         }
         while y != by {
             let s = Self::step(y, by, self.height);
-            let dir = if s > 0 { Direction::South } else { Direction::North };
+            let dir = if s > 0 {
+                Direction::South
+            } else {
+                Direction::North
+            };
             links.push(LinkId {
                 from: self.node_at(x, y),
                 dir,

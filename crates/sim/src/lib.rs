@@ -29,10 +29,12 @@ pub mod resource;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod trace;
 pub mod types;
 
 pub use engine::EventQueue;
 pub use resource::{Resource, ResourceBank};
 pub use rng::DetRng;
 pub use time::Ns;
+pub use trace::{Span, TraceBuffer, TraceEvent, TraceSummary};
 pub use types::NodeId;

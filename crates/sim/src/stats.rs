@@ -28,14 +28,15 @@ impl Counter {
         Counter(0)
     }
 
-    /// Adds `n` to the counter.
+    /// Adds `n` to the counter. Saturates at `u64::MAX` so very long runs
+    /// degrade to a pinned counter instead of a panic or a wrap.
     pub fn add(&mut self, n: u64) {
-        self.0 += n;
+        self.0 = self.0.saturating_add(n);
     }
 
     /// Adds one.
     pub fn inc(&mut self) {
-        self.0 += 1;
+        self.0 = self.0.saturating_add(1);
     }
 
     /// Current value.
@@ -191,14 +192,27 @@ impl Histogram {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. Bucket and total counts saturate at `u64::MAX`.
     pub fn record(&mut self, x: u64) {
         let b = Self::bucket_of(x);
         if self.buckets.len() <= b {
             self.buckets.resize(b + 1, 0);
         }
-        self.buckets[b] += 1;
-        self.total += 1;
+        self.buckets[b] = self.buckets[b].saturating_add(1);
+        self.total = self.total.saturating_add(1);
+    }
+
+    /// Merges another histogram into this one (the bucketed counterpart of
+    /// [`Running::merge`]), e.g. to fold per-node latency histograms into a
+    /// machine-wide view. Counts saturate at `u64::MAX`.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(c);
+        }
+        self.total = self.total.saturating_add(other.total);
     }
 
     /// Total number of samples recorded.
@@ -209,6 +223,21 @@ impl Histogram {
     /// Number of samples in bucket `i`.
     pub fn bucket_count(&self, i: usize) -> u64 {
         self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// The raw bucket counts (index `i` covers `[2^(i-1), 2^i)`; index 0 is
+    /// the value 0). Exposed for report serialization.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The inclusive lower bound of bucket `i`.
+    pub fn bucket_lower_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
     }
 
     /// The smallest value `v` such that at least `q` (in `[0,1]`) of the
@@ -328,6 +357,56 @@ mod tests {
         h.record(u64::MAX); // lands in bucket 64
         assert_eq!(h.quantile_upper_bound(1.0), u64::MAX);
         assert_eq!(h.bucket_count(64), 1);
+    }
+
+    #[test]
+    fn histogram_merge_aligns_buckets() {
+        let mut a = Histogram::new();
+        a.record(0);
+        a.record(3);
+        let mut b = Histogram::new();
+        b.record(3);
+        b.record(1024);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.bucket_count(0), 1);
+        assert_eq!(a.bucket_count(2), 2);
+        assert_eq!(a.bucket_count(11), 1);
+        // Merging an empty histogram is a no-op.
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a.total(), before.total());
+        // Merging *into* an empty histogram copies the source.
+        let mut fresh = Histogram::new();
+        fresh.merge(&before);
+        assert_eq!(fresh.total(), before.total());
+        assert_eq!(fresh.bucket_count(11), before.bucket_count(11));
+    }
+
+    #[test]
+    fn counters_saturate_at_u64_max() {
+        let mut c = Counter::new();
+        c.add(u64::MAX);
+        c.add(1); // would overflow; must pin instead
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+
+        let mut h = Histogram::new();
+        h.record(7);
+        h.record(7);
+        // Force the totals to the brink via merge, then record once more.
+        let mut big = Histogram::new();
+        big.record(7);
+        for _ in 0..63 {
+            let clone = big.clone();
+            big.merge(&clone); // doubles the counts
+        }
+        let mut sat = Histogram::new();
+        sat.merge(&big);
+        sat.merge(&big); // 2^63 + 2^63 saturates
+        sat.record(7);
+        assert_eq!(sat.total(), u64::MAX);
+        assert_eq!(sat.bucket_count(3), u64::MAX);
     }
 
     #[test]

@@ -194,10 +194,7 @@ mod tests {
             let mut r = rng();
             for _ in 0..2000 {
                 let a = c.next(&mut r);
-                assert!(
-                    (4096..4096 + 8192).contains(&a),
-                    "{p:?} escaped: {a}"
-                );
+                assert!((4096..4096 + 8192).contains(&a), "{p:?} escaped: {a}");
             }
         }
     }
@@ -228,8 +225,7 @@ mod tests {
         let mut r = rng();
         // Consecutive accesses should mostly stay within one 4 KB tile.
         let addrs: Vec<u64> = (0..64).map(|_| c.next(&mut r)).collect();
-        let tiles: std::collections::HashSet<u64> =
-            addrs.iter().map(|a| a / 4096).collect();
+        let tiles: std::collections::HashSet<u64> = addrs.iter().map(|a| a / 4096).collect();
         assert!(tiles.len() <= 3, "too many tiles: {}", tiles.len());
     }
 

@@ -685,8 +685,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let names: std::collections::HashSet<&str> =
-            AppId::ALL.iter().map(|a| a.name()).collect();
+        let names: std::collections::HashSet<&str> = AppId::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), 12);
     }
 

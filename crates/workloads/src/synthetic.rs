@@ -95,11 +95,7 @@ impl Synthetic {
         let cpu_states: Vec<CpuState> = (0..cpus)
             .map(|c| {
                 let mut rng = root.fork(c as u64);
-                let base = if shared {
-                    0
-                } else {
-                    region_bytes * c as u64
-                };
+                let base = if shared { 0 } else { region_bytes * c as u64 };
                 let cursor = Cursor::new(
                     pattern.clone(),
                     Region::new(base, region_bytes),

@@ -6,9 +6,7 @@
 //! cargo run --release --example fault_injection
 //! ```
 
-use revive::machine::{
-    ErrorKind, ExperimentConfig, InjectionPlan, Runner, WorkloadSpec,
-};
+use revive::machine::{ErrorKind, ExperimentConfig, InjectionPlan, Runner, WorkloadSpec};
 use revive::sim::time::Ns;
 use revive::sim::types::NodeId;
 use revive::workloads::AppId;
@@ -25,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for (label, kind) in [
         ("permanent loss of node 5", ErrorKind::NodeLoss(NodeId(5))),
-        ("machine-wide transient (all caches lost)", ErrorKind::CacheWipe),
+        (
+            "machine-wide transient (all caches lost)",
+            ErrorKind::CacheWipe,
+        ),
     ] {
         println!("=== injecting: {label} ===");
         let plan = InjectionPlan {

@@ -33,10 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("--- ReVive activity ---");
     println!("checkpoints committed   : {}", result.checkpoints);
-    println!(
-        "mean checkpoint cost    : {}",
-        result.ckpt.mean_duration()
-    );
+    println!("mean checkpoint cost    : {}", result.ckpt.mean_duration());
     println!(
         "lines logged (Fig 5a/5b): {} / {}",
         result.metrics.costs.rdx_unlogged, result.metrics.costs.wb_unlogged

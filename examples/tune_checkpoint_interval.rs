@@ -20,11 +20,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = AppId::Cholesky;
     let ops = 400_000;
 
-    let mut base_cfg =
-        ExperimentConfig::experiment(WorkloadSpec::Splash(app), ReviveConfig::off());
+    let mut base_cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), ReviveConfig::off());
     base_cfg.ops_per_cpu = ops;
     let base = Runner::new(base_cfg)?.run()?;
-    println!("workload: {} | baseline time {}\n", app.name(), base.sim_time);
+    println!(
+        "workload: {} | baseline time {}\n",
+        app.name(),
+        base.sim_time
+    );
     println!(
         "{:>10}  {:>9}  {:>6}  {:>10}  {:>12}  {:>7}",
         "interval", "overhead%", "ckpts", "peak log", "avg unavail", "nines"
@@ -32,10 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for ms in [1u64, 2, 4, 8] {
         let interval = Ns::from_ms(ms);
-        let mut cfg = ExperimentConfig::experiment(
-            WorkloadSpec::Splash(app),
-            ReviveConfig::parity(interval),
-        );
+        let mut cfg =
+            ExperimentConfig::experiment(WorkloadSpec::Splash(app), ReviveConfig::parity(interval));
         cfg.ops_per_cpu = ops;
         let r = Runner::new(cfg)?.run()?;
         let overhead = 100.0 * (r.sim_time.0 as f64 / base.sim_time.0 as f64 - 1.0);

@@ -29,7 +29,11 @@ fn baseline_run_completes() {
 fn revive_run_checkpoints_and_logs() {
     let cfg = ExperimentConfig::test_small(AppId::Fft);
     let result = Runner::new(cfg).unwrap().run().unwrap();
-    assert!(result.checkpoints >= 2, "checkpoints={}", result.checkpoints);
+    assert!(
+        result.checkpoints >= 2,
+        "checkpoints={}",
+        result.checkpoints
+    );
     assert_eq!(result.ckpt.count(), result.checkpoints);
     assert!(result.metrics.max_log_bytes() > 0);
     // ReVive produced parity and log traffic.
@@ -152,10 +156,7 @@ fn injection_into_baseline_is_rejected() {
         kind: ErrorKind::CacheWipe,
         ..InjectionPlan::paper_transient(Ns::from_us(100))
     };
-    assert!(Runner::new(cfg)
-        .unwrap()
-        .run_with_injection(plan)
-        .is_err());
+    assert!(Runner::new(cfg).unwrap().run_with_injection(plan).is_err());
 }
 
 #[test]
@@ -195,9 +196,8 @@ fn lossy_lbits_log_more_than_full_lbits() {
     let mut cfg = ExperimentConfig::test_small(AppId::Fft);
     cfg.revive.lbit_dir_cache = Some(8);
     let lossy = Runner::new(cfg).unwrap().run().unwrap();
-    let appended = |r: &revive::machine::RunResult| {
-        r.metrics.costs.rdx_unlogged + r.metrics.costs.wb_unlogged
-    };
+    let appended =
+        |r: &revive::machine::RunResult| r.metrics.costs.rdx_unlogged + r.metrics.costs.wb_unlogged;
     assert!(
         appended(&lossy) > appended(&full),
         "lossy L bits should produce redundant log records: {} vs {}",
@@ -232,7 +232,6 @@ fn larger_parity_groups_use_less_memory_but_same_protection() {
     }
 }
 
-
 #[test]
 fn mixed_mode_recovers_exactly() {
     // The paper's Section 8 extension: hot pages mirrored, the rest under
@@ -258,7 +257,10 @@ fn mixed_mode_storage_sits_between_parity_and_mirroring() {
     let parity = ParityMap::new(map, 7).storage_overhead();
     let mirror = ParityMap::new(map, 1).storage_overhead();
     let mixed = ParityMap::mixed(map, 7, 256).storage_overhead();
-    assert!(parity < mixed && mixed < mirror, "{parity} {mixed} {mirror}");
+    assert!(
+        parity < mixed && mixed < mirror,
+        "{parity} {mixed} {mirror}"
+    );
 }
 
 #[test]
@@ -292,7 +294,6 @@ fn survives_two_errors_back_to_back() {
     assert_eq!(result.metrics.traffic.cpu_ops, 4 * 120_000);
 }
 
-
 /// Full Table-4 calibration at experiment scale. Slow (~2 min release);
 /// run with `cargo test --release -- --ignored table4_calibration`.
 #[test]
@@ -308,6 +309,7 @@ fn table4_calibration_structure_holds() {
             ops_per_cpu: 300_000,
             seed: 2002,
             shadow_checkpoints: false,
+            obs: revive::machine::ObsConfig::off(),
         };
         let r = Runner::new(cfg).unwrap().run().unwrap();
         rates.push((app, r.metrics.l2_miss_rate()));
@@ -318,11 +320,7 @@ fn table4_calibration_structure_holds() {
     for expected in [AppId::Fft, AppId::Ocean, AppId::Radix] {
         assert!(top3.contains(&expected), "top3={top3:?}");
     }
-    let water = rates
-        .iter()
-        .find(|(a, _)| *a == AppId::WaterN2)
-        .unwrap()
-        .1;
+    let water = rates.iter().find(|(a, _)| *a == AppId::WaterN2).unwrap().1;
     assert!(water < 0.001, "water miss rate {water}");
     // Every non-streaming app stays below 1%.
     for (app, rate) in &rates {

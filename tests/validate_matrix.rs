@@ -56,7 +56,9 @@ fn run_matrix_phase(phase: InjectPhase) {
             let label = format!("{app}/{kind:?}/{phase:?}");
             let (result, diff) =
                 injected_vs_golden(c, &[plan(kind, phase, interval)], &golden_image).unwrap();
-            let rec = result.recovery.unwrap_or_else(|| panic!("{label}: no recovery"));
+            let rec = result
+                .recovery
+                .unwrap_or_else(|| panic!("{label}: no recovery"));
             assert!(
                 diff.is_match(),
                 "{label}: post-recovery memory diverges from golden run: {diff}"
