@@ -64,10 +64,16 @@ fn sanitize(label: &str) -> String {
 /// not die because a results directory is read-only — the tables on stdout
 /// are still the primary output).
 pub fn emit(label: &str, cfg: &ExperimentConfig, result: &RunResult) -> Option<PathBuf> {
+    emit_with_meta(RunMeta::from_config(label, cfg), result)
+}
+
+/// As [`emit`], but with caller-built metadata — used by injection runs to
+/// record their fault scenario (and campaign seed) inside the artifact.
+pub fn emit_with_meta(meta: RunMeta, result: &RunResult) -> Option<PathBuf> {
     if !enabled() {
         return None;
     }
-    let meta = RunMeta::from_config(label, cfg);
+    let label = meta.label.clone();
     let text = render_artifact(&meta, result);
     debug_assert!(
         validate_artifact(&text).is_ok(),
@@ -79,7 +85,7 @@ pub fn emit(label: &str, cfg: &ExperimentConfig, result: &RunResult) -> Option<P
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return None;
     }
-    let path = dir.join(format!("{}.json", sanitize(label)));
+    let path = dir.join(format!("{}.json", sanitize(&label)));
     match std::fs::write(&path, text) {
         Ok(()) => Some(path),
         Err(e) => {

@@ -1,0 +1,280 @@
+//! Adversarial fault-campaign driver.
+//!
+//! ```text
+//! campaign [--seeds N] [--start-seed S] [--quick] [--replay FILE]
+//! ```
+//!
+//! Sweeps `N` campaign seeds (default 100; `--quick` drops to 25 for CI
+//! smoke runs). Each seed deterministically expands into a fault scenario
+//! — arbitrary error kinds, two-phase-commit boundary strikes,
+//! mid-recovery double faults, simultaneous multi-node losses beyond the
+//! parity budget — which runs under the exact-memory oracle and is
+//! classified: `recovered` (oracle-verified), `unrecoverable` (typed,
+//! counted into availability), or `not-fired` (benign). A panic or an
+//! oracle mismatch is a campaign FAILURE: the scenario is greedily shrunk
+//! to a minimal repro, written as an inject-spec JSON next to the run
+//! artifacts, and the exit code is nonzero. Replay a spec with
+//! `campaign --replay FILE` or `simulate --inject-spec FILE`.
+//!
+//! The first unrecoverable scenario is also minimized (predicate: still
+//! classified unrecoverable) and its spec is verified by replay, so the
+//! beyond-budget degradation path always leaves a replayable witness.
+
+use std::path::PathBuf;
+
+use revive_bench::{banner, Opts, Table};
+use revive_core::OutcomeTally;
+use revive_machine::campaign::{generate, run_scenario, shrink_with, CampaignConfig, Scenario};
+use revive_machine::{RunMeta, ScenarioOutcome, ScenarioReport};
+use revive_sim::Ns;
+
+struct Args {
+    seeds: u64,
+    start_seed: u64,
+    replay: Option<String>,
+    opts: Opts,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: campaign [--seeds N] [--start-seed S] [--quick] [--replay FILE]");
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let opts = Opts::from_env();
+    let mut args = Args {
+        seeds: if opts.quick { 25 } else { 100 },
+        start_seed: 0,
+        replay: None,
+        opts,
+    };
+    let mut seeds_set = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = |it: &mut dyn Iterator<Item = String>| it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--seeds" => {
+                args.seeds = value(&mut it).parse().unwrap_or_else(|_| usage());
+                seeds_set = true;
+            }
+            "--start-seed" => args.start_seed = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--replay" => args.replay = Some(value(&mut it)),
+            "--quick" => {
+                if !seeds_set {
+                    args.seeds = 25;
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+    args
+}
+
+fn shape(sc: &Scenario) -> String {
+    format!("{}n/{}+1", sc.nodes, sc.group_data_pages)
+}
+
+/// Emits the scenario's run artifact (when the run produced one).
+fn emit_artifact(label: &str, report: &ScenarioReport) -> Option<PathBuf> {
+    let result = report.result.as_ref()?;
+    let sc = &report.scenario;
+    let cfg = sc.experiment();
+    let meta = RunMeta::from_config(label, &cfg)
+        .with_injections(&sc.plans(cfg.revive.ckpt.interval))
+        .with_campaign_seed(sc.seed);
+    revive_bench::artifacts::emit_with_meta(meta, result)
+}
+
+/// Writes an inject-spec JSON into the artifact directory (best effort,
+/// mirroring `artifacts::emit`).
+fn write_spec(name: &str, sc: &Scenario) -> Option<PathBuf> {
+    let dir = revive_bench::artifacts::dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::write(&path, sc.to_json()) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+fn replay(path: &str) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let sc = Scenario::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("bad inject spec {path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "replaying {path} (seed {}, {} faults)",
+        sc.seed,
+        sc.faults.len()
+    );
+    let report = run_scenario(&sc);
+    emit_artifact(&format!("replay_seed_{}", sc.seed), &report);
+    println!("outcome: {}", report.outcome);
+    std::process::exit(if report.is_failure() { 1 } else { 0 })
+}
+
+fn main() {
+    let a = parse_args();
+    revive_bench::artifacts::init("campaign");
+    if let Some(path) = a.replay.as_deref() {
+        replay(path);
+    }
+    banner(
+        "Adversarial fault campaign",
+        "ReVive (ISCA 2002) §3.1.2/§6.3 — recovery at any instant, graceful degradation beyond the budget",
+        a.opts,
+    );
+    println!(
+        "seeds {}..{} — every scenario must end recovered (oracle-verified) or classified unrecoverable; a panic is a failure\n",
+        a.start_seed,
+        a.start_seed + a.seeds
+    );
+
+    // The sweep expects zero panics; silence the default hook so an
+    // unexpected one (caught, classified, and reported as a failure)
+    // doesn't spray a backtrace through the table.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let gen_cfg = CampaignConfig::default();
+    let mut table = Table::new(["seed", "shape", "app", "faults", "outcome"]);
+    let mut tally = OutcomeTally::default();
+    let mut failures: Vec<ScenarioReport> = Vec::new();
+    let mut first_unrecoverable: Option<Scenario> = None;
+    for seed in a.start_seed..a.start_seed + a.seeds {
+        let sc = generate(seed, &gen_cfg);
+        let report = run_scenario(&sc);
+        emit_artifact(&format!("seed_{seed:04}"), &report);
+        match &report.outcome {
+            ScenarioOutcome::Recovered { unavailable, .. } => tally.record_recovered(*unavailable),
+            ScenarioOutcome::Unrecoverable { .. } => {
+                tally.record_unrecoverable();
+                if first_unrecoverable.is_none() {
+                    first_unrecoverable = Some(sc.clone());
+                }
+            }
+            ScenarioOutcome::NotFired => tally.record_not_fired(),
+            ScenarioOutcome::BadConfig { .. } | ScenarioOutcome::Panicked { .. } => {}
+        }
+        table.row([
+            seed.to_string(),
+            shape(&sc),
+            sc.app.name().to_string(),
+            sc.faults.len().to_string(),
+            report.outcome.to_string(),
+        ]);
+        if report.is_failure() {
+            failures.push(report);
+        }
+    }
+    std::panic::set_hook(default_hook);
+    table.print();
+
+    println!();
+    println!(
+        "classified: {} recovered, {} unrecoverable, {} not fired ({} scenarios)",
+        tally.recovered,
+        tally.unrecoverable,
+        tally.not_fired,
+        tally.scenarios()
+    );
+    if tally.scenarios() > 0 {
+        // One error per day (the paper's §6.3 availability framing): every
+        // recovered scenario costs its outage, every unrecoverable one
+        // costs the whole day.
+        let avail = tally.availability(Ns::from_secs(86_400));
+        let nines = if avail >= 1.0 {
+            "inf".to_string()
+        } else {
+            format!("{:.1}", -(1.0 - avail).log10())
+        };
+        println!("availability at one error/day: {avail:.9} ({nines} nines)");
+    }
+
+    // The beyond-budget degradation path must leave a replayable witness:
+    // minimize the first unrecoverable scenario and verify its spec
+    // round-trips to the same classification.
+    if let Some(sc) = first_unrecoverable {
+        println!();
+        println!(
+            "minimizing first unrecoverable scenario (seed {})...",
+            sc.seed
+        );
+        let min = shrink_with(
+            &sc,
+            |s| {
+                matches!(
+                    run_scenario(s).outcome,
+                    ScenarioOutcome::Unrecoverable { .. }
+                )
+            },
+            40,
+        );
+        if let Some(path) = write_spec(&format!("unrecoverable_min_seed_{}", sc.seed), &min) {
+            let parsed = Scenario::from_json(&std::fs::read_to_string(&path).expect("spec"))
+                .expect("spec parses");
+            let verdict = run_scenario(&parsed);
+            println!(
+                "  minimized to {} fault(s), ops {} — replay: {}",
+                min.faults.len(),
+                min.ops_per_cpu,
+                verdict.outcome
+            );
+            println!(
+                "  wrote {} (replay: campaign --replay {} | simulate --inject-spec {})",
+                path.display(),
+                path.display(),
+                path.display()
+            );
+            assert!(
+                matches!(verdict.outcome, ScenarioOutcome::Unrecoverable { .. }),
+                "minimized unrecoverable spec must replay to the same classification"
+            );
+        }
+    }
+
+    if !failures.is_empty() {
+        println!();
+        println!(
+            "{} FAILING scenario(s); shrinking to minimal repros...",
+            failures.len()
+        );
+        for report in &failures {
+            let seed = report.scenario.seed;
+            let min = shrink_with(&report.scenario, |s| run_scenario(s).is_failure(), 40);
+            let verdict = run_scenario(&min);
+            println!("  seed {seed}: {}", report.outcome);
+            println!(
+                "    minimized ({} fault(s), ops {}): {}",
+                min.faults.len(),
+                min.ops_per_cpu,
+                verdict.outcome
+            );
+            if let Some(path) = write_spec(&format!("repro_seed_{seed}"), &min) {
+                println!(
+                    "    wrote {} (replay: campaign --replay {} | simulate --inject-spec {})",
+                    path.display(),
+                    path.display(),
+                    path.display()
+                );
+            }
+        }
+        std::process::exit(1);
+    }
+    println!();
+    println!("campaign clean: no panics, no oracle mismatches, no unclassified outcomes");
+}

@@ -5,6 +5,7 @@
 //! simulate [--app NAME | --synthetic NAME] [--mode parity|mirroring|mixed|off]
 //!          [--group N] [--mirrored-frac F] [--interval-us N] [--ops N]
 //!          [--nodes N] [--seed N] [--inject node-loss:K | --inject transient]
+//!          [--inject-spec FILE | --inject-seed N]
 //!          [--lbit-cache N] [--verbose]
 //!          [--json PATH] [--trace-jsonl PATH] [--trace-chrome PATH]
 //! ```
@@ -16,7 +17,16 @@
 //! simulate --app ocean --inject node-loss:5
 //! simulate --synthetic ws-exceeds-l2 --mode mirroring
 //! simulate --app fft --json run.json --trace-chrome trace.json
+//! simulate --inject-seed 17
+//! simulate --inject-spec repro.json --json replay.json
 //! ```
+//!
+//! `--inject-spec` replays a complete fault scenario from an inject-spec
+//! JSON file (schema `revive-inject-spec`, as written by the `campaign`
+//! binary); `--inject-seed` generates the scenario from a campaign seed.
+//! Either one defines the whole experiment — machine shape, workload, op
+//! budget, and fault script — so the other workload/machine flags are
+//! ignored.
 //!
 //! `--json` writes the full machine-readable run artifact (schema
 //! `revive-run-artifact`: per-class traffic and latency histograms,
@@ -25,9 +35,10 @@
 //! at `chrome://tracing` or <https://ui.perfetto.dev>. Any of the three
 //! output flags switches full observability on (tracing + sampling).
 
+use revive_machine::campaign::{self, CampaignConfig, Scenario};
 use revive_machine::{
-    render_artifact, ErrorKind, ExperimentConfig, InjectionPlan, ObsConfig, ReviveConfig,
-    ReviveMode, RunMeta, Runner, TrafficClass, WorkloadSpec,
+    render_artifact, ErrorKind, ExperimentConfig, FaultOutcome, InjectionPlan, ObsConfig,
+    ReviveConfig, ReviveMode, RunMeta, Runner, TrafficClass, WorkloadSpec,
 };
 use revive_sim::time::Ns;
 use revive_sim::types::NodeId;
@@ -44,6 +55,8 @@ struct Args {
     nodes: Option<usize>,
     seed: u64,
     inject: Option<String>,
+    inject_spec: Option<String>,
+    inject_seed: Option<u64>,
     lbit_cache: Option<usize>,
     verbose: bool,
     json: Option<String>,
@@ -55,7 +68,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: simulate [--app NAME|--synthetic NAME] [--mode parity|mirroring|mixed|off]\n\
          \t[--group N] [--mirrored-frac F] [--interval-us N] [--ops N] [--nodes N]\n\
-         \t[--seed N] [--inject node-loss:K|transient] [--lbit-cache N] [--verbose]\n\
+         \t[--seed N] [--inject node-loss:K|transient] [--inject-spec FILE]\n\
+         \t[--inject-seed N] [--lbit-cache N] [--verbose]\n\
          \t[--json PATH] [--trace-jsonl PATH] [--trace-chrome PATH]\n\
          apps: {}\n\
          synthetics: {}",
@@ -76,6 +90,8 @@ fn parse_args() -> Args {
         nodes: None,
         seed: 2002,
         inject: None,
+        inject_spec: None,
+        inject_seed: None,
         lbit_cache: None,
         verbose: false,
         json: None,
@@ -114,6 +130,10 @@ fn parse_args() -> Args {
             "--nodes" => args.nodes = Some(value(&mut it).parse().unwrap_or_else(|_| usage())),
             "--seed" => args.seed = value(&mut it).parse().unwrap_or_else(|_| usage()),
             "--inject" => args.inject = Some(value(&mut it)),
+            "--inject-spec" => args.inject_spec = Some(value(&mut it)),
+            "--inject-seed" => {
+                args.inject_seed = Some(value(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
             "--lbit-cache" => {
                 args.lbit_cache = Some(value(&mut it).parse().unwrap_or_else(|_| usage()))
             }
@@ -131,34 +151,77 @@ fn parse_args() -> Args {
     args
 }
 
+fn load_scenario(a: &Args) -> Option<Scenario> {
+    if let Some(path) = a.inject_spec.as_deref() {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        return Some(Scenario::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("bad inject spec {path}: {e}");
+            std::process::exit(1);
+        }));
+    }
+    a.inject_seed
+        .map(|seed| campaign::generate(seed, &CampaignConfig::default()))
+}
+
 fn main() {
     let a = parse_args();
+    let scenario = load_scenario(&a);
     let interval = Ns(a.interval_us * 1_000);
-    let mut revive = ReviveConfig::parity(interval);
-    revive.mode = match a.mode.as_str() {
-        "off" => ReviveMode::Off,
-        "parity" => ReviveMode::Parity {
-            group_data_pages: a.group,
-        },
-        "mirroring" => ReviveMode::Mirroring,
-        "mixed" => ReviveMode::Mixed {
-            group_data_pages: a.group,
-            mirrored_fraction: a.mirrored_frac,
-        },
-        other => {
-            eprintln!("unknown mode: {other}");
-            usage()
+    let (cfg, plans) = if let Some(sc) = &scenario {
+        // The scenario defines the whole experiment; only the output and
+        // verbosity flags apply.
+        let cfg = sc.experiment();
+        let plans = sc.plans(cfg.revive.ckpt.interval);
+        (cfg, plans)
+    } else {
+        let mut revive = ReviveConfig::parity(interval);
+        revive.mode = match a.mode.as_str() {
+            "off" => ReviveMode::Off,
+            "parity" => ReviveMode::Parity {
+                group_data_pages: a.group,
+            },
+            "mirroring" => ReviveMode::Mirroring,
+            "mixed" => ReviveMode::Mixed {
+                group_data_pages: a.group,
+                mirrored_fraction: a.mirrored_frac,
+            },
+            other => {
+                eprintln!("unknown mode: {other}");
+                usage()
+            }
+        };
+        revive.lbit_dir_cache = a.lbit_cache;
+        revive.ckpt.retained = 3;
+        let mut cfg = ExperimentConfig::experiment(a.workload, revive);
+        cfg.ops_per_cpu = a.ops;
+        cfg.seed = a.seed;
+        if let Some(n) = a.nodes {
+            cfg.machine.nodes = n;
         }
+        cfg.shadow_checkpoints = a.inject.is_some();
+        let plans = match a.inject.as_deref() {
+            None => Vec::new(),
+            Some(spec) => {
+                let kind = if spec == "transient" {
+                    ErrorKind::CacheWipe
+                } else if let Some(node) = spec.strip_prefix("node-loss:") {
+                    ErrorKind::NodeLoss(NodeId(node.parse().unwrap_or_else(|_| usage())))
+                } else {
+                    eprintln!("unknown injection: {spec}");
+                    usage()
+                };
+                vec![InjectionPlan {
+                    kind,
+                    ..InjectionPlan::paper_worst_case(interval, NodeId(0))
+                }]
+            }
+        };
+        (cfg, plans)
     };
-    revive.lbit_dir_cache = a.lbit_cache;
-    revive.ckpt.retained = 3;
-    let mut cfg = ExperimentConfig::experiment(a.workload, revive);
-    cfg.ops_per_cpu = a.ops;
-    cfg.seed = a.seed;
-    if let Some(n) = a.nodes {
-        cfg.machine.nodes = n;
-    }
-    cfg.shadow_checkpoints = a.inject.is_some();
+    let mut cfg = cfg;
     if a.json.is_some() || a.trace_jsonl.is_some() || a.trace_chrome.is_some() {
         cfg.obs = ObsConfig::full();
     }
@@ -171,33 +234,20 @@ fn main() {
         }
     };
 
-    let result = match a.inject.as_deref() {
-        None => runner.run().expect("run"),
-        Some(spec) => {
-            let kind = if spec == "transient" {
-                ErrorKind::CacheWipe
-            } else if let Some(node) = spec.strip_prefix("node-loss:") {
-                ErrorKind::NodeLoss(NodeId(node.parse().unwrap_or_else(|_| usage())))
-            } else {
-                eprintln!("unknown injection: {spec}");
-                usage()
-            };
-            let plan = InjectionPlan {
-                kind,
-                ..InjectionPlan::paper_worst_case(interval, NodeId(0))
-            };
-            match runner.run_with_injection(plan) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("injection failed: {e}");
-                    std::process::exit(1);
-                }
+    let result = if plans.is_empty() {
+        runner.run().expect("run")
+    } else {
+        match runner.run_with_injections(&plans) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("injection failed: {e}");
+                std::process::exit(1);
             }
         }
     };
 
-    println!("workload        : {}", a.workload.name());
-    println!("mode            : {}", a.mode);
+    println!("workload        : {}", cfg.workload.name());
+    println!("mode            : {}", cfg.revive.mode.name());
     println!("sim time        : {}", result.sim_time);
     println!("events          : {}", result.events);
     println!(
@@ -244,8 +294,15 @@ fn main() {
         println!("wrote           : {path}");
     };
     if let Some(path) = a.json.as_deref() {
-        let label = format!("simulate_{}_{}", a.workload.name(), a.mode);
-        let meta = RunMeta::from_config(label, &cfg);
+        let label = format!(
+            "simulate_{}_{}",
+            cfg.workload.name(),
+            cfg.revive.mode.name()
+        );
+        let mut meta = RunMeta::from_config(label, &cfg).with_injections(&plans);
+        if let Some(sc) = &scenario {
+            meta = meta.with_campaign_seed(sc.seed);
+        }
         write_or_die(path, render_artifact(&meta, &result));
     }
     if let Some(path) = a.trace_jsonl.as_deref() {
@@ -253,6 +310,20 @@ fn main() {
     }
     if let Some(path) = a.trace_chrome.as_deref() {
         write_or_die(path, result.trace.to_chrome_trace(&result.spans));
+    }
+    if !result.outcomes.is_empty() {
+        println!("--- fault outcomes ---");
+        for (i, o) in result.outcomes.iter().enumerate() {
+            match o {
+                FaultOutcome::Recovered(r) => println!(
+                    "  fault {i}: recovered to checkpoint {} ({} unavailable)",
+                    r.target_interval, r.unavailable
+                ),
+                FaultOutcome::Unrecoverable { error, at } => {
+                    println!("  fault {i}: UNRECOVERABLE at {at}: {error}")
+                }
+            }
+        }
     }
     if let Some(rec) = result.recovery {
         println!("--- recovery ---");

@@ -66,6 +66,7 @@ fn main() {
                     detection_delay: Ns((interval.0 as f64 * 0.3) as u64),
                     kind,
                     phase,
+                    second: None,
                 };
                 let (result, diff) = injected_vs_golden(cfg, &[plan], &golden).expect("run");
                 revive_bench::artifacts::emit(

@@ -119,6 +119,78 @@ pub fn monte_carlo_availability(
     (((horizon_ns - down) / horizon_ns).max(0.0), errors)
 }
 
+/// Graceful-degradation accounting for a fault campaign: how many scenarios
+/// recovered, how many were classified unrecoverable, and what the measured
+/// outage time was. Unrecoverable scenarios are *counted* — the whole point
+/// of typed recovery errors is that a beyond-budget fault becomes a line in
+/// these statistics instead of a process abort.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    /// Scenarios where every injected fault was recovered.
+    pub recovered: u64,
+    /// Scenarios that ended in a classified unrecoverable outcome.
+    pub unrecoverable: u64,
+    /// Scenarios whose injection point was never reached (the run finished
+    /// first); they contribute uptime but no outage.
+    pub not_fired: u64,
+    /// Total unavailable time across recovered scenarios (lost work plus
+    /// recovery Phases 1–3, summed over every recovery).
+    pub unavailable_total: Ns,
+    /// The single worst per-scenario unavailable time observed.
+    pub unavailable_max: Ns,
+}
+
+impl OutcomeTally {
+    /// Records a scenario whose faults were all recovered, with its total
+    /// unavailable time.
+    pub fn record_recovered(&mut self, unavailable: Ns) {
+        self.recovered += 1;
+        self.unavailable_total += unavailable;
+        self.unavailable_max = self.unavailable_max.max(unavailable);
+    }
+
+    /// Records a scenario that ended unrecoverable.
+    pub fn record_unrecoverable(&mut self) {
+        self.unrecoverable += 1;
+    }
+
+    /// Records a scenario whose injection never fired.
+    pub fn record_not_fired(&mut self) {
+        self.not_fired += 1;
+    }
+
+    /// Total scenarios tallied.
+    pub fn scenarios(&self) -> u64 {
+        self.recovered + self.unrecoverable + self.not_fired
+    }
+
+    /// Measured availability when each scenario represents one error per
+    /// `horizon` of operation: recovered scenarios are down for their
+    /// unavailable time, unrecoverable ones for the whole horizon (the
+    /// machine is lost until repaired out-of-band). Returns 1.0 for an
+    /// empty tally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero, or shorter than the worst observed
+    /// outage (the model would go negative).
+    pub fn availability(&self, horizon: Ns) -> f64 {
+        assert!(horizon > Ns::ZERO, "horizon must be positive");
+        assert!(
+            horizon >= self.unavailable_max,
+            "horizon {horizon} is shorter than the worst outage {}",
+            self.unavailable_max
+        );
+        let n = self.scenarios();
+        if n == 0 {
+            return 1.0;
+        }
+        let total = horizon.0 as f64 * n as f64;
+        let down = self.unavailable_total.0 as f64 + horizon.0 as f64 * self.unrecoverable as f64;
+        ((total - down) / total).clamp(0.0, 1.0)
+    }
+}
+
 /// Renders an availability as "count of nines" (0.99999 → 5.0); useful for
 /// the paper's "better than 99.999 %" claims.
 pub fn nines(availability: f64) -> f64 {
@@ -214,5 +286,34 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_mtbe_panics() {
         paper_worst_case().availability_worst(Ns::ZERO);
+    }
+
+    #[test]
+    fn tally_counts_and_availability() {
+        let mut t = OutcomeTally::default();
+        assert_eq!(t.availability(Ns::from_secs(1)), 1.0);
+        t.record_recovered(Ns::from_ms(800));
+        t.record_recovered(Ns::from_ms(200));
+        t.record_not_fired();
+        assert_eq!(t.scenarios(), 3);
+        assert_eq!(t.unavailable_total, Ns::from_ms(1000));
+        assert_eq!(t.unavailable_max, Ns::from_ms(800));
+        // 1 s down over 3 days of modeled operation.
+        let day = Ns::from_secs(86_400);
+        let a = t.availability(day);
+        assert!((a - (1.0 - 1.0 / (3.0 * 86_400.0))).abs() < 1e-12);
+        // An unrecoverable scenario costs a full horizon of downtime.
+        t.record_unrecoverable();
+        let a2 = t.availability(day);
+        assert!(a2 < 0.76, "availability {a2}");
+        assert!(a2 > 0.74, "availability {a2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the worst outage")]
+    fn tally_rejects_too_short_horizon() {
+        let mut t = OutcomeTally::default();
+        t.record_recovered(Ns::from_secs(2));
+        let _ = t.availability(Ns::from_secs(1));
     }
 }

@@ -46,11 +46,11 @@ pub mod parity;
 pub mod recovery;
 pub mod validate;
 
-pub use availability::{monte_carlo_availability, nines, AvailabilityModel};
+pub use availability::{monte_carlo_availability, nines, AvailabilityModel, OutcomeTally};
 pub use checkpoint::{CheckpointConfig, CkptPhase, CkptStats, CkptTimeline};
 pub use dirext::{CostStats, OutMsg, ReviveHook};
 pub use lbits::LBits;
 pub use log::{MemLog, ReplayEntry};
 pub use parity::{ParityAck, ParityMap, ParityUpdate};
-pub use recovery::{recover, RecoveryInput, RecoveryReport, RecoveryTiming};
+pub use recovery::{recover, RecoveryError, RecoveryInput, RecoveryReport, RecoveryTiming};
 pub use validate::{audit_parity, LogDivergence, MemoryDiff, MemoryImage, ParityAudit, ShadowLog};

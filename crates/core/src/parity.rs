@@ -179,13 +179,19 @@ impl ParityMap {
     ///
     /// Panics if `page` is itself a parity page.
     pub fn parity_page_of(&self, page: PageAddr) -> PageAddr {
-        assert!(
-            !self.is_parity_page(page),
-            "{page} is a parity page, it has no parity of its own"
-        );
+        self.try_parity_page_of(page)
+            .unwrap_or_else(|| panic!("{page} is a parity page, it has no parity of its own"))
+    }
+
+    /// Non-panicking [`ParityMap::parity_page_of`]: `None` when `page` is
+    /// itself a parity page.
+    pub fn try_parity_page_of(&self, page: PageAddr) -> Option<PageAddr> {
+        if self.is_parity_page(page) {
+            return None;
+        }
         let node = self.map.home_of_page(page);
         let stripe = self.stripe_of(page);
-        self.map.global_page(self.parity_node(node, stripe), stripe)
+        Some(self.map.global_page(self.parity_node(node, stripe), stripe))
     }
 
     /// The parity line protecting a data line (same offset within the page).
@@ -204,16 +210,50 @@ impl ParityMap {
     ///
     /// Panics if `parity` is not a parity page.
     pub fn data_pages_of(&self, parity: PageAddr) -> Vec<PageAddr> {
-        assert!(self.is_parity_page(parity), "{parity} is not a parity page");
+        self.try_data_pages_of(parity)
+            .unwrap_or_else(|| panic!("{parity} is not a parity page"))
+    }
+
+    /// Non-panicking [`ParityMap::data_pages_of`]: `None` when `parity` is
+    /// not a parity page.
+    pub fn try_data_pages_of(&self, parity: PageAddr) -> Option<Vec<PageAddr>> {
+        if !self.is_parity_page(parity) {
+            return None;
+        }
         let node = self.map.home_of_page(parity);
         let stripe = self.stripe_of(parity);
         let chunk = self.chunk_size_at(stripe);
         let chunk_start = self.chunk_of(node, stripe) * chunk;
-        (chunk_start..chunk_start + chunk)
-            .map(NodeId::from)
-            .filter(|&n| n != node)
-            .map(|n| self.map.global_page(n, stripe))
-            .collect()
+        Some(
+            (chunk_start..chunk_start + chunk)
+                .map(NodeId::from)
+                .filter(|&n| n != node)
+                .map(|n| self.map.global_page(n, stripe))
+                .collect(),
+        )
+    }
+
+    /// N+1 parity reconstructs at most one missing member per group. When
+    /// `lost` nodes fail *simultaneously*, any group with two or more member
+    /// pages on lost nodes is unrecoverable; this returns the first such
+    /// group, or `None` when the loss is within the parity budget. Groups
+    /// never span chunks, so two lost nodes overwhelm a group iff they share
+    /// a chunk at some stripe (in a mixed layout the mirrored and parity
+    /// regions chunk differently, so every stripe is checked).
+    pub fn overwhelmed_group(&self, lost: &[NodeId]) -> Option<ParityGroup> {
+        for (i, &a) in lost.iter().enumerate() {
+            for &b in &lost[i + 1..] {
+                if a == b {
+                    continue;
+                }
+                for stripe in 0..self.map.pages_per_node() {
+                    if self.chunk_of(a, stripe) == self.chunk_of(b, stripe) {
+                        return Some(self.group_of(self.map.global_page(a, stripe)));
+                    }
+                }
+            }
+        }
+        None
     }
 
     /// The full group (data pages + parity page) containing `page`.
@@ -476,6 +516,53 @@ mod tests {
     fn mixed_stripe_bound_checked() {
         let map = AddressMap::new(8, 4 * PAGE_SIZE as u64);
         let _ = ParityMap::mixed(map, 3, 5);
+    }
+
+    #[test]
+    fn try_variants_refuse_instead_of_panicking() {
+        let pm = setup(8, 16, 3);
+        let map = *pm.address_map();
+        let data = map
+            .pages_of(NodeId(1))
+            .find(|&p| !pm.is_parity_page(p))
+            .unwrap();
+        let parity = pm.parity_page_of(data);
+        assert_eq!(pm.try_parity_page_of(data), Some(parity));
+        assert_eq!(pm.try_parity_page_of(parity), None);
+        assert_eq!(pm.try_data_pages_of(parity), Some(pm.data_pages_of(parity)));
+        assert_eq!(pm.try_data_pages_of(data), None);
+    }
+
+    #[test]
+    fn budget_allows_cross_chunk_losses_only() {
+        // 8 nodes, 3+1 parity: chunks {0..3} and {4..7}.
+        let pm = setup(8, 16, 3);
+        assert_eq!(pm.overwhelmed_group(&[]), None);
+        assert_eq!(pm.overwhelmed_group(&[NodeId(2)]), None);
+        // Different chunks: every group loses at most one member.
+        assert_eq!(pm.overwhelmed_group(&[NodeId(1), NodeId(5)]), None);
+        // Same chunk: some group loses two members.
+        let g = pm.overwhelmed_group(&[NodeId(1), NodeId(2)]).unwrap();
+        let map = *pm.address_map();
+        let lost_members = std::iter::once(g.parity)
+            .chain(g.data.iter().copied())
+            .filter(|&p| matches!(map.home_of_page(p), NodeId(1) | NodeId(2)))
+            .count();
+        assert_eq!(lost_members, 2);
+        // Duplicate entries are one loss, not two.
+        assert_eq!(pm.overwhelmed_group(&[NodeId(3), NodeId(3)]), None);
+    }
+
+    #[test]
+    fn budget_respects_mixed_layout_chunking() {
+        // Mirrored stripes pair nodes (0,1)(2,3)...; the parity region
+        // chunks {0..3}{4..7}. Nodes 1 and 2 share a parity-region chunk but
+        // no mirror pair; nodes 0 and 1 share both.
+        let map = AddressMap::new(8, 16 * PAGE_SIZE as u64);
+        let pm = ParityMap::mixed(map, 3, 4);
+        assert!(pm.overwhelmed_group(&[NodeId(1), NodeId(2)]).is_some());
+        assert!(pm.overwhelmed_group(&[NodeId(0), NodeId(1)]).is_some());
+        assert_eq!(pm.overwhelmed_group(&[NodeId(1), NodeId(6)]), None);
     }
 
     #[test]

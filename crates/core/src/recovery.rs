@@ -78,9 +78,68 @@ pub struct RecoveryInput<'a> {
     /// Roll back to the state at the establishment of this checkpoint
     /// interval.
     pub target_interval: u64,
-    /// The node whose memory was lost, if any.
-    pub lost: Option<NodeId>,
+    /// The nodes whose memories were lost *simultaneously* (empty for
+    /// transient errors). Duplicates are tolerated and count once.
+    pub lost: &'a [NodeId],
 }
+
+/// Why recovery refused to run. These are *classified outcomes*, not bugs:
+/// the machine reports the fault as unrecoverable (a detected-unrecoverable
+/// error in the paper's Section 3.1.2 taxonomy) and the campaign counts it
+/// in the availability statistics instead of aborting the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// Two or more simultaneously lost nodes share a parity group: N+1
+    /// parity reconstructs at most one missing member per group, so the
+    /// group's data is gone.
+    BeyondParityBudget {
+        /// The nodes lost together.
+        lost: Vec<NodeId>,
+        /// The parity page of a group with at least two lost members.
+        group_parity: PageAddr,
+    },
+    /// A node was reported lost but its memory is intact — the damage report
+    /// and the machine state disagree, and reconstructing over live data
+    /// would corrupt it.
+    LostNodeIntact {
+        /// The allegedly lost node.
+        node: NodeId,
+    },
+    /// A reported lost node does not exist in this machine.
+    UnknownNode {
+        /// The bogus node.
+        node: NodeId,
+        /// How many nodes the machine has.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::BeyondParityBudget { lost, group_parity } => {
+                let names: Vec<String> = lost.iter().map(NodeId::to_string).collect();
+                write!(
+                    f,
+                    "losing nodes {{{}}} exceeds the parity budget: the group of parity page \
+                     {group_parity} has at least two lost members",
+                    names.join(", ")
+                )
+            }
+            RecoveryError::LostNodeIntact { node } => {
+                write!(f, "node {node} was reported lost but its memory is intact")
+            }
+            RecoveryError::UnknownNode { node, nodes } => {
+                write!(
+                    f,
+                    "lost node {node} does not exist (machine has {nodes} nodes)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
 
 /// What recovery did and how long each phase took (Figures 7 and 12).
 #[derive(Clone, Copy, Debug, Default)]
@@ -177,11 +236,16 @@ fn recompute_parity(mems: &mut [NodeMemory], parity: &ParityMap, parity_page: Pa
 /// caches, resetting directories, and restarting the ReVive hooks for a
 /// fresh interval afterwards.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the lost node's memory was not marked lost, or on internal
-/// inconsistencies (a parity group with two members on one node, etc.).
-pub fn recover(input: RecoveryInput<'_>, timing: &RecoveryTiming) -> RecoveryReport {
+/// Returns a [`RecoveryError`] — without touching any memory — when the
+/// reported loss cannot be recovered from: a lost node that does not exist
+/// or is not actually lost, or simultaneous losses that overwhelm a parity
+/// group (beyond the N+1 budget).
+pub fn recover(
+    input: RecoveryInput<'_>,
+    timing: &RecoveryTiming,
+) -> Result<RecoveryReport, RecoveryError> {
     let RecoveryInput {
         memories,
         logs,
@@ -190,6 +254,30 @@ pub fn recover(input: RecoveryInput<'_>, timing: &RecoveryTiming) -> RecoveryRep
         lost,
     } = input;
     let map = *parity.address_map();
+    // Validate the damage report before mutating anything, so an
+    // unrecoverable loss is classified rather than half-reconstructed.
+    let mut lost_nodes: Vec<NodeId> = Vec::new();
+    for &l in lost {
+        if l.index() >= memories.len() {
+            return Err(RecoveryError::UnknownNode {
+                node: l,
+                nodes: memories.len(),
+            });
+        }
+        if !memories[l.index()].is_lost() {
+            return Err(RecoveryError::LostNodeIntact { node: l });
+        }
+        if !lost_nodes.contains(&l) {
+            lost_nodes.push(l);
+        }
+    }
+    let lost = &lost_nodes[..];
+    if let Some(group) = parity.overwhelmed_group(lost) {
+        return Err(RecoveryError::BeyondParityBudget {
+            lost: lost.to_vec(),
+            group_parity: group.parity,
+        });
+    }
     let mut report = RecoveryReport {
         phase1: timing.hw_recovery,
         ..RecoveryReport::default()
@@ -199,12 +287,10 @@ pub fn recover(input: RecoveryInput<'_>, timing: &RecoveryTiming) -> RecoveryRep
     // (it was lost) and must be recomputed in Phase 4.
     let mut stale_parity: HashSet<PageAddr> = HashSet::new();
 
-    // ---- Phase 2: reconstruct the lost node's log pages. ----
-    if let Some(l) = lost {
-        assert!(
-            memories[l.index()].is_lost(),
-            "lost node {l} memory was not destroyed"
-        );
+    // ---- Phase 2: reconstruct the lost nodes' log pages. (Within the
+    // budget every rebuild source is intact: no two lost nodes share a
+    // chunk, so node order does not matter.) ----
+    for &l in lost {
         memories[l.index()].reconstruct_blank();
         let log_pages: HashSet<PageAddr> = logs[l.index()]
             .slot_lines()
@@ -232,7 +318,7 @@ pub fn recover(input: RecoveryInput<'_>, timing: &RecoveryTiming) -> RecoveryRep
                 "log entries restore lines homed on their own node"
             );
             let page = e.line.page();
-            if lost == Some(node) && !rebuilt.contains(&page) {
+            if lost.contains(&node) && !rebuilt.contains(&page) {
                 // Rebuild on demand: the rest of the page holds unmodified
                 // checkpoint data that only parity can supply.
                 rebuild_page(memories, parity, page);
@@ -246,7 +332,7 @@ pub fn recover(input: RecoveryInput<'_>, timing: &RecoveryTiming) -> RecoveryRep
             // hardware would; skip (and mark stale) when the parity page
             // died with the lost node.
             let ppage = parity.parity_page_of(page);
-            if lost == Some(map.home_of_page(ppage)) && !rebuilt.contains(&ppage) {
+            if lost.contains(&map.home_of_page(ppage)) && !rebuilt.contains(&ppage) {
                 stale_parity.insert(ppage);
             } else {
                 let pline = parity.parity_line_of(e.line);
@@ -262,7 +348,7 @@ pub fn recover(input: RecoveryInput<'_>, timing: &RecoveryTiming) -> RecoveryRep
     report.phase3 = max_node_time;
 
     // ---- Phase 4: background reconstruction of everything still missing. ----
-    if let Some(l) = lost {
+    for &l in lost {
         for page in map.pages_of(l) {
             if rebuilt.contains(&page) {
                 continue;
@@ -284,7 +370,7 @@ pub fn recover(input: RecoveryInput<'_>, timing: &RecoveryTiming) -> RecoveryRep
     let bg_workers = (timing.workers / 2).max(1) as u64;
     report.phase4 = timing.page_rebuild * report.pages_rebuilt_background.div_ceil(bg_workers);
 
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -293,9 +379,10 @@ mod tests {
     use revive_coherence::port::MemPort;
     use revive_mem::addr::PAGE_SIZE;
 
-    /// A tiny machine: 4 nodes × 4 pages, 3+1 parity, log in each node's
+    /// A tiny machine: `nodes` × 4 pages, G+1 parity, log in each node's
     /// last data page.
     struct World {
+        nodes: usize,
         memories: Vec<NodeMemory>,
         logs: Vec<MemLog>,
         parity: ParityMap,
@@ -318,11 +405,15 @@ mod tests {
 
     impl World {
         fn new() -> World {
-            let map = AddressMap::new(4, 4 * PAGE_SIZE as u64);
-            let parity = ParityMap::new(map, 3);
+            World::with(4, 3)
+        }
+
+        fn with(nodes: usize, group_data_pages: usize) -> World {
+            let map = AddressMap::new(nodes, 4 * PAGE_SIZE as u64);
+            let parity = ParityMap::new(map, group_data_pages);
             let memories: Vec<NodeMemory> =
-                (0..4).map(|_| NodeMemory::new(4 * PAGE_SIZE)).collect();
-            let logs: Vec<MemLog> = (0..4)
+                (0..nodes).map(|_| NodeMemory::new(4 * PAGE_SIZE)).collect();
+            let logs: Vec<MemLog> = (0..nodes)
                 .map(|n| {
                     let node = NodeId::from(n);
                     // Pick the node's highest-stripe data page for the log.
@@ -335,6 +426,7 @@ mod tests {
                 })
                 .collect();
             World {
+                nodes,
                 memories,
                 logs,
                 parity,
@@ -388,7 +480,7 @@ mod tests {
 
         fn check_all_parity(&self) {
             let map = self.map();
-            for node in NodeId::all(4) {
+            for node in NodeId::all(self.nodes) {
                 for page in map.pages_of(node) {
                     if self.parity.is_parity_page(page) {
                         continue;
@@ -430,10 +522,11 @@ mod tests {
                 logs: &w.logs.iter().collect::<Vec<_>>(),
                 parity: &w.parity,
                 target_interval: 1,
-                lost: None,
+                lost: &[],
             },
             &timing,
-        );
+        )
+        .unwrap();
         assert_eq!(report.entries_replayed, 2);
         assert_eq!(report.phase2, Ns::ZERO);
         let map = w.map();
@@ -488,10 +581,11 @@ mod tests {
                 logs: &w.logs.iter().collect::<Vec<_>>(),
                 parity: &w.parity,
                 target_interval: 1,
-                lost: Some(NodeId(2)),
+                lost: &[NodeId(2)],
             },
             &timing,
-        );
+        )
+        .unwrap();
         assert!(report.log_pages_rebuilt > 0);
         assert_eq!(report.entries_replayed, 4);
         assert!(report.unavailable() > report.phase1);
@@ -539,12 +633,136 @@ mod tests {
                 logs: &w.logs.iter().collect::<Vec<_>>(),
                 parity: &w.parity,
                 target_interval: 1,
-                lost: Some(pnode),
+                lost: &[pnode],
             },
             &RecoveryTiming::derive(3, 3),
-        );
+        )
+        .unwrap();
         assert_eq!(read_global(&w.memories, &map, line), LineData::fill(0xAA));
         w.check_all_parity();
+    }
+
+    #[test]
+    fn double_loss_in_different_chunks_recovers() {
+        // 8 nodes, 3+1 parity: chunks {0..3} and {4..7}. Losing one node
+        // from each chunk costs every group at most one member, so both
+        // nodes reconstruct.
+        let mut w = World::with(8, 3);
+        let lines: Vec<LineAddr> = (0..8).map(|n| w.app_line(n)).collect();
+        for (i, &l) in lines.iter().enumerate() {
+            w.logged_write(0, l, LineData::fill(0x30 + i as u8));
+        }
+        let reference = w.snapshot();
+        for (i, &l) in lines.iter().enumerate() {
+            w.logged_write(1, l, LineData::fill(0x40 + i as u8));
+        }
+        w.check_all_parity();
+        w.memories[1].destroy();
+        w.memories[5].destroy();
+        let report = recover(
+            RecoveryInput {
+                memories: &mut w.memories,
+                logs: &w.logs.iter().collect::<Vec<_>>(),
+                parity: &w.parity,
+                target_interval: 1,
+                lost: &[NodeId(1), NodeId(5)],
+            },
+            &RecoveryTiming::derive(3, 6),
+        )
+        .unwrap();
+        assert!(report.log_pages_rebuilt >= 2, "both logs rebuilt");
+        let map = w.map();
+        for (i, &l) in lines.iter().enumerate() {
+            assert_eq!(
+                read_global(&w.memories, &map, l),
+                LineData::fill(0x30 + i as u8),
+                "line {l}"
+            );
+        }
+        // Both lost nodes restored byte-exact (outside their log pages).
+        for lost in [1usize, 5] {
+            let log_pages: HashSet<PageAddr> =
+                w.logs[lost].slot_lines().iter().map(|s| s.page()).collect();
+            for page in map.pages_of(NodeId::from(lost)) {
+                if log_pages.contains(&page) || w.parity.is_parity_page(page) {
+                    continue;
+                }
+                for l in page.lines() {
+                    let got = read_global(&w.memories, &map, l);
+                    let off = (map.local_line_index(l) * 64) as usize;
+                    let want: [u8; 64] = reference[lost][off..off + 64].try_into().unwrap();
+                    assert_eq!(got, LineData::from(want), "lost-node line {l}");
+                }
+            }
+        }
+        w.check_all_parity();
+    }
+
+    #[test]
+    fn double_loss_in_one_chunk_is_beyond_budget() {
+        // 4 nodes, 3+1 parity: a single chunk. Any two losses overwhelm
+        // every group — the engine must classify, not panic, and must not
+        // have touched the memories.
+        let mut w = World::new();
+        let line = w.app_line(0);
+        w.logged_write(0, line, LineData::fill(0x55));
+        w.memories[1].destroy();
+        w.memories[2].destroy();
+        let err = recover(
+            RecoveryInput {
+                memories: &mut w.memories,
+                logs: &w.logs.iter().collect::<Vec<_>>(),
+                parity: &w.parity,
+                target_interval: 1,
+                lost: &[NodeId(1), NodeId(2)],
+            },
+            &RecoveryTiming::derive(3, 2),
+        )
+        .unwrap_err();
+        match err {
+            RecoveryError::BeyondParityBudget { ref lost, .. } => {
+                assert_eq!(lost, &[NodeId(1), NodeId(2)]);
+            }
+            other => panic!("expected BeyondParityBudget, got {other:?}"),
+        }
+        // The memories were left untouched: still marked lost.
+        assert!(w.memories[1].is_lost());
+        assert!(w.memories[2].is_lost());
+    }
+
+    #[test]
+    fn bogus_damage_reports_are_classified() {
+        let mut w = World::new();
+        let intact = recover(
+            RecoveryInput {
+                memories: &mut w.memories,
+                logs: &w.logs.iter().collect::<Vec<_>>(),
+                parity: &w.parity,
+                target_interval: 1,
+                lost: &[NodeId(2)],
+            },
+            &RecoveryTiming::derive(3, 3),
+        )
+        .unwrap_err();
+        assert_eq!(intact, RecoveryError::LostNodeIntact { node: NodeId(2) });
+        let unknown = recover(
+            RecoveryInput {
+                memories: &mut w.memories,
+                logs: &w.logs.iter().collect::<Vec<_>>(),
+                parity: &w.parity,
+                target_interval: 1,
+                lost: &[NodeId(99)],
+            },
+            &RecoveryTiming::derive(3, 3),
+        )
+        .unwrap_err();
+        assert_eq!(
+            unknown,
+            RecoveryError::UnknownNode {
+                node: NodeId(99),
+                nodes: 4
+            }
+        );
     }
 
     #[test]

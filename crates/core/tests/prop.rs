@@ -185,6 +185,7 @@ impl MiniWorld {
         if let Some(l) = lost {
             self.memories[l].destroy();
         }
+        let lost_nodes: Vec<NodeId> = lost.map(NodeId::from).into_iter().collect();
         let logs: Vec<&MemLog> = self.logs.iter().collect();
         let timing = revive_core::recovery::RecoveryTiming::derive(3, 3);
         revive_core::recovery::recover(
@@ -193,10 +194,11 @@ impl MiniWorld {
                 logs: &logs,
                 parity: &self.parity,
                 target_interval: target,
-                lost: lost.map(NodeId::from),
+                lost: &lost_nodes,
             },
             &timing,
-        );
+        )
+        .expect("within-budget recovery");
     }
 }
 

@@ -1,0 +1,763 @@
+//! Seed-driven adversarial fault-campaign engine.
+//!
+//! One 64-bit seed deterministically expands into a complete fault
+//! scenario: machine shape, workload corner, and a sequence of scripted
+//! faults that may strike mid-logging, exactly on a two-phase-commit
+//! boundary, or while a previous recovery is still running — including
+//! simultaneous multi-node losses beyond the parity budget. Each scenario
+//! is executed under the differential oracle and classified into a
+//! [`ScenarioOutcome`]; scenarios whose outcome is a genuine failure
+//! (a panic, an oracle mismatch, a failed shadow verification) can be
+//! [`shrink`]-minimized to the smallest scenario that still reproduces.
+//!
+//! The contract this module enforces is graceful degradation: every
+//! scenario — however adversarial — ends in either
+//! [`ScenarioOutcome::Recovered`] (oracle-verified) or
+//! [`ScenarioOutcome::Unrecoverable`] (a typed, classified refusal).
+//! A panic is always a bug, and the campaign treats it as one.
+
+use revive_sim::{DetRng, NodeId, Ns};
+use revive_workloads::{AppId, SyntheticKind};
+
+use crate::config::{ExperimentConfig, MachineError, ReviveMode, WorkloadSpec};
+use crate::differential::injected_vs_golden;
+use crate::report::{parse_json, Json};
+use crate::runner::{
+    CommitPoint, ErrorKind, FaultOutcome, InjectPhase, InjectionPlan, NodeSet, RunResult, Runner,
+};
+
+/// Schema identifier for serialized scenarios (inject specs).
+pub const SPEC_SCHEMA: &str = "revive-inject-spec";
+/// Current inject-spec schema version.
+pub const SPEC_VERSION: u64 = 1;
+
+/// Knobs for the scenario generator.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Maximum number of sequential faults per scenario (each scenario
+    /// draws 1..=max_faults).
+    pub max_faults: usize,
+    /// Maximum number of nodes a single simultaneous multi-node loss may
+    /// take (clamped to at least 2 and at most the machine size).
+    pub max_simultaneous: usize,
+    /// Op budget per CPU for generated scenarios.
+    pub ops_per_cpu: u64,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            max_faults: 2,
+            max_simultaneous: 3,
+            ops_per_cpu: 60_000,
+        }
+    }
+}
+
+/// One scripted fault within a scenario. Timing is expressed in
+/// checkpoint-relative units so a scenario is meaningful independent of
+/// the configured interval.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Fire after this many checkpoints commit (counted from the previous
+    /// fault's recovery, or the run's start).
+    pub after_checkpoint: u64,
+    /// …plus this fraction of a checkpoint interval (ignored by the
+    /// commit-window/commit-edge phases).
+    pub interval_fraction: f64,
+    /// Detection latency as a fraction of the checkpoint interval.
+    pub detection_fraction: f64,
+    /// The error class.
+    pub kind: ErrorKind,
+    /// Where in the checkpoint lifecycle the error strikes.
+    pub phase: InjectPhase,
+    /// A second fault striking mid-recovery (only with
+    /// [`InjectPhase::DuringRecovery`]).
+    pub second: Option<ErrorKind>,
+}
+
+/// A complete, self-describing fault scenario: everything needed to
+/// replay it bit-for-bit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// The campaign seed this scenario was generated from (kept for
+    /// provenance; replay does not re-derive from it).
+    pub seed: u64,
+    /// The workload corner (restricted to the private-region synthetics
+    /// the exact-memory oracle is valid for).
+    pub app: SyntheticKind,
+    /// Machine size (must be a perfect square for the torus).
+    pub nodes: usize,
+    /// Data pages per parity group (chunk `G+1` must divide `nodes`).
+    pub group_data_pages: usize,
+    /// Op budget per CPU.
+    pub ops_per_cpu: u64,
+    /// The scripted faults, in injection order.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl Scenario {
+    /// The experiment configuration this scenario runs against.
+    pub fn experiment(&self) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::test_small(AppId::Lu);
+        cfg.machine.nodes = self.nodes;
+        cfg.revive.mode = ReviveMode::Parity {
+            group_data_pages: self.group_data_pages,
+        };
+        cfg.workload = WorkloadSpec::Synthetic(self.app);
+        cfg.ops_per_cpu = self.ops_per_cpu;
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// The scenario's faults as concrete injection plans at `interval`.
+    pub fn plans(&self, interval: Ns) -> Vec<InjectionPlan> {
+        self.faults
+            .iter()
+            .map(|f| InjectionPlan {
+                after_checkpoint: f.after_checkpoint,
+                interval_fraction: f.interval_fraction,
+                detection_delay: Ns((interval.0 as f64 * f.detection_fraction) as u64),
+                kind: f.kind,
+                phase: f.phase,
+                second: f.second,
+            })
+            .collect()
+    }
+
+    /// Serializes the scenario as a deterministic inject-spec JSON
+    /// document (schema [`SPEC_SCHEMA`] v[`SPEC_VERSION`]).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema\": \"{SPEC_SCHEMA}\",\n"));
+        s.push_str(&format!("  \"version\": {SPEC_VERSION},\n"));
+        s.push_str(&format!("  \"seed\": {},\n", self.seed));
+        s.push_str(&format!("  \"app\": \"{}\",\n", self.app.name()));
+        s.push_str(&format!("  \"nodes\": {},\n", self.nodes));
+        s.push_str(&format!(
+            "  \"group_data_pages\": {},\n",
+            self.group_data_pages
+        ));
+        s.push_str(&format!("  \"ops_per_cpu\": {},\n", self.ops_per_cpu));
+        s.push_str("  \"faults\": [\n");
+        for (i, f) in self.faults.iter().enumerate() {
+            let second = match f.second {
+                Some(k) => kind_json(k),
+                None => "null".into(),
+            };
+            s.push_str(&format!(
+                "    {{\"after_checkpoint\": {}, \"interval_fraction\": {}, \
+                 \"detection_fraction\": {}, \"kind\": {}, \"phase\": \"{}\", \
+                 \"second\": {}}}{}\n",
+                f.after_checkpoint,
+                f.interval_fraction,
+                f.detection_fraction,
+                kind_json(f.kind),
+                f.phase.name(),
+                second,
+                if i + 1 < self.faults.len() { "," } else { "" },
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses an inject-spec JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural problem found.
+    pub fn from_json(text: &str) -> Result<Scenario, String> {
+        let v = parse_json(text)?;
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing \"schema\"")?;
+        if schema != SPEC_SCHEMA {
+            return Err(format!("not an inject spec: schema {schema:?}"));
+        }
+        let version = field_num(&v, "version")? as u64;
+        if version != SPEC_VERSION {
+            return Err(format!(
+                "inject-spec version {version} (this build reads {SPEC_VERSION})"
+            ));
+        }
+        let app_name = v
+            .get("app")
+            .and_then(Json::as_str)
+            .ok_or("missing \"app\"")?;
+        let app = SyntheticKind::ALL
+            .into_iter()
+            .find(|k| k.name() == app_name)
+            .ok_or_else(|| format!("unknown app {app_name:?}"))?;
+        let faults = v
+            .get("faults")
+            .and_then(Json::as_arr)
+            .ok_or("missing \"faults\" array")?
+            .iter()
+            .map(fault_from_json)
+            .collect::<Result<Vec<FaultSpec>, String>>()?;
+        if faults.is_empty() {
+            return Err("a scenario needs at least one fault".into());
+        }
+        Ok(Scenario {
+            seed: field_num(&v, "seed")? as u64,
+            app,
+            nodes: field_num(&v, "nodes")? as usize,
+            group_data_pages: field_num(&v, "group_data_pages")? as usize,
+            ops_per_cpu: field_num(&v, "ops_per_cpu")? as u64,
+            faults,
+        })
+    }
+}
+
+fn field_num(v: &Json, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn kind_json(kind: ErrorKind) -> String {
+    let nodes: Vec<String> = kind
+        .lost_nodes()
+        .iter()
+        .map(|n| n.index().to_string())
+        .collect();
+    format!(
+        "{{\"kind\": \"{}\", \"nodes\": [{}]}}",
+        kind.name(),
+        nodes.join(", ")
+    )
+}
+
+fn kind_from_json(v: &Json) -> Result<ErrorKind, String> {
+    let name = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("fault kind missing \"kind\"")?;
+    let nodes: Vec<NodeId> = v
+        .get("nodes")
+        .and_then(Json::as_arr)
+        .ok_or("fault kind missing \"nodes\"")?
+        .iter()
+        .map(|n| {
+            n.as_num()
+                .map(|x| NodeId::from(x as usize))
+                .ok_or_else(|| "non-numeric node index".to_string())
+        })
+        .collect::<Result<Vec<NodeId>, String>>()?;
+    match name {
+        "node-loss" => match nodes.as_slice() {
+            [n] => Ok(ErrorKind::NodeLoss(*n)),
+            _ => Err("node-loss takes exactly one node".into()),
+        },
+        "multi-node-loss" => {
+            if nodes.is_empty() {
+                return Err("multi-node-loss needs at least one node".into());
+            }
+            Ok(ErrorKind::MultiNodeLoss(NodeSet::from_nodes(&nodes)))
+        }
+        "cache-wipe" => Ok(ErrorKind::CacheWipe),
+        "directory-corrupt" => Ok(ErrorKind::DirectoryCorrupt),
+        other => Err(format!("unknown error kind {other:?}")),
+    }
+}
+
+fn phase_from_name(name: &str) -> Result<InjectPhase, String> {
+    match name {
+        "mid-logging" => Ok(InjectPhase::MidLogging),
+        "commit-window" => Ok(InjectPhase::CommitWindow),
+        "during-recovery" => Ok(InjectPhase::DuringRecovery),
+        "commit-after-barrier1" => Ok(InjectPhase::CommitEdge(CommitPoint::AfterBarrier1)),
+        "commit-after-mark" => Ok(InjectPhase::CommitEdge(CommitPoint::AfterMark)),
+        "commit-after-commit" => Ok(InjectPhase::CommitEdge(CommitPoint::AfterCommit)),
+        other => Err(format!("unknown inject phase {other:?}")),
+    }
+}
+
+fn fault_from_json(v: &Json) -> Result<FaultSpec, String> {
+    let phase = phase_from_name(
+        v.get("phase")
+            .and_then(Json::as_str)
+            .ok_or("fault missing \"phase\"")?,
+    )?;
+    let second = match v.get("second") {
+        None | Some(Json::Null) => None,
+        Some(k) => Some(kind_from_json(k)?),
+    };
+    Ok(FaultSpec {
+        after_checkpoint: field_num(v, "after_checkpoint")? as u64,
+        interval_fraction: field_num(v, "interval_fraction")?,
+        detection_fraction: field_num(v, "detection_fraction")?,
+        kind: kind_from_json(v.get("kind").ok_or("fault missing \"kind\"")?)?,
+        phase,
+        second,
+    })
+}
+
+/// Deterministically expands `seed` into a scenario. The same seed and
+/// config always produce the same scenario, on every platform.
+pub fn generate(seed: u64, cfg: &CampaignConfig) -> Scenario {
+    let mut rng = DetRng::seed(seed);
+    // Machine shapes: chunk G+1 must divide the node count, and the torus
+    // needs a perfect square. 4-node 3+1 puts every node in one chunk, so
+    // ANY simultaneous double loss there is beyond the parity budget;
+    // 9-node 2+1 has three chunks, so double losses split into
+    // recoverable (cross-chunk) and unrecoverable (same-chunk) cases.
+    let shapes: [(usize, usize); 2] = [(4, 3), (9, 2)];
+    let (nodes, group_data_pages) = shapes[rng.index(shapes.len())];
+    // Only the private-region synthetics: the exact-memory oracle needs a
+    // workload whose replayed execution is address-for-address identical.
+    let apps = [SyntheticKind::WsExceedsL2, SyntheticKind::WsFitsDirty];
+    let app = apps[rng.index(apps.len())];
+    let n_faults = 1 + rng.index(cfg.max_faults.max(1));
+    let faults = (0..n_faults)
+        .map(|_| random_fault(&mut rng, nodes, cfg.max_simultaneous))
+        .collect();
+    Scenario {
+        seed,
+        app,
+        nodes,
+        group_data_pages,
+        ops_per_cpu: cfg.ops_per_cpu,
+        faults,
+    }
+}
+
+fn random_fault(rng: &mut DetRng, nodes: usize, max_simultaneous: usize) -> FaultSpec {
+    const FRACTIONS: [f64; 4] = [0.1, 0.25, 0.5, 0.8];
+    const DETECT: [f64; 3] = [0.0, 0.4, 0.8];
+    let phase = match rng.index(8) {
+        0..=2 => InjectPhase::MidLogging,
+        3 => InjectPhase::CommitWindow,
+        4 | 5 => InjectPhase::DuringRecovery,
+        6 => InjectPhase::CommitEdge(CommitPoint::AfterBarrier1),
+        _ => InjectPhase::CommitEdge(CommitPoint::AfterCommit),
+    };
+    let kind = random_kind(rng, nodes, max_simultaneous);
+    let second = if phase == InjectPhase::DuringRecovery && rng.chance(0.5) {
+        Some(random_kind(rng, nodes, max_simultaneous))
+    } else {
+        None
+    };
+    FaultSpec {
+        after_checkpoint: rng.range(1, 4),
+        interval_fraction: FRACTIONS[rng.index(FRACTIONS.len())],
+        detection_fraction: DETECT[rng.index(DETECT.len())],
+        kind,
+        phase,
+        second,
+    }
+}
+
+fn random_kind(rng: &mut DetRng, nodes: usize, max_simultaneous: usize) -> ErrorKind {
+    match rng.index(6) {
+        0 | 1 => ErrorKind::NodeLoss(NodeId::from(rng.index(nodes))),
+        2 | 3 => {
+            let cap = max_simultaneous.clamp(2, nodes);
+            let k = 2 + rng.index(cap - 1);
+            let mut all: Vec<NodeId> = (0..nodes).map(NodeId::from).collect();
+            rng.shuffle(&mut all);
+            all.truncate(k);
+            ErrorKind::MultiNodeLoss(NodeSet::from_nodes(&all))
+        }
+        4 => ErrorKind::CacheWipe,
+        _ => ErrorKind::DirectoryCorrupt,
+    }
+}
+
+/// The classified result of executing one scenario.
+#[derive(Clone, Debug)]
+pub enum ScenarioOutcome {
+    /// Every fault recovered; the flags carry the oracle verdicts.
+    Recovered {
+        /// Final memory matched the clean golden run word-for-word.
+        oracle_match: bool,
+        /// Every recovery passed value-exact shadow verification.
+        verified: bool,
+        /// Every validation-mode audit (parity sweeps, log round-trips)
+        /// came back clean.
+        audits_clean: bool,
+        /// Number of completed recoveries.
+        recoveries: usize,
+        /// Total unavailable time across all recoveries.
+        unavailable: Ns,
+    },
+    /// A fault was refused with a classified reason (graceful
+    /// degradation — e.g. simultaneous losses beyond the parity budget).
+    Unrecoverable {
+        /// The typed recovery error, rendered.
+        reason: String,
+    },
+    /// The run finished before the injection point fired (benign: the
+    /// scenario asked for a later checkpoint than the budget produces).
+    NotFired,
+    /// The scenario was structurally invalid (a campaign-engine bug).
+    BadConfig {
+        /// The machine error, rendered.
+        message: String,
+    },
+    /// The machine panicked — always a bug, never an acceptable outcome.
+    Panicked {
+        /// The panic payload, rendered.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ScenarioOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioOutcome::Recovered {
+                oracle_match,
+                verified,
+                audits_clean,
+                recoveries,
+                unavailable,
+            } => write!(
+                f,
+                "recovered ({recoveries} recoveries, {unavailable} unavailable, \
+                 oracle {}, shadow {}, audits {})",
+                if *oracle_match { "match" } else { "MISMATCH" },
+                if *verified { "ok" } else { "FAILED" },
+                if *audits_clean { "clean" } else { "DIRTY" },
+            ),
+            ScenarioOutcome::Unrecoverable { reason } => write!(f, "unrecoverable: {reason}"),
+            ScenarioOutcome::NotFired => write!(f, "not fired"),
+            ScenarioOutcome::BadConfig { message } => write!(f, "bad config: {message}"),
+            ScenarioOutcome::Panicked { message } => write!(f, "PANIC: {message}"),
+        }
+    }
+}
+
+/// A scenario plus its classified outcome.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// What happened.
+    pub outcome: ScenarioOutcome,
+    /// The classifying run's full result (for artifact emission); `None`
+    /// when the machine panicked or rejected the configuration.
+    pub result: Option<RunResult>,
+}
+
+impl ScenarioReport {
+    /// Whether this outcome is a genuine failure of the recovery
+    /// machinery. `Unrecoverable` is *not* a failure — it is the correct
+    /// classified answer for faults beyond the budget — and `NotFired`
+    /// is a benign scheduling miss. A panic, an oracle mismatch, a failed
+    /// shadow verification, a dirty audit, or a structurally invalid
+    /// generated scenario all are.
+    pub fn is_failure(&self) -> bool {
+        match &self.outcome {
+            ScenarioOutcome::Recovered {
+                oracle_match,
+                verified,
+                audits_clean,
+                ..
+            } => !(*oracle_match && *verified && *audits_clean),
+            ScenarioOutcome::Unrecoverable { .. } | ScenarioOutcome::NotFired => false,
+            ScenarioOutcome::BadConfig { .. } | ScenarioOutcome::Panicked { .. } => true,
+        }
+    }
+
+    /// Stable kebab-case outcome class (artifacts, tallies).
+    pub fn classification(&self) -> &'static str {
+        match &self.outcome {
+            ScenarioOutcome::Recovered { .. } => "recovered",
+            ScenarioOutcome::Unrecoverable { .. } => "unrecoverable",
+            ScenarioOutcome::NotFired => "not-fired",
+            ScenarioOutcome::BadConfig { .. } => "bad-config",
+            ScenarioOutcome::Panicked { .. } => "panicked",
+        }
+    }
+}
+
+fn attempt(sc: &Scenario) -> Result<(ScenarioOutcome, RunResult), MachineError> {
+    let cfg = sc.experiment();
+    let plans = sc.plans(cfg.revive.ckpt.interval);
+    // Probe without capturing a memory image first: an unrecoverable fault
+    // leaves node memories destroyed, and imaging destroyed memory is a
+    // (deliberate) panic.
+    let probe = Runner::new(cfg)?.run_with_injections(&plans)?;
+    if let Some(FaultOutcome::Unrecoverable { error, .. }) =
+        probe.outcomes.iter().find(|o| o.is_unrecoverable())
+    {
+        return Ok((
+            ScenarioOutcome::Unrecoverable {
+                reason: error.to_string(),
+            },
+            probe,
+        ));
+    }
+    // All faults recovered: re-run under the exact-memory oracle. The
+    // machine is deterministic, so the re-run reproduces the probe.
+    let (_, golden_image) = Runner::new(cfg)?.run_to_image()?;
+    let (injected, diff) = injected_vs_golden(cfg, &plans, &golden_image)?;
+    let outcome = ScenarioOutcome::Recovered {
+        oracle_match: diff.is_match(),
+        verified: injected
+            .recoveries
+            .iter()
+            .all(|r| r.verified != Some(false)),
+        audits_clean: injected.audits.iter().all(|a| a.is_clean()),
+        recoveries: injected.recoveries.len(),
+        unavailable: Ns(injected.recoveries.iter().map(|r| r.unavailable.0).sum()),
+    };
+    Ok((outcome, injected))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Executes one scenario end-to-end and classifies the outcome. Panics
+/// are caught and classified as [`ScenarioOutcome::Panicked`]; this
+/// function itself never panics on machine behavior.
+pub fn run_scenario(sc: &Scenario) -> ScenarioReport {
+    let (outcome, result) =
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| attempt(sc))) {
+            Ok(Ok((outcome, result))) => (outcome, Some(result)),
+            Ok(Err(MachineError::InjectionNeverFired { .. })) => (ScenarioOutcome::NotFired, None),
+            Ok(Err(e)) => (
+                ScenarioOutcome::BadConfig {
+                    message: e.to_string(),
+                },
+                None,
+            ),
+            Err(payload) => (
+                ScenarioOutcome::Panicked {
+                    message: panic_message(payload.as_ref()),
+                },
+                None,
+            ),
+        };
+    ScenarioReport {
+        scenario: sc.clone(),
+        outcome,
+        result,
+    }
+}
+
+/// Shrinks a failing scenario to a (locally) minimal one that still
+/// fails, re-executing each candidate with [`run_scenario`]. See
+/// [`shrink_with`] to minimize against a custom predicate.
+pub fn shrink(sc: &Scenario) -> Scenario {
+    shrink_with(sc, |s| run_scenario(s).is_failure(), 64)
+}
+
+/// Greedy scenario minimization: repeatedly tries simplifying candidates
+/// (drop a fault, halve the op budget, drop the second fault, narrow a
+/// multi-node loss, canonicalize phase and timing) and keeps any that
+/// still satisfy `still_fails`, until a fixpoint or `max_attempts`
+/// predicate evaluations.
+pub fn shrink_with<F>(sc: &Scenario, mut still_fails: F, max_attempts: usize) -> Scenario
+where
+    F: FnMut(&Scenario) -> bool,
+{
+    let mut best = sc.clone();
+    let mut attempts = 0usize;
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            if attempts >= max_attempts {
+                return best;
+            }
+            attempts += 1;
+            if still_fails(&cand) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+/// Simplification candidates for `sc`, most aggressive first.
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    // Drop a whole fault.
+    if sc.faults.len() > 1 {
+        for i in 0..sc.faults.len() {
+            let mut c = sc.clone();
+            c.faults.remove(i);
+            out.push(c);
+        }
+    }
+    // Halve the op budget (floor 10k so checkpoints still happen).
+    if sc.ops_per_cpu > 10_000 {
+        let mut c = sc.clone();
+        c.ops_per_cpu = (sc.ops_per_cpu / 2).max(10_000);
+        out.push(c);
+    }
+    for i in 0..sc.faults.len() {
+        let f = &sc.faults[i];
+        // Drop the mid-recovery second fault.
+        if f.second.is_some() {
+            let mut c = sc.clone();
+            c.faults[i].second = None;
+            out.push(c);
+        }
+        // Narrow a multi-node loss by one node (down to a single loss).
+        if let ErrorKind::MultiNodeLoss(s) = f.kind {
+            if s.len() > 1 {
+                let mut nodes = s.nodes();
+                nodes.pop();
+                let mut c = sc.clone();
+                c.faults[i].kind = match nodes.as_slice() {
+                    [n] => ErrorKind::NodeLoss(*n),
+                    _ => ErrorKind::MultiNodeLoss(NodeSet::from_nodes(&nodes)),
+                };
+                out.push(c);
+            }
+        }
+        // Canonicalize the phase (a second fault only makes sense
+        // during-recovery, so it goes too).
+        if f.phase != InjectPhase::MidLogging {
+            let mut c = sc.clone();
+            c.faults[i].phase = InjectPhase::MidLogging;
+            c.faults[i].second = None;
+            out.push(c);
+        }
+        // Canonicalize the timing.
+        if f.after_checkpoint > 1 {
+            let mut c = sc.clone();
+            c.faults[i].after_checkpoint = 1;
+            out.push(c);
+        }
+        if f.interval_fraction != 0.5 {
+            let mut c = sc.clone();
+            c.faults[i].interval_fraction = 0.5;
+            out.push(c);
+        }
+        if f.detection_fraction != 0.0 {
+            let mut c = sc.clone();
+            c.faults[i].detection_fraction = 0.0;
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CampaignConfig::default();
+        for seed in 0..50 {
+            assert_eq!(generate(seed, &cfg), generate(seed, &cfg));
+        }
+    }
+
+    #[test]
+    fn generation_covers_the_adversarial_space() {
+        let cfg = CampaignConfig::default();
+        let scenarios: Vec<Scenario> = (0..300).map(|s| generate(s, &cfg)).collect();
+        let faults = || scenarios.iter().flat_map(|s| s.faults.iter());
+        assert!(faults().any(|f| matches!(f.kind, ErrorKind::MultiNodeLoss(_))));
+        assert!(faults().any(|f| matches!(f.phase, InjectPhase::CommitEdge(_))));
+        assert!(faults().any(|f| f.phase == InjectPhase::DuringRecovery && f.second.is_some()));
+        assert!(scenarios.iter().any(|s| s.nodes == 4));
+        assert!(scenarios.iter().any(|s| s.nodes == 9));
+        assert!(scenarios.iter().any(|s| s.faults.len() > 1));
+    }
+
+    #[test]
+    fn inject_spec_round_trips() {
+        let cfg = CampaignConfig::default();
+        for seed in 0..100 {
+            let sc = generate(seed, &cfg);
+            let parsed = Scenario::from_json(&sc.to_json()).expect("round trip parses");
+            assert_eq!(parsed, sc, "seed {seed} round-trips");
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(Scenario::from_json("{}").is_err());
+        assert!(Scenario::from_json("{\"schema\": \"other\"}").is_err());
+        let sc = generate(3, &CampaignConfig::default());
+        let wrong_version = sc.to_json().replace("\"version\": 1", "\"version\": 999");
+        assert!(Scenario::from_json(&wrong_version).is_err());
+    }
+
+    #[test]
+    fn shrink_reaches_a_small_fixpoint() {
+        // Artificial predicate: "fails" whenever any fault loses node 1.
+        // The shrinker should strip everything else away.
+        let sc = Scenario {
+            seed: 1,
+            app: SyntheticKind::WsExceedsL2,
+            nodes: 9,
+            group_data_pages: 2,
+            ops_per_cpu: 60_000,
+            faults: vec![
+                FaultSpec {
+                    after_checkpoint: 3,
+                    interval_fraction: 0.8,
+                    detection_fraction: 0.8,
+                    kind: ErrorKind::CacheWipe,
+                    phase: InjectPhase::DuringRecovery,
+                    second: Some(ErrorKind::CacheWipe),
+                },
+                FaultSpec {
+                    after_checkpoint: 2,
+                    interval_fraction: 0.25,
+                    detection_fraction: 0.4,
+                    kind: ErrorKind::MultiNodeLoss(NodeSet::from_nodes(&[
+                        NodeId(1),
+                        NodeId(5),
+                        NodeId(7),
+                    ])),
+                    phase: InjectPhase::CommitWindow,
+                    second: None,
+                },
+            ],
+        };
+        let fails = |s: &Scenario| {
+            s.faults
+                .iter()
+                .any(|f| f.kind.lost_nodes().contains(&NodeId(1)))
+        };
+        assert!(fails(&sc));
+        let min = shrink_with(&sc, fails, 1000);
+        assert!(fails(&min), "shrinking preserves the failure");
+        assert_eq!(min.faults.len(), 1);
+        let f = &min.faults[0];
+        assert_eq!(f.kind, ErrorKind::NodeLoss(NodeId(1)));
+        assert_eq!(f.phase, InjectPhase::MidLogging);
+        assert_eq!(f.second, None);
+        assert_eq!(f.after_checkpoint, 1);
+        assert_eq!(f.interval_fraction, 0.5);
+        assert_eq!(f.detection_fraction, 0.0);
+        assert_eq!(min.ops_per_cpu, 10_000);
+    }
+
+    #[test]
+    fn experiment_config_respects_the_scenario() {
+        let sc = generate(11, &CampaignConfig::default());
+        let cfg = sc.experiment();
+        assert_eq!(cfg.machine.nodes, sc.nodes);
+        assert_eq!(
+            cfg.revive.mode,
+            ReviveMode::Parity {
+                group_data_pages: sc.group_data_pages
+            }
+        );
+        assert_eq!(cfg.workload, WorkloadSpec::Synthetic(sc.app));
+        assert_eq!(cfg.ops_per_cpu, sc.ops_per_cpu);
+        assert!(cfg.shadow_checkpoints, "the oracle needs shadows");
+    }
+}

@@ -18,6 +18,15 @@ pub enum MachineError {
     },
     /// The configuration is internally inconsistent.
     BadConfig(String),
+    /// An injection's firing point was never reached: the run finished its
+    /// op budget first. A benign outcome for generated fault campaigns
+    /// (classified as "not fired", not a failure).
+    InjectionNeverFired {
+        /// The checkpoint count the injection was waiting for.
+        after_checkpoint: u64,
+        /// Checkpoints actually committed within the budget.
+        checkpoints: u64,
+    },
 }
 
 impl std::fmt::Display for MachineError {
@@ -27,6 +36,14 @@ impl std::fmt::Display for MachineError {
                 write!(f, "out of allocatable memory ({needed} pages short)")
             }
             MachineError::BadConfig(why) => write!(f, "bad configuration: {why}"),
+            MachineError::InjectionNeverFired {
+                after_checkpoint,
+                checkpoints,
+            } => write!(
+                f,
+                "injection after checkpoint {after_checkpoint} never fired \
+                 ({checkpoints} checkpoints in budget)"
+            ),
         }
     }
 }

@@ -13,6 +13,9 @@
 //!   verification against shadow checkpoints.
 //! * [`differential`] — the golden-vs-injected recovery-correctness
 //!   harness: exact final-memory equality plus parity and log audits.
+//! * [`campaign`] — the seed-driven adversarial fault-campaign engine:
+//!   scenario generation, oracle-checked execution, outcome classification,
+//!   and greedy shrinking to minimal repros.
 //! * [`metrics`] — the Figure 9/10 traffic classes and derived summaries.
 //! * [`sampling`] — per-epoch time series (log occupancy, traffic rates,
 //!   utilization gauges).
@@ -34,6 +37,7 @@
 //! # }
 //! ```
 
+pub mod campaign;
 pub mod config;
 pub mod differential;
 pub mod metrics;
@@ -43,6 +47,10 @@ pub mod runner;
 pub mod sampling;
 pub mod system;
 
+pub use campaign::{
+    generate, run_scenario, shrink, shrink_with, CampaignConfig, FaultSpec, Scenario,
+    ScenarioOutcome, ScenarioReport,
+};
 pub use config::{
     ExperimentConfig, MachineConfig, MachineError, ObsConfig, ReviveConfig, ReviveMode,
     WorkloadSpec,
@@ -51,6 +59,9 @@ pub use differential::{differential_run, injected_vs_golden, AuditReport, Differ
 pub use metrics::{Metrics, Summary, TrafficClass};
 pub use page_table::PageTable;
 pub use report::{parse_json, render_artifact, validate_artifact, Json, RunMeta};
-pub use runner::{ErrorKind, InjectPhase, InjectionPlan, RecoveryOutcome, RunResult, Runner};
+pub use runner::{
+    CommitPoint, ErrorKind, FaultOutcome, InjectPhase, InjectionPlan, NodeSet, RecoveryOutcome,
+    RunResult, Runner,
+};
 pub use sampling::{EpochSample, IntervalSampler, SampleInput};
 pub use system::System;

@@ -19,7 +19,7 @@ use revive_sim::trace::escape_json;
 
 use crate::config::ExperimentConfig;
 use crate::metrics::TrafficClass;
-use crate::runner::RunResult;
+use crate::runner::{ErrorKind, InjectionPlan, RunResult};
 
 /// Identity of a run, embedded in its artifact. Wall-clock facts are
 /// deliberately excluded: artifacts must be byte-identical across reruns.
@@ -39,6 +39,13 @@ pub struct RunMeta {
     pub ops_per_cpu: u64,
     /// Checkpoint interval in ns (`u64::MAX` = infinite).
     pub interval_ns: u64,
+    /// The campaign seed this run's scenario was generated from, when it
+    /// came out of the fault-campaign engine.
+    pub campaign_seed: Option<u64>,
+    /// The scripted faults injected into the run (empty for clean runs) —
+    /// an artifact records its full injection scenario so any run can be
+    /// replayed from its artifact alone.
+    pub injections: Vec<InjectionPlan>,
 }
 
 impl RunMeta {
@@ -52,14 +59,29 @@ impl RunMeta {
             seed: cfg.seed,
             ops_per_cpu: cfg.ops_per_cpu,
             interval_ns: cfg.revive.ckpt.interval.0,
+            campaign_seed: None,
+            injections: Vec::new(),
         }
+    }
+
+    /// Records the injection scenario in the metadata.
+    pub fn with_injections(mut self, plans: &[InjectionPlan]) -> RunMeta {
+        self.injections = plans.to_vec();
+        self
+    }
+
+    /// Records the generating campaign seed in the metadata.
+    pub fn with_campaign_seed(mut self, seed: u64) -> RunMeta {
+        self.campaign_seed = Some(seed);
+        self
     }
 }
 
 /// Schema identifier every artifact carries.
 pub const ARTIFACT_SCHEMA: &str = "revive-run-artifact";
-/// Current artifact schema version.
-pub const ARTIFACT_VERSION: u64 = 1;
+/// Current artifact schema version. Version 2 added the mandatory
+/// `injections` section; version-1 artifacts (without it) still validate.
+pub const ARTIFACT_VERSION: u64 = 2;
 
 fn f64_json(x: f64) -> String {
     if x.is_finite() {
@@ -97,6 +119,34 @@ fn hist_json(h: &Histogram) -> String {
     out
 }
 
+fn kind_json(kind: ErrorKind) -> String {
+    let nodes: Vec<String> = kind
+        .lost_nodes()
+        .iter()
+        .map(|n| n.index().to_string())
+        .collect();
+    format!(
+        "{{\"kind\":\"{}\",\"nodes\":[{}]}}",
+        kind.name(),
+        nodes.join(",")
+    )
+}
+
+fn plan_json(p: &InjectionPlan) -> String {
+    format!(
+        "{{\"kind\":{},\"phase\":\"{}\",\"after_checkpoint\":{},\"interval_fraction\":{},\"detection_delay_ns\":{},\"second\":{}}}",
+        kind_json(p.kind),
+        p.phase.name(),
+        p.after_checkpoint,
+        f64_json(p.interval_fraction),
+        p.detection_delay.0,
+        match p.second {
+            Some(k) => kind_json(k),
+            None => "null".into(),
+        },
+    )
+}
+
 fn u64_array(xs: &[u64]) -> String {
     let mut out = String::from("[");
     for (i, x) in xs.iter().enumerate() {
@@ -131,6 +181,23 @@ pub fn render_artifact(meta: &RunMeta, r: &RunResult) -> String {
         meta.ops_per_cpu,
         meta.interval_ns,
     );
+
+    // -- injections: the scripted fault scenario (empty for clean runs) --
+    let _ = write!(
+        o,
+        "\"injections\":{{\"campaign_seed\":{},\"plans\":[",
+        match meta.campaign_seed {
+            Some(s) => s.to_string(),
+            None => "null".into(),
+        }
+    );
+    for (i, p) in meta.injections.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        o.push_str(&plan_json(p));
+    }
+    o.push_str("]},\n");
 
     // -- result: end-of-run scalars --
     let m = &r.metrics;
@@ -550,7 +617,8 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
     if need("schema")?.as_str() != Some(ARTIFACT_SCHEMA) {
         return Err(format!("schema is not '{ARTIFACT_SCHEMA}'"));
     }
-    if need("version")?.as_num() != Some(ARTIFACT_VERSION as f64) {
+    let version = need("version")?.as_num().ok_or("version is not a number")?;
+    if version != 1.0 && version != ARTIFACT_VERSION as f64 {
         return Err("unsupported artifact version".into());
     }
     let config = need("config")?;
@@ -562,6 +630,47 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
     for key in ["nodes", "seed", "ops_per_cpu", "interval_ns"] {
         if config.get(key).and_then(Json::as_num).is_none() {
             return Err(format!("config.{key} missing or not a number"));
+        }
+    }
+    // Version 2 records the injection scenario (mandatory, empty for
+    // clean runs); version-1 artifacts predate the section.
+    if version >= 2.0 {
+        let inj = need("injections")?;
+        match inj.get("campaign_seed") {
+            Some(Json::Null | Json::Num(_)) => {}
+            _ => return Err("injections.campaign_seed missing or mistyped".into()),
+        }
+        let plans = inj
+            .get("plans")
+            .and_then(Json::as_arr)
+            .ok_or("injections.plans missing or not an array")?;
+        for p in plans {
+            let kind_ok = |k: &Json| {
+                k.get("kind").and_then(Json::as_str).is_some()
+                    && k.get("nodes")
+                        .and_then(Json::as_arr)
+                        .is_some_and(|ns| ns.iter().all(|n| n.as_num().is_some()))
+            };
+            if !p.get("kind").is_some_and(kind_ok) {
+                return Err("injection plan lacks a well-formed kind".into());
+            }
+            if p.get("phase").and_then(Json::as_str).is_none() {
+                return Err("injection plan lacks a phase".into());
+            }
+            for key in [
+                "after_checkpoint",
+                "interval_fraction",
+                "detection_delay_ns",
+            ] {
+                if p.get(key).and_then(Json::as_num).is_none() {
+                    return Err(format!("injection plan lacks {key}"));
+                }
+            }
+            match p.get("second") {
+                Some(Json::Null) => {}
+                Some(k) if kind_ok(k) => {}
+                _ => return Err("injection plan's second fault is mistyped".into()),
+            }
         }
     }
     let result = need("result")?;
@@ -692,9 +801,8 @@ mod tests {
         assert!(parse_json("nulll").is_err());
     }
 
-    #[test]
-    fn empty_artifact_from_default_result_validates() {
-        let meta = RunMeta {
+    fn test_meta() -> RunMeta {
+        RunMeta {
             label: "test".into(),
             workload: "fft".into(),
             mode: "parity".into(),
@@ -702,10 +810,70 @@ mod tests {
             seed: 42,
             ops_per_cpu: 1000,
             interval_ns: 100_000,
-        };
-        let r = RunResult::default();
-        let text = render_artifact(&meta, &r);
+            campaign_seed: None,
+            injections: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_artifact_from_default_result_validates() {
+        let text = render_artifact(&test_meta(), &RunResult::default());
         validate_artifact(&text).unwrap();
+    }
+
+    #[test]
+    fn artifact_records_and_validates_the_injection_scenario() {
+        use crate::runner::{InjectPhase, NodeSet};
+        use revive_sim::types::NodeId;
+        use revive_sim::Ns;
+
+        let plans = vec![
+            InjectionPlan {
+                after_checkpoint: 2,
+                interval_fraction: 0.8,
+                detection_delay: Ns(80_000),
+                kind: ErrorKind::MultiNodeLoss(NodeSet::from_nodes(&[NodeId(1), NodeId(2)])),
+                phase: InjectPhase::DuringRecovery,
+                second: Some(ErrorKind::CacheWipe),
+            },
+            InjectionPlan::paper_transient(Ns(100_000)),
+        ];
+        let meta = test_meta().with_injections(&plans).with_campaign_seed(7);
+        let text = render_artifact(&meta, &RunResult::default());
+        validate_artifact(&text).unwrap();
+        let doc = parse_json(&text).unwrap();
+        let inj = doc.get("injections").unwrap();
+        assert_eq!(inj.get("campaign_seed").unwrap().as_num(), Some(7.0));
+        let rendered = inj.get("plans").unwrap().as_arr().unwrap();
+        assert_eq!(rendered.len(), 2);
+        let first = &rendered[0];
+        assert_eq!(
+            first.get("kind").unwrap().get("kind").unwrap().as_str(),
+            Some("multi-node-loss")
+        );
+        assert_eq!(
+            first.get("kind").unwrap().get("nodes").unwrap().as_arr(),
+            Some(&[Json::Num(1.0), Json::Num(2.0)][..])
+        );
+        assert_eq!(
+            first.get("second").unwrap().get("kind").unwrap().as_str(),
+            Some("cache-wipe")
+        );
+        assert_eq!(rendered[1].get("second"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn version_1_artifacts_without_injections_still_validate() {
+        let text = render_artifact(&test_meta(), &RunResult::default());
+        let v1 = text.replace("\"version\":2,", "\"version\":1,");
+        validate_artifact(&v1).unwrap();
+        // But a v2 artifact must carry the section.
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("\"injections\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(validate_artifact(&stripped).is_err());
     }
 
     #[test]

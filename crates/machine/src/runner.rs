@@ -3,7 +3,9 @@
 use std::collections::HashSet;
 
 use revive_core::checkpoint::CkptStats;
-use revive_core::recovery::{recover, RecoveryInput, RecoveryReport, RecoveryTiming};
+use revive_core::recovery::{
+    recover, RecoveryError, RecoveryInput, RecoveryReport, RecoveryTiming,
+};
 use revive_core::validate::{LogDivergence, MemoryImage, ParityAudit};
 use revive_mem::addr::PageAddr;
 use revive_mem::line::LineData;
@@ -37,6 +39,13 @@ pub struct InjectionPlan {
     pub kind: ErrorKind,
     /// Where in the checkpoint lifecycle the error strikes.
     pub phase: InjectPhase,
+    /// A second error striking *while recovery is still running* (only
+    /// meaningful with [`InjectPhase::DuringRecovery`]): the first attempt
+    /// is abandoned mid-rebuild and recovery restarts idempotently against
+    /// the union of the damage. `None` with `DuringRecovery` re-applies the
+    /// same damage after the first recovery completes (the recurrence
+    /// scenario).
+    pub second: Option<ErrorKind>,
 }
 
 impl InjectionPlan {
@@ -48,6 +57,7 @@ impl InjectionPlan {
             detection_delay: Ns((interval.0 as f64 * 0.8) as u64),
             kind: ErrorKind::NodeLoss(lost),
             phase: InjectPhase::MidLogging,
+            second: None,
         }
     }
 
@@ -61,13 +71,46 @@ impl InjectionPlan {
             detection_delay: Ns((interval.0 as f64 * 0.8) as u64),
             kind: ErrorKind::CacheWipe,
             phase: InjectPhase::MidLogging,
+            second: None,
+        }
+    }
+}
+
+/// A boundary within the two-phase-commit sequence of Figure 6 (flush →
+/// barrier 1 → mark → barrier 2 → reclaim). [`InjectPhase::CommitEdge`]
+/// pins a scripted error to one of these instants, probing the paper's §3
+/// argument that a checkpoint is atomically either established or not.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitPoint {
+    /// After barrier 1, before any node marks its log: no log carries the
+    /// new checkpoint marker, so the previous checkpoint is the recovery
+    /// target everywhere.
+    AfterBarrier1,
+    /// After every node marked its log, before barrier 2 — the classic 2PC
+    /// uncertainty window ([`InjectPhase::CommitWindow`] is shorthand for
+    /// this edge). The marks exist but the commit never completed, so the
+    /// machine still rolls back to the previous checkpoint.
+    AfterMark,
+    /// After barrier 2 and log reclamation, before any CPU resumes: the new
+    /// checkpoint is committed and is itself the recovery target; rollback
+    /// discards exactly nothing.
+    AfterCommit,
+}
+
+impl CommitPoint {
+    /// Stable kebab-case name (artifacts, inject specs).
+    pub fn name(self) -> &'static str {
+        match self {
+            CommitPoint::AfterBarrier1 => "after-barrier1",
+            CommitPoint::AfterMark => "after-mark",
+            CommitPoint::AfterCommit => "after-commit",
         }
     }
 }
 
 /// Where in the checkpoint lifecycle a scripted error strikes. ReVive's
-/// claim is that recovery works no matter when the error hits; the three
-/// phases probe the three qualitatively different windows.
+/// claim is that recovery works no matter when the error hits; these
+/// phases probe the qualitatively different windows.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum InjectPhase {
     /// Mid-interval, while the machine is logging normally — the paper's
@@ -77,12 +120,89 @@ pub enum InjectPhase {
     /// Inside the two-phase-commit window of checkpoint
     /// `after_checkpoint + 1`: logs are marked but the commit never
     /// completes, so the machine must roll back to the *previous*
-    /// checkpoint (`interval_fraction` is ignored).
+    /// checkpoint (`interval_fraction` is ignored). Equivalent to
+    /// `CommitEdge(CommitPoint::AfterMark)`.
     CommitWindow,
     /// The same timing as `MidLogging`, but the error recurs during
-    /// recovery itself: after the first recovery completes the damage is
-    /// re-applied and the machine recovers again to the same checkpoint.
+    /// recovery itself; see [`InjectionPlan::second`] for the two variants
+    /// (recurrence vs. a different second fault mid-rebuild).
     DuringRecovery,
+    /// Exactly on a named 2PC boundary of checkpoint `after_checkpoint + 1`
+    /// (`interval_fraction` is ignored).
+    CommitEdge(CommitPoint),
+}
+
+impl InjectPhase {
+    /// Stable kebab-case name (artifacts, inject specs).
+    pub fn name(self) -> &'static str {
+        match self {
+            InjectPhase::MidLogging => "mid-logging",
+            InjectPhase::CommitWindow => "commit-window",
+            InjectPhase::DuringRecovery => "during-recovery",
+            InjectPhase::CommitEdge(CommitPoint::AfterBarrier1) => "commit-after-barrier1",
+            InjectPhase::CommitEdge(CommitPoint::AfterMark) => "commit-after-mark",
+            InjectPhase::CommitEdge(CommitPoint::AfterCommit) => "commit-after-commit",
+        }
+    }
+}
+
+/// A compact set of node indices (machines top out well below 64 nodes).
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct NodeSet(pub u64);
+
+impl NodeSet {
+    /// The set containing `nodes` (duplicates collapse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node index is 64 or larger.
+    pub fn from_nodes(nodes: &[NodeId]) -> NodeSet {
+        let mut s = NodeSet::default();
+        for &n in nodes {
+            s.insert(n);
+        }
+        s
+    }
+
+    /// Adds a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index is 64 or larger.
+    pub fn insert(&mut self, n: NodeId) {
+        assert!(n.index() < 64, "NodeSet holds node indices 0..64");
+        self.0 |= 1 << n.index();
+    }
+
+    /// Membership test.
+    pub fn contains(&self, n: NodeId) -> bool {
+        n.index() < 64 && self.0 & (1 << n.index()) != 0
+    }
+
+    /// Number of nodes in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// The members in ascending index order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        (0..64)
+            .filter(|i| self.0 & (1u64 << i) != 0)
+            .map(NodeId::from)
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for NodeSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self.nodes().iter().map(|n| n.index().to_string()).collect();
+        write!(f, "{{{}}}", names.join(","))
+    }
 }
 
 /// The supported error classes (Section 3.1.2).
@@ -91,6 +211,11 @@ pub enum ErrorKind {
     /// Permanent loss of an entire node: its memory (checkpoint, log and
     /// parity pages included) is gone and must be reconstructed.
     NodeLoss(NodeId),
+    /// Simultaneous permanent loss of several nodes. Within the parity
+    /// budget (no two lost nodes sharing a chunk) recovery reconstructs all
+    /// of them; beyond it the fault is classified
+    /// [`FaultOutcome::Unrecoverable`].
+    MultiNodeLoss(NodeSet),
     /// A machine-wide transient: all caches and in-flight messages lost,
     /// every memory intact.
     CacheWipe,
@@ -98,6 +223,27 @@ pub enum ErrorKind {
     /// directory controller SRAM). Recovery must not depend on any of it —
     /// Phase 1 discards coherence state wholesale.
     DirectoryCorrupt,
+}
+
+impl ErrorKind {
+    /// Stable kebab-case name (artifacts, inject specs).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::NodeLoss(_) => "node-loss",
+            ErrorKind::MultiNodeLoss(_) => "multi-node-loss",
+            ErrorKind::CacheWipe => "cache-wipe",
+            ErrorKind::DirectoryCorrupt => "directory-corrupt",
+        }
+    }
+
+    /// The nodes this error destroys (empty for transient kinds).
+    pub fn lost_nodes(self) -> Vec<NodeId> {
+        match self {
+            ErrorKind::NodeLoss(n) => vec![n],
+            ErrorKind::MultiNodeLoss(s) => s.nodes(),
+            ErrorKind::CacheWipe | ErrorKind::DirectoryCorrupt => Vec::new(),
+        }
+    }
 }
 
 /// What recovery produced, attached to a [`RunResult`].
@@ -120,6 +266,39 @@ pub struct RecoveryOutcome {
     pub ops_rolled_back: u64,
 }
 
+/// The classified outcome of one injected fault: the graceful-degradation
+/// contract. A fault either recovers, or the machine *reports why it
+/// cannot* and halts — it never panics.
+#[derive(Clone, Debug)]
+pub enum FaultOutcome {
+    /// Recovery succeeded (details in the [`RecoveryOutcome`]).
+    Recovered(RecoveryOutcome),
+    /// Recovery was refused with a classified reason (e.g. simultaneous
+    /// losses beyond the parity budget). The machine halts; later plans in
+    /// the same run are not attempted.
+    Unrecoverable {
+        /// The typed recovery error.
+        error: RecoveryError,
+        /// When the fault was detected.
+        at: Ns,
+    },
+}
+
+impl FaultOutcome {
+    /// The recovery outcome, when this fault recovered.
+    pub fn recovered(&self) -> Option<&RecoveryOutcome> {
+        match self {
+            FaultOutcome::Recovered(o) => Some(o),
+            FaultOutcome::Unrecoverable { .. } => None,
+        }
+    }
+
+    /// Whether this fault was classified unrecoverable.
+    pub fn is_unrecoverable(&self) -> bool {
+        matches!(self, FaultOutcome::Unrecoverable { .. })
+    }
+}
+
 /// The result of one experiment run.
 #[derive(Clone, Debug, Default)]
 pub struct RunResult {
@@ -139,6 +318,10 @@ pub struct RunResult {
     pub recovery: Option<RecoveryOutcome>,
     /// Every recovery outcome, in injection order.
     pub recoveries: Vec<RecoveryOutcome>,
+    /// Classified outcome of every injected fault, in injection order —
+    /// includes faults that ended [`FaultOutcome::Unrecoverable`], which
+    /// never appear in `recoveries`.
+    pub outcomes: Vec<FaultOutcome>,
     /// Validation-mode audit reports (commit-time parity sweeps, log
     /// round-trips, post-recovery parity sweeps), in chronological order.
     /// Empty unless shadow checkpoints are enabled.
@@ -209,8 +392,9 @@ impl Runner {
     ///
     /// # Errors
     ///
-    /// Returns [`MachineError::BadConfig`] if ReVive is off or the run
-    /// finished before the injection point fired.
+    /// Returns [`MachineError::BadConfig`] if ReVive is off or the plan is
+    /// malformed, [`MachineError::InjectionNeverFired`] if the run finished
+    /// before the injection point fired.
     pub fn run_with_injection(self, plan: InjectionPlan) -> Result<RunResult, MachineError> {
         self.run_with_injections(&[plan])
     }
@@ -219,12 +403,16 @@ impl Runner {
     /// `after_checkpoint` counts checkpoints committed since the previous
     /// recovery (or the run's start). The machine recovers from each error
     /// — each recovery verified when shadow checkpoints are on — and keeps
-    /// executing until its budget completes.
+    /// executing until its budget completes. A fault classified
+    /// unrecoverable is *not* an `Err`: it is reported as a
+    /// [`FaultOutcome::Unrecoverable`] in the result and the machine stays
+    /// halted (remaining plans are skipped).
     ///
     /// # Errors
     ///
-    /// Returns [`MachineError::BadConfig`] if ReVive is off or the run
-    /// finished before any injection point fired.
+    /// Returns [`MachineError::BadConfig`] if ReVive is off or the plan is
+    /// malformed, [`MachineError::InjectionNeverFired`] if the run finished
+    /// before any injection point fired.
     pub fn run_with_injections(
         mut self,
         plans: &[InjectionPlan],
@@ -254,23 +442,25 @@ impl Runner {
     fn run_injections_inner(
         &mut self,
         plans: &[InjectionPlan],
-    ) -> Result<Vec<RecoveryOutcome>, MachineError> {
+    ) -> Result<Vec<FaultOutcome>, MachineError> {
         if self.sys.cfg.revive.mode == ReviveMode::Off {
             return Err(MachineError::BadConfig(
                 "cannot inject errors into the baseline machine".into(),
             ));
         }
         for plan in plans {
-            if let ErrorKind::NodeLoss(n) = plan.kind {
-                if n.index() >= self.sys.cfg.machine.nodes {
+            self.validate_kind(plan.kind)?;
+            if let Some(second) = plan.second {
+                self.validate_kind(second)?;
+                if plan.phase != InjectPhase::DuringRecovery {
                     return Err(MachineError::BadConfig(format!(
-                        "cannot lose node {n}: the machine has {} nodes",
-                        self.sys.cfg.machine.nodes
+                        "a second fault ({}) requires the during-recovery phase",
+                        second.name()
                     )));
                 }
             }
         }
-        let mut outcomes = Vec::with_capacity(plans.len());
+        let mut outcomes: Vec<FaultOutcome> = Vec::with_capacity(plans.len());
         for plan in plans {
             let base = self.sys.ckpt_counter;
             match plan.phase {
@@ -282,23 +472,27 @@ impl Runner {
                     // Strike inside the commit of the *next* checkpoint after
                     // `after_checkpoint` commits, mirroring the other phases'
                     // "after N commits" anchor.
-                    self.sys.inject_in_commit_of = Some(base + plan.after_checkpoint + 1);
+                    self.sys.inject_in_commit_of =
+                        Some((base + plan.after_checkpoint + 1, CommitPoint::AfterMark));
+                }
+                InjectPhase::CommitEdge(point) => {
+                    self.sys.inject_in_commit_of = Some((base + plan.after_checkpoint + 1, point));
                 }
             }
             self.sys.halted = false;
             self.sys.run();
             let Some(t_err) = self.sys.inject_time.take() else {
-                return Err(MachineError::BadConfig(format!(
-                    "injection after checkpoint {} never fired                      ({} checkpoints in budget)",
-                    base + plan.after_checkpoint,
-                    self.sys.ckpt_counter
-                )));
+                return Err(MachineError::InjectionNeverFired {
+                    after_checkpoint: base + plan.after_checkpoint,
+                    checkpoints: self.sys.ckpt_counter,
+                });
             };
             // Roll back to the most recent checkpoint committed before the
             // error. Work after it — including anything executed during
             // the detection window — is lost. (For a commit-window error the
             // interrupted checkpoint never committed, so this is the one
-            // before it.)
+            // before it; for an after-commit edge it is the checkpoint that
+            // just committed, so rollback discards nothing.)
             let target = self.sys.ckpt_counter;
             let commit_of_target = self
                 .sys
@@ -311,16 +505,63 @@ impl Runner {
             self.sys.run_until(t_err + plan.detection_delay);
             let t_detect = self.sys.now().max(t_err + plan.detection_delay);
 
-            let lost = self.apply_damage(plan.kind, target);
-            let mut outcome = self.recover_machine(target, lost, commit_of_target, t_detect);
-            if plan.phase == InjectPhase::DuringRecovery {
-                // The error recurs while recovery is still running: re-apply
-                // the damage and recover again to the same checkpoint. The
-                // second pass must hold with the logs already scrubbed — for
-                // a node loss it is pure parity reconstruction, for the
-                // others an idempotence check.
+            let mut lost = self.apply_damage(plan.kind, target);
+            let double = plan.phase == InjectPhase::DuringRecovery && plan.second.is_some();
+            if double {
+                // The second fault lands while Phase 2 is still rebuilding:
+                // the first attempt is abandoned and recovery restarts from
+                // scratch against the union of the damage — the restart is
+                // idempotent because nothing before the scrub depends on
+                // partial progress.
+                if let Some(kind2) = plan.second {
+                    for n in self.apply_damage(kind2, target) {
+                        if !lost.contains(&n) {
+                            lost.push(n);
+                        }
+                    }
+                }
+            }
+            let first = self.recover_machine(target, &lost, commit_of_target, t_detect);
+            let mut outcome = match first {
+                Ok(o) => o,
+                Err(error) => {
+                    // Graceful degradation: the fault is classified, the
+                    // machine stays halted, and the run ends here. Any
+                    // remaining plans are unreachable — the machine is down.
+                    outcomes.push(FaultOutcome::Unrecoverable {
+                        error,
+                        at: t_detect,
+                    });
+                    self.sys.halted = true;
+                    self.sys.suppress_deadlock_panic = true;
+                    break;
+                }
+            };
+            if double {
+                // Charge the abandoned first attempt's diagnosis time: the
+                // machine was already in Phase 1/2 when the second fault
+                // struck and had to start over.
+                outcome.unavailable += outcome.report.phase1;
+            } else if plan.phase == InjectPhase::DuringRecovery {
+                // The error recurs after recovery finished its rebuild:
+                // re-apply the damage and recover again to the same
+                // checkpoint. The second pass must hold with the logs
+                // already scrubbed — for a node loss it is pure parity
+                // reconstruction, for the others an idempotence check.
                 let lost2 = self.apply_damage(plan.kind, target);
-                let second = self.recover_machine(target, lost2, commit_of_target, t_detect);
+                let second = match self.recover_machine(target, &lost2, commit_of_target, t_detect)
+                {
+                    Ok(o) => o,
+                    Err(error) => {
+                        outcomes.push(FaultOutcome::Unrecoverable {
+                            error,
+                            at: t_detect,
+                        });
+                        self.sys.halted = true;
+                        self.sys.suppress_deadlock_panic = true;
+                        break;
+                    }
+                };
                 outcome = RecoveryOutcome {
                     report: second.report,
                     lost_work: outcome.lost_work,
@@ -336,26 +577,52 @@ impl Runner {
             }
             let t_resume = t_detect + (outcome.unavailable - outcome.lost_work);
             self.sys.resume_after_recovery(t_resume);
-            outcomes.push(outcome);
+            outcomes.push(FaultOutcome::Recovered(outcome));
         }
         Ok(outcomes)
     }
 
-    /// Inflicts the plan's damage on the machine; returns the lost node for
-    /// damage the recovery engine must reconstruct around.
-    fn apply_damage(&mut self, kind: ErrorKind, target: u64) -> Option<NodeId> {
+    fn validate_kind(&self, kind: ErrorKind) -> Result<(), MachineError> {
+        let nodes = self.sys.cfg.machine.nodes;
+        match kind {
+            ErrorKind::NodeLoss(n) if n.index() >= nodes => Err(MachineError::BadConfig(format!(
+                "cannot lose node {n}: the machine has {nodes} nodes"
+            ))),
+            ErrorKind::MultiNodeLoss(s) if s.is_empty() => Err(MachineError::BadConfig(
+                "multi-node loss needs at least one node".into(),
+            )),
+            ErrorKind::MultiNodeLoss(s) => match s.nodes().iter().find(|n| n.index() >= nodes) {
+                Some(n) => Err(MachineError::BadConfig(format!(
+                    "cannot lose node {n}: the machine has {nodes} nodes"
+                ))),
+                None => Ok(()),
+            },
+            _ => Ok(()),
+        }
+    }
+
+    /// Inflicts the plan's damage on the machine; returns the lost nodes
+    /// the recovery engine must reconstruct around (empty for transients).
+    fn apply_damage(&mut self, kind: ErrorKind, target: u64) -> Vec<NodeId> {
         match kind {
             ErrorKind::NodeLoss(n) => {
                 self.sys.nodes[n.index()].mem.destroy();
-                Some(n)
+                vec![n]
             }
-            ErrorKind::CacheWipe => None,
+            ErrorKind::MultiNodeLoss(s) => {
+                let nodes = s.nodes();
+                for &n in &nodes {
+                    self.sys.nodes[n.index()].mem.destroy();
+                }
+                nodes
+            }
+            ErrorKind::CacheWipe => Vec::new(),
             ErrorKind::DirectoryCorrupt => {
                 let salt = self.sys.cfg.seed ^ target;
                 for n in 0..self.sys.nodes.len() {
                     self.sys.nodes[n].dir.scramble(salt.wrapping_add(n as u64));
                 }
-                None
+                Vec::new()
             }
         }
     }
@@ -363,13 +630,13 @@ impl Runner {
     fn recover_machine(
         &mut self,
         target: u64,
-        lost: Option<NodeId>,
+        lost: &[NodeId],
         commit_of_target: Ns,
         t_detect: Ns,
-    ) -> RecoveryOutcome {
+    ) -> Result<RecoveryOutcome, RecoveryError> {
         let sys = &mut self.sys;
         let parity = sys.parity.expect("revive is on");
-        let workers = sys.nodes.len() - lost.map(|_| 1).unwrap_or(0);
+        let workers = sys.nodes.len().saturating_sub(lost.len());
         let timing = RecoveryTiming::derive(parity.group_data_pages(), workers.max(1));
 
         // In-flight parity updates on healthy paths complete before the
@@ -385,7 +652,7 @@ impl Runner {
             .iter()
             .map(|n| &n.hook.as_ref().expect("revive on").log)
             .collect();
-        let report = recover(
+        let recovered = recover(
             RecoveryInput {
                 memories: &mut memories,
                 logs: &logs,
@@ -396,7 +663,10 @@ impl Runner {
             &timing,
         );
         drop(logs);
+        // Put the memories back even when recovery refused to run, so the
+        // halted machine stays structurally sound for post-mortem queries.
         sys.put_memories(memories);
+        let report = recovered?;
 
         // Round-trip every log against its software shadow while the
         // records are still in memory: the hardware scan and the replay
@@ -440,20 +710,20 @@ impl Runner {
                 });
             }
         }
-        RecoveryOutcome {
+        Ok(RecoveryOutcome {
             report,
             lost_work,
             unavailable: lost_work + report.unavailable(),
             target_interval: target,
             verified,
             ops_rolled_back,
-        }
+        })
     }
 
     /// Validation mode: scan each node's log from memory and replay it to
     /// `target`, comparing both streams against the software shadow log.
     /// Divergences are recorded as an [`AuditReport`].
-    fn audit_logs_against_shadows(&mut self, target: u64, lost: Option<NodeId>) {
+    fn audit_logs_against_shadows(&mut self, target: u64, lost: &[NodeId]) {
         if !self.sys.cfg.shadow_checkpoints {
             return;
         }
@@ -461,7 +731,7 @@ impl Runner {
         let mut divergences: Vec<(NodeId, LogDivergence)> = Vec::new();
         for n in 0..self.sys.nodes.len() {
             let node_id = NodeId::from(n);
-            if lost == Some(node_id) {
+            if lost.contains(&node_id) {
                 continue;
             }
             let node = &self.sys.nodes[n];
@@ -491,7 +761,7 @@ impl Runner {
 
     /// Byte-compares every application page against the shadow snapshot of
     /// the recovered checkpoint, and checks the global parity invariant.
-    fn verify_against_shadow(&self, target: u64, _lost: Option<NodeId>) -> Option<bool> {
+    fn verify_against_shadow(&self, target: u64, _lost: &[NodeId]) -> Option<bool> {
         let sys = &self.sys;
         let shadow = match sys.shadows.iter().find(|s| s.interval == target) {
             Some(s) => s,
@@ -557,7 +827,7 @@ impl Runner {
         Some(ok)
     }
 
-    fn collect(&self, recoveries: Vec<RecoveryOutcome>) -> RunResult {
+    fn collect(&self, outcomes: Vec<FaultOutcome>) -> RunResult {
         let sys = &self.sys;
         let sim_time = sys.finish_time.unwrap_or_else(|| sys.now());
         let mut summary = Summary {
@@ -591,6 +861,10 @@ impl Runner {
             row_hits as f64 / row_total as f64
         };
         summary.mean_net_latency = sys.fabric_mean_latency();
+        let recoveries: Vec<RecoveryOutcome> = outcomes
+            .iter()
+            .filter_map(|o| o.recovered().copied())
+            .collect();
         RunResult {
             sim_time,
             metrics: summary,
@@ -599,6 +873,7 @@ impl Runner {
             events: sys.events_processed(),
             recovery: recoveries.last().copied(),
             recoveries,
+            outcomes,
             audits: sys.audits.clone(),
             epochs: sys
                 .sampler

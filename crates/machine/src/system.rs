@@ -45,6 +45,7 @@ use crate::config::{ExperimentConfig, MachineError};
 use crate::differential::AuditReport;
 use crate::metrics::{Metrics, TrafficClass};
 use crate::page_table::PageTable;
+use crate::runner::CommitPoint;
 use crate::sampling::{IntervalSampler, SampleInput};
 
 /// Debug aid: set `REVIVE_TRACE_LINE` to a decimal global line number to
@@ -271,9 +272,9 @@ pub struct System {
     exec_snaps: VecDeque<ExecSnapshot>,
     pub(crate) halted: bool,
     pub(crate) inject_at_ckpt: Option<(u64, f64)>,
-    /// Scripted error inside the two-phase-commit window of this checkpoint:
-    /// halt after the logs are marked but before the commit completes.
-    pub(crate) inject_in_commit_of: Option<u64>,
+    /// Scripted error pinned to a two-phase-commit boundary of this
+    /// checkpoint: halt exactly at the named [`CommitPoint`].
+    pub(crate) inject_in_commit_of: Option<(u64, CommitPoint)>,
     pub(crate) inject_time: Option<Ns>,
     /// After a commit-window injection the CPUs are legitimately frozen in
     /// the flush phase while the runner drains the detection window; an
@@ -1148,9 +1149,19 @@ impl System {
         );
         let t_b1 = t + barrier;
         self.ck_timeline.barrier1_done = t_b1;
+        let new_id = self.ckpt_counter + 1;
+        if self.inject_in_commit_of == Some((new_id, CommitPoint::AfterBarrier1)) {
+            // Scripted error on the barrier-1 edge: no log has marked the
+            // new checkpoint yet, so the previous checkpoint is still the
+            // recovery target everywhere. CPUs remain frozen in the flush
+            // phase until the runner recovers the machine.
+            self.inject_time = Some(t_b1);
+            self.halted = true;
+            self.suppress_deadlock_panic = true;
+            return;
+        }
         // Between the barriers every node marks the checkpoint in its local
         // log (the two-phase commit of Section 4.2).
-        let new_id = self.ckpt_counter + 1;
         let mut mark_done = t_b1;
         for n in 0..self.nodes.len() {
             let Node {
@@ -1197,7 +1208,7 @@ impl System {
                 phase: CkptPhaseEvent::Marked,
             },
         );
-        if self.inject_in_commit_of == Some(new_id) {
+        if self.inject_in_commit_of == Some((new_id, CommitPoint::AfterMark)) {
             // Scripted error inside the two-phase-commit window: every log
             // is marked but the commit never completes, so the previous
             // checkpoint must stay recoverable. CPUs remain frozen in the
@@ -1248,6 +1259,16 @@ impl System {
         }
         self.capture_exec_snapshot(new_id);
         self.audit_parity_at_commit(new_id);
+        if self.inject_in_commit_of == Some((new_id, CommitPoint::AfterCommit)) {
+            // Scripted error on the reclaim edge: the checkpoint committed
+            // and old log space was just reclaimed, but no CPU has resumed.
+            // The freshly committed checkpoint is the recovery target, and
+            // rolling back to it must discard exactly nothing.
+            self.inject_time = Some(t_commit);
+            self.halted = true;
+            self.suppress_deadlock_panic = true;
+            return;
+        }
         // Resume execution.
         self.ck_phase = CkPhase::Running;
         for c in 0..self.cpus.len() {
@@ -1327,8 +1348,15 @@ impl System {
         }
         self.metrics.cpu_ops = snap.cpu_ops;
         self.metrics.instructions = snap.instructions;
-        // Snapshots past the target belong to discarded intervals.
+        // Snapshots past the target belong to discarded intervals. The
+        // shadow snapshots must go too: the checkpoint counter rewinds to
+        // `target`, so the replayed timeline re-commits the same interval
+        // ids — with different contents, because post-recovery timing
+        // shifts the checkpoint boundaries. A stale shadow left behind
+        // would shadow (sic) the re-committed one and fail verification
+        // of a later rollback to that interval.
         self.exec_snaps.retain(|s| s.interval <= target);
+        self.shadows.retain(|s| s.interval <= target);
         rolled
     }
 
@@ -1453,13 +1481,13 @@ impl System {
     /// for on-demand page reconstruction and for the delta-maintained parity
     /// of log replay. Updates to or from the lost node die with it; the
     /// log-before-data ordering (Section 4.2) makes those drops safe.
-    pub(crate) fn drain_parity_inflight(&mut self, lost: Option<NodeId>) {
+    pub(crate) fn drain_parity_inflight(&mut self, lost: &[NodeId]) {
         for (_, ev) in self.queue.drain() {
             let Ev::Deliver(msg) = ev else { continue };
             let Payload::Par { update, mirror } = msg.payload else {
                 continue;
             };
-            if lost.is_some_and(|l| l == msg.src || l == msg.dst) {
+            if lost.contains(&msg.src) || lost.contains(&msg.dst) {
                 continue;
             }
             let n = msg.dst.index();

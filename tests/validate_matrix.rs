@@ -44,6 +44,7 @@ fn plan(kind: ErrorKind, phase: InjectPhase, interval: Ns) -> InjectionPlan {
         detection_delay: Ns((interval.0 as f64 * 0.3) as u64),
         kind,
         phase,
+        second: None,
     }
 }
 
