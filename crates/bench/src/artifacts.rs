@@ -13,7 +13,7 @@
 use std::path::PathBuf;
 use std::sync::OnceLock;
 
-use revive_machine::{render_artifact, validate_artifact, ExperimentConfig, RunMeta, RunResult};
+use revive_machine::{ExperimentConfig, RunMeta, RunResult};
 
 static EXPERIMENT: OnceLock<String> = OnceLock::new();
 
@@ -46,62 +46,22 @@ pub fn dir() -> PathBuf {
     root.join(experiment())
 }
 
-fn sanitize(label: &str) -> String {
-    label
-        .chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
-                c
-            } else {
-                '_'
-            }
-        })
-        .collect()
-}
-
-/// Renders, validates, and writes one run artifact. Returns the path, or
-/// `None` when emission is disabled or the write failed (benchmarks must
-/// not die because a results directory is read-only — the tables on stdout
-/// are still the primary output).
+/// Renders, validates, and atomically writes one run artifact. Returns the
+/// path, or `None` when emission is disabled or the write failed
+/// (benchmarks must not die because a results directory is read-only — the
+/// tables on stdout are still the primary output).
 pub fn emit(label: &str, cfg: &ExperimentConfig, result: &RunResult) -> Option<PathBuf> {
     emit_with_meta(RunMeta::from_config(label, cfg), result)
 }
 
 /// As [`emit`], but with caller-built metadata — used by injection runs to
 /// record their fault scenario (and campaign seed) inside the artifact.
+/// The write goes through `revive_harness::emit_artifact` (temp file +
+/// atomic rename), so concurrent writers never interleave bytes.
 pub fn emit_with_meta(meta: RunMeta, result: &RunResult) -> Option<PathBuf> {
     if !enabled() {
         return None;
     }
-    let label = meta.label.clone();
-    let text = render_artifact(&meta, result);
-    debug_assert!(
-        validate_artifact(&text).is_ok(),
-        "emitted artifact failed validation: {:?}",
-        validate_artifact(&text)
-    );
-    let dir = dir();
-    if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
-        return None;
-    }
-    let path = dir.join(format!("{}.json", sanitize(&label)));
-    match std::fs::write(&path, text) {
-        Ok(()) => Some(path),
-        Err(e) => {
-            eprintln!("warning: cannot write {}: {e}", path.display());
-            None
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn labels_sanitize_to_safe_filenames() {
-        assert_eq!(sanitize("fft/Cp10ms"), "fft_Cp10ms");
-        assert_eq!(sanitize("water-n2 x=3"), "water-n2_x_3");
-    }
+    let path = dir().join(format!("{}.json", revive_harness::sanitize(&meta.label)));
+    revive_harness::emit_artifact(&path, &meta, result).then_some(path)
 }

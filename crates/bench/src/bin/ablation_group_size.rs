@@ -7,36 +7,37 @@
 //! write-heavy and one cache-friendly workload, reporting error-free
 //! overhead, storage overhead, and the recovery cost of a lost node.
 
-use revive_bench::{banner, overhead_pct, Opts, Table, CP_INTERVAL};
-use revive_machine::{
-    ExperimentConfig, InjectionPlan, ReviveConfig, ReviveMode, Runner, WorkloadSpec,
-};
+use revive_bench::{banner, overhead_pct, Opts, Table};
+use revive_harness::{Args, Sweep, SweepJob};
+use revive_machine::{ExperimentConfig, InjectionPlan, ReviveConfig, ReviveMode, WorkloadSpec};
 use revive_sim::types::NodeId;
 use revive_workloads::AppId;
 
+const APPS: [AppId; 2] = [AppId::Radix, AppId::Lu];
+const GROUPS: [usize; 4] = [1, 3, 7, 15];
+// Per app: one baseline, then a clean + an injection run per group size.
+const PER_APP: usize = 1 + 2 * GROUPS.len();
+
 fn main() {
-    let opts = Opts::from_env();
-    revive_bench::artifacts::init("ablation_group_size");
+    let args = Args::parse();
+    let opts = Opts::from_args(&args);
     banner(
         "Ablation — parity group size",
         "ReVive (ISCA 2002) Sections 3.2.1, 6.2 (memory vs recovery trade-off)",
         opts,
     );
-    for app in [AppId::Radix, AppId::Lu] {
-        println!("--- {} ---", app.name());
+    let mut jobs = Vec::new();
+    for app in APPS {
         let mut base_cfg =
             ExperimentConfig::experiment(WorkloadSpec::Splash(app), ReviveConfig::off());
         base_cfg.ops_per_cpu = opts.ops_per_cpu();
-        let base = revive_bench::run_config(base_cfg, &format!("{}_base", app.name()));
-        let mut table = Table::new([
-            "group",
-            "overhead%",
-            "storage%",
-            "recovery p2+p3",
-            "verified",
-        ]);
-        for g in [1usize, 3, 7, 15] {
-            let mut revive = ReviveConfig::parity(CP_INTERVAL);
+        if let Some(seed) = opts.seed {
+            base_cfg.seed = seed;
+        }
+        jobs.push(SweepJob::new(format!("{}_base", app.name()), base_cfg));
+        let interval = opts.injection_interval();
+        for g in GROUPS {
+            let mut revive = ReviveConfig::parity(interval);
             revive.mode = if g == 1 {
                 ReviveMode::Mirroring
             } else {
@@ -50,15 +51,37 @@ fn main() {
             // runs: an injection run's completion time includes the outage.
             let mut cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), revive);
             cfg.ops_per_cpu = opts.ops_per_cpu();
-            let clean = revive_bench::run_config(cfg, &format!("{}_{g}p1", app.name()));
+            if let Some(seed) = opts.seed {
+                cfg.seed = seed;
+            }
+            jobs.push(SweepJob::new(format!("{}_{g}p1", app.name()), cfg));
             cfg.shadow_checkpoints = true;
-            let plan = InjectionPlan::paper_worst_case(CP_INTERVAL, NodeId(5));
-            let result = Runner::new(cfg)
-                .expect("cfg")
-                .run_with_injection(plan)
-                .expect("injection");
-            revive_bench::artifacts::emit(&format!("{}_{g}p1_inject", app.name()), &cfg, &result);
-            let rec = result.recovery.expect("recovery ran");
+            let plan = InjectionPlan::paper_worst_case(interval, NodeId(5));
+            jobs.push(SweepJob::with_plans(
+                format!("{}_{g}p1_inject", app.name()),
+                cfg,
+                vec![plan],
+            ));
+        }
+    }
+    let outcomes = Sweep::new("ablation_group_size", &args).run_all(jobs);
+
+    for (a, app) in APPS.into_iter().enumerate() {
+        println!("--- {} ---", app.name());
+        let base = &outcomes[a * PER_APP].result;
+        let mut table = Table::new([
+            "group",
+            "overhead%",
+            "storage%",
+            "recovery p2+p3",
+            "verified",
+        ]);
+        for (gi, g) in GROUPS.into_iter().enumerate() {
+            let clean = &outcomes[a * PER_APP + 1 + gi * 2].result;
+            let rec = outcomes[a * PER_APP + 2 + gi * 2]
+                .result
+                .recovery
+                .expect("recovery ran");
             table.row([
                 format!("{g}+1"),
                 format!("{:.1}", overhead_pct(clean.sim_time, base.sim_time)),
@@ -71,7 +94,6 @@ fn main() {
                 }
                 .to_string(),
             ]);
-            eprintln!("  {}: {g}+1 done", app.name());
         }
         table.print();
         println!();

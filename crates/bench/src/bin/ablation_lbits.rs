@@ -8,36 +8,49 @@
 //! workload.
 
 use revive_bench::{banner, overhead_pct, Opts, Table, CP_INTERVAL};
+use revive_harness::{Args, Sweep, SweepJob};
 use revive_machine::{ExperimentConfig, ReviveConfig, WorkloadSpec};
 use revive_workloads::AppId;
 
 fn main() {
-    let opts = Opts::from_env();
-    revive_bench::artifacts::init("ablation_lbits");
+    let args = Args::parse();
+    let opts = Opts::from_args(&args);
     banner(
         "Ablation — L bits: full array vs directory cache",
         "ReVive (ISCA 2002) Section 4.1.2",
         opts,
     );
     let app = AppId::Fft;
-    let mut base_cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), ReviveConfig::off());
-    base_cfg.ops_per_cpu = opts.ops_per_cpu() / 2;
-    let base = revive_bench::run_config(base_cfg, "fft_base");
-
-    let mut table = Table::new(["L bits", "overhead%", "log records", "peak log KB", "ckpts"]);
     let variants: [(&str, Option<usize>); 4] = [
         ("full array", None),
         ("cache 1024", Some(1024)),
         ("cache 256", Some(256)),
         ("cache 64", Some(64)),
     ];
+
+    let mut base_cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), ReviveConfig::off());
+    base_cfg.ops_per_cpu = opts.ops_per_cpu() / 2;
+    if let Some(seed) = opts.seed {
+        base_cfg.seed = seed;
+    }
+    let mut jobs = vec![SweepJob::new("fft_base".to_string(), base_cfg)];
     for (label, cap) in variants {
         let mut revive = ReviveConfig::parity(CP_INTERVAL);
         revive.log_fraction = 0.28;
         revive.lbit_dir_cache = cap;
         let mut cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), revive);
         cfg.ops_per_cpu = opts.ops_per_cpu() / 2;
-        let r = revive_bench::run_config(cfg, &format!("fft_{label}"));
+        if let Some(seed) = opts.seed {
+            cfg.seed = seed;
+        }
+        jobs.push(SweepJob::new(format!("fft_{label}"), cfg));
+    }
+    let outcomes = Sweep::new("ablation_lbits", &args).run_all(jobs);
+    let base = &outcomes[0].result;
+
+    let mut table = Table::new(["L bits", "overhead%", "log records", "peak log KB", "ckpts"]);
+    for ((label, _), outcome) in variants.into_iter().zip(&outcomes[1..]) {
+        let r = &outcome.result;
         let records = r.metrics.costs.rdx_unlogged + r.metrics.costs.wb_unlogged;
         table.row([
             label.to_string(),
@@ -46,7 +59,6 @@ fn main() {
             format!("{:.0}", r.metrics.max_log_bytes() as f64 / 1024.0),
             r.checkpoints.to_string(),
         ]);
-        eprintln!("  {label} done");
     }
     table.print();
     println!();

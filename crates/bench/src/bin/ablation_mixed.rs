@@ -12,13 +12,16 @@
 
 use revive_bench::{banner, overhead_pct, Opts, Table, CP_INTERVAL};
 use revive_core::parity::ParityMap;
+use revive_harness::{Args, Sweep, SweepJob};
 use revive_machine::{ExperimentConfig, ReviveConfig, ReviveMode, WorkloadSpec};
 use revive_mem::addr::AddressMap;
 use revive_workloads::AppId;
 
+const FRACS: [f64; 5] = [0.0, 0.1, 0.25, 0.5, 1.0];
+
 fn main() {
-    let opts = Opts::from_env();
-    revive_bench::artifacts::init("ablation_mixed");
+    let args = Args::parse();
+    let opts = Opts::from_args(&args);
     banner(
         "Ablation — mixed mirroring + parity",
         "ReVive (ISCA 2002) Sections 6.1 and 8 (proposed extension)",
@@ -27,13 +30,14 @@ fn main() {
     let app = AppId::Radix; // write-heavy: parity-update costs dominate
     let mut base_cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), ReviveConfig::off());
     base_cfg.ops_per_cpu = opts.ops_per_cpu() / 2;
-    let base = revive_bench::run_config(base_cfg, "radix_base");
+    if let Some(seed) = opts.seed {
+        base_cfg.seed = seed;
+    }
     println!("workload: {}\n", app.name());
 
-    let mut table = Table::new(["mirrored frac", "overhead%", "storage%"]);
     let machine = base_cfg.machine;
-    let map = AddressMap::new(machine.nodes, machine.mem_per_node);
-    for frac in [0.0, 0.1, 0.25, 0.5, 1.0] {
+    let mut jobs = vec![SweepJob::new("radix_base".to_string(), base_cfg)];
+    for frac in FRACS {
         let mut revive = ReviveConfig::parity(CP_INTERVAL);
         revive.mode = if frac >= 1.0 {
             ReviveMode::Mirroring
@@ -50,8 +54,21 @@ fn main() {
         revive.log_fraction = 0.28 + 0.25 * frac; // keep absolute log size steady
         let mut cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), revive);
         cfg.ops_per_cpu = opts.ops_per_cpu() / 2;
-        let r =
-            revive_bench::run_config(cfg, &format!("radix_mirrored_{:02}", (frac * 100.0) as u32));
+        if let Some(seed) = opts.seed {
+            cfg.seed = seed;
+        }
+        jobs.push(SweepJob::new(
+            format!("radix_mirrored_{:02}", (frac * 100.0) as u32),
+            cfg,
+        ));
+    }
+    let outcomes = Sweep::new("ablation_mixed", &args).run_all(jobs);
+    let base = &outcomes[0].result;
+
+    let mut table = Table::new(["mirrored frac", "overhead%", "storage%"]);
+    let map = AddressMap::new(machine.nodes, machine.mem_per_node);
+    for (frac, outcome) in FRACS.into_iter().zip(&outcomes[1..]) {
+        let r = &outcome.result;
         let mirrored = (map.pages_per_node() as f64 * frac) as u64;
         let pm = if frac >= 1.0 {
             ParityMap::new(map, 1)
@@ -63,7 +80,6 @@ fn main() {
             format!("{:.1}", overhead_pct(r.sim_time, base.sim_time)),
             format!("{:.1}", 100.0 * pm.storage_overhead()),
         ]);
-        eprintln!("  frac {frac} done");
     }
     table.print();
     println!();

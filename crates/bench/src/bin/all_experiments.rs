@@ -1,9 +1,15 @@
 //! Runs every table/figure binary in sequence, teeing output to
-//! `results/<name>.txt`. Pass `--quick` (or set `REVIVE_QUICK=1`) to run
-//! reduced budgets.
+//! `results/<name>.txt`. Pass `--quick` (or set `REVIVE_QUICK=1`) for
+//! reduced budgets. The shared harness flags (`--jobs N`, `--no-cache`,
+//! `--seed S`) pass straight through to every child, so
+//! `all_experiments --quick --jobs 4` runs each experiment's sweep across
+//! four workers — the children parallelize internally and their output
+//! stays byte-identical to a serial run.
 
 use std::io::Write as _;
 use std::process::Command;
+
+use revive_harness::Args;
 
 const BINS: [&str; 9] = [
     "table1_events",
@@ -18,7 +24,7 @@ const BINS: [&str; 9] = [
 ];
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args = Args::parse();
     std::fs::create_dir_all("results").expect("create results dir");
     let exe_dir = std::env::current_exe()
         .expect("own path")
@@ -35,13 +41,12 @@ fn main() {
     ];
     let mut all: Vec<String> = BINS.iter().map(|s| s.to_string()).collect();
     all.append(&mut extra);
+    let t_all = std::time::Instant::now();
     for bin in all {
         let t0 = std::time::Instant::now();
         eprintln!("== {bin} ==");
         let mut cmd = Command::new(exe_dir.join(&bin));
-        if quick {
-            cmd.arg("--quick");
-        }
+        cmd.args(args.passthrough());
         let out = cmd.output().unwrap_or_else(|e| panic!("spawn {bin}: {e}"));
         let path = format!("results/{bin}.txt");
         let mut f = std::fs::File::create(&path).expect("create result file");
@@ -52,5 +57,8 @@ fn main() {
         }
         eprintln!("   -> {path} ({:.1?})", t0.elapsed());
     }
-    eprintln!("all experiments complete; see results/");
+    eprintln!(
+        "all experiments complete in {:.1?}; see results/",
+        t_all.elapsed()
+    );
 }

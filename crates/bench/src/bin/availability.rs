@@ -8,37 +8,38 @@
 //! availability at one error/day; ~250 ms and 99.9997 % when errors do not
 //! lose memory.
 
-use revive_bench::{banner, Opts, Table, CP_INTERVAL};
+use revive_bench::{banner, Opts, Table};
 use revive_core::availability::{monte_carlo_availability, nines, AvailabilityModel};
-use revive_machine::{ExperimentConfig, InjectionPlan, Runner, WorkloadSpec};
+use revive_harness::{Args, Sweep, SweepJob};
+use revive_machine::{ExperimentConfig, InjectionPlan, WorkloadSpec};
 use revive_sim::time::Ns;
 use revive_sim::types::NodeId;
 use revive_workloads::AppId;
 
-fn measured_recovery(app: AppId, node_loss: bool, opts: Opts) -> revive_machine::RecoveryOutcome {
+fn recovery_job(app: AppId, node_loss: bool, opts: Opts) -> SweepJob {
+    let interval = opts.injection_interval();
     let mut cfg = ExperimentConfig::experiment(
         WorkloadSpec::Splash(app),
         revive_bench::FigConfig::Cp.revive(),
     );
+    cfg.revive.ckpt.interval = interval;
     cfg.ops_per_cpu = opts.ops_per_cpu();
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
     cfg.shadow_checkpoints = true;
     let plan = if node_loss {
-        InjectionPlan::paper_worst_case(CP_INTERVAL, NodeId(5))
+        InjectionPlan::paper_worst_case(interval, NodeId(5))
     } else {
-        InjectionPlan::paper_transient(CP_INTERVAL)
+        InjectionPlan::paper_transient(interval)
     };
-    let result = Runner::new(cfg)
-        .expect("config")
-        .run_with_injection(plan)
-        .expect("injection fired");
     let label = if node_loss { "node_loss" } else { "transient" };
-    revive_bench::artifacts::emit(&format!("{}_{label}", app.name()), &cfg, &result);
-    result.recovery.expect("recovery ran")
+    SweepJob::with_plans(format!("{}_{label}", app.name()), cfg, vec![plan])
 }
 
 fn main() {
-    let opts = Opts::from_env();
-    revive_bench::artifacts::init("availability");
+    let args = Args::parse();
+    let opts = Opts::from_args(&args);
     banner(
         "Availability — measured recovery + the paper's real-machine parameters",
         "ReVive (ISCA 2002) Sections 3.3.2 and 6.3",
@@ -46,11 +47,16 @@ fn main() {
     );
     // Scale measured phases to the real machine's 100 ms interval, the same
     // linear extrapolation the paper applies to its 10 ms simulations.
-    let scale = Ns::from_ms(100).0 as f64 / CP_INTERVAL.0 as f64;
+    let scale = Ns::from_ms(100).0 as f64 / opts.injection_interval().0 as f64;
     let scaled = |t: Ns| Ns((t.0 as f64 * scale) as u64);
 
-    let loss = measured_recovery(AppId::Radix, true, opts);
-    let transient = measured_recovery(AppId::Radix, false, opts);
+    let jobs = vec![
+        recovery_job(AppId::Radix, true, opts),
+        recovery_job(AppId::Radix, false, opts),
+    ];
+    let outcomes = Sweep::new("availability", &args).run_all(jobs);
+    let loss = outcomes[0].result.recovery.expect("recovery ran");
+    let transient = outcomes[1].result.recovery.expect("recovery ran");
     println!(
         "measured (radix, sim scale): node-loss p2={} p3={}; transient p3={}\n",
         loss.report.phase2, loss.report.phase3, transient.report.phase3

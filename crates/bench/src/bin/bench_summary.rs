@@ -1,6 +1,7 @@
 //! Perf baseline: wall-clock and simulated-time throughput for the
 //! Figure 8 application set, written as `BENCH_baseline.json` so future
-//! changes have a machine-readable reference to diff against.
+//! changes have a machine-readable reference to diff against
+//! (`bench_diff`).
 //!
 //! Simulated-time numbers (`sim_time_ns`, `sim_ns_per_op`) are
 //! deterministic across hosts; wall-clock numbers (`wall_ms`,
@@ -8,63 +9,28 @@
 //! this host and are naturally noisy. Both are recorded, clearly
 //! separated, so the JSON tracks simulator fidelity *and* simulator speed.
 
-use std::time::Instant;
+use std::path::Path;
 
-use revive_bench::{banner, FigConfig, Opts, Table};
-use revive_machine::WorkloadSpec;
-use revive_workloads::AppId;
-
-struct Entry {
-    app: &'static str,
-    config: &'static str,
-    ops: u64,
-    events: u64,
-    sim_time_ns: u64,
-    wall_ms: f64,
-}
-
-fn render_json(quick: bool, entries: &[Entry]) -> String {
-    let mut o = String::new();
-    o.push_str("{\n");
-    o.push_str("  \"schema\": \"revive-bench-summary\",\n");
-    o.push_str("  \"version\": 1,\n");
-    o.push_str(&format!("  \"quick\": {quick},\n"));
-    o.push_str("  \"entries\": [\n");
-    for (i, e) in entries.iter().enumerate() {
-        let sim_ns_per_op = e.sim_time_ns as f64 / e.ops.max(1) as f64;
-        let wall_s = (e.wall_ms / 1e3).max(1e-9);
-        o.push_str(&format!(
-            "    {{\"app\": \"{}\", \"config\": \"{}\", \"ops\": {}, \"events\": {}, \
-             \"sim_time_ns\": {}, \"sim_ns_per_op\": {:.3}, \"wall_ms\": {:.1}, \
-             \"kops_per_wall_sec\": {:.1}, \"kevents_per_wall_sec\": {:.1}}}{}\n",
-            e.app,
-            e.config,
-            e.ops,
-            e.events,
-            e.sim_time_ns,
-            sim_ns_per_op,
-            e.wall_ms,
-            e.ops as f64 / wall_s / 1e3,
-            e.events as f64 / wall_s / 1e3,
-            if i + 1 < entries.len() { "," } else { "" },
-        ));
-    }
-    o.push_str("  ]\n}\n");
-    o
-}
+use revive_bench::summary::{render_json, run_summary_sweep};
+use revive_bench::{banner, Opts, Table};
+use revive_harness::Args;
 
 fn main() {
-    let opts = Opts::from_env();
-    revive_bench::artifacts::init("bench_summary");
+    let args = Args::parse();
+    let opts = Opts::from_args(&args);
     banner(
         "Bench summary — perf baseline over the Figure 8 application set",
         "harness baseline (BENCH_baseline.json), not a paper figure",
         opts,
     );
-    let out_path = std::env::args()
-        .skip(1)
+    let out_path = args
+        .rest
+        .iter()
         .find(|a| !a.starts_with("--"))
+        .cloned()
         .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+
+    let entries = run_summary_sweep(&args, opts);
 
     let mut table = Table::new([
         "app",
@@ -74,37 +40,19 @@ fn main() {
         "wall ms",
         "kops/s",
     ]);
-    let mut entries = Vec::new();
-    for app in AppId::ALL {
-        for fig in [FigConfig::Baseline, FigConfig::Cp] {
-            let cfg = revive_bench::experiment_config(WorkloadSpec::Splash(app), fig, opts);
-            let label = format!("{}_{}", app.name(), fig.name());
-            let t0 = Instant::now();
-            let r = revive_bench::run_config(cfg, &label);
-            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-            let e = Entry {
-                app: app.name(),
-                config: fig.name(),
-                ops: r.metrics.traffic.cpu_ops,
-                events: r.events,
-                sim_time_ns: r.sim_time.0,
-                wall_ms,
-            };
-            table.row([
-                e.app.to_string(),
-                e.config.to_string(),
-                r.sim_time.to_string(),
-                format!("{:.2}", e.sim_time_ns as f64 / e.ops.max(1) as f64),
-                format!("{:.0}", e.wall_ms),
-                format!("{:.0}", e.ops as f64 / (e.wall_ms / 1e3).max(1e-9) / 1e3),
-            ]);
-            entries.push(e);
-            eprintln!("  {} {} done", app.name(), fig.name());
-        }
+    for e in &entries {
+        table.row([
+            e.app.clone(),
+            e.config.clone(),
+            format!("{:.3}ms", e.sim_time_ns as f64 / 1e6),
+            format!("{:.2}", e.sim_ns_per_op()),
+            format!("{:.0}", e.wall_ms),
+            format!("{:.0}", e.kops_per_wall_sec()),
+        ]);
     }
     table.print();
     let json = render_json(opts.quick, &entries);
-    if let Err(e) = std::fs::write(&out_path, &json) {
+    if let Err(e) = revive_machine::write_atomic(Path::new(&out_path), &json) {
         eprintln!("failed to write {out_path}: {e}");
         std::process::exit(1);
     }

@@ -1,34 +1,38 @@
 //! Adversarial fault-campaign driver.
 //!
 //! ```text
-//! campaign [--seeds N] [--start-seed S] [--quick] [--replay FILE]
+//! campaign [--seeds N] [--start-seed S] [--quick] [--jobs N] [--replay FILE]
 //! ```
 //!
 //! Sweeps `N` campaign seeds (default 100; `--quick` drops to 25 for CI
-//! smoke runs). Each seed deterministically expands into a fault scenario
-//! — arbitrary error kinds, two-phase-commit boundary strikes,
-//! mid-recovery double faults, simultaneous multi-node losses beyond the
-//! parity budget — which runs under the exact-memory oracle and is
-//! classified: `recovered` (oracle-verified), `unrecoverable` (typed,
-//! counted into availability), or `not-fired` (benign). A panic or an
-//! oracle mismatch is a campaign FAILURE: the scenario is greedily shrunk
-//! to a minimal repro, written as an inject-spec JSON next to the run
-//! artifacts, and the exit code is nonzero. Replay a spec with
-//! `campaign --replay FILE` or `simulate --inject-spec FILE`.
+//! smoke runs) across the harness worker pool. Each seed deterministically
+//! expands into a fault scenario — arbitrary error kinds, two-phase-commit
+//! boundary strikes, mid-recovery double faults, simultaneous multi-node
+//! losses beyond the parity budget — which runs under the exact-memory
+//! oracle and is classified: `recovered` (oracle-verified),
+//! `unrecoverable` (typed, counted into availability), or `not-fired`
+//! (benign). A panic or an oracle mismatch is a campaign FAILURE: the
+//! scenario is greedily shrunk to a minimal repro, written as an
+//! inject-spec JSON next to the run artifacts, and the exit code is
+//! nonzero. Replay a spec with `campaign --replay FILE` or
+//! `simulate --inject-spec FILE`.
 //!
 //! The first unrecoverable scenario is also minimized (predicate: still
 //! classified unrecoverable) and its spec is verified by replay, so the
 //! beyond-budget degradation path always leaves a replayable witness.
+//! Seeds are independent, so the report — table, tally, chosen repros —
+//! is identical at any `--jobs` value.
 
 use std::path::PathBuf;
 
 use revive_bench::{banner, Opts, Table};
 use revive_core::OutcomeTally;
+use revive_harness::{run_jobs, Args, Job, Progress};
 use revive_machine::campaign::{generate, run_scenario, shrink_with, CampaignConfig, Scenario};
 use revive_machine::{RunMeta, ScenarioOutcome, ScenarioReport};
 use revive_sim::Ns;
 
-struct Args {
+struct CampaignArgs {
     seeds: u64,
     start_seed: u64,
     replay: Option<String>,
@@ -36,34 +40,34 @@ struct Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: campaign [--seeds N] [--start-seed S] [--quick] [--replay FILE]");
+    eprintln!("usage: campaign [--seeds N] [--start-seed S] [--quick] [--jobs N] [--replay FILE]");
     std::process::exit(2)
 }
 
-fn parse_args() -> Args {
-    let opts = Opts::from_env();
-    let mut args = Args {
+fn parse_args(args: &Args) -> CampaignArgs {
+    let opts = Opts::from_args(args);
+    let mut a = CampaignArgs {
         seeds: if opts.quick { 25 } else { 100 },
         start_seed: 0,
         replay: None,
         opts,
     };
-    let mut seeds_set = false;
-    let mut it = std::env::args().skip(1);
+    let mut it = args.rest.iter();
     while let Some(flag) = it.next() {
-        let value = |it: &mut dyn Iterator<Item = String>| it.next().unwrap_or_else(|| usage());
-        match flag.as_str() {
-            "--seeds" => {
-                args.seeds = value(&mut it).parse().unwrap_or_else(|_| usage());
-                seeds_set = true;
-            }
-            "--start-seed" => args.start_seed = value(&mut it).parse().unwrap_or_else(|_| usage()),
-            "--replay" => args.replay = Some(value(&mut it)),
-            "--quick" => {
-                if !seeds_set {
-                    args.seeds = 25;
-                }
-            }
+        let (name, inline) = match flag.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (flag.as_str(), None),
+        };
+        let mut value = || {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .unwrap_or_else(|| usage())
+        };
+        match name {
+            "--seeds" => a.seeds = value().parse().unwrap_or_else(|_| usage()),
+            "--start-seed" => a.start_seed = value().parse().unwrap_or_else(|_| usage()),
+            "--replay" => a.replay = Some(value()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag: {other}");
@@ -71,7 +75,7 @@ fn parse_args() -> Args {
             }
         }
     }
-    args
+    a
 }
 
 fn shape(sc: &Scenario) -> String {
@@ -128,7 +132,8 @@ fn replay(path: &str) -> ! {
 }
 
 fn main() {
-    let a = parse_args();
+    let args = Args::parse();
+    let a = parse_args(&args);
     revive_bench::artifacts::init("campaign");
     if let Some(path) = a.replay.as_deref() {
         replay(path);
@@ -151,14 +156,35 @@ fn main() {
     std::panic::set_hook(Box::new(|_| {}));
 
     let gen_cfg = CampaignConfig::default();
+    let gen_cfg = &gen_cfg;
+    let seeds: Vec<u64> = (a.start_seed..a.start_seed + a.seeds).collect();
+    let progress = Progress::new(seeds.len());
+    let progress = &progress;
+    let pool_jobs: Vec<Job<(Scenario, ScenarioReport), _>> = seeds
+        .iter()
+        .map(|&seed| {
+            let label = format!("seed_{seed:04}");
+            Job::new(label.clone(), move || {
+                let sc = generate(seed, gen_cfg);
+                let report = run_scenario(&sc);
+                emit_artifact(&label, &report);
+                progress.finish(&label, false);
+                Ok((sc, report))
+            })
+        })
+        .collect();
+    let workers = args.workers(seeds.len());
+    let scenario_reports: Vec<(Scenario, ScenarioReport)> = run_jobs(pool_jobs, workers)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    std::panic::set_hook(default_hook);
+
     let mut table = Table::new(["seed", "shape", "app", "faults", "outcome"]);
     let mut tally = OutcomeTally::default();
     let mut failures: Vec<ScenarioReport> = Vec::new();
     let mut first_unrecoverable: Option<Scenario> = None;
-    for seed in a.start_seed..a.start_seed + a.seeds {
-        let sc = generate(seed, &gen_cfg);
-        let report = run_scenario(&sc);
-        emit_artifact(&format!("seed_{seed:04}"), &report);
+    for (sc, report) in scenario_reports {
         match &report.outcome {
             ScenarioOutcome::Recovered { unavailable, .. } => tally.record_recovered(*unavailable),
             ScenarioOutcome::Unrecoverable { .. } => {
@@ -171,7 +197,7 @@ fn main() {
             ScenarioOutcome::BadConfig { .. } | ScenarioOutcome::Panicked { .. } => {}
         }
         table.row([
-            seed.to_string(),
+            sc.seed.to_string(),
             shape(&sc),
             sc.app.name().to_string(),
             sc.faults.len().to_string(),
@@ -181,7 +207,6 @@ fn main() {
             failures.push(report);
         }
     }
-    std::panic::set_hook(default_hook);
     table.print();
 
     println!();

@@ -3,14 +3,15 @@
 //! parity the paper notes PAR shrinks to one-third; pass `--mirroring` to
 //! reproduce that variant.
 
-use revive_bench::{banner, run_app, FigConfig, Opts, Table};
-use revive_machine::TrafficClass;
+use revive_bench::{banner, experiment_config, FigConfig, Opts, Table};
+use revive_harness::{Args, Sweep, SweepJob};
+use revive_machine::{TrafficClass, WorkloadSpec};
 use revive_workloads::AppId;
 
 fn main() {
-    let opts = Opts::from_env();
-    revive_bench::artifacts::init("fig10_mem_traffic");
-    let mirroring = std::env::args().any(|a| a == "--mirroring");
+    let args = Args::parse();
+    let opts = Opts::from_args(&args);
+    let mirroring = args.rest.iter().any(|a| a == "--mirroring");
     let fig = if mirroring {
         FigConfig::CpM
     } else {
@@ -24,6 +25,15 @@ fn main() {
     if mirroring {
         println!("variant: mirroring (PAR should shrink to ~1/3 of the parity run)\n");
     }
+    let jobs = AppId::ALL
+        .into_iter()
+        .map(|app| {
+            let cfg = experiment_config(WorkloadSpec::Splash(app), fig, opts);
+            SweepJob::new(format!("{}_{}", cfg.workload.name(), fig.name()), cfg)
+        })
+        .collect();
+    let outcomes = Sweep::new("fig10_mem_traffic", &args).run_all(jobs);
+
     let mut table = Table::new([
         "app",
         "Maccesses",
@@ -33,8 +43,8 @@ fn main() {
         "LOG%",
         "PAR%",
     ]);
-    for app in AppId::ALL {
-        let r = run_app(app, fig, opts);
+    for (app, outcome) in AppId::ALL.into_iter().zip(&outcomes) {
+        let r = &outcome.result;
         let total = r.metrics.traffic.mem_accesses_total().max(1);
         let pct = |c: TrafficClass| {
             100.0 * r.metrics.traffic.mem_accesses[c.index()] as f64 / total as f64
@@ -48,7 +58,6 @@ fn main() {
             format!("{:.1}", pct(TrafficClass::Log)),
             format!("{:.1}", pct(TrafficClass::Par)),
         ]);
-        eprintln!("  {} done", app.name());
     }
     table.print();
 }

@@ -4,18 +4,32 @@
 //! 100 ms interval and notes longer intervals filter more redundant
 //! entries. The shape to reproduce: Radix ≫ FFT/Ocean > the rest.
 
-use revive_bench::{banner, run_app, FigConfig, Opts, Table, CP_INTERVAL};
+use revive_bench::{banner, experiment_config, FigConfig, Opts, Table, CP_INTERVAL};
+use revive_harness::{Args, Sweep, SweepJob};
+use revive_machine::WorkloadSpec;
 use revive_sim::time::Ns;
 use revive_workloads::AppId;
 
 fn main() {
-    let opts = Opts::from_env();
-    revive_bench::artifacts::init("fig11_log_size");
+    let args = Args::parse();
+    let opts = Opts::from_args(&args);
     banner(
         "Figure 11 — maximum log size (Cp10ms, two checkpoints retained)",
         "ReVive (ISCA 2002) Figure 11 and Section 6.2",
         opts,
     );
+    let jobs = AppId::ALL
+        .into_iter()
+        .map(|app| {
+            let cfg = experiment_config(WorkloadSpec::Splash(app), FigConfig::Cp, opts);
+            SweepJob::new(
+                format!("{}_{}", cfg.workload.name(), FigConfig::Cp.name()),
+                cfg,
+            )
+        })
+        .collect();
+    let outcomes = Sweep::new("fig11_log_size", &args).run_all(jobs);
+
     let mut table = Table::new([
         "app",
         "max node log",
@@ -24,8 +38,8 @@ fn main() {
         "appends",
     ]);
     let scale_to_real = Ns::from_ms(100).0 as f64 / CP_INTERVAL.0 as f64;
-    for app in AppId::ALL {
-        let r = run_app(app, FigConfig::Cp, opts);
+    for (app, outcome) in AppId::ALL.into_iter().zip(&outcomes) {
+        let r = &outcome.result;
         let max = r.metrics.max_log_bytes();
         let total: u64 = r.metrics.log_high_water.iter().sum();
         table.row([
@@ -38,7 +52,6 @@ fn main() {
                 r.metrics.costs.rdx_unlogged + r.metrics.costs.wb_unlogged
             ),
         ]);
-        eprintln!("  {} done", app.name());
     }
     table.print();
     println!();

@@ -10,20 +10,41 @@
 //! Phase 2+3 up to 590 ms (Radix), 170 ms on average; 820 ms / 400 ms total
 //! unavailable including lost work and hardware recovery.
 
-use revive_bench::{banner, Opts, Table, CP_INTERVAL};
-use revive_machine::{ExperimentConfig, InjectionPlan, Runner, WorkloadSpec};
+use revive_bench::{banner, Opts, Table};
+use revive_harness::{Args, Sweep, SweepJob};
+use revive_machine::{ExperimentConfig, InjectionPlan, WorkloadSpec};
 use revive_sim::time::Ns;
 use revive_sim::types::NodeId;
 use revive_workloads::AppId;
 
 fn main() {
-    let opts = Opts::from_env();
-    revive_bench::artifacts::init("fig12_recovery");
+    let args = Args::parse();
+    let opts = Opts::from_args(&args);
     banner(
         "Figure 12 — unavailable time after a worst-case node loss",
         "ReVive (ISCA 2002) Figures 7 and 12, Section 6.3",
         opts,
     );
+    let interval = opts.injection_interval();
+    let jobs = AppId::ALL
+        .into_iter()
+        .map(|app| {
+            let mut cfg = ExperimentConfig::experiment(
+                WorkloadSpec::Splash(app),
+                revive_bench::FigConfig::Cp.revive(),
+            );
+            cfg.revive.ckpt.interval = interval;
+            cfg.ops_per_cpu = opts.ops_per_cpu();
+            if let Some(seed) = opts.seed {
+                cfg.seed = seed;
+            }
+            cfg.shadow_checkpoints = true;
+            let plan = InjectionPlan::paper_worst_case(interval, NodeId(5));
+            SweepJob::with_plans(format!("{}_node_loss", app.name()), cfg, vec![plan])
+        })
+        .collect();
+    let outcomes = Sweep::new("fig12_recovery", &args).run_all(jobs);
+
     let mut table = Table::new([
         "app",
         "lost work",
@@ -36,20 +57,8 @@ fn main() {
     ]);
     let mut worst: Option<(AppId, revive_machine::RecoveryOutcome)> = None;
     let mut sum_p23 = Ns::ZERO;
-    for app in AppId::ALL {
-        let mut cfg = ExperimentConfig::experiment(
-            WorkloadSpec::Splash(app),
-            revive_bench::FigConfig::Cp.revive(),
-        );
-        cfg.ops_per_cpu = opts.ops_per_cpu();
-        cfg.shadow_checkpoints = true;
-        let plan = InjectionPlan::paper_worst_case(CP_INTERVAL, NodeId(5));
-        let result = Runner::new(cfg)
-            .expect("config")
-            .run_with_injection(plan)
-            .expect("injection fired");
-        revive_bench::artifacts::emit(&format!("{}_node_loss", app.name()), &cfg, &result);
-        let rec = result.recovery.expect("recovery ran");
+    for (app, outcome) in AppId::ALL.into_iter().zip(&outcomes) {
+        let rec = outcome.result.recovery.expect("recovery ran");
         let p23 = rec.report.phase2 + rec.report.phase3;
         sum_p23 += p23;
         table.row([
@@ -73,7 +82,6 @@ fn main() {
         {
             worst = Some((app, rec));
         }
-        eprintln!("  {} done", app.name());
     }
     let mean_p23 = sum_p23 / AppId::ALL.len() as u64;
     table.row([
@@ -90,7 +98,7 @@ fn main() {
     println!();
     println!(
         "paper (at its Cp10ms scale): worst p2+p3 = 59 ms (radix), mean = 17 ms;\n\
-         x10 at the real 100 ms interval. Scale factor here: interval = {CP_INTERVAL}."
+         x10 at the real 100 ms interval. Scale factor here: interval = {interval}."
     );
     if let Some((app, rec)) = worst {
         println!();

@@ -5,44 +5,54 @@
 //! interval) and reports the slowdown relative to baseline. The paper's
 //! headline numbers: 6.3 % average for Cp10ms with 7+1 parity, 22 % worst
 //! case (FFT), with CpInf ≈ 2.7 % and CpInfM ≈ 1 % on average.
+//!
+//! The 60 runs are independent; they execute on the harness worker pool
+//! (`--jobs N`) and reuse cached artifacts when valid (`--no-cache` to
+//! force re-runs). The table is byte-identical at any worker count.
 
-use revive_bench::{banner, overhead_pct, run_app, FigConfig, Opts, Table};
+use revive_bench::{banner, experiment_config, overhead_pct, FigConfig, Opts, Table};
+use revive_harness::{Args, Sweep, SweepJob};
+use revive_machine::WorkloadSpec;
 use revive_workloads::AppId;
 
 fn main() {
-    let opts = Opts::from_env();
-    revive_bench::artifacts::init("fig8_overhead");
+    let args = Args::parse();
+    let opts = Opts::from_args(&args);
     banner(
         "Figure 8 — error-free execution overhead",
         "ReVive (ISCA 2002) Figure 8; averages in Sections 1, 6.1, 8",
         opts,
     );
+    let mut jobs = Vec::new();
+    for app in AppId::ALL {
+        for fig in FigConfig::ALL {
+            let cfg = experiment_config(WorkloadSpec::Splash(app), fig, opts);
+            jobs.push(SweepJob::new(
+                format!("{}_{}", cfg.workload.name(), fig.name()),
+                cfg,
+            ));
+        }
+    }
+    let outcomes = Sweep::new("fig8_overhead", &args).run_all(jobs);
+
+    let per_app = FigConfig::ALL.len();
     let mut table = Table::new(["app", "Cp10ms%", "CpInf%", "Cp10msM%", "CpInfM%", "ckpts"]);
     let mut sums = [0.0f64; 4];
-    for app in AppId::ALL {
-        let base = run_app(app, FigConfig::Baseline, opts);
+    for (a, app) in AppId::ALL.into_iter().enumerate() {
+        let base = &outcomes[a * per_app].result;
         let mut cells = vec![app.name().to_string()];
         let mut ckpts = 0;
-        for (i, fig) in [
-            FigConfig::Cp,
-            FigConfig::CpInf,
-            FigConfig::CpM,
-            FigConfig::CpInfM,
-        ]
-        .into_iter()
-        .enumerate()
-        {
-            let r = run_app(app, fig, opts);
+        for i in 0..4 {
+            let r = &outcomes[a * per_app + 1 + i].result;
             let pct = overhead_pct(r.sim_time, base.sim_time);
             sums[i] += pct;
             cells.push(format!("{pct:.1}"));
-            if fig == FigConfig::Cp {
+            if FigConfig::ALL[1 + i] == FigConfig::Cp {
                 ckpts = r.checkpoints;
             }
         }
         cells.push(ckpts.to_string());
         table.row(cells);
-        eprintln!("  {} done", app.name());
     }
     let n = AppId::ALL.len() as f64;
     table.row([

@@ -5,23 +5,36 @@
 //! (parity updates for data and logs). The paper's observation: traffic is
 //! low except for FFT, Ocean and Radix, where PAR dominates the additions.
 
-use revive_bench::{banner, run_app, FigConfig, Opts, Table};
-use revive_machine::TrafficClass;
+use revive_bench::{banner, experiment_config, FigConfig, Opts, Table};
+use revive_harness::{Args, Sweep, SweepJob};
+use revive_machine::{TrafficClass, WorkloadSpec};
 use revive_workloads::AppId;
 
 fn main() {
-    let opts = Opts::from_env();
-    revive_bench::artifacts::init("fig9_net_traffic");
+    let args = Args::parse();
+    let opts = Opts::from_args(&args);
     banner(
         "Figure 9 — network traffic breakdown (Cp10ms)",
         "ReVive (ISCA 2002) Figure 9",
         opts,
     );
+    let jobs = AppId::ALL
+        .into_iter()
+        .map(|app| {
+            let cfg = experiment_config(WorkloadSpec::Splash(app), FigConfig::Cp, opts);
+            SweepJob::new(
+                format!("{}_{}", cfg.workload.name(), FigConfig::Cp.name()),
+                cfg,
+            )
+        })
+        .collect();
+    let outcomes = Sweep::new("fig9_net_traffic", &args).run_all(jobs);
+
     let mut table = Table::new([
         "app", "MB total", "RD/RDX%", "ExeWB%", "CkpWB%", "LOG%", "PAR%", "MB/ms",
     ]);
-    for app in AppId::ALL {
-        let r = run_app(app, FigConfig::Cp, opts);
+    for (app, outcome) in AppId::ALL.into_iter().zip(&outcomes) {
+        let r = &outcome.result;
         let total = r.metrics.traffic.net_bytes_total().max(1);
         let pct =
             |c: TrafficClass| 100.0 * r.metrics.traffic.net_bytes[c.index()] as f64 / total as f64;
@@ -35,7 +48,6 @@ fn main() {
             format!("{:.1}", pct(TrafficClass::Par)),
             format!("{:.2}", total as f64 / 1e6 / r.sim_time.as_ms()),
         ]);
-        eprintln!("  {} done", app.name());
     }
     table.print();
     println!();

@@ -9,18 +9,45 @@
 //! count.
 
 use revive_bench::{banner, overhead_pct, Opts, Table, CP_INTERVAL};
+use revive_harness::{Args, Sweep, SweepJob};
 use revive_machine::{ExperimentConfig, ReviveConfig, ReviveMode, WorkloadSpec};
 use revive_workloads::AppId;
 
 fn main() {
-    let opts = Opts::from_env();
-    revive_bench::artifacts::init("scalability");
+    let args = Args::parse();
+    let opts = Opts::from_args(&args);
     banner(
         "Scalability — ReVive overhead vs machine size",
         "ReVive (ISCA 2002) Section 3.3.1",
         opts,
     );
     let app = AppId::Ocean; // stencil + boundary exchange: real communication
+    const SIZES: [usize; 3] = [4, 16, 64];
+    let mut jobs = Vec::new();
+    for nodes in SIZES {
+        // 3+1 parity divides every size; per-CPU work is held constant.
+        let mk = |revive: ReviveConfig| {
+            let mut cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), revive);
+            cfg.machine.nodes = nodes;
+            cfg.ops_per_cpu = opts.ops_per_cpu() / 4;
+            if let Some(seed) = opts.seed {
+                cfg.seed = seed;
+            }
+            cfg
+        };
+        jobs.push(SweepJob::new(
+            format!("ocean_{nodes}n_base"),
+            mk(ReviveConfig::off()),
+        ));
+        let mut revive = ReviveConfig::parity(CP_INTERVAL);
+        revive.mode = ReviveMode::Parity {
+            group_data_pages: 3,
+        };
+        revive.log_fraction = 0.28;
+        jobs.push(SweepJob::new(format!("ocean_{nodes}n_revive"), mk(revive)));
+    }
+    let outcomes = Sweep::new("scalability", &args).run_all(jobs);
+
     let mut table = Table::new([
         "nodes",
         "base time",
@@ -29,22 +56,9 @@ fn main() {
         "par MB",
         "ckpts",
     ]);
-    for nodes in [4usize, 16, 64] {
-        // 3+1 parity divides every size; per-CPU work is held constant.
-        let mk = |revive: ReviveConfig| {
-            let mut cfg = ExperimentConfig::experiment(WorkloadSpec::Splash(app), revive);
-            cfg.machine.nodes = nodes;
-            cfg.ops_per_cpu = opts.ops_per_cpu() / 4;
-            cfg
-        };
-        let base =
-            revive_bench::run_config(mk(ReviveConfig::off()), &format!("ocean_{nodes}n_base"));
-        let mut revive = ReviveConfig::parity(CP_INTERVAL);
-        revive.mode = ReviveMode::Parity {
-            group_data_pages: 3,
-        };
-        revive.log_fraction = 0.28;
-        let r = revive_bench::run_config(mk(revive), &format!("ocean_{nodes}n_revive"));
+    for (i, nodes) in SIZES.into_iter().enumerate() {
+        let base = &outcomes[i * 2].result;
+        let r = &outcomes[i * 2 + 1].result;
         table.row([
             nodes.to_string(),
             base.sim_time.to_string(),
@@ -56,7 +70,6 @@ fn main() {
             ),
             r.checkpoints.to_string(),
         ]);
-        eprintln!("  {nodes} nodes done");
     }
     table.print();
     println!();

@@ -13,20 +13,24 @@
 //! checkpoint frequency (1/4 of the standard interval) and a low one (4×
 //! the standard interval).
 
-use revive_bench::{banner, overhead_pct, run, FigConfig, Opts, Table, CP_INTERVAL};
+use revive_bench::{banner, experiment_config, overhead_pct, FigConfig, Opts, Table, CP_INTERVAL};
+use revive_harness::{Args, Sweep, SweepJob};
 use revive_machine::{ExperimentConfig, ReviveConfig, WorkloadSpec};
 use revive_sim::time::Ns;
 use revive_workloads::SyntheticKind;
 
-fn run_at(kind: SyntheticKind, revive: ReviveConfig, opts: Opts, label: &str) -> Ns {
+fn job_at(kind: SyntheticKind, revive: ReviveConfig, opts: Opts, label: &str) -> SweepJob {
     let mut cfg = ExperimentConfig::experiment(WorkloadSpec::Synthetic(kind), revive);
     cfg.ops_per_cpu = opts.ops_per_cpu() / 2;
-    revive_bench::run_config(cfg, &format!("{}_{label}", kind.name())).sim_time
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
+    SweepJob::new(format!("{}_{label}", kind.name()), cfg)
 }
 
 fn main() {
-    let opts = Opts::from_env();
-    revive_bench::artifacts::init("table2_matrix");
+    let args = Args::parse();
+    let opts = Opts::from_args(&args);
     banner(
         "Table 2 — overhead vs working set and checkpoint frequency",
         "ReVive (ISCA 2002) Table 2",
@@ -34,27 +38,48 @@ fn main() {
     );
     let high = Ns(CP_INTERVAL.0 / 4);
     let low = Ns(CP_INTERVAL.0 * 4);
-    let mut table = Table::new(["working set", "high freq %", "low freq %", "paper"]);
     let corners = [
         (SyntheticKind::WsExceedsL2, "High / High"),
         (SyntheticKind::WsFitsDirty, "High / Low"),
         (SyntheticKind::WsFitsClean, "Medium / Low"),
     ];
-    for (kind, paper) in corners {
-        let base = run_at(kind, FigConfig::Baseline.revive(), opts, "base");
+    let mut jobs = Vec::new();
+    for (kind, _) in corners {
+        jobs.push(job_at(kind, FigConfig::Baseline.revive(), opts, "base"));
         let mut revive_high = ReviveConfig::parity(high);
         revive_high.log_fraction = 0.25;
+        jobs.push(job_at(kind, revive_high, opts, "high_freq"));
         let mut revive_low = ReviveConfig::parity(low);
         revive_low.log_fraction = 0.25;
-        let t_high = run_at(kind, revive_high, opts, "high_freq");
-        let t_low = run_at(kind, revive_low, opts, "low_freq");
+        jobs.push(job_at(kind, revive_low, opts, "low_freq"));
+    }
+    // Also exercise the protocol stressor so Table 2 runs double as a
+    // high-contention smoke test.
+    let stress_cfg = experiment_config(
+        WorkloadSpec::Synthetic(SyntheticKind::Uniform),
+        FigConfig::Cp,
+        Opts {
+            quick: true,
+            seed: opts.seed,
+        },
+    );
+    jobs.push(SweepJob::new(
+        format!("{}_{}", stress_cfg.workload.name(), FigConfig::Cp.name()),
+        stress_cfg,
+    ));
+    let outcomes = Sweep::new("table2_matrix", &args).run_all(jobs);
+
+    let mut table = Table::new(["working set", "high freq %", "low freq %", "paper"]);
+    for (i, (kind, paper)) in corners.into_iter().enumerate() {
+        let base = outcomes[i * 3].result.sim_time;
+        let t_high = outcomes[i * 3 + 1].result.sim_time;
+        let t_low = outcomes[i * 3 + 2].result.sim_time;
         table.row([
             kind.name().to_string(),
             format!("{:.1}", overhead_pct(t_high, base)),
             format!("{:.1}", overhead_pct(t_low, base)),
             paper.to_string(),
         ]);
-        eprintln!("  {} done", kind.name());
     }
     table.print();
     println!();
@@ -63,13 +88,6 @@ fn main() {
          frequencies (parity tracks write-backs, not checkpoints); the dirty\n\
          corner's cost collapses when checkpoints become rare; the clean\n\
          corner is cheap except for the checkpoint interrupts themselves."
-    );
-    // Also exercise the protocol stressor so Table 2 runs double as a
-    // high-contention smoke test.
-    let _ = run(
-        WorkloadSpec::Synthetic(SyntheticKind::Uniform),
-        FigConfig::Cp,
-        Opts { quick: true },
     );
     println!("(uniform-random stressor completed)");
 }

@@ -8,17 +8,31 @@
 //! nine, with Water at the bottom, and the resulting misses-per-1000-
 //! instructions range bracketing commercial workloads (~3, Section 5).
 
-use revive_bench::{banner, run_app, FigConfig, Opts, Table};
+use revive_bench::{banner, experiment_config, FigConfig, Opts, Table};
+use revive_harness::{Args, Sweep, SweepJob};
+use revive_machine::WorkloadSpec;
 use revive_workloads::AppId;
 
 fn main() {
-    let opts = Opts::from_env();
-    revive_bench::artifacts::init("table4_apps");
+    let args = Args::parse();
+    let opts = Opts::from_args(&args);
     banner(
         "Table 4 — application characteristics (baseline machine)",
         "ReVive (ISCA 2002) Table 4 and the Section 5 miss-rate discussion",
         opts,
     );
+    let jobs = AppId::ALL
+        .into_iter()
+        .map(|app| {
+            let cfg = experiment_config(WorkloadSpec::Splash(app), FigConfig::Baseline, opts);
+            SweepJob::new(
+                format!("{}_{}", cfg.workload.name(), FigConfig::Baseline.name()),
+                cfg,
+            )
+        })
+        .collect();
+    let outcomes = Sweep::new("table4_apps", &args).run_all(jobs);
+
     let mut table = Table::new([
         "app",
         "instr (M)",
@@ -29,8 +43,8 @@ fn main() {
         "sim time",
     ]);
     let mut measured: Vec<(AppId, f64)> = Vec::new();
-    for app in AppId::ALL {
-        let r = run_app(app, FigConfig::Baseline, opts);
+    for (app, outcome) in AppId::ALL.into_iter().zip(&outcomes) {
+        let r = &outcome.result;
         let miss = 100.0 * r.metrics.l2_miss_rate();
         measured.push((app, miss));
         table.row([
@@ -42,7 +56,6 @@ fn main() {
             format!("{:.2}", r.metrics.misses_per_kilo_instruction()),
             r.sim_time.to_string(),
         ]);
-        eprintln!("  {} done", app.name());
     }
     table.print();
     println!();

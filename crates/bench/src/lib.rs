@@ -8,11 +8,13 @@
 //! Quick mode (`REVIVE_QUICK=1` or `--quick`) shrinks op budgets ~4× for
 //! smoke runs; the shapes survive, the noise grows.
 
+use revive_harness::Args;
 use revive_machine::{ExperimentConfig, ReviveConfig, RunResult, Runner, WorkloadSpec};
 use revive_sim::time::Ns;
 use revive_workloads::AppId;
 
 pub mod artifacts;
+pub mod summary;
 
 /// The simulated checkpoint interval that stands in for the paper's Cp10ms
 /// (see EXPERIMENTS.md: caches are 8× smaller than the paper's simulated
@@ -20,18 +22,31 @@ pub mod artifacts;
 pub const CP_INTERVAL: Ns = Ns::from_ms(2);
 
 /// Options shared by all experiment binaries.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Opts {
     /// Shrink run budgets for a fast smoke pass.
     pub quick: bool,
+    /// Experiment-seed override (`--seed`).
+    pub seed: Option<u64>,
 }
 
 impl Opts {
     /// Parses `--quick` from argv and `REVIVE_QUICK` from the environment.
+    /// Binaries with sweep-shaped work should prefer the shared parser
+    /// ([`Opts::from_args`] over `revive_harness::Args::parse()`), which
+    /// also understands `--jobs`, `--no-cache`, and `--seed`.
     pub fn from_env() -> Opts {
         let quick = std::env::args().any(|a| a == "--quick")
             || std::env::var("REVIVE_QUICK").is_ok_and(|v| v != "0");
-        Opts { quick }
+        Opts { quick, seed: None }
+    }
+
+    /// The options carried by the shared harness arguments.
+    pub fn from_args(args: &Args) -> Opts {
+        Opts {
+            quick: args.quick,
+            seed: args.seed,
+        }
     }
 
     /// The per-CPU op budget for this mode.
@@ -40,6 +55,18 @@ impl Opts {
             300_000
         } else {
             1_200_000
+        }
+    }
+
+    /// The checkpoint interval for injection experiments. Quick mode
+    /// shrinks the interval with the op budget (both are 4× smaller), so a
+    /// scripted error waiting for checkpoint 2 still fires before the
+    /// reduced budget runs out.
+    pub fn injection_interval(&self) -> Ns {
+        if self.quick {
+            Ns(CP_INTERVAL.0 / 4)
+        } else {
+            CP_INTERVAL
         }
     }
 }
@@ -112,6 +139,9 @@ impl FigConfig {
 pub fn experiment_config(workload: WorkloadSpec, fig: FigConfig, opts: Opts) -> ExperimentConfig {
     let mut cfg = ExperimentConfig::experiment(workload, fig.revive());
     cfg.ops_per_cpu = opts.ops_per_cpu();
+    if let Some(seed) = opts.seed {
+        cfg.seed = seed;
+    }
     cfg
 }
 

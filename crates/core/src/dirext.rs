@@ -66,7 +66,7 @@ pub const COST_WB_UNLOGGED: EventCost = EventCost {
 };
 
 /// Event counts per Table 1 class.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CostStats {
     /// Write-backs whose line was already logged (Figure 4).
     pub wb_logged: u64,

@@ -142,7 +142,7 @@ impl std::fmt::Display for RecoveryError {
 impl std::error::Error for RecoveryError {}
 
 /// What recovery did and how long each phase took (Figures 7 and 12).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// Phase 1 duration (fixed hardware recovery).
     pub phase1: Ns,

@@ -1,0 +1,271 @@
+//! Sweep execution: the pool, the artifact store, and the result cache in
+//! one entry point every sweep-shaped experiment binary shares.
+//!
+//! A [`Sweep`] takes a list of [`SweepJob`]s (label + configuration +
+//! optional injection scenario), runs them across the worker pool, and
+//! emits one validated artifact per job under the experiment's artifact
+//! directory (`results/artifacts/<experiment>/` unless redirected). Because
+//! the pool returns results by job index, the artifacts and every table
+//! printed from the outcomes are byte-identical at any `--jobs` value.
+//!
+//! ## The result cache
+//!
+//! Artifacts double as a content-addressed result cache. Each artifact
+//! records `config.config_hash` — a hash of the complete experiment
+//! configuration plus the injection scenario (see
+//! `revive_machine::report::RunMeta`). Before running a job, the sweep
+//! probes the artifact path the job would write; the run is skipped only
+//! when the existing artifact
+//!
+//! 1. validates against the artifact schema (`validate_artifact`), and
+//! 2. records the same `config_hash` the pending run would, and
+//! 3. parses back into a usable `RunResult`.
+//!
+//! Anything less — a stale hash from an edited simulator, a truncated
+//! file, a pre-v3 artifact with no hash — falls through to a real run that
+//! rewrites the artifact. Cache hits do not rewrite the file, so cached
+//! and fresh sweeps leave byte-identical artifacts behind. `--no-cache`
+//! (or `REVIVE_NO_CACHE=1`) disables the probe entirely.
+
+use std::path::{Path, PathBuf};
+
+use revive_machine::report;
+use revive_machine::{run_experiment, ExperimentConfig, InjectionPlan, RunMeta, RunResult};
+
+use crate::cli::Args;
+use crate::pool::{run_jobs, Job, JobError, Progress};
+
+/// One experiment in a sweep: what to run and what to call it.
+pub struct SweepJob {
+    /// Artifact label (also the progress-line name).
+    pub label: String,
+    /// The experiment configuration.
+    pub cfg: ExperimentConfig,
+    /// Scripted faults to inject (empty for clean runs).
+    pub plans: Vec<InjectionPlan>,
+}
+
+impl SweepJob {
+    /// A clean (no-injection) job.
+    pub fn new(label: impl Into<String>, cfg: ExperimentConfig) -> SweepJob {
+        SweepJob {
+            label: label.into(),
+            cfg,
+            plans: Vec::new(),
+        }
+    }
+
+    /// An injection job.
+    pub fn with_plans(
+        label: impl Into<String>,
+        cfg: ExperimentConfig,
+        plans: Vec<InjectionPlan>,
+    ) -> SweepJob {
+        SweepJob {
+            label: label.into(),
+            cfg,
+            plans,
+        }
+    }
+}
+
+/// The outcome of one sweep entry.
+pub struct SweepOutcome {
+    /// The job's label.
+    pub label: String,
+    /// The run's result — fresh from the simulator, or reconstructed from
+    /// a cached artifact (see the module docs for what round-trips).
+    pub result: RunResult,
+    /// Whether the result came from the cache instead of a run.
+    pub cached: bool,
+    /// Wall-clock time of the simulator run, in milliseconds. Zero for
+    /// cache hits — host-timing consumers (`bench_summary`) disable the
+    /// cache precisely because a skipped run has no meaningful wall time.
+    pub wall_ms: f64,
+    /// The artifact path, when emission is enabled.
+    pub artifact: Option<PathBuf>,
+}
+
+/// A configured sweep executor. Build with [`Sweep::new`], then call
+/// [`Sweep::run`] (typed errors) or [`Sweep::run_all`] (panic on failure,
+/// the historical behavior of the experiment binaries).
+pub struct Sweep {
+    dir: Option<PathBuf>,
+    jobs: Option<usize>,
+    no_cache: bool,
+    quiet: bool,
+}
+
+impl Sweep {
+    /// A sweep for `experiment` (the artifact subdirectory name), honoring
+    /// the shared CLI flags: `--jobs` picks the worker count, `--no-cache`
+    /// disables artifact reuse. `REVIVE_NO_ARTIFACTS=1` disables both
+    /// emission and caching; `REVIVE_ARTIFACT_DIR` redirects the root.
+    pub fn new(experiment: &str, args: &Args) -> Sweep {
+        let enabled = !std::env::var("REVIVE_NO_ARTIFACTS").is_ok_and(|v| v != "0");
+        let dir = enabled.then(|| {
+            std::env::var("REVIVE_ARTIFACT_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(|_| PathBuf::from("results").join("artifacts"))
+                .join(experiment)
+        });
+        Sweep {
+            dir,
+            jobs: args.jobs,
+            no_cache: args.no_cache,
+            quiet: false,
+        }
+    }
+
+    /// Overrides the artifact directory with an explicit path (tests use
+    /// this instead of mutating the process-global `REVIVE_ARTIFACT_DIR`).
+    pub fn with_artifact_dir(mut self, dir: impl Into<PathBuf>) -> Sweep {
+        self.dir = Some(dir.into());
+        self
+    }
+
+    /// Forces every job to execute even when a valid cached artifact
+    /// exists. `bench_summary` uses this: its wall-clock columns are
+    /// meaningless for runs that never happened.
+    pub fn without_cache(mut self) -> Sweep {
+        self.no_cache = true;
+        self
+    }
+
+    /// Silences the progress line (tests).
+    pub fn quiet(mut self) -> Sweep {
+        self.quiet = true;
+        self
+    }
+
+    /// Runs the sweep; results come back in job order regardless of the
+    /// worker count or completion order.
+    pub fn run(&self, jobs: Vec<SweepJob>) -> Vec<Result<SweepOutcome, JobError>> {
+        let workers = Args {
+            jobs: self.jobs,
+            ..Args::default()
+        }
+        .workers(jobs.len());
+        let progress = if self.quiet {
+            Progress::quiet(jobs.len())
+        } else {
+            Progress::new(jobs.len())
+        };
+        let progress = &progress;
+        let no_cache = self.no_cache;
+        let pool_jobs: Vec<Job<SweepOutcome, _>> = jobs
+            .into_iter()
+            .map(|job| {
+                let path = self
+                    .dir
+                    .as_ref()
+                    .map(|d| d.join(format!("{}.json", sanitize(&job.label))));
+                Job::new(job.label.clone(), move || {
+                    let meta =
+                        RunMeta::from_config(&job.label, &job.cfg).with_injections(&job.plans);
+                    if !no_cache {
+                        if let Some(result) = path.as_deref().and_then(|p| cached_result(p, &meta))
+                        {
+                            progress.finish(&job.label, true);
+                            return Ok(SweepOutcome {
+                                label: job.label,
+                                result,
+                                cached: true,
+                                wall_ms: 0.0,
+                                artifact: path,
+                            });
+                        }
+                    }
+                    let t0 = std::time::Instant::now();
+                    let result = run_experiment(job.cfg, &job.plans).map_err(|e| e.to_string())?;
+                    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+                    if let Some(p) = &path {
+                        emit_artifact(p, &meta, &result);
+                    }
+                    progress.finish(&job.label, false);
+                    Ok(SweepOutcome {
+                        label: job.label,
+                        result,
+                        cached: false,
+                        wall_ms,
+                        artifact: path,
+                    })
+                })
+            })
+            .collect();
+        run_jobs(pool_jobs, workers)
+    }
+
+    /// As [`Sweep::run`], but panics on the first failed job — sweeps
+    /// reproducing paper figures treat a failing configuration as a bug.
+    pub fn run_all(&self, jobs: Vec<SweepJob>) -> Vec<SweepOutcome> {
+        self.run(jobs)
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+            .collect()
+    }
+}
+
+/// Maps a free-form label to a safe file stem (same policy for every
+/// emitter, so cache probes and writes agree on the path).
+pub fn sanitize(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// The cache probe: an existing artifact stands in for a run only when it
+/// validates, its content address matches, and it parses back into a
+/// result (module docs). Any failure means "run it".
+fn cached_result(path: &Path, meta: &RunMeta) -> Option<RunResult> {
+    let text = std::fs::read_to_string(path).ok()?;
+    report::validate_artifact(&text).ok()?;
+    let doc = report::parse_json(&text).ok()?;
+    if report::artifact_config_hash(&doc)? != meta.config_hash_hex() {
+        return None;
+    }
+    report::parse_run_result(&doc).ok()
+}
+
+/// Renders, validates, and atomically writes one artifact. Failures warn
+/// and continue: the tables on stdout are the primary output, and a
+/// read-only results directory must not kill a sweep.
+pub fn emit_artifact(path: &Path, meta: &RunMeta, result: &RunResult) -> bool {
+    let text = report::render_artifact(meta, result);
+    debug_assert!(
+        report::validate_artifact(&text).is_ok(),
+        "emitted artifact failed validation: {:?}",
+        report::validate_artifact(&text)
+    );
+    if let Some(parent) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("warning: cannot create {}: {e}", parent.display());
+            return false;
+        }
+    }
+    match report::write_atomic(path, &text) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_sanitize_to_safe_filenames() {
+        assert_eq!(sanitize("fig8/fft/Cp"), "fig8_fft_Cp");
+        assert_eq!(sanitize("water-n2 x=3"), "water-n2_x_3");
+    }
+}

@@ -58,10 +58,13 @@ pub use config::{
 pub use differential::{differential_run, injected_vs_golden, AuditReport, DifferentialReport};
 pub use metrics::{Metrics, Summary, TrafficClass};
 pub use page_table::PageTable;
-pub use report::{parse_json, render_artifact, validate_artifact, Json, RunMeta};
+pub use report::{
+    artifact_config_hash, content_hash, parse_json, parse_run_result, render_artifact,
+    validate_artifact, write_atomic, Json, RunMeta, ARTIFACT_SCHEMA, ARTIFACT_VERSION,
+};
 pub use runner::{
-    CommitPoint, ErrorKind, FaultOutcome, InjectPhase, InjectionPlan, NodeSet, RecoveryOutcome,
-    RunResult, Runner,
+    run_experiment, CommitPoint, ErrorKind, FaultOutcome, InjectPhase, InjectionPlan, NodeSet,
+    RecoveryOutcome, RunResult, Runner,
 };
 pub use sampling::{EpochSample, IntervalSampler, SampleInput};
 pub use system::System;

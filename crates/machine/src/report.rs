@@ -13,13 +13,16 @@
 //! against every emitted artifact.
 
 use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use revive_sim::stats::Histogram;
+use revive_sim::time::Ns;
 use revive_sim::trace::escape_json;
 
 use crate::config::ExperimentConfig;
 use crate::metrics::TrafficClass;
-use crate::runner::{ErrorKind, InjectionPlan, RunResult};
+use crate::runner::{ErrorKind, FaultOutcome, InjectionPlan, RecoveryOutcome, RunResult};
 
 /// Identity of a run, embedded in its artifact. Wall-clock facts are
 /// deliberately excluded: artifacts must be byte-identical across reruns.
@@ -39,6 +42,12 @@ pub struct RunMeta {
     pub ops_per_cpu: u64,
     /// Checkpoint interval in ns (`u64::MAX` = infinite).
     pub interval_ns: u64,
+    /// Content hash of the *complete* experiment configuration (every
+    /// machine, ReVive, observability, and injection knob — not just the
+    /// summary fields above). This is the result cache's key: an artifact
+    /// may be reused in place of a run only when its recorded hash matches
+    /// the hash of the configuration about to run (DESIGN.md §12).
+    pub config_hash: u64,
     /// The campaign seed this run's scenario was generated from, when it
     /// came out of the fault-campaign engine.
     pub campaign_seed: Option<u64>,
@@ -59,14 +68,23 @@ impl RunMeta {
             seed: cfg.seed,
             ops_per_cpu: cfg.ops_per_cpu,
             interval_ns: cfg.revive.ckpt.interval.0,
+            // The Debug rendering covers every field of the config tree, so
+            // any change — cache geometry, log fraction, L-bit design,
+            // observability — changes the hash and invalidates the cache.
+            config_hash: content_hash(&format!("{cfg:?}")),
             campaign_seed: None,
             injections: Vec::new(),
         }
     }
 
-    /// Records the injection scenario in the metadata.
+    /// Records the injection scenario in the metadata and folds it into
+    /// the configuration hash (an injection run is a different experiment
+    /// than a clean one).
     pub fn with_injections(mut self, plans: &[InjectionPlan]) -> RunMeta {
         self.injections = plans.to_vec();
+        if !plans.is_empty() {
+            self.config_hash = content_hash_seeded(self.config_hash, &format!("{plans:?}"));
+        }
         self
     }
 
@@ -75,13 +93,63 @@ impl RunMeta {
         self.campaign_seed = Some(seed);
         self
     }
+
+    /// The config hash in the fixed-width hex form artifacts record.
+    pub fn config_hash_hex(&self) -> String {
+        format!("{:016x}", self.config_hash)
+    }
 }
 
 /// Schema identifier every artifact carries.
 pub const ARTIFACT_SCHEMA: &str = "revive-run-artifact";
 /// Current artifact schema version. Version 2 added the mandatory
-/// `injections` section; version-1 artifacts (without it) still validate.
-pub const ARTIFACT_VERSION: u64 = 2;
+/// `injections` section; version 3 added `config.config_hash` (the result
+/// cache's content address), `result.costs`, and the per-recovery rebuild
+/// counters. Earlier versions still validate.
+pub const ARTIFACT_VERSION: u64 = 3;
+
+/// FNV-1a over the UTF-8 bytes of `s` — the content address used to key
+/// the result cache. Hand-rolled (the build is offline); 64-bit is plenty
+/// for a namespace of a few thousand experiment configurations.
+pub fn content_hash(s: &str) -> u64 {
+    content_hash_seeded(0xcbf2_9ce4_8422_2325, s)
+}
+
+/// FNV-1a continued from a previous hash value (for folding several
+/// strings into one address).
+pub fn content_hash_seeded(seed: u64, s: &str) -> u64 {
+    let mut h = seed;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Writes `text` to `path` atomically: the bytes land in a unique sibling
+/// temp file (`<name>.tmp.<pid>.<seq>`) which is then renamed over the
+/// target. Readers — and concurrent writers targeting the same path from
+/// other threads or processes — observe either the old complete file or
+/// the new complete file, never interleaved or truncated bytes.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem errors; on a rename failure the
+/// temp file is removed (best effort).
+pub fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "artifact".to_string());
+    let _ = write!(name, ".tmp.{}.{seq}", std::process::id());
+    let tmp = path.with_file_name(name);
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = std::fs::remove_file(&tmp);
+    })
+}
 
 fn f64_json(x: f64) -> String {
     if x.is_finite() {
@@ -170,9 +238,11 @@ pub fn render_artifact(meta: &RunMeta, r: &RunResult) -> String {
     );
 
     // -- config --
+    // `config_hash` is a hex *string*: the validating parser stores numbers
+    // as f64, which cannot represent all u64 hash values exactly.
     let _ = writeln!(
         o,
-        "\"config\":{{\"label\":\"{}\",\"workload\":\"{}\",\"mode\":\"{}\",\"nodes\":{},\"seed\":{},\"ops_per_cpu\":{},\"interval_ns\":{}}},",
+        "\"config\":{{\"label\":\"{}\",\"workload\":\"{}\",\"mode\":\"{}\",\"nodes\":{},\"seed\":{},\"ops_per_cpu\":{},\"interval_ns\":{},\"config_hash\":\"{}\"}},",
         escape_json(&meta.label),
         escape_json(&meta.workload),
         escape_json(&meta.mode),
@@ -180,6 +250,7 @@ pub fn render_artifact(meta: &RunMeta, r: &RunResult) -> String {
         meta.seed,
         meta.ops_per_cpu,
         meta.interval_ns,
+        meta.config_hash_hex(),
     );
 
     // -- injections: the scripted fault scenario (empty for clean runs) --
@@ -219,6 +290,14 @@ pub fn render_artifact(meta: &RunMeta, r: &RunResult) -> String {
         f64_json(m.dram_row_hit_rate),
         m.mean_net_latency.0,
         m.max_log_bytes(),
+    );
+    let _ = write!(
+        o,
+        "\"costs\":{{\"wb_logged\":{},\"rdx_unlogged\":{},\"wb_unlogged\":{},\"intents_already_logged\":{}}},",
+        m.costs.wb_logged,
+        m.costs.rdx_unlogged,
+        m.costs.wb_unlogged,
+        m.costs.intents_already_logged,
     );
     let _ = writeln!(
         o,
@@ -279,13 +358,15 @@ pub fn render_artifact(meta: &RunMeta, r: &RunResult) -> String {
         }
         let _ = write!(
             o,
-            "{{\"target_interval\":{},\"lost_work_ns\":{},\"unavailable_ns\":{},\"ops_rolled_back\":{},\"entries_replayed\":{},\"log_pages_rebuilt\":{},\"verified\":{},\"phases\":[",
+            "{{\"target_interval\":{},\"lost_work_ns\":{},\"unavailable_ns\":{},\"ops_rolled_back\":{},\"entries_replayed\":{},\"log_pages_rebuilt\":{},\"pages_rebuilt_on_demand\":{},\"pages_rebuilt_background\":{},\"verified\":{},\"phases\":[",
             rec.target_interval,
             rec.lost_work.0,
             rec.unavailable.0,
             rec.ops_rolled_back,
             rec.report.entries_replayed,
             rec.report.log_pages_rebuilt,
+            rec.report.pages_rebuilt_on_demand,
+            rec.report.pages_rebuilt_background,
             match rec.verified {
                 Some(true) => "true",
                 Some(false) => "false",
@@ -618,7 +699,7 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
         return Err(format!("schema is not '{ARTIFACT_SCHEMA}'"));
     }
     let version = need("version")?.as_num().ok_or("version is not a number")?;
-    if version != 1.0 && version != ARTIFACT_VERSION as f64 {
+    if !(version == 1.0 || version == 2.0 || version == ARTIFACT_VERSION as f64) {
         return Err("unsupported artifact version".into());
     }
     let config = need("config")?;
@@ -630,6 +711,17 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
     for key in ["nodes", "seed", "ops_per_cpu", "interval_ns"] {
         if config.get(key).and_then(Json::as_num).is_none() {
             return Err(format!("config.{key} missing or not a number"));
+        }
+    }
+    // Version 3 content-addresses the artifact: a 16-hex-digit hash of the
+    // full configuration, the key the result cache reuses artifacts by.
+    if version >= 3.0 {
+        let hash = config
+            .get("config_hash")
+            .and_then(Json::as_str)
+            .ok_or("config.config_hash missing or not a string")?;
+        if hash.len() != 16 || !hash.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err("config.config_hash is not 16 hex digits".into());
         }
     }
     // Version 2 records the injection scenario (mandatory, empty for
@@ -697,6 +789,21 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
             return Err(format!("result.{key} must have 5 traffic classes"));
         }
     }
+    if version >= 3.0 {
+        let costs = result
+            .get("costs")
+            .ok_or("result.costs missing (required at version 3)")?;
+        for key in [
+            "wb_logged",
+            "rdx_unlogged",
+            "wb_unlogged",
+            "intents_already_logged",
+        ] {
+            if costs.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("result.costs.{key} missing or not a number"));
+            }
+        }
+    }
     let latency = need("latency_ns")?;
     for class in TrafficClass::ALL {
         let h = latency
@@ -716,6 +823,13 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
             .as_arr()
             .ok_or_else(|| format!("'{key}' is not an array"))?;
         for entry in arr {
+            if key == "recoveries" && version >= 3.0 {
+                for field in ["pages_rebuilt_on_demand", "pages_rebuilt_background"] {
+                    if entry.get(field).and_then(Json::as_num).is_none() {
+                        return Err(format!("recoveries entry lacks {field}"));
+                    }
+                }
+            }
             let phases = entry
                 .get("phases")
                 .and_then(Json::as_arr)
@@ -775,6 +889,147 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The content hash recorded in a parsed artifact document (`None` for
+/// pre-version-3 artifacts, which predate content addressing).
+pub fn artifact_config_hash(doc: &Json) -> Option<&str> {
+    doc.get("config")?.get("config_hash")?.as_str()
+}
+
+/// Reconstructs a [`RunResult`] from a parsed artifact document — the
+/// result cache's read path: a valid artifact whose `config_hash` matches
+/// the configuration about to run stands in for re-executing it.
+///
+/// Only the fields the experiment binaries consume round-trip: end-of-run
+/// scalars, the traffic/cost summary, and the recovery outcomes (with phase
+/// durations rebuilt from the recorded spans). Latency histograms, the
+/// checkpoint timelines, epochs, and the event trace are left empty —
+/// binaries that render those (fig6/fig7, trace tooling) bypass the cache.
+///
+/// # Errors
+///
+/// Returns a description of the first missing or mistyped field. Callers
+/// should validate with [`validate_artifact`] first; this parser only
+/// guards the fields it reads.
+pub fn parse_run_result(doc: &Json) -> Result<RunResult, String> {
+    let num = |obj: &Json, section: &str, key: &str| -> Result<f64, String> {
+        obj.get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{section}.{key} missing or not a number"))
+    };
+    let int = |obj: &Json, section: &str, key: &str| -> Result<u64, String> {
+        num(obj, section, key).map(|v| v as u64)
+    };
+    let five = |obj: &Json, section: &str, key: &str| -> Result<[u64; 5], String> {
+        let arr = obj
+            .get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{section}.{key} missing or not an array"))?;
+        if arr.len() != 5 {
+            return Err(format!("{section}.{key} must have 5 entries"));
+        }
+        let mut out = [0u64; 5];
+        for (slot, v) in out.iter_mut().zip(arr) {
+            *slot = v
+                .as_num()
+                .ok_or_else(|| format!("{section}.{key} entry is not a number"))?
+                as u64;
+        }
+        Ok(out)
+    };
+
+    let result = doc.get("result").ok_or("missing 'result' section")?;
+    let mut out = RunResult {
+        sim_time: Ns(int(result, "result", "sim_time_ns")?),
+        events: int(result, "result", "events")?,
+        checkpoints: int(result, "result", "checkpoints")?,
+        ..RunResult::default()
+    };
+    out.ckpt.early_triggers = int(result, "result", "early_triggers")?;
+
+    let m = &mut out.metrics;
+    m.traffic.cpu_ops = int(result, "result", "cpu_ops")?;
+    m.traffic.instructions = int(result, "result", "instructions")?;
+    m.traffic.net_bytes = five(result, "result", "net_bytes")?;
+    m.traffic.net_msgs = five(result, "result", "net_msgs")?;
+    m.traffic.mem_accesses = five(result, "result", "mem_accesses")?;
+    m.l1_hits = int(result, "result", "l1_hits")?;
+    m.l1_misses = int(result, "result", "l1_misses")?;
+    m.l2_hits = int(result, "result", "l2_hits")?;
+    m.l2_misses = int(result, "result", "l2_misses")?;
+    m.eviction_writebacks = int(result, "result", "eviction_writebacks")?;
+    m.nack_retries = int(result, "result", "nack_retries")?;
+    m.dram_row_hit_rate = num(result, "result", "dram_row_hit_rate")?;
+    m.mean_net_latency = Ns(int(result, "result", "mean_net_latency_ns")?);
+    m.log_high_water = result
+        .get("log_high_water")
+        .and_then(Json::as_arr)
+        .ok_or("result.log_high_water missing or not an array")?
+        .iter()
+        .map(|v| {
+            v.as_num()
+                .map(|n| n as u64)
+                .ok_or_else(|| "result.log_high_water entry is not a number".to_string())
+        })
+        .collect::<Result<Vec<u64>, String>>()?;
+    if let Some(costs) = result.get("costs") {
+        m.costs.wb_logged = int(costs, "result.costs", "wb_logged")?;
+        m.costs.rdx_unlogged = int(costs, "result.costs", "rdx_unlogged")?;
+        m.costs.wb_unlogged = int(costs, "result.costs", "wb_unlogged")?;
+        m.costs.intents_already_logged = int(costs, "result.costs", "intents_already_logged")?;
+    }
+
+    let recoveries = doc
+        .get("recoveries")
+        .and_then(Json::as_arr)
+        .ok_or("'recoveries' missing or not an array")?;
+    for rec in recoveries {
+        let phases = rec
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or("recoveries entry lacks phases")?;
+        if phases.len() != 4 {
+            return Err("recoveries entry must have 4 phases".into());
+        }
+        let mut durations = [Ns::ZERO; 4];
+        for (slot, p) in durations.iter_mut().zip(phases) {
+            let start = int(p, "recovery phase", "start_ns")?;
+            let end = int(p, "recovery phase", "end_ns")?;
+            *slot = Ns(end.saturating_sub(start));
+        }
+        let outcome = RecoveryOutcome {
+            report: revive_core::recovery::RecoveryReport {
+                phase1: durations[0],
+                phase2: durations[1],
+                phase3: durations[2],
+                phase4: durations[3],
+                log_pages_rebuilt: int(rec, "recoveries", "log_pages_rebuilt")?,
+                pages_rebuilt_on_demand: rec
+                    .get("pages_rebuilt_on_demand")
+                    .and_then(Json::as_num)
+                    .unwrap_or(0.0) as u64,
+                entries_replayed: int(rec, "recoveries", "entries_replayed")?,
+                pages_rebuilt_background: rec
+                    .get("pages_rebuilt_background")
+                    .and_then(Json::as_num)
+                    .unwrap_or(0.0) as u64,
+            },
+            lost_work: Ns(int(rec, "recoveries", "lost_work_ns")?),
+            unavailable: Ns(int(rec, "recoveries", "unavailable_ns")?),
+            target_interval: int(rec, "recoveries", "target_interval")?,
+            verified: match rec.get("verified") {
+                Some(Json::Bool(b)) => Some(*b),
+                Some(Json::Null) | None => None,
+                _ => return Err("recoveries.verified is mistyped".into()),
+            },
+            ops_rolled_back: int(rec, "recoveries", "ops_rolled_back")?,
+        };
+        out.outcomes.push(FaultOutcome::Recovered(outcome));
+        out.recoveries.push(outcome);
+    }
+    out.recovery = out.recoveries.last().copied();
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -810,6 +1065,7 @@ mod tests {
             seed: 42,
             ops_per_cpu: 1000,
             interval_ns: 100_000,
+            config_hash: 0x0123_4567_89ab_cdef,
             campaign_seed: None,
             injections: Vec::new(),
         }
@@ -863,17 +1119,157 @@ mod tests {
     }
 
     #[test]
-    fn version_1_artifacts_without_injections_still_validate() {
+    fn older_artifact_versions_still_validate() {
         let text = render_artifact(&test_meta(), &RunResult::default());
-        let v1 = text.replace("\"version\":2,", "\"version\":1,");
+        // A v1 artifact predates both injections and content addressing.
+        let v1 = text.replace("\"version\":3,", "\"version\":1,");
         validate_artifact(&v1).unwrap();
-        // But a v2 artifact must carry the section.
+        // A v2 artifact predates content addressing only.
+        let v2 = text
+            .replace("\"version\":3,", "\"version\":2,")
+            .replace(",\"config_hash\":\"0123456789abcdef\"", "");
+        validate_artifact(&v2).unwrap();
+        // But a v2+ artifact must carry the injections section...
         let stripped: String = text
             .lines()
             .filter(|l| !l.starts_with("\"injections\""))
             .map(|l| format!("{l}\n"))
             .collect();
         assert!(validate_artifact(&stripped).is_err());
+        // ...and a v3 artifact must carry a well-formed content address.
+        let no_hash = text.replace(",\"config_hash\":\"0123456789abcdef\"", "");
+        assert!(validate_artifact(&no_hash).is_err());
+        let bad_hash = text.replace("0123456789abcdef", "not-hex!!");
+        assert!(validate_artifact(&bad_hash).is_err());
+    }
+
+    #[test]
+    fn config_hash_folds_in_the_injection_scenario() {
+        use revive_sim::Ns;
+        let clean = test_meta();
+        let injected = test_meta().with_injections(&[InjectionPlan::paper_transient(Ns(100_000))]);
+        assert_ne!(clean.config_hash, injected.config_hash);
+        assert_eq!(clean.config_hash_hex().len(), 16);
+        // Folding is deterministic: the same scenario hashes the same.
+        let again = test_meta().with_injections(&[InjectionPlan::paper_transient(Ns(100_000))]);
+        assert_eq!(injected.config_hash, again.config_hash);
+    }
+
+    #[test]
+    fn run_result_round_trips_through_the_artifact() {
+        use revive_core::recovery::RecoveryReport;
+        use revive_sim::Ns;
+
+        let mut r = RunResult {
+            sim_time: Ns(123_456),
+            events: 999,
+            checkpoints: 7,
+            ..RunResult::default()
+        };
+        r.ckpt.early_triggers = 2;
+        r.metrics.traffic.cpu_ops = 4000;
+        r.metrics.traffic.instructions = 8000;
+        r.metrics.traffic.net_bytes = [1, 2, 3, 4, 5];
+        r.metrics.traffic.net_msgs = [6, 7, 8, 9, 10];
+        r.metrics.traffic.mem_accesses = [11, 12, 13, 14, 15];
+        r.metrics.l1_hits = 100;
+        r.metrics.l1_misses = 20;
+        r.metrics.l2_hits = 15;
+        r.metrics.l2_misses = 5;
+        r.metrics.eviction_writebacks = 3;
+        r.metrics.nack_retries = 1;
+        r.metrics.dram_row_hit_rate = 0.75;
+        r.metrics.mean_net_latency = Ns(321);
+        r.metrics.log_high_water = vec![64, 128, 256, 512];
+        r.metrics.costs.wb_logged = 40;
+        r.metrics.costs.rdx_unlogged = 30;
+        r.metrics.costs.wb_unlogged = 20;
+        r.metrics.costs.intents_already_logged = 10;
+        let rec = RecoveryOutcome {
+            report: RecoveryReport {
+                phase1: Ns(100),
+                phase2: Ns(200),
+                phase3: Ns(300),
+                phase4: Ns(400),
+                log_pages_rebuilt: 9,
+                pages_rebuilt_on_demand: 4,
+                entries_replayed: 55,
+                pages_rebuilt_background: 6,
+            },
+            lost_work: Ns(1000),
+            unavailable: Ns(1600),
+            target_interval: 2,
+            verified: Some(true),
+            ops_rolled_back: 77,
+        };
+        r.recoveries.push(rec);
+        r.recovery = Some(rec);
+
+        let text = render_artifact(&test_meta(), &r);
+        validate_artifact(&text).unwrap();
+        let parsed = parse_run_result(&parse_json(&text).unwrap()).unwrap();
+
+        assert_eq!(parsed.sim_time, r.sim_time);
+        assert_eq!(parsed.events, r.events);
+        assert_eq!(parsed.checkpoints, r.checkpoints);
+        assert_eq!(parsed.ckpt.early_triggers, r.ckpt.early_triggers);
+        assert_eq!(parsed.metrics.traffic.cpu_ops, r.metrics.traffic.cpu_ops);
+        assert_eq!(
+            parsed.metrics.traffic.net_bytes,
+            r.metrics.traffic.net_bytes
+        );
+        assert_eq!(parsed.metrics.log_high_water, r.metrics.log_high_water);
+        assert_eq!(parsed.metrics.costs, r.metrics.costs);
+        assert_eq!(
+            parsed.metrics.dram_row_hit_rate,
+            r.metrics.dram_row_hit_rate
+        );
+        assert_eq!(parsed.metrics.mean_net_latency, r.metrics.mean_net_latency);
+        assert_eq!(parsed.recoveries.len(), 1);
+        let p = &parsed.recoveries[0];
+        let q = &r.recoveries[0];
+        assert_eq!(p.report, q.report);
+        assert_eq!(p.lost_work, q.lost_work);
+        assert_eq!(p.unavailable, q.unavailable);
+        assert_eq!(p.target_interval, q.target_interval);
+        assert_eq!(p.verified, q.verified);
+        assert_eq!(p.ops_rolled_back, q.ops_rolled_back);
+        assert!(parsed.recovery.is_some());
+        assert_eq!(parsed.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_atomic_writes_leave_one_valid_artifact() {
+        let dir = std::env::temp_dir().join(format!("revive-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hammered.json");
+        // 8 threads × 16 rounds all target the same path with differently
+        // sized (all valid) artifacts; the survivor must be one complete
+        // artifact, never an interleaving.
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let path = &path;
+                scope.spawn(move || {
+                    for round in 0..16u64 {
+                        let mut meta = test_meta();
+                        meta.label = format!("writer-{t}-round-{round}");
+                        meta.seed = t * 1000 + round;
+                        let text = render_artifact(&meta, &RunResult::default());
+                        write_atomic(path, &text).unwrap();
+                    }
+                });
+            }
+        });
+        let survivor = std::fs::read_to_string(&path).unwrap();
+        validate_artifact(&survivor).unwrap();
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "leftover temp files: {leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -986,3 +986,33 @@ impl System {
             .collect()
     }
 }
+
+/// Runs one experiment start to finish as a pure function: builds the
+/// machine, executes it (injecting `plans` when non-empty), and returns the
+/// result. Nothing is shared — the machine is built, driven, and dropped
+/// entirely inside the call — so any number of worker threads can run
+/// experiments concurrently (this is the harness pool's job body).
+///
+/// # Errors
+///
+/// As [`Runner::new`] and [`Runner::run_with_injections`].
+pub fn run_experiment(
+    cfg: ExperimentConfig,
+    plans: &[InjectionPlan],
+) -> Result<RunResult, MachineError> {
+    let runner = Runner::new(cfg)?;
+    if plans.is_empty() {
+        runner.run()
+    } else {
+        runner.run_with_injections(plans)
+    }
+}
+
+// Compile-time proof that a whole experiment can move to a worker thread:
+// the inputs and the output are all `Send`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ExperimentConfig>();
+    assert_send::<InjectionPlan>();
+    assert_send::<RunResult>();
+};

@@ -49,7 +49,11 @@ pub struct Op {
 }
 
 /// A multiprocessor workload: one deterministic op stream per CPU.
-pub trait Workload {
+///
+/// `Send` is a supertrait so a machine holding a boxed workload can be
+/// built on one thread and driven on another (the parallel harness moves
+/// whole experiments onto worker threads).
+pub trait Workload: Send {
     /// Short name (e.g. `"radix"`).
     fn name(&self) -> &str;
     /// The next operation for `cpu`. Streams are infinite; the machine

@@ -21,6 +21,9 @@
 //! * [`workloads`] — synthetic SPLASH-2-like workload models (Table 4).
 //! * [`machine`] — node/system assembly, the timing CPU model, metrics, and
 //!   experiment runners.
+//! * [`harness`] — parallel experiment orchestration: the worker pool with
+//!   deterministic result ordering, the content-addressed result cache, and
+//!   the shared sweep CLI.
 //!
 //! ## Quickstart
 //!
@@ -46,6 +49,7 @@
 
 pub use revive_coherence as coherence;
 pub use revive_core as core;
+pub use revive_harness as harness;
 pub use revive_machine as machine;
 pub use revive_mem as mem;
 pub use revive_net as net;
