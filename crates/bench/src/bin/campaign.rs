@@ -1,14 +1,16 @@
 //! Adversarial fault-campaign driver.
 //!
 //! ```text
-//! campaign [--seeds N] [--start-seed S] [--quick] [--jobs N] [--replay FILE]
+//! campaign [--seeds N] [--start-seed S] [--live] [--quick] [--jobs N] [--replay FILE]
 //! ```
 //!
 //! Sweeps `N` campaign seeds (default 100; `--quick` drops to 25 for CI
 //! smoke runs) across the harness worker pool. Each seed deterministically
 //! expands into a fault scenario — arbitrary error kinds, two-phase-commit
 //! boundary strikes, mid-recovery double faults, simultaneous multi-node
-//! losses beyond the parity budget — which runs under the exact-memory
+//! losses beyond the parity budget, and (with `--live`, exclusively) live
+//! fabric faults that sever nodes or links mid-run with messages in
+//! flight — which runs under the exact-memory
 //! oracle and is classified: `recovered` (oracle-verified),
 //! `unrecoverable` (typed, counted into availability), or `not-fired`
 //! (benign). A panic or an oracle mismatch is a campaign FAILURE: the
@@ -35,12 +37,15 @@ use revive_sim::Ns;
 struct CampaignArgs {
     seeds: u64,
     start_seed: u64,
+    live: bool,
     replay: Option<String>,
     opts: Opts,
 }
 
 fn usage() -> ! {
-    eprintln!("usage: campaign [--seeds N] [--start-seed S] [--quick] [--jobs N] [--replay FILE]");
+    eprintln!(
+        "usage: campaign [--seeds N] [--start-seed S] [--live] [--quick] [--jobs N] [--replay FILE]"
+    );
     std::process::exit(2)
 }
 
@@ -49,6 +54,7 @@ fn parse_args(args: &Args) -> CampaignArgs {
     let mut a = CampaignArgs {
         seeds: if opts.quick { 25 } else { 100 },
         start_seed: 0,
+        live: false,
         replay: None,
         opts,
     };
@@ -67,6 +73,7 @@ fn parse_args(args: &Args) -> CampaignArgs {
         match name {
             "--seeds" => a.seeds = value().parse().unwrap_or_else(|_| usage()),
             "--start-seed" => a.start_seed = value().parse().unwrap_or_else(|_| usage()),
+            "--live" => a.live = true,
             "--replay" => a.replay = Some(value()),
             "--help" | "-h" => usage(),
             other => {
@@ -144,9 +151,14 @@ fn main() {
         a.opts,
     );
     println!(
-        "seeds {}..{} — every scenario must end recovered (oracle-verified) or classified unrecoverable; a panic is a failure\n",
+        "seeds {}..{}{} — every scenario must end recovered (oracle-verified) or classified unrecoverable; a panic is a failure\n",
         a.start_seed,
-        a.start_seed + a.seeds
+        a.start_seed + a.seeds,
+        if a.live {
+            " (live-only: mid-run node death and link loss)"
+        } else {
+            ""
+        }
     );
 
     // The sweep expects zero panics; silence the default hook so an
@@ -155,7 +167,10 @@ fn main() {
     let default_hook = std::panic::take_hook();
     std::panic::set_hook(Box::new(|_| {}));
 
-    let gen_cfg = CampaignConfig::default();
+    let gen_cfg = CampaignConfig {
+        live_only: a.live,
+        ..CampaignConfig::default()
+    };
     let gen_cfg = &gen_cfg;
     let seeds: Vec<u64> = (a.start_seed..a.start_seed + a.seeds).collect();
     let progress = Progress::new(seeds.len());

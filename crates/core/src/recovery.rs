@@ -112,6 +112,16 @@ pub enum RecoveryError {
         /// How many nodes the machine has.
         nodes: usize,
     },
+    /// The surviving interconnect is partitioned: some surviving node
+    /// cannot reach the rest, so the survivors cannot coordinate recovery
+    /// (the paper's §3.3 assumes the fabric routes around the failure;
+    /// when it cannot, the error is detected-unrecoverable, not a hang).
+    Partitioned {
+        /// A surviving node unreachable from the rest of the survivors.
+        node: NodeId,
+        /// Nodes still alive (including the isolated one).
+        survivors: usize,
+    },
 }
 
 impl std::fmt::Display for RecoveryError {
@@ -133,6 +143,14 @@ impl std::fmt::Display for RecoveryError {
                 write!(
                     f,
                     "lost node {node} does not exist (machine has {nodes} nodes)"
+                )
+            }
+            RecoveryError::Partitioned { node, survivors } => {
+                write!(
+                    f,
+                    "surviving torus is partitioned: node {node} cannot reach the other \
+                     {} survivor(s)",
+                    survivors.saturating_sub(1)
                 )
             }
         }

@@ -16,6 +16,7 @@
 //! [`ScenarioOutcome::Unrecoverable`] (a typed, classified refusal).
 //! A panic is always a bug, and the campaign treats it as one.
 
+use revive_net::topology::{Direction, Torus};
 use revive_sim::{DetRng, NodeId, Ns};
 use revive_workloads::{AppId, SyntheticKind};
 
@@ -42,6 +43,11 @@ pub struct CampaignConfig {
     pub max_simultaneous: usize,
     /// Op budget per CPU for generated scenarios.
     pub ops_per_cpu: u64,
+    /// Generate only the *live* kinds (live node death, live multi-node
+    /// death, link loss): the fabric is actually severed mid-run and
+    /// detection is organic. Off by default — the mixed campaign draws
+    /// live and scripted kinds side by side.
+    pub live_only: bool,
 }
 
 impl Default for CampaignConfig {
@@ -50,6 +56,7 @@ impl Default for CampaignConfig {
             max_faults: 2,
             max_simultaneous: 3,
             ops_per_cpu: 60_000,
+            live_only: false,
         }
     }
 }
@@ -219,11 +226,13 @@ fn field_num(v: &Json, key: &str) -> Result<f64, String> {
 }
 
 fn kind_json(kind: ErrorKind) -> String {
-    let nodes: Vec<String> = kind
-        .lost_nodes()
-        .iter()
-        .map(|n| n.index().to_string())
-        .collect();
+    // Link loss damages no memory (`lost_nodes()` is empty), but the spec
+    // still needs the endpoints to replay it.
+    let involved = match kind {
+        ErrorKind::LinkLoss { a, b } => vec![a, b],
+        _ => kind.lost_nodes(),
+    };
+    let nodes: Vec<String> = involved.iter().map(|n| n.index().to_string()).collect();
     format!(
         "{{\"kind\": \"{}\", \"nodes\": [{}]}}",
         kind.name(),
@@ -260,6 +269,20 @@ fn kind_from_json(v: &Json) -> Result<ErrorKind, String> {
         }
         "cache-wipe" => Ok(ErrorKind::CacheWipe),
         "directory-corrupt" => Ok(ErrorKind::DirectoryCorrupt),
+        "live-node-loss" => match nodes.as_slice() {
+            [n] => Ok(ErrorKind::LiveNodeLoss(*n)),
+            _ => Err("live-node-loss takes exactly one node".into()),
+        },
+        "live-multi-node-loss" => {
+            if nodes.is_empty() {
+                return Err("live-multi-node-loss needs at least one node".into());
+            }
+            Ok(ErrorKind::LiveMultiNodeLoss(NodeSet::from_nodes(&nodes)))
+        }
+        "link-loss" => match nodes.as_slice() {
+            [a, b] => Ok(ErrorKind::LinkLoss { a: *a, b: *b }),
+            _ => Err("link-loss takes exactly two (adjacent) nodes".into()),
+        },
         other => Err(format!("unknown error kind {other:?}")),
     }
 }
@@ -313,7 +336,7 @@ pub fn generate(seed: u64, cfg: &CampaignConfig) -> Scenario {
     let app = apps[rng.index(apps.len())];
     let n_faults = 1 + rng.index(cfg.max_faults.max(1));
     let faults = (0..n_faults)
-        .map(|_| random_fault(&mut rng, nodes, cfg.max_simultaneous))
+        .map(|_| random_fault(&mut rng, nodes, cfg))
         .collect();
     Scenario {
         seed,
@@ -325,21 +348,38 @@ pub fn generate(seed: u64, cfg: &CampaignConfig) -> Scenario {
     }
 }
 
-fn random_fault(rng: &mut DetRng, nodes: usize, max_simultaneous: usize) -> FaultSpec {
+fn random_fault(rng: &mut DetRng, nodes: usize, cfg: &CampaignConfig) -> FaultSpec {
     const FRACTIONS: [f64; 4] = [0.1, 0.25, 0.5, 0.8];
     const DETECT: [f64; 3] = [0.0, 0.4, 0.8];
-    let phase = match rng.index(8) {
+    let drawn_phase = match rng.index(8) {
         0..=2 => InjectPhase::MidLogging,
         3 => InjectPhase::CommitWindow,
         4 | 5 => InjectPhase::DuringRecovery,
         6 => InjectPhase::CommitEdge(CommitPoint::AfterBarrier1),
         _ => InjectPhase::CommitEdge(CommitPoint::AfterCommit),
     };
-    let kind = random_kind(rng, nodes, max_simultaneous);
-    let second = if phase == InjectPhase::DuringRecovery && rng.chance(0.5) {
-        Some(random_kind(rng, nodes, max_simultaneous))
+    let kind = if cfg.live_only {
+        random_live_kind(rng, nodes, cfg.max_simultaneous)
     } else {
-        None
+        random_kind(rng, nodes, cfg.max_simultaneous)
+    };
+    // Live kinds sever a *running* fabric: they cannot strike mid-recovery
+    // (the machine is halted then) and cannot be paired with a second
+    // mid-recovery fault, so those draws degrade to the nearest legal shape.
+    let (phase, second) = if kind.is_live() {
+        let phase = if drawn_phase == InjectPhase::DuringRecovery {
+            InjectPhase::MidLogging
+        } else {
+            drawn_phase
+        };
+        (phase, None)
+    } else {
+        let second = if drawn_phase == InjectPhase::DuringRecovery && rng.chance(0.5) {
+            Some(random_scripted_kind(rng, nodes, cfg.max_simultaneous))
+        } else {
+            None
+        };
+        (drawn_phase, second)
     };
     FaultSpec {
         after_checkpoint: rng.range(1, 4),
@@ -352,19 +392,51 @@ fn random_fault(rng: &mut DetRng, nodes: usize, max_simultaneous: usize) -> Faul
 }
 
 fn random_kind(rng: &mut DetRng, nodes: usize, max_simultaneous: usize) -> ErrorKind {
+    match rng.index(9) {
+        0..=5 => random_scripted_kind(rng, nodes, max_simultaneous),
+        6 | 7 => random_live_kind(rng, nodes, max_simultaneous),
+        _ => {
+            let (a, b) = random_link(rng, nodes);
+            ErrorKind::LinkLoss { a, b }
+        }
+    }
+}
+
+fn random_scripted_kind(rng: &mut DetRng, nodes: usize, max_simultaneous: usize) -> ErrorKind {
     match rng.index(6) {
         0 | 1 => ErrorKind::NodeLoss(NodeId::from(rng.index(nodes))),
-        2 | 3 => {
-            let cap = max_simultaneous.clamp(2, nodes);
-            let k = 2 + rng.index(cap - 1);
-            let mut all: Vec<NodeId> = (0..nodes).map(NodeId::from).collect();
-            rng.shuffle(&mut all);
-            all.truncate(k);
-            ErrorKind::MultiNodeLoss(NodeSet::from_nodes(&all))
-        }
+        2 | 3 => ErrorKind::MultiNodeLoss(random_node_set(rng, nodes, max_simultaneous)),
         4 => ErrorKind::CacheWipe,
         _ => ErrorKind::DirectoryCorrupt,
     }
+}
+
+fn random_live_kind(rng: &mut DetRng, nodes: usize, max_simultaneous: usize) -> ErrorKind {
+    match rng.index(4) {
+        0 | 1 => ErrorKind::LiveNodeLoss(NodeId::from(rng.index(nodes))),
+        2 => ErrorKind::LiveMultiNodeLoss(random_node_set(rng, nodes, max_simultaneous)),
+        _ => {
+            let (a, b) = random_link(rng, nodes);
+            ErrorKind::LinkLoss { a, b }
+        }
+    }
+}
+
+fn random_node_set(rng: &mut DetRng, nodes: usize, max_simultaneous: usize) -> NodeSet {
+    let cap = max_simultaneous.clamp(2, nodes);
+    let k = 2 + rng.index(cap - 1);
+    let mut all: Vec<NodeId> = (0..nodes).map(NodeId::from).collect();
+    rng.shuffle(&mut all);
+    all.truncate(k);
+    NodeSet::from_nodes(&all)
+}
+
+/// A random adjacent torus pair (the endpoints of one severable link).
+fn random_link(rng: &mut DetRng, nodes: usize) -> (NodeId, NodeId) {
+    let torus = Torus::square_for(nodes);
+    let a = NodeId::from(rng.index(nodes));
+    let dir = Direction::ALL[rng.index(Direction::ALL.len())];
+    (a, torus.neighbor(a, dir))
 }
 
 /// The classified result of executing one scenario.
@@ -609,17 +681,43 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
             out.push(c);
         }
         // Narrow a multi-node loss by one node (down to a single loss).
-        if let ErrorKind::MultiNodeLoss(s) = f.kind {
+        if let ErrorKind::MultiNodeLoss(s) | ErrorKind::LiveMultiNodeLoss(s) = f.kind {
             if s.len() > 1 {
+                let live = f.kind.is_live();
                 let mut nodes = s.nodes();
                 nodes.pop();
                 let mut c = sc.clone();
-                c.faults[i].kind = match nodes.as_slice() {
-                    [n] => ErrorKind::NodeLoss(*n),
-                    _ => ErrorKind::MultiNodeLoss(NodeSet::from_nodes(&nodes)),
+                c.faults[i].kind = match (nodes.as_slice(), live) {
+                    ([n], false) => ErrorKind::NodeLoss(*n),
+                    ([n], true) => ErrorKind::LiveNodeLoss(*n),
+                    (_, false) => ErrorKind::MultiNodeLoss(NodeSet::from_nodes(&nodes)),
+                    (_, true) => ErrorKind::LiveMultiNodeLoss(NodeSet::from_nodes(&nodes)),
                 };
                 out.push(c);
             }
+        }
+        // Canonicalize a live fault to its scripted twin: if the failure
+        // reproduces without the sever/watchdog machinery, the minimized
+        // scenario should say so.
+        match f.kind {
+            ErrorKind::LiveNodeLoss(n) => {
+                let mut c = sc.clone();
+                c.faults[i].kind = ErrorKind::NodeLoss(n);
+                out.push(c);
+            }
+            ErrorKind::LiveMultiNodeLoss(s) => {
+                let mut c = sc.clone();
+                c.faults[i].kind = ErrorKind::MultiNodeLoss(s);
+                out.push(c);
+            }
+            ErrorKind::LinkLoss { .. } => {
+                // The closest scripted analogue: messages die, memory
+                // survives.
+                let mut c = sc.clone();
+                c.faults[i].kind = ErrorKind::CacheWipe;
+                out.push(c);
+            }
+            _ => {}
         }
         // Canonicalize the phase (a second fault only makes sense
         // during-recovery, so it goes too).
@@ -669,9 +767,46 @@ mod tests {
         assert!(faults().any(|f| matches!(f.kind, ErrorKind::MultiNodeLoss(_))));
         assert!(faults().any(|f| matches!(f.phase, InjectPhase::CommitEdge(_))));
         assert!(faults().any(|f| f.phase == InjectPhase::DuringRecovery && f.second.is_some()));
+        assert!(faults().any(|f| matches!(f.kind, ErrorKind::LiveNodeLoss(_))));
+        assert!(faults().any(|f| matches!(f.kind, ErrorKind::LiveMultiNodeLoss(_))));
+        assert!(faults().any(|f| matches!(f.kind, ErrorKind::LinkLoss { .. })));
+        // Live faults also land on the 2PC edges, not just mid-logging.
+        assert!(faults().any(|f| f.kind.is_live() && f.phase != InjectPhase::MidLogging));
         assert!(scenarios.iter().any(|s| s.nodes == 4));
         assert!(scenarios.iter().any(|s| s.nodes == 9));
         assert!(scenarios.iter().any(|s| s.faults.len() > 1));
+    }
+
+    #[test]
+    fn live_faults_never_draw_illegal_shapes() {
+        // Live kinds cannot strike mid-recovery and cannot carry a second
+        // fault; link endpoints are always torus neighbors.
+        for cfg in [
+            CampaignConfig::default(),
+            CampaignConfig {
+                live_only: true,
+                ..CampaignConfig::default()
+            },
+        ] {
+            for seed in 0..300 {
+                let sc = generate(seed, &cfg);
+                for f in &sc.faults {
+                    if f.kind.is_live() {
+                        assert_ne!(f.phase, InjectPhase::DuringRecovery, "seed {seed}");
+                        assert_eq!(f.second, None, "seed {seed}");
+                    }
+                    if let Some(second) = f.second {
+                        assert!(!second.is_live(), "seed {seed}");
+                    }
+                    if let ErrorKind::LinkLoss { a, b } = f.kind {
+                        assert_eq!(Torus::square_for(sc.nodes).hops(a, b), 1, "seed {seed}");
+                    }
+                }
+                if cfg.live_only {
+                    assert!(sc.faults.iter().all(|f| f.kind.is_live()), "seed {seed}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -85,6 +85,16 @@ pub struct MachineConfig {
     pub cpu_quantum: Ns,
     /// Outstanding checkpoint-flush write-backs per CPU.
     pub flush_outstanding: usize,
+    /// Base transaction-watchdog deadline: how long a dropped message's
+    /// sender waits before the first retry. Doubles on every strike
+    /// (bounded exponential backoff). Far above any legitimate contended
+    /// delivery, so an expiry means the message is genuinely gone; only
+    /// consulted while fabric faults are live — fault-free runs never arm
+    /// a watchdog.
+    pub watchdog_timeout: Ns,
+    /// Consecutive watchdog strikes against one node before the requester
+    /// declares it dead (organic error detection).
+    pub watchdog_strikes: u32,
 }
 
 impl MachineConfig {
@@ -106,6 +116,8 @@ impl MachineConfig {
             mshr_retry_delay: Ns(40),
             cpu_quantum: Ns(400),
             flush_outstanding: 4,
+            watchdog_timeout: Ns(2_000),
+            watchdog_strikes: 3,
         }
     }
 
@@ -356,9 +368,22 @@ pub struct ExperimentConfig {
     pub shadow_checkpoints: bool,
     /// Observability: event tracing and interval sampling (default off).
     pub obs: ObsConfig,
+    /// Scripted detection delay as a fraction of the checkpoint interval,
+    /// used by the worst-case injection constructors
+    /// (`InjectionPlan::paper_worst_case` / `paper_transient`). This is a
+    /// *harness assumption*, not a paper constant: PAPER.md fixes no
+    /// detection latency, so the conservative default of
+    /// [`ExperimentConfig::DEFAULT_DETECTION_FRACTION`] (most of an
+    /// interval elapses before the error is noticed) lives here as a named
+    /// knob instead of a magic number.
+    pub detection_fraction: f64,
 }
 
 impl ExperimentConfig {
+    /// Default scripted detection delay, as a fraction of the checkpoint
+    /// interval — the worst-case assumption the availability analysis uses
+    /// when nothing overrides it.
+    pub const DEFAULT_DETECTION_FRACTION: f64 = 0.8;
     /// A small, fast test experiment on a 4-node machine (3+1 parity, since
     /// the chunk must divide the node count). The tiny caches overflow the
     /// log quickly, so extra checkpoints trigger early; retaining four
@@ -382,6 +407,7 @@ impl ExperimentConfig {
             seed: 42,
             shadow_checkpoints: true,
             obs: ObsConfig::off(),
+            detection_fraction: ExperimentConfig::DEFAULT_DETECTION_FRACTION,
         }
     }
 
@@ -397,6 +423,7 @@ impl ExperimentConfig {
             seed: 20_02,
             shadow_checkpoints: false,
             obs: ObsConfig::off(),
+            detection_fraction: ExperimentConfig::DEFAULT_DETECTION_FRACTION,
         }
     }
 }

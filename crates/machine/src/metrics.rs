@@ -74,6 +74,13 @@ pub struct Metrics {
     /// Per-class end-to-end network latency distributions (power-of-two
     /// nanosecond buckets).
     pub net_latency: [Histogram; 5],
+    /// Watchdog retries that made it back onto the fabric, per class.
+    /// Always zero in fault-free runs (watchdogs only arm under live
+    /// fabric faults).
+    pub retry_msgs: [u64; 5],
+    /// Per-class retry latency: original drop to successful redelivery
+    /// (drop detection + backoff + the retried flight time).
+    pub retry_latency: [Histogram; 5],
 }
 
 impl Metrics {
@@ -91,6 +98,18 @@ impl Metrics {
     /// Records one DRAM line access.
     pub fn mem(&mut self, class: TrafficClass) {
         self.mem_accesses[class.index()] += 1;
+    }
+
+    /// Records one successful watchdog retry and its drop-to-redelivery
+    /// latency.
+    pub fn retry(&mut self, class: TrafficClass, latency: Ns) {
+        self.retry_msgs[class.index()] += 1;
+        self.retry_latency[class.index()].record(latency.0);
+    }
+
+    /// Total watchdog retries across classes.
+    pub fn retry_msgs_total(&self) -> u64 {
+        self.retry_msgs.iter().sum()
     }
 
     /// Total network bytes across classes.
@@ -161,6 +180,12 @@ impl Summary {
     pub fn net_latency_hist(&self, class: TrafficClass) -> &Histogram {
         &self.traffic.net_latency[class.index()]
     }
+
+    /// The retry-latency distribution of one traffic class (empty unless
+    /// fabric faults were live).
+    pub fn retry_latency_hist(&self, class: TrafficClass) -> &Histogram {
+        &self.traffic.retry_latency[class.index()]
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +227,22 @@ mod tests {
         assert_eq!(s.net_latency_hist(TrafficClass::RdRdx).total(), 2);
         assert_eq!(s.net_latency_hist(TrafficClass::Par).total(), 1);
         assert_eq!(s.net_latency_hist(TrafficClass::Log).total(), 0);
+    }
+
+    #[test]
+    fn retries_count_per_class() {
+        let mut m = Metrics::default();
+        m.retry(TrafficClass::ExeWb, Ns(4_000));
+        m.retry(TrafficClass::ExeWb, Ns(9_000));
+        m.retry(TrafficClass::Par, Ns(2_500));
+        assert_eq!(m.retry_msgs_total(), 3);
+        assert_eq!(m.retry_msgs[TrafficClass::ExeWb.index()], 2);
+        let s = Summary {
+            traffic: m,
+            ..Summary::default()
+        };
+        assert_eq!(s.retry_latency_hist(TrafficClass::ExeWb).total(), 2);
+        assert_eq!(s.retry_latency_hist(TrafficClass::RdRdx).total(), 0);
     }
 
     #[test]

@@ -105,8 +105,11 @@ pub const ARTIFACT_SCHEMA: &str = "revive-run-artifact";
 /// Current artifact schema version. Version 2 added the mandatory
 /// `injections` section; version 3 added `config.config_hash` (the result
 /// cache's content address), `result.costs`, and the per-recovery rebuild
-/// counters. Earlier versions still validate.
-pub const ARTIFACT_VERSION: u64 = 3;
+/// counters; version 4 added the live-fault fabric counters
+/// (`result.retries`, `retry_latency_ns`) and the four fault-fabric trace
+/// kinds (msg_drop / watchdog_timeout / retry / reroute) in
+/// `trace.counts`. Earlier versions still validate.
+pub const ARTIFACT_VERSION: u64 = 4;
 
 /// FNV-1a over the UTF-8 bytes of `s` — the content address used to key
 /// the result cache. Hand-rolled (the build is offline); 64-bit is plenty
@@ -301,10 +304,11 @@ pub fn render_artifact(meta: &RunMeta, r: &RunResult) -> String {
     );
     let _ = writeln!(
         o,
-        "\"net_bytes\":{},\"net_msgs\":{},\"mem_accesses\":{},\"log_high_water\":{}}},",
+        "\"net_bytes\":{},\"net_msgs\":{},\"mem_accesses\":{},\"retries\":{},\"log_high_water\":{}}},",
         u64_array(&m.traffic.net_bytes),
         u64_array(&m.traffic.net_msgs),
         u64_array(&m.traffic.mem_accesses),
+        u64_array(&m.traffic.retry_msgs),
         u64_array(&m.log_high_water),
     );
 
@@ -319,6 +323,21 @@ pub fn render_artifact(meta: &RunMeta, r: &RunResult) -> String {
             "\"{}\":{}",
             class.name(),
             hist_json(&m.traffic.net_latency[class.index()])
+        );
+    }
+    o.push_str("},\n");
+
+    // -- per-class watchdog retry latency (drop-to-redelivery) --
+    o.push_str("\"retry_latency_ns\":{");
+    for (i, class) in TrafficClass::ALL.into_iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let _ = write!(
+            o,
+            "\"{}\":{}",
+            class.name(),
+            hist_json(&m.traffic.retry_latency[class.index()])
         );
     }
     o.push_str("},\n");
@@ -400,11 +419,12 @@ pub fn render_artifact(meta: &RunMeta, r: &RunResult) -> String {
         }
         let _ = write!(
             o,
-            "{{\"t_ns\":{},\"net_bytes\":{},\"net_msgs\":{},\"mem_accesses\":{},\"ops\":{},\"log_bytes\":{},\"log_utilization_max\":{},\"outstanding_misses\":{},\"dir_busy\":{},\"dram_busy_ns\":{},\"link_busy_ns\":{},\"checkpoints\":{}}}",
+            "{{\"t_ns\":{},\"net_bytes\":{},\"net_msgs\":{},\"mem_accesses\":{},\"retries\":{},\"ops\":{},\"log_bytes\":{},\"log_utilization_max\":{},\"outstanding_misses\":{},\"dir_busy\":{},\"dram_busy_ns\":{},\"link_busy_ns\":{},\"checkpoints\":{}}}",
             e.t.0,
             u64_array(&e.net_bytes),
             u64_array(&e.net_msgs),
             u64_array(&e.mem_accesses),
+            u64_array(&e.retries),
             e.ops,
             u64_array(&e.log_bytes),
             f64_json(e.log_utilization_max),
@@ -699,7 +719,7 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
         return Err(format!("schema is not '{ARTIFACT_SCHEMA}'"));
     }
     let version = need("version")?.as_num().ok_or("version is not a number")?;
-    if !(version == 1.0 || version == 2.0 || version == ARTIFACT_VERSION as f64) {
+    if !(1..=ARTIFACT_VERSION).any(|v| version == v as f64) {
         return Err("unsupported artifact version".into());
     }
     let config = need("config")?;
@@ -818,6 +838,26 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
             return Err(format!("latency_ns.{}.buckets missing", class.name()));
         }
     }
+    // Version 4 records the fault-fabric watchdog counters: per-class
+    // retry counts and the drop-to-redelivery latency histograms.
+    if version >= 4.0 {
+        let retries = result
+            .get("retries")
+            .and_then(Json::as_arr)
+            .ok_or("result.retries missing (required at version 4)")?;
+        if retries.len() != 5 {
+            return Err("result.retries must have 5 traffic classes".into());
+        }
+        let retry = need("retry_latency_ns")?;
+        for class in TrafficClass::ALL {
+            let h = retry
+                .get(class.name())
+                .ok_or_else(|| format!("retry_latency_ns missing class '{}'", class.name()))?;
+            if h.get("total").and_then(Json::as_num).is_none() {
+                return Err(format!("retry_latency_ns.{}.total missing", class.name()));
+            }
+        }
+    }
     for (key, phase_count) in [("checkpoints_timeline", 6), ("recoveries", 4)] {
         let arr = need(key)?
             .as_arr()
@@ -862,7 +902,12 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
             return Err("epoch timestamps are not strictly increasing".into());
         }
         prev_t = t;
-        for key in ["net_bytes", "net_msgs", "mem_accesses"] {
+        let epoch_arrays: &[&str] = if version >= 4.0 {
+            &["net_bytes", "net_msgs", "mem_accesses", "retries"]
+        } else {
+            &["net_bytes", "net_msgs", "mem_accesses"]
+        };
+        for key in epoch_arrays {
             let arr = e
                 .get(key)
                 .and_then(Json::as_arr)
@@ -876,7 +921,15 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
     let counts = trace
         .get("counts")
         .ok_or_else(|| "trace.counts missing".to_string())?;
-    for name in revive_sim::trace::TraceEvent::KIND_NAMES {
+    // The four fault-fabric kinds (msg_drop / watchdog_timeout / retry /
+    // reroute) were added at version 4; older artifacts only carry the
+    // legacy kinds.
+    let required_kinds = if version >= 4.0 {
+        revive_sim::trace::TraceEvent::KIND_NAMES.len()
+    } else {
+        revive_sim::trace::TraceEvent::LEGACY_KIND_COUNT
+    };
+    for name in &revive_sim::trace::TraceEvent::KIND_NAMES[..required_kinds] {
         if counts.get(name).and_then(Json::as_num).is_none() {
             return Err(format!("trace.counts.{name} missing"));
         }
@@ -971,6 +1024,9 @@ pub fn parse_run_result(doc: &Json) -> Result<RunResult, String> {
                 .ok_or_else(|| "result.log_high_water entry is not a number".to_string())
         })
         .collect::<Result<Vec<u64>, String>>()?;
+    if result.get("retries").is_some() {
+        m.traffic.retry_msgs = five(result, "result", "retries")?;
+    }
     if let Some(costs) = result.get("costs") {
         m.costs.wb_logged = int(costs, "result.costs", "wb_logged")?;
         m.costs.rdx_unlogged = int(costs, "result.costs", "rdx_unlogged")?;
@@ -1122,13 +1178,22 @@ mod tests {
     fn older_artifact_versions_still_validate() {
         let text = render_artifact(&test_meta(), &RunResult::default());
         // A v1 artifact predates both injections and content addressing.
-        let v1 = text.replace("\"version\":3,", "\"version\":1,");
+        let v1 = text.replace("\"version\":4,", "\"version\":1,");
         validate_artifact(&v1).unwrap();
         // A v2 artifact predates content addressing only.
         let v2 = text
-            .replace("\"version\":3,", "\"version\":2,")
+            .replace("\"version\":4,", "\"version\":2,")
             .replace(",\"config_hash\":\"0123456789abcdef\"", "");
         validate_artifact(&v2).unwrap();
+        // A v3 artifact predates the fault-fabric counters: neither the
+        // retry sections nor the new trace kinds are required.
+        let v3 = text
+            .replace("\"version\":4,", "\"version\":3,")
+            .replace(",\"retries\":[0,0,0,0,0]", "");
+        validate_artifact(&v3).unwrap();
+        // ...but a v4 artifact must carry them.
+        let no_retries = text.replace(",\"retries\":[0,0,0,0,0]", "");
+        assert!(validate_artifact(&no_retries).is_err());
         // But a v2+ artifact must carry the injections section...
         let stripped: String = text
             .lines()

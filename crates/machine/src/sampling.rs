@@ -22,6 +22,9 @@ pub struct EpochSample {
     pub net_bytes: [u64; 5],
     /// Network messages per traffic class this epoch.
     pub net_msgs: [u64; 5],
+    /// Watchdog retries per traffic class this epoch (zero unless fabric
+    /// faults were live during the epoch).
+    pub retries: [u64; 5],
     /// DRAM line accesses per traffic class this epoch.
     pub mem_accesses: [u64; 5],
     /// CPU memory operations completed this epoch.
@@ -55,6 +58,7 @@ impl EpochSample {
 struct Baseline {
     net_bytes: [u64; 5],
     net_msgs: [u64; 5],
+    retries: [u64; 5],
     mem_accesses: [u64; 5],
     ops: u64,
     dram_busy: Ns,
@@ -82,6 +86,8 @@ pub struct SampleInput {
     pub net_bytes: [u64; 5],
     /// Cumulative network messages per class.
     pub net_msgs: [u64; 5],
+    /// Cumulative watchdog retries per class.
+    pub retries: [u64; 5],
     /// Cumulative DRAM accesses per class.
     pub mem_accesses: [u64; 5],
     /// Cumulative CPU ops completed.
@@ -137,6 +143,7 @@ impl IntervalSampler {
             t: input.t,
             net_bytes: delta(&input.net_bytes, &self.prev.net_bytes),
             net_msgs: delta(&input.net_msgs, &self.prev.net_msgs),
+            retries: delta(&input.retries, &self.prev.retries),
             mem_accesses: delta(&input.mem_accesses, &self.prev.mem_accesses),
             ops: input.ops.saturating_sub(self.prev.ops),
             log_bytes: input.log_bytes,
@@ -153,6 +160,7 @@ impl IntervalSampler {
         self.prev = Baseline {
             net_bytes: input.net_bytes,
             net_msgs: input.net_msgs,
+            retries: input.retries,
             mem_accesses: input.mem_accesses,
             ops: input.ops,
             dram_busy: input.dram_busy,
@@ -185,6 +193,7 @@ mod tests {
             t: Ns(t),
             net_bytes: [bytes, 0, 0, 0, 0],
             net_msgs: [bytes / 8, 0, 0, 0, 0],
+            retries: [0, bytes / 100, 0, 0, 0],
             mem_accesses: [0, bytes / 64, 0, 0, 0],
             ops,
             log_bytes: vec![10, 20],
@@ -213,6 +222,7 @@ mod tests {
         assert_eq!(got[1].net_bytes[0], 1_200);
         assert_eq!(got[0].ops, 50);
         assert_eq!(got[1].ops, 40);
+        assert_eq!(got[1].retries[1], 12); // 20 - 8, a delta like the rest
         assert_eq!(got[1].dram_busy, Ns(1_200));
         assert_eq!(got[1].link_busy, Ns(600));
         // Gauges are instantaneous, not deltas.

@@ -27,13 +27,14 @@ use revive_core::dirext::ReviveHook;
 use revive_core::lbits::LBits;
 use revive_core::log::MemLog;
 use revive_core::parity::{ParityAck, ParityMap, ParityUpdate};
+use revive_core::recovery::RecoveryError;
 use revive_core::validate::{audit_parity, MemoryImage};
 use revive_mem::addr::{AddressMap, LineAddr, PageAddr};
 use revive_mem::dram::{Dram, DramOp};
 use revive_mem::line::LineData;
 use revive_mem::main_memory::NodeMemory;
 use revive_net::fabric::Fabric;
-use revive_net::topology::Torus;
+use revive_net::topology::{Direction, LinkId, Torus};
 use revive_sim::engine::EventQueue;
 use revive_sim::resource::Resource;
 use revive_sim::time::Ns;
@@ -148,6 +149,38 @@ pub(crate) enum Ev {
     Inject,
     /// The interval sampler takes its periodic reading.
     Sample,
+    /// A watchdog retry of a dropped message fires (live-fault mode only):
+    /// the original requester re-sends the identical message after a
+    /// backoff — indistinguishable, protocol-wise, from a slow delivery.
+    Retry {
+        /// The message being retried, byte-for-byte the original.
+        msg: NetMsg,
+        /// Which attempt this is (1 = first retry).
+        attempt: u32,
+        /// When the original copy was dropped (for retry-latency metrics).
+        first_drop: Ns,
+    },
+    /// Periodic liveness check while live faults are armed: unsticks a
+    /// 2PC barrier whose participant died mid-commit, and acts as the
+    /// heartbeat backstop when no traffic ever touches the dead component.
+    WatchdogCheck,
+}
+
+/// A live fabric fault the runner arms before the injection point fires:
+/// instead of freezing the machine, [`Ev::Inject`] severs the fabric and
+/// lets execution continue until detection is *organic* (watchdog strikes,
+/// a hung barrier, or a retry forced onto a detour).
+pub(crate) enum LiveFault {
+    /// These nodes (and their routers) die with messages in flight.
+    Nodes(Vec<NodeId>),
+    /// Every link between an adjacent pair dies, both directions; the
+    /// nodes themselves survive.
+    Link {
+        /// One endpoint of the severed pair.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
 }
 
 /// Checkpoint orchestration state.
@@ -280,6 +313,24 @@ pub struct System {
     /// the flush phase while the runner drains the detection window; an
     /// empty queue then is expected, not a deadlock.
     pub(crate) suppress_deadlock_panic: bool,
+    /// A live fabric fault to fire at the injection point instead of
+    /// freezing the machine (see [`LiveFault`]).
+    pub(crate) pending_live: Option<LiveFault>,
+    /// Whether a live fabric fault is currently armed. The one branch the
+    /// fault machinery adds to the clean send path; everything else is
+    /// behind it, so fault-free runs take byte-identical event streams.
+    live_mode: bool,
+    /// Consecutive watchdog strikes per unreachable destination.
+    strikes: HashMap<NodeId, u32>,
+    /// When organic detection fired (watchdog strike-out, hung barrier,
+    /// or a rerouted retry exposing a dead link).
+    pub(crate) detected_at: Option<Ns>,
+    /// `(ckpt_counter, commit time of the last checkpoint)` captured at
+    /// the sever instant — the rollback target for a live fault, since the
+    /// machine keeps running (and may keep committing) until detection.
+    pub(crate) live_snapshot: Option<(u64, Ns)>,
+    /// Periodic watchdog checks elapsed since the sever.
+    watchdog_checks: u32,
     /// Validation-mode audit reports (parity sweeps, log round-trips).
     pub(crate) audits: Vec<AuditReport>,
     /// Event-trace ring buffer (no-op unless `cfg.obs` enables tracing).
@@ -451,6 +502,12 @@ impl System {
             inject_in_commit_of: None,
             inject_time: None,
             suppress_deadlock_panic: false,
+            pending_live: None,
+            live_mode: false,
+            strikes: HashMap::new(),
+            detected_at: None,
+            live_snapshot: None,
+            watchdog_checks: 0,
             audits: Vec::new(),
             tracer,
             sampler,
@@ -508,6 +565,9 @@ impl System {
     }
 
     fn send(&mut self, at: Ns, src: NodeId, dst: NodeId, class: TrafficClass, payload: Payload) {
+        if self.live_mode {
+            return self.send_faulted(at, src, dst, class, payload);
+        }
         let size = payload.size_bytes();
         self.metrics.net(class, size);
         let arrival = self.fabric.send(at, src, dst, size);
@@ -520,6 +580,92 @@ impl System {
                 class,
                 payload,
             }),
+        );
+    }
+
+    /// The send path while a live fabric fault is armed: a dead source
+    /// sends nothing; an unreachable destination drops the message and
+    /// hands it to the watchdog; a broken dimension-order route detours
+    /// over the surviving links.
+    fn send_faulted(
+        &mut self,
+        at: Ns,
+        src: NodeId,
+        dst: NodeId,
+        class: TrafficClass,
+        payload: Payload,
+    ) {
+        let torus = *self.fabric.torus();
+        if self.fabric.fault().node_dead(src) {
+            self.trace_drop(at, src, dst);
+            return;
+        }
+        let size = payload.size_bytes();
+        self.metrics.net(class, size);
+        match torus.route_around(src, dst, self.fabric.fault()) {
+            Some(route) => {
+                if route != torus.route(src, dst) {
+                    self.tracer.record(
+                        at,
+                        TraceEvent::Reroute {
+                            src: src.index() as u16,
+                            dst: dst.index() as u16,
+                        },
+                    );
+                    self.note_link_fault_observed(at);
+                }
+                let arrival = self.fabric.send_routed(at, &route, size);
+                self.metrics.net_latency(class, arrival.saturating_sub(at));
+                self.queue.schedule(
+                    arrival.max(self.queue.now()),
+                    Ev::Deliver(NetMsg {
+                        src,
+                        dst,
+                        class,
+                        payload,
+                    }),
+                );
+            }
+            None => {
+                // Dead or unreachable destination: drop now, let the
+                // watchdog retry (and eventually strike out).
+                self.trace_drop(at, src, dst);
+                self.schedule_retry(
+                    NetMsg {
+                        src,
+                        dst,
+                        class,
+                        payload,
+                    },
+                    1,
+                    at,
+                );
+            }
+        }
+    }
+
+    fn trace_drop(&mut self, at: Ns, src: NodeId, dst: NodeId) {
+        self.tracer.record(
+            at,
+            TraceEvent::MsgDrop {
+                src: src.index() as u16,
+                dst: dst.index() as u16,
+            },
+        );
+    }
+
+    /// Schedules retry `attempt` of a dropped message: exponential backoff
+    /// (`watchdog_timeout × 2^(attempt-1)`) from the drop instant.
+    fn schedule_retry(&mut self, msg: NetMsg, attempt: u32, first_drop: Ns) {
+        let backoff = self.cfg.machine.watchdog_timeout * (1u64 << (attempt - 1).min(16));
+        let at = first_drop.max(self.queue.now()) + backoff;
+        self.queue.schedule(
+            at,
+            Ev::Retry {
+                msg,
+                attempt,
+                first_drop,
+            },
         );
     }
 
@@ -551,6 +697,7 @@ impl System {
             t,
             net_bytes: self.metrics.net_bytes,
             net_msgs: self.metrics.net_msgs,
+            retries: self.metrics.retry_msgs,
             mem_accesses: self.metrics.mem_accesses,
             ops: self.metrics.cpu_ops,
             log_bytes,
@@ -639,9 +786,18 @@ impl System {
                 Ev::Inject => {
                     self.tracer.record(t, TraceEvent::Inject);
                     self.inject_time = Some(t);
-                    self.halted = true;
+                    match self.pending_live.take() {
+                        Some(f) => self.sever(f, t),
+                        None => self.halted = true,
+                    }
                 }
                 Ev::Sample => self.take_sample(t),
+                Ev::Retry {
+                    msg,
+                    attempt,
+                    first_drop,
+                } => self.retry_msg(msg, attempt, first_drop, t),
+                Ev::WatchdogCheck => self.watchdog_check(t),
             }
         }
     }
@@ -654,6 +810,7 @@ impl System {
             || self.ck_phase != CkPhase::Running
             || self.cpus[c].blocked_load.is_some()
             || self.cpus[c].store_stalled
+            || self.cpu_dead(c)
         {
             return;
         }
@@ -769,9 +926,246 @@ impl System {
         }
     }
 
+    // ---------------- live fabric faults ----------------
+
+    /// Arms a live fault to fire at the next injection point (the runner
+    /// calls this before `run`).
+    pub(crate) fn arm_live_fault(&mut self, f: LiveFault) {
+        self.pending_live = Some(f);
+    }
+
+    /// Whether node `c`'s CPU is dead under the armed live fault.
+    fn cpu_dead(&self, c: usize) -> bool {
+        self.live_mode && self.fabric.fault().node_dead(NodeId::from(c))
+    }
+
+    /// Severs the fabric at the injection instant: kills the faulted
+    /// components, sweeps in-flight messages whose route crosses a dead
+    /// element (dropping them into the watchdog's hands), and starts the
+    /// periodic liveness check. The machine keeps running — detection is
+    /// organic from here.
+    fn sever(&mut self, fault: LiveFault, t: Ns) {
+        self.live_mode = true;
+        self.suppress_deadlock_panic = true;
+        self.watchdog_checks = 0;
+        self.live_snapshot = Some((
+            self.ckpt_counter,
+            self.ck_stats
+                .timelines
+                .last()
+                .map(|tl| tl.committed)
+                .unwrap_or(Ns::ZERO),
+        ));
+        let torus = *self.fabric.torus();
+        match fault {
+            LiveFault::Nodes(ns) => {
+                for n in ns {
+                    self.fabric.fault_mut().kill_node(n);
+                }
+            }
+            LiveFault::Link { a, b } => {
+                for dir in Direction::ALL {
+                    if torus.neighbor(a, dir) == b {
+                        let idx = torus.link_index(LinkId { from: a, dir });
+                        self.fabric.fault_mut().kill_link(idx);
+                    }
+                    if torus.neighbor(b, dir) == a {
+                        let idx = torus.link_index(LinkId { from: b, dir });
+                        self.fabric.fault_mut().kill_link(idx);
+                    }
+                }
+            }
+        }
+        // Sweep the in-flight messages. Everything pending was sent while
+        // the fabric was clean, so each message is on its dimension-order
+        // route; any route crossing a dead element loses its message at
+        // this instant. Live-source casualties go to the watchdog.
+        for (at, ev) in self.queue.drain() {
+            let Ev::Deliver(msg) = ev else {
+                self.queue.schedule(at, ev);
+                continue;
+            };
+            let fault = self.fabric.fault();
+            let dead_src = fault.node_dead(msg.src);
+            let dead_dst = fault.node_dead(msg.dst);
+            let survives = !dead_src
+                && !dead_dst
+                && torus.route_survives(&torus.route(msg.src, msg.dst), fault);
+            if survives {
+                self.queue.schedule(at, Ev::Deliver(msg));
+                continue;
+            }
+            self.trace_drop(t, msg.src, msg.dst);
+            if !dead_src {
+                self.schedule_retry(msg, 1, t);
+            }
+        }
+        let period = self.cfg.machine.watchdog_timeout * self.cfg.machine.watchdog_strikes as u64;
+        self.queue.schedule(t + period, Ev::WatchdogCheck);
+    }
+
+    /// Retries a dropped message. A reachable destination gets the
+    /// identical message re-sent over the surviving links (protocol-safe:
+    /// indistinguishable from a slow delivery); an unreachable one is a
+    /// strike, and `watchdog_strikes` consecutive strikes against the same
+    /// destination raise organic detection.
+    fn retry_msg(&mut self, msg: NetMsg, attempt: u32, first_drop: Ns, t: Ns) {
+        if !self.live_mode || self.halted || self.fabric.fault().node_dead(msg.src) {
+            return;
+        }
+        let torus = *self.fabric.torus();
+        match torus.route_around(msg.src, msg.dst, self.fabric.fault()) {
+            Some(route) => {
+                let size = msg.payload.size_bytes();
+                self.metrics.net(msg.class, size);
+                let arrival = self.fabric.send_routed(t, &route, size);
+                self.metrics
+                    .net_latency(msg.class, arrival.saturating_sub(t));
+                self.metrics
+                    .retry(msg.class, arrival.saturating_sub(first_drop));
+                self.tracer.record(
+                    t,
+                    TraceEvent::Retry {
+                        dst: msg.dst.index() as u16,
+                        attempt: attempt.min(u8::MAX as u32) as u8,
+                    },
+                );
+                self.strikes.remove(&msg.dst);
+                if route != torus.route(msg.src, msg.dst) {
+                    self.note_link_fault_observed(t);
+                }
+                self.queue
+                    .schedule(arrival.max(self.queue.now()), Ev::Deliver(msg));
+            }
+            None => {
+                self.tracer.record(
+                    t,
+                    TraceEvent::WatchdogTimeout {
+                        dst: msg.dst.index() as u16,
+                        attempt: attempt.min(u8::MAX as u32) as u8,
+                    },
+                );
+                let s = self.strikes.entry(msg.dst).or_insert(0);
+                *s += 1;
+                if *s >= self.cfg.machine.watchdog_strikes {
+                    self.organic_detect(t);
+                } else {
+                    self.schedule_retry(msg, attempt + 1, first_drop);
+                }
+            }
+        }
+    }
+
+    /// The periodic liveness check while a live fault is armed. Detects a
+    /// 2PC barrier hung on a dead participant immediately, and any armed
+    /// fault after [`Self::HEARTBEAT_CHECKS`] quiet periods (the
+    /// node-level heartbeat a real machine room runs) — so every scenario
+    /// terminates even if no message ever touches the dead component.
+    fn watchdog_check(&mut self, t: Ns) {
+        if !self.live_mode || self.halted || self.detected_at.is_some() {
+            return;
+        }
+        self.watchdog_checks += 1;
+        let dead_nodes = self.fabric.fault().dead_node_count() > 0;
+        if dead_nodes && self.ck_phase == CkPhase::Flushing {
+            // A dead participant can never arrive at the barrier: the
+            // checkpoint is hung, and this is how it gets unstuck.
+            self.organic_detect(t);
+            return;
+        }
+        if self.watchdog_checks >= Self::HEARTBEAT_CHECKS {
+            self.organic_detect(t);
+            return;
+        }
+        if self.running_cpus == 0 {
+            return; // run is over; nothing left to watch
+        }
+        let period = self.cfg.machine.watchdog_timeout * self.cfg.machine.watchdog_strikes as u64;
+        self.queue.schedule(t + period, Ev::WatchdogCheck);
+    }
+
+    /// Heartbeat backstop: detect any armed fault after this many quiet
+    /// watchdog periods.
+    const HEARTBEAT_CHECKS: u32 = 8;
+
+    /// A retry or fresh send was forced onto a detour while only links are
+    /// dead: the fabric monitor has positively identified the dead link.
+    /// (With dead *nodes*, detours between survivors are routine and
+    /// detection waits for strikes or the hung barrier.)
+    fn note_link_fault_observed(&mut self, t: Ns) {
+        if self.detected_at.is_none() && self.fabric.fault().dead_node_count() == 0 {
+            self.organic_detect(t);
+        }
+    }
+
+    /// Fires a commit-edge injection: a scripted fault halts the machine
+    /// on the spot, while an armed live fault severs the fabric and leaves
+    /// the machine frozen mid-flush for the watchdog to notice.
+    fn commit_inject(&mut self, at: Ns) {
+        self.inject_time = Some(at);
+        match self.pending_live.take() {
+            Some(f) => self.sever(f, at),
+            None => {
+                self.halted = true;
+                self.suppress_deadlock_panic = true;
+            }
+        }
+    }
+
+    /// Organic detection: halt the machine and record the instant. The
+    /// runner takes over from here (damage, quiesce, recovery).
+    fn organic_detect(&mut self, t: Ns) {
+        if self.detected_at.is_some() {
+            return;
+        }
+        self.detected_at = Some(t);
+        self.halted = true;
+    }
+
+    /// Repairs the fabric after recovery: dead components come back (the
+    /// paper's repaired-node rejoin), watchdog state clears, and the send
+    /// path drops back to the zero-overhead clean route.
+    pub(crate) fn heal_fabric(&mut self) {
+        self.fabric.fault_mut().heal_all();
+        self.live_mode = false;
+        self.strikes.clear();
+        self.detected_at = None;
+        self.watchdog_checks = 0;
+        self.pending_live = None;
+        self.live_snapshot = None;
+    }
+
+    /// Checks that every surviving node can still reach every other over
+    /// the surviving links; returns the typed partition error otherwise
+    /// (the §3.3 assumption made checkable instead of implicit).
+    pub(crate) fn check_partition(&self) -> Option<RecoveryError> {
+        let fault = self.fabric.fault();
+        let torus = self.fabric.torus();
+        let survivors: Vec<NodeId> = (0..self.nodes.len())
+            .map(NodeId::from)
+            .filter(|n| !fault.node_dead(*n))
+            .collect();
+        let first = *survivors.first()?;
+        for &n in &survivors[1..] {
+            if torus.route_around(first, n, fault).is_none() {
+                return Some(RecoveryError::Partitioned {
+                    node: n,
+                    survivors: survivors.len(),
+                });
+            }
+        }
+        None
+    }
+
     // ---------------- message delivery ----------------
 
     fn deliver(&mut self, msg: NetMsg, t: Ns) {
+        if self.live_mode && self.fabric.fault().node_dead(msg.dst) {
+            // Delivered into a dead node: the message is gone. (The sender
+            // already paid for the flight; the watchdog owns liveness.)
+            self.trace_drop(t, msg.src, msg.dst);
+            return;
+        }
         let NetMsg {
             src,
             dst,
@@ -1086,9 +1480,15 @@ impl System {
             },
         );
         for c in 0..self.cpus.len() {
+            if self.cpu_dead(c) {
+                continue; // a dead node's cache has nothing left to say
+            }
             self.cpus[c].flush_queue = self.nodes[c].ctrl.dirty_lines().into();
         }
         for c in 0..self.cpus.len() {
+            if self.cpu_dead(c) {
+                continue;
+            }
             self.pump_flush(c, t);
             self.check_barrier_arrival(c, t);
         }
@@ -1116,7 +1516,13 @@ impl System {
     }
 
     fn check_barrier_arrival(&mut self, c: usize, t: Ns) {
-        if self.ck_phase != CkPhase::Flushing || !self.ck_flush_begun || self.cpus[c].at_barrier {
+        if self.ck_phase != CkPhase::Flushing
+            || !self.ck_flush_begun
+            || self.cpus[c].at_barrier
+            || self.cpu_dead(c)
+        {
+            // A dead participant never arrives: the barrier hangs until the
+            // watchdog's liveness check notices and raises detection.
             return;
         }
         let cpu = &self.cpus[c];
@@ -1151,13 +1557,11 @@ impl System {
         self.ck_timeline.barrier1_done = t_b1;
         let new_id = self.ckpt_counter + 1;
         if self.inject_in_commit_of == Some((new_id, CommitPoint::AfterBarrier1)) {
-            // Scripted error on the barrier-1 edge: no log has marked the
-            // new checkpoint yet, so the previous checkpoint is still the
+            // Error on the barrier-1 edge: no log has marked the new
+            // checkpoint yet, so the previous checkpoint is still the
             // recovery target everywhere. CPUs remain frozen in the flush
             // phase until the runner recovers the machine.
-            self.inject_time = Some(t_b1);
-            self.halted = true;
-            self.suppress_deadlock_panic = true;
+            self.commit_inject(t_b1);
             return;
         }
         // Between the barriers every node marks the checkpoint in its local
@@ -1209,13 +1613,11 @@ impl System {
             },
         );
         if self.inject_in_commit_of == Some((new_id, CommitPoint::AfterMark)) {
-            // Scripted error inside the two-phase-commit window: every log
-            // is marked but the commit never completes, so the previous
-            // checkpoint must stay recoverable. CPUs remain frozen in the
-            // flush phase until the runner recovers the machine.
-            self.inject_time = Some(mark_done);
-            self.halted = true;
-            self.suppress_deadlock_panic = true;
+            // Error inside the two-phase-commit window: every log is marked
+            // but the commit never completes, so the previous checkpoint
+            // must stay recoverable. CPUs remain frozen in the flush phase
+            // until the runner recovers the machine.
+            self.commit_inject(mark_done);
             return;
         }
         let t_commit = mark_done + barrier;
@@ -1260,13 +1662,11 @@ impl System {
         self.capture_exec_snapshot(new_id);
         self.audit_parity_at_commit(new_id);
         if self.inject_in_commit_of == Some((new_id, CommitPoint::AfterCommit)) {
-            // Scripted error on the reclaim edge: the checkpoint committed
-            // and old log space was just reclaimed, but no CPU has resumed.
-            // The freshly committed checkpoint is the recovery target, and
+            // Error on the reclaim edge: the checkpoint committed and old
+            // log space was just reclaimed, but no CPU has resumed. The
+            // freshly committed checkpoint is the recovery target, and
             // rolling back to it must discard exactly nothing.
-            self.inject_time = Some(t_commit);
-            self.halted = true;
-            self.suppress_deadlock_panic = true;
+            self.commit_inject(t_commit);
             return;
         }
         // Resume execution.
@@ -1376,18 +1776,30 @@ impl System {
         let mut xor_overlay: HashMap<LineAddr, LineData> = HashMap::new();
         let mut mirror_overlay: HashMap<LineAddr, LineData> = HashMap::new();
         for (_, ev) in &pending {
-            if let Ev::Deliver(NetMsg {
+            // A parity update waiting in a watchdog retry is just as
+            // in-flight as one in a Deliver — both must fold into the
+            // overlay or the audit would see a torn group.
+            let (Ev::Deliver(NetMsg {
                 payload: Payload::Par { update, mirror },
                 ..
+            })
+            | Ev::Retry {
+                msg:
+                    NetMsg {
+                        payload: Payload::Par { update, mirror },
+                        ..
+                    },
+                ..
             }) = ev
-            {
-                for (pline, delta) in &update.deltas {
-                    if *mirror {
-                        mirror_overlay.insert(*pline, *delta);
-                    } else {
-                        let e = xor_overlay.entry(*pline).or_insert(LineData::ZERO);
-                        *e ^= *delta;
-                    }
+            else {
+                continue;
+            };
+            for (pline, delta) in &update.deltas {
+                if *mirror {
+                    mirror_overlay.insert(*pline, *delta);
+                } else {
+                    let e = xor_overlay.entry(*pline).or_insert(LineData::ZERO);
+                    *e ^= *delta;
                 }
             }
         }
@@ -1483,7 +1895,12 @@ impl System {
     /// log-before-data ordering (Section 4.2) makes those drops safe.
     pub(crate) fn drain_parity_inflight(&mut self, lost: &[NodeId]) {
         for (_, ev) in self.queue.drain() {
-            let Ev::Deliver(msg) = ev else { continue };
+            // Parity updates parked in watchdog retries are still in
+            // flight toward healthy memory: complete them like Delivers,
+            // or the surviving groups go inconsistent.
+            let (Ev::Deliver(msg) | Ev::Retry { msg, .. }) = ev else {
+                continue;
+            };
             let Payload::Par { update, mirror } = msg.payload else {
                 continue;
             };

@@ -147,6 +147,7 @@ fn paper_machine_config_builds_and_runs() {
         seed: 7,
         shadow_checkpoints: false,
         obs: revive_machine::ObsConfig::off(),
+        detection_fraction: ExperimentConfig::DEFAULT_DETECTION_FRACTION,
     };
     cfg.revive.log_fraction = 0.1;
     let r = Runner::new(cfg).unwrap().run().unwrap();

@@ -5,7 +5,8 @@ use revive_sim::stats::Counter;
 use revive_sim::time::Ns;
 use revive_sim::types::NodeId;
 
-use crate::topology::Torus;
+use crate::fault::FaultState;
+use crate::topology::{LinkId, Torus};
 
 /// Timing parameters of the fabric (Table 3 of the paper).
 #[derive(Clone, Copy, Debug)]
@@ -62,6 +63,7 @@ pub struct Fabric {
     messages: Counter,
     bytes: Counter,
     latency_sum: Ns,
+    fault: FaultState,
 }
 
 impl Fabric {
@@ -74,12 +76,23 @@ impl Fabric {
             messages: Counter::new(),
             bytes: Counter::new(),
             latency_sum: Ns::ZERO,
+            fault: FaultState::for_torus(&torus),
         }
     }
 
     /// The topology this fabric runs on.
     pub fn torus(&self) -> &Torus {
         &self.torus
+    }
+
+    /// The current fault state (dead routers/links).
+    pub fn fault(&self) -> &FaultState {
+        &self.fault
+    }
+
+    /// Mutable fault state, for killing and healing components.
+    pub fn fault_mut(&mut self) -> &mut FaultState {
+        &mut self.fault
     }
 
     /// Serialization time of a message of `size` bytes on one link.
@@ -116,6 +129,33 @@ impl Fabric {
             head = start + self.config.per_hop;
         }
         let arrival = head.max(now + self.uncontended(src, dst));
+        self.latency_sum += arrival - now;
+        arrival
+    }
+
+    /// Sends `size` bytes over an explicit route (the fault-aware path from
+    /// [`Torus::route_around`]); same cut-through timing and contention
+    /// model as [`Fabric::send`], but the arrival floor uses the route's
+    /// actual length — a detour is longer than the dimension-order minimum.
+    ///
+    /// An empty route models a node-local interaction, as in `send`.
+    pub fn send_routed(&mut self, now: Ns, route: &[LinkId], size: u32) -> Ns {
+        self.messages.inc();
+        self.bytes.add(size as u64);
+        if route.is_empty() {
+            self.latency_sum += self.config.local_latency;
+            return now + self.config.local_latency;
+        }
+        let ser = self.serialization(size);
+        let mut head = now + self.config.base_latency;
+        for link in route {
+            let idx = self.torus.link_index(*link);
+            let done = self.links[idx].acquire(head, ser);
+            let start = done - ser;
+            head = start + self.config.per_hop;
+        }
+        let floor = self.config.base_latency + self.config.per_hop * route.len() as u64;
+        let arrival = head.max(now + floor);
         self.latency_sum += arrival - now;
         arrival
     }

@@ -1,0 +1,152 @@
+//! Fabric fault state: which routers and links are dead.
+//!
+//! ReVive's recovery story (paper §3.3) assumes the interconnect can route
+//! *around* a failed node. [`FaultState`] is the ground truth for that:
+//! a bitset of dead nodes (a dead node takes its router down with it) and
+//! a bitset of individually dead unidirectional links. The torus consults
+//! it for fault-aware routing ([`crate::Torus::route_around`]) and the
+//! machine consults it to drop messages whose path crosses a dead element.
+//!
+//! The `epoch` counter increments on every kill so callers can cheaply
+//! detect "the fault set changed since I last looked".
+
+use revive_sim::types::NodeId;
+
+use crate::topology::Torus;
+
+/// Dead nodes and links of one fabric. Cheap to copy around; all queries
+/// are O(1) bitset tests.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultState {
+    /// Bitset of dead nodes (router included).
+    dead_nodes: u64,
+    /// Bitset over dense link indices (see [`Torus::link_index`]).
+    dead_links: Vec<u64>,
+    /// Increments on every kill; `heal_all` bumps it too.
+    epoch: u64,
+}
+
+impl FaultState {
+    /// A clean fault state sized for `link_count` links.
+    pub fn new(link_count: usize) -> FaultState {
+        FaultState {
+            dead_nodes: 0,
+            dead_links: vec![0; link_count.div_ceil(64)],
+            epoch: 0,
+        }
+    }
+
+    /// A clean fault state sized for one torus.
+    pub fn for_torus(t: &Torus) -> FaultState {
+        assert!(t.len() <= 64, "FaultState tracks at most 64 nodes");
+        FaultState::new(t.link_count())
+    }
+
+    /// True when nothing is dead — the fast-path test on every send.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        self.dead_nodes == 0 && self.epoch == 0
+    }
+
+    /// Marks a node (and its router) dead.
+    pub fn kill_node(&mut self, n: NodeId) {
+        assert!(n.index() < 64, "node {n} outside FaultState range");
+        self.dead_nodes |= 1 << n.index();
+        self.epoch += 1;
+    }
+
+    /// Marks one unidirectional link dead, by dense index.
+    pub fn kill_link(&mut self, link_index: usize) {
+        assert!(
+            link_index / 64 < self.dead_links.len(),
+            "link index {link_index} outside FaultState range"
+        );
+        self.dead_links[link_index / 64] |= 1 << (link_index % 64);
+        self.epoch += 1;
+    }
+
+    /// Whether a node is dead.
+    #[inline]
+    pub fn node_dead(&self, n: NodeId) -> bool {
+        n.index() < 64 && self.dead_nodes & (1 << n.index()) != 0
+    }
+
+    /// Whether a link is dead, by dense index.
+    #[inline]
+    pub fn link_dead(&self, link_index: usize) -> bool {
+        self.dead_links
+            .get(link_index / 64)
+            .is_some_and(|w| w & (1 << (link_index % 64)) != 0)
+    }
+
+    /// Number of dead nodes.
+    pub fn dead_node_count(&self) -> u32 {
+        self.dead_nodes.count_ones()
+    }
+
+    /// Repairs everything (the post-recovery reintegration model: the
+    /// failed component is replaced during the outage). The epoch keeps
+    /// counting so "faults happened at some point" remains observable.
+    pub fn heal_all(&mut self) {
+        self.dead_nodes = 0;
+        for w in &mut self.dead_links {
+            *w = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// True when no node and no link is currently dead (unlike
+    /// [`FaultState::is_clean`], this is about the *current* set, not
+    /// history).
+    pub fn all_alive(&self) -> bool {
+        self.dead_nodes == 0 && self.dead_links.iter().all(|&w| w == 0)
+    }
+
+    /// The change counter: bumps on every kill or heal.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_until_first_kill() {
+        let t = Torus::new(4, 4);
+        let mut f = FaultState::for_torus(&t);
+        assert!(f.is_clean());
+        assert!(f.all_alive());
+        f.kill_node(NodeId(5));
+        assert!(!f.is_clean());
+        assert!(f.node_dead(NodeId(5)));
+        assert!(!f.node_dead(NodeId(4)));
+        assert_eq!(f.dead_node_count(), 1);
+    }
+
+    #[test]
+    fn link_kills_are_per_link() {
+        let t = Torus::new(4, 4);
+        let mut f = FaultState::for_torus(&t);
+        f.kill_link(17);
+        assert!(f.link_dead(17));
+        assert!(!f.link_dead(16));
+        assert!(!f.all_alive());
+        assert_eq!(f.dead_node_count(), 0);
+    }
+
+    #[test]
+    fn heal_restores_everything_but_keeps_the_epoch_moving() {
+        let t = Torus::new(4, 4);
+        let mut f = FaultState::for_torus(&t);
+        f.kill_node(NodeId(1));
+        f.kill_link(3);
+        let e = f.epoch();
+        f.heal_all();
+        assert!(f.all_alive());
+        assert!(f.epoch() > e);
+        // `is_clean` is historical: a healed fabric has still seen faults.
+        assert!(!f.is_clean());
+    }
+}

@@ -8,6 +8,9 @@
 //!   deterministic dimension-order (X-then-Y) routing.
 //! * [`fabric::Fabric`] — the timing model: per-link busy-until contention
 //!   plus the cut-through latency formula, and byte accounting per link.
+//! * [`fault::FaultState`] — dead routers and links, with fault-aware
+//!   rerouting ([`Torus::route_around`]) falling back from dimension-order
+//!   to a deterministic BFS over the surviving links.
 //!
 //! # Example
 //!
@@ -24,7 +27,9 @@
 //! ```
 
 pub mod fabric;
+pub mod fault;
 pub mod topology;
 
 pub use fabric::{Fabric, FabricConfig, FabricStats};
-pub use topology::Torus;
+pub use fault::FaultState;
+pub use topology::{Direction, LinkId, Torus};

@@ -2,6 +2,8 @@
 
 use revive_sim::types::NodeId;
 
+use crate::fault::FaultState;
+
 /// A 2-D torus of `width × height` nodes.
 ///
 /// Node `i` sits at coordinates `(i % width, i / width)`. Links wrap around
@@ -211,6 +213,89 @@ impl Torus {
     pub fn link_count(&self) -> usize {
         self.len() * 4
     }
+
+    /// The node one hop from `n` in direction `dir` (wrapping).
+    pub fn neighbor(&self, n: NodeId, dir: Direction) -> NodeId {
+        let (x, y) = self.coords(n);
+        match dir {
+            Direction::East => self.node_at(x + 1, y),
+            Direction::West => self.node_at(x + self.width - 1, y),
+            Direction::South => self.node_at(x, y + 1),
+            Direction::North => self.node_at(x, y + self.height - 1),
+        }
+    }
+
+    /// Whether a route crosses no dead link and no dead router. The
+    /// endpoints are the caller's problem; only links and the routers they
+    /// land on are checked (the final hop lands on the destination, which
+    /// the caller already knows is alive).
+    pub fn route_survives(&self, route: &[LinkId], fault: &FaultState) -> bool {
+        for (i, link) in route.iter().enumerate() {
+            if fault.link_dead(self.link_index(*link)) {
+                return false;
+            }
+            let lands_on = self.neighbor(link.from, link.dir);
+            if i + 1 < route.len() && fault.node_dead(lands_on) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Fault-aware routing: the dimension-order route when it survives,
+    /// otherwise a deterministic BFS over the surviving links (directions
+    /// explored in [`Direction::ALL`] order, so equal-length detours
+    /// resolve identically on every run). Returns `None` when either
+    /// endpoint is dead or the surviving graph leaves `b` unreachable
+    /// from `a` — the caller's cue for a typed partition error.
+    pub fn route_around(&self, a: NodeId, b: NodeId, fault: &FaultState) -> Option<Vec<LinkId>> {
+        if fault.node_dead(a) || fault.node_dead(b) {
+            return None;
+        }
+        if a == b {
+            return Some(Vec::new());
+        }
+        let dim = self.route(a, b);
+        if self.route_survives(&dim, fault) {
+            return Some(dim);
+        }
+        // BFS from `a`; `parent[n]` remembers the link that discovered `n`.
+        let mut parent: Vec<Option<LinkId>> = vec![None; self.len()];
+        let mut seen = vec![false; self.len()];
+        seen[a.index()] = true;
+        let mut frontier = vec![a];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &n in &frontier {
+                for dir in Direction::ALL {
+                    let link = LinkId { from: n, dir };
+                    if fault.link_dead(self.link_index(link)) {
+                        continue;
+                    }
+                    let m = self.neighbor(n, dir);
+                    if seen[m.index()] || fault.node_dead(m) {
+                        continue;
+                    }
+                    seen[m.index()] = true;
+                    parent[m.index()] = Some(link);
+                    if m == b {
+                        let mut path = Vec::new();
+                        let mut cur = b;
+                        while cur != a {
+                            let link = parent[cur.index()].expect("BFS parent chain");
+                            path.push(link);
+                            cur = link.from;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    next.push(m);
+                }
+            }
+            frontier = next;
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -291,6 +376,69 @@ mod tests {
             }
         }
         assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn route_around_prefers_dimension_order_when_clean() {
+        let t = Torus::new(4, 4);
+        let f = FaultState::for_torus(&t);
+        for a in NodeId::all(16) {
+            for b in NodeId::all(16) {
+                assert_eq!(t.route_around(a, b, &f), Some(t.route(a, b)));
+            }
+        }
+    }
+
+    #[test]
+    fn route_around_avoids_a_dead_router() {
+        let t = Torus::new(4, 4);
+        let mut f = FaultState::for_torus(&t);
+        // Dimension-order 0 -> 2 goes through node 1; kill it.
+        f.kill_node(NodeId(1));
+        let r = t.route_around(NodeId(0), NodeId(2), &f).expect("reachable");
+        assert!(t.route_survives(&r, &f));
+        for link in &r {
+            assert_ne!(link.from, NodeId(1));
+            assert_ne!(t.neighbor(link.from, link.dir), NodeId(1));
+        }
+        // Contiguous and ends at the destination.
+        let mut at = NodeId(0);
+        for link in &r {
+            assert_eq!(link.from, at);
+            at = t.neighbor(link.from, link.dir);
+        }
+        assert_eq!(at, NodeId(2));
+    }
+
+    #[test]
+    fn route_around_reports_unreachable_endpoints() {
+        let t = Torus::new(4, 4);
+        let mut f = FaultState::for_torus(&t);
+        f.kill_node(NodeId(3));
+        assert_eq!(t.route_around(NodeId(3), NodeId(0), &f), None);
+        assert_eq!(t.route_around(NodeId(0), NodeId(3), &f), None);
+        // Fully isolate node 5 by killing every link touching it.
+        let mut f = FaultState::for_torus(&t);
+        for dir in Direction::ALL {
+            let n = NodeId(5);
+            f.kill_link(t.link_index(LinkId { from: n, dir }));
+            let back = t.neighbor(n, dir);
+            for d in Direction::ALL {
+                if t.neighbor(back, d) == n {
+                    f.kill_link(t.link_index(LinkId { from: back, dir: d }));
+                }
+            }
+        }
+        assert_eq!(t.route_around(NodeId(0), NodeId(5), &f), None);
+        // Everyone else still reaches everyone else.
+        for a in NodeId::all(16) {
+            for b in NodeId::all(16) {
+                if a.index() == 5 || b.index() == 5 {
+                    continue;
+                }
+                assert!(t.route_around(a, b, &f).is_some(), "{a}->{b}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Randomized property tests for fault-aware routing.
+//!
+//! 200 seeded fault sets (deterministic via [`DetRng`], as in `prop.rs`):
+//! random tori with random dead nodes and dead links. Ground truth is a
+//! plain BFS over the surviving graph; `Torus::route_around` must agree
+//! with it exactly — a route exists iff the pair is connected, every
+//! surviving pair in a connected component is mutually reachable, and no
+//! returned route ever traverses a dead node or a dead link.
+
+use revive_net::fault::FaultState;
+use revive_net::topology::{Direction, LinkId};
+use revive_net::Torus;
+use revive_sim::rng::DetRng;
+use revive_sim::types::NodeId;
+
+const FAULT_SETS: usize = 200;
+
+/// Ground-truth reachability by BFS over surviving nodes and links.
+fn reachable(t: &Torus, f: &FaultState, a: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; t.len()];
+    if f.node_dead(a) {
+        return seen;
+    }
+    seen[a.index()] = true;
+    let mut frontier = vec![a];
+    while let Some(n) = frontier.pop() {
+        for dir in Direction::ALL {
+            let link = LinkId { from: n, dir };
+            if f.link_dead(t.link_index(link)) {
+                continue;
+            }
+            let m = t.neighbor(n, dir);
+            if !seen[m.index()] && !f.node_dead(m) {
+                seen[m.index()] = true;
+                frontier.push(m);
+            }
+        }
+    }
+    seen
+}
+
+fn random_fault_set(rng: &mut DetRng, t: &Torus) -> FaultState {
+    let mut f = FaultState::for_torus(t);
+    let dead_nodes = rng.index(t.len().min(4));
+    for _ in 0..dead_nodes {
+        f.kill_node(NodeId::from(rng.index(t.len())));
+    }
+    let dead_links = rng.index(t.link_count() / 2);
+    for _ in 0..dead_links {
+        f.kill_link(rng.index(t.link_count()));
+    }
+    f
+}
+
+#[test]
+fn fault_aware_routes_match_ground_truth_reachability() {
+    let mut rng = DetRng::seed(0xFA017);
+    for case in 0..FAULT_SETS {
+        let w = rng.range(2, 6) as usize;
+        let h = rng.range(2, 6) as usize;
+        let t = Torus::new(w, h);
+        let f = random_fault_set(&mut rng, &t);
+        for a in NodeId::all(t.len()) {
+            let truth = reachable(&t, &f, a);
+            for b in NodeId::all(t.len()) {
+                let route = t.route_around(a, b, &f);
+                let connected = truth[b.index()] && !f.node_dead(b);
+                assert_eq!(
+                    route.is_some(),
+                    connected,
+                    "case {case}: {a}->{b} route={route:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_aware_routes_never_traverse_dead_elements() {
+    let mut rng = DetRng::seed(0xFA018);
+    for case in 0..FAULT_SETS {
+        let w = rng.range(2, 6) as usize;
+        let h = rng.range(2, 6) as usize;
+        let t = Torus::new(w, h);
+        let f = random_fault_set(&mut rng, &t);
+        for a in NodeId::all(t.len()) {
+            for b in NodeId::all(t.len()) {
+                let Some(route) = t.route_around(a, b, &f) else {
+                    continue;
+                };
+                // Contiguous from a to b, no dead link, no dead router.
+                let mut at = a;
+                for link in &route {
+                    assert_eq!(link.from, at, "case {case}: {a}->{b}");
+                    assert!(
+                        !f.link_dead(t.link_index(*link)),
+                        "case {case}: {a}->{b} uses dead link {link:?}"
+                    );
+                    at = t.neighbor(link.from, link.dir);
+                    assert!(
+                        !f.node_dead(at) || at == b,
+                        "case {case}: {a}->{b} routes through dead node {at}"
+                    );
+                }
+                assert_eq!(at, b, "case {case}: route must end at {b}");
+                assert!(!f.node_dead(a) && !f.node_dead(b));
+            }
+        }
+    }
+}
+
+/// Kills every link between `n` and `m`, in both directions — the
+/// machine's `LinkLoss` semantics (a cable cut, not a half-duplex fault).
+fn kill_pair(t: &Torus, f: &mut FaultState, n: NodeId, m: NodeId) {
+    for dir in Direction::ALL {
+        if t.neighbor(n, dir) == m {
+            f.kill_link(t.link_index(LinkId { from: n, dir }));
+        }
+        if t.neighbor(m, dir) == n {
+            f.kill_link(t.link_index(LinkId { from: m, dir }));
+        }
+    }
+}
+
+/// Symmetric fault sets only (node deaths and full cable cuts), so the
+/// surviving graph is undirected.
+fn random_symmetric_fault_set(rng: &mut DetRng, t: &Torus) -> FaultState {
+    let mut f = FaultState::for_torus(t);
+    for _ in 0..rng.index(t.len().min(4)) {
+        f.kill_node(NodeId::from(rng.index(t.len())));
+    }
+    for _ in 0..rng.index(t.len()) {
+        let n = NodeId::from(rng.index(t.len()));
+        let m = t.neighbor(n, Direction::ALL[rng.index(4)]);
+        kill_pair(t, &mut f, n, m);
+    }
+    f
+}
+
+/// Every surviving pair inside one connected component stays mutually
+/// reachable, and the fault-aware route is never shorter than the
+/// surviving-graph BFS distance (it is a real path in that graph).
+/// Unidirectional kills can make reachability one-way, so this property
+/// is stated over symmetric fault sets — the only kind the machine's
+/// fault model produces (node death, cable cut).
+#[test]
+fn surviving_components_are_mutually_reachable() {
+    let mut rng = DetRng::seed(0xFA019);
+    for case in 0..FAULT_SETS {
+        let w = rng.range(2, 6) as usize;
+        let h = rng.range(2, 6) as usize;
+        let t = Torus::new(w, h);
+        let f = random_symmetric_fault_set(&mut rng, &t);
+        for a in NodeId::all(t.len()) {
+            if f.node_dead(a) {
+                continue;
+            }
+            let truth = reachable(&t, &f, a);
+            for b in NodeId::all(t.len()) {
+                if f.node_dead(b) || !truth[b.index()] {
+                    continue;
+                }
+                let fwd = t.route_around(a, b, &f);
+                let back = t.route_around(b, a, &f);
+                assert!(fwd.is_some() && back.is_some(), "case {case}: {a}<->{b}");
+                // The clean dimension-order route is a lower bound.
+                assert!(fwd.unwrap().len() >= t.hops(a, b), "case {case}: {a}->{b}");
+            }
+        }
+    }
+}

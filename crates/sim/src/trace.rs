@@ -92,6 +92,38 @@ pub enum TraceEvent {
     },
     /// A scripted error was injected.
     Inject,
+    /// A message was dropped because its path crossed a dead router or
+    /// link (or an endpoint died with it in flight).
+    MsgDrop {
+        /// Sending node.
+        src: u16,
+        /// Intended destination.
+        dst: u16,
+    },
+    /// A transaction watchdog expired: a retry attempt found its target
+    /// still unreachable (one strike against that node).
+    WatchdogTimeout {
+        /// The unresponsive target node.
+        dst: u16,
+        /// Which attempt struck out (0-based).
+        attempt: u8,
+    },
+    /// A dropped message was re-sent after backoff and made it back onto
+    /// the fabric.
+    Retry {
+        /// Destination the retry reached.
+        dst: u16,
+        /// Which attempt succeeded (0-based).
+        attempt: u8,
+    },
+    /// A send abandoned the dimension-order path for a BFS detour around
+    /// dead components.
+    Reroute {
+        /// Sending node.
+        src: u16,
+        /// Destination node.
+        dst: u16,
+    },
 }
 
 /// Which Figure-6 boundary a [`TraceEvent::CkptPhase`] marks.
@@ -135,6 +167,10 @@ impl TraceEvent {
             TraceEvent::LogWrap { .. } => "log_wrap",
             TraceEvent::EarlyCkptTrigger { .. } => "early_ckpt_trigger",
             TraceEvent::Inject => "inject",
+            TraceEvent::MsgDrop { .. } => "msg_drop",
+            TraceEvent::WatchdogTimeout { .. } => "watchdog_timeout",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::Reroute { .. } => "reroute",
         }
     }
 
@@ -149,11 +185,19 @@ impl TraceEvent {
             TraceEvent::LogWrap { .. } => 5,
             TraceEvent::EarlyCkptTrigger { .. } => 6,
             TraceEvent::Inject => 7,
+            TraceEvent::MsgDrop { .. } => 8,
+            TraceEvent::WatchdogTimeout { .. } => 9,
+            TraceEvent::Retry { .. } => 10,
+            TraceEvent::Reroute { .. } => 11,
         }
     }
 
+    /// How many kinds existed before the fault-fabric kinds (`msg_drop`
+    /// onward); artifacts older than schema v4 carry only these.
+    pub const LEGACY_KIND_COUNT: usize = 8;
+
     /// Kind names in `kind_index` order.
-    pub const KIND_NAMES: [&'static str; 8] = [
+    pub const KIND_NAMES: [&'static str; 12] = [
         "coh_start",
         "coh_end",
         "nack",
@@ -162,6 +206,10 @@ impl TraceEvent {
         "log_wrap",
         "early_ckpt_trigger",
         "inject",
+        "msg_drop",
+        "watchdog_timeout",
+        "retry",
+        "reroute",
     ];
 
     /// Writes the event's payload as JSON object *members* (no braces),
@@ -195,6 +243,12 @@ impl TraceEvent {
                 let _ = write!(out, "\"node\":{node}");
             }
             TraceEvent::Inject => {}
+            TraceEvent::MsgDrop { src, dst } | TraceEvent::Reroute { src, dst } => {
+                let _ = write!(out, "\"src\":{src},\"dst\":{dst}");
+            }
+            TraceEvent::WatchdogTimeout { dst, attempt } | TraceEvent::Retry { dst, attempt } => {
+                let _ = write!(out, "\"dst\":{dst},\"attempt\":{attempt}");
+            }
         }
     }
 }
@@ -229,7 +283,7 @@ impl Span {
 pub struct TraceSummary {
     /// Events recorded per kind, in [`TraceEvent::KIND_NAMES`] order.
     /// Includes events later evicted by the ring bound.
-    pub counts: [u64; 8],
+    pub counts: [u64; 12],
     /// Events evicted because the ring was full.
     pub dropped: u64,
     /// Events still resident in the buffer.
@@ -253,7 +307,7 @@ pub struct TraceBuffer {
     enabled: bool,
     capacity: usize,
     events: VecDeque<(Ns, TraceEvent)>,
-    counts: [u64; 8],
+    counts: [u64; 12],
     dropped: u64,
 }
 
@@ -276,7 +330,7 @@ impl TraceBuffer {
             enabled: true,
             capacity,
             events: VecDeque::with_capacity(capacity.min(4096)),
-            counts: [0; 8],
+            counts: [0; 12],
             dropped: 0,
         }
     }
@@ -492,10 +546,18 @@ mod tests {
             TraceEvent::LogWrap { node: 0 },
             TraceEvent::EarlyCkptTrigger { node: 0 },
             TraceEvent::Inject,
+            TraceEvent::MsgDrop { src: 0, dst: 1 },
+            TraceEvent::WatchdogTimeout { dst: 1, attempt: 0 },
+            TraceEvent::Retry { dst: 1, attempt: 1 },
+            TraceEvent::Reroute { src: 0, dst: 1 },
         ];
+        assert_eq!(samples.len(), TraceEvent::KIND_NAMES.len());
+        let mut seen = [false; 12];
         for ev in samples {
             assert_eq!(TraceEvent::KIND_NAMES[ev.kind_index()], ev.kind());
+            seen[ev.kind_index()] = true;
         }
+        assert!(seen.into_iter().all(|b| b));
     }
 
     #[test]

@@ -310,6 +310,7 @@ fn table4_calibration_structure_holds() {
             seed: 2002,
             shadow_checkpoints: false,
             obs: revive::machine::ObsConfig::off(),
+            detection_fraction: ExperimentConfig::DEFAULT_DETECTION_FRACTION,
         };
         let r = Runner::new(cfg).unwrap().run().unwrap();
         rates.push((app, r.metrics.l2_miss_rate()));
