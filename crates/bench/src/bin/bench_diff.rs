@@ -96,6 +96,7 @@ fn main() {
             let opts = Opts {
                 quick: baseline.quick,
                 seed: args.seed,
+                sim_threads: args.sim_threads,
             };
             banner(
                 "bench_diff — measuring a fresh candidate sweep",

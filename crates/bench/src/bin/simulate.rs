@@ -6,7 +6,7 @@
 //!          [--group N] [--mirrored-frac F] [--interval-us N] [--ops N]
 //!          [--nodes N] [--seed N] [--inject node-loss:K | --inject transient]
 //!          [--inject-spec FILE | --inject-seed N]
-//!          [--lbit-cache N] [--verbose]
+//!          [--lbit-cache N] [--sim-threads N] [--verbose]
 //!          [--json PATH] [--trace-jsonl PATH] [--trace-chrome PATH]
 //! ```
 //!
@@ -58,6 +58,7 @@ struct Args {
     inject_spec: Option<String>,
     inject_seed: Option<u64>,
     lbit_cache: Option<usize>,
+    sim_threads: Option<usize>,
     verbose: bool,
     json: Option<String>,
     trace_jsonl: Option<String>,
@@ -69,7 +70,7 @@ fn usage() -> ! {
         "usage: simulate [--app NAME|--synthetic NAME] [--mode parity|mirroring|mixed|off]\n\
          \t[--group N] [--mirrored-frac F] [--interval-us N] [--ops N] [--nodes N]\n\
          \t[--seed N] [--inject node-loss:K|transient] [--inject-spec FILE]\n\
-         \t[--inject-seed N] [--lbit-cache N] [--verbose]\n\
+         \t[--inject-seed N] [--lbit-cache N] [--sim-threads N] [--verbose]\n\
          \t[--json PATH] [--trace-jsonl PATH] [--trace-chrome PATH]\n\
          apps: {}\n\
          synthetics: {}",
@@ -93,6 +94,7 @@ fn parse_args() -> Args {
         inject_spec: None,
         inject_seed: None,
         lbit_cache: None,
+        sim_threads: None,
         verbose: false,
         json: None,
         trace_jsonl: None,
@@ -136,6 +138,14 @@ fn parse_args() -> Args {
             }
             "--lbit-cache" => {
                 args.lbit_cache = Some(value(&mut it).parse().unwrap_or_else(|_| usage()))
+            }
+            "--sim-threads" => {
+                let n: usize = value(&mut it).parse().unwrap_or_else(|_| usage());
+                if n == 0 {
+                    eprintln!("--sim-threads must be >= 1");
+                    usage()
+                }
+                args.sim_threads = Some(n);
             }
             "--verbose" => args.verbose = true,
             "--json" => args.json = Some(value(&mut it)),
@@ -224,6 +234,11 @@ fn main() {
     let mut cfg = cfg;
     if a.json.is_some() || a.trace_jsonl.is_some() || a.trace_chrome.is_some() {
         cfg.obs = ObsConfig::full();
+    }
+    // Execution strategy only — results are byte-identical at any value, so
+    // this is safe to apply even on top of a replayed inject-spec scenario.
+    if let Some(n) = a.sim_threads {
+        cfg.sim_threads = n;
     }
 
     let runner = match Runner::new(cfg) {

@@ -61,6 +61,7 @@ fn main() {
         Opts {
             quick: true,
             seed: opts.seed,
+            sim_threads: opts.sim_threads,
         },
     );
     jobs.push(SweepJob::new(

@@ -58,13 +58,13 @@ fn main() {
             .expect("config")
             .run_to_image()
             .expect("golden run");
-        for kind in KINDS {
+        for kind in &KINDS {
             for phase in PHASES {
                 let plan = InjectionPlan {
                     after_checkpoint: 2,
                     interval_fraction: 0.4,
                     detection_delay: Ns((interval.0 as f64 * 0.3) as u64),
-                    kind,
+                    kind: kind.clone(),
                     phase,
                     second: None,
                 };

@@ -28,6 +28,10 @@ pub struct Opts {
     pub quick: bool,
     /// Experiment-seed override (`--seed`).
     pub seed: Option<u64>,
+    /// Event-loop shards inside each simulation (`--sim-threads`; `None`
+    /// defers to `REVIVE_SIM_THREADS`, default serial). Execution strategy
+    /// only — artifacts are byte-identical at any value.
+    pub sim_threads: Option<usize>,
 }
 
 impl Opts {
@@ -38,7 +42,11 @@ impl Opts {
     pub fn from_env() -> Opts {
         let quick = std::env::args().any(|a| a == "--quick")
             || std::env::var("REVIVE_QUICK").is_ok_and(|v| v != "0");
-        Opts { quick, seed: None }
+        Opts {
+            quick,
+            seed: None,
+            sim_threads: None,
+        }
     }
 
     /// The options carried by the shared harness arguments.
@@ -46,6 +54,7 @@ impl Opts {
         Opts {
             quick: args.quick,
             seed: args.seed,
+            sim_threads: args.sim_threads,
         }
     }
 
@@ -141,6 +150,9 @@ pub fn experiment_config(workload: WorkloadSpec, fig: FigConfig, opts: Opts) -> 
     cfg.ops_per_cpu = opts.ops_per_cpu();
     if let Some(seed) = opts.seed {
         cfg.seed = seed;
+    }
+    if let Some(n) = opts.sim_threads {
+        cfg.sim_threads = n;
     }
     cfg
 }

@@ -17,7 +17,7 @@
 //! update the L2 copy immediately; write-back *timing* is still modeled (L2
 //! evictions and flushes produce write-back messages carrying the data).
 
-use std::collections::HashMap;
+use revive_sim::hashing::{FastHashMap, FastHashSet};
 
 use revive_mem::addr::LineAddr;
 use revive_mem::cache::{Cache, CacheConfig, LineState};
@@ -124,7 +124,7 @@ pub struct CacheCtrl {
     node: NodeId,
     l1: Cache,
     l2: Cache,
-    mshrs: HashMap<LineAddr, Mshr>,
+    mshrs: FastHashMap<LineAddr, Mshr>,
     mshr_capacity: usize,
     /// Write-backs sent but not yet acknowledged (checkpoint flushes wait on
     /// this reaching zero).
@@ -133,7 +133,7 @@ pub struct CacheCtrl {
     /// A fetch for such a line must report it dirty: home memory has not
     /// banked the flushed contents yet, and the flush write-back itself may
     /// be dropped as stale if ownership moves before it lands.
-    flushing: std::collections::HashSet<LineAddr>,
+    flushing: FastHashSet<LineAddr>,
     /// Lines with an unacknowledged *eviction* write-back (keep=false) in
     /// flight. A fetch arriving for such a line is stale — our write-back
     /// answers it at home — and must not be parked on a newer MSHR. Home
@@ -141,7 +141,7 @@ pub struct CacheCtrl {
     /// delivery means any fetch sent before that processing reaches us
     /// before the WbAck does, so membership here exactly identifies stale
     /// fetches.
-    evicting: std::collections::HashSet<LineAddr>,
+    evicting: FastHashSet<LineAddr>,
     stats: CtrlStats,
 }
 
@@ -153,11 +153,11 @@ impl CacheCtrl {
             node,
             l1: Cache::new(l1),
             l2: Cache::new(l2),
-            mshrs: HashMap::new(),
+            mshrs: FastHashMap::default(),
             mshr_capacity,
             outstanding_wbs: 0,
-            flushing: std::collections::HashSet::new(),
-            evicting: std::collections::HashSet::new(),
+            flushing: FastHashSet::default(),
+            evicting: FastHashSet::default(),
             stats: CtrlStats::default(),
         }
     }

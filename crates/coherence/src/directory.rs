@@ -13,7 +13,9 @@
 //! [`MemPort`] and announces outbound messages as return values. Timing,
 //! network, and ReVive parity messages are layered on by `revive-machine`.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use revive_sim::hashing::FastHashMap;
 
 use revive_mem::addr::LineAddr;
 use revive_mem::line::LineData;
@@ -216,8 +218,8 @@ pub struct DirStats {
 /// The full-map directory controller of one home node (see module docs).
 #[derive(Debug)]
 pub struct DirCtrl {
-    entries: HashMap<LineAddr, Entry>,
-    deferred: HashMap<LineAddr, VecDeque<DirIn>>,
+    entries: FastHashMap<LineAddr, Entry>,
+    deferred: FastHashMap<LineAddr, VecDeque<DirIn>>,
     stats: DirStats,
 }
 
@@ -231,8 +233,8 @@ impl DirCtrl {
     /// Creates a directory with every line Uncached.
     pub fn new() -> DirCtrl {
         DirCtrl {
-            entries: HashMap::new(),
-            deferred: HashMap::new(),
+            entries: FastHashMap::default(),
+            deferred: FastHashMap::default(),
             stats: DirStats::default(),
         }
     }
@@ -336,6 +338,19 @@ impl DirCtrl {
         let mut out = Vec::new();
         self.dispatch(input, mem, hook, &mut out);
         out
+    }
+
+    /// Like [`DirCtrl::handle`], but appends the messages to a
+    /// caller-owned buffer. The machine reuses one scratch buffer across
+    /// millions of directory inputs to keep this path allocation-free.
+    pub fn handle_into(
+        &mut self,
+        input: DirIn,
+        mem: &mut dyn MemPort,
+        hook: &mut dyn WriteHook,
+        out: &mut Vec<Send>,
+    ) {
+        self.dispatch(input, mem, hook, out);
     }
 
     fn dispatch(

@@ -177,6 +177,14 @@ impl ReviveHook {
         std::mem::take(&mut self.outbox)
     }
 
+    /// Swaps the outbox into `buf` (which must be empty): the queued
+    /// messages land in `buf` and the outbox adopts its capacity, so a
+    /// caller cycling one scratch buffer never re-allocates.
+    pub fn take_outbox_into(&mut self, buf: &mut Vec<OutMsg>) {
+        debug_assert!(buf.is_empty());
+        std::mem::swap(&mut self.outbox, buf);
+    }
+
     /// Pauses/resumes the hook (recovery replays memory without re-logging).
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;

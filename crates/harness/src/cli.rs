@@ -4,12 +4,13 @@
 //! (some scanned argv, some only read `REVIVE_QUICK`, some neither). All
 //! sweep binaries now parse the same four flags the same way:
 //!
-//! | flag           | env override        | meaning                                   |
-//! |----------------|---------------------|-------------------------------------------|
-//! | `--quick`      | `REVIVE_QUICK=1`    | reduced op budgets (smoke mode)           |
-//! | `--jobs N`     | `REVIVE_JOBS=N`     | worker threads; default `min(cores, jobs)`|
-//! | `--no-cache`   | `REVIVE_NO_CACHE=1` | ignore cached artifacts, always re-run    |
-//! | `--seed S`     | —                   | override the experiment seed              |
+//! | flag              | env override           | meaning                                   |
+//! |-------------------|------------------------|-------------------------------------------|
+//! | `--quick`         | `REVIVE_QUICK=1`       | reduced op budgets (smoke mode)           |
+//! | `--jobs N`        | `REVIVE_JOBS=N`        | worker threads; default `min(cores, jobs)`|
+//! | `--no-cache`      | `REVIVE_NO_CACHE=1`    | ignore cached artifacts, always re-run    |
+//! | `--seed S`        | —                      | override the experiment seed              |
+//! | `--sim-threads N` | `REVIVE_SIM_THREADS=N` | event-loop shards *inside* one simulation (execution strategy only; results are byte-identical at any value) |
 //!
 //! Flags the parser does not recognize land in [`Args::rest`] for the
 //! binary's own parsing (`--mirroring`, `--seeds`, positional paths, …).
@@ -25,6 +26,11 @@ pub struct Args {
     pub no_cache: bool,
     /// Experiment seed override.
     pub seed: Option<u64>,
+    /// Event-loop shards inside each single simulation (`None` = serial).
+    /// Orthogonal to `--jobs`: `--jobs` parallelizes *across* runs of a
+    /// sweep, `--sim-threads` parallelizes *within* one run. Never changes
+    /// results — artifacts are byte-identical at any value.
+    pub sim_threads: Option<usize>,
     /// Arguments the shared parser did not consume, in order.
     pub rest: Vec<String>,
 }
@@ -50,6 +56,10 @@ impl Args {
                 .and_then(|v| v.parse().ok()),
             no_cache: env_flag("REVIVE_NO_CACHE"),
             seed: None,
+            sim_threads: std::env::var("REVIVE_SIM_THREADS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1),
             rest: Vec::new(),
         };
         let mut it = argv.into_iter();
@@ -71,6 +81,12 @@ impl Args {
                 args.jobs = Some(v.parse().unwrap_or_else(|_| bad("--jobs", &v)));
             } else if let Some(v) = take("--seed", &arg) {
                 args.seed = Some(v.parse().unwrap_or_else(|_| bad("--seed", &v)));
+            } else if let Some(v) = take("--sim-threads", &arg) {
+                let n: usize = v.parse().unwrap_or_else(|_| bad("--sim-threads", &v));
+                if n == 0 {
+                    bad("--sim-threads", &v);
+                }
+                args.sim_threads = Some(n);
             } else {
                 args.rest.push(arg);
             }
@@ -103,6 +119,9 @@ impl Args {
         if let Some(s) = self.seed {
             out.push(format!("--seed={s}"));
         }
+        if let Some(n) = self.sim_threads {
+            out.push(format!("--sim-threads={n}"));
+        }
         out
     }
 }
@@ -122,16 +141,25 @@ mod tests {
 
     #[test]
     fn parses_shared_flags_in_both_forms() {
-        let a = parse(&["--quick", "--jobs", "4", "--no-cache", "--seed=7"]);
+        let a = parse(&[
+            "--quick",
+            "--jobs",
+            "4",
+            "--no-cache",
+            "--seed=7",
+            "--sim-threads=2",
+        ]);
         assert!(a.quick);
         assert_eq!(a.jobs, Some(4));
         assert!(a.no_cache);
         assert_eq!(a.seed, Some(7));
+        assert_eq!(a.sim_threads, Some(2));
         assert!(a.rest.is_empty());
 
-        let b = parse(&["--jobs=2", "--seed", "9"]);
+        let b = parse(&["--jobs=2", "--seed", "9", "--sim-threads", "4"]);
         assert_eq!(b.jobs, Some(2));
         assert_eq!(b.seed, Some(9));
+        assert_eq!(b.sim_threads, Some(4));
     }
 
     #[test]
@@ -158,10 +186,17 @@ mod tests {
 
     #[test]
     fn passthrough_round_trips() {
-        let a = parse(&["--quick", "--jobs=3", "--no-cache", "--seed=11"]);
+        let a = parse(&[
+            "--quick",
+            "--jobs=3",
+            "--no-cache",
+            "--seed=11",
+            "--sim-threads=2",
+        ]);
         let again = Args::from_argv(a.passthrough());
         assert!(again.quick && again.no_cache);
         assert_eq!(again.jobs, Some(3));
         assert_eq!(again.seed, Some(11));
+        assert_eq!(again.sim_threads, Some(2));
     }
 }

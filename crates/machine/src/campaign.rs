@@ -125,9 +125,9 @@ impl Scenario {
                 after_checkpoint: f.after_checkpoint,
                 interval_fraction: f.interval_fraction,
                 detection_delay: Ns((interval.0 as f64 * f.detection_fraction) as u64),
-                kind: f.kind,
+                kind: f.kind.clone(),
                 phase: f.phase,
-                second: f.second,
+                second: f.second.clone(),
             })
             .collect()
     }
@@ -149,7 +149,7 @@ impl Scenario {
         s.push_str(&format!("  \"ops_per_cpu\": {},\n", self.ops_per_cpu));
         s.push_str("  \"faults\": [\n");
         for (i, f) in self.faults.iter().enumerate() {
-            let second = match f.second {
+            let second = match &f.second {
                 Some(k) => kind_json(k),
                 None => "null".into(),
             };
@@ -160,7 +160,7 @@ impl Scenario {
                 f.after_checkpoint,
                 f.interval_fraction,
                 f.detection_fraction,
-                kind_json(f.kind),
+                kind_json(&f.kind),
                 f.phase.name(),
                 second,
                 if i + 1 < self.faults.len() { "," } else { "" },
@@ -225,12 +225,12 @@ fn field_num(v: &Json, key: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("missing numeric field {key:?}"))
 }
 
-fn kind_json(kind: ErrorKind) -> String {
+fn kind_json(kind: &ErrorKind) -> String {
     // Link loss damages no memory (`lost_nodes()` is empty), but the spec
     // still needs the endpoints to replay it.
-    let involved = match kind {
+    let involved = match *kind {
         ErrorKind::LinkLoss { a, b } => vec![a, b],
-        _ => kind.lost_nodes(),
+        ref k => k.lost_nodes(),
     };
     let nodes: Vec<String> = involved.iter().map(|n| n.index().to_string()).collect();
     format!(
@@ -681,7 +681,7 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
             out.push(c);
         }
         // Narrow a multi-node loss by one node (down to a single loss).
-        if let ErrorKind::MultiNodeLoss(s) | ErrorKind::LiveMultiNodeLoss(s) = f.kind {
+        if let ErrorKind::MultiNodeLoss(s) | ErrorKind::LiveMultiNodeLoss(s) = &f.kind {
             if s.len() > 1 {
                 let live = f.kind.is_live();
                 let mut nodes = s.nodes();
@@ -699,13 +699,15 @@ fn candidates(sc: &Scenario) -> Vec<Scenario> {
         // Canonicalize a live fault to its scripted twin: if the failure
         // reproduces without the sever/watchdog machinery, the minimized
         // scenario should say so.
-        match f.kind {
+        match &f.kind {
             ErrorKind::LiveNodeLoss(n) => {
+                let n = *n;
                 let mut c = sc.clone();
                 c.faults[i].kind = ErrorKind::NodeLoss(n);
                 out.push(c);
             }
             ErrorKind::LiveMultiNodeLoss(s) => {
+                let s = s.clone();
                 let mut c = sc.clone();
                 c.faults[i].kind = ErrorKind::MultiNodeLoss(s);
                 out.push(c);
@@ -795,7 +797,7 @@ mod tests {
                         assert_ne!(f.phase, InjectPhase::DuringRecovery, "seed {seed}");
                         assert_eq!(f.second, None, "seed {seed}");
                     }
-                    if let Some(second) = f.second {
+                    if let Some(second) = f.second.clone() {
                         assert!(!second.is_live(), "seed {seed}");
                     }
                     if let ErrorKind::LinkLoss { a, b } = f.kind {

@@ -92,6 +92,11 @@ pub struct MachineConfig {
     /// consulted while fabric faults are live — fault-free runs never arm
     /// a watchdog.
     pub watchdog_timeout: Ns,
+    /// Cap on retry-backoff doublings: attempt `n` waits
+    /// `watchdog_timeout × 2^min(n-1, cap)`, so the delay saturates instead
+    /// of overflowing on long outages. A [`revive_sim::trace::TraceEvent::
+    /// RetryBackoffCapped`] record marks the first saturated attempt.
+    pub watchdog_backoff_cap: u32,
     /// Consecutive watchdog strikes against one node before the requester
     /// declares it dead (organic error detection).
     pub watchdog_strikes: u32,
@@ -117,6 +122,7 @@ impl MachineConfig {
             cpu_quantum: Ns(400),
             flush_outstanding: 4,
             watchdog_timeout: Ns(2_000),
+            watchdog_backoff_cap: 16,
             watchdog_strikes: 3,
         }
     }
@@ -377,6 +383,21 @@ pub struct ExperimentConfig {
     /// interval elapses before the error is noticed) lives here as a named
     /// knob instead of a magic number.
     pub detection_fraction: f64,
+    /// Worker threads for the sharded event engine (1 = fully serial).
+    /// Execution strategy only, never semantics: results and artifacts are
+    /// byte-identical at any value, and the artifact's `config_hash`
+    /// canonicalizes this field out. Defaults from `REVIVE_SIM_THREADS`.
+    pub sim_threads: usize,
+}
+
+/// The default `sim_threads`: the `REVIVE_SIM_THREADS` environment variable
+/// if set to a positive integer, else 1 (serial).
+pub fn sim_threads_from_env() -> usize {
+    std::env::var("REVIVE_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl ExperimentConfig {
@@ -408,6 +429,7 @@ impl ExperimentConfig {
             shadow_checkpoints: true,
             obs: ObsConfig::off(),
             detection_fraction: ExperimentConfig::DEFAULT_DETECTION_FRACTION,
+            sim_threads: sim_threads_from_env(),
         }
     }
 
@@ -424,6 +446,7 @@ impl ExperimentConfig {
             shadow_checkpoints: false,
             obs: ObsConfig::off(),
             detection_fraction: ExperimentConfig::DEFAULT_DETECTION_FRACTION,
+            sim_threads: sim_threads_from_env(),
         }
     }
 }

@@ -13,11 +13,28 @@ use revive_sim::types::NodeId;
 
 use crate::config::MachineError;
 
+/// Virtual pages below this index live in a flat direct-indexed vector
+/// (the translate fast path); anything sparser spills to a `HashMap`.
+/// 1 Mi pages = 4 GiB of dense virtual address space, far beyond any
+/// workload footprint here, so the spill map is effectively always empty.
+const DENSE_VPAGES: u64 = 1 << 20;
+
+/// Sentinel for "unmapped" in the dense table (no real page has this index
+/// because it would require 2^64 bytes of physical memory).
+const UNMAPPED: u64 = u64::MAX;
+
 /// The machine-wide page table / physical allocator.
+///
+/// Lookups are two loads for the common case: virtual pages are dense and
+/// small (workload footprints start at vaddr 0), so the table is a flat
+/// `Vec<u64>` indexed by virtual page number, with a `HashMap` spill for
+/// pathological sparse addresses.
 #[derive(Debug)]
 pub struct PageTable {
     map: AddressMap,
-    table: HashMap<u64, PageAddr>,
+    dense: Vec<u64>,
+    spill: HashMap<u64, PageAddr>,
+    mapped: usize,
     free: Vec<Vec<PageAddr>>,
     allocated: Vec<PageAddr>,
 }
@@ -42,10 +59,36 @@ impl PageTable {
             .collect();
         PageTable {
             map,
-            table: HashMap::new(),
+            dense: Vec::new(),
+            spill: HashMap::new(),
+            mapped: 0,
             free,
             allocated: Vec::new(),
         }
+    }
+
+    fn lookup(&self, vpage: u64) -> Option<PageAddr> {
+        if vpage < DENSE_VPAGES {
+            match self.dense.get(vpage as usize) {
+                Some(&p) if p != UNMAPPED => Some(PageAddr(p)),
+                _ => None,
+            }
+        } else {
+            self.spill.get(&vpage).copied()
+        }
+    }
+
+    fn record(&mut self, vpage: u64, page: PageAddr) {
+        if vpage < DENSE_VPAGES {
+            if self.dense.len() as u64 <= vpage {
+                let grown = (vpage as usize + 1).next_power_of_two();
+                self.dense.resize(grown, UNMAPPED);
+            }
+            self.dense[vpage as usize] = page.0;
+        } else {
+            self.spill.insert(vpage, page);
+        }
+        self.mapped += 1;
     }
 
     /// Translates a virtual address touched by `toucher`, allocating the
@@ -56,15 +99,23 @@ impl PageTable {
     /// Returns [`MachineError::OutOfMemory`] when no node has free pages.
     pub fn translate(&mut self, vaddr: u64, toucher: NodeId) -> Result<Addr, MachineError> {
         let vpage = vaddr / PAGE_SIZE as u64;
-        let page = match self.table.get(&vpage) {
-            Some(&p) => p,
+        let page = match self.lookup(vpage) {
+            Some(p) => p,
             None => {
                 let p = self.allocate(toucher)?;
-                self.table.insert(vpage, p);
+                self.record(vpage, p);
                 p
             }
         };
         Ok(Addr(page.base().0 + vaddr % PAGE_SIZE as u64))
+    }
+
+    /// Translates without allocating: `None` when the page has never been
+    /// touched. The sharded engine's workers use this read-only peek while
+    /// the page table is frozen for a parallel window.
+    pub fn try_translate(&self, vaddr: u64) -> Option<Addr> {
+        let page = self.lookup(vaddr / PAGE_SIZE as u64)?;
+        Some(Addr(page.base().0 + vaddr % PAGE_SIZE as u64))
     }
 
     fn allocate(&mut self, toucher: NodeId) -> Result<PageAddr, MachineError> {
@@ -97,13 +148,20 @@ impl PageTable {
 
     /// Number of virtual pages mapped.
     pub fn mapped(&self) -> usize {
-        self.table.len()
+        self.mapped
     }
 
     /// Every established mapping as `(virtual page, physical page)`, sorted
     /// by virtual page — the basis for placement-independent memory images.
     pub fn mappings(&self) -> Vec<(u64, PageAddr)> {
-        let mut v: Vec<(u64, PageAddr)> = self.table.iter().map(|(&vp, &p)| (vp, p)).collect();
+        let mut v: Vec<(u64, PageAddr)> = self
+            .dense
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p != UNMAPPED)
+            .map(|(vp, &p)| (vp as u64, PageAddr(p)))
+            .collect();
+        v.extend(self.spill.iter().map(|(&vp, &p)| (vp, p)));
         v.sort_unstable_by_key(|&(vp, _)| vp);
         v
     }
@@ -166,6 +224,23 @@ mod tests {
             let a = t.translate(v * PAGE_SIZE as u64, NodeId(0)).unwrap();
             assert_eq!(a.page().index() % 2, 1, "allocated a reserved page");
         }
+    }
+
+    #[test]
+    fn sparse_addresses_spill_and_still_map() {
+        let mut t = table();
+        let sparse = (super::DENSE_VPAGES + 7) * PAGE_SIZE as u64 + 9;
+        assert_eq!(t.try_translate(sparse), None);
+        let a = t.translate(sparse, NodeId(1)).unwrap();
+        assert_eq!(t.try_translate(sparse), Some(a));
+        assert_eq!(t.mapped(), 1);
+        let dense = t.translate(100, NodeId(0)).unwrap();
+        assert_eq!(t.try_translate(100), Some(dense));
+        assert_eq!(t.mapped(), 2);
+        let m = t.mappings();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].0, 0);
+        assert_eq!(m[1].0, super::DENSE_VPAGES + 7);
     }
 
     #[test]

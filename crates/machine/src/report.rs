@@ -71,7 +71,14 @@ impl RunMeta {
             // The Debug rendering covers every field of the config tree, so
             // any change — cache geometry, log fraction, L-bit design,
             // observability — changes the hash and invalidates the cache.
-            config_hash: content_hash(&format!("{cfg:?}")),
+            // `sim_threads` is canonicalized out first: it selects an
+            // execution strategy with byte-identical results, so artifacts
+            // (and the result cache) must agree across thread counts.
+            config_hash: {
+                let mut canon = *cfg;
+                canon.sim_threads = 1;
+                content_hash(&format!("{canon:?}"))
+            },
             campaign_seed: None,
             injections: Vec::new(),
         }
@@ -108,8 +115,9 @@ pub const ARTIFACT_SCHEMA: &str = "revive-run-artifact";
 /// counters; version 4 added the live-fault fabric counters
 /// (`result.retries`, `retry_latency_ns`) and the four fault-fabric trace
 /// kinds (msg_drop / watchdog_timeout / retry / reroute) in
-/// `trace.counts`. Earlier versions still validate.
-pub const ARTIFACT_VERSION: u64 = 4;
+/// `trace.counts`; version 5 added the `retry_backoff_capped` trace kind.
+/// Earlier versions still validate.
+pub const ARTIFACT_VERSION: u64 = 5;
 
 /// FNV-1a over the UTF-8 bytes of `s` — the content address used to key
 /// the result cache. Hand-rolled (the build is offline); 64-bit is plenty
@@ -190,7 +198,7 @@ fn hist_json(h: &Histogram) -> String {
     out
 }
 
-fn kind_json(kind: ErrorKind) -> String {
+fn kind_json(kind: &ErrorKind) -> String {
     let nodes: Vec<String> = kind
         .lost_nodes()
         .iter()
@@ -206,12 +214,12 @@ fn kind_json(kind: ErrorKind) -> String {
 fn plan_json(p: &InjectionPlan) -> String {
     format!(
         "{{\"kind\":{},\"phase\":\"{}\",\"after_checkpoint\":{},\"interval_fraction\":{},\"detection_delay_ns\":{},\"second\":{}}}",
-        kind_json(p.kind),
+        kind_json(&p.kind),
         p.phase.name(),
         p.after_checkpoint,
         f64_json(p.interval_fraction),
         p.detection_delay.0,
-        match p.second {
+        match &p.second {
             Some(k) => kind_json(k),
             None => "null".into(),
         },
@@ -924,8 +932,10 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
     // The four fault-fabric kinds (msg_drop / watchdog_timeout / retry /
     // reroute) were added at version 4; older artifacts only carry the
     // legacy kinds.
-    let required_kinds = if version >= 4.0 {
+    let required_kinds = if version >= 5.0 {
         revive_sim::trace::TraceEvent::KIND_NAMES.len()
+    } else if version >= 4.0 {
+        revive_sim::trace::TraceEvent::V4_KIND_COUNT
     } else {
         revive_sim::trace::TraceEvent::LEGACY_KIND_COUNT
     };
@@ -1178,19 +1188,24 @@ mod tests {
     fn older_artifact_versions_still_validate() {
         let text = render_artifact(&test_meta(), &RunResult::default());
         // A v1 artifact predates both injections and content addressing.
-        let v1 = text.replace("\"version\":4,", "\"version\":1,");
+        let v1 = text.replace("\"version\":5,", "\"version\":1,");
         validate_artifact(&v1).unwrap();
         // A v2 artifact predates content addressing only.
         let v2 = text
-            .replace("\"version\":4,", "\"version\":2,")
+            .replace("\"version\":5,", "\"version\":2,")
             .replace(",\"config_hash\":\"0123456789abcdef\"", "");
         validate_artifact(&v2).unwrap();
         // A v3 artifact predates the fault-fabric counters: neither the
         // retry sections nor the new trace kinds are required.
         let v3 = text
-            .replace("\"version\":4,", "\"version\":3,")
+            .replace("\"version\":5,", "\"version\":3,")
             .replace(",\"retries\":[0,0,0,0,0]", "");
         validate_artifact(&v3).unwrap();
+        // A v4 artifact predates the retry_backoff_capped trace kind.
+        let v4 = text
+            .replace("\"version\":5,", "\"version\":4,")
+            .replace(",\"retry_backoff_capped\":0", "");
+        validate_artifact(&v4).unwrap();
         // ...but a v4 artifact must carry them.
         let no_retries = text.replace(",\"retries\":[0,0,0,0,0]", "");
         assert!(validate_artifact(&no_retries).is_err());

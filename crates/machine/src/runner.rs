@@ -36,7 +36,7 @@ use crate::system::{LiveFault, System};
 /// live kinds ([`ErrorKind::is_live`]) ignore the delay on the happy path:
 /// the fabric is actually severed and detection is organic (watchdog
 /// strikes, a hung commit barrier, or the heartbeat backstop).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct InjectionPlan {
     /// Fire after this many checkpoints have committed.
     pub after_checkpoint: u64,
@@ -113,7 +113,7 @@ pub enum CommitPoint {
 
 impl CommitPoint {
     /// Stable kebab-case name (artifacts, inject specs).
-    pub fn name(self) -> &'static str {
+    pub fn name(&self) -> &'static str {
         match self {
             CommitPoint::AfterBarrier1 => "after-barrier1",
             CommitPoint::AfterMark => "after-mark",
@@ -148,7 +148,7 @@ pub enum InjectPhase {
 
 impl InjectPhase {
     /// Stable kebab-case name (artifacts, inject specs).
-    pub fn name(self) -> &'static str {
+    pub fn name(&self) -> &'static str {
         match self {
             InjectPhase::MidLogging => "mid-logging",
             InjectPhase::CommitWindow => "commit-window",
@@ -160,16 +160,13 @@ impl InjectPhase {
     }
 }
 
-/// A compact set of node indices (machines top out well below 64 nodes).
-#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
-pub struct NodeSet(pub u64);
+/// A compact set of node indices, stored as a word-vector bitmap (like
+/// `FaultState::dead_links`) so machines of any size fit.
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct NodeSet(pub Vec<u64>);
 
 impl NodeSet {
     /// The set containing `nodes` (duplicates collapse).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a node index is 64 or larger.
     pub fn from_nodes(nodes: &[NodeId]) -> NodeSet {
         let mut s = NodeSet::default();
         for &n in nodes {
@@ -178,35 +175,36 @@ impl NodeSet {
         s
     }
 
-    /// Adds a node.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the node index is 64 or larger.
+    /// Adds a node, growing the bitmap as needed.
     pub fn insert(&mut self, n: NodeId) {
-        assert!(n.index() < 64, "NodeSet holds node indices 0..64");
-        self.0 |= 1 << n.index();
+        let word = n.index() / 64;
+        if word >= self.0.len() {
+            self.0.resize(word + 1, 0);
+        }
+        self.0[word] |= 1 << (n.index() % 64);
     }
 
     /// Membership test.
     pub fn contains(&self, n: NodeId) -> bool {
-        n.index() < 64 && self.0 & (1 << n.index()) != 0
+        self.0
+            .get(n.index() / 64)
+            .is_some_and(|w| w & (1 << (n.index() % 64)) != 0)
     }
 
     /// Number of nodes in the set.
     pub fn len(&self) -> usize {
-        self.0.count_ones() as usize
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.0 == 0
+        self.0.iter().all(|&w| w == 0)
     }
 
     /// The members in ascending index order.
     pub fn nodes(&self) -> Vec<NodeId> {
-        (0..64)
-            .filter(|i| self.0 & (1u64 << i) != 0)
+        (0..self.0.len() * 64)
+            .filter(|i| self.0[i / 64] & (1u64 << (i % 64)) != 0)
             .map(NodeId::from)
             .collect()
     }
@@ -220,7 +218,7 @@ impl std::fmt::Debug for NodeSet {
 }
 
 /// The supported error classes (Section 3.1.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ErrorKind {
     /// Permanent loss of an entire node: its memory (checkpoint, log and
     /// parity pages included) is gone and must be reconstructed.
@@ -261,7 +259,7 @@ pub enum ErrorKind {
 
 impl ErrorKind {
     /// Stable kebab-case name (artifacts, inject specs).
-    pub fn name(self) -> &'static str {
+    pub fn name(&self) -> &'static str {
         match self {
             ErrorKind::NodeLoss(_) => "node-loss",
             ErrorKind::MultiNodeLoss(_) => "multi-node-loss",
@@ -275,9 +273,9 @@ impl ErrorKind {
 
     /// The nodes this error destroys (empty for transient kinds and for
     /// link loss, which damages no memory).
-    pub fn lost_nodes(self) -> Vec<NodeId> {
+    pub fn lost_nodes(&self) -> Vec<NodeId> {
         match self {
-            ErrorKind::NodeLoss(n) | ErrorKind::LiveNodeLoss(n) => vec![n],
+            ErrorKind::NodeLoss(n) | ErrorKind::LiveNodeLoss(n) => vec![*n],
             ErrorKind::MultiNodeLoss(s) | ErrorKind::LiveMultiNodeLoss(s) => s.nodes(),
             ErrorKind::CacheWipe | ErrorKind::DirectoryCorrupt | ErrorKind::LinkLoss { .. } => {
                 Vec::new()
@@ -287,7 +285,7 @@ impl ErrorKind {
 
     /// Whether this kind severs the fabric mid-run (organic detection)
     /// rather than halting the machine at the injection instant.
-    pub fn is_live(self) -> bool {
+    pub fn is_live(&self) -> bool {
         matches!(
             self,
             ErrorKind::LiveNodeLoss(_)
@@ -387,6 +385,11 @@ pub struct RunResult {
     /// End-of-run fabric delivery counters (reset by recovery Phase 1, so
     /// for injection runs this covers only the post-recovery epoch).
     pub fabric: revive_net::FabricStats,
+    /// Event windows the sharded engine ran on worker threads. Execution
+    /// diagnostics only: varies with `sim_threads` and host core count, so
+    /// it is deliberately excluded from rendered artifacts (which stay
+    /// byte-identical at any thread count).
+    pub par_windows: u64,
 }
 
 /// Drives one experiment to completion.
@@ -500,7 +503,7 @@ impl Runner {
             ));
         }
         for plan in plans {
-            self.validate_kind(plan.kind)?;
+            self.validate_kind(&plan.kind)?;
             if plan.kind.is_live() && plan.phase == InjectPhase::DuringRecovery {
                 // Recovery runs on a halted machine — there is no live
                 // fabric for a mid-recovery sever to act on.
@@ -509,7 +512,7 @@ impl Runner {
                     plan.kind.name()
                 )));
             }
-            if let Some(second) = plan.second {
+            if let Some(second) = &plan.second {
                 self.validate_kind(second)?;
                 if second.is_live() {
                     return Err(MachineError::BadConfig(format!(
@@ -546,10 +549,10 @@ impl Runner {
             }
             let live = plan.kind.is_live();
             if live {
-                self.sys.arm_live_fault(match plan.kind {
-                    ErrorKind::LiveNodeLoss(n) => LiveFault::Nodes(vec![n]),
+                self.sys.arm_live_fault(match &plan.kind {
+                    ErrorKind::LiveNodeLoss(n) => LiveFault::Nodes(vec![*n]),
                     ErrorKind::LiveMultiNodeLoss(s) => LiveFault::Nodes(s.nodes()),
-                    ErrorKind::LinkLoss { a, b } => LiveFault::Link { a, b },
+                    ErrorKind::LinkLoss { a, b } => LiveFault::Link { a: *a, b: *b },
                     _ => unreachable!("is_live() covers exactly these kinds"),
                 });
             }
@@ -602,7 +605,7 @@ impl Runner {
                 self.sys.now().max(t_err + plan.detection_delay)
             };
 
-            let mut lost = self.apply_damage(plan.kind, target);
+            let mut lost = self.apply_damage(&plan.kind, target);
             if live {
                 // Quiesce before recovery is only possible if the survivors
                 // can still reach each other: check for a partition while
@@ -624,7 +627,7 @@ impl Runner {
                 // scratch against the union of the damage — the restart is
                 // idempotent because nothing before the scrub depends on
                 // partial progress.
-                if let Some(kind2) = plan.second {
+                if let Some(kind2) = &plan.second {
                     for n in self.apply_damage(kind2, target) {
                         if !lost.contains(&n) {
                             lost.push(n);
@@ -659,7 +662,7 @@ impl Runner {
                 // checkpoint. The second pass must hold with the logs
                 // already scrubbed — for a node loss it is pure parity
                 // reconstruction, for the others an idempotence check.
-                let lost2 = self.apply_damage(plan.kind, target);
+                let lost2 = self.apply_damage(&plan.kind, target);
                 let second = match self.recover_machine(target, &lost2, commit_of_target, t_detect)
                 {
                     Ok(o) => o,
@@ -693,18 +696,22 @@ impl Runner {
         Ok(outcomes)
     }
 
-    fn validate_kind(&self, kind: ErrorKind) -> Result<(), MachineError> {
+    fn validate_kind(&self, kind: &ErrorKind) -> Result<(), MachineError> {
         let nodes = self.sys.cfg.machine.nodes;
-        match kind {
+        match *kind {
             ErrorKind::NodeLoss(n) | ErrorKind::LiveNodeLoss(n) if n.index() >= nodes => {
                 Err(MachineError::BadConfig(format!(
                     "cannot lose node {n}: the machine has {nodes} nodes"
                 )))
             }
-            ErrorKind::MultiNodeLoss(s) | ErrorKind::LiveMultiNodeLoss(s) if s.is_empty() => Err(
-                MachineError::BadConfig("multi-node loss needs at least one node".into()),
-            ),
-            ErrorKind::MultiNodeLoss(s) | ErrorKind::LiveMultiNodeLoss(s) => {
+            ErrorKind::MultiNodeLoss(ref s) | ErrorKind::LiveMultiNodeLoss(ref s)
+                if s.is_empty() =>
+            {
+                Err(MachineError::BadConfig(
+                    "multi-node loss needs at least one node".into(),
+                ))
+            }
+            ErrorKind::MultiNodeLoss(ref s) | ErrorKind::LiveMultiNodeLoss(ref s) => {
                 match s.nodes().iter().find(|n| n.index() >= nodes) {
                     Some(n) => Err(MachineError::BadConfig(format!(
                         "cannot lose node {n}: the machine has {nodes} nodes"
@@ -731,13 +738,13 @@ impl Runner {
 
     /// Inflicts the plan's damage on the machine; returns the lost nodes
     /// the recovery engine must reconstruct around (empty for transients).
-    fn apply_damage(&mut self, kind: ErrorKind, target: u64) -> Vec<NodeId> {
-        match kind {
+    fn apply_damage(&mut self, kind: &ErrorKind, target: u64) -> Vec<NodeId> {
+        match *kind {
             ErrorKind::NodeLoss(n) | ErrorKind::LiveNodeLoss(n) => {
                 self.sys.nodes[n.index()].mem.destroy();
                 vec![n]
             }
-            ErrorKind::MultiNodeLoss(s) | ErrorKind::LiveMultiNodeLoss(s) => {
+            ErrorKind::MultiNodeLoss(ref s) | ErrorKind::LiveMultiNodeLoss(ref s) => {
                 let nodes = s.nodes();
                 for &n in &nodes {
                     self.sys.nodes[n.index()].mem.destroy();
@@ -1002,6 +1009,7 @@ impl Runner {
             ckpt: sys.ck_stats.clone(),
             checkpoints: sys.ckpt_counter,
             events: sys.events_processed(),
+            par_windows: sys.par_windows,
             recovery: recoveries.last().copied(),
             recoveries,
             outcomes,

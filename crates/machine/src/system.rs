@@ -15,15 +15,17 @@
 //! serialize within a transaction; recovery is timed by an explicit
 //! bandwidth model rather than the cycle-level loop.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
+
+use revive_sim::hashing::FastHashSet;
 
 use revive_coherence::cache_ctrl::{Access, CacheCtrl, CpuOutcome, OpToken};
-use revive_coherence::directory::{DirCtrl, DirIn};
+use revive_coherence::directory::{DirCtrl, DirIn, Send as CohSend};
 use revive_coherence::hook::NullHook;
 use revive_coherence::msg::{CacheToDir, DirToCache};
 use revive_coherence::port::MemPort;
 use revive_core::checkpoint::CkptTimeline;
-use revive_core::dirext::ReviveHook;
+use revive_core::dirext::{OutMsg, ReviveHook};
 use revive_core::lbits::LBits;
 use revive_core::log::MemLog;
 use revive_core::parity::{ParityAck, ParityMap, ParityUpdate};
@@ -69,7 +71,7 @@ pub(crate) struct Node {
     pub(crate) mem: NodeMemory,
     pub(crate) dram: Dram,
     dir_pipe: Resource,
-    pub(crate) log_pages: HashSet<PageAddr>,
+    pub(crate) log_pages: FastHashSet<PageAddr>,
 }
 
 /// One CPU's execution state.
@@ -197,7 +199,7 @@ struct NodePort<'a> {
     dram: &'a mut Dram,
     map: AddressMap,
     parity: Option<ParityMap>,
-    log_pages: &'a HashSet<PageAddr>,
+    log_pages: &'a FastHashSet<PageAddr>,
     metrics: &'a mut Metrics,
     node: NodeId,
     cursor: Ns,
@@ -237,6 +239,169 @@ impl MemPort for NodePort<'_> {
 
     fn mark(&mut self) {
         self.reply_at = Some(self.cursor);
+    }
+}
+
+/// One directory-lane event speculated by the sharded engine: a directory
+/// input or a parity application, keyed by the destination (home) node.
+struct DirItem {
+    /// Position in the window's effect table.
+    idx: usize,
+    t: Ns,
+    src: NodeId,
+    dst: NodeId,
+    class: TrafficClass,
+    work: DirWork,
+}
+
+enum DirWork {
+    Dir(DirIn),
+    Par { update: ParityUpdate, mirror: bool },
+}
+
+/// The deferred outputs of one speculated directory-lane event. Workers
+/// only mutate their own node's state; everything with global order —
+/// sends (seq allocation), traces, the early-checkpoint probe — is
+/// captured here and replayed serially in `(time, seq)` order.
+enum DirEffect {
+    Dir {
+        dst: NodeId,
+        class: TrafficClass,
+        /// `CoherenceStart` to record at the event time: requester node,
+        /// line, exclusive.
+        start_trace: Option<(u16, u64, bool)>,
+        /// `CoherenceEnd` line to record at `t_done` (transaction settled).
+        end_line: Option<LineAddr>,
+        outs: Vec<CohSend>,
+        hook_msgs: Vec<OutMsg>,
+        t_done: Ns,
+        t_reply: Ns,
+    },
+    Par {
+        dst: NodeId,
+        src: NodeId,
+        /// Acknowledgement to send back at the computed DRAM cursor.
+        ack: Option<(Ns, ParityAck)>,
+    },
+}
+
+/// One window entry in apply order: either an event replayed through the
+/// ordinary dispatcher, or an index into the speculated effect table.
+enum Slot {
+    Serial(Ev),
+    Dir(usize),
+}
+
+/// Executes one directory-lane event against its node — the worker-thread
+/// body. Mirrors the state-mutating prefix of [`System::dir_in`] /
+/// [`System::apply_parity`] exactly; DRAM timing, directory pipeline
+/// occupancy, and log/parity state evolve as in a serial run because each
+/// lane's items arrive in `(time, seq)` order.
+fn run_dir_item(
+    node: &mut Node,
+    item: DirItem,
+    scratch: &mut Metrics,
+    map: AddressMap,
+    parity: Option<ParityMap>,
+    dir_latency: Ns,
+    trace_on: bool,
+) -> (usize, DirEffect) {
+    match item.work {
+        DirWork::Dir(din) => {
+            let start_trace = if trace_on {
+                if let DirIn::Req { from, line, req } = &din {
+                    Some((
+                        from.index() as u16,
+                        line.0,
+                        !matches!(req, revive_coherence::msg::CacheReq::Read),
+                    ))
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            let din_line = if trace_on { Some(din.line()) } else { None };
+            let t1 = node.dir_pipe.acquire(item.t, dir_latency);
+            let mut outs = Vec::new();
+            let mut hook_msgs = Vec::new();
+            let (t_done, t_reply) = {
+                let Node {
+                    ctrl: _,
+                    dir,
+                    hook,
+                    mem,
+                    dram,
+                    dir_pipe: _,
+                    log_pages,
+                } = node;
+                let mut port = NodePort {
+                    mem,
+                    dram,
+                    map,
+                    parity,
+                    log_pages,
+                    metrics: scratch,
+                    node: item.dst,
+                    cursor: t1,
+                    reply_at: None,
+                    ctx_class: item.class,
+                };
+                let mut null = NullHook;
+                match hook.as_mut() {
+                    Some(h) => dir.handle_into(din, &mut port, h, &mut outs),
+                    None => dir.handle_into(din, &mut port, &mut null, &mut outs),
+                }
+                if let Some(h) = hook.as_mut() {
+                    h.take_outbox_into(&mut hook_msgs);
+                }
+                let reply_at = port.reply_at.unwrap_or(port.cursor);
+                (port.cursor, reply_at)
+            };
+            let end_line = din_line.filter(|&l| !node.dir.is_busy(l));
+            (
+                item.idx,
+                DirEffect::Dir {
+                    dst: item.dst,
+                    class: item.class,
+                    start_trace,
+                    end_line,
+                    outs,
+                    hook_msgs,
+                    t_done,
+                    t_reply,
+                },
+            )
+        }
+        DirWork::Par { update, mirror } => {
+            let mut cursor = item.t;
+            for (pline, delta) in &update.deltas {
+                debug_assert_eq!(map.home_of_line(*pline), item.dst);
+                let local = map.local_line_index(*pline);
+                if mirror {
+                    cursor = node.dram.access(cursor, local, DramOp::Write);
+                    scratch.mem(TrafficClass::Par);
+                    node.mem.write_line(local, *delta);
+                } else {
+                    cursor = node.dram.access(cursor, local, DramOp::Read);
+                    cursor = node.dram.access(cursor, local, DramOp::Write);
+                    scratch.mem(TrafficClass::Par);
+                    scratch.mem(TrafficClass::Par);
+                    node.mem.xor_line(local, *delta);
+                }
+            }
+            let ack = update
+                .ack_to_line
+                .map(|line| (cursor, ParityAck { ack_to_line: line }));
+            (
+                item.idx,
+                DirEffect::Par {
+                    dst: item.dst,
+                    src: item.src,
+                    ack,
+                },
+            )
+        }
     }
 }
 
@@ -313,6 +478,10 @@ pub struct System {
     /// the flush phase while the runner drains the detection window; an
     /// empty queue then is expected, not a deadlock.
     pub(crate) suppress_deadlock_panic: bool,
+    /// Windows the sharded engine executed on worker threads (execution
+    /// diagnostics only — never rendered into artifacts, where it would
+    /// break cross-thread-count byte identity).
+    pub(crate) par_windows: u64,
     /// A live fabric fault to fire at the injection point instead of
     /// freezing the machine (see [`LiveFault`]).
     pub(crate) pending_live: Option<LiveFault>,
@@ -339,6 +508,10 @@ pub struct System {
     pub(crate) sampler: Option<IntervalSampler>,
     /// Phase spans (checkpoint and recovery timelines) for Chrome traces.
     pub(crate) spans: Vec<Span>,
+    /// Scratch buffers recycled across directory inputs so the hot path
+    /// never allocates (see `dir_in`).
+    scratch_sends: Vec<CohSend>,
+    scratch_par: Vec<OutMsg>,
 }
 
 impl System {
@@ -385,7 +558,7 @@ impl System {
         };
 
         // Reserve log pages: the highest non-parity pages of each node.
-        let mut log_page_sets: Vec<HashSet<PageAddr>> = vec![HashSet::new(); nodes];
+        let mut log_page_sets: Vec<FastHashSet<PageAddr>> = vec![FastHashSet::default(); nodes];
         if let Some(pm) = parity.as_ref() {
             let protected_per_node: u64 = map.pages_per_node()
                 - map
@@ -444,7 +617,7 @@ impl System {
             }
         }
 
-        let reserved: Vec<HashSet<PageAddr>> = log_page_sets;
+        let reserved: Vec<FastHashSet<PageAddr>> = log_page_sets;
         let parity_copy = parity;
         let page_table = PageTable::new(map, |p| {
             let n = map.home_of_page(p);
@@ -502,9 +675,12 @@ impl System {
             inject_in_commit_of: None,
             inject_time: None,
             suppress_deadlock_panic: false,
+            par_windows: 0,
             pending_live: None,
             live_mode: false,
             strikes: HashMap::new(),
+            scratch_sends: Vec::new(),
+            scratch_par: Vec::new(),
             detected_at: None,
             live_snapshot: None,
             watchdog_checks: 0,
@@ -655,9 +831,27 @@ impl System {
     }
 
     /// Schedules retry `attempt` of a dropped message: exponential backoff
-    /// (`watchdog_timeout × 2^(attempt-1)`) from the drop instant.
+    /// (`watchdog_timeout × 2^(attempt-1)`) from the drop instant, with the
+    /// doubling count saturating at `watchdog_backoff_cap` (traced once it
+    /// engages) so long outages cannot overflow the delay.
     fn schedule_retry(&mut self, msg: NetMsg, attempt: u32, first_drop: Ns) {
-        let backoff = self.cfg.machine.watchdog_timeout * (1u64 << (attempt - 1).min(16));
+        let cap = self.cfg.machine.watchdog_backoff_cap.min(62);
+        let doublings = attempt.saturating_sub(1);
+        if doublings > cap {
+            self.tracer.record(
+                self.queue.now(),
+                TraceEvent::RetryBackoffCapped {
+                    dst: msg.dst.index() as u16,
+                    attempt: doublings.min(u8::MAX as u32) as u8,
+                },
+            );
+        }
+        let backoff = Ns(self
+            .cfg
+            .machine
+            .watchdog_timeout
+            .0
+            .saturating_mul(1u64 << doublings.min(cap)));
         let at = first_drop.max(self.queue.now()) + backoff;
         self.queue.schedule(
             at,
@@ -726,12 +920,43 @@ impl System {
     }
 
     /// Runs until `deadline` (exclusive), budget exhaustion, or injection.
+    ///
+    /// With `cfg.sim_threads > 1` the sharded engine executes windows of
+    /// directory-side events on worker threads; results, traces, and
+    /// artifacts are byte-identical to the serial engine (DESIGN.md §14).
     pub fn run_until(&mut self, deadline: Ns) {
-        while !self.halted {
-            match self.queue.peek_time() {
-                None => {
-                    if self.running_cpus != 0 && !self.suppress_deadlock_panic {
-                        let states: Vec<String> = self
+        if self.cfg.sim_threads > 1 {
+            self.run_until_sharded(deadline);
+        } else {
+            while !self.halted {
+                if !self.step_one(deadline) {
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Pops and dispatches one event before `deadline`. Returns false when
+    /// the loop should stop (queue drained or deadline reached).
+    fn step_one(&mut self, deadline: Ns) -> bool {
+        match self.queue.pop_before(deadline) {
+            Err(None) => {
+                self.check_drained();
+                false
+            }
+            Err(Some(_)) => false,
+            Ok((t, ev)) => {
+                self.dispatch(ev, t);
+                true
+            }
+        }
+    }
+
+    /// Panics with full per-CPU diagnostics when the queue drained while
+    /// CPUs still had work — always a simulator bug, never a legal outcome.
+    fn check_drained(&self) {
+        if self.running_cpus != 0 && !self.suppress_deadlock_panic {
+            let states: Vec<String> = self
                             .cpus
                             .iter()
                             .enumerate()
@@ -751,18 +976,18 @@ impl System {
                                 )
                             })
                             .collect();
-                        let dirs: Vec<String> = self
-                            .nodes
-                            .iter()
-                            .enumerate()
-                            .flat_map(|(i, n)| {
-                                n.dir
-                                    .debug_stuck()
-                                    .into_iter()
-                                    .map(move |s| format!("dir{i} {s}"))
-                            })
-                            .collect();
-                        panic!(
+            let dirs: Vec<String> = self
+                .nodes
+                .iter()
+                .enumerate()
+                .flat_map(|(i, n)| {
+                    n.dir
+                        .debug_stuck()
+                        .into_iter()
+                        .map(move |s| format!("dir{i} {s}"))
+                })
+                .collect();
+            panic!(
                             "deadlock: no events but {} CPUs unfinished (ops_done={:?}, ck_phase={:?}, arrived={})\n{}\n{}",
                             self.running_cpus,
                             self.ops_done,
@@ -771,33 +996,427 @@ impl System {
                             states.join("\n"),
                             dirs.join("\n")
                         );
-                    }
+        }
+    }
+
+    /// Routes one popped event to its handler — the single dispatcher both
+    /// the serial and sharded loops share.
+    fn dispatch(&mut self, ev: Ev, t: Ns) {
+        match ev {
+            Ev::Cpu(c) => self.cpu_step(c, t),
+            Ev::Deliver(msg) => self.deliver(msg, t),
+            Ev::CkptStart => self.ckpt_start(t),
+            Ev::FlushStart => self.flush_start(t),
+            Ev::Inject => {
+                self.tracer.record(t, TraceEvent::Inject);
+                self.inject_time = Some(t);
+                match self.pending_live.take() {
+                    Some(f) => self.sever(f, t),
+                    None => self.halted = true,
+                }
+            }
+            Ev::Sample => self.take_sample(t),
+            Ev::Retry {
+                msg,
+                attempt,
+                first_drop,
+            } => self.retry_msg(msg, attempt, first_drop, t),
+            Ev::WatchdogCheck => self.watchdog_check(t),
+        }
+    }
+
+    // ---------------- sharded engine (sim_threads > 1) ----------------
+    //
+    // The sharded loop pops a *window* of events whose speculative execution
+    // provably cannot be invalidated by anything the window itself
+    // schedules, runs the directory-side events (directory inputs, parity
+    // applications — the expensive path) on worker threads partitioned by
+    // owning node, then replays every deferred effect serially in exact
+    // `(time, seq)` order. Sends, traces, seq allocation, and metrics all
+    // happen in the serial apply phase (or commute), so results are
+    // byte-identical to the serial engine at any thread count.
+
+    /// Fewest directory events in a window worth spawning workers for.
+    const PAR_MIN_EVENTS: usize = 8;
+
+    /// True while any state forces fully serial stepping: checkpoint
+    /// orchestration in flight, live fabric faults (or one armed), a
+    /// pending early checkpoint, or the `REVIVE_TRACE_LINE` debug tap
+    /// (whose stderr output is ordered by execution).
+    fn must_run_serial(&self) -> bool {
+        self.ck_phase != CkPhase::Running
+            || self.live_mode
+            || self.pending_live.is_some()
+            || !self.fabric.fault().is_clean()
+            || self.early_pending
+            || trace_line().is_some()
+    }
+
+    /// Whether speculating `items` directory events on `lane` is safely
+    /// clear of the log's early-checkpoint trigger: near the threshold the
+    /// serial engine probes utilization *between* events, so the window
+    /// must fall back to serial execution there to keep the trigger point
+    /// (and CpInf log recycling) bit-exact.
+    fn lane_log_far_from_trigger(&self, lane: usize, items: usize) -> bool {
+        match &self.nodes[lane].hook {
+            None => true,
+            Some(h) => {
+                let cap = h.log.capacity_bytes();
+                // 4 KiB per event massively over-bounds one directory
+                // transaction's log growth (one line-granular record).
+                cap > 0
+                    && h.log.utilization() + (items as f64 * 4096.0) / (cap as f64)
+                        < self.cfg.revive.ckpt.early_trigger_utilization
+            }
+        }
+    }
+
+    /// The sharded main loop. Window safety argument (DESIGN.md §14): an
+    /// event executing at time `t` cannot inject a new delivery before
+    /// `t + min_deliver_latency` (CPU accesses and cache reactions send at
+    /// ≥ `t`, arriving ≥ the local-send floor later), and a directory event
+    /// cannot before `t + dir_latency + floor` (its outputs leave after the
+    /// pipeline). Zero-delay reschedules (CPU wake-ups) exist but carry
+    /// fresh seqs, so they order *after* every window entry at the same
+    /// time; the apply loop interleaves them by `(time, seq)`.
+    fn run_until_sharded(&mut self, deadline: Ns) {
+        let quick = self.fabric.min_deliver_latency();
+        let dir_m = self.cfg.machine.dir_latency + quick;
+        let cross = self.fabric.min_cross_latency();
+        while !self.halted {
+            if self.must_run_serial() {
+                if !self.step_one(deadline) {
                     return;
                 }
-                Some(t) if t >= deadline => return,
-                Some(_) => {}
+                continue;
             }
-            let (t, ev) = self.queue.pop().expect("peeked");
-            match ev {
-                Ev::Cpu(c) => self.cpu_step(c, t),
-                Ev::Deliver(msg) => self.deliver(msg, t),
-                Ev::CkptStart => self.ckpt_start(t),
-                Ev::FlushStart => self.flush_start(t),
-                Ev::Inject => {
-                    self.tracer.record(t, TraceEvent::Inject);
-                    self.inject_time = Some(t);
-                    match self.pending_live.take() {
-                        Some(f) => self.sever(f, t),
-                        None => self.halted = true,
+            let Some(t0) = self.queue.peek_time() else {
+                self.check_drained();
+                return;
+            };
+            if t0 >= deadline {
+                return;
+            }
+            let span = Ns(t0.0.saturating_add(cross.0)).min(deadline);
+            let mut batch: VecDeque<(Ns, u64, Ev)> = self.queue.pop_window(span).into();
+            // Trim to the hazard-free prefix: each kept event shrinks the
+            // window to the earliest instant its execution could schedule
+            // a new directory-lane delivery; global events close it.
+            let mut end = span;
+            let mut keep = 0;
+            for (t, _, ev) in &batch {
+                if *t >= end {
+                    break;
+                }
+                let margin = match ev {
+                    Ev::Cpu(_) => quick,
+                    Ev::Deliver(m) => match &m.payload {
+                        Payload::ToDir(_) | Payload::ParAck(_) => dir_m,
+                        Payload::ToCache(_) | Payload::Par { .. } => quick,
+                    },
+                    // Global event: close the window right here.
+                    _ => break,
+                };
+                end = end.min(*t + margin);
+                keep += 1;
+            }
+            while batch.len() > keep {
+                let (t, seq, ev) = batch.pop_back().expect("len > keep");
+                self.queue.schedule_preseq(t, seq, ev);
+            }
+            if keep == 0 {
+                // A global event leads: step it through the serial path.
+                if !self.step_one(deadline) {
+                    return;
+                }
+                continue;
+            }
+            self.run_window(batch);
+        }
+    }
+
+    /// Executes one hazard-free window: directory-lane events (keyed by
+    /// destination node) go to workers when there is enough spread,
+    /// everything else — and every deferred effect — replays serially.
+    fn run_window(&mut self, batch: VecDeque<(Ns, u64, Ev)>) {
+        let mut per_lane: Vec<u32> = vec![0; self.nodes.len()];
+        let mut dir_events = 0usize;
+        for (_, _, ev) in &batch {
+            if let Ev::Deliver(m) = ev {
+                if matches!(
+                    m.payload,
+                    Payload::ToDir(_) | Payload::Par { .. } | Payload::ParAck(_)
+                ) {
+                    per_lane[m.dst.index()] += 1;
+                    dir_events += 1;
+                }
+            }
+        }
+        let lanes: Vec<usize> = (0..per_lane.len()).filter(|&l| per_lane[l] > 0).collect();
+        let workers = self.cfg.sim_threads.min(lanes.len());
+        let qualifies = workers >= 2
+            && dir_events >= Self::PAR_MIN_EVENTS
+            && lanes
+                .iter()
+                .all(|&l| self.lane_log_far_from_trigger(l, per_lane[l] as usize));
+        if qualifies {
+            self.par_windows += 1;
+            self.run_window_parallel(batch, &lanes, workers, dir_events);
+        } else {
+            self.run_window_serial(batch);
+        }
+    }
+
+    /// Replays a popped window through the ordinary dispatcher,
+    /// interleaving events the window itself schedules (zero-delay CPU
+    /// wake-ups) in exact `(time, seq)` order.
+    fn run_window_serial(&mut self, mut batch: VecDeque<(Ns, u64, Ev)>) {
+        while !self.halted && !batch.is_empty() {
+            let (t, seq) = {
+                let front = batch.front().expect("non-empty");
+                (front.0, front.1)
+            };
+            while self.queue.peek_time_seq().is_some_and(|k| k < (t, seq)) {
+                let (t2, ev2) = self.queue.pop().expect("peeked non-empty");
+                self.dispatch(ev2, t2);
+                if self.halted {
+                    break;
+                }
+            }
+            if self.halted {
+                break;
+            }
+            let (t, _, ev) = batch.pop_front().expect("non-empty");
+            self.queue.replay_pop(t);
+            self.dispatch(ev, t);
+        }
+        // Halts cannot fire inside a window (global events close windows
+        // first), but stay safe: park any unexecuted remainder.
+        while let Some((t, seq, ev)) = batch.pop_back() {
+            self.queue.schedule_preseq(t, seq, ev);
+        }
+    }
+
+    /// The parallel window path: speculate directory-lane work on scoped
+    /// worker threads (each node's directory, DRAM, hook, and log are
+    /// touched by exactly one worker), then apply all effects serially.
+    fn run_window_parallel(
+        &mut self,
+        batch: VecDeque<(Ns, u64, Ev)>,
+        lanes: &[usize],
+        workers: usize,
+        dir_events: usize,
+    ) {
+        // Decompose into the ordered apply plan plus per-lane work lists.
+        let mut plan: Vec<(Ns, u64, Slot)> = Vec::with_capacity(batch.len());
+        let mut items: Vec<Vec<DirItem>> = (0..self.nodes.len()).map(|_| Vec::new()).collect();
+        let mut idx = 0usize;
+        for (t, seq, ev) in batch {
+            let slot = match ev {
+                Ev::Deliver(msg)
+                    if matches!(
+                        msg.payload,
+                        Payload::ToDir(_) | Payload::Par { .. } | Payload::ParAck(_)
+                    ) =>
+                {
+                    let NetMsg {
+                        src,
+                        dst,
+                        class,
+                        payload,
+                    } = msg;
+                    let (work, class) = match payload {
+                        Payload::ToDir(m) => {
+                            let din = match m {
+                                CacheToDir::Req { line, req } => DirIn::Req {
+                                    from: src,
+                                    line,
+                                    req,
+                                },
+                                CacheToDir::WriteBack { line, data, keep } => DirIn::WriteBack {
+                                    from: src,
+                                    line,
+                                    data,
+                                    keep,
+                                },
+                                CacheToDir::FetchResp { line, data, dirty } => DirIn::FetchResp {
+                                    from: src,
+                                    line,
+                                    data,
+                                    dirty,
+                                },
+                                CacheToDir::InvalAck { line } => {
+                                    DirIn::InvalAck { from: src, line }
+                                }
+                            };
+                            (DirWork::Dir(din), class)
+                        }
+                        Payload::ParAck(ack) => (
+                            DirWork::Dir(DirIn::HookAck {
+                                line: ack.ack_to_line,
+                            }),
+                            TrafficClass::Par,
+                        ),
+                        Payload::Par { update, mirror } => {
+                            (DirWork::Par { update, mirror }, TrafficClass::Par)
+                        }
+                        Payload::ToCache(_) => unreachable!("matched above"),
+                    };
+                    items[dst.index()].push(DirItem {
+                        idx,
+                        t,
+                        src,
+                        dst,
+                        class,
+                        work,
+                    });
+                    idx += 1;
+                    Slot::Dir(idx - 1)
+                }
+                other => Slot::Serial(other),
+            };
+            plan.push((t, seq, slot));
+        }
+        debug_assert_eq!(idx, dir_events);
+
+        let mut effects: Vec<Option<DirEffect>> = Vec::new();
+        effects.resize_with(dir_events, || None);
+        {
+            let map = self.map;
+            let parity = self.parity;
+            let dir_latency = self.cfg.machine.dir_latency;
+            let trace_on = self.tracer.is_enabled();
+            let metrics = &mut self.metrics;
+            let effects = &mut effects;
+            // Hand each worker a disjoint set of (node, work list) pairs.
+            let mut groups: Vec<Vec<(&mut Node, Vec<DirItem>)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            let mut rest: &mut [Node] = &mut self.nodes;
+            let mut base = 0usize;
+            for (i, &lane) in lanes.iter().enumerate() {
+                let (_, tail) = rest.split_at_mut(lane - base);
+                let (one, tail) = tail.split_at_mut(1);
+                groups[i % workers].push((&mut one[0], std::mem::take(&mut items[lane])));
+                rest = tail;
+                base = lane + 1;
+            }
+            std::thread::scope(|s| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .map(|group| {
+                        s.spawn(move || {
+                            let mut scratch = Metrics::default();
+                            let mut done: Vec<(usize, DirEffect)> =
+                                Vec::with_capacity(group.iter().map(|(_, l)| l.len()).sum());
+                            for (node, list) in group {
+                                for item in list {
+                                    done.push(run_dir_item(
+                                        node,
+                                        item,
+                                        &mut scratch,
+                                        map,
+                                        parity,
+                                        dir_latency,
+                                        trace_on,
+                                    ));
+                                }
+                            }
+                            (done, scratch)
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    let (done, scratch) = h.join().expect("sharded worker panicked");
+                    // Scratch metrics are pure sums and bucket counts, so
+                    // absorbing them lane-by-lane equals serial interleaved
+                    // recording byte-for-byte.
+                    metrics.absorb(&scratch);
+                    for (i, eff) in done {
+                        effects[i] = Some(eff);
                     }
                 }
-                Ev::Sample => self.take_sample(t),
-                Ev::Retry {
-                    msg,
-                    attempt,
-                    first_drop,
-                } => self.retry_msg(msg, attempt, first_drop, t),
-                Ev::WatchdogCheck => self.watchdog_check(t),
+            });
+        }
+
+        // Serial apply: every deferred effect in global `(time, seq)` order,
+        // interleaved with anything the effects themselves schedule.
+        for (t, seq, slot) in plan {
+            while self.queue.peek_time_seq().is_some_and(|k| k < (t, seq)) {
+                let (t2, ev2) = self.queue.pop().expect("peeked non-empty");
+                self.dispatch(ev2, t2);
+            }
+            self.queue.replay_pop(t);
+            match slot {
+                Slot::Serial(ev) => self.dispatch(ev, t),
+                Slot::Dir(i) => {
+                    let eff = effects[i].take().expect("worker filled every slot");
+                    self.apply_dir_effect(t, eff);
+                }
+            }
+            debug_assert!(!self.halted, "halt inside a parallel window");
+        }
+    }
+
+    /// Replays the deferred outputs of one speculated directory event:
+    /// traces, message sends (allocating seqs in serial order), and the
+    /// early-checkpoint probe — exactly the tail of `dir_in` /
+    /// `apply_parity`.
+    fn apply_dir_effect(&mut self, t: Ns, eff: DirEffect) {
+        match eff {
+            DirEffect::Dir {
+                dst,
+                class,
+                start_trace,
+                end_line,
+                mut outs,
+                mut hook_msgs,
+                t_done,
+                t_reply,
+            } => {
+                if let Some((node, line, exclusive)) = start_trace {
+                    self.tracer.record(
+                        t,
+                        TraceEvent::CoherenceStart {
+                            node,
+                            line,
+                            exclusive,
+                        },
+                    );
+                }
+                for out in outs.drain(..) {
+                    let cls = match out.msg {
+                        DirToCache::WbAck { .. } => class,
+                        _ => TrafficClass::RdRdx,
+                    };
+                    self.send(t_reply, dst, out.to, cls, Payload::ToCache(out.msg));
+                }
+                for hm in hook_msgs.drain(..) {
+                    self.send(
+                        t_done,
+                        dst,
+                        hm.to,
+                        TrafficClass::Par,
+                        Payload::Par {
+                            update: hm.update,
+                            mirror: hm.mirror,
+                        },
+                    );
+                }
+                if let Some(line) = end_line {
+                    self.tracer.record(
+                        t_done,
+                        TraceEvent::CoherenceEnd {
+                            node: dst.index() as u16,
+                            line: line.0,
+                        },
+                    );
+                }
+                self.maybe_early_checkpoint(dst.index(), t_done);
+            }
+            DirEffect::Par { dst, src, ack } => {
+                if let Some((at, ack)) = ack {
+                    self.send(at, dst, src, TrafficClass::Par, Payload::ParAck(ack));
+                }
             }
         }
     }
@@ -1287,7 +1906,9 @@ impl System {
         let t1 = self.nodes[n]
             .dir_pipe
             .acquire(t, self.cfg.machine.dir_latency);
-        let (outs, hook_msgs, t_done, t_reply) = {
+        let mut outs = std::mem::take(&mut self.scratch_sends);
+        let mut hook_msgs = std::mem::take(&mut self.scratch_par);
+        let (t_done, t_reply) = {
             let Node {
                 ctrl: _,
                 dir,
@@ -1310,25 +1931,24 @@ impl System {
                 ctx_class: class,
             };
             let mut null = NullHook;
-            let outs = match hook.as_mut() {
-                Some(h) => dir.handle(din, &mut port, h),
-                None => dir.handle(din, &mut port, &mut null),
-            };
-            let hook_msgs = hook
-                .as_mut()
-                .map(ReviveHook::drain_outbox)
-                .unwrap_or_default();
+            match hook.as_mut() {
+                Some(h) => dir.handle_into(din, &mut port, h, &mut outs),
+                None => dir.handle_into(din, &mut port, &mut null, &mut outs),
+            }
+            if let Some(h) = hook.as_mut() {
+                h.take_outbox_into(&mut hook_msgs);
+            }
             let reply_at = port.reply_at.unwrap_or(port.cursor);
-            (outs, hook_msgs, port.cursor, reply_at)
+            (port.cursor, reply_at)
         };
-        for out in outs {
+        for out in outs.drain(..) {
             let cls = match out.msg {
                 DirToCache::WbAck { .. } => class,
                 _ => TrafficClass::RdRdx,
             };
             self.send(t_reply, node, out.to, cls, Payload::ToCache(out.msg));
         }
-        for hm in hook_msgs {
+        for hm in hook_msgs.drain(..) {
             self.send(
                 t_done,
                 node,
@@ -1353,6 +1973,8 @@ impl System {
                 );
             }
         }
+        self.scratch_sends = outs;
+        self.scratch_par = hook_msgs;
         self.maybe_early_checkpoint(n, t_done);
     }
 

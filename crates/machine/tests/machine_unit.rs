@@ -148,6 +148,7 @@ fn paper_machine_config_builds_and_runs() {
         shadow_checkpoints: false,
         obs: revive_machine::ObsConfig::off(),
         detection_fraction: ExperimentConfig::DEFAULT_DETECTION_FRACTION,
+        sim_threads: 1,
     };
     cfg.revive.log_fraction = 0.1;
     let r = Runner::new(cfg).unwrap().run().unwrap();
@@ -164,5 +165,41 @@ fn seeds_change_results() {
         (a.sim_time, a.events),
         (b.sim_time, b.events),
         "different seeds should perturb the run"
+    );
+}
+
+#[test]
+fn retry_backoff_saturates_at_the_configured_cap() {
+    use revive_machine::{ErrorKind, InjectPhase, InjectionPlan, ObsConfig};
+    use revive_sim::trace::TraceEvent;
+    use revive_sim::types::NodeId;
+
+    let mut cfg = small(AppId::Lu);
+    cfg.ops_per_cpu = 40_000;
+    cfg.obs = ObsConfig {
+        trace_capacity: 1 << 14,
+        epoch_us: 0,
+    };
+    // Cap the backoff at zero doublings: every retry after the first waits
+    // the base timeout, and each such attempt must be traced as capped.
+    cfg.machine.watchdog_backoff_cap = 0;
+    cfg.machine.watchdog_strikes = 4;
+    let plan = InjectionPlan {
+        after_checkpoint: 1,
+        interval_fraction: 0.3,
+        detection_delay: Ns(0),
+        kind: ErrorKind::LiveNodeLoss(NodeId(2)),
+        phase: InjectPhase::MidLogging,
+        second: None,
+    };
+    let result = Runner::new(cfg)
+        .expect("config")
+        .run_with_injection(plan)
+        .expect("run");
+    let capped_idx = TraceEvent::RetryBackoffCapped { dst: 0, attempt: 0 }.kind_index();
+    let counts = result.trace.summary().counts;
+    assert!(
+        counts[capped_idx] > 0,
+        "expected capped retries in trace counts: {counts:?}"
     );
 }

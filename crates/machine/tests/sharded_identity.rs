@@ -1,0 +1,56 @@
+//! Serial-vs-sharded equivalence: `sim_threads` is an execution strategy,
+//! never a semantic knob, so the full rendered run artifact — every counter,
+//! histogram bucket, epoch sample, and trace summary — must be byte-identical
+//! at any thread count.
+
+use revive_machine::{render_artifact, ExperimentConfig, ObsConfig, ReviveMode, RunMeta, Runner};
+use revive_workloads::AppId;
+
+/// Runs one configuration at the given thread count and returns the full
+/// rendered artifact plus how many windows actually went parallel.
+fn artifact(mut cfg: ExperimentConfig, threads: usize) -> (String, u64) {
+    cfg.sim_threads = threads;
+    let r = Runner::new(cfg).unwrap().run().unwrap();
+    let meta = RunMeta::from_config("sharded_identity", &cfg);
+    (render_artifact(&meta, &r), r.par_windows)
+}
+
+fn base_config(app: AppId, ops: u64) -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::test_small(app);
+    cfg.ops_per_cpu = ops;
+    cfg.shadow_checkpoints = false;
+    // Full observability: epochs and traces are the artifact sections most
+    // sensitive to event reordering, so they must be part of the identity.
+    cfg.obs = ObsConfig::full();
+    cfg
+}
+
+#[test]
+fn sharded_artifacts_are_byte_identical() {
+    let cfg = base_config(AppId::Fft, 60_000);
+    let (serial, par1) = artifact(cfg, 1);
+    assert_eq!(par1, 0, "sim_threads=1 must take the exact serial path");
+    for threads in [2, 4] {
+        let (sharded, par_n) = artifact(cfg, threads);
+        assert_eq!(
+            serial, sharded,
+            "artifact diverged at sim_threads={threads}"
+        );
+        assert!(
+            par_n > 0,
+            "no window went parallel at sim_threads={threads}; the identity \
+             check would be vacuous — grow the op budget"
+        );
+    }
+}
+
+#[test]
+fn sharded_identity_holds_under_mirroring_and_checkpoints() {
+    let mut cfg = base_config(AppId::Ocean, 50_000);
+    cfg.revive.mode = ReviveMode::Mirroring;
+    cfg.revive.log_fraction = 0.2;
+    let (serial, _) = artifact(cfg, 1);
+    let (sharded, par_n) = artifact(cfg, 4);
+    assert_eq!(serial, sharded);
+    assert!(par_n > 0, "mirroring run never went parallel");
+}

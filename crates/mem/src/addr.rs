@@ -7,6 +7,7 @@
 
 use std::fmt;
 
+use revive_sim::fastdiv::FastDiv;
 use revive_sim::types::NodeId;
 
 /// Bytes per cache line (64 B, Table 3 of the paper).
@@ -141,6 +142,9 @@ impl fmt::Display for PageAddr {
 pub struct AddressMap {
     nodes: usize,
     bytes_per_node: u64,
+    /// `/ %` by `bytes_per_node`, strength-reduced (hot in every send and
+    /// translation).
+    node_div: FastDiv,
 }
 
 impl AddressMap {
@@ -159,6 +163,7 @@ impl AddressMap {
         AddressMap {
             nodes,
             bytes_per_node,
+            node_div: FastDiv::new(bytes_per_node),
         }
     }
 
@@ -192,8 +197,9 @@ impl AddressMap {
     /// # Panics
     ///
     /// Panics if the address is outside the machine's memory.
+    #[inline]
     pub fn home_of(&self, a: Addr) -> NodeId {
-        let node = a.0 / self.bytes_per_node;
+        let node = self.node_div.div(a.0);
         assert!(
             (node as usize) < self.nodes,
             "address {a} outside machine memory"
@@ -212,8 +218,9 @@ impl AddressMap {
     }
 
     /// Byte offset of an address within its home node's local memory.
+    #[inline]
     pub fn local_offset(&self, a: Addr) -> u64 {
-        a.0 % self.bytes_per_node
+        self.node_div.rem(a.0)
     }
 
     /// Line index of a line within its home node's local memory.

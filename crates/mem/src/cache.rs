@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use revive_sim::fastdiv::FastDiv;
+
 use crate::addr::{LineAddr, LINE_SIZE};
 use crate::line::LineData;
 
@@ -82,24 +84,12 @@ impl CacheConfig {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Way {
-    tag: LineAddr,
-    state: LineState,
-    data: LineData,
-    last_use: u64,
-}
-
-impl Way {
-    fn empty() -> Way {
-        Way {
-            tag: LineAddr(0),
-            state: LineState::Invalid,
-            data: LineData::ZERO,
-            last_use: 0,
-        }
-    }
-}
+// Lines are stored structure-of-arrays: tags, states and LRU stamps live in
+// their own dense arrays so a tag probe touches one or two host cache lines,
+// while the 64-byte line contents sit in a separate arena that is only
+// touched when data actually moves. With the old array-of-structs layout a
+// 4-way probe dragged ~350 bytes of payload through the host cache per
+// lookup, which dominated the simulator's wall time.
 
 /// A line evicted to make room for a fill.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -154,7 +144,18 @@ impl CacheStats {
 #[derive(Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// `% sets`, strength-reduced (set counts are fixed per cache).
+    set_rem: FastDiv,
+    ways: usize,
+    /// Tag of each way, indexed `set * ways + way`. Only meaningful where
+    /// the matching state is valid.
+    tags: Vec<u64>,
+    /// MESI state of each way (same indexing as `tags`).
+    states: Vec<LineState>,
+    /// LRU stamp of each way (same indexing as `tags`).
+    last_use: Vec<u64>,
+    /// Line contents, kept out of the probe path (same indexing as `tags`).
+    data: Vec<LineData>,
     clock: u64,
     stats: CacheStats,
 }
@@ -174,9 +175,15 @@ impl Cache {
             config.size_bytes,
             config.ways
         );
+        let lines = config.sets() * config.ways;
         Cache {
             config,
-            sets: vec![vec![Way::empty(); config.ways]; config.sets()],
+            set_rem: FastDiv::new(config.sets() as u64),
+            ways: config.ways,
+            tags: vec![0; lines],
+            states: vec![LineState::Invalid; lines],
+            last_use: vec![0; lines],
+            data: vec![LineData::ZERO; lines],
             clock: 0,
             stats: CacheStats::default(),
         }
@@ -192,33 +199,40 @@ impl Cache {
         self.stats
     }
 
-    fn set_index(&self, line: LineAddr) -> usize {
-        (line.0 % self.sets.len() as u64) as usize
+    #[inline]
+    fn set_base(&self, line: LineAddr) -> usize {
+        self.set_rem.rem(line.0) as usize * self.ways
     }
 
+    /// Index of the line's way slot in the flat arrays, when present.
+    #[inline]
     fn find(&self, line: LineAddr) -> Option<usize> {
-        let set = &self.sets[self.set_index(line)];
-        set.iter().position(|w| w.state.is_valid() && w.tag == line)
+        let base = self.set_base(line);
+        for i in base..base + self.ways {
+            if self.tags[i] == line.0 && self.states[i].is_valid() {
+                return Some(i);
+            }
+        }
+        None
     }
 
     /// The line's current state ([`LineState::Invalid`] if absent). Does not
     /// touch LRU or statistics.
     pub fn state_of(&self, line: LineAddr) -> LineState {
         self.find(line)
-            .map(|i| self.sets[self.set_index(line)][i].state)
+            .map(|i| self.states[i])
             .unwrap_or(LineState::Invalid)
     }
 
     /// Looks the line up as a CPU access would: updates LRU and hit/miss
     /// counters, returns the state (Invalid on miss).
+    #[inline]
     pub fn access(&mut self, line: LineAddr) -> LineState {
         self.clock += 1;
-        let si = self.set_index(line);
         if let Some(i) = self.find(line) {
-            let w = &mut self.sets[si][i];
-            w.last_use = self.clock;
+            self.last_use[i] = self.clock;
             self.stats.hits += 1;
-            w.state
+            self.states[i]
         } else {
             self.stats.misses += 1;
             LineState::Invalid
@@ -227,8 +241,7 @@ impl Cache {
 
     /// Reads the line's data (no LRU update).
     pub fn data_of(&self, line: LineAddr) -> Option<LineData> {
-        self.find(line)
-            .map(|i| self.sets[self.set_index(line)][i].data)
+        self.find(line).map(|i| self.data[i])
     }
 
     /// Overwrites the line's data in place.
@@ -237,9 +250,8 @@ impl Cache {
     ///
     /// Panics if the line is not present.
     pub fn write_data(&mut self, line: LineAddr, data: LineData) {
-        let si = self.set_index(line);
         let i = self.find(line).expect("write_data on absent line");
-        self.sets[si][i].data = data;
+        self.data[i] = data;
     }
 
     /// Changes the line's state (e.g. `Exclusive → Modified` on a write hit,
@@ -251,9 +263,8 @@ impl Cache {
     /// (use [`Cache::invalidate`]).
     pub fn set_state(&mut self, line: LineAddr, state: LineState) {
         assert!(state.is_valid(), "use invalidate() to remove lines");
-        let si = self.set_index(line);
         let i = self.find(line).expect("set_state on absent line");
-        self.sets[si][i].state = state;
+        self.states[i] = state;
     }
 
     /// Inserts a line, evicting the LRU way of its set if the set is full.
@@ -268,108 +279,79 @@ impl Cache {
         assert!(state.is_valid(), "cannot fill an Invalid line");
         assert!(self.find(line).is_none(), "fill of already-present {line}");
         self.clock += 1;
-        let clock = self.clock;
-        let si = self.set_index(line);
-        let set = &mut self.sets[si];
-        let slot = if let Some(i) = set.iter().position(|w| !w.state.is_valid()) {
-            i
-        } else {
-            // True LRU among valid ways.
-            set.iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.last_use)
-                .map(|(i, _)| i)
-                .expect("nonempty set")
+        let base = self.set_base(line);
+        let range = base..base + self.ways;
+        // First invalid way, else the first true-LRU way among valid ones
+        // (both tie-breaks match the original array-of-structs layout).
+        let slot = match range.clone().find(|&i| !self.states[i].is_valid()) {
+            Some(i) => i,
+            None => range
+                .min_by_key(|&i| self.last_use[i])
+                .expect("nonempty set"),
         };
-        let victim = if set[slot].state.is_valid() {
-            Some(Victim {
-                line: set[slot].tag,
-                state: set[slot].state,
-                data: set[slot].data,
-            })
-        } else {
-            None
-        };
-        set[slot] = Way {
-            tag: line,
-            state,
-            data,
-            last_use: clock,
-        };
+        let victim = self.states[slot].is_valid().then(|| Victim {
+            line: LineAddr(self.tags[slot]),
+            state: self.states[slot],
+            data: self.data[slot],
+        });
+        self.tags[slot] = line.0;
+        self.states[slot] = state;
+        self.data[slot] = data;
+        self.last_use[slot] = self.clock;
         victim
     }
 
     /// Removes the line (external invalidation or rollback cache wipe).
     /// Returns its prior state and data when it was present.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<(LineState, LineData)> {
-        let si = self.set_index(line);
         let i = self.find(line)?;
-        let w = &mut self.sets[si][i];
-        let prior = (w.state, w.data);
-        w.state = LineState::Invalid;
+        let prior = (self.states[i], self.data[i]);
+        self.states[i] = LineState::Invalid;
         Some(prior)
     }
 
     /// Downgrades an exclusive line to Shared, returning its data when it
     /// was Modified (the caller must write it back: a "sharing write-back").
     pub fn downgrade(&mut self, line: LineAddr) -> Option<LineData> {
-        let si = self.set_index(line);
         let i = self.find(line)?;
-        let w = &mut self.sets[si][i];
-        let was_dirty = w.state.is_dirty();
-        if w.state.is_valid() {
-            w.state = LineState::Shared;
+        let was_dirty = self.states[i].is_dirty();
+        if self.states[i].is_valid() {
+            self.states[i] = LineState::Shared;
         }
-        was_dirty.then_some(w.data)
+        was_dirty.then_some(self.data[i])
     }
 
     /// All lines currently in the Modified state (what a checkpoint flush
-    /// must write back).
+    /// must write back), in set-major way order.
     pub fn dirty_lines(&self) -> Vec<LineAddr> {
-        self.sets
-            .iter()
-            .flatten()
-            .filter(|w| w.state.is_dirty())
-            .map(|w| w.tag)
+        (0..self.tags.len())
+            .filter(|&i| self.states[i].is_dirty())
+            .map(|i| LineAddr(self.tags[i]))
             .collect()
     }
 
-    /// All valid lines, with their states.
+    /// All valid lines, with their states, in set-major way order.
     pub fn valid_lines(&self) -> Vec<(LineAddr, LineState)> {
-        self.sets
-            .iter()
-            .flatten()
-            .filter(|w| w.state.is_valid())
-            .map(|w| (w.tag, w.state))
+        (0..self.tags.len())
+            .filter(|&i| self.states[i].is_valid())
+            .map(|i| (LineAddr(self.tags[i]), self.states[i]))
             .collect()
     }
 
     /// Number of Modified lines.
     pub fn dirty_count(&self) -> usize {
-        self.sets
-            .iter()
-            .flatten()
-            .filter(|w| w.state.is_dirty())
-            .count()
+        self.states.iter().filter(|s| s.is_dirty()).count()
     }
 
     /// Number of valid lines.
     pub fn valid_count(&self) -> usize {
-        self.sets
-            .iter()
-            .flatten()
-            .filter(|w| w.state.is_valid())
-            .count()
+        self.states.iter().filter(|s| s.is_valid()).count()
     }
 
     /// Invalidates everything (rollback discards all post-checkpoint cached
     /// state; transient-error injection wipes caches).
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            for w in set {
-                w.state = LineState::Invalid;
-            }
-        }
+        self.states.fill(LineState::Invalid);
     }
 }
 

@@ -18,8 +18,9 @@ use crate::topology::Torus;
 /// are O(1) bitset tests.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultState {
-    /// Bitset of dead nodes (router included).
-    dead_nodes: u64,
+    /// Word-vector bitset of dead nodes (router included); scales to any
+    /// machine size, like `dead_links`.
+    dead_nodes: Vec<u64>,
     /// Bitset over dense link indices (see [`Torus::link_index`]).
     dead_links: Vec<u64>,
     /// Increments on every kill; `heal_all` bumps it too.
@@ -27,31 +28,34 @@ pub struct FaultState {
 }
 
 impl FaultState {
-    /// A clean fault state sized for `link_count` links.
-    pub fn new(link_count: usize) -> FaultState {
+    /// A clean fault state sized for `node_count` nodes and `link_count`
+    /// links.
+    pub fn new(node_count: usize, link_count: usize) -> FaultState {
         FaultState {
-            dead_nodes: 0,
+            dead_nodes: vec![0; node_count.div_ceil(64).max(1)],
             dead_links: vec![0; link_count.div_ceil(64)],
             epoch: 0,
         }
     }
 
-    /// A clean fault state sized for one torus.
+    /// A clean fault state sized for one torus (any size).
     pub fn for_torus(t: &Torus) -> FaultState {
-        assert!(t.len() <= 64, "FaultState tracks at most 64 nodes");
-        FaultState::new(t.link_count())
+        FaultState::new(t.len(), t.link_count())
     }
 
     /// True when nothing is dead — the fast-path test on every send.
     #[inline]
     pub fn is_clean(&self) -> bool {
-        self.dead_nodes == 0 && self.epoch == 0
+        self.epoch == 0
     }
 
     /// Marks a node (and its router) dead.
     pub fn kill_node(&mut self, n: NodeId) {
-        assert!(n.index() < 64, "node {n} outside FaultState range");
-        self.dead_nodes |= 1 << n.index();
+        assert!(
+            n.index() / 64 < self.dead_nodes.len(),
+            "node {n} outside FaultState range"
+        );
+        self.dead_nodes[n.index() / 64] |= 1 << (n.index() % 64);
         self.epoch += 1;
     }
 
@@ -68,7 +72,9 @@ impl FaultState {
     /// Whether a node is dead.
     #[inline]
     pub fn node_dead(&self, n: NodeId) -> bool {
-        n.index() < 64 && self.dead_nodes & (1 << n.index()) != 0
+        self.dead_nodes
+            .get(n.index() / 64)
+            .is_some_and(|w| w & (1 << (n.index() % 64)) != 0)
     }
 
     /// Whether a link is dead, by dense index.
@@ -81,14 +87,16 @@ impl FaultState {
 
     /// Number of dead nodes.
     pub fn dead_node_count(&self) -> u32 {
-        self.dead_nodes.count_ones()
+        self.dead_nodes.iter().map(|w| w.count_ones()).sum()
     }
 
     /// Repairs everything (the post-recovery reintegration model: the
     /// failed component is replaced during the outage). The epoch keeps
     /// counting so "faults happened at some point" remains observable.
     pub fn heal_all(&mut self) {
-        self.dead_nodes = 0;
+        for w in &mut self.dead_nodes {
+            *w = 0;
+        }
         for w in &mut self.dead_links {
             *w = 0;
         }
@@ -99,7 +107,7 @@ impl FaultState {
     /// [`FaultState::is_clean`], this is about the *current* set, not
     /// history).
     pub fn all_alive(&self) -> bool {
-        self.dead_nodes == 0 && self.dead_links.iter().all(|&w| w == 0)
+        self.dead_nodes.iter().all(|&w| w == 0) && self.dead_links.iter().all(|&w| w == 0)
     }
 
     /// The change counter: bumps on every kill or heal.
@@ -148,5 +156,22 @@ mod tests {
         assert!(f.epoch() > e);
         // `is_clean` is historical: a healed fabric has still seen faults.
         assert!(!f.is_clean());
+    }
+
+    #[test]
+    fn machines_wider_than_64_nodes_are_tracked() {
+        // 16×16 torus = 256 nodes: used to trip the 64-node cap.
+        let t = Torus::new(16, 16);
+        let mut f = FaultState::for_torus(&t);
+        assert!(f.all_alive());
+        f.kill_node(NodeId(0));
+        f.kill_node(NodeId(63));
+        f.kill_node(NodeId(64));
+        f.kill_node(NodeId(255));
+        assert_eq!(f.dead_node_count(), 4);
+        assert!(f.node_dead(NodeId(64)));
+        assert!(!f.node_dead(NodeId(65)));
+        f.heal_all();
+        assert!(f.all_alive());
     }
 }

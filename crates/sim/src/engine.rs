@@ -5,11 +5,39 @@
 //! dispatches them. [`EventQueue`] is the priority queue at the heart of the
 //! loop. Ties in time are broken by insertion order (FIFO), which makes runs
 //! bit-for-bit reproducible.
+//!
+//! # Calendar-queue implementation
+//!
+//! Almost every event in this machine fires within a few hundred
+//! nanoseconds of being scheduled (cache hits, hop latencies, directory
+//! pipeline slots); only checkpoint timers and watchdogs look milliseconds
+//! ahead. The queue exploits that split (DESIGN.md §14):
+//!
+//! * a **ring calendar** of [`RING`] one-nanosecond buckets covers the
+//!   window `[cursor, cursor + RING)`. Scheduling into the window is an
+//!   append to the bucket `time % RING`; popping scans an occupancy bitmap
+//!   for the next non-empty bucket. Both are O(1)-ish and allocation-free
+//!   in steady state (bucket storage is recycled).
+//! * a **far heap** (the classic `BinaryHeap<Reverse<_>>`) holds the rare
+//!   events beyond the window.
+//!
+//! Correctness does not depend on migrating far events into the ring:
+//! each source is internally `(time, seq)`-sorted — ring buckets are
+//! time-homogeneous and append in seq order, the heap orders by
+//! `(time, seq)` — so `pop` is a two-way merge on the `(time, seq)` key
+//! and reproduces exactly the order the old single-heap queue produced.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::time::Ns;
+
+/// Number of one-nanosecond buckets in the ring calendar (must be a power
+/// of two). 4096 ns comfortably covers every latency in the machine short
+/// of checkpoint intervals and watchdog timeouts.
+const RING: usize = 4096;
+const RING_MASK: u64 = RING as u64 - 1;
+const WORDS: usize = RING / 64;
 
 /// A monotonically increasing sequence number used to break ties between
 /// events scheduled for the same instant.
@@ -42,6 +70,18 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+/// One calendar bucket: flat `(seq, event)` pairs, all at the same time.
+///
+/// A `VecDeque` keeps pops O(1) while retaining its allocation across
+/// reuse, so steady-state scheduling never touches the allocator.
+#[derive(Debug)]
+struct Bucket<E> {
+    /// The (single) timestamp of every item currently in the bucket. Only
+    /// meaningful while the bucket is non-empty.
+    time: u64,
+    items: VecDeque<(u64, E)>,
+}
+
 /// A deterministic time-ordered event queue.
 ///
 /// Events scheduled for the same time are delivered in the order they were
@@ -63,7 +103,17 @@ impl<E> Ord for Entry<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<Entry<E>>>,
+    ring: Vec<Bucket<E>>,
+    /// Occupancy bitmap over the ring: bit b set ⇔ bucket b non-empty.
+    occ: [u64; WORDS],
+    /// Events at or beyond `cursor + RING`, plus any event inserted below
+    /// the window base (possible only through the sharded-engine helpers).
+    far: BinaryHeap<Reverse<Entry<E>>>,
+    /// Base time of the ring window. Invariant: no pending ring event is
+    /// earlier than `cursor`, and every ring event is inside
+    /// `[cursor, cursor + RING)`.
+    cursor: u64,
+    len: usize,
     next_seq: u64,
     now: Ns,
     popped: u64,
@@ -79,7 +129,16 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue positioned at time zero.
     pub fn new() -> EventQueue<E> {
         EventQueue {
-            heap: BinaryHeap::new(),
+            ring: (0..RING)
+                .map(|_| Bucket {
+                    time: 0,
+                    items: VecDeque::new(),
+                })
+                .collect(),
+            occ: [0; WORDS],
+            far: BinaryHeap::new(),
+            cursor: 0,
+            len: 0,
             next_seq: 0,
             now: Ns::ZERO,
             popped: 0,
@@ -98,12 +157,12 @@ impl<E> EventQueue<E> {
 
     /// Number of events currently pending.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
     }
 
     /// Schedules `event` to fire at absolute time `at`.
@@ -118,13 +177,9 @@ impl<E> EventQueue<E> {
             "event scheduled in the past: at={at:?} now={:?}",
             self.now
         );
-        let seq = Seq(self.next_seq);
+        let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Reverse(Entry {
-            time: at,
-            seq,
-            event,
-        }));
+        self.insert(at, seq, event);
     }
 
     /// Schedules `event` to fire `delay` after the current clock.
@@ -133,25 +188,182 @@ impl<E> EventQueue<E> {
         self.schedule(at, event);
     }
 
+    fn insert(&mut self, at: Ns, seq: u64, event: E) {
+        self.len += 1;
+        let t = at.0;
+        if t >= self.cursor && t - self.cursor < RING as u64 {
+            let b = (t & RING_MASK) as usize;
+            let bucket = &mut self.ring[b];
+            debug_assert!(bucket.items.is_empty() || bucket.time == t);
+            bucket.time = t;
+            bucket.items.push_back((seq, event));
+            self.occ[b >> 6] |= 1 << (b & 63);
+        } else {
+            self.far.push(Reverse(Entry {
+                time: at,
+                seq: Seq(seq),
+                event,
+            }));
+        }
+    }
+
+    /// Index of the earliest non-empty ring bucket (in circular-from-cursor
+    /// order, which is time order), if any.
+    fn next_ring_bucket(&self) -> Option<usize> {
+        let s = (self.cursor & RING_MASK) as usize;
+        let (sw, sb) = (s >> 6, s & 63);
+        // First word: only bits at or above the cursor position.
+        let w = self.occ[sw] & (!0u64 << sb);
+        if w != 0 {
+            return Some((sw << 6) + w.trailing_zeros() as usize);
+        }
+        for i in 1..WORDS {
+            let wi = (sw + i) & (WORDS - 1);
+            let w = self.occ[wi];
+            if w != 0 {
+                return Some((wi << 6) + w.trailing_zeros() as usize);
+            }
+        }
+        // Wrap-around tail of the first word (buckets below the cursor
+        // position, i.e. the far end of the window).
+        let w = self.occ[sw] & !(!0u64 << sb);
+        if w != 0 {
+            return Some((sw << 6) + w.trailing_zeros() as usize);
+        }
+        None
+    }
+
+    /// Pops the globally earliest `(time, seq)` pending event from either
+    /// the ring or the far heap, advancing `cursor` (but not the clock).
+    fn pop_next(&mut self) -> Option<(Ns, u64, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.len -= 1;
+        let ring_best = self.next_ring_bucket().map(|b| {
+            let bucket = &self.ring[b];
+            (bucket.time, bucket.items.front().expect("occ bit set").0, b)
+        });
+        let take_far = match (ring_best, self.far.peek()) {
+            (Some((bt, bs, _)), Some(Reverse(f))) => (f.time.0, f.seq.0) < (bt, bs),
+            (None, _) => true,
+            (_, None) => false,
+        };
+        if take_far {
+            let Reverse(e) = self.far.pop().expect("len accounted for a far event");
+            debug_assert!(e.time >= self.now);
+            self.cursor = e.time.0;
+            Some((e.time, e.seq.0, e.event))
+        } else {
+            let (bt, _, b) = ring_best.expect("len accounted for a ring event");
+            let bucket = &mut self.ring[b];
+            let (seq, event) = bucket.items.pop_front().expect("occ bit set");
+            if bucket.items.is_empty() {
+                self.occ[b >> 6] &= !(1 << (b & 63));
+            }
+            debug_assert!(bt >= self.now.0);
+            self.cursor = bt;
+            Some((Ns(bt), seq, event))
+        }
+    }
+
     /// Pops the next event, advancing the clock to its time.
     pub fn pop(&mut self) -> Option<(Ns, E)> {
-        let Reverse(entry) = self.heap.pop()?;
-        debug_assert!(entry.time >= self.now);
-        self.now = entry.time;
+        let (t, _seq, event) = self.pop_next()?;
+        self.now = t;
         self.popped += 1;
-        Some((entry.time, entry.event))
+        Some((t, event))
+    }
+
+    /// Pops the next event only if it fires strictly before `deadline`.
+    /// One bucket scan serves both the peek and the pop, which is the main
+    /// loop's hot path. `Err` carries the peeked time (`Err(None)` = empty).
+    pub fn pop_before(&mut self, deadline: Ns) -> Result<(Ns, E), Option<Ns>> {
+        if self.len == 0 {
+            return Err(None);
+        }
+        let ring_best = self.next_ring_bucket().map(|b| {
+            let bucket = &self.ring[b];
+            (bucket.time, bucket.items.front().expect("occ bit set").0, b)
+        });
+        let far_key = self.far.peek().map(|Reverse(f)| (f.time.0, f.seq.0));
+        let take_far = match (ring_best, far_key) {
+            (Some((bt, bs, _)), Some((ft, fs))) => (ft, fs) < (bt, bs),
+            (None, _) => true,
+            (_, None) => false,
+        };
+        let next_t = if take_far {
+            far_key.expect("len accounted for a far event").0
+        } else {
+            ring_best.expect("len accounted for a ring event").0
+        };
+        if next_t >= deadline.0 {
+            return Err(Some(Ns(next_t)));
+        }
+        self.len -= 1;
+        self.cursor = next_t;
+        self.now = Ns(next_t);
+        self.popped += 1;
+        if take_far {
+            let Reverse(e) = self.far.pop().expect("peeked far");
+            Ok((e.time, e.event))
+        } else {
+            let (_, _, b) = ring_best.expect("peeked ring");
+            let bucket = &mut self.ring[b];
+            let (_seq, event) = bucket.items.pop_front().expect("occ bit set");
+            if bucket.items.is_empty() {
+                self.occ[b >> 6] &= !(1 << (b & 63));
+            }
+            Ok((Ns(next_t), event))
+        }
     }
 
     /// The time of the next pending event, if any, without popping it.
     pub fn peek_time(&self) -> Option<Ns> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        let ring = self.next_ring_bucket().map(|b| Ns(self.ring[b].time));
+        let far = self.far.peek().map(|Reverse(e)| e.time);
+        match (ring, far) {
+            (Some(r), Some(f)) => Some(r.min(f)),
+            (r, f) => r.or(f),
+        }
+    }
+
+    /// The `(time, seq)` key of the next pending event, without popping it.
+    /// The sharded engine's apply loop uses this to interleave events
+    /// scheduled *during* a window with the window's own entries in exact
+    /// serial order.
+    pub fn peek_time_seq(&self) -> Option<(Ns, u64)> {
+        let ring = self.next_ring_bucket().map(|b| {
+            let bucket = &self.ring[b];
+            (
+                Ns(bucket.time),
+                bucket.items.front().expect("occ bit set").0,
+            )
+        });
+        let far = self.far.peek().map(|Reverse(e)| (e.time, e.seq.0));
+        match (ring, far) {
+            (Some(r), Some(f)) => Some(r.min(f)),
+            (r, f) => r.or(f),
+        }
     }
 
     /// Drops every pending event, keeping the clock where it is. Used when
     /// a machine is reset after an error: in-flight messages died with the
     /// hardware they were traversing.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        if self.len != 0 {
+            for w in 0..WORDS {
+                let mut bits = self.occ[w];
+                while bits != 0 {
+                    let b = (w << 6) + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    self.ring[b].items.clear();
+                }
+                self.occ[w] = 0;
+            }
+            self.far.clear();
+            self.len = 0;
+        }
     }
 
     /// Removes and returns every pending event (in time order) without
@@ -159,9 +371,76 @@ impl<E> EventQueue<E> {
     /// in-flight messages: those that physically survive the error are
     /// applied, the rest discarded.
     pub fn drain(&mut self) -> Vec<(Ns, E)> {
-        let mut entries: Vec<Entry<E>> = self.heap.drain().map(|Reverse(e)| e).collect();
-        entries.sort_by_key(|e| (e.time, e.seq));
-        entries.into_iter().map(|e| (e.time, e.event)).collect()
+        let mut entries: Vec<(Ns, u64, E)> = Vec::with_capacity(self.len);
+        for w in 0..WORDS {
+            let mut bits = self.occ[w];
+            while bits != 0 {
+                let b = (w << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let bucket = &mut self.ring[b];
+                let t = Ns(bucket.time);
+                entries.extend(bucket.items.drain(..).map(|(s, e)| (t, s, e)));
+            }
+            self.occ[w] = 0;
+        }
+        entries.extend(
+            std::mem::take(&mut self.far)
+                .into_iter()
+                .map(|Reverse(e)| (e.time, e.seq.0, e.event)),
+        );
+        self.len = 0;
+        entries.sort_by_key(|&(t, s, _)| (t, s));
+        entries.into_iter().map(|(t, _, e)| (t, e)).collect()
+    }
+
+    // ----- sharded-engine hooks (see machine::system's windowed loop) -----
+
+    /// Pops every pending event strictly before `end`, in `(time, seq)`
+    /// order, WITHOUT advancing the clock or the processed count — the
+    /// sharded engine replays them through [`EventQueue::replay_pop`] so
+    /// that clock motion and `events_processed` match a serial run exactly.
+    pub fn pop_window(&mut self, end: Ns) -> Vec<(Ns, u64, E)> {
+        let mut out = Vec::new();
+        while self.peek_time().is_some_and(|t| t < end) {
+            out.push(self.pop_next().expect("peeked non-empty"));
+        }
+        out
+    }
+
+    /// Replays the clock effect of one pop taken earlier via
+    /// [`EventQueue::pop_window`]: advances the clock to `t` and counts one
+    /// processed event.
+    pub fn replay_pop(&mut self, t: Ns) {
+        debug_assert!(t >= self.now);
+        self.now = t;
+        self.popped += 1;
+    }
+
+    /// Reserves the next sequence number without scheduling anything. The
+    /// sharded engine uses this to stamp intra-window reschedules so the
+    /// numbering matches what a serial run would have assigned.
+    pub fn alloc_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Schedules `event` with a previously reserved sequence number (from
+    /// [`EventQueue::alloc_seq`]). Always lands in the far heap: a reserved
+    /// seq may be older than a bucket's tail, and the heap is the one
+    /// structure whose ordering never assumes append order.
+    pub fn schedule_preseq(&mut self, at: Ns, seq: u64, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past: at={at:?} now={:?}",
+            self.now
+        );
+        self.len += 1;
+        self.far.push(Reverse(Entry {
+            time: at,
+            seq: Seq(seq),
+            event,
+        }));
     }
 }
 
@@ -224,5 +503,227 @@ mod tests {
         q.schedule(Ns(3), "b");
         assert_eq!(q.pop(), Some((Ns(3), "b")));
         assert_eq!(q.pop(), Some((Ns(5), "c")));
+    }
+
+    #[test]
+    fn far_events_interleave_with_ring_fifo() {
+        // An event far beyond the window, then — after the clock moves —
+        // another at the same instant inside the window. The earlier
+        // schedule must still pop first.
+        let far_t = Ns(RING as u64 + 100);
+        let mut q = EventQueue::new();
+        q.schedule(far_t, "early");
+        q.schedule(Ns(200), "warm");
+        assert_eq!(q.pop(), Some((Ns(200), "warm"))); // window now covers far_t
+        q.schedule(far_t, "late");
+        assert_eq!(q.pop(), Some((far_t, "early")));
+        assert_eq!(q.pop(), Some((far_t, "late")));
+    }
+
+    #[test]
+    fn ring_wraps_across_many_windows() {
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        for i in 0..10_000u64 {
+            q.schedule(Ns(t + 1 + i % 97), i);
+            let (at, got) = q.pop().unwrap();
+            assert_eq!(got, i);
+            t = at.0;
+        }
+        assert_eq!(q.events_processed(), 10_000);
+    }
+
+    #[test]
+    fn drain_returns_sorted_and_keeps_clock() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(5), "b");
+        q.schedule(Ns(1), "a");
+        q.schedule(Ns(1_000_000), "far");
+        q.pop();
+        let rest = q.drain();
+        assert_eq!(rest, vec![(Ns(5), "b"), (Ns(1_000_000), "far")]);
+        assert!(q.is_empty());
+        assert_eq!(q.now(), Ns(1));
+    }
+
+    #[test]
+    fn clear_keeps_clock_and_empties() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(3), ());
+        q.schedule(Ns(900_000), ());
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), Ns(3));
+        q.schedule(Ns(4), ());
+        assert_eq!(q.pop(), Some((Ns(4), ())));
+    }
+
+    #[test]
+    fn pop_window_and_replay_match_serial_accounting() {
+        let mut q = EventQueue::new();
+        for i in 0..5u64 {
+            q.schedule(Ns(10 * i), i);
+        }
+        let win = q.pop_window(Ns(25));
+        assert_eq!(win.len(), 3);
+        assert_eq!(q.now(), Ns::ZERO);
+        assert_eq!(q.events_processed(), 0);
+        for &(t, _seq, _) in &win {
+            q.replay_pop(t);
+        }
+        assert_eq!(q.now(), Ns(20));
+        assert_eq!(q.events_processed(), 3);
+        assert_eq!(q.pop(), Some((Ns(30), 3)));
+    }
+
+    #[test]
+    fn preseq_orders_before_later_seqs() {
+        let mut q = EventQueue::new();
+        let s = q.alloc_seq();
+        q.schedule(Ns(9), "second");
+        q.schedule_preseq(Ns(9), s, "first");
+        assert_eq!(q.pop(), Some((Ns(9), "first")));
+        assert_eq!(q.pop(), Some((Ns(9), "second")));
+    }
+
+    /// An ordering oracle: the obviously-correct priority queue the
+    /// calendar queue must agree with event-for-event.
+    struct RefModel {
+        heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u64, u64)>>,
+        next_seq: u64,
+        now: u64,
+    }
+
+    impl RefModel {
+        fn new() -> RefModel {
+            RefModel {
+                heap: std::collections::BinaryHeap::new(),
+                next_seq: 0,
+                now: 0,
+            }
+        }
+
+        fn schedule(&mut self, at: u64, id: u64) {
+            self.heap.push(std::cmp::Reverse((at, self.next_seq, id)));
+            self.next_seq += 1;
+        }
+
+        fn pop(&mut self) -> Option<(u64, u64)> {
+            self.heap.pop().map(|std::cmp::Reverse((t, _, id))| {
+                self.now = t;
+                (t, id)
+            })
+        }
+
+        fn pop_window(&mut self, end: u64) -> Vec<(u64, u64, u64)> {
+            let mut out = Vec::new();
+            while self
+                .heap
+                .peek()
+                .is_some_and(|&std::cmp::Reverse((t, _, _))| t < end)
+            {
+                let std::cmp::Reverse((t, s, id)) = self.heap.pop().expect("peeked");
+                out.push((t, s, id));
+            }
+            out
+        }
+
+        fn push_back(&mut self, t: u64, seq: u64, id: u64) {
+            self.heap.push(std::cmp::Reverse((t, seq, id)));
+        }
+    }
+
+    /// xorshift64* — deterministic, dependency-free test randomness.
+    fn rng(state: &mut u64) -> u64 {
+        *state ^= *state >> 12;
+        *state ^= *state << 25;
+        *state ^= *state >> 27;
+        state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Seeded random interleavings of every queue operation the engines
+    /// use — schedule (near and far), pop, pop_before, and the sharded
+    /// pop_window / schedule_preseq / replay_pop protocol — checked
+    /// against the reference heap for identical pop order throughout.
+    #[test]
+    fn random_interleavings_match_reference_heap() {
+        for seed in 1..=8u64 {
+            let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut m = RefModel::new();
+            let mut next_id = 0u64;
+            for _ in 0..4_000 {
+                match rng(&mut s) % 10 {
+                    // Schedule: mostly near (ring), sometimes far (heap),
+                    // with duplicate times to exercise FIFO ties.
+                    0..=4 => {
+                        let spread = if rng(&mut s) % 8 == 0 {
+                            RING as u64 * 3
+                        } else {
+                            64
+                        };
+                        let at = q.now().0 + rng(&mut s) % spread;
+                        q.schedule(Ns(at), next_id);
+                        m.schedule(at, next_id);
+                        next_id += 1;
+                    }
+                    5..=6 => {
+                        assert_eq!(q.pop().map(|(t, id)| (t.0, id)), m.pop());
+                    }
+                    7 => {
+                        let deadline = q.now().0 + rng(&mut s) % 128;
+                        let got = q.pop_before(Ns(deadline)).ok();
+                        let want = if m
+                            .heap
+                            .peek()
+                            .is_some_and(|&std::cmp::Reverse((t, _, _))| t < deadline)
+                        {
+                            m.pop()
+                        } else {
+                            None
+                        };
+                        assert_eq!(got.map(|(t, id)| (t.0, id)), want);
+                    }
+                    // The sharded-engine window protocol: pop a window,
+                    // push a random suffix back with its original seqs,
+                    // replay the kept prefix.
+                    _ => {
+                        let end = q.now().0 + rng(&mut s) % 96;
+                        let win = q.pop_window(Ns(end));
+                        let want = m.pop_window(end);
+                        assert_eq!(
+                            win.iter()
+                                .map(|&(t, s, id)| (t.0, id, s))
+                                .collect::<Vec<_>>(),
+                            want.iter()
+                                .map(|&(t, s, id)| (t, id, s))
+                                .collect::<Vec<_>>(),
+                            "window contents diverged (seed {seed})"
+                        );
+                        let keep = if win.is_empty() {
+                            0
+                        } else {
+                            (rng(&mut s) % (win.len() as u64 + 1)) as usize
+                        };
+                        for &(t, seq, id) in &win[keep..] {
+                            q.schedule_preseq(t, seq, id);
+                            m.push_back(t.0, seq, id);
+                        }
+                        for &(t, _, _) in &win[..keep] {
+                            q.replay_pop(t);
+                            m.now = t.0;
+                        }
+                    }
+                }
+                assert_eq!(q.len(), m.heap.len(), "length diverged (seed {seed})");
+            }
+            // Drain both completely: full residual order must agree.
+            while let Some((t, id)) = q.pop() {
+                assert_eq!(Some((t.0, id)), m.pop());
+            }
+            assert!(m.heap.is_empty());
+        }
     }
 }

@@ -1,0 +1,131 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! The coherence layer keys directory entries, MSHRs, and log-page sets by
+//! dense integer addresses. `std`'s default SipHash is robust against
+//! adversarial keys but costs tens of cycles per lookup — measurable when
+//! the directory handles millions of inputs per run. [`FastHasher`] is a
+//! multiply-rotate hasher (the rustc-hash/FxHash construction) that is
+//! 3–5× cheaper on small integer keys.
+//!
+//! Using it never affects determinism: the simulator already runs with
+//! `RandomState` (seeded per process), so any iteration whose order leaked
+//! into results would have made runs irreproducible long ago — all map
+//! iterations are order-insensitive or explicitly sorted.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher over 64-bit words; see module docs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastHasher {
+    h: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, w: u64) {
+        self.h = (self.h.rotate_left(5) ^ w).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(buf) | ((rest.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+/// `HashMap` wired to [`FastHasher`].
+pub type FastHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// `HashSet` wired to [`FastHasher`].
+pub type FastHashSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FastHashMap<u64, u32> = FastHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 64, i as u32);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 64)), Some(&(i as u32)));
+        }
+        assert_eq!(m.get(&1), None);
+
+        let mut s: FastHashSet<(u16, u64)> = FastHashSet::default();
+        assert!(s.insert((3, 77)));
+        assert!(!s.insert((3, 77)));
+        assert!(s.contains(&(3, 77)));
+    }
+
+    #[test]
+    fn distinct_keys_hash_differently_enough() {
+        // Sanity: dense line addresses should not collapse onto a few
+        // buckets (a constant hash would still pass round-trip tests).
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b: BuildHasherDefault<FastHasher> = BuildHasherDefault::default();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            seen.insert(b.hash_one(i));
+        }
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn byte_stream_tail_is_length_distinguished() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let b: BuildHasherDefault<FastHasher> = BuildHasherDefault::default();
+        let h = |bytes: &[u8]| {
+            let mut h = b.build_hasher();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_ne!(h(&[0, 0]), h(&[0, 0, 0]));
+        assert_ne!(h(b"abc"), h(b"abd"));
+    }
+}

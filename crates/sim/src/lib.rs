@@ -25,6 +25,8 @@
 //! ```
 
 pub mod engine;
+pub mod fastdiv;
+pub mod hashing;
 pub mod resource;
 pub mod rng;
 pub mod stats;

@@ -135,6 +135,62 @@ impl DetRng {
     }
 }
 
+/// A precomputed uniform sampler over a fixed `[lo, hi)` — the fast-path
+/// twin of [`DetRng::range`].
+///
+/// [`DetRng::range`] pays two hardware divides per draw (rejection-zone
+/// and remainder). When the bounds are fixed — per-phase think times,
+/// region sizes — those reduce to multiplies via [`crate::fastdiv`].
+/// `sample` consumes the same generator draws and returns the same values
+/// as `range(lo, hi)` bit-for-bit, so callers can switch freely without
+/// perturbing any seeded stream.
+///
+/// # Example
+///
+/// ```
+/// use revive_sim::rng::{DetRng, FastRange};
+/// let r = FastRange::new(10, 20);
+/// let mut a = DetRng::seed(7);
+/// let mut b = DetRng::seed(7);
+/// for _ in 0..100 {
+///     assert_eq!(r.sample(&mut a), b.range(10, 20));
+/// }
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct FastRange {
+    lo: u64,
+    span: crate::fastdiv::FastDiv,
+    zone: u64,
+}
+
+impl FastRange {
+    /// Prepares a sampler for `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn new(lo: u64, hi: u64) -> FastRange {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        let span = hi - lo;
+        FastRange {
+            lo,
+            span: crate::fastdiv::FastDiv::new(span),
+            zone: span.wrapping_neg() % span, // (2^64 mod span)
+        }
+    }
+
+    /// Uniform value in `[lo, hi)`; identical to `rng.range(lo, hi)`.
+    #[inline]
+    pub fn sample(&self, rng: &mut DetRng) -> u64 {
+        loop {
+            let x = rng.next_u64();
+            if x >= self.zone {
+                return self.lo + self.span.rem(x);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

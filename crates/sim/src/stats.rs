@@ -251,7 +251,7 @@ impl Histogram {
         if self.total == 0 {
             return 0;
         }
-        let target = (q * self.total as f64).ceil() as u64;
+        let target = quantile_target(self.total, q);
         let upper = |i: usize| -> u64 {
             if i == 0 {
                 0
@@ -269,6 +269,53 @@ impl Histogram {
             }
         }
         upper(self.buckets.len())
+    }
+}
+
+/// `ceil(q · total)` computed in integer arithmetic.
+///
+/// The float expression `(q * total as f64).ceil() as u64` goes wrong once
+/// `total` exceeds 2^53: the product rounds before the ceiling is taken, so
+/// the rank can land a whole bucket early or late. Every `f64` is a binary
+/// rational `m · 2^e`, so the product `total · m · 2^e` is instead formed
+/// exactly in 128 bits and ceiling-shifted.
+///
+/// One subtlety: `q` itself is quantized. A caller writing `0.9` gets the
+/// f64 `0.9 + 2.2e-17`, and a blind exact ceiling of `(0.9 + 2.2e-17) · 10`
+/// would answer 10 where rank 9 was meant. The fractional part is therefore
+/// snapped down when it is within `q`'s own quantization error
+/// (`total · ulp(q)/2`) of the integer below — never more than half a unit,
+/// so genuine fractions like `0.5 · 7` still round up.
+fn quantile_target(total: u64, q: f64) -> u64 {
+    debug_assert!((0.0..=1.0).contains(&q));
+    let bits = q.to_bits();
+    let exp = ((bits >> 52) & 0x7ff) as i64;
+    let mantissa = bits & ((1u64 << 52) - 1);
+    // q == m · 2^e exactly (subnormals have no implicit leading bit).
+    let (m, e) = if exp == 0 {
+        (mantissa, -1074i64)
+    } else {
+        (mantissa | (1u64 << 52), exp - 1075)
+    };
+    if m == 0 {
+        return 0;
+    }
+    // q <= 1.0 means e <= -52 < 0, so the scale is always a right-shift.
+    let shift = (-e) as u32;
+    let prod = total as u128 * m as u128; // < 2^117
+    if shift >= 117 {
+        // 2^shift exceeds any possible product: ceil is 1 for q > 0.
+        return 1;
+    }
+    let floor = (prod >> shift) as u64;
+    let frac = prod & ((1u128 << shift) - 1);
+    // total · ulp(q)/2 in `frac` units is total/2, capped below a genuine
+    // half so quantization slack never absorbs a true `.5`.
+    let window = (total as u128 / 2).min((1u128 << (shift - 1)) - 1);
+    if frac > window {
+        floor + 1
+    } else {
+        floor
     }
 }
 
@@ -349,6 +396,53 @@ mod tests {
         assert_eq!(h.quantile_upper_bound(0.5), 63);
         assert_eq!(h.quantile_upper_bound(1.0), 127);
         assert_eq!(Histogram::new().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn quantile_target_is_exact_at_the_edges() {
+        // q = 0 must ask for rank 0; q = 1 must ask for exactly `total`.
+        assert_eq!(quantile_target(100, 0.0), 0);
+        assert_eq!(quantile_target(100, 1.0), 100);
+        assert_eq!(quantile_target(u64::MAX, 1.0), u64::MAX);
+        // Totals at and around 2^53, where `total as f64` stops being
+        // exact and the old float path could misrank.
+        for total in [
+            (1u64 << 53) - 1,
+            1u64 << 53,
+            (1u64 << 53) + 1,
+            (1u64 << 53) + 3,
+        ] {
+            assert_eq!(quantile_target(total, 1.0), total, "total={total}");
+            assert_eq!(quantile_target(total, 0.0), 0, "total={total}");
+            // ceil(0.5 · total) without drifting a unit.
+            assert_eq!(quantile_target(total, 0.5), total.div_ceil(2));
+        }
+        // Tiny q never rounds down to rank 0 on a nonzero total.
+        assert_eq!(quantile_target(10, f64::MIN_POSITIVE), 1);
+        // Agreement with the float path where the float path is safe.
+        for total in [1u64, 2, 3, 7, 99, 1000, 1 << 20] {
+            for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999] {
+                assert_eq!(
+                    quantile_target(total, q),
+                    (q * total as f64).ceil() as u64,
+                    "total={total} q={q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_near_2_pow_53_totals() {
+        // A histogram whose counts straddle 2^53: the median must land in
+        // the second bucket, not be pushed past it by float rounding.
+        let mut h = Histogram::new();
+        h.buckets.resize(11, 0);
+        h.buckets[1] = 1u64 << 53; // values in [1, 2)
+        h.buckets[10] = 3; // a tail beyond
+        h.total = (1u64 << 53) + 3;
+        assert_eq!(h.quantile_upper_bound(0.0), 0);
+        assert_eq!(h.quantile_upper_bound(0.5), 1);
+        assert_eq!(h.quantile_upper_bound(1.0), 1023);
     }
 
     #[test]

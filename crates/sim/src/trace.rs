@@ -124,6 +124,15 @@ pub enum TraceEvent {
         /// Destination node.
         dst: u16,
     },
+    /// A retry's exponential backoff hit the configured doubling cap
+    /// (`watchdog_backoff_cap`): the delay stopped growing. Dense runs of
+    /// these mean a target has been unreachable for a very long time.
+    RetryBackoffCapped {
+        /// The unreachable destination node.
+        dst: u16,
+        /// Which attempt first saturated (0-based, clamped to 255).
+        attempt: u8,
+    },
 }
 
 /// Which Figure-6 boundary a [`TraceEvent::CkptPhase`] marks.
@@ -171,6 +180,7 @@ impl TraceEvent {
             TraceEvent::WatchdogTimeout { .. } => "watchdog_timeout",
             TraceEvent::Retry { .. } => "retry",
             TraceEvent::Reroute { .. } => "reroute",
+            TraceEvent::RetryBackoffCapped { .. } => "retry_backoff_capped",
         }
     }
 
@@ -189,6 +199,7 @@ impl TraceEvent {
             TraceEvent::WatchdogTimeout { .. } => 9,
             TraceEvent::Retry { .. } => 10,
             TraceEvent::Reroute { .. } => 11,
+            TraceEvent::RetryBackoffCapped { .. } => 12,
         }
     }
 
@@ -196,8 +207,12 @@ impl TraceEvent {
     /// onward); artifacts older than schema v4 carry only these.
     pub const LEGACY_KIND_COUNT: usize = 8;
 
+    /// How many kinds schema v4 artifacts carry (`retry_backoff_capped`
+    /// arrived at v5).
+    pub const V4_KIND_COUNT: usize = 12;
+
     /// Kind names in `kind_index` order.
-    pub const KIND_NAMES: [&'static str; 12] = [
+    pub const KIND_NAMES: [&'static str; 13] = [
         "coh_start",
         "coh_end",
         "nack",
@@ -210,6 +225,7 @@ impl TraceEvent {
         "watchdog_timeout",
         "retry",
         "reroute",
+        "retry_backoff_capped",
     ];
 
     /// Writes the event's payload as JSON object *members* (no braces),
@@ -246,7 +262,9 @@ impl TraceEvent {
             TraceEvent::MsgDrop { src, dst } | TraceEvent::Reroute { src, dst } => {
                 let _ = write!(out, "\"src\":{src},\"dst\":{dst}");
             }
-            TraceEvent::WatchdogTimeout { dst, attempt } | TraceEvent::Retry { dst, attempt } => {
+            TraceEvent::WatchdogTimeout { dst, attempt }
+            | TraceEvent::Retry { dst, attempt }
+            | TraceEvent::RetryBackoffCapped { dst, attempt } => {
                 let _ = write!(out, "\"dst\":{dst},\"attempt\":{attempt}");
             }
         }
@@ -283,7 +301,7 @@ impl Span {
 pub struct TraceSummary {
     /// Events recorded per kind, in [`TraceEvent::KIND_NAMES`] order.
     /// Includes events later evicted by the ring bound.
-    pub counts: [u64; 12],
+    pub counts: [u64; 13],
     /// Events evicted because the ring was full.
     pub dropped: u64,
     /// Events still resident in the buffer.
@@ -307,7 +325,7 @@ pub struct TraceBuffer {
     enabled: bool,
     capacity: usize,
     events: VecDeque<(Ns, TraceEvent)>,
-    counts: [u64; 12],
+    counts: [u64; 13],
     dropped: u64,
 }
 
@@ -330,7 +348,7 @@ impl TraceBuffer {
             enabled: true,
             capacity,
             events: VecDeque::with_capacity(capacity.min(4096)),
-            counts: [0; 12],
+            counts: [0; 13],
             dropped: 0,
         }
     }
@@ -550,9 +568,10 @@ mod tests {
             TraceEvent::WatchdogTimeout { dst: 1, attempt: 0 },
             TraceEvent::Retry { dst: 1, attempt: 1 },
             TraceEvent::Reroute { src: 0, dst: 1 },
+            TraceEvent::RetryBackoffCapped { dst: 1, attempt: 6 },
         ];
         assert_eq!(samples.len(), TraceEvent::KIND_NAMES.len());
-        let mut seen = [false; 12];
+        let mut seen = [false; TraceEvent::KIND_NAMES.len()];
         for ev in samples {
             assert_eq!(TraceEvent::KIND_NAMES[ev.kind_index()], ev.kind());
             seen[ev.kind_index()] = true;

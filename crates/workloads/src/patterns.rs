@@ -6,7 +6,8 @@
 //! radix-style scatters. The SPLASH-2 models in [`crate::splash`] are
 //! compositions of these over private and shared regions.
 
-use revive_sim::rng::DetRng;
+use revive_sim::fastdiv::FastDiv;
+use revive_sim::rng::{DetRng, FastRange};
 
 /// Where a phase's accesses land in the application's virtual space.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,11 +27,6 @@ impl Region {
     pub fn new(base: u64, len: u64) -> Region {
         assert!(len > 0, "empty region");
         Region { base, len }
-    }
-
-    /// Clamps an offset into the region.
-    fn at(&self, off: u64) -> u64 {
-        self.base + off % self.len
     }
 }
 
@@ -69,6 +65,25 @@ pub enum Pattern {
     Scatter,
 }
 
+/// Precomputed reciprocals for [`Pattern::Blocked`] (all of its divisors
+/// are fixed at cursor construction).
+#[derive(Clone, Debug)]
+struct BlockedCache {
+    /// `block.min(region.len)` — the effective tile size.
+    block: u64,
+    /// Divides `step` by `(block/64).max(1) * reuse` in one shot
+    /// (`⌊⌊s/a⌋/b⌋ = ⌊s/(a·b)⌋` for positive integers).
+    tile: FastDiv,
+    /// `% blocks`.
+    blocks: FastDiv,
+    /// `% block` for the dense even-step walk.
+    within: FastDiv,
+    /// `range(0, block/64)` for the odd-step revisits; `None` when
+    /// `block < 64`, in which case the draw panics exactly like
+    /// `rng.range(0, 0)` always has.
+    revisit: Option<FastRange>,
+}
+
 /// A running cursor of one pattern over one region for one CPU.
 #[derive(Clone, Debug)]
 pub struct Cursor {
@@ -77,18 +92,50 @@ pub struct Cursor {
     pos: u64,
     chase_state: u64,
     step: u64,
+    /// `% region.len`, strength-reduced.
+    len_rem: FastDiv,
+    blocked: Option<BlockedCache>,
+    /// `range(0, region.len)` for [`Pattern::Random`].
+    random: Option<FastRange>,
 }
 
 impl Cursor {
     /// Creates a cursor at the region's start.
     pub fn new(pattern: Pattern, region: Region, salt: u64) -> Cursor {
+        let blocked = match pattern {
+            Pattern::Blocked { block, reuse } => {
+                let block = block.min(region.len);
+                let blocks = (region.len / block).max(1);
+                Some(BlockedCache {
+                    block,
+                    tile: FastDiv::new((block / 64).max(1) * reuse as u64),
+                    blocks: FastDiv::new(blocks),
+                    within: FastDiv::new(block),
+                    revisit: (block / 64 > 0).then(|| FastRange::new(0, block / 64)),
+                })
+            }
+            _ => None,
+        };
+        let random = match pattern {
+            Pattern::Random => Some(FastRange::new(0, region.len)),
+            _ => None,
+        };
         Cursor {
             pattern,
             region,
             pos: salt.wrapping_mul(0x9E37_79B9) % region.len,
             chase_state: salt | 1,
             step: 0,
+            len_rem: FastDiv::new(region.len),
+            blocked,
+            random,
         }
+    }
+
+    /// `region.at(off)` via the precomputed reciprocal.
+    #[inline]
+    fn at(&self, off: u64) -> u64 {
+        self.region.base + self.len_rem.rem(off)
     }
 
     /// The region this cursor walks.
@@ -101,21 +148,23 @@ impl Cursor {
         self.step += 1;
         match self.pattern {
             Pattern::Sequential { stride } => {
-                let a = self.region.at(self.pos);
-                self.pos = (self.pos + stride) % self.region.len;
+                let a = self.at(self.pos);
+                self.pos = self.len_rem.rem(self.pos + stride);
                 a
             }
-            Pattern::Blocked { block, reuse } => {
-                let block = block.min(self.region.len);
-                let blocks = (self.region.len / block).max(1);
+            Pattern::Blocked { .. } => {
+                let c = self.blocked.as_ref().expect("cached at construction");
                 // Visit `reuse` random cells of the tile per linear step.
-                let tile = (self.step / (block / 64).max(1) / reuse as u64) % blocks;
+                let tile = c.blocks.rem(c.tile.div(self.step));
                 let within = if self.step.is_multiple_of(2) {
-                    (self.step * 64) % block
+                    c.within.rem(self.step * 64)
                 } else {
-                    rng.range(0, block / 64) * 64
+                    match c.revisit {
+                        Some(r) => r.sample(rng) * 64,
+                        None => rng.range(0, 0) * 64, // preserves the panic
+                    }
                 };
-                self.region.at(tile * block + within)
+                self.at(tile * c.block + within)
             }
             Pattern::Stencil { row_bytes, elem } => {
                 // Sweep the grid; each logical element emits its center and
@@ -131,21 +180,26 @@ impl Cursor {
                     3 => center.wrapping_add(row_bytes),
                     _ => center.wrapping_sub(row_bytes),
                 };
-                self.region.at(off)
+                self.at(off)
             }
-            Pattern::Random => self.region.at(rng.range(0, self.region.len)),
+            Pattern::Random => {
+                let r = self.random.as_ref().expect("cached at construction");
+                // The draw is already `< len`, so `at`'s modulo is the
+                // identity; add the base directly.
+                self.region.base + r.sample(rng)
+            }
             Pattern::Chase => {
                 // Next address is a hash of the previous: a dependent chain.
                 let mut z = self.chase_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
                 z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 z ^= z >> 27;
                 self.chase_state = z;
-                self.region.at(z)
+                self.at(z)
             }
             Pattern::Scatter => {
                 // Keys are read sequentially elsewhere; the destination
                 // bucket is effectively random.
-                self.region.at(rng.next_u64())
+                self.at(rng.next_u64())
             }
         }
     }

@@ -22,7 +22,7 @@
 //! between 0.02 % and 0.29 %. `bench/table4_apps` prints achieved-vs-paper
 //! for every application.
 
-use revive_sim::rng::DetRng;
+use revive_sim::rng::{DetRng, FastRange};
 
 use crate::patterns::{Cursor, Pattern, Region};
 use crate::{Op, Scale, Workload};
@@ -513,6 +513,8 @@ struct CpuPhase {
     cursor: Cursor,
     /// Full shared arena for remote accesses (partitioned phases).
     arena: Option<Region>,
+    /// `range(0, arena.len)`, strength-reduced once.
+    arena_range: Option<FastRange>,
     current_line: u64,
     line_offset: u64,
 }
@@ -528,6 +530,8 @@ struct CpuState {
 pub struct SplashApp {
     id: AppId,
     specs: Vec<PhaseSpec>,
+    /// Per-phase `range(think.0, think.1 + 1)`, strength-reduced once.
+    think_ranges: Vec<FastRange>,
     cpus: Vec<CpuState>,
     footprint: u64,
 }
@@ -587,6 +591,7 @@ impl SplashApp {
                         CpuPhase {
                             cursor: Cursor::new(s.pattern.clone(), region, rng.next_u64()),
                             arena,
+                            arena_range: arena.map(|a| FastRange::new(0, a.len)),
                             current_line: region.base / 64,
                             line_offset: 0,
                         }
@@ -602,6 +607,10 @@ impl SplashApp {
             .collect();
         SplashApp {
             id,
+            think_ranges: specs
+                .iter()
+                .map(|s| FastRange::new(s.think.0 as u64, s.think.1 as u64 + 1))
+                .collect(),
             specs,
             cpus: cpu_states,
             footprint,
@@ -639,7 +648,8 @@ impl Workload for SplashApp {
                 (RegionKind::Partitioned { remote_frac }, Some(arena))
                     if st.rng.chance(remote_frac) =>
                 {
-                    arena.base + st.rng.range(0, arena.len)
+                    let r = ph.arena_range.as_ref().expect("set with arena");
+                    arena.base + r.sample(&mut st.rng)
                 }
                 _ => ph.cursor.next(&mut st.rng),
             };
@@ -648,7 +658,7 @@ impl Workload for SplashApp {
             fresh
         };
         let write = st.rng.chance(spec.write_frac);
-        let think_ns = st.rng.range(spec.think.0 as u64, spec.think.1 as u64 + 1) as u32;
+        let think_ns = self.think_ranges[st.phase].sample(&mut st.rng) as u32;
         Op {
             think_ns,
             vaddr,

@@ -6,7 +6,7 @@
 //! directly; [`SyntheticKind::Uniform`] adds uniform-random shared traffic
 //! for protocol stress testing.
 
-use revive_sim::rng::DetRng;
+use revive_sim::rng::{DetRng, FastRange};
 
 use crate::patterns::{Cursor, Pattern, Region};
 use crate::{Op, Scale, Workload};
@@ -69,7 +69,8 @@ struct CpuState {
 pub struct Synthetic {
     kind: SyntheticKind,
     write_frac: f64,
-    think: (u32, u32),
+    /// `range(think.0, think.1 + 1)`, strength-reduced once.
+    think_range: FastRange,
     cpus: Vec<CpuState>,
     footprint: u64,
 }
@@ -110,9 +111,9 @@ impl Synthetic {
             region_bytes * cpus as u64
         };
         Synthetic {
+            think_range: FastRange::new(think.0 as u64, think.1 as u64 + 1),
             kind,
             write_frac,
-            think,
             cpus: cpu_states,
             footprint,
         }
@@ -133,7 +134,7 @@ impl Workload for Synthetic {
         let st = &mut self.cpus[cpu];
         let vaddr = st.cursor.next(&mut st.rng);
         let write = st.rng.chance(self.write_frac);
-        let think_ns = st.rng.range(self.think.0 as u64, self.think.1 as u64 + 1) as u32;
+        let think_ns = self.think_range.sample(&mut st.rng) as u32;
         Op {
             think_ns,
             vaddr,

@@ -311,6 +311,7 @@ fn table4_calibration_structure_holds() {
             shadow_checkpoints: false,
             obs: revive::machine::ObsConfig::off(),
             detection_fraction: ExperimentConfig::DEFAULT_DETECTION_FRACTION,
+            sim_threads: 1,
         };
         let r = Runner::new(cfg).unwrap().run().unwrap();
         rates.push((app, r.metrics.l2_miss_rate()));
