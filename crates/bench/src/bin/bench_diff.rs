@@ -97,16 +97,14 @@ fn main() {
                 quick: baseline.quick,
                 seed: args.seed,
                 sim_threads: args.sim_threads,
+                ..Opts::default()
             };
             banner(
                 "bench_diff — measuring a fresh candidate sweep",
                 "perf-regression gate vs the committed baseline",
                 opts,
             );
-            Summary {
-                quick: baseline.quick,
-                entries: run_summary_sweep(&args, opts),
-            }
+            run_summary_sweep(&args, opts)
         }
     };
 

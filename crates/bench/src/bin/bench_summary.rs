@@ -30,7 +30,7 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "BENCH_baseline.json".to_string());
 
-    let entries = run_summary_sweep(&args, opts);
+    let summary = run_summary_sweep(&args, opts);
 
     let mut table = Table::new([
         "app",
@@ -39,8 +39,10 @@ fn main() {
         "sim ns/op",
         "wall ms",
         "kops/s",
+        "thr",
+        "par%",
     ]);
-    for e in &entries {
+    for e in &summary.entries {
         table.row([
             e.app.clone(),
             e.config.clone(),
@@ -48,14 +50,20 @@ fn main() {
             format!("{:.2}", e.sim_ns_per_op()),
             format!("{:.0}", e.wall_ms),
             format!("{:.0}", e.kops_per_wall_sec()),
+            format!("{}", e.sim_threads),
+            format!("{:.0}", e.par_window_frac * 100.0),
         ]);
     }
     table.print();
-    let json = render_json(opts.quick, &entries);
+    let json = render_json(&summary);
     if let Err(e) = revive_machine::write_atomic(Path::new(&out_path), &json) {
         eprintln!("failed to write {out_path}: {e}");
         std::process::exit(1);
     }
     println!();
-    println!("wrote {out_path} ({} entries)", entries.len());
+    println!(
+        "wrote {out_path} ({} entries, {} host cores)",
+        summary.entries.len(),
+        summary.host_cores
+    );
 }

@@ -1,0 +1,350 @@
+//! Engine performance attribution: where does the *simulator's* wall time
+//! go, and why do windows fall off the parallel surface?
+//!
+//! ```text
+//! perf_report [--quick|--full] [--sim-threads N] [--jobs N] [--seed S] [OUT.json]
+//! perf_report --diff OLD.json NEW.json
+//! ```
+//!
+//! The first form runs the Figure 8 sweep (quick budgets by default) with
+//! engine self-profiling on (DESIGN.md §15) and prints one attribution row
+//! per (app, config): parallel-window fraction, the dominant
+//! serial-fallback reason, lane skew, and the host wall breakdown across
+//! engine phases. The same data is written as a JSON report (schema
+//! `revive-perf-report`) for later diffing.
+//!
+//! The second form compares two reports entry by entry — the tool for
+//! answering "did my engine change move the parallel fraction or shift
+//! wall time between phases?". Purely informational: it never exits
+//! nonzero for a perf delta, only for operator errors (exit 2). The gate
+//! with teeth is `bench_diff`.
+//!
+//! Sim-side results are byte-identical with or without profiling; this
+//! report is about the engine, not the simulated machine.
+
+use std::path::Path;
+
+use revive_bench::{banner, experiment_config, FigConfig, Opts, Table};
+use revive_harness::{Args, Sweep, SweepJob};
+use revive_machine::{parse_json, Json, SerialReason, WorkloadSpec};
+use revive_sim::prof::EnginePhase;
+use revive_workloads::AppId;
+
+/// Schema identifier of the report document.
+const REPORT_SCHEMA: &str = "revive-perf-report";
+
+/// One (app, config) attribution row.
+struct ReportEntry {
+    app: String,
+    config: String,
+    sim_threads: u64,
+    windows: u64,
+    par_window_frac: f64,
+    serial_reasons: [u64; SerialReason::COUNT],
+    lane_skew: f64,
+    phase_ns: [u64; EnginePhase::COUNT],
+    wall_ms: f64,
+}
+
+impl ReportEntry {
+    fn dominant_serial_reason(&self) -> &'static str {
+        SerialReason::ALL
+            .iter()
+            .rev()
+            .max_by_key(|r| self.serial_reasons[r.index()])
+            .map_or("none", |r| {
+                if self.serial_reasons[r.index()] == 0 {
+                    "none"
+                } else {
+                    r.name()
+                }
+            })
+    }
+
+    fn phase_share(&self, p: EnginePhase) -> f64 {
+        let total: u64 = self.phase_ns.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.phase_ns[p.index()] as f64 / total as f64
+        }
+    }
+}
+
+fn render_report(quick: bool, host_cores: u64, entries: &[ReportEntry]) -> String {
+    let mut o = String::new();
+    o.push_str("{\n");
+    o.push_str(&format!("  \"schema\": \"{REPORT_SCHEMA}\",\n"));
+    o.push_str("  \"version\": 1,\n");
+    o.push_str(&format!("  \"quick\": {quick},\n"));
+    o.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    o.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let reasons = SerialReason::ALL
+            .iter()
+            .map(|r| format!("\"{}\": {}", r.name(), e.serial_reasons[r.index()]))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let phases = EnginePhase::ALL
+            .iter()
+            .map(|p| format!("\"{}\": {}", p.name(), e.phase_ns[p.index()]))
+            .collect::<Vec<_>>()
+            .join(", ");
+        o.push_str(&format!(
+            "    {{\"app\": \"{}\", \"config\": \"{}\", \"sim_threads\": {}, \
+             \"windows\": {}, \"par_window_frac\": {:.6}, \
+             \"dominant_serial_reason\": \"{}\", \"serial_reasons\": {{{}}}, \
+             \"lane_skew\": {:.4}, \"phase_ns\": {{{}}}, \"wall_ms\": {:.1}}}{}\n",
+            e.app,
+            e.config,
+            e.sim_threads,
+            e.windows,
+            e.par_window_frac,
+            e.dominant_serial_reason(),
+            reasons,
+            e.lane_skew,
+            phases,
+            e.wall_ms,
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    o.push_str("  ]\n}\n");
+    o
+}
+
+fn parse_report(text: &str) -> Result<Vec<ReportEntry>, String> {
+    let doc = parse_json(text)?;
+    if doc.get("schema").and_then(Json::as_str) != Some(REPORT_SCHEMA) {
+        return Err(format!("schema is not '{REPORT_SCHEMA}'"));
+    }
+    let mut entries = Vec::new();
+    for e in doc
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("'entries' missing or not an array")?
+    {
+        let s = |key: &str| {
+            e.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("entry.{key} missing or not a string"))
+        };
+        let n = |key: &str| {
+            e.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("entry.{key} missing or not a number"))
+        };
+        let mut serial_reasons = [0u64; SerialReason::COUNT];
+        if let Some(reasons) = e.get("serial_reasons") {
+            for r in SerialReason::ALL {
+                serial_reasons[r.index()] =
+                    reasons.get(r.name()).and_then(Json::as_num).unwrap_or(0.0) as u64;
+            }
+        }
+        let mut phase_ns = [0u64; EnginePhase::COUNT];
+        if let Some(phases) = e.get("phase_ns") {
+            for p in EnginePhase::ALL {
+                phase_ns[p.index()] =
+                    phases.get(p.name()).and_then(Json::as_num).unwrap_or(0.0) as u64;
+            }
+        }
+        entries.push(ReportEntry {
+            app: s("app")?,
+            config: s("config")?,
+            sim_threads: n("sim_threads")? as u64,
+            windows: n("windows")? as u64,
+            par_window_frac: n("par_window_frac")?,
+            serial_reasons,
+            lane_skew: n("lane_skew")?,
+            phase_ns,
+            wall_ms: n("wall_ms")?,
+        });
+    }
+    Ok(entries)
+}
+
+fn load(path: &str) -> Vec<ReportEntry> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("perf_report: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse_report(&text).unwrap_or_else(|e| {
+        eprintln!("perf_report: {path} is not a perf report: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn print_table(entries: &[ReportEntry]) {
+    let mut table = Table::new([
+        "app",
+        "config",
+        "thr",
+        "windows",
+        "par%",
+        "skew",
+        "sched%",
+        "surf%",
+        "replay%",
+        "apply%",
+        "dominant serial reason",
+    ]);
+    for e in entries {
+        table.row([
+            e.app.clone(),
+            e.config.clone(),
+            format!("{}", e.sim_threads),
+            format!("{}", e.windows),
+            format!("{:.1}", e.par_window_frac * 100.0),
+            format!("{:.2}", e.lane_skew),
+            format!("{:.0}", e.phase_share(EnginePhase::Schedule) * 100.0),
+            format!("{:.0}", e.phase_share(EnginePhase::ParallelSurface) * 100.0),
+            format!("{:.0}", e.phase_share(EnginePhase::SerialReplay) * 100.0),
+            format!("{:.0}", e.phase_share(EnginePhase::EffectApply) * 100.0),
+            e.dominant_serial_reason().to_string(),
+        ]);
+    }
+    table.print();
+}
+
+fn diff_reports(old_path: &str, new_path: &str) {
+    let old = load(old_path);
+    let new = load(new_path);
+    println!("perf_report diff: {old_path} -> {new_path}");
+    println!();
+    let mut table = Table::new([
+        "app",
+        "config",
+        "par% old",
+        "par% new",
+        "Δpar%",
+        "skew Δ",
+        "dominant old",
+        "dominant new",
+    ]);
+    let mut missing = 0;
+    for o in &old {
+        let Some(n) = new.iter().find(|n| n.app == o.app && n.config == o.config) else {
+            missing += 1;
+            continue;
+        };
+        table.row([
+            o.app.clone(),
+            o.config.clone(),
+            format!("{:.1}", o.par_window_frac * 100.0),
+            format!("{:.1}", n.par_window_frac * 100.0),
+            format!("{:+.1}", (n.par_window_frac - o.par_window_frac) * 100.0),
+            format!("{:+.2}", n.lane_skew - o.lane_skew),
+            o.dominant_serial_reason().to_string(),
+            n.dominant_serial_reason().to_string(),
+        ]);
+    }
+    table.print();
+    if missing > 0 {
+        println!();
+        println!("note: {missing} old entries have no counterpart in the new report");
+    }
+    // Phase-share shifts, aggregated across entries (host wall time).
+    let share = |entries: &[ReportEntry], p: EnginePhase| {
+        let total: u64 = entries.iter().map(|e| e.phase_ns.iter().sum::<u64>()).sum();
+        let phase: u64 = entries.iter().map(|e| e.phase_ns[p.index()]).sum();
+        if total == 0 {
+            0.0
+        } else {
+            phase as f64 / total as f64
+        }
+    };
+    println!();
+    println!("aggregate phase shares (old -> new):");
+    for p in EnginePhase::ALL {
+        println!(
+            "  {:16} {:5.1}% -> {:5.1}%",
+            p.name(),
+            share(&old, p) * 100.0,
+            share(&new, p) * 100.0
+        );
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    // `--diff OLD NEW` compares two saved reports and runs nothing.
+    if let Some(pos) = args.rest.iter().position(|a| a == "--diff") {
+        let (Some(old), Some(new)) = (args.rest.get(pos + 1), args.rest.get(pos + 2)) else {
+            eprintln!("usage: perf_report --diff OLD.json NEW.json");
+            std::process::exit(2);
+        };
+        diff_reports(old, new);
+        return;
+    }
+
+    // Quick budgets by default — attribution shapes survive them and the
+    // report is meant to be cheap to regenerate. `--full` restores the
+    // paper budgets.
+    let full = args.rest.iter().any(|a| a == "--full");
+    let opts = Opts {
+        quick: !full,
+        seed: args.seed,
+        // Profiling a serial engine answers no questions: default to 4
+        // shards so the parallel surface and its fallbacks are exercised.
+        sim_threads: args.sim_threads.or(Some(4)),
+        engine_prof: true,
+    };
+    let out_path = args
+        .rest
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "perf_report.json".to_string());
+    banner(
+        "Perf report — engine self-profile over the Figure 8 application set",
+        "engine attribution (DESIGN.md §15), not a paper figure",
+        opts,
+    );
+
+    let mut pairs = Vec::new();
+    let mut jobs = Vec::new();
+    for app in AppId::ALL {
+        for fig in [FigConfig::Baseline, FigConfig::Cp] {
+            let cfg = experiment_config(WorkloadSpec::Splash(app), fig, opts);
+            jobs.push(SweepJob::new(format!("{}_{}", app.name(), fig.name()), cfg));
+            pairs.push((app.name(), fig.name()));
+        }
+    }
+    let outcomes = Sweep::new("perf_report", &args)
+        .without_cache()
+        .run_all(jobs);
+
+    let entries: Vec<ReportEntry> = pairs
+        .into_iter()
+        .zip(&outcomes)
+        .map(|((app, config), o)| {
+            let e = o
+                .result
+                .engine
+                .as_ref()
+                .expect("engine_prof was on for every job");
+            ReportEntry {
+                app: app.to_string(),
+                config: config.to_string(),
+                sim_threads: e.sim_threads,
+                windows: e.windows,
+                par_window_frac: e.par_window_frac(),
+                serial_reasons: e.serial_reasons,
+                lane_skew: e.lane_skew(),
+                phase_ns: e.phase_ns,
+                wall_ms: o.wall_ms,
+            }
+        })
+        .collect();
+
+    print_table(&entries);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+    let json = render_report(opts.quick, host_cores, &entries);
+    if let Err(e) = revive_machine::write_atomic(Path::new(&out_path), &json) {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!();
+    println!("wrote {out_path} ({} entries)", entries.len());
+    println!("compare two reports with: perf_report --diff OLD.json NEW.json");
+}

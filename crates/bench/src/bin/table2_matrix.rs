@@ -60,8 +60,7 @@ fn main() {
         FigConfig::Cp,
         Opts {
             quick: true,
-            seed: opts.seed,
-            sim_threads: opts.sim_threads,
+            ..opts
         },
     );
     jobs.push(SweepJob::new(

@@ -32,6 +32,9 @@ pub struct Opts {
     /// defers to `REVIVE_SIM_THREADS`, default serial). Execution strategy
     /// only — artifacts are byte-identical at any value.
     pub sim_threads: Option<usize>,
+    /// Host-side engine self-profiling (`--engine-prof`): runs record the
+    /// `engine` artifact section. Never changes sim-side bytes.
+    pub engine_prof: bool,
 }
 
 impl Opts {
@@ -42,10 +45,13 @@ impl Opts {
     pub fn from_env() -> Opts {
         let quick = std::env::args().any(|a| a == "--quick")
             || std::env::var("REVIVE_QUICK").is_ok_and(|v| v != "0");
+        let engine_prof = std::env::args().any(|a| a == "--engine-prof")
+            || std::env::var("REVIVE_ENGINE_PROF").is_ok_and(|v| v != "0");
         Opts {
             quick,
             seed: None,
             sim_threads: None,
+            engine_prof,
         }
     }
 
@@ -55,6 +61,7 @@ impl Opts {
             quick: args.quick,
             seed: args.seed,
             sim_threads: args.sim_threads,
+            engine_prof: args.engine_prof,
         }
     }
 
@@ -154,6 +161,7 @@ pub fn experiment_config(workload: WorkloadSpec, fig: FigConfig, opts: Opts) -> 
     if let Some(n) = opts.sim_threads {
         cfg.sim_threads = n;
     }
+    cfg.engine_prof = opts.engine_prof;
     cfg
 }
 

@@ -4,7 +4,7 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-use revive_bench::summary::{render_json, SummaryEntry};
+use revive_bench::summary::{render_json, Summary, SummaryEntry};
 
 fn entry(app: &str, config: &str, ops: u64, sim: u64, wall: f64) -> SummaryEntry {
     SummaryEntry {
@@ -14,6 +14,9 @@ fn entry(app: &str, config: &str, ops: u64, sim: u64, wall: f64) -> SummaryEntry
         events: ops * 3,
         sim_time_ns: sim,
         wall_ms: wall,
+        sim_threads: 1,
+        par_window_frac: 0.0,
+        phase_ns: [0; 4],
     }
 }
 
@@ -21,7 +24,12 @@ fn fixture(tag: &str, entries: &[SummaryEntry]) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("revive-bench-diff-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("fixture dir");
     let path = dir.join(format!("{tag}.json"));
-    std::fs::write(&path, render_json(false, entries)).expect("write fixture");
+    let summary = Summary {
+        quick: false,
+        host_cores: 8,
+        entries: entries.to_vec(),
+    };
+    std::fs::write(&path, render_json(&summary)).expect("write fixture");
     path
 }
 

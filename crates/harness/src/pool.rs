@@ -134,18 +134,12 @@ impl Progress {
             return;
         }
         let elapsed = self.start.elapsed().as_secs_f64();
-        // ETA from mean completed-job time; cache hits are ~free, so the
-        // estimate is conservative early and converges as real runs land.
-        let eta = if done < self.total {
-            elapsed / done as f64 * (self.total - done) as f64
-        } else {
-            0.0
-        };
+        let eta = eta_label(done, cached_n, self.total, elapsed);
         let tag = if cached { " [cached]" } else { "" };
         let _guard = self.line.lock().unwrap();
         if self.tty {
             eprint!(
-                "\r[{done}/{total}] {cached_n} cached, {elapsed:.1}s elapsed, ETA {eta:.1}s — {label}{tag}\x1b[K",
+                "\r[{done}/{total}] {cached_n} cached, {elapsed:.1}s elapsed, {eta} — {label}{tag}\x1b[K",
                 total = self.total,
             );
             if done == self.total {
@@ -154,11 +148,31 @@ impl Progress {
             let _ = std::io::stderr().flush();
         } else {
             eprintln!(
-                "[{done}/{total}] {label}{tag} ({elapsed:.1}s elapsed, ETA {eta:.1}s, {cached_n} cached)",
+                "[{done}/{total}] {label}{tag} ({elapsed:.1}s elapsed, {eta}, {cached_n} cached)",
                 total = self.total,
             );
         }
     }
+}
+
+/// The ETA fragment of the progress line, from mean *executed*-job time:
+/// cache hits are ~free, so folding them into the mean would extrapolate
+/// nonsense (a sweep whose first jobs all hit the cache used to print an
+/// ETA of ~0s for hours of remaining work). Until a real run lands there
+/// is no basis for an estimate, so it prints `ETA --`. All arithmetic
+/// saturates — a racy `cached > done` snapshot never panics or goes
+/// negative.
+fn eta_label(done: usize, cached: usize, total: usize, elapsed: f64) -> String {
+    if done >= total {
+        return "ETA 0.0s".to_string();
+    }
+    let executed = done.saturating_sub(cached);
+    if executed == 0 {
+        return "ETA --".to_string();
+    }
+    let per_job = elapsed / executed as f64;
+    let remaining = total.saturating_sub(done) as f64;
+    format!("ETA {:.1}s", (per_job * remaining).max(0.0))
 }
 
 /// Executes `jobs` across `min(workers, jobs.len())` threads (at least
@@ -313,5 +327,19 @@ mod tests {
         p.finish("b", false);
         p.finish("c", true);
         assert_eq!(p.cache_hits(), 2);
+    }
+
+    #[test]
+    fn eta_ignores_cache_hits_and_saturates() {
+        // First job was a cache hit: no executed runs yet, so no estimate
+        // (the old formula extrapolated ~0s for the whole sweep here).
+        assert_eq!(eta_label(1, 1, 10, 0.01), "ETA --");
+        // One real run took ~2s; 8 jobs remain after 2 done.
+        assert_eq!(eta_label(2, 1, 10, 2.0), "ETA 16.0s");
+        // Cache hits don't dilute the mean: 5 done but only 1 executed.
+        assert_eq!(eta_label(5, 4, 10, 2.0), "ETA 10.0s");
+        // Done, and a racy cached > done snapshot, both stay sane.
+        assert_eq!(eta_label(10, 3, 10, 9.0), "ETA 0.0s");
+        assert_eq!(eta_label(1, 2, 10, 1.0), "ETA --");
     }
 }

@@ -93,6 +93,7 @@ pub struct Sweep {
     dir: Option<PathBuf>,
     jobs: Option<usize>,
     no_cache: bool,
+    engine_prof: bool,
     quiet: bool,
 }
 
@@ -112,7 +113,10 @@ impl Sweep {
         Sweep {
             dir,
             jobs: args.jobs,
-            no_cache: args.no_cache,
+            // --engine-prof implies --no-cache: a cache hit has no host
+            // execution to profile, so every job must actually run.
+            no_cache: args.no_cache || args.engine_prof,
+            engine_prof: args.engine_prof,
             quiet: false,
         }
     }
@@ -153,9 +157,14 @@ impl Sweep {
         };
         let progress = &progress;
         let no_cache = self.no_cache;
+        let engine_prof = self.engine_prof;
         let pool_jobs: Vec<Job<SweepOutcome, _>> = jobs
             .into_iter()
-            .map(|job| {
+            .map(|mut job| {
+                // Host-side observability only: `RunMeta::from_config`
+                // canonicalizes this flag out, so the artifact's
+                // config_hash — and every sim-side byte — is unchanged.
+                job.cfg.engine_prof |= engine_prof;
                 let path = self
                     .dir
                     .as_ref()

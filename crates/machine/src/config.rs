@@ -388,6 +388,12 @@ pub struct ExperimentConfig {
     /// byte-identical at any value, and the artifact's `config_hash`
     /// canonicalizes this field out. Defaults from `REVIVE_SIM_THREADS`.
     pub sim_threads: usize,
+    /// Host-side engine self-profiling (DESIGN.md §15). Execution
+    /// observability only, never semantics: the simulated run is
+    /// byte-identical with it on or off, and the artifact's `config_hash`
+    /// canonicalizes this field out. Off by default; when off, no host
+    /// clocks are read.
+    pub engine_prof: bool,
 }
 
 /// The default `sim_threads`: the `REVIVE_SIM_THREADS` environment variable
@@ -430,6 +436,7 @@ impl ExperimentConfig {
             obs: ObsConfig::off(),
             detection_fraction: ExperimentConfig::DEFAULT_DETECTION_FRACTION,
             sim_threads: sim_threads_from_env(),
+            engine_prof: false,
         }
     }
 
@@ -447,6 +454,7 @@ impl ExperimentConfig {
             obs: ObsConfig::off(),
             detection_fraction: ExperimentConfig::DEFAULT_DETECTION_FRACTION,
             sim_threads: sim_threads_from_env(),
+            engine_prof: false,
         }
     }
 }

@@ -1,0 +1,310 @@
+//! Engine self-profiling: host-side telemetry for the sharded event core.
+//!
+//! PR 2's observability stack watches the *simulated* machine; this module
+//! watches the *simulator* (DESIGN.md §15). It aggregates, per run: window
+//! shape (width in sim-ns, batch size, parallel vs serial), a typed
+//! [`SerialReason`] count for every serial fallback, per-lane load
+//! (event counts and sim-busy-ns, for max/mean skew), host wall-clock
+//! per engine phase ([`revive_sim::EnginePhase`]), and calendar-queue
+//! scheduling counters ([`revive_sim::QueueStats`]).
+//!
+//! Everything here is execution observability, never semantics: the
+//! simulated run is byte-identical with profiling on or off (verified by
+//! `tests/sharded_identity.rs`), and the whole subsystem is dormant — no
+//! host clocks read, no spans kept — unless `ExperimentConfig::engine_prof`
+//! is set.
+
+use std::time::Instant;
+
+use revive_sim::prof::{EnginePhase, EngineProf};
+use revive_sim::trace::Span;
+use revive_sim::QueueStats;
+
+/// Why the sharded engine executed work serially instead of on the
+/// parallel surface. Counted once per serial step or serial window.
+///
+/// When several conditions hold at once the highest-priority one is
+/// charged, in declaration order: checkpoint orchestration wins over live
+/// faults, which win over the debug trace tap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SerialReason {
+    /// Checkpoint orchestration in flight (`ck_phase != Running`) or an
+    /// early checkpoint pending.
+    CheckpointPhase,
+    /// Live fabric fault armed, active, or leaving unclean fabric state.
+    LiveFault,
+    /// The `REVIVE_TRACE_LINE` debug tap is active (stderr output is
+    /// ordered by execution, so windows may not speculate).
+    PendingTrace,
+    /// A lane's log was too close to the early-checkpoint trigger for
+    /// speculation to keep the trigger point bit-exact.
+    LogNearTrigger,
+    /// A global event (checkpoint timer, injection, sample, watchdog)
+    /// led the window, closing it before any event could be kept.
+    GlobalEventLeads,
+    /// Too few directory events or lanes to be worth spawning workers
+    /// (`< PAR_MIN_EVENTS` events or `< 2` usable lanes).
+    BatchTooSmall,
+}
+
+impl SerialReason {
+    /// Number of reasons (the length of every per-reason array).
+    pub const COUNT: usize = 6;
+
+    /// All reasons in ordinal (= priority) order.
+    pub const ALL: [SerialReason; SerialReason::COUNT] = [
+        SerialReason::CheckpointPhase,
+        SerialReason::LiveFault,
+        SerialReason::PendingTrace,
+        SerialReason::LogNearTrigger,
+        SerialReason::GlobalEventLeads,
+        SerialReason::BatchTooSmall,
+    ];
+
+    /// Stable ordinal of this reason.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in artifacts and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SerialReason::CheckpointPhase => "checkpoint_phase",
+            SerialReason::LiveFault => "live_fault",
+            SerialReason::PendingTrace => "pending_trace",
+            SerialReason::LogNearTrigger => "log_near_trigger",
+            SerialReason::GlobalEventLeads => "global_event_leads",
+            SerialReason::BatchTooSmall => "batch_too_small",
+        }
+    }
+}
+
+/// Per-run engine profile, rendered as the artifact's `engine` section.
+///
+/// The one deliberately host-dependent part of a run artifact: `phase_ns`
+/// is wall clock and `host_cores` is the machine it ran on, so two runs of
+/// the same config produce *different* engine sections while every
+/// sim-side byte stays identical. Byte-identity guarantees therefore apply
+/// to the artifact with this section stripped (DESIGN.md §15).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EngineReport {
+    /// `ExperimentConfig::sim_threads` the run executed with.
+    pub sim_threads: u64,
+    /// `std::thread::available_parallelism()` on the host.
+    pub host_cores: u64,
+    /// Hazard-free windows assembled (parallel + serial).
+    pub windows: u64,
+    /// Windows executed on the parallel surface.
+    pub par_windows: u64,
+    /// Windows that fell back to serial replay.
+    pub serial_windows: u64,
+    /// Single-event serial fallback steps taken outside any window.
+    pub serial_steps: u64,
+    /// Serial fallbacks per [`SerialReason`], indexed by
+    /// [`SerialReason::index`].
+    pub serial_reasons: [u64; SerialReason::COUNT],
+    /// Total window width in sim-ns (sum over windows of `end − start`).
+    pub window_width_ns: u64,
+    /// Events executed inside windows.
+    pub window_events: u64,
+    /// Events executed on the parallel surface (directory-lane events of
+    /// parallel windows).
+    pub par_events: u64,
+    /// Directory-lane events applied per lane (parallel windows only).
+    pub lane_events: Vec<u64>,
+    /// Sim-ns each lane's directory pipeline was busy inside parallel
+    /// windows (`t_done − t` summed per effect) — the load-imbalance
+    /// signal behind [`EngineReport::lane_skew`].
+    pub lane_busy_ns: Vec<u64>,
+    /// Host wall-clock per engine phase, indexed by
+    /// [`EnginePhase::index`]. All zero when `sim_threads == 1` (phases
+    /// are a sharded-engine concept).
+    pub phase_ns: [u64; EnginePhase::COUNT],
+    /// Calendar-queue scheduling counters for the whole run.
+    pub queue: QueueStats,
+    /// Host spans discarded after the ring cap was hit.
+    pub spans_dropped: u64,
+}
+
+impl EngineReport {
+    /// Fraction of windows that ran on the parallel surface (0 when no
+    /// window was assembled).
+    pub fn par_window_frac(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.par_windows as f64 / self.windows as f64
+        }
+    }
+
+    /// Max/mean busy-ns across lanes that did any work — 1.0 is perfectly
+    /// balanced, higher means the slowest lane gates the window.
+    pub fn lane_skew(&self) -> f64 {
+        let busy: Vec<u64> = self
+            .lane_busy_ns
+            .iter()
+            .copied()
+            .filter(|&b| b > 0)
+            .collect();
+        if busy.is_empty() {
+            return 0.0;
+        }
+        let max = *busy.iter().max().expect("non-empty") as f64;
+        let mean = busy.iter().sum::<u64>() as f64 / busy.len() as f64;
+        if mean == 0.0 {
+            0.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// The serial-fallback reason with the highest count, if any fallback
+    /// happened at all. Ties break toward the higher-priority reason.
+    pub fn dominant_serial_reason(&self) -> Option<SerialReason> {
+        let (mut best, mut n) = (None, 0u64);
+        for r in SerialReason::ALL {
+            let c = self.serial_reasons[r.index()];
+            if c > n {
+                best = Some(r);
+                n = c;
+            }
+        }
+        best
+    }
+
+    /// Total host wall-ns attributed to engine phases.
+    pub fn phase_total_ns(&self) -> u64 {
+        self.phase_ns.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+}
+
+/// Upper bound on retained host spans: enough for every window of a quick
+/// run; long runs drop the tail and count the drops.
+pub(crate) const HOST_SPAN_CAP: usize = 20_000;
+
+/// Live profiling state carried by `System` while a run executes
+/// (`None` ⇔ `engine_prof` off, in which case nothing below exists).
+pub(crate) struct EngineProfState {
+    /// Wall origin for host spans: span times are `base.elapsed()`.
+    pub(crate) base: Instant,
+    /// Phase wall-clock accumulator (always enabled here).
+    pub(crate) prof: EngineProf,
+    pub(crate) serial_reasons: [u64; SerialReason::COUNT],
+    pub(crate) windows: u64,
+    pub(crate) serial_windows: u64,
+    pub(crate) serial_steps: u64,
+    pub(crate) window_width_ns: u64,
+    pub(crate) window_events: u64,
+    pub(crate) par_events: u64,
+    pub(crate) lane_events: Vec<u64>,
+    pub(crate) lane_busy_ns: Vec<u64>,
+    /// Host-execution spans for the Chrome trace sink: track 0 holds
+    /// window spans, track `lane + 1` that lane's parallel-surface spans.
+    pub(crate) spans: Vec<Span>,
+    pub(crate) spans_dropped: u64,
+}
+
+impl EngineProfState {
+    pub(crate) fn new(lanes: usize) -> EngineProfState {
+        EngineProfState {
+            base: Instant::now(),
+            prof: EngineProf::new(true),
+            serial_reasons: [0; SerialReason::COUNT],
+            windows: 0,
+            serial_windows: 0,
+            serial_steps: 0,
+            window_width_ns: 0,
+            window_events: 0,
+            par_events: 0,
+            lane_events: vec![0; lanes],
+            lane_busy_ns: vec![0; lanes],
+            spans: Vec::new(),
+            spans_dropped: 0,
+        }
+    }
+
+    /// Nanoseconds of host wall since the profiling origin.
+    pub(crate) fn wall_ns(&self) -> u64 {
+        self.base.elapsed().as_nanos() as u64
+    }
+
+    /// Charges one serial fallback (a step or a window) to `reason`.
+    pub(crate) fn count_serial(&mut self, reason: SerialReason) {
+        self.serial_reasons[reason.index()] += 1;
+    }
+
+    /// Retains a host span, or counts it dropped past the cap.
+    pub(crate) fn push_span(&mut self, span: Span) {
+        if self.spans.len() < HOST_SPAN_CAP {
+            self.spans.push(span);
+        } else {
+            self.spans_dropped += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reason_ordinals_and_names_are_stable() {
+        for (i, r) in SerialReason::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        let names: Vec<_> = SerialReason::ALL.iter().map(|r| r.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "checkpoint_phase",
+                "live_fault",
+                "pending_trace",
+                "log_near_trigger",
+                "global_event_leads",
+                "batch_too_small",
+            ]
+        );
+    }
+
+    #[test]
+    fn derived_report_metrics() {
+        let mut r = EngineReport {
+            windows: 10,
+            par_windows: 4,
+            lane_busy_ns: vec![100, 0, 300, 200],
+            ..EngineReport::default()
+        };
+        assert!((r.par_window_frac() - 0.4).abs() < 1e-12);
+        // Lanes that did work: 100, 300, 200 → mean 200, max 300.
+        assert!((r.lane_skew() - 1.5).abs() < 1e-12);
+        assert_eq!(r.dominant_serial_reason(), None);
+        r.serial_reasons[SerialReason::BatchTooSmall.index()] = 3;
+        r.serial_reasons[SerialReason::CheckpointPhase.index()] = 3;
+        // Tie breaks toward the higher-priority reason.
+        assert_eq!(
+            r.dominant_serial_reason(),
+            Some(SerialReason::CheckpointPhase)
+        );
+        r.serial_reasons[SerialReason::GlobalEventLeads.index()] = 9;
+        assert_eq!(
+            r.dominant_serial_reason(),
+            Some(SerialReason::GlobalEventLeads)
+        );
+    }
+
+    #[test]
+    fn span_cap_counts_drops() {
+        let mut st = EngineProfState::new(2);
+        for i in 0..(HOST_SPAN_CAP + 5) {
+            st.push_span(Span {
+                name: String::new(),
+                cat: "engine",
+                start: revive_sim::Ns(i as u64),
+                end: revive_sim::Ns(i as u64 + 1),
+                track: 0,
+            });
+        }
+        assert_eq!(st.spans.len(), HOST_SPAN_CAP);
+        assert_eq!(st.spans_dropped, 5);
+    }
+}

@@ -38,6 +38,7 @@ use revive_mem::main_memory::NodeMemory;
 use revive_net::fabric::Fabric;
 use revive_net::topology::{Direction, LinkId, Torus};
 use revive_sim::engine::EventQueue;
+use revive_sim::prof::{EnginePhase, PhaseTimer};
 use revive_sim::resource::Resource;
 use revive_sim::time::Ns;
 use revive_sim::trace::{CkptPhaseEvent, Span, TraceBuffer, TraceEvent};
@@ -46,6 +47,7 @@ use revive_workloads::Workload;
 
 use crate::config::{ExperimentConfig, MachineError};
 use crate::differential::AuditReport;
+use crate::engine_prof::{EngineProfState, SerialReason};
 use crate::metrics::{Metrics, TrafficClass};
 use crate::page_table::PageTable;
 use crate::runner::CommitPoint;
@@ -478,10 +480,14 @@ pub struct System {
     /// the flush phase while the runner drains the detection window; an
     /// empty queue then is expected, not a deadlock.
     pub(crate) suppress_deadlock_panic: bool,
-    /// Windows the sharded engine executed on worker threads (execution
-    /// diagnostics only — never rendered into artifacts, where it would
-    /// break cross-thread-count byte identity).
+    /// Windows the sharded engine executed on worker threads. Execution
+    /// diagnostics: rendered only into the artifact's host-dependent
+    /// `engine` section (with `--engine-prof`), never into sim-side
+    /// sections, where it would break cross-thread-count byte identity.
     pub(crate) par_windows: u64,
+    /// Host-side engine self-profiling (DESIGN.md §15); `None` ⇔
+    /// `cfg.engine_prof` off, in which case no host clock is ever read.
+    pub(crate) eprof: Option<Box<EngineProfState>>,
     /// A live fabric fault to fire at the injection point instead of
     /// freezing the machine (see [`LiveFault`]).
     pub(crate) pending_live: Option<LiveFault>,
@@ -676,6 +682,9 @@ impl System {
             inject_time: None,
             suppress_deadlock_panic: false,
             par_windows: 0,
+            eprof: cfg
+                .engine_prof
+                .then(|| Box::new(EngineProfState::new(nodes))),
             pending_live: None,
             live_mode: false,
             strikes: HashMap::new(),
@@ -1039,6 +1048,56 @@ impl System {
     /// Fewest directory events in a window worth spawning workers for.
     const PAR_MIN_EVENTS: usize = 8;
 
+    /// Starts an engine-phase timer; empty (records nothing, reads no
+    /// clock) when profiling is off.
+    #[inline]
+    fn prof_begin(&self) -> PhaseTimer {
+        match &self.eprof {
+            Some(e) => e.prof.begin(),
+            None => PhaseTimer::off(),
+        }
+    }
+
+    /// Ends an engine-phase timer against the accumulator.
+    #[inline]
+    fn prof_end(&mut self, phase: EnginePhase, timer: PhaseTimer) {
+        if let Some(e) = self.eprof.as_mut() {
+            e.prof.end(phase, timer);
+        }
+    }
+
+    /// Charges one serial fallback — a single step (`step = true`) or a
+    /// whole serial window — to `reason`.
+    #[inline]
+    fn prof_serial(&mut self, reason: SerialReason, step: bool) {
+        if let Some(e) = self.eprof.as_mut() {
+            e.count_serial(reason);
+            if step {
+                e.serial_steps += 1;
+            } else {
+                e.serial_windows += 1;
+            }
+        }
+    }
+
+    /// The [`SerialReason`] behind a `must_run_serial()` state, picked in
+    /// the priority order the enum documents. Only called when
+    /// [`System::must_run_serial`] is true.
+    fn serial_reason(&self) -> SerialReason {
+        if self.ck_phase != CkPhase::Running || self.early_pending {
+            SerialReason::CheckpointPhase
+        } else if self.live_mode || self.pending_live.is_some() || !self.fabric.fault().is_clean() {
+            SerialReason::LiveFault
+        } else {
+            SerialReason::PendingTrace
+        }
+    }
+
+    /// Lifetime scheduling counters of the central event queue.
+    pub fn queue_stats(&self) -> revive_sim::QueueStats {
+        self.queue.stats()
+    }
+
     /// True while any state forces fully serial stepping: checkpoint
     /// orchestration in flight, live fabric faults (or one armed), a
     /// pending early checkpoint, or the `REVIVE_TRACE_LINE` debug tap
@@ -1085,16 +1144,23 @@ impl System {
         let cross = self.fabric.min_cross_latency();
         while !self.halted {
             if self.must_run_serial() {
+                if self.eprof.is_some() {
+                    let reason = self.serial_reason();
+                    self.prof_serial(reason, true);
+                }
                 if !self.step_one(deadline) {
                     return;
                 }
                 continue;
             }
+            let timer = self.prof_begin();
             let Some(t0) = self.queue.peek_time() else {
+                self.prof_end(EnginePhase::Schedule, timer);
                 self.check_drained();
                 return;
             };
             if t0 >= deadline {
+                self.prof_end(EnginePhase::Schedule, timer);
                 return;
             }
             let span = Ns(t0.0.saturating_add(cross.0)).min(deadline);
@@ -1124,12 +1190,19 @@ impl System {
                 let (t, seq, ev) = batch.pop_back().expect("len > keep");
                 self.queue.schedule_preseq(t, seq, ev);
             }
+            self.prof_end(EnginePhase::Schedule, timer);
             if keep == 0 {
                 // A global event leads: step it through the serial path.
+                self.prof_serial(SerialReason::GlobalEventLeads, true);
                 if !self.step_one(deadline) {
                     return;
                 }
                 continue;
+            }
+            if let Some(e) = self.eprof.as_mut() {
+                e.windows += 1;
+                e.window_width_ns += end.0.saturating_sub(t0.0);
+                e.window_events += batch.len() as u64;
             }
             self.run_window(batch);
         }
@@ -1161,9 +1234,23 @@ impl System {
                 .all(|&l| self.lane_log_far_from_trigger(l, per_lane[l] as usize));
         if qualifies {
             self.par_windows += 1;
+            if let Some(e) = self.eprof.as_mut() {
+                e.par_events += dir_events as u64;
+            }
             self.run_window_parallel(batch, &lanes, workers, dir_events);
         } else {
+            // Attribution mirrors the qualification test: enough spread but
+            // a lane too close to its log trigger, or simply too little
+            // work to be worth spawning for.
+            let reason = if workers >= 2 && dir_events >= Self::PAR_MIN_EVENTS {
+                SerialReason::LogNearTrigger
+            } else {
+                SerialReason::BatchTooSmall
+            };
+            self.prof_serial(reason, false);
+            let timer = self.prof_begin();
             self.run_window_serial(batch);
+            self.prof_end(EnginePhase::SerialReplay, timer);
         }
     }
 
@@ -1281,6 +1368,8 @@ impl System {
 
         let mut effects: Vec<Option<DirEffect>> = Vec::new();
         effects.resize_with(dir_events, || None);
+        let win_start = self.eprof.as_ref().map(|e| e.wall_ns());
+        let surface_timer = self.prof_begin();
         {
             let map = self.map;
             let parity = self.parity;
@@ -1288,15 +1377,20 @@ impl System {
             let trace_on = self.tracer.is_enabled();
             let metrics = &mut self.metrics;
             let effects = &mut effects;
-            // Hand each worker a disjoint set of (node, work list) pairs.
-            let mut groups: Vec<Vec<(&mut Node, Vec<DirItem>)>> =
+            // Wall origin for per-lane host spans (None ⇔ profiling off,
+            // in which case workers read no clock).
+            let wall_base = self.eprof.as_ref().map(|e| e.base);
+            let mut eprof = self.eprof.as_deref_mut();
+            // Hand each worker a disjoint set of (lane, node, work list)
+            // triples.
+            let mut groups: Vec<Vec<(usize, &mut Node, Vec<DirItem>)>> =
                 (0..workers).map(|_| Vec::new()).collect();
             let mut rest: &mut [Node] = &mut self.nodes;
             let mut base = 0usize;
             for (i, &lane) in lanes.iter().enumerate() {
                 let (_, tail) = rest.split_at_mut(lane - base);
                 let (one, tail) = tail.split_at_mut(1);
-                groups[i % workers].push((&mut one[0], std::mem::take(&mut items[lane])));
+                groups[i % workers].push((lane, &mut one[0], std::mem::take(&mut items[lane])));
                 rest = tail;
                 base = lane + 1;
             }
@@ -1307,8 +1401,10 @@ impl System {
                         s.spawn(move || {
                             let mut scratch = Metrics::default();
                             let mut done: Vec<(usize, DirEffect)> =
-                                Vec::with_capacity(group.iter().map(|(_, l)| l.len()).sum());
-                            for (node, list) in group {
+                                Vec::with_capacity(group.iter().map(|(_, _, l)| l.len()).sum());
+                            let mut lane_spans: Vec<(u32, u64, u64)> = Vec::new();
+                            for (lane, node, list) in group {
+                                let s0 = wall_base.map(|b| b.elapsed().as_nanos() as u64);
                                 for item in list {
                                     done.push(run_dir_item(
                                         node,
@@ -1320,13 +1416,17 @@ impl System {
                                         trace_on,
                                     ));
                                 }
+                                if let (Some(s0), Some(b)) = (s0, wall_base) {
+                                    let s1 = b.elapsed().as_nanos() as u64;
+                                    lane_spans.push((lane as u32 + 1, s0, s1));
+                                }
                             }
-                            (done, scratch)
+                            (done, scratch, lane_spans)
                         })
                     })
                     .collect();
                 for h in handles {
-                    let (done, scratch) = h.join().expect("sharded worker panicked");
+                    let (done, scratch, lane_spans) = h.join().expect("sharded worker panicked");
                     // Scratch metrics are pure sums and bucket counts, so
                     // absorbing them lane-by-lane equals serial interleaved
                     // recording byte-for-byte.
@@ -1334,12 +1434,26 @@ impl System {
                     for (i, eff) in done {
                         effects[i] = Some(eff);
                     }
+                    if let Some(e) = eprof.as_deref_mut() {
+                        for (track, s0, s1) in lane_spans {
+                            e.push_span(Span {
+                                name: format!("lane {}", track - 1),
+                                cat: "engine",
+                                start: Ns(s0),
+                                end: Ns(s1),
+                                track,
+                            });
+                        }
+                    }
                 }
             });
         }
+        self.prof_end(EnginePhase::ParallelSurface, surface_timer);
 
         // Serial apply: every deferred effect in global `(time, seq)` order,
         // interleaved with anything the effects themselves schedule.
+        let n_events = plan.len();
+        let apply_timer = self.prof_begin();
         for (t, seq, slot) in plan {
             while self.queue.peek_time_seq().is_some_and(|k| k < (t, seq)) {
                 let (t2, ev2) = self.queue.pop().expect("peeked non-empty");
@@ -1355,6 +1469,18 @@ impl System {
             }
             debug_assert!(!self.halted, "halt inside a parallel window");
         }
+        self.prof_end(EnginePhase::EffectApply, apply_timer);
+        if let Some(e) = self.eprof.as_mut() {
+            let s0 = win_start.expect("set when profiling is on");
+            let s1 = e.wall_ns();
+            e.push_span(Span {
+                name: format!("window ({n_events} ev)"),
+                cat: "engine",
+                start: Ns(s0),
+                end: Ns(s1),
+                track: 0,
+            });
+        }
     }
 
     /// Replays the deferred outputs of one speculated directory event:
@@ -1362,6 +1488,18 @@ impl System {
     /// early-checkpoint probe — exactly the tail of `dir_in` /
     /// `apply_parity`.
     fn apply_dir_effect(&mut self, t: Ns, eff: DirEffect) {
+        if let Some(e) = self.eprof.as_mut() {
+            // Lane load: one event, busy until the effect's settle time.
+            let (dst, busy) = match &eff {
+                DirEffect::Dir { dst, t_done, .. } => (*dst, t_done.0.saturating_sub(t.0)),
+                DirEffect::Par { dst, ack, .. } => (
+                    *dst,
+                    ack.as_ref().map_or(0, |(at, _)| at.0.saturating_sub(t.0)),
+                ),
+            };
+            e.lane_events[dst.index()] += 1;
+            e.lane_busy_ns[dst.index()] += busy;
+        }
         match eff {
             DirEffect::Dir {
                 dst,

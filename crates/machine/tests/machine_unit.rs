@@ -149,6 +149,7 @@ fn paper_machine_config_builds_and_runs() {
         obs: revive_machine::ObsConfig::off(),
         detection_fraction: ExperimentConfig::DEFAULT_DETECTION_FRACTION,
         sim_threads: 1,
+        engine_prof: false,
     };
     cfg.revive.log_fraction = 0.1;
     let r = Runner::new(cfg).unwrap().run().unwrap();

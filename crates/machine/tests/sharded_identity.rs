@@ -54,3 +54,71 @@ fn sharded_identity_holds_under_mirroring_and_checkpoints() {
     assert_eq!(serial, sharded);
     assert!(par_n > 0, "mirroring run never went parallel");
 }
+
+/// The artifact with its single host-dependent line removed: the `engine`
+/// section is rendered as one line precisely so the sim-side identity can
+/// be asserted with a line filter (DESIGN.md §15).
+fn strip_engine(artifact: &str) -> String {
+    artifact
+        .lines()
+        .filter(|l| !l.starts_with("\"engine\":"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn engine_prof_leaves_sim_side_bytes_untouched() {
+    let cfg = base_config(AppId::Fft, 60_000);
+    for threads in [1, 4] {
+        let (plain, _) = artifact(cfg, threads);
+        let mut prof_cfg = cfg;
+        prof_cfg.engine_prof = true;
+        let (profiled, _) = artifact(prof_cfg, threads);
+        assert!(
+            !plain.contains("\"engine\":"),
+            "prof-off artifact must have no engine section"
+        );
+        assert!(
+            profiled.contains("\"engine\":"),
+            "prof-on artifact must carry the engine section"
+        );
+        // Removing the one documented host-dependent line must recover the
+        // unprofiled artifact exactly — profiling observes the engine, it
+        // never perturbs the simulation.
+        assert_eq!(
+            strip_engine(&profiled),
+            strip_engine(&plain),
+            "profiling changed sim-side artifact bytes at sim_threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn engine_sections_differ_only_where_documented_across_thread_counts() {
+    let mut cfg = base_config(AppId::Fft, 60_000);
+    cfg.engine_prof = true;
+    let (serial, par1) = artifact(cfg, 1);
+    let (sharded, par4) = artifact(cfg, 4);
+    // Sim-side bytes: identical across thread counts even with profiling on.
+    assert_eq!(
+        strip_engine(&serial),
+        strip_engine(&sharded),
+        "sim-side artifact diverged across thread counts with profiling on"
+    );
+    // The engine sections themselves legitimately differ: the serial engine
+    // never surfaces a window, the sharded one must.
+    assert_eq!(par1, 0);
+    assert!(par4 > 0);
+    let engine_line = |a: &str| {
+        a.lines()
+            .find(|l| l.starts_with("\"engine\":"))
+            .expect("engine section present")
+            .to_string()
+    };
+    let (e1, e4) = (engine_line(&serial), engine_line(&sharded));
+    assert_ne!(e1, e4);
+    assert!(e1.contains("\"sim_threads\":1,"));
+    assert!(e4.contains("\"sim_threads\":4,"));
+    assert!(e1.contains("\"par_windows\":0,"));
+    assert!(!e4.contains("\"par_windows\":0,"));
+}

@@ -208,12 +208,7 @@ impl Cache {
     #[inline]
     fn find(&self, line: LineAddr) -> Option<usize> {
         let base = self.set_base(line);
-        for i in base..base + self.ways {
-            if self.tags[i] == line.0 && self.states[i].is_valid() {
-                return Some(i);
-            }
-        }
-        None
+        (base..base + self.ways).find(|&i| self.tags[i] == line.0 && self.states[i].is_valid())
     }
 
     /// The line's current state ([`LineState::Invalid`] if absent). Does not

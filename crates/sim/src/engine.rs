@@ -82,6 +82,25 @@ struct Bucket<E> {
     items: VecDeque<(u64, E)>,
 }
 
+/// Lifetime scheduling counters for one [`EventQueue`] (DESIGN.md §15).
+///
+/// These are plain integer increments on paths that already touch the same
+/// cache lines, so they are maintained unconditionally — the engine-prof
+/// flag only controls whether anything *reads* them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events scheduled into the ring calendar (the near window).
+    pub near_scheduled: u64,
+    /// Events scheduled into the far heap, including every
+    /// [`EventQueue::schedule_preseq`] push-back.
+    pub far_scheduled: u64,
+    /// Pops served from the far heap rather than the ring — the
+    /// near/far migration traffic the calendar layout is meant to keep rare.
+    pub far_pops: u64,
+    /// High-water mark of pending events.
+    pub peak_len: u64,
+}
+
 /// A deterministic time-ordered event queue.
 ///
 /// Events scheduled for the same time are delivered in the order they were
@@ -117,6 +136,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: Ns,
     popped: u64,
+    stats: QueueStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -142,7 +162,19 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: Ns::ZERO,
             popped: 0,
+            stats: QueueStats::default(),
         }
+    }
+
+    /// Lifetime scheduling counters (see [`QueueStats`]).
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Number of currently non-empty ring buckets — an instantaneous
+    /// occupancy snapshot of the calendar window.
+    pub fn ring_occupancy(&self) -> u64 {
+        self.occ.iter().map(|w| w.count_ones() as u64).sum()
     }
 
     /// The time of the most recently popped event (the simulation clock).
@@ -190,8 +222,10 @@ impl<E> EventQueue<E> {
 
     fn insert(&mut self, at: Ns, seq: u64, event: E) {
         self.len += 1;
+        self.stats.peak_len = self.stats.peak_len.max(self.len as u64);
         let t = at.0;
         if t >= self.cursor && t - self.cursor < RING as u64 {
+            self.stats.near_scheduled += 1;
             let b = (t & RING_MASK) as usize;
             let bucket = &mut self.ring[b];
             debug_assert!(bucket.items.is_empty() || bucket.time == t);
@@ -199,6 +233,7 @@ impl<E> EventQueue<E> {
             bucket.items.push_back((seq, event));
             self.occ[b >> 6] |= 1 << (b & 63);
         } else {
+            self.stats.far_scheduled += 1;
             self.far.push(Reverse(Entry {
                 time: at,
                 seq: Seq(seq),
@@ -252,6 +287,7 @@ impl<E> EventQueue<E> {
         if take_far {
             let Reverse(e) = self.far.pop().expect("len accounted for a far event");
             debug_assert!(e.time >= self.now);
+            self.stats.far_pops += 1;
             self.cursor = e.time.0;
             Some((e.time, e.seq.0, e.event))
         } else {
@@ -306,6 +342,7 @@ impl<E> EventQueue<E> {
         self.popped += 1;
         if take_far {
             let Reverse(e) = self.far.pop().expect("peeked far");
+            self.stats.far_pops += 1;
             Ok((e.time, e.event))
         } else {
             let (_, _, b) = ring_best.expect("peeked ring");
@@ -436,6 +473,8 @@ impl<E> EventQueue<E> {
             self.now
         );
         self.len += 1;
+        self.stats.peak_len = self.stats.peak_len.max(self.len as u64);
+        self.stats.far_scheduled += 1;
         self.far.push(Reverse(Entry {
             time: at,
             seq: Seq(seq),
@@ -579,6 +618,25 @@ mod tests {
     }
 
     #[test]
+    fn queue_stats_track_near_far_and_peak() {
+        let mut q = EventQueue::new();
+        q.schedule(Ns(1), ());
+        q.schedule(Ns(2), ());
+        q.schedule(Ns(RING as u64 + 500), ()); // far
+        let s = q.stats();
+        assert_eq!(s.near_scheduled, 2);
+        assert_eq!(s.far_scheduled, 1);
+        assert_eq!(s.peak_len, 3);
+        assert_eq!(q.ring_occupancy(), 2);
+        q.pop();
+        q.pop();
+        q.pop(); // served from the far heap
+        assert_eq!(q.stats().far_pops, 1);
+        assert_eq!(q.stats().peak_len, 3);
+        assert_eq!(q.ring_occupancy(), 0);
+    }
+
+    #[test]
     fn preseq_orders_before_later_seqs() {
         let mut q = EventQueue::new();
         let s = q.alloc_seq();
@@ -659,7 +717,7 @@ mod tests {
                     // Schedule: mostly near (ring), sometimes far (heap),
                     // with duplicate times to exercise FIFO ties.
                     0..=4 => {
-                        let spread = if rng(&mut s) % 8 == 0 {
+                        let spread = if rng(&mut s).is_multiple_of(8) {
                             RING as u64 * 3
                         } else {
                             64

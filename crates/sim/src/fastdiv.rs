@@ -61,6 +61,9 @@ impl FastDiv {
     }
 
     /// `x / d`, exactly.
+    // Not `std::ops::Div`: the operand order (divider on the left, dividend
+    // as the argument) would read backwards as an operator.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn div(self, x: u64) -> u64 {
         if self.d == 1 {
@@ -70,6 +73,7 @@ impl FastDiv {
     }
 
     /// `x % d`, exactly.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn rem(self, x: u64) -> u64 {
         if self.d == 1 {

@@ -27,6 +27,7 @@
 pub mod engine;
 pub mod fastdiv;
 pub mod hashing;
+pub mod prof;
 pub mod resource;
 pub mod rng;
 pub mod stats;
@@ -34,7 +35,8 @@ pub mod time;
 pub mod trace;
 pub mod types;
 
-pub use engine::EventQueue;
+pub use engine::{EventQueue, QueueStats};
+pub use prof::{EnginePhase, EngineProf, PhaseTimer};
 pub use resource::{Resource, ResourceBank};
 pub use rng::DetRng;
 pub use time::Ns;

@@ -1,0 +1,194 @@
+//! Host-side engine self-profiling primitives.
+//!
+//! Everything in [`trace`](crate::trace) and [`stats`](crate::stats) watches
+//! the *simulated* machine; this module watches the *simulator*. It provides
+//! the wall-clock accumulator the sharded engine uses to attribute host time
+//! to its execution phases (DESIGN.md §15).
+//!
+//! The contract is **zero cost when disabled**: a disabled [`EngineProf`]
+//! never calls [`Instant::now`] — [`EngineProf::begin`] returns an empty
+//! [`PhaseTimer`] and [`EngineProf::end`] is a branch on `None`. Profiling
+//! must never perturb simulated time, only observe host time, so nothing in
+//! this module feeds back into the event queue or the machine model.
+
+use std::time::Instant;
+
+/// The host-execution phases of one sharded-engine window.
+///
+/// Ordinals are stable: they index [`EngineProf::phase_ns`] and name the
+/// artifact/report fields, so new phases append.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EnginePhase {
+    /// Window assembly: popping the window, computing hazard margins,
+    /// trimming the safe prefix, pushing back the excess.
+    Schedule,
+    /// The scoped-thread parallel surface: directory lanes executing on
+    /// disjoint node shards.
+    ParallelSurface,
+    /// Serial replay of a window that did not qualify for the parallel
+    /// surface, plus the serial fallback steps between windows.
+    SerialReplay,
+    /// Applying `DirEffect`s, sends, and traces in exact global order after
+    /// a parallel surface returns.
+    EffectApply,
+}
+
+impl EnginePhase {
+    /// Number of phases (the length of every per-phase array).
+    pub const COUNT: usize = 4;
+
+    /// All phases in ordinal order.
+    pub const ALL: [EnginePhase; EnginePhase::COUNT] = [
+        EnginePhase::Schedule,
+        EnginePhase::ParallelSurface,
+        EnginePhase::SerialReplay,
+        EnginePhase::EffectApply,
+    ];
+
+    /// Stable ordinal of this phase.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Stable snake_case name used in artifacts and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EnginePhase::Schedule => "schedule",
+            EnginePhase::ParallelSurface => "parallel_surface",
+            EnginePhase::SerialReplay => "serial_replay",
+            EnginePhase::EffectApply => "effect_apply",
+        }
+    }
+}
+
+/// A phase timing in flight: the instant `begin` was called, or `None` when
+/// profiling is disabled. `#[must_use]` because dropping it silently loses
+/// the measurement.
+#[must_use = "pass the timer back to EngineProf::end to record the phase"]
+pub struct PhaseTimer(Option<Instant>);
+
+impl PhaseTimer {
+    /// An empty timer, for callers that may not hold an [`EngineProf`] at
+    /// all: ending it records nothing.
+    pub fn off() -> PhaseTimer {
+        PhaseTimer(None)
+    }
+}
+
+/// Accumulates host wall-clock nanoseconds per engine phase.
+///
+/// ```
+/// use revive_sim::prof::{EngineProf, EnginePhase};
+///
+/// let mut prof = EngineProf::new(true);
+/// let t = prof.begin();
+/// // ... do phase work ...
+/// prof.end(EnginePhase::Schedule, t);
+/// assert!(prof.total_ns() >= prof.phase_ns()[EnginePhase::Schedule.index()]);
+///
+/// let mut off = EngineProf::new(false);
+/// let t = off.begin(); // no Instant::now() call
+/// off.end(EnginePhase::Schedule, t);
+/// assert_eq!(off.total_ns(), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EngineProf {
+    enabled: bool,
+    phase_ns: [u64; EnginePhase::COUNT],
+}
+
+impl EngineProf {
+    /// Creates an accumulator; `enabled = false` makes every call a no-op.
+    pub fn new(enabled: bool) -> EngineProf {
+        EngineProf {
+            enabled,
+            phase_ns: [0; EnginePhase::COUNT],
+        }
+    }
+
+    /// Whether this accumulator records anything.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts timing a phase. When disabled, no clock is read.
+    #[inline]
+    pub fn begin(&self) -> PhaseTimer {
+        PhaseTimer(if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        })
+    }
+
+    /// Stops a timer and charges the elapsed wall time to `phase`.
+    #[inline]
+    pub fn end(&mut self, phase: EnginePhase, timer: PhaseTimer) {
+        if let Some(start) = timer.0 {
+            self.phase_ns[phase.index()] += start.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Charges pre-measured nanoseconds to `phase` (used when a span was
+    /// measured off-thread, e.g. inside a parallel worker).
+    #[inline]
+    pub fn add_ns(&mut self, phase: EnginePhase, ns: u64) {
+        if self.enabled {
+            self.phase_ns[phase.index()] += ns;
+        }
+    }
+
+    /// Accumulated wall nanoseconds per phase, indexed by
+    /// [`EnginePhase::index`].
+    pub fn phase_ns(&self) -> &[u64; EnginePhase::COUNT] {
+        &self.phase_ns
+    }
+
+    /// Sum across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.phase_ns.iter().fold(0u64, |a, &b| a.saturating_add(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_prof_records_nothing() {
+        let mut p = EngineProf::new(false);
+        let t = p.begin();
+        std::thread::yield_now();
+        p.end(EnginePhase::ParallelSurface, t);
+        p.add_ns(EnginePhase::EffectApply, 1_000);
+        assert_eq!(p.total_ns(), 0);
+        assert_eq!(*p.phase_ns(), [0; EnginePhase::COUNT]);
+    }
+
+    #[test]
+    fn enabled_prof_accumulates_per_phase() {
+        let mut p = EngineProf::new(true);
+        let t = p.begin();
+        p.end(EnginePhase::Schedule, t);
+        p.add_ns(EnginePhase::EffectApply, 42);
+        assert_eq!(p.phase_ns()[EnginePhase::EffectApply.index()], 42);
+        assert!(p.total_ns() >= 42);
+    }
+
+    #[test]
+    fn phase_ordinals_and_names_are_stable() {
+        for (i, ph) in EnginePhase::ALL.iter().enumerate() {
+            assert_eq!(ph.index(), i);
+        }
+        let names: Vec<_> = EnginePhase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "schedule",
+                "parallel_surface",
+                "serial_replay",
+                "effect_apply"
+            ]
+        );
+    }
+}
