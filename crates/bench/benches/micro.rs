@@ -21,6 +21,7 @@ use revive_core::dirext::ReviveHook;
 use revive_core::lbits::LBits;
 use revive_core::log::MemLog;
 use revive_core::parity::ParityMap;
+use revive_core::Redundancy;
 use revive_mem::addr::{AddressMap, LineAddr, LINES_PER_PAGE, PAGE_SIZE};
 use revive_mem::cache::{Cache, CacheConfig, LineState};
 use revive_mem::line::LineData;
@@ -132,7 +133,11 @@ fn bench_hook_write_intent() {
     let log_page = map.global_page(NodeId(0), 3);
     bench("revive/write_intent_unlogged", 24, || {
         let log = MemLog::new(NodeId(0), log_page.lines().collect());
-        let mut hook = ReviveHook::new(parity, log, LBits::full(map.lines_per_node()));
+        let mut hook = ReviveHook::new(
+            Redundancy::Xor(parity),
+            log,
+            LBits::full(map.lines_per_node()),
+        );
         let mut port = VecPort::new(LineAddr(0), 4 * LINES_PER_PAGE);
         for i in 0..24u64 {
             let line = LineAddr(LINES_PER_PAGE as u64 + i);

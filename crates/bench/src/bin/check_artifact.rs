@@ -1,9 +1,14 @@
-//! Validates run-artifact JSON files (`simulate --json` output, bench
-//! emissions under `results/artifacts/`) against the `revive-run-artifact`
-//! schema. Prints one line per file and exits nonzero on the first invalid
-//! one — CI's smoke step pipes `simulate --json` output through this.
+//! Validates artifact JSON files (`simulate --json` output, bench
+//! emissions under `results/artifacts/`) against their schema — the
+//! per-run `revive-run-artifact` schema or the `revive-frontier`
+//! cost/availability document, dispatched on the file's `schema` tag.
+//! Prints one line per file and exits nonzero on the first invalid one —
+//! CI's smoke steps pipe `simulate --json` and `frontier` output through
+//! this.
 
-use revive_machine::validate_artifact;
+use revive_machine::{
+    parse_json, validate_artifact, validate_frontier_artifact, Json, FRONTIER_SCHEMA,
+};
 
 fn main() {
     let paths: Vec<String> = std::env::args().skip(1).collect();
@@ -17,7 +22,15 @@ fn main() {
             eprintln!("{path}: read failed: {e}");
             std::process::exit(1);
         });
-        if let Err(e) = validate_artifact(&text) {
+        let schema = parse_json(&text)
+            .ok()
+            .and_then(|doc| doc.get("schema").and_then(Json::as_str).map(String::from));
+        let verdict = if schema.as_deref() == Some(FRONTIER_SCHEMA) {
+            validate_frontier_artifact(&text)
+        } else {
+            validate_artifact(&text)
+        };
+        if let Err(e) = verdict {
             eprintln!("{path}: INVALID: {e}");
             std::process::exit(1);
         }

@@ -1,0 +1,393 @@
+//! Cost/availability frontier across the redundancy backends.
+//!
+//! ```text
+//! frontier [--seeds N] [--quick] [--jobs N]
+//! ```
+//!
+//! For every backend × machine shape (XOR parity, RAID-6-style double
+//! parity, and k-replication on the 4-node/one-chunk and 9-node/
+//! three-chunk machines) the sweep measures both coordinates of the
+//! trade-off the backends span:
+//!
+//! * **Cost** — one clean run per point: storage overhead (from the
+//!   address map), redundancy-update network traffic and memory accesses
+//!   (the PAR class of Figures 9/10), checkpoint count and commit
+//!   latency, and total run time.
+//! * **Availability** — a live-fault campaign slice per point: `N` seeds
+//!   (default 12) of mid-run node death, multi-node death, and link loss,
+//!   re-run under the point's backend, tallied into recovered /
+//!   unrecoverable / not-fired and an availability figure at one error
+//!   per day. The same seeds run against every point, so differences
+//!   between rows are purely the backend's loss budget at work.
+//!
+//! The sweep emits one self-validated `revive-frontier` JSON document
+//! (schema checked by `validate_frontier_artifact` — the CI smoke job
+//! replays the same check) plus a per-run artifact for each clean run.
+//! Any scenario that panics or fails its oracle is a frontier FAILURE and
+//! the exit code is nonzero.
+
+use revive_bench::{banner, Opts, Table};
+use revive_core::{nines, OutcomeTally};
+use revive_harness::{run_jobs, Args, Job, Progress};
+use revive_machine::campaign::{generate, run_scenario, BackendChoice, CampaignConfig, Scenario};
+use revive_machine::{
+    validate_frontier_artifact, Runner, ScenarioOutcome, ScenarioReport, TrafficClass,
+    ARTIFACT_VERSION, FRONTIER_SCHEMA,
+};
+use revive_sim::Ns;
+use revive_workloads::SyntheticKind;
+
+/// One error per day: the paper's §6.3 availability framing.
+const HORIZON: Ns = Ns::from_secs(86_400);
+
+struct FrontierArgs {
+    seeds: u64,
+    opts: Opts,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: frontier [--seeds N] [--quick] [--jobs N]");
+    std::process::exit(2)
+}
+
+fn parse_args(args: &Args) -> FrontierArgs {
+    let opts = Opts::from_args(args);
+    let mut a = FrontierArgs {
+        seeds: if opts.quick { 6 } else { 12 },
+        opts,
+    };
+    let mut it = args.rest.iter();
+    while let Some(flag) = it.next() {
+        let (name, inline) = match flag.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (flag.as_str(), None),
+        };
+        let mut value = || {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .unwrap_or_else(|| usage())
+        };
+        match name {
+            "--seeds" => a.seeds = value().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+    if a.seeds == 0 {
+        usage()
+    }
+    a
+}
+
+/// One backend × shape bucket of the sweep.
+#[derive(Clone, Copy)]
+struct Point {
+    backend: BackendChoice,
+    nodes: usize,
+    group_data_pages: usize,
+}
+
+impl Point {
+    /// The campaign's two machine shapes (one chunk spanning the machine,
+    /// and three independent chunks) under every backend.
+    fn all() -> Vec<Point> {
+        let mut points = Vec::new();
+        for backend in BackendChoice::ALL {
+            for (nodes, group_data_pages) in [(4usize, 3usize), (9, 2)] {
+                points.push(Point {
+                    backend,
+                    nodes,
+                    group_data_pages,
+                });
+            }
+        }
+        points
+    }
+
+    fn scenario(
+        &self,
+        seed: u64,
+        ops_per_cpu: u64,
+        faults: Vec<revive_machine::campaign::FaultSpec>,
+    ) -> Scenario {
+        Scenario {
+            seed,
+            app: SyntheticKind::WsExceedsL2,
+            nodes: self.nodes,
+            group_data_pages: self.group_data_pages,
+            backend: self.backend,
+            ops_per_cpu,
+            faults,
+        }
+    }
+
+    fn label(&self) -> String {
+        format!(
+            "{}_{}n{}",
+            self.backend.name(),
+            self.nodes,
+            self.group_data_pages
+        )
+    }
+
+    fn shape(&self) -> String {
+        format!("{}n/g{}", self.nodes, self.group_data_pages)
+    }
+}
+
+/// The first `count` campaign seeds whose generated scenario lands on
+/// `nodes` (fault node ids are only valid for the shape they were drawn
+/// against, so the slice filters by shape instead of overriding it).
+/// Deterministic: every point at the same node count replays the exact
+/// same faults, differing only in backend.
+fn seeds_for_shape(nodes: usize, count: u64, gen_cfg: &CampaignConfig) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut seed = 0u64;
+    while (out.len() as u64) < count {
+        if generate(seed, gen_cfg).nodes == nodes {
+            out.push(seed);
+        }
+        seed += 1;
+    }
+    out
+}
+
+/// Cost coordinates from one clean (fault-free) run.
+struct CleanCost {
+    sim_time: Ns,
+    checkpoints: u64,
+    ckpt_mean: Ns,
+    ckpt_max: Ns,
+    rdx_net_bytes: u64,
+    rdx_net_msgs: u64,
+    rdx_mem_accesses: u64,
+}
+
+fn clean_cost(point: &Point, ops_per_cpu: u64) -> CleanCost {
+    let sc = point.scenario(0, ops_per_cpu, Vec::new());
+    let cfg = sc.experiment();
+    let label = format!("clean_{}", point.label());
+    let result = Runner::new(cfg)
+        .unwrap_or_else(|e| panic!("bad frontier config ({label}): {e}"))
+        .run()
+        .unwrap_or_else(|e| panic!("clean run failed ({label}): {e}"));
+    revive_bench::artifacts::emit(&label, &cfg, &result);
+    let par = TrafficClass::Par.index();
+    CleanCost {
+        sim_time: result.sim_time,
+        checkpoints: result.checkpoints,
+        ckpt_mean: result.ckpt.mean_duration(),
+        ckpt_max: result.ckpt.max_duration(),
+        rdx_net_bytes: result.metrics.traffic.net_bytes[par],
+        rdx_net_msgs: result.metrics.traffic.net_msgs[par],
+        rdx_mem_accesses: result.metrics.traffic.mem_accesses[par],
+    }
+}
+
+/// The aggregated frontier row for one point.
+struct Row {
+    point: Point,
+    clean: CleanCost,
+    tally: OutcomeTally,
+    failures: Vec<ScenarioReport>,
+}
+
+fn render_frontier(seeds_per_point: u64, rows: &[Row]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{FRONTIER_SCHEMA}\",\n"));
+    s.push_str(&format!("  \"version\": {ARTIFACT_VERSION},\n"));
+    s.push_str(&format!("  \"seeds_per_point\": {seeds_per_point},\n"));
+    s.push_str("  \"points\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let mode = row.point.scenario(0, 1, Vec::new()).mode();
+        let t = &row.tally;
+        let mean_unavailable = t.unavailable_total.0.checked_div(t.recovered).unwrap_or(0);
+        s.push_str("    {\n");
+        s.push_str(&format!(
+            "      \"backend\": \"{}\", \"mode\": \"{}\", \"nodes\": {}, \
+             \"group_data_pages\": {},\n",
+            row.point.backend.name(),
+            mode.name(),
+            row.point.nodes,
+            row.point.group_data_pages
+        ));
+        s.push_str(&format!(
+            "      \"budget\": {}, \"storage_overhead\": {},\n",
+            mode.loss_budget(),
+            mode.storage_overhead()
+        ));
+        s.push_str(&format!(
+            "      \"clean\": {{\"sim_time_ns\": {}, \"checkpoints\": {}, \
+             \"ckpt_mean_ns\": {}, \"ckpt_max_ns\": {}, \"rdx_net_bytes\": {}, \
+             \"rdx_net_msgs\": {}, \"rdx_mem_accesses\": {}}},\n",
+            row.clean.sim_time.0,
+            row.clean.checkpoints,
+            row.clean.ckpt_mean.0,
+            row.clean.ckpt_max.0,
+            row.clean.rdx_net_bytes,
+            row.clean.rdx_net_msgs,
+            row.clean.rdx_mem_accesses
+        ));
+        s.push_str(&format!(
+            "      \"faults\": {{\"scenarios\": {}, \"recovered\": {}, \
+             \"unrecoverable\": {}, \"not_fired\": {}, \"availability\": {}, \
+             \"unavailable_mean_ns\": {}}}\n",
+            t.scenarios(),
+            t.recovered,
+            t.unrecoverable,
+            t.not_fired,
+            t.availability(HORIZON),
+            mean_unavailable
+        ));
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args = Args::parse();
+    let a = parse_args(&args);
+    revive_bench::artifacts::init("frontier");
+    banner(
+        "Redundancy cost/availability frontier",
+        "ReVive (ISCA 2002) §6.2/§6.3 — what each extra survivable loss costs",
+        a.opts,
+    );
+
+    let campaign_ops: u64 = if a.opts.quick { 10_000 } else { 20_000 };
+    let clean_ops: u64 = if a.opts.quick { 20_000 } else { 40_000 };
+    let gen_cfg = CampaignConfig {
+        ops_per_cpu: campaign_ops,
+        live_only: true,
+        ..CampaignConfig::default()
+    };
+    let points = Point::all();
+    println!(
+        "{} points ({} backends x 2 shapes), {} live-fault seeds per point\n",
+        points.len(),
+        BackendChoice::ALL.len(),
+        a.seeds
+    );
+
+    // One job per point: the clean cost run plus the live campaign slice.
+    // The same shape-filtered seeds replay under every backend, so rows
+    // differ only by what the backend could absorb.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let gen_cfg = &gen_cfg;
+    let progress = Progress::new(points.len());
+    let progress = &progress;
+    let jobs: Vec<Job<Row, _>> = points
+        .iter()
+        .map(|&point| {
+            let label = point.label();
+            let seeds = seeds_for_shape(point.nodes, a.seeds, gen_cfg);
+            Job::new(label.clone(), move || {
+                let clean = clean_cost(&point, clean_ops);
+                let mut tally = OutcomeTally::default();
+                let mut failures = Vec::new();
+                for &seed in &seeds {
+                    let sc = point.scenario(seed, campaign_ops, generate(seed, gen_cfg).faults);
+                    let report = run_scenario(&sc);
+                    match &report.outcome {
+                        ScenarioOutcome::Recovered { unavailable, .. } => {
+                            tally.record_recovered(*unavailable)
+                        }
+                        ScenarioOutcome::Unrecoverable { .. } => tally.record_unrecoverable(),
+                        ScenarioOutcome::NotFired => tally.record_not_fired(),
+                        ScenarioOutcome::BadConfig { .. } | ScenarioOutcome::Panicked { .. } => {}
+                    }
+                    if report.is_failure() {
+                        failures.push(report);
+                    }
+                }
+                progress.finish(&label, false);
+                Ok(Row {
+                    point,
+                    clean,
+                    tally,
+                    failures,
+                })
+            })
+        })
+        .collect();
+    let workers = args.workers(points.len());
+    let rows: Vec<Row> = run_jobs(jobs, workers)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect();
+    std::panic::set_hook(default_hook);
+
+    let mut table = Table::new([
+        "backend",
+        "shape",
+        "budget",
+        "overhead",
+        "rdx MB",
+        "ckpt mean",
+        "recovered",
+        "unrec",
+        "not fired",
+        "nines",
+    ]);
+    for row in &rows {
+        let mode = row.point.scenario(0, 1, Vec::new()).mode();
+        let avail = row.tally.availability(HORIZON);
+        table.row([
+            row.point.backend.name().to_string(),
+            row.point.shape(),
+            mode.loss_budget().to_string(),
+            format!("{:.2}", mode.storage_overhead()),
+            format!("{:.2}", row.clean.rdx_net_bytes as f64 / 1e6),
+            format!("{}", row.clean.ckpt_mean),
+            row.tally.recovered.to_string(),
+            row.tally.unrecoverable.to_string(),
+            row.tally.not_fired.to_string(),
+            format!("{:.1}", nines(avail)),
+        ]);
+    }
+    table.print();
+
+    let doc = render_frontier(a.seeds, &rows);
+    if let Err(e) = validate_frontier_artifact(&doc) {
+        eprintln!("\nfrontier artifact failed validation: {e}");
+        std::process::exit(1);
+    }
+    println!("\nfrontier artifact validates ({FRONTIER_SCHEMA} v{ARTIFACT_VERSION})");
+    if revive_bench::artifacts::enabled() {
+        let dir = revive_bench::artifacts::dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        } else {
+            let path = dir.join("frontier.json");
+            match std::fs::write(&path, &doc) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+
+    let failures: Vec<&ScenarioReport> = rows.iter().flat_map(|r| r.failures.iter()).collect();
+    if !failures.is_empty() {
+        println!("\n{} FAILING scenario(s):", failures.len());
+        for report in failures {
+            println!(
+                "  {} seed {}: {}",
+                report.scenario.backend.name(),
+                report.scenario.seed,
+                report.outcome
+            );
+        }
+        std::process::exit(1);
+    }
+    println!("frontier clean: no panics, no oracle mismatches");
+}

@@ -2,7 +2,8 @@
 //! downstream user reaches for before writing code against the library.
 //!
 //! ```text
-//! simulate [--app NAME | --synthetic NAME] [--mode parity|mirroring|mixed|off]
+//! simulate [--app NAME | --synthetic NAME]
+//!          [--mode parity|mirroring|mixed|double-parity|replication|off]
 //!          [--group N] [--mirrored-frac F] [--interval-us N] [--ops N]
 //!          [--nodes N] [--seed N] [--inject node-loss:K | --inject transient]
 //!          [--inject-spec FILE | --inject-seed N]
@@ -57,6 +58,7 @@ struct Args {
     workload: WorkloadSpec,
     mode: String,
     group: usize,
+    replicas: usize,
     mirrored_frac: f64,
     interval_us: u64,
     ops: u64,
@@ -77,8 +79,9 @@ struct Args {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: simulate [--app NAME|--synthetic NAME] [--mode parity|mirroring|mixed|off]\n\
-         \t[--group N] [--mirrored-frac F] [--interval-us N] [--ops N] [--nodes N]\n\
+        "usage: simulate [--app NAME|--synthetic NAME]\n\
+         \t[--mode parity|mirroring|mixed|double-parity|replication|off]\n\
+         \t[--group N] [--replicas K] [--mirrored-frac F] [--interval-us N] [--ops N] [--nodes N]\n\
          \t[--seed N] [--inject node-loss:K|transient] [--inject-spec FILE]\n\
          \t[--inject-seed N] [--lbit-cache N] [--sim-threads N] [--verbose]\n\
          \t[--json PATH] [--trace-jsonl PATH] [--trace-chrome PATH]\n\
@@ -96,6 +99,7 @@ fn parse_args() -> Args {
         workload: WorkloadSpec::Splash(AppId::Fft),
         mode: "parity".into(),
         group: 7,
+        replicas: 1,
         mirrored_frac: 0.25,
         interval_us: 2_000,
         ops: 400_000,
@@ -135,6 +139,7 @@ fn parse_args() -> Args {
             }
             "--mode" => args.mode = value(&mut it),
             "--group" => args.group = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--replicas" => args.replicas = value(&mut it).parse().unwrap_or_else(|_| usage()),
             "--mirrored-frac" => {
                 args.mirrored_frac = value(&mut it).parse().unwrap_or_else(|_| usage())
             }
@@ -215,6 +220,12 @@ fn main() {
             "mixed" => ReviveMode::Mixed {
                 group_data_pages: a.group,
                 mirrored_fraction: a.mirrored_frac,
+            },
+            "double-parity" => ReviveMode::DoubleParity {
+                group_data_pages: a.group,
+            },
+            "replication" => ReviveMode::Replication {
+                replicas: a.replicas,
             },
             other => {
                 eprintln!("unknown mode: {other}");

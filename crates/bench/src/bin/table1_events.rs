@@ -17,6 +17,7 @@ use revive_core::dirext::{ReviveHook, COST_RDX_UNLOGGED, COST_WB_LOGGED, COST_WB
 use revive_core::lbits::LBits;
 use revive_core::log::MemLog;
 use revive_core::parity::ParityMap;
+use revive_core::Redundancy;
 use revive_mem::addr::{AddressMap, LineAddr, LINES_PER_PAGE, PAGE_SIZE};
 use revive_mem::line::LineData;
 use revive_sim::types::NodeId;
@@ -29,7 +30,11 @@ fn world() -> (DirCtrl, ReviveHook, VecPort, LineAddr) {
     let log_page = map.global_page(NodeId(0), 3);
     assert!(!parity.is_parity_page(log_page));
     let log = MemLog::new(NodeId(0), log_page.lines().collect());
-    let hook = ReviveHook::new(parity, log, LBits::full(map.lines_per_node()));
+    let hook = ReviveHook::new(
+        Redundancy::Xor(parity),
+        log,
+        LBits::full(map.lines_per_node()),
+    );
     let mut port = VecPort::new(LineAddr(0), 4 * LINES_PER_PAGE);
     let line = LineAddr(LINES_PER_PAGE as u64 + 7); // node 0, stripe 1 (data)
     port.write(line, LineData::fill(0xA0));

@@ -8,11 +8,15 @@
 //! * **Logging** — on the first write intent or write-back of a line since
 //!   the last checkpoint (L bit clear), the line's checkpoint contents are
 //!   copied to the node's memory log (Figure 5).
-//! * **Distributed parity** — every memory write (data or log) produces an
-//!   XOR parity-update message to the line's parity home (Figure 4); in
-//!   mirroring mode the new value is shipped instead, saving the reads.
+//! * **Distributed redundancy** — every memory write (data or log) is
+//!   expanded by the active [`Redundancy`] backend into one or more update
+//!   messages (Figure 4): an XOR delta to the parity home for the paper's
+//!   N+1 parity, a delta each to the P and Q homes for double parity (the
+//!   Q delta pre-scaled in GF(256), so the destination still just XORs),
+//!   or the new value to each replica home for mirroring/replication —
+//!   saving the reads.
 //!
-//! Each parity-update message contributes one *hook ack* to the line's
+//! Each redundancy-update message contributes one *hook ack* to the line's
 //! directory entry: the entry stays Busy until the update is acknowledged,
 //! which is what serializes racing transactions against in-flight log/parity
 //! state (the race-freedom arguments of Section 4.2).
@@ -30,7 +34,8 @@ use revive_sim::types::NodeId;
 
 use crate::lbits::LBits;
 use crate::log::MemLog;
-use crate::parity::{ParityMap, ParityUpdate};
+use crate::parity::ParityUpdate;
+use crate::redundancy::{Redundancy, RedundancyBackend};
 use crate::validate::ShadowLog;
 
 /// Per-event costs as Table 1 reports them.
@@ -94,15 +99,16 @@ impl CostStats {
     }
 }
 
-/// An outbound parity-update message queued by the hook.
+/// An outbound redundancy-update message queued by the hook.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OutMsg {
-    /// Destination (the parity home).
+    /// Destination (the parity / replica home).
     pub to: NodeId,
     /// The update to apply there.
     pub update: ParityUpdate,
     /// Whether the destination applies deltas by XOR (parity) or overwrite
-    /// (mirroring) — affects the memory accesses charged at the destination.
+    /// (mirroring, replication) — affects the memory accesses charged at
+    /// the destination.
     pub mirror: bool,
 }
 
@@ -110,14 +116,14 @@ pub struct OutMsg {
 #[derive(Debug)]
 pub struct ReviveHook {
     map: AddressMap,
-    parity: ParityMap,
+    rdx: Redundancy,
     /// The Logged bits for this node's home lines.
     pub lbits: LBits,
     /// This node's memory log.
     pub log: MemLog,
-    /// Whether the log region sits in mirrored stripes (it must be uniform;
-    /// asserted at construction).
-    log_mirrored: bool,
+    /// Whether the log region's redundancy updates carry values rather than
+    /// deltas (it must be uniform; asserted at construction).
+    log_stores_values: bool,
     interval: u64,
     enabled: bool,
     outbox: Vec<OutMsg>,
@@ -135,23 +141,23 @@ impl ReviveHook {
     ///
     /// Panics if the log region straddles the mirrored/parity boundary of a
     /// mixed layout (log records must use one update mode).
-    pub fn new(parity: ParityMap, log: MemLog, lbits: LBits) -> ReviveHook {
+    pub fn new(rdx: Redundancy, log: MemLog, lbits: LBits) -> ReviveHook {
         let modes: std::collections::HashSet<bool> = log
             .slot_lines()
             .iter()
-            .map(|l| parity.is_mirrored_page(l.page()))
+            .map(|l| rdx.stores_values(l.page()))
             .collect();
         assert!(
             modes.len() == 1,
             "log region straddles the mirrored/parity boundary"
         );
-        let log_mirrored = modes.into_iter().next().expect("nonempty log");
+        let log_stores_values = modes.into_iter().next().expect("nonempty log");
         ReviveHook {
-            map: *parity.address_map(),
-            parity,
+            map: *rdx.address_map(),
+            rdx,
             lbits,
             log,
-            log_mirrored,
+            log_stores_values,
             interval: 0,
             enabled: true,
             outbox: Vec::new(),
@@ -195,20 +201,20 @@ impl ReviveHook {
         self.enabled
     }
 
-    /// The parity layout this hook maintains.
-    pub fn parity_map(&self) -> &ParityMap {
-        &self.parity
+    /// The redundancy backend this hook maintains.
+    pub fn redundancy(&self) -> &Redundancy {
+        &self.rdx
     }
 
     /// Writes the checkpoint-commit marker for `interval` into the local log
-    /// (between the two commit barriers), with its parity update.
+    /// (between the two commit barriers), with its redundancy update.
     pub fn mark_checkpoint(&mut self, interval: u64, mem: &mut dyn MemPort) {
-        let mirror = self.log_mirrored;
-        let deltas = self.log.mark_checkpoint(interval, !mirror, mem);
+        let stores = self.log_stores_values;
+        let deltas = self.log.mark_checkpoint(interval, !stores, mem);
         if let Some(s) = self.shadow.as_mut() {
             s.record_marker(interval);
         }
-        self.ship_deltas(None, deltas, mirror);
+        self.ship_deltas(None, deltas, stores);
     }
 
     /// Starts a new checkpoint interval: gang-clears the L bits and reclaims
@@ -240,29 +246,31 @@ impl ReviveHook {
         }
     }
 
-    /// Groups `(line, delta)` pairs by parity home and queues one update
+    /// Expands `(line, payload)` pairs through the backend, groups the
+    /// resulting redundancy-line updates by home, and queues one update
     /// message per home. Returns the number of messages queued (= hook acks
     /// to await when `ack_to` is set).
     fn ship_deltas(
         &mut self,
         ack_to: Option<LineAddr>,
         deltas: Vec<(LineAddr, LineData)>,
-        mirror: bool,
+        stores_values: bool,
     ) -> u32 {
         let mut msgs: Vec<OutMsg> = Vec::new();
-        for (line, delta) in deltas {
-            let pline = self.parity.parity_line_of(line);
-            let home = self.map.home_of_line(pline);
-            match msgs.iter_mut().find(|m| m.to == home) {
-                Some(m) => m.update.deltas.push((pline, delta)),
-                None => msgs.push(OutMsg {
-                    to: home,
-                    update: ParityUpdate {
-                        ack_to_line: ack_to,
-                        deltas: vec![(pline, delta)],
-                    },
-                    mirror,
-                }),
+        for (line, payload) in deltas {
+            for (rline, rpayload) in self.rdx.expand_update(line, payload) {
+                let home = self.map.home_of_line(rline);
+                match msgs.iter_mut().find(|m| m.to == home) {
+                    Some(m) => m.update.deltas.push((rline, rpayload)),
+                    None => msgs.push(OutMsg {
+                        to: home,
+                        update: ParityUpdate {
+                            ack_to_line: ack_to,
+                            deltas: vec![(rline, rpayload)],
+                        },
+                        mirror: stores_values,
+                    }),
+                }
             }
         }
         let n = msgs.len() as u32;
@@ -271,14 +279,14 @@ impl ReviveHook {
     }
 
     /// Copies `old` (the checkpoint contents of `line`) into the log and
-    /// queues the log-parity updates. Returns the acks to await.
+    /// queues the log-redundancy updates. Returns the acks to await.
     fn log_line(&mut self, line: LineAddr, old: LineData, mem: &mut dyn MemPort) -> u32 {
-        let mirror = self.log_mirrored;
-        let deltas = self.log.append(self.interval, line, old, !mirror, mem);
+        let stores = self.log_stores_values;
+        let deltas = self.log.append(self.interval, line, old, !stores, mem);
         if let Some(s) = self.shadow.as_mut() {
             s.record_append(self.interval, line, old);
         }
-        let acks = self.ship_deltas(Some(line), deltas, mirror);
+        let acks = self.ship_deltas(Some(line), deltas, stores);
         self.lbits.set_logged(self.map.local_line_index(line));
         acks
     }
@@ -295,8 +303,8 @@ impl WriteHook for ReviveHook {
             return 0;
         }
         debug_assert!(
-            !self.parity.is_parity_page(line.page()),
-            "coherent write intent on a parity page"
+            !self.rdx.is_redundancy_page(line.page()),
+            "coherent write intent on a redundancy page"
         );
         if self.lbits.is_logged(self.map.local_line_index(line)) {
             self.costs.intents_already_logged += 1;
@@ -318,16 +326,17 @@ impl WriteHook for ReviveHook {
             return 0;
         }
         debug_assert!(
-            !self.parity.is_parity_page(line.page()),
-            "coherent write-back to a parity page"
+            !self.rdx.is_redundancy_page(line.page()),
+            "coherent write-back to a redundancy page"
         );
-        let mirror = self.parity.is_mirrored_page(line.page());
+        let stores = self.rdx.stores_values(line.page());
         let mut acks = 0;
         let first = !self.lbits.is_logged(self.map.local_line_index(line));
-        // In mirroring mode with the line already logged, the old contents
-        // are not needed (the mirror is simply overwritten): Section 3.2.1,
-        // "the two memory reads and the XOR operations can be omitted".
-        let old = if first || !mirror {
+        // With value-carrying updates (mirroring, replication) and the line
+        // already logged, the old contents are not needed (the copies are
+        // simply overwritten): Section 3.2.1, "the two memory reads and the
+        // XOR operations can be omitted".
+        let old = if first || !stores {
             Some(mem.read(line))
         } else {
             None
@@ -340,13 +349,13 @@ impl WriteHook for ReviveHook {
         } else {
             self.costs.wb_logged += 1;
         }
-        // Data parity update U = D ^ D' (Figure 4); mirroring ships D'.
-        let delta = if mirror {
+        // Data parity update U = D ^ D' (Figure 4); value backends ship D'.
+        let payload = if stores {
             new
         } else {
             old.expect("read in parity mode") ^ new
         };
-        acks += self.ship_deltas(Some(line), vec![(line, delta)], mirror);
+        acks += self.ship_deltas(Some(line), vec![(line, payload)], stores);
         acks
     }
 }
@@ -354,6 +363,8 @@ impl WriteHook for ReviveHook {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parity::ParityMap;
+    use crate::redundancy::{gf_pow, gf_scale, DoubleParityMap, ReplicationMap};
     use revive_coherence::port::VecPort;
     use revive_mem::addr::{AddressMap, LINES_PER_PAGE, PAGE_SIZE};
 
@@ -369,7 +380,7 @@ mod tests {
         let slots: Vec<LineAddr> = log_page.lines().collect();
         let log = MemLog::new(NodeId(0), slots);
         let lbits = LBits::full(map.lines_per_node());
-        let hook = ReviveHook::new(parity, log, lbits);
+        let hook = ReviveHook::new(Redundancy::Xor(parity), log, lbits);
         // A port covering all of node 0's memory.
         let port = VecPort::new(LineAddr(0), 4 * LINES_PER_PAGE);
         (hook, port)
@@ -435,8 +446,9 @@ mod tests {
             .iter()
             .flat_map(|m| m.update.deltas.iter())
             .find(|(pl, _)| {
+                let pm = hook.redundancy().as_xor().unwrap();
                 pl.index_in_page() == data_line().index_in_page()
-                    && pl.page() == hook.parity_map().parity_page_of(data_line().page())
+                    && pl.page() == pm.parity_page_of(data_line().page())
             })
             .expect("data parity delta present");
         assert_eq!(data_delta.1, LineData::fill(0x5A ^ 0xA5));
@@ -514,7 +526,11 @@ mod tests {
         let log_page = map.global_page(NodeId(0), 3);
         assert!(!parity.is_parity_page(log_page));
         let log = MemLog::new(NodeId(0), log_page.lines().collect());
-        let mut hook = ReviveHook::new(parity, log, LBits::full(map.lines_per_node()));
+        let mut hook = ReviveHook::new(
+            Redundancy::Xor(parity),
+            log,
+            LBits::full(map.lines_per_node()),
+        );
         let mut mem = VecPort::new(LineAddr(0), 4 * LINES_PER_PAGE);
         let line = LineAddr(LINES_PER_PAGE as u64 + 5); // stripe 1: data
         hook.write_intent(line, None, &mut mem);
@@ -527,6 +543,71 @@ mod tests {
         assert_eq!(out.len(), 1);
         assert!(out[0].mirror);
         assert_eq!(out[0].update.deltas[0].1, LineData::fill(3));
+    }
+
+    #[test]
+    fn double_parity_ships_scaled_deltas_to_p_and_q() {
+        let map = AddressMap::new(4, 4 * PAGE_SIZE as u64);
+        let dp = DoubleParityMap::new(map, 2); // one chunk of 4
+        let rdx = Redundancy::Double(dp);
+        // Node 1 (chunk position 1) is a data member at stripes 2 and 3;
+        // log at stripe 3, write at stripe 2 where its GF coefficient
+        // index is 1 (position 0 is the other data member).
+        let log_page = map.global_page(NodeId(1), 3);
+        assert!(!rdx.is_redundancy_page(log_page));
+        let log = MemLog::new(NodeId(1), log_page.lines().collect());
+        let mut hook = ReviveHook::new(rdx, log, LBits::full(map.lines_per_node()));
+        let mut mem = VecPort::new(
+            map.global_page(NodeId(1), 0).first_line(),
+            4 * LINES_PER_PAGE,
+        );
+        let line = LineAddr(map.global_page(NodeId(1), 2).first_line().0 + 5);
+        mem.write(line, LineData::fill(0x0F));
+        hook.write_intent(line, None, &mut mem);
+        hook.drain_outbox();
+        let acks = hook.memory_write(line, LineData::fill(0xF0), &mut mem);
+        // One delta each to the P home and the Q home.
+        assert_eq!(acks, 2);
+        let out = hook.drain_outbox();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|m| !m.mirror));
+        assert_ne!(out[0].to, out[1].to, "P and Q live on different nodes");
+        let delta = LineData::fill(0x0F ^ 0xF0);
+        let payloads: Vec<LineData> = out.iter().map(|m| m.update.deltas[0].1).collect();
+        assert!(payloads.contains(&delta), "P gets the raw delta");
+        assert!(
+            payloads.contains(&gf_scale(delta, gf_pow(1))),
+            "Q gets the delta scaled by the member's coefficient"
+        );
+    }
+
+    #[test]
+    fn replication_ships_values_to_every_replica() {
+        let map = AddressMap::new(4, 8 * PAGE_SIZE as u64);
+        let rdx = Redundancy::Replication(ReplicationMap::new(map, 3)); // k = 3
+                                                                        // Node 0 is primary at stripes 1 and 5; log at 5, write at 1.
+        let log_page = map.global_page(NodeId(0), 5);
+        assert!(!rdx.is_redundancy_page(log_page));
+        let log = MemLog::new(NodeId(0), log_page.lines().collect());
+        let mut hook = ReviveHook::new(rdx, log, LBits::full(map.lines_per_node()));
+        let mut mem = VecPort::new(LineAddr(0), 8 * LINES_PER_PAGE);
+        let line = LineAddr(map.global_page(NodeId(0), 1).first_line().0 + 7);
+        hook.write_intent(line, None, &mut mem);
+        hook.drain_outbox();
+        mem.reset_counts();
+        let acks = hook.memory_write(line, LineData::fill(0x42), &mut mem);
+        // Already logged + value updates: no reads, one message per replica.
+        assert_eq!(mem.reads, 0);
+        assert_eq!(acks, 3);
+        let out = hook.drain_outbox();
+        assert_eq!(out.len(), 3);
+        let mut homes: Vec<u16> = out.iter().map(|m| m.to.0).collect();
+        homes.sort_unstable();
+        assert_eq!(homes, vec![1, 2, 3]);
+        for m in &out {
+            assert!(m.mirror);
+            assert_eq!(m.update.deltas[0].1, LineData::fill(0x42));
+        }
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   the coherence protocol's write hook, with Table 1 cost accounting.
 //! * [`checkpoint`] — global two-phase-commit checkpoint configuration and
 //!   Figure-6 timelines.
+//! * [`redundancy`] — pluggable redundancy backends behind the
+//!   [`redundancy::RedundancyBackend`] trait: the paper's XOR parity plus
+//!   RAID-6-style P+Q double parity over GF(256) and ReStore-style
+//!   k-replication, for surviving multi-node loss.
 //! * [`recovery`] — the four-phase rollback engine (Figure 7), operating on
 //!   functional memory images for value-exact verification.
 //! * [`availability`] — the availability arithmetic of Sections 3.3.2/6.3.
@@ -44,6 +48,7 @@ pub mod lbits;
 pub mod log;
 pub mod parity;
 pub mod recovery;
+pub mod redundancy;
 pub mod validate;
 
 pub use availability::{monte_carlo_availability, nines, AvailabilityModel, OutcomeTally};
@@ -53,4 +58,9 @@ pub use lbits::LBits;
 pub use log::{MemLog, ReplayEntry};
 pub use parity::{ParityAck, ParityMap, ParityUpdate};
 pub use recovery::{recover, RecoveryError, RecoveryInput, RecoveryReport, RecoveryTiming};
-pub use validate::{audit_parity, LogDivergence, MemoryDiff, MemoryImage, ParityAudit, ShadowLog};
+pub use redundancy::{
+    DoubleParityMap, Redundancy, RedundancyBackend, RedundancyGroup, ReplicationMap,
+};
+pub use validate::{
+    audit_parity, audit_redundancy, LogDivergence, MemoryDiff, MemoryImage, ParityAudit, ShadowLog,
+};

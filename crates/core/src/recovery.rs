@@ -6,15 +6,16 @@
 //!    (outside the paper's scope; charged a fixed time, 50 ms on the real
 //!    machine, from the Hive/FLASH measurements the paper cites).
 //! 2. **Log reconstruction** — if a node's memory was lost, the pages
-//!    holding its log are rebuilt from distributed parity so its log can be
+//!    holding its log are rebuilt through the active redundancy backend
+//!    (parity groups, P+Q equations, or replicas) so its log can be
 //!    replayed.
 //! 3. **Rollback** — every node replays its local log in reverse, restoring
 //!    memory to the target checkpoint. Lost pages that receive restored data
 //!    are rebuilt on demand first. Caches and directories are reset by the
 //!    machine around this call. After this phase the machine is *available*
 //!    again.
-//! 4. **Background rebuild** — remaining lost pages and stale parity groups
-//!    are reconstructed while the application runs degraded.
+//! 4. **Background rebuild** — remaining lost pages and stale redundancy
+//!    groups are reconstructed while the application runs degraded.
 //!
 //! The engine operates on the *functional* memory images, so tests can
 //! verify value-exact restoration; phase timings come from an explicit
@@ -24,21 +25,21 @@
 
 use std::collections::HashSet;
 
-use revive_mem::addr::{AddressMap, LineAddr, PageAddr, LINES_PER_PAGE};
+use revive_mem::addr::{AddressMap, LineAddr, PageAddr};
 use revive_mem::line::LineData;
 use revive_mem::main_memory::NodeMemory;
 use revive_sim::time::Ns;
 use revive_sim::types::NodeId;
 
 use crate::log::MemLog;
-use crate::parity::ParityMap;
+use crate::redundancy::{Redundancy, RedundancyBackend};
 
 /// The bandwidth model for recovery timing.
 #[derive(Clone, Copy, Debug)]
 pub struct RecoveryTiming {
     /// Phase 1: fixed hardware recovery time.
     pub hw_recovery: Ns,
-    /// Cost to rebuild one 4 KB page from its parity group.
+    /// Cost to rebuild one 4 KB page from its redundancy group.
     pub page_rebuild: Ns,
     /// Cost to replay one log entry (read entry, write memory, update
     /// parity).
@@ -49,15 +50,17 @@ pub struct RecoveryTiming {
 
 impl RecoveryTiming {
     /// Derives costs from the machine's parameters: rebuilding a page
-    /// fetches `G` remote pages (network-bound at ~3.2 bytes/ns plus DRAM
-    /// row-streaming) and writes one; replaying an entry is a couple of
-    /// local line accesses plus a parity update.
-    pub fn derive(group_data_pages: usize, workers: usize) -> RecoveryTiming {
+    /// fetches `rebuild_fanin` remote pages (network-bound at ~3.2 bytes/ns
+    /// plus DRAM row-streaming) and writes one; replaying an entry is a
+    /// couple of local line accesses plus a redundancy update. The fan-in
+    /// is the backend's [`RedundancyBackend::rebuild_fanin`]: `G` for
+    /// parity schemes, 1 for replication (a straight copy).
+    pub fn derive(rebuild_fanin: usize, workers: usize) -> RecoveryTiming {
         assert!(workers > 0, "recovery needs at least one worker");
         let page_bytes = 4096u64;
         // Per remote page: network transfer + source DRAM streaming.
         let per_remote = Ns((page_bytes as f64 / 3.2) as u64) + Ns(64 * 20);
-        let page_rebuild = per_remote * group_data_pages as u64 + Ns(64 * 20);
+        let page_rebuild = per_remote * rebuild_fanin as u64 + Ns(64 * 20);
         RecoveryTiming {
             hw_recovery: Ns::from_ms(50),
             page_rebuild,
@@ -73,8 +76,8 @@ pub struct RecoveryInput<'a> {
     pub memories: &'a mut [NodeMemory],
     /// Every node's log (bookkeeping; contents are read from the memories).
     pub logs: &'a [&'a MemLog],
-    /// The parity layout.
-    pub parity: &'a ParityMap,
+    /// The active redundancy backend.
+    pub redundancy: &'a Redundancy,
     /// Roll back to the state at the establishment of this checkpoint
     /// interval.
     pub target_interval: u64,
@@ -89,13 +92,15 @@ pub struct RecoveryInput<'a> {
 /// in the availability statistics instead of aborting the process.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RecoveryError {
-    /// Two or more simultaneously lost nodes share a parity group: N+1
-    /// parity reconstructs at most one missing member per group, so the
-    /// group's data is gone.
+    /// More simultaneously lost nodes share a redundancy group than the
+    /// active backend's budget: N+1 parity reconstructs one missing member
+    /// per group, P+Q two, k-replication `k` — past that, the group's data
+    /// is gone.
     BeyondParityBudget {
         /// The nodes lost together.
         lost: Vec<NodeId>,
-        /// The parity page of a group with at least two lost members.
+        /// The first redundancy page of a group with more lost members
+        /// than the budget.
         group_parity: PageAddr,
     },
     /// A node was reported lost but its memory is intact — the damage report
@@ -122,6 +127,19 @@ pub enum RecoveryError {
         /// Nodes still alive (including the isolated one).
         survivors: usize,
     },
+    /// The fault was detected too late: checkpoints committed during the
+    /// detection window (periodic or forced early by log pressure) advanced
+    /// the machine past the retention window, reclaiming the logs needed to
+    /// roll back to the last checkpoint that precedes the error. ReVive's
+    /// recoverability guarantee assumes detection latency bounded by the
+    /// retained-checkpoint window (paper §3.1.2); past it, the error is
+    /// detected-unrecoverable.
+    TargetReclaimed {
+        /// The checkpoint the rollback needed.
+        target: u64,
+        /// The oldest checkpoint whose logs are still retained.
+        oldest: u64,
+    },
 }
 
 impl std::fmt::Display for RecoveryError {
@@ -131,8 +149,8 @@ impl std::fmt::Display for RecoveryError {
                 let names: Vec<String> = lost.iter().map(NodeId::to_string).collect();
                 write!(
                     f,
-                    "losing nodes {{{}}} exceeds the parity budget: the group of parity page \
-                     {group_parity} has at least two lost members",
+                    "losing nodes {{{}}} exceeds the redundancy budget: the group of \
+                     {group_parity} has more lost members than the backend can rebuild",
                     names.join(", ")
                 )
             }
@@ -151,6 +169,13 @@ impl std::fmt::Display for RecoveryError {
                     "surviving torus is partitioned: node {node} cannot reach the other \
                      {} survivor(s)",
                     survivors.saturating_sub(1)
+                )
+            }
+            RecoveryError::TargetReclaimed { target, oldest } => {
+                write!(
+                    f,
+                    "detected too late: rollback target checkpoint {target} outlived the \
+                     log retention window (oldest recoverable is {oldest})"
                 )
             }
         }
@@ -212,40 +237,27 @@ fn write_global(mems: &mut [NodeMemory], map: &AddressMap, line: LineAddr, data:
     mems[map.home_of_line(line).index()].write_line(map.local_line_index(line), data);
 }
 
-/// Reconstructs `page` (data or parity) from the other members of its
-/// group, writing the result into its (blank) home memory.
-fn rebuild_page(mems: &mut [NodeMemory], parity: &ParityMap, page: PageAddr) {
-    let map = parity.address_map();
-    let group = parity.group_of(page);
-    let sources: Vec<PageAddr> = std::iter::once(group.parity)
-        .chain(group.data.iter().copied())
-        .filter(|&p| p != page)
-        .collect();
-    for offset in 0..LINES_PER_PAGE {
-        let mut acc = LineData::ZERO;
-        for src in &sources {
-            let line = LineAddr(src.first_line().0 + offset as u64);
-            acc ^= read_global(mems, map, line);
-        }
-        let dst = LineAddr(page.first_line().0 + offset as u64);
-        write_global(mems, map, dst, acc);
-    }
-}
-
-/// Recomputes a parity page from its (intact) data pages.
-fn recompute_parity(mems: &mut [NodeMemory], parity: &ParityMap, parity_page: PageAddr) {
-    let map = parity.address_map();
-    let data_pages = parity.data_pages_of(parity_page);
-    for offset in 0..LINES_PER_PAGE {
-        let mut acc = LineData::ZERO;
-        for dp in &data_pages {
-            acc ^= read_global(mems, map, LineAddr(dp.first_line().0 + offset as u64));
-        }
+/// Reconstructs `page` (data or redundancy) from the surviving members of
+/// its group, writing the result into its home memory. Member pages that
+/// belong to a lost node and have not been rebuilt yet are reported to the
+/// backend as missing, so a multi-loss rebuild never reads blank pages.
+fn rebuild_page(
+    mems: &mut [NodeMemory],
+    rdx: &Redundancy,
+    page: PageAddr,
+    lost: &[NodeId],
+    rebuilt: &HashSet<PageAddr>,
+) {
+    let map = *rdx.address_map();
+    let missing = |p: PageAddr| lost.contains(&map.home_of_page(p)) && !rebuilt.contains(&p);
+    let mut read = |l: LineAddr| read_global(mems, &map, l);
+    let lines = rdx.rebuild_page(page, &missing, &mut read);
+    for (offset, data) in lines.into_iter().enumerate() {
         write_global(
             mems,
-            map,
-            LineAddr(parity_page.first_line().0 + offset as u64),
-            acc,
+            &map,
+            LineAddr(page.first_line().0 + offset as u64),
+            data,
         );
     }
 }
@@ -258,8 +270,8 @@ fn recompute_parity(mems: &mut [NodeMemory], parity: &ParityMap, parity_page: Pa
 ///
 /// Returns a [`RecoveryError`] — without touching any memory — when the
 /// reported loss cannot be recovered from: a lost node that does not exist
-/// or is not actually lost, or simultaneous losses that overwhelm a parity
-/// group (beyond the N+1 budget).
+/// or is not actually lost, or simultaneous losses that overwhelm a
+/// redundancy group (beyond the backend's budget).
 pub fn recover(
     input: RecoveryInput<'_>,
     timing: &RecoveryTiming,
@@ -267,11 +279,11 @@ pub fn recover(
     let RecoveryInput {
         memories,
         logs,
-        parity,
+        redundancy,
         target_interval,
         lost,
     } = input;
-    let map = *parity.address_map();
+    let map = *redundancy.address_map();
     // Validate the damage report before mutating anything, so an
     // unrecoverable loss is classified rather than half-reconstructed.
     let mut lost_nodes: Vec<NodeId> = Vec::new();
@@ -290,10 +302,10 @@ pub fn recover(
         }
     }
     let lost = &lost_nodes[..];
-    if let Some(group) = parity.overwhelmed_group(lost) {
+    if let Some(group) = redundancy.overwhelmed_group(lost) {
         return Err(RecoveryError::BeyondParityBudget {
             lost: lost.to_vec(),
-            group_parity: group.parity,
+            group_parity: group.redundancy[0],
         });
     }
     let mut report = RecoveryReport {
@@ -301,22 +313,25 @@ pub fn recover(
         ..RecoveryReport::default()
     };
     let mut rebuilt: HashSet<PageAddr> = HashSet::new();
-    // Parity groups whose parity page could not be maintained during replay
-    // (it was lost) and must be recomputed in Phase 4.
-    let mut stale_parity: HashSet<PageAddr> = HashSet::new();
+    // Redundancy pages that could not be maintained during replay (they
+    // were lost) and must be recomputed in Phase 4.
+    let mut stale_redundancy: HashSet<PageAddr> = HashSet::new();
 
-    // ---- Phase 2: reconstruct the lost nodes' log pages. (Within the
-    // budget every rebuild source is intact: no two lost nodes share a
-    // chunk, so node order does not matter.) ----
+    // ---- Phase 2: reconstruct the lost nodes' log pages. All lost
+    // memories go blank first, so within the budget the backend always
+    // sees which member pages are still missing and solves around them
+    // (two lost members of one P+Q chunk are each other's unknowns). ----
     for &l in lost {
         memories[l.index()].reconstruct_blank();
+    }
+    for &l in lost {
         let log_pages: HashSet<PageAddr> = logs[l.index()]
             .slot_lines()
             .iter()
             .map(|s| s.page())
             .collect();
         for page in log_pages {
-            rebuild_page(memories, parity, page);
+            rebuild_page(memories, redundancy, page, lost, &rebuilt);
             rebuilt.insert(page);
             report.log_pages_rebuilt += 1;
         }
@@ -338,25 +353,29 @@ pub fn recover(
             let page = e.line.page();
             if lost.contains(&node) && !rebuilt.contains(&page) {
                 // Rebuild on demand: the rest of the page holds unmodified
-                // checkpoint data that only parity can supply.
-                rebuild_page(memories, parity, page);
+                // checkpoint data that only the redundancy can supply.
+                rebuild_page(memories, redundancy, page, lost, &rebuilt);
                 rebuilt.insert(page);
                 report.pages_rebuilt_on_demand += 1;
                 node_time += timing.page_rebuild;
             }
             let old = read_global(memories, &map, e.line);
-            write_global(memories, &map.clone(), e.line, e.data);
-            // Maintain parity across the restore write, exactly as the
-            // hardware would; skip (and mark stale) when the parity page
-            // died with the lost node.
-            let ppage = parity.parity_page_of(page);
-            if lost.contains(&map.home_of_page(ppage)) && !rebuilt.contains(&ppage) {
-                stale_parity.insert(ppage);
-            } else {
-                let pline = parity.parity_line_of(e.line);
-                let delta = old ^ e.data;
-                let cur = read_global(memories, &map, pline);
-                write_global(memories, &map.clone(), pline, cur ^ delta);
+            write_global(memories, &map, e.line, e.data);
+            // Maintain the redundancy across the restore write, exactly as
+            // the hardware would; skip (and mark stale) any redundancy page
+            // that died with a lost node.
+            let stores = redundancy.stores_values(page);
+            let payload = if stores { e.data } else { old ^ e.data };
+            for (rline, rpayload) in redundancy.expand_update(e.line, payload) {
+                let rpage = rline.page();
+                if lost.contains(&map.home_of_page(rpage)) && !rebuilt.contains(&rpage) {
+                    stale_redundancy.insert(rpage);
+                } else if stores {
+                    write_global(memories, &map, rline, rpayload);
+                } else {
+                    let cur = read_global(memories, &map, rline);
+                    write_global(memories, &map, rline, cur ^ rpayload);
+                }
             }
             report.entries_replayed += 1;
             node_time += timing.entry_replay;
@@ -371,18 +390,14 @@ pub fn recover(
             if rebuilt.contains(&page) {
                 continue;
             }
-            if parity.is_parity_page(page) {
-                recompute_parity(memories, parity, page);
-            } else {
-                rebuild_page(memories, parity, page);
-            }
+            rebuild_page(memories, redundancy, page, lost, &rebuilt);
             rebuilt.insert(page);
-            stale_parity.remove(&page);
+            stale_redundancy.remove(&page);
             report.pages_rebuilt_background += 1;
         }
     }
-    for ppage in stale_parity {
-        recompute_parity(memories, parity, ppage);
+    for rpage in stale_redundancy {
+        rebuild_page(memories, redundancy, rpage, lost, &rebuilt);
         report.pages_rebuilt_background += 1;
     }
     let bg_workers = (timing.workers / 2).max(1) as u64;
@@ -394,16 +409,18 @@ pub fn recover(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parity::ParityMap;
+    use crate::redundancy::{DoubleParityMap, ReplicationMap};
     use revive_coherence::port::MemPort;
     use revive_mem::addr::PAGE_SIZE;
 
-    /// A tiny machine: `nodes` × 4 pages, G+1 parity, log in each node's
-    /// last data page.
+    /// A tiny machine: `nodes` × a few pages under any redundancy backend,
+    /// log in each node's last data page.
     struct World {
         nodes: usize,
         memories: Vec<NodeMemory>,
         logs: Vec<MemLog>,
-        parity: ParityMap,
+        rdx: Redundancy,
     }
 
     /// MemPort view over one node's memory for feeding the log.
@@ -428,17 +445,26 @@ mod tests {
 
         fn with(nodes: usize, group_data_pages: usize) -> World {
             let map = AddressMap::new(nodes, 4 * PAGE_SIZE as u64);
-            let parity = ParityMap::new(map, group_data_pages);
-            let memories: Vec<NodeMemory> =
-                (0..nodes).map(|_| NodeMemory::new(4 * PAGE_SIZE)).collect();
+            World::with_rdx(
+                nodes,
+                4,
+                Redundancy::Xor(ParityMap::new(map, group_data_pages)),
+            )
+        }
+
+        fn with_rdx(nodes: usize, pages: u64, rdx: Redundancy) -> World {
+            let map = *rdx.address_map();
+            let memories: Vec<NodeMemory> = (0..nodes)
+                .map(|_| NodeMemory::new(pages as usize * PAGE_SIZE))
+                .collect();
             let logs: Vec<MemLog> = (0..nodes)
                 .map(|n| {
                     let node = NodeId::from(n);
                     // Pick the node's highest-stripe data page for the log.
-                    let page = (0..4u64)
+                    let page = (0..pages)
                         .rev()
                         .map(|s| map.global_page(node, s))
-                        .find(|&p| !parity.is_parity_page(p))
+                        .find(|&p| !rdx.is_redundancy_page(p))
                         .unwrap();
                     MemLog::new(node, page.lines().collect())
                 })
@@ -447,15 +473,16 @@ mod tests {
                 nodes,
                 memories,
                 logs,
-                parity,
+                rdx,
             }
         }
 
         fn map(&self) -> AddressMap {
-            *self.parity.address_map()
+            *self.rdx.address_map()
         }
 
-        /// A writable data line on `node` outside its log and parity pages.
+        /// A writable data line on `node` outside its log and redundancy
+        /// pages.
         fn app_line(&self, node: u16) -> LineAddr {
             let map = self.map();
             let log_pages: HashSet<PageAddr> = self.logs[node as usize]
@@ -465,48 +492,72 @@ mod tests {
                 .collect();
             let page = map
                 .pages_of(NodeId(node))
-                .find(|&p| !self.parity.is_parity_page(p) && !log_pages.contains(&p))
+                .find(|&p| !self.rdx.is_redundancy_page(p) && !log_pages.contains(&p))
                 .unwrap();
             LineAddr(page.first_line().0 + 7)
         }
 
+        /// Applies the expanded redundancy updates for a write of `payload`
+        /// provenance at `line` (delta for parity backends, value for
+        /// replicating ones).
+        fn apply_updates(&mut self, line: LineAddr, old: LineData, new: LineData) {
+            let map = self.map();
+            let stores = self.rdx.stores_values(line.page());
+            let payload = if stores { new } else { old ^ new };
+            for (rl, rp) in self.rdx.expand_update(line, payload) {
+                if stores {
+                    write_global(&mut self.memories, &map, rl, rp);
+                } else {
+                    let cur = read_global(&self.memories, &map, rl);
+                    write_global(&mut self.memories, &map, rl, cur ^ rp);
+                }
+            }
+        }
+
         /// Simulates the hardware write path: log the old value, write the
-        /// new one, update both parities (data + log lines).
+        /// new one, update the redundancy of both the data and log lines.
         fn logged_write(&mut self, interval: u64, line: LineAddr, new: LineData) {
             let map = self.map();
             let node = map.home_of_line(line);
             let old = self.memories[node.index()].read_line(map.local_line_index(line));
+            let log_stores = self
+                .rdx
+                .stores_values(self.logs[node.index()].slot_lines()[0].page());
             let deltas = {
                 let mut port = NodePort {
                     mem: &mut self.memories[node.index()],
                     map,
                 };
-                self.logs[node.index()].append(interval, line, old, true, &mut port)
+                self.logs[node.index()].append(interval, line, old, !log_stores, &mut port)
             };
-            // Apply log parity.
-            for (slot, delta) in deltas {
-                let pl = self.parity.parity_line_of(slot);
-                let cur = read_global(&self.memories, &map, pl);
-                write_global(&mut self.memories, &map, pl, cur ^ delta);
+            // Apply log redundancy (`deltas` already carries values when
+            // the log's updates store values, deltas otherwise).
+            for (slot, payload) in deltas {
+                for (rl, rp) in self.rdx.expand_update(slot, payload) {
+                    if log_stores {
+                        write_global(&mut self.memories, &map, rl, rp);
+                    } else {
+                        let cur = read_global(&self.memories, &map, rl);
+                        write_global(&mut self.memories, &map, rl, cur ^ rp);
+                    }
+                }
             }
-            // Write data + its parity.
+            // Write data + its redundancy.
             write_global(&mut self.memories, &map, line, new);
-            let pl = self.parity.parity_line_of(line);
-            let cur = read_global(&self.memories, &map, pl);
-            write_global(&mut self.memories, &map, pl, cur ^ (old ^ new));
+            self.apply_updates(line, old, new);
         }
 
         fn check_all_parity(&self) {
             let map = self.map();
             for node in NodeId::all(self.nodes) {
                 for page in map.pages_of(node) {
-                    if self.parity.is_parity_page(page) {
+                    if self.rdx.is_redundancy_page(page) {
                         continue;
                     }
                     let v = self
-                        .parity
-                        .check_group(page, |l| read_global(&self.memories, &map, l));
-                    assert_eq!(v, None, "parity violated in group of {page}");
+                        .rdx
+                        .check_group(page, &mut |l| read_global(&self.memories, &map, l));
+                    assert_eq!(v, None, "redundancy violated in group of {page}");
                 }
             }
         }
@@ -538,7 +589,7 @@ mod tests {
             RecoveryInput {
                 memories: &mut w.memories,
                 logs: &w.logs.iter().collect::<Vec<_>>(),
-                parity: &w.parity,
+                redundancy: &w.rdx,
                 target_interval: 1,
                 lost: &[],
             },
@@ -562,7 +613,7 @@ mod tests {
         #[allow(clippy::needless_range_loop)] // node names both memories and reference
         for node in 0..4usize {
             for page in map.pages_of(NodeId::from(node)) {
-                if log_pages.contains(&page) || w.parity.is_parity_page(page) {
+                if log_pages.contains(&page) || w.rdx.is_redundancy_page(page) {
                     continue;
                 }
                 for l in page.lines() {
@@ -597,7 +648,7 @@ mod tests {
             RecoveryInput {
                 memories: &mut w.memories,
                 logs: &w.logs.iter().collect::<Vec<_>>(),
-                parity: &w.parity,
+                redundancy: &w.rdx,
                 target_interval: 1,
                 lost: &[NodeId(2)],
             },
@@ -620,7 +671,7 @@ mod tests {
         let log_pages: HashSet<PageAddr> =
             w.logs[2].slot_lines().iter().map(|s| s.page()).collect();
         for page in map.pages_of(NodeId(2)) {
-            if log_pages.contains(&page) || w.parity.is_parity_page(page) {
+            if log_pages.contains(&page) || w.rdx.is_redundancy_page(page) {
                 continue;
             }
             for l in page.lines() {
@@ -640,7 +691,7 @@ mod tests {
         let map = w.map();
         let line = w.app_line(0);
         // Find the node holding this line's parity and kill that one.
-        let pnode = map.home_of_page(w.parity.parity_page_of(line.page()));
+        let pnode = map.home_of_page(w.rdx.as_xor().unwrap().parity_page_of(line.page()));
         assert_ne!(pnode, NodeId(0));
         w.logged_write(0, line, LineData::fill(0xAA));
         w.logged_write(1, line, LineData::fill(0xBB));
@@ -649,7 +700,7 @@ mod tests {
             RecoveryInput {
                 memories: &mut w.memories,
                 logs: &w.logs.iter().collect::<Vec<_>>(),
-                parity: &w.parity,
+                redundancy: &w.rdx,
                 target_interval: 1,
                 lost: &[pnode],
             },
@@ -681,7 +732,7 @@ mod tests {
             RecoveryInput {
                 memories: &mut w.memories,
                 logs: &w.logs.iter().collect::<Vec<_>>(),
-                parity: &w.parity,
+                redundancy: &w.rdx,
                 target_interval: 1,
                 lost: &[NodeId(1), NodeId(5)],
             },
@@ -702,7 +753,7 @@ mod tests {
             let log_pages: HashSet<PageAddr> =
                 w.logs[lost].slot_lines().iter().map(|s| s.page()).collect();
             for page in map.pages_of(NodeId::from(lost)) {
-                if log_pages.contains(&page) || w.parity.is_parity_page(page) {
+                if log_pages.contains(&page) || w.rdx.is_redundancy_page(page) {
                     continue;
                 }
                 for l in page.lines() {
@@ -730,7 +781,7 @@ mod tests {
             RecoveryInput {
                 memories: &mut w.memories,
                 logs: &w.logs.iter().collect::<Vec<_>>(),
-                parity: &w.parity,
+                redundancy: &w.rdx,
                 target_interval: 1,
                 lost: &[NodeId(1), NodeId(2)],
             },
@@ -748,6 +799,160 @@ mod tests {
         assert!(w.memories[2].is_lost());
     }
 
+    /// Byte-compares every non-log, non-redundancy page of `nodes_to_check`
+    /// against the reference snapshot.
+    fn assert_restored(w: &World, reference: &[Vec<u8>], nodes_to_check: &[usize]) {
+        let map = w.map();
+        for &n in nodes_to_check {
+            let log_pages: HashSet<PageAddr> =
+                w.logs[n].slot_lines().iter().map(|s| s.page()).collect();
+            for page in map.pages_of(NodeId::from(n)) {
+                if log_pages.contains(&page) || w.rdx.is_redundancy_page(page) {
+                    continue;
+                }
+                for l in page.lines() {
+                    let got = read_global(&w.memories, &map, l);
+                    let off = (map.local_line_index(l) * 64) as usize;
+                    let want: [u8; 64] = reference[n][off..off + 64].try_into().unwrap();
+                    assert_eq!(got, LineData::from(want), "node {n} line {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_parity_recovers_two_losses_in_one_chunk() {
+        // 4 nodes in a single P+Q chunk (G = 2). Losing any two nodes is
+        // beyond the XOR budget but within P+Q's.
+        let map = AddressMap::new(4, 4 * PAGE_SIZE as u64);
+        let rdx = Redundancy::Double(DoubleParityMap::new(map, 2));
+        let mut w = World::with_rdx(4, 4, rdx);
+        let lines: Vec<LineAddr> = (0..4).map(|n| w.app_line(n)).collect();
+        for (i, &l) in lines.iter().enumerate() {
+            w.logged_write(0, l, LineData::fill(0x50 + i as u8));
+        }
+        let reference = w.snapshot();
+        for (i, &l) in lines.iter().enumerate() {
+            w.logged_write(1, l, LineData::fill(0x60 + i as u8));
+        }
+        w.check_all_parity();
+        w.memories[1].destroy();
+        w.memories[2].destroy();
+        let report = recover(
+            RecoveryInput {
+                memories: &mut w.memories,
+                logs: &w.logs.iter().collect::<Vec<_>>(),
+                redundancy: &w.rdx,
+                target_interval: 1,
+                lost: &[NodeId(1), NodeId(2)],
+            },
+            &RecoveryTiming::derive(2, 2),
+        )
+        .unwrap();
+        assert!(report.log_pages_rebuilt >= 2, "both lost logs rebuilt");
+        assert_eq!(report.entries_replayed, 4);
+        let map = w.map();
+        for (i, &l) in lines.iter().enumerate() {
+            assert_eq!(
+                read_global(&w.memories, &map, l),
+                LineData::fill(0x50 + i as u8),
+                "line {l}"
+            );
+        }
+        assert_restored(&w, &reference, &[0, 1, 2, 3]);
+        w.check_all_parity();
+    }
+
+    #[test]
+    fn double_parity_three_losses_are_beyond_budget() {
+        let map = AddressMap::new(4, 4 * PAGE_SIZE as u64);
+        let mut w = World::with_rdx(4, 4, Redundancy::Double(DoubleParityMap::new(map, 2)));
+        let line = w.app_line(0);
+        w.logged_write(0, line, LineData::fill(0x77));
+        for n in [1, 2, 3] {
+            w.memories[n].destroy();
+        }
+        let err = recover(
+            RecoveryInput {
+                memories: &mut w.memories,
+                logs: &w.logs.iter().collect::<Vec<_>>(),
+                redundancy: &w.rdx,
+                target_interval: 1,
+                lost: &[NodeId(1), NodeId(2), NodeId(3)],
+            },
+            &RecoveryTiming::derive(2, 1),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecoveryError::BeyondParityBudget { .. }));
+        assert!(w.memories[1].is_lost(), "memories untouched on refusal");
+    }
+
+    #[test]
+    fn replication_recovers_two_losses_in_one_chunk() {
+        // 9 nodes, k = 2 replication: chunks {0,1,2} … — losing two of a
+        // chunk's three members still leaves one full copy of every page.
+        let map = AddressMap::new(9, 6 * PAGE_SIZE as u64);
+        let rdx = Redundancy::Replication(ReplicationMap::new(map, 2));
+        let mut w = World::with_rdx(9, 6, rdx);
+        let lines: Vec<LineAddr> = (0..9).map(|n| w.app_line(n)).collect();
+        for (i, &l) in lines.iter().enumerate() {
+            w.logged_write(0, l, LineData::fill(0x80 + i as u8));
+        }
+        let reference = w.snapshot();
+        for (i, &l) in lines.iter().enumerate() {
+            w.logged_write(1, l, LineData::fill(0x90 + i as u8));
+        }
+        w.check_all_parity();
+        w.memories[0].destroy();
+        w.memories[1].destroy();
+        let report = recover(
+            RecoveryInput {
+                memories: &mut w.memories,
+                logs: &w.logs.iter().collect::<Vec<_>>(),
+                redundancy: &w.rdx,
+                target_interval: 1,
+                lost: &[NodeId(0), NodeId(1)],
+            },
+            &RecoveryTiming::derive(1, 7),
+        )
+        .unwrap();
+        assert!(report.log_pages_rebuilt >= 2);
+        assert_eq!(report.entries_replayed, 9);
+        let map = w.map();
+        for (i, &l) in lines.iter().enumerate() {
+            assert_eq!(
+                read_global(&w.memories, &map, l),
+                LineData::fill(0x80 + i as u8),
+                "line {l}"
+            );
+        }
+        assert_restored(&w, &reference, &(0..9).collect::<Vec<_>>());
+        w.check_all_parity();
+    }
+
+    #[test]
+    fn replication_whole_chunk_loss_is_beyond_budget() {
+        let map = AddressMap::new(9, 6 * PAGE_SIZE as u64);
+        let mut w = World::with_rdx(9, 6, Redundancy::Replication(ReplicationMap::new(map, 2)));
+        let line = w.app_line(3);
+        w.logged_write(0, line, LineData::fill(0x13));
+        for n in [0, 1, 2] {
+            w.memories[n].destroy();
+        }
+        let err = recover(
+            RecoveryInput {
+                memories: &mut w.memories,
+                logs: &w.logs.iter().collect::<Vec<_>>(),
+                redundancy: &w.rdx,
+                target_interval: 1,
+                lost: &[NodeId(0), NodeId(1), NodeId(2)],
+            },
+            &RecoveryTiming::derive(1, 6),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RecoveryError::BeyondParityBudget { .. }));
+    }
+
     #[test]
     fn bogus_damage_reports_are_classified() {
         let mut w = World::new();
@@ -755,7 +960,7 @@ mod tests {
             RecoveryInput {
                 memories: &mut w.memories,
                 logs: &w.logs.iter().collect::<Vec<_>>(),
-                parity: &w.parity,
+                redundancy: &w.rdx,
                 target_interval: 1,
                 lost: &[NodeId(2)],
             },
@@ -767,7 +972,7 @@ mod tests {
             RecoveryInput {
                 memories: &mut w.memories,
                 logs: &w.logs.iter().collect::<Vec<_>>(),
-                parity: &w.parity,
+                redundancy: &w.rdx,
                 target_interval: 1,
                 lost: &[NodeId(99)],
             },

@@ -28,6 +28,7 @@ use revive_sim::types::NodeId;
 
 use crate::log::{RecordKind, ReplayEntry, ScannedRecord, RECORD_LINES};
 use crate::parity::ParityMap;
+use crate::redundancy::{Redundancy, RedundancyBackend};
 
 /// One record as the shadow believes it exists in log memory.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -312,22 +313,35 @@ impl ParityAudit {
 /// `read`, and reports each group whose XOR invariant fails with its stripe
 /// and parity-home node. Each group is visited exactly once (via its parity
 /// page).
-pub fn audit_parity<F>(parity: &ParityMap, mut read: F) -> ParityAudit
+pub fn audit_parity<F>(parity: &ParityMap, read: F) -> ParityAudit
 where
     F: FnMut(LineAddr) -> LineData,
 {
-    let map = *parity.address_map();
+    audit_redundancy(&Redundancy::Xor(*parity), read)
+}
+
+/// Sweeps every redundancy group of the active backend, reading lines
+/// through `read`, and reports each group whose invariant fails with its
+/// stripe and redundancy-home node. Each group is visited exactly once, via
+/// its first redundancy page (the parity page for XOR, P for P+Q, the
+/// first replica for replication); that page is reported as the
+/// violation's `parity_page`.
+pub fn audit_redundancy<F>(rdx: &Redundancy, mut read: F) -> ParityAudit
+where
+    F: FnMut(LineAddr) -> LineData,
+{
+    let map = *rdx.address_map();
     let mut audit = ParityAudit::default();
     for node in NodeId::all(map.nodes()) {
         for page in map.pages_of(node) {
-            if !parity.is_parity_page(page) {
+            if !rdx.is_redundancy_page(page) || rdx.group_of(page).redundancy[0] != page {
                 continue;
             }
             audit.groups_checked += 1;
-            if let Some(offset) = parity.check_group(page, &mut read) {
+            if let Some(offset) = rdx.check_group(page, &mut read) {
                 audit.violations.push(ParityViolation {
                     parity_page: page,
-                    stripe: parity.stripe_of(page),
+                    stripe: map.local_page_index(page),
                     node,
                     offset,
                 });

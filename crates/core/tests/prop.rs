@@ -188,11 +188,12 @@ impl MiniWorld {
         let lost_nodes: Vec<NodeId> = lost.map(NodeId::from).into_iter().collect();
         let logs: Vec<&MemLog> = self.logs.iter().collect();
         let timing = revive_core::recovery::RecoveryTiming::derive(3, 3);
+        let redundancy = revive_core::Redundancy::Xor(self.parity);
         revive_core::recovery::recover(
             revive_core::recovery::RecoveryInput {
                 memories: &mut self.memories,
                 logs: &logs,
-                parity: &self.parity,
+                redundancy: &redundancy,
                 target_interval: target,
                 lost: &lost_nodes,
             },

@@ -29,8 +29,45 @@ use crate::runner::{
 
 /// Schema identifier for serialized scenarios (inject specs).
 pub const SPEC_SCHEMA: &str = "revive-inject-spec";
-/// Current inject-spec schema version.
-pub const SPEC_VERSION: u64 = 1;
+/// Current inject-spec schema version. v2 added the `backend` field;
+/// v1 specs still parse (backend defaults to XOR parity).
+pub const SPEC_VERSION: u64 = 2;
+
+/// Which redundancy backend a scenario runs under. The choice decides the
+/// loss budget — how many simultaneous node deaths per group stay
+/// recoverable — so the generator draws node sets at and beyond it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// The paper's N+1 XOR parity (budget 1).
+    Xor,
+    /// RAID-6-style P+Q double parity (budget 2).
+    Double,
+    /// k-replication (budget k).
+    Replication,
+}
+
+impl BackendChoice {
+    /// Every backend, for exhaustive sweeps.
+    pub const ALL: [BackendChoice; 3] = [
+        BackendChoice::Xor,
+        BackendChoice::Double,
+        BackendChoice::Replication,
+    ];
+
+    /// Stable name used in inject specs and artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendChoice::Xor => "xor",
+            BackendChoice::Double => "double-parity",
+            BackendChoice::Replication => "replication",
+        }
+    }
+
+    /// Parses a [`BackendChoice::name`] back.
+    pub fn from_name(name: &str) -> Option<BackendChoice> {
+        BackendChoice::ALL.into_iter().find(|b| b.name() == name)
+    }
+}
 
 /// Knobs for the scenario generator.
 #[derive(Clone, Copy, Debug)]
@@ -97,6 +134,11 @@ pub struct Scenario {
     pub nodes: usize,
     /// Data pages per parity group (chunk `G+1` must divide `nodes`).
     pub group_data_pages: usize,
+    /// The redundancy backend the machine runs under. The other backends
+    /// reuse the XOR shape's chunk: double parity takes one data page of
+    /// the group for Q (`G-1`+2 spans the same nodes), replication keeps
+    /// `G` replicas per primary.
+    pub backend: BackendChoice,
     /// Op budget per CPU.
     pub ops_per_cpu: u64,
     /// The scripted faults, in injection order.
@@ -104,13 +146,35 @@ pub struct Scenario {
 }
 
 impl Scenario {
+    /// The [`ReviveMode`] the scenario's backend + group shape map to.
+    pub fn mode(&self) -> ReviveMode {
+        let g = self.group_data_pages;
+        match self.backend {
+            BackendChoice::Xor => ReviveMode::Parity {
+                group_data_pages: g,
+            },
+            BackendChoice::Double => {
+                // Same chunk of g+1 nodes, one data page traded for Q.
+                assert!(g >= 2, "double parity needs a chunk of at least 3");
+                ReviveMode::DoubleParity {
+                    group_data_pages: g - 1,
+                }
+            }
+            BackendChoice::Replication => ReviveMode::Replication { replicas: g },
+        }
+    }
+
+    /// How many simultaneous node losses per group the scenario's backend
+    /// can rebuild.
+    pub fn loss_budget(&self) -> usize {
+        self.mode().loss_budget()
+    }
+
     /// The experiment configuration this scenario runs against.
     pub fn experiment(&self) -> ExperimentConfig {
         let mut cfg = ExperimentConfig::test_small(AppId::Lu);
         cfg.machine.nodes = self.nodes;
-        cfg.revive.mode = ReviveMode::Parity {
-            group_data_pages: self.group_data_pages,
-        };
+        cfg.revive.mode = self.mode();
         cfg.workload = WorkloadSpec::Synthetic(self.app);
         cfg.ops_per_cpu = self.ops_per_cpu;
         cfg.seed = self.seed;
@@ -146,6 +210,7 @@ impl Scenario {
             "  \"group_data_pages\": {},\n",
             self.group_data_pages
         ));
+        s.push_str(&format!("  \"backend\": \"{}\",\n", self.backend.name()));
         s.push_str(&format!("  \"ops_per_cpu\": {},\n", self.ops_per_cpu));
         s.push_str("  \"faults\": [\n");
         for (i, f) in self.faults.iter().enumerate() {
@@ -185,11 +250,19 @@ impl Scenario {
             return Err(format!("not an inject spec: schema {schema:?}"));
         }
         let version = field_num(&v, "version")? as u64;
-        if version != SPEC_VERSION {
+        if !(1..=SPEC_VERSION).contains(&version) {
             return Err(format!(
-                "inject-spec version {version} (this build reads {SPEC_VERSION})"
+                "inject-spec version {version} (this build reads 1..={SPEC_VERSION})"
             ));
         }
+        // v1 predates pluggable backends: those specs ran XOR parity.
+        let backend = match v.get("backend") {
+            None => BackendChoice::Xor,
+            Some(b) => {
+                let name = b.as_str().ok_or("non-string \"backend\"")?;
+                BackendChoice::from_name(name).ok_or_else(|| format!("unknown backend {name:?}"))?
+            }
+        };
         let app_name = v
             .get("app")
             .and_then(Json::as_str)
@@ -213,6 +286,7 @@ impl Scenario {
             app,
             nodes: field_num(&v, "nodes")? as usize,
             group_data_pages: field_num(&v, "group_data_pages")? as usize,
+            backend,
             ops_per_cpu: field_num(&v, "ops_per_cpu")? as u64,
             faults,
         })
@@ -330,27 +404,38 @@ pub fn generate(seed: u64, cfg: &CampaignConfig) -> Scenario {
     // recoverable (cross-chunk) and unrecoverable (same-chunk) cases.
     let shapes: [(usize, usize); 2] = [(4, 3), (9, 2)];
     let (nodes, group_data_pages) = shapes[rng.index(shapes.len())];
+    // Every backend rides the same chunk shape (see `Scenario::mode`), so
+    // the draw is unconstrained.
+    let backend = BackendChoice::ALL[rng.index(BackendChoice::ALL.len())];
     // Only the private-region synthetics: the exact-memory oracle needs a
     // workload whose replayed execution is address-for-address identical.
     let apps = [SyntheticKind::WsExceedsL2, SyntheticKind::WsFitsDirty];
     let app = apps[rng.index(apps.len())];
     let n_faults = 1 + rng.index(cfg.max_faults.max(1));
-    let faults = (0..n_faults)
-        .map(|_| random_fault(&mut rng, nodes, cfg))
-        .collect();
-    Scenario {
+    let mut sc = Scenario {
         seed,
         app,
         nodes,
         group_data_pages,
+        backend,
         ops_per_cpu: cfg.ops_per_cpu,
-        faults,
-    }
+        faults: Vec::new(),
+    };
+    // Node-set sizes must reach past the backend's loss budget, or richer
+    // backends would never see an unrecoverable multi-node case.
+    let budget = sc.loss_budget();
+    sc.faults = (0..n_faults)
+        .map(|_| random_fault(&mut rng, nodes, budget, cfg))
+        .collect();
+    sc
 }
 
-fn random_fault(rng: &mut DetRng, nodes: usize, cfg: &CampaignConfig) -> FaultSpec {
+fn random_fault(rng: &mut DetRng, nodes: usize, budget: usize, cfg: &CampaignConfig) -> FaultSpec {
     const FRACTIONS: [f64; 4] = [0.1, 0.25, 0.5, 0.8];
     const DETECT: [f64; 3] = [0.0, 0.4, 0.8];
+    // Multi-node losses must be able to exceed the backend's budget, so the
+    // cap stretches to budget+1 when the configured cap is below it.
+    let max_simultaneous = cfg.max_simultaneous.max(budget + 1);
     let drawn_phase = match rng.index(8) {
         0..=2 => InjectPhase::MidLogging,
         3 => InjectPhase::CommitWindow,
@@ -359,9 +444,9 @@ fn random_fault(rng: &mut DetRng, nodes: usize, cfg: &CampaignConfig) -> FaultSp
         _ => InjectPhase::CommitEdge(CommitPoint::AfterCommit),
     };
     let kind = if cfg.live_only {
-        random_live_kind(rng, nodes, cfg.max_simultaneous)
+        random_live_kind(rng, nodes, max_simultaneous)
     } else {
-        random_kind(rng, nodes, cfg.max_simultaneous)
+        random_kind(rng, nodes, max_simultaneous)
     };
     // Live kinds sever a *running* fabric: they cannot strike mid-recovery
     // (the machine is halted then) and cannot be paired with a second
@@ -375,7 +460,7 @@ fn random_fault(rng: &mut DetRng, nodes: usize, cfg: &CampaignConfig) -> FaultSp
         (phase, None)
     } else {
         let second = if drawn_phase == InjectPhase::DuringRecovery && rng.chance(0.5) {
-            Some(random_scripted_kind(rng, nodes, cfg.max_simultaneous))
+            Some(random_scripted_kind(rng, nodes, max_simultaneous))
         } else {
             None
         };
@@ -826,8 +911,27 @@ mod tests {
         assert!(Scenario::from_json("{}").is_err());
         assert!(Scenario::from_json("{\"schema\": \"other\"}").is_err());
         let sc = generate(3, &CampaignConfig::default());
-        let wrong_version = sc.to_json().replace("\"version\": 1", "\"version\": 999");
+        let wrong_version = sc.to_json().replace("\"version\": 2", "\"version\": 999");
         assert!(Scenario::from_json(&wrong_version).is_err());
+        let wrong_backend = sc
+            .to_json()
+            .replace(&format!("\"{}\"", sc.backend.name()), "\"raid60\"");
+        assert!(Scenario::from_json(&wrong_backend).is_err());
+    }
+
+    #[test]
+    fn v1_specs_parse_with_the_xor_default() {
+        // A v2 spec with the backend field stripped and the version wound
+        // back is exactly what a pre-backend build emitted.
+        let mut sc = generate(7, &CampaignConfig::default());
+        sc.backend = BackendChoice::Xor;
+        let v1 = sc
+            .to_json()
+            .replace("\"version\": 2", "\"version\": 1")
+            .replace(&format!("  \"backend\": \"{}\",\n", sc.backend.name()), "");
+        let parsed = Scenario::from_json(&v1).expect("v1 spec parses");
+        assert_eq!(parsed.backend, BackendChoice::Xor);
+        assert_eq!(parsed, sc);
     }
 
     #[test]
@@ -839,6 +943,7 @@ mod tests {
             app: SyntheticKind::WsExceedsL2,
             nodes: 9,
             group_data_pages: 2,
+            backend: BackendChoice::Double,
             ops_per_cpu: 60_000,
             faults: vec![
                 FaultSpec {
@@ -871,6 +976,11 @@ mod tests {
         assert!(fails(&sc));
         let min = shrink_with(&sc, fails, 1000);
         assert!(fails(&min), "shrinking preserves the failure");
+        // The minimized repro must replay under the same backend the
+        // failure was found under — a repro that silently reverts to XOR
+        // parity could stop reproducing (or reproduce for the wrong
+        // reason).
+        assert_eq!(min.backend, BackendChoice::Double);
         assert_eq!(min.faults.len(), 1);
         let f = &min.faults[0];
         assert_eq!(f.kind, ErrorKind::NodeLoss(NodeId(1)));
@@ -884,17 +994,52 @@ mod tests {
 
     #[test]
     fn experiment_config_respects_the_scenario() {
-        let sc = generate(11, &CampaignConfig::default());
-        let cfg = sc.experiment();
-        assert_eq!(cfg.machine.nodes, sc.nodes);
-        assert_eq!(
-            cfg.revive.mode,
-            ReviveMode::Parity {
-                group_data_pages: sc.group_data_pages
-            }
-        );
-        assert_eq!(cfg.workload, WorkloadSpec::Synthetic(sc.app));
-        assert_eq!(cfg.ops_per_cpu, sc.ops_per_cpu);
-        assert!(cfg.shadow_checkpoints, "the oracle needs shadows");
+        for seed in 0..30 {
+            let sc = generate(seed, &CampaignConfig::default());
+            let cfg = sc.experiment();
+            assert_eq!(cfg.machine.nodes, sc.nodes);
+            let g = sc.group_data_pages;
+            let want = match sc.backend {
+                BackendChoice::Xor => ReviveMode::Parity {
+                    group_data_pages: g,
+                },
+                BackendChoice::Double => ReviveMode::DoubleParity {
+                    group_data_pages: g - 1,
+                },
+                BackendChoice::Replication => ReviveMode::Replication { replicas: g },
+            };
+            assert_eq!(cfg.revive.mode, want, "seed {seed}");
+            assert_eq!(cfg.workload, WorkloadSpec::Synthetic(sc.app));
+            assert_eq!(cfg.ops_per_cpu, sc.ops_per_cpu);
+            assert!(cfg.shadow_checkpoints, "the oracle needs shadows");
+        }
+    }
+
+    #[test]
+    fn generation_sweeps_every_backend_and_crosses_each_budget() {
+        let cfg = CampaignConfig::default();
+        let scenarios: Vec<Scenario> = (0..300).map(|s| generate(s, &cfg)).collect();
+        for b in BackendChoice::ALL {
+            assert!(
+                scenarios.iter().any(|s| s.backend == b),
+                "{} never drawn",
+                b.name()
+            );
+            // Every backend must see at least one multi-node loss strictly
+            // over its budget, or the campaign never exercises that
+            // backend's unrecoverable classification.
+            assert!(
+                scenarios
+                    .iter()
+                    .filter(|s| s.backend == b)
+                    .any(|s| s.faults.iter().any(|f| matches!(
+                        &f.kind,
+                        ErrorKind::MultiNodeLoss(set) | ErrorKind::LiveMultiNodeLoss(set)
+                            if set.len() > s.loss_budget()
+                    ))),
+                "{} never drew an over-budget loss",
+                b.name()
+            );
+        }
     }
 }

@@ -194,18 +194,36 @@ pub enum ReviveMode {
         /// Fraction of each node's stripes protected by mirroring.
         mirrored_fraction: f64,
     },
+    /// RAID-6-style P+Q double parity over GF(256): each group of
+    /// `group_data_pages` data pages carries two redundancy pages (P and Q)
+    /// and survives *any two* simultaneous node losses per group
+    /// (DESIGN.md §16).
+    DoubleParity {
+        /// Data pages per double-parity group (the chunk spans G+2 nodes).
+        group_data_pages: usize,
+    },
+    /// ReStore-style k-replication: every data page is mirrored whole to
+    /// `replicas` deterministic peer nodes, surviving up to `replicas`
+    /// simultaneous losses per group at `replicas`/(`replicas`+1) storage
+    /// overhead (DESIGN.md §16).
+    Replication {
+        /// Full copies kept besides the primary (k ≥ 1; k = 1 lays out
+        /// identically to [`ReviveMode::Mirroring`]).
+        replicas: usize,
+    },
 }
 
 impl ReviveMode {
-    /// The parity group's data-page count, when ReVive is on.
+    /// The redundancy group's data-page count, when ReVive is on.
     pub fn group_data_pages(self) -> Option<usize> {
         match self {
             ReviveMode::Off => None,
             ReviveMode::Parity { group_data_pages }
             | ReviveMode::Mixed {
                 group_data_pages, ..
-            } => Some(group_data_pages),
-            ReviveMode::Mirroring => Some(1),
+            }
+            | ReviveMode::DoubleParity { group_data_pages } => Some(group_data_pages),
+            ReviveMode::Mirroring | ReviveMode::Replication { .. } => Some(1),
         }
     }
 
@@ -219,6 +237,39 @@ impl ReviveMode {
         }
     }
 
+    /// How many simultaneous node losses per redundancy group the mode's
+    /// backend can rebuild (0 when recovery is off). Mirrors
+    /// `RedundancyBackend::budget()` for call sites that have a config but
+    /// no assembled machine.
+    pub fn loss_budget(self) -> usize {
+        match self {
+            ReviveMode::Off => 0,
+            ReviveMode::Parity { .. } | ReviveMode::Mirroring | ReviveMode::Mixed { .. } => 1,
+            ReviveMode::DoubleParity { .. } => 2,
+            ReviveMode::Replication { replicas } => replicas,
+        }
+    }
+
+    /// The fraction of memory the mode spends on redundancy. Mirrors
+    /// `RedundancyBackend::storage_overhead()` for call sites that have a
+    /// config but no assembled machine.
+    pub fn storage_overhead(self) -> f64 {
+        match self {
+            ReviveMode::Off => 0.0,
+            ReviveMode::Parity { group_data_pages } => 1.0 / (group_data_pages as f64 + 1.0),
+            ReviveMode::Mirroring => 0.5,
+            ReviveMode::Mixed {
+                group_data_pages,
+                mirrored_fraction,
+            } => {
+                mirrored_fraction * 0.5
+                    + (1.0 - mirrored_fraction) / (group_data_pages as f64 + 1.0)
+            }
+            ReviveMode::DoubleParity { group_data_pages } => 2.0 / (group_data_pages as f64 + 2.0),
+            ReviveMode::Replication { replicas } => replicas as f64 / (replicas as f64 + 1.0),
+        }
+    }
+
     /// Short name for reports.
     pub fn name(self) -> &'static str {
         match self {
@@ -226,6 +277,8 @@ impl ReviveMode {
             ReviveMode::Parity { .. } => "parity",
             ReviveMode::Mirroring => "mirroring",
             ReviveMode::Mixed { .. } => "mixed",
+            ReviveMode::DoubleParity { .. } => "double-parity",
+            ReviveMode::Replication { .. } => "replication",
         }
     }
 }
@@ -276,6 +329,25 @@ impl ReviveConfig {
     pub fn mirroring(interval: Ns) -> ReviveConfig {
         ReviveConfig {
             mode: ReviveMode::Mirroring,
+            ..ReviveConfig::parity(interval)
+        }
+    }
+
+    /// RAID-6-style double parity (6+2 groups, matching the paper
+    /// machine's 16 nodes) at the given checkpoint interval.
+    pub fn double_parity(interval: Ns) -> ReviveConfig {
+        ReviveConfig {
+            mode: ReviveMode::DoubleParity {
+                group_data_pages: 6,
+            },
+            ..ReviveConfig::parity(interval)
+        }
+    }
+
+    /// k-replication at the given checkpoint interval.
+    pub fn replication(interval: Ns, replicas: usize) -> ReviveConfig {
+        ReviveConfig {
+            mode: ReviveMode::Replication { replicas },
             ..ReviveConfig::parity(interval)
         }
     }
@@ -485,6 +557,57 @@ mod tests {
             Some(7)
         );
         assert_eq!(ReviveMode::Mirroring.group_data_pages(), Some(1));
+        assert_eq!(
+            ReviveMode::DoubleParity {
+                group_data_pages: 6
+            }
+            .group_data_pages(),
+            Some(6)
+        );
+        assert_eq!(
+            ReviveMode::Replication { replicas: 2 }.group_data_pages(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn mode_budgets_and_overheads() {
+        assert_eq!(ReviveMode::Off.loss_budget(), 0);
+        assert_eq!(
+            ReviveMode::Parity {
+                group_data_pages: 7
+            }
+            .loss_budget(),
+            1
+        );
+        assert_eq!(
+            ReviveMode::DoubleParity {
+                group_data_pages: 6
+            }
+            .loss_budget(),
+            2
+        );
+        assert_eq!(ReviveMode::Replication { replicas: 3 }.loss_budget(), 3);
+        let close = |a: f64, b: f64| (a - b).abs() < 1e-12;
+        assert!(close(
+            ReviveMode::Parity {
+                group_data_pages: 7
+            }
+            .storage_overhead(),
+            1.0 / 8.0
+        ));
+        assert!(close(ReviveMode::Mirroring.storage_overhead(), 0.5));
+        assert!(close(
+            ReviveMode::DoubleParity {
+                group_data_pages: 6
+            }
+            .storage_overhead(),
+            0.25
+        ));
+        assert!(close(
+            ReviveMode::Replication { replicas: 2 }.storage_overhead(),
+            2.0 / 3.0
+        ));
     }
 
     #[test]

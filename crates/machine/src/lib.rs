@@ -64,7 +64,8 @@ pub use metrics::{Metrics, Summary, TrafficClass};
 pub use page_table::PageTable;
 pub use report::{
     artifact_config_hash, content_hash, parse_json, parse_run_result, render_artifact,
-    validate_artifact, write_atomic, Json, RunMeta, ARTIFACT_SCHEMA, ARTIFACT_VERSION,
+    validate_artifact, validate_frontier_artifact, write_atomic, Json, RunMeta, ARTIFACT_SCHEMA,
+    ARTIFACT_VERSION, FRONTIER_SCHEMA,
 };
 pub use runner::{
     run_experiment, CommitPoint, ErrorKind, FaultOutcome, InjectPhase, InjectionPlan, NodeSet,

@@ -46,6 +46,11 @@ pub struct RunMeta {
     pub ops_per_cpu: u64,
     /// Checkpoint interval in ns (`u64::MAX` = infinite).
     pub interval_ns: u64,
+    /// Simultaneous node losses per group the redundancy backend can
+    /// rebuild (0 for the baseline).
+    pub redundancy_budget: usize,
+    /// Fraction of memory the backend spends on redundancy.
+    pub storage_overhead: f64,
     /// Content hash of the *complete* experiment configuration (every
     /// machine, ReVive, observability, and injection knob — not just the
     /// summary fields above). This is the result cache's key: an artifact
@@ -72,6 +77,8 @@ impl RunMeta {
             seed: cfg.seed,
             ops_per_cpu: cfg.ops_per_cpu,
             interval_ns: cfg.revive.ckpt.interval.0,
+            redundancy_budget: cfg.revive.mode.loss_budget(),
+            storage_overhead: cfg.revive.mode.storage_overhead(),
             // The Debug rendering covers every field of the config tree, so
             // any change — cache geometry, log fraction, L-bit design,
             // observability — changes the hash and invalidates the cache.
@@ -123,9 +130,11 @@ pub const ARTIFACT_SCHEMA: &str = "revive-run-artifact";
 /// kinds (msg_drop / watchdog_timeout / retry / reroute) in
 /// `trace.counts`; version 5 added the `retry_backoff_capped` trace kind;
 /// version 6 added the optional host-dependent `engine` self-profile
-/// section (present only for `engine_prof` runs, DESIGN.md §15).
+/// section (present only for `engine_prof` runs, DESIGN.md §15); version 7
+/// added the mandatory `redundancy` section (backend name, loss budget,
+/// storage overhead — the cost/availability axes of DESIGN.md §16).
 /// Earlier versions still validate.
-pub const ARTIFACT_VERSION: u64 = 6;
+pub const ARTIFACT_VERSION: u64 = 7;
 
 /// FNV-1a over the UTF-8 bytes of `s` — the content address used to key
 /// the result cache. Hand-rolled (the build is offline); 64-bit is plenty
@@ -270,6 +279,15 @@ pub fn render_artifact(meta: &RunMeta, r: &RunResult) -> String {
         meta.ops_per_cpu,
         meta.interval_ns,
         meta.config_hash_hex(),
+    );
+
+    // -- redundancy: the backend's cost/availability coordinates (v7) --
+    let _ = writeln!(
+        o,
+        "\"redundancy\":{{\"backend\":\"{}\",\"budget\":{},\"storage_overhead\":{}}},",
+        escape_json(&meta.mode),
+        meta.redundancy_budget,
+        meta.storage_overhead,
     );
 
     // -- injections: the scripted fault scenario (empty for clean runs) --
@@ -816,6 +834,19 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
             return Err("config.config_hash is not 16 hex digits".into());
         }
     }
+    // Version 7 records the redundancy backend's cost/availability
+    // coordinates; earlier artifacts predate pluggable backends.
+    if version >= 7.0 {
+        let rdx = need("redundancy")?;
+        if rdx.get("backend").and_then(Json::as_str).is_none() {
+            return Err("redundancy.backend missing or not a string".into());
+        }
+        for key in ["budget", "storage_overhead"] {
+            if rdx.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("redundancy.{key} missing or not a number"));
+            }
+        }
+    }
     // Version 2 records the injection scenario (mandatory, empty for
     // clean runs); version-1 artifacts predate the section.
     if version >= 2.0 {
@@ -1064,6 +1095,129 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The schema tag of the frontier document emitted by the `frontier`
+/// binary (one document summarizing every backend × shape bucket, distinct
+/// from the per-run [`ARTIFACT_SCHEMA`] artifacts).
+pub const FRONTIER_SCHEMA: &str = "revive-frontier";
+
+/// Structural validation for the cost/availability frontier document: one
+/// point per redundancy backend × machine shape, each carrying the
+/// backend's cost coordinates (storage overhead, redundancy-update
+/// traffic, checkpoint latency) and its measured availability under the
+/// live-fault campaign. All three backends must be covered or the
+/// frontier is incomplete by construction.
+pub fn validate_frontier_artifact(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let need = |key: &str| -> Result<&Json, String> {
+        doc.get(key).ok_or_else(|| format!("missing key '{key}'"))
+    };
+    if need("schema")?.as_str() != Some(FRONTIER_SCHEMA) {
+        return Err(format!("schema is not '{FRONTIER_SCHEMA}'"));
+    }
+    if need("version")?.as_num() != Some(ARTIFACT_VERSION as f64) {
+        return Err("unsupported frontier version".into());
+    }
+    let seeds = need("seeds_per_point")?
+        .as_num()
+        .ok_or("seeds_per_point is not a number")?;
+    if seeds < 1.0 {
+        return Err("seeds_per_point must be at least 1".into());
+    }
+    let points = need("points")?.as_arr().ok_or("'points' is not an array")?;
+    if points.is_empty() {
+        return Err("frontier has no points".into());
+    }
+    let mut backends_seen: Vec<&str> = Vec::new();
+    for p in points {
+        let backend = p
+            .get("backend")
+            .and_then(Json::as_str)
+            .ok_or("point lacks a backend name")?;
+        if !backends_seen.contains(&backend) {
+            backends_seen.push(backend);
+        }
+        if p.get("mode").and_then(Json::as_str).is_none() {
+            return Err(format!("point '{backend}' lacks a mode name"));
+        }
+        for key in ["nodes", "group_data_pages", "budget"] {
+            let v = p
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("point '{backend}' lacks {key}"))?;
+            if v < 0.0 || (key != "budget" && v < 1.0) {
+                return Err(format!("point '{backend}' has nonsensical {key}"));
+            }
+        }
+        let overhead = p
+            .get("storage_overhead")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("point '{backend}' lacks storage_overhead"))?;
+        if !(0.0..=8.0).contains(&overhead) {
+            return Err(format!("point '{backend}' storage_overhead out of range"));
+        }
+        let clean = p
+            .get("clean")
+            .ok_or_else(|| format!("point '{backend}' lacks the clean-run section"))?;
+        for key in [
+            "sim_time_ns",
+            "checkpoints",
+            "ckpt_mean_ns",
+            "ckpt_max_ns",
+            "rdx_net_bytes",
+            "rdx_net_msgs",
+            "rdx_mem_accesses",
+        ] {
+            if clean.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("point '{backend}' clean.{key} missing"));
+            }
+        }
+        let faults = p
+            .get("faults")
+            .ok_or_else(|| format!("point '{backend}' lacks the faults section"))?;
+        let mut parts = [0.0; 3];
+        for (i, key) in ["recovered", "unrecoverable", "not_fired"]
+            .iter()
+            .enumerate()
+        {
+            parts[i] = faults
+                .get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("point '{backend}' faults.{key} missing"))?;
+        }
+        let scenarios = faults
+            .get("scenarios")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("point '{backend}' faults.scenarios missing"))?;
+        if parts.iter().sum::<f64>() != scenarios {
+            return Err(format!(
+                "point '{backend}' fault tallies do not sum to scenarios"
+            ));
+        }
+        let avail = faults
+            .get("availability")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("point '{backend}' faults.availability missing"))?;
+        if !(0.0..=1.0).contains(&avail) {
+            return Err(format!("point '{backend}' availability out of [0,1]"));
+        }
+        if faults
+            .get("unavailable_mean_ns")
+            .and_then(Json::as_num)
+            .is_none()
+        {
+            return Err(format!(
+                "point '{backend}' faults.unavailable_mean_ns missing"
+            ));
+        }
+    }
+    for want in ["xor", "double-parity", "replication"] {
+        if !backends_seen.contains(&want) {
+            return Err(format!("frontier does not cover backend '{want}'"));
+        }
+    }
+    Ok(())
+}
+
 /// The content hash recorded in a parsed artifact document (`None` for
 /// pre-version-3 artifacts, which predate content addressing).
 pub fn artifact_config_hash(doc: &Json) -> Option<&str> {
@@ -1246,6 +1400,8 @@ mod tests {
             seed: 42,
             ops_per_cpu: 1000,
             interval_ns: 100_000,
+            redundancy_budget: 1,
+            storage_overhead: 0.25,
             config_hash: 0x0123_4567_89ab_cdef,
             campaign_seed: None,
             injections: Vec::new(),
@@ -1303,29 +1459,44 @@ mod tests {
     fn older_artifact_versions_still_validate() {
         let text = render_artifact(&test_meta(), &RunResult::default());
         // A v1 artifact predates both injections and content addressing.
-        let v1 = text.replace("\"version\":6,", "\"version\":1,");
+        let v1 = text.replace("\"version\":7,", "\"version\":1,");
         validate_artifact(&v1).unwrap();
         // A v2 artifact predates content addressing only.
         let v2 = text
-            .replace("\"version\":6,", "\"version\":2,")
+            .replace("\"version\":7,", "\"version\":2,")
             .replace(",\"config_hash\":\"0123456789abcdef\"", "");
         validate_artifact(&v2).unwrap();
         // A v3 artifact predates the fault-fabric counters: neither the
         // retry sections nor the new trace kinds are required.
         let v3 = text
-            .replace("\"version\":6,", "\"version\":3,")
+            .replace("\"version\":7,", "\"version\":3,")
             .replace(",\"retries\":[0,0,0,0,0]", "");
         validate_artifact(&v3).unwrap();
         // A v4 artifact predates the retry_backoff_capped trace kind.
         let v4 = text
-            .replace("\"version\":6,", "\"version\":4,")
+            .replace("\"version\":7,", "\"version\":4,")
             .replace(",\"retry_backoff_capped\":0", "");
         validate_artifact(&v4).unwrap();
         // A v5 artifact predates the engine section, which is optional
         // anyway: the plain downgrade validates as-is.
-        let v5 = text.replace("\"version\":6,", "\"version\":5,");
+        let v5 = text.replace("\"version\":7,", "\"version\":5,");
         validate_artifact(&v5).unwrap();
-        // ...but a v4 artifact must carry them.
+        // A v6 artifact predates the redundancy section.
+        let v6: String = text
+            .replace("\"version\":7,", "\"version\":6,")
+            .lines()
+            .filter(|l| !l.starts_with("\"redundancy\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        validate_artifact(&v6).unwrap();
+        // ...but a v7 artifact must carry it.
+        let no_rdx: String = text
+            .lines()
+            .filter(|l| !l.starts_with("\"redundancy\""))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(validate_artifact(&no_rdx).is_err());
+        // ...and a v4 artifact must carry the retry counters.
         let no_retries = text.replace(",\"retries\":[0,0,0,0,0]", "");
         assert!(validate_artifact(&no_retries).is_err());
         // But a v2+ artifact must carry the injections section...
@@ -1544,6 +1715,58 @@ mod tests {
     fn validator_catches_missing_sections() {
         assert!(validate_artifact("{}").is_err());
         assert!(validate_artifact(r#"{"schema":"other"}"#).is_err());
+    }
+
+    fn frontier_point(backend: &str, recovered: u32, unrecoverable: u32) -> String {
+        format!(
+            r#"{{"backend":"{backend}","mode":"{backend}","nodes":4,
+               "group_data_pages":3,"budget":1,"storage_overhead":0.25,
+               "clean":{{"sim_time_ns":1000,"checkpoints":3,"ckpt_mean_ns":10,
+                        "ckpt_max_ns":20,"rdx_net_bytes":4096,"rdx_net_msgs":8,
+                        "rdx_mem_accesses":16}},
+               "faults":{{"scenarios":{scenarios},"recovered":{recovered},
+                         "unrecoverable":{unrecoverable},"not_fired":1,
+                         "availability":0.5,"unavailable_mean_ns":100}}}}"#,
+            scenarios = recovered + unrecoverable + 1,
+        )
+    }
+
+    fn frontier_doc(points: &[String]) -> String {
+        format!(
+            r#"{{"schema":"{FRONTIER_SCHEMA}","version":{ARTIFACT_VERSION},
+               "seeds_per_point":4,"points":[{}]}}"#,
+            points.join(",")
+        )
+    }
+
+    #[test]
+    fn frontier_validator_accepts_a_full_matrix_and_rejects_holes() {
+        let full = frontier_doc(&[
+            frontier_point("xor", 2, 1),
+            frontier_point("double-parity", 3, 0),
+            frontier_point("replication", 3, 0),
+        ]);
+        validate_frontier_artifact(&full).unwrap();
+
+        // A frontier that never exercised one of the backends is not a
+        // frontier: the CI matrix must cover all three.
+        let partial = frontier_doc(&[frontier_point("xor", 2, 1)]);
+        let err = validate_frontier_artifact(&partial).unwrap_err();
+        assert!(err.contains("double-parity"), "got: {err}");
+
+        // Outcome tallies must account for every scenario exactly.
+        let skewed = full.replace("\"recovered\":2", "\"recovered\":4");
+        let err = validate_frontier_artifact(&skewed).unwrap_err();
+        assert!(err.contains("sum to scenarios"), "got: {err}");
+
+        // Availability is a probability.
+        let bad_avail = full.replace("\"availability\":0.5", "\"availability\":1.5");
+        assert!(validate_frontier_artifact(&bad_avail).is_err());
+
+        // Version drift and schema mix-ups fail loudly.
+        assert!(validate_frontier_artifact("{}").is_err());
+        let wrong_schema = full.replace(FRONTIER_SCHEMA, ARTIFACT_SCHEMA);
+        assert!(validate_frontier_artifact(&wrong_schema).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use revive_core::checkpoint::CkptStats;
 use revive_core::recovery::{
     recover, RecoveryError, RecoveryInput, RecoveryReport, RecoveryTiming,
 };
+use revive_core::redundancy::RedundancyBackend;
 use revive_core::validate::{LogDivergence, MemoryImage, ParityAudit};
 use revive_mem::addr::PageAddr;
 use revive_mem::line::LineData;
@@ -783,9 +784,20 @@ impl Runner {
         t_detect: Ns,
     ) -> Result<RecoveryOutcome, RecoveryError> {
         let sys = &mut self.sys;
-        let parity = sys.parity.expect("revive is on");
+        let redundancy = sys.redundancy.expect("revive is on");
+        // Rolling back to `target` replays the logs of every interval after
+        // it; commits during the detection window (periodic, or forced early
+        // by log pressure — easy under value-logging backends) reclaim old
+        // logs, so a target older than `counter - retained` has lost the
+        // records the rollback needs. Refuse before touching any memory.
+        let oldest = sys
+            .ckpt_counter
+            .saturating_sub(sys.cfg.revive.ckpt.retained);
+        if target < oldest {
+            return Err(RecoveryError::TargetReclaimed { target, oldest });
+        }
         let workers = sys.nodes.len().saturating_sub(lost.len());
-        let timing = RecoveryTiming::derive(parity.group_data_pages(), workers.max(1));
+        let timing = RecoveryTiming::derive(redundancy.rebuild_fanin(), workers.max(1));
 
         // In-flight parity updates on healthy paths complete before the
         // reset (see `System::drain_parity_inflight`); then Phase 1 resets
@@ -804,7 +816,7 @@ impl Runner {
             RecoveryInput {
                 memories: &mut memories,
                 logs: &logs,
-                parity: &parity,
+                redundancy: &redundancy,
                 target_interval: target,
                 lost,
             },
@@ -946,15 +958,15 @@ impl Runner {
                 }
             }
         }
-        // The parity invariant must hold for every group after Phase 4.
+        // The redundancy invariant must hold for every group after Phase 4.
         if ok {
-            if let Some(pm) = sys.parity.as_ref() {
+            if let Some(rdx) = sys.redundancy.as_ref() {
                 'outer: for n in NodeId::all(map.nodes()) {
                     for page in map.pages_of(n) {
-                        if pm.is_parity_page(page) {
+                        if rdx.is_redundancy_page(page) {
                             continue;
                         }
-                        let bad = pm.check_group(page, |l| {
+                        let bad = rdx.check_group(page, &mut |l| {
                             sys.nodes[map.home_of_line(l).index()]
                                 .mem
                                 .read_line(map.local_line_index(l))
@@ -962,7 +974,7 @@ impl Runner {
                         if let Some(off) = bad {
                             if sys.cfg.shadow_checkpoints {
                                 eprintln!(
-                                    "verify: parity violated in group of {page} at offset {off}"
+                                    "verify: redundancy violated in group of {page} at offset {off}"
                                 );
                             }
                             ok = false;
@@ -1085,11 +1097,11 @@ impl System {
     }
 
     /// Zeroes the log regions (their records belong to discarded
-    /// intervals), fixing parity along the way, then restarts hooks and
-    /// execution state for the recovered interval.
+    /// intervals), fixing their redundancy along the way, then restarts
+    /// hooks and execution state for the recovered interval.
     pub(crate) fn scrub_logs_after_rollback(&mut self, target: u64) {
         let map = self.map;
-        let parity = self.parity.expect("revive on");
+        let rdx = self.redundancy.expect("revive on");
         let log_lines: Vec<revive_mem::addr::LineAddr> = self
             .nodes
             .iter()
@@ -1103,13 +1115,18 @@ impl System {
                 continue;
             }
             self.nodes[home].mem.write_line(local, LineData::ZERO);
-            let pline = parity.parity_line_of(line);
-            let phome = map.home_of_line(pline).index();
-            let plocal = map.local_line_index(pline);
-            if parity.is_mirrored_page(line.page()) {
-                self.nodes[phome].mem.write_line(plocal, LineData::ZERO);
-            } else {
-                self.nodes[phome].mem.xor_line(plocal, old);
+            let stores = rdx.stores_values(line.page());
+            // Value backends ship the new (zero) value; delta backends ship
+            // old ⊕ new = old.
+            let payload = if stores { LineData::ZERO } else { old };
+            for (rline, rpayload) in rdx.expand_update(line, payload) {
+                let rhome = map.home_of_line(rline).index();
+                let rlocal = map.local_line_index(rline);
+                if stores {
+                    self.nodes[rhome].mem.write_line(rlocal, rpayload);
+                } else {
+                    self.nodes[rhome].mem.xor_line(rlocal, rpayload);
+                }
             }
         }
         for node in &mut self.nodes {

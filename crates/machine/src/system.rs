@@ -30,7 +30,8 @@ use revive_core::lbits::LBits;
 use revive_core::log::MemLog;
 use revive_core::parity::{ParityAck, ParityMap, ParityUpdate};
 use revive_core::recovery::RecoveryError;
-use revive_core::validate::{audit_parity, MemoryImage};
+use revive_core::redundancy::{DoubleParityMap, Redundancy, RedundancyBackend, ReplicationMap};
+use revive_core::validate::{audit_redundancy, MemoryImage};
 use revive_mem::addr::{AddressMap, LineAddr, PageAddr};
 use revive_mem::dram::{Dram, DramOp};
 use revive_mem::line::LineData;
@@ -45,7 +46,7 @@ use revive_sim::trace::{CkptPhaseEvent, Span, TraceBuffer, TraceEvent};
 use revive_sim::types::NodeId;
 use revive_workloads::Workload;
 
-use crate::config::{ExperimentConfig, MachineError};
+use crate::config::{ExperimentConfig, MachineError, ReviveMode};
 use crate::differential::AuditReport;
 use crate::engine_prof::{EngineProfState, SerialReason};
 use crate::metrics::{Metrics, TrafficClass};
@@ -200,7 +201,7 @@ struct NodePort<'a> {
     mem: &'a mut NodeMemory,
     dram: &'a mut Dram,
     map: AddressMap,
-    parity: Option<ParityMap>,
+    redundancy: Option<Redundancy>,
     log_pages: &'a FastHashSet<PageAddr>,
     metrics: &'a mut Metrics,
     node: NodeId,
@@ -214,7 +215,7 @@ impl NodePort<'_> {
         let page = line.page();
         if self.log_pages.contains(&page) {
             TrafficClass::Log
-        } else if self.parity.is_some_and(|p| p.is_parity_page(page)) {
+        } else if self.redundancy.is_some_and(|r| r.is_redundancy_page(page)) {
             TrafficClass::Par
         } else {
             self.ctx_class
@@ -304,7 +305,7 @@ fn run_dir_item(
     item: DirItem,
     scratch: &mut Metrics,
     map: AddressMap,
-    parity: Option<ParityMap>,
+    redundancy: Option<Redundancy>,
     dir_latency: Ns,
     trace_on: bool,
 ) -> (usize, DirEffect) {
@@ -341,7 +342,7 @@ fn run_dir_item(
                     mem,
                     dram,
                     map,
-                    parity,
+                    redundancy,
                     log_pages,
                     metrics: scratch,
                     node: item.dst,
@@ -448,7 +449,7 @@ impl ExecSnapshot {
 pub struct System {
     pub(crate) cfg: ExperimentConfig,
     pub(crate) map: AddressMap,
-    pub(crate) parity: Option<ParityMap>,
+    pub(crate) redundancy: Option<Redundancy>,
     pub(crate) nodes: Vec<Node>,
     pub(crate) cpus: Vec<Cpu>,
     pub(crate) fabric: Fabric,
@@ -538,8 +539,15 @@ impl System {
             )));
         }
         let map = AddressMap::new(nodes, m.mem_per_node);
-        let parity = match cfg.revive.mode.group_data_pages() {
-            Some(g) => {
+        let redundancy = match cfg.revive.mode {
+            ReviveMode::Off => None,
+            ReviveMode::Parity {
+                group_data_pages: g,
+            }
+            | ReviveMode::Mixed {
+                group_data_pages: g,
+                ..
+            } => {
                 if !nodes.is_multiple_of(g + 1) {
                     return Err(MachineError::BadConfig(format!(
                         "parity chunk {} does not divide node count {nodes}",
@@ -558,18 +566,50 @@ impl System {
                     ));
                 }
                 let mirrored = (map.pages_per_node() as f64 * frac) as u64;
-                Some(ParityMap::mixed(map, g, mirrored))
+                Some(Redundancy::Xor(ParityMap::mixed(map, g, mirrored)))
             }
-            None => None,
+            ReviveMode::Mirroring => {
+                if !nodes.is_multiple_of(2) {
+                    return Err(MachineError::BadConfig(format!(
+                        "parity chunk 2 does not divide node count {nodes}"
+                    )));
+                }
+                Some(Redundancy::Xor(ParityMap::mixed(map, 1, 0)))
+            }
+            ReviveMode::DoubleParity {
+                group_data_pages: g,
+            } => {
+                if !nodes.is_multiple_of(g + 2) {
+                    return Err(MachineError::BadConfig(format!(
+                        "double-parity chunk {} does not divide node count {nodes}",
+                        g + 2
+                    )));
+                }
+                Some(Redundancy::Double(DoubleParityMap::new(map, g)))
+            }
+            ReviveMode::Replication { replicas: k } => {
+                if k == 0 {
+                    return Err(MachineError::BadConfig(
+                        "replication needs at least one replica".into(),
+                    ));
+                }
+                if !nodes.is_multiple_of(k + 1) {
+                    return Err(MachineError::BadConfig(format!(
+                        "replication chunk {} does not divide node count {nodes}",
+                        k + 1
+                    )));
+                }
+                Some(Redundancy::Replication(ReplicationMap::new(map, k)))
+            }
         };
 
-        // Reserve log pages: the highest non-parity pages of each node.
+        // Reserve log pages: the highest non-redundancy pages of each node.
         let mut log_page_sets: Vec<FastHashSet<PageAddr>> = vec![FastHashSet::default(); nodes];
-        if let Some(pm) = parity.as_ref() {
+        if let Some(pm) = redundancy.as_ref() {
             let protected_per_node: u64 = map.pages_per_node()
                 - map
                     .pages_of(NodeId(0))
-                    .filter(|&p| pm.is_parity_page(p))
+                    .filter(|&p| pm.is_redundancy_page(p))
                     .count() as u64;
             let log_pages =
                 ((protected_per_node as f64 * cfg.revive.log_fraction).ceil() as u64).max(1);
@@ -579,8 +619,10 @@ impl System {
                 ));
             }
             for n in NodeId::all(nodes) {
-                let mut candidates: Vec<PageAddr> =
-                    map.pages_of(n).filter(|&p| !pm.is_parity_page(p)).collect();
+                let mut candidates: Vec<PageAddr> = map
+                    .pages_of(n)
+                    .filter(|&p| !pm.is_redundancy_page(p))
+                    .collect();
                 candidates.reverse(); // logs take the highest stripes
                 log_page_sets[n.index()] =
                     candidates.into_iter().take(log_pages as usize).collect();
@@ -589,7 +631,7 @@ impl System {
 
         let mut node_states: Vec<Node> = NodeId::all(nodes)
             .map(|n| {
-                let hook = parity.map(|pm| {
+                let hook = redundancy.map(|rdx| {
                     let mut slots: Vec<LineAddr> = log_page_sets[n.index()]
                         .iter()
                         .flat_map(|p| p.lines())
@@ -600,7 +642,7 @@ impl System {
                         Some(cap) => LBits::dir_cache(map.lines_per_node(), cap),
                         None => LBits::full(map.lines_per_node()),
                     };
-                    ReviveHook::new(pm, log, lbits)
+                    ReviveHook::new(rdx, log, lbits)
                 });
                 Node {
                     ctrl: CacheCtrl::new(n, m.l1, m.l2, m.mshrs),
@@ -624,13 +666,13 @@ impl System {
         }
 
         let reserved: Vec<FastHashSet<PageAddr>> = log_page_sets;
-        let parity_copy = parity;
+        let redundancy_copy = redundancy;
         let page_table = PageTable::new(map, |p| {
             let n = map.home_of_page(p);
             if reserved[n.index()].contains(&p) {
                 return false;
             }
-            !parity_copy.is_some_and(|pm| pm.is_parity_page(p))
+            !redundancy_copy.is_some_and(|r| r.is_redundancy_page(p))
         });
 
         let workload = cfg.workload.build(nodes, m.scale(), cfg.seed);
@@ -638,7 +680,7 @@ impl System {
         for c in 0..nodes {
             queue.schedule(Ns::ZERO, Ev::Cpu(c));
         }
-        if parity.is_some() && cfg.revive.ckpt.interval != Ns::MAX {
+        if redundancy.is_some() && cfg.revive.ckpt.interval != Ns::MAX {
             queue.schedule(cfg.revive.ckpt.interval, Ev::CkptStart);
         }
         let tracer = if cfg.obs.tracing() {
@@ -656,7 +698,7 @@ impl System {
 
         Ok(System {
             map,
-            parity,
+            redundancy,
             nodes: node_states,
             cpus: (0..nodes).map(|_| Cpu::new()).collect(),
             fabric: Fabric::new(Torus::new(side, side), m.fabric),
@@ -1372,7 +1414,7 @@ impl System {
         let surface_timer = self.prof_begin();
         {
             let map = self.map;
-            let parity = self.parity;
+            let redundancy = self.redundancy;
             let dir_latency = self.cfg.machine.dir_latency;
             let trace_on = self.tracer.is_enabled();
             let metrics = &mut self.metrics;
@@ -1411,7 +1453,7 @@ impl System {
                                         item,
                                         &mut scratch,
                                         map,
-                                        parity,
+                                        redundancy,
                                         dir_latency,
                                         trace_on,
                                     ));
@@ -1736,7 +1778,14 @@ impl System {
         // Sweep the in-flight messages. Everything pending was sent while
         // the fabric was clean, so each message is on its dimension-order
         // route; any route crossing a dead element loses its message at
-        // this instant. Live-source casualties go to the watchdog.
+        // this instant. Live-source casualties go to the watchdog — except
+        // redundancy updates: a parity/replica update leaves the dying
+        // node's memory controller before the write it describes is
+        // acknowledged (Section 4.2's update-before-ack ordering), so by
+        // the time the sever lands it is already committed to the fabric
+        // and still arrives at its healthy redundancy home. Dropping it
+        // would leave committed data — whose log entries are never
+        // replayed — unreconstructable.
         for (at, ev) in self.queue.drain() {
             let Ev::Deliver(msg) = ev else {
                 self.queue.schedule(at, ev);
@@ -1745,9 +1794,12 @@ impl System {
             let fault = self.fabric.fault();
             let dead_src = fault.node_dead(msg.src);
             let dead_dst = fault.node_dead(msg.dst);
-            let survives = !dead_src
-                && !dead_dst
-                && torus.route_survives(&torus.route(msg.src, msg.dst), fault);
+            let shipped_redundancy =
+                dead_src && !dead_dst && matches!(msg.payload, Payload::Par { .. });
+            let survives = shipped_redundancy
+                || (!dead_src
+                    && !dead_dst
+                    && torus.route_survives(&torus.route(msg.src, msg.dst), fault));
             if survives {
                 self.queue.schedule(at, Ev::Deliver(msg));
                 continue;
@@ -2060,7 +2112,7 @@ impl System {
                 mem,
                 dram,
                 map: self.map,
-                parity: self.parity,
+                redundancy: self.redundancy,
                 log_pages,
                 metrics: &mut self.metrics,
                 node,
@@ -2340,7 +2392,7 @@ impl System {
                 mem,
                 dram,
                 map: self.map,
-                parity: self.parity,
+                redundancy: self.redundancy,
                 log_pages,
                 metrics: &mut self.metrics,
                 node: NodeId::from(n),
@@ -2415,7 +2467,10 @@ impl System {
                 interval: new_id,
                 memories: self.nodes.iter().map(|n| n.mem.snapshot()).collect(),
             });
-            while self.shadows.len() > self.cfg.revive.ckpt.retained as usize {
+            // Window: retained + 1, like the exec snapshots — the oldest
+            // legal rollback target is `counter - retained`, one interval
+            // older than the newest `retained` commits.
+            while self.shadows.len() > self.cfg.revive.ckpt.retained as usize + 1 {
                 self.shadows.pop_front();
             }
         }
@@ -2531,7 +2586,7 @@ impl System {
         if !self.cfg.shadow_checkpoints {
             return;
         }
-        let Some(pm) = self.parity else { return };
+        let Some(rdx) = self.redundancy else { return };
         let pending = self.queue.drain();
         let mut xor_overlay: HashMap<LineAddr, LineData> = HashMap::new();
         let mut mirror_overlay: HashMap<LineAddr, LineData> = HashMap::new();
@@ -2568,7 +2623,7 @@ impl System {
         }
         let nodes = &self.nodes;
         let map = self.map;
-        let audit = audit_parity(&pm, |line| {
+        let audit = audit_redundancy(&rdx, |line| {
             let local = map.local_line_index(line);
             let mut v = nodes[map.home_of_line(line).index()].mem.read_line(local);
             if let Some(d) = xor_overlay.get(&line) {
@@ -2592,10 +2647,10 @@ impl System {
         if !self.cfg.shadow_checkpoints {
             return;
         }
-        let Some(pm) = self.parity else { return };
+        let Some(rdx) = self.redundancy else { return };
         let nodes = &self.nodes;
         let map = self.map;
-        let audit = audit_parity(&pm, |line| {
+        let audit = audit_redundancy(&rdx, |line| {
             nodes[map.home_of_line(line).index()]
                 .mem
                 .read_line(map.local_line_index(line))
@@ -2651,8 +2706,11 @@ impl System {
     /// protocol is reset. Applying them keeps every surviving parity group
     /// consistent with its members' memory, which is the precondition both
     /// for on-demand page reconstruction and for the delta-maintained parity
-    /// of log replay. Updates to or from the lost node die with it; the
-    /// log-before-data ordering (Section 4.2) makes those drops safe.
+    /// of log replay. Updates *to* the lost node die with its memory;
+    /// updates *from* it were committed to the fabric before the write they
+    /// describe was acknowledged (Section 4.2), so they complete like any
+    /// other — mirroring the sever sweep, which preserves them for the same
+    /// reason.
     pub(crate) fn drain_parity_inflight(&mut self, lost: &[NodeId]) {
         for (_, ev) in self.queue.drain() {
             // Parity updates parked in watchdog retries are still in
@@ -2664,7 +2722,7 @@ impl System {
             let Payload::Par { update, mirror } = msg.payload else {
                 continue;
             };
-            if lost.contains(&msg.src) || lost.contains(&msg.dst) {
+            if lost.contains(&msg.dst) {
                 continue;
             }
             let n = msg.dst.index();

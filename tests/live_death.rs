@@ -261,7 +261,7 @@ fn live_campaign_sweep_classifies_every_seed() {
             }
             ScenarioOutcome::Unrecoverable { reason, .. } => {
                 assert!(
-                    reason.contains("parity budget") || reason.contains("partition"),
+                    reason.contains("redundancy budget") || reason.contains("partition"),
                     "seed {seed}: unexpected classification: {reason}"
                 );
             }
