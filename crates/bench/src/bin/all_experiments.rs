@@ -38,6 +38,7 @@ fn main() {
         "ablation_lbits".to_string(),
         "ablation_mixed".to_string(),
         "scalability".to_string(),
+        "slo".to_string(),
     ];
     let mut all: Vec<String> = BINS.iter().map(|s| s.to_string()).collect();
     all.append(&mut extra);

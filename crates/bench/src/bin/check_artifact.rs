@@ -1,13 +1,15 @@
 //! Validates artifact JSON files (`simulate --json` output, bench
 //! emissions under `results/artifacts/`) against their schema — the
-//! per-run `revive-run-artifact` schema or the `revive-frontier`
-//! cost/availability document, dispatched on the file's `schema` tag.
+//! per-run `revive-run-artifact` schema, the `revive-frontier`
+//! cost/availability document, or the `revive-slo` serving-sweep document,
+//! dispatched on the file's `schema` tag.
 //! Prints one line per file and exits nonzero on the first invalid one —
-//! CI's smoke steps pipe `simulate --json` and `frontier` output through
-//! this.
+//! CI's smoke steps pipe `simulate --json`, `frontier`, and `slo` output
+//! through this.
 
 use revive_machine::{
-    parse_json, validate_artifact, validate_frontier_artifact, Json, FRONTIER_SCHEMA,
+    parse_json, validate_artifact, validate_frontier_artifact, validate_slo_artifact, Json,
+    FRONTIER_SCHEMA, SLO_SCHEMA,
 };
 
 fn main() {
@@ -27,6 +29,8 @@ fn main() {
             .and_then(|doc| doc.get("schema").and_then(Json::as_str).map(String::from));
         let verdict = if schema.as_deref() == Some(FRONTIER_SCHEMA) {
             validate_frontier_artifact(&text)
+        } else if schema.as_deref() == Some(SLO_SCHEMA) {
+            validate_slo_artifact(&text)
         } else {
             validate_artifact(&text)
         };

@@ -1,0 +1,427 @@
+//! Open-loop serving SLO sweep: request tail latency and availability
+//! under checkpointing and live faults.
+//!
+//! ```text
+//! slo [--quick] [--jobs N] [--seed S] [--sim-threads N] [--no-cache]
+//! ```
+//!
+//! The paper evaluates ReVive on batch workloads, where the ~100 ms
+//! checkpoint stall is amortized into a few percent of throughput. A
+//! serving system experiences the same stall very differently: every
+//! request in flight during a global checkpoint — or during a rollback
+//! recovery — eats the pause in its *latency*. This sweep measures that
+//! reframing. For every arrival process × redundancy backend × checkpoint
+//! interval point it runs:
+//!
+//! * **Clean** — one fault-free open-loop serving run. Requests arrive on
+//!   seeded Poisson or bursty (on/off) processes, each executing a short
+//!   transactional op sequence; the machine records per-request latency in
+//!   simulated time, so checkpoint stalls surface as tail inflation.
+//! * **Faulted** — the same run under a stochastic fault schedule
+//!   (exponential arrivals for Poisson points, correlated bursts for
+//!   bursty points; see `fault_schedule`) replayed as time-anchored
+//!   injections. Every recovery's outage window lands on the in-flight
+//!   requests, and the outcome tally yields availability, MTBF, and MTTR.
+//!
+//! The sweep emits one self-validated `revive-slo` JSON document (schema
+//! checked by `validate_slo_artifact`; the CI smoke job replays the same
+//! check) plus a per-run artifact for every clean and faulted run — all
+//! cache-compatible: a re-run against existing artifacts is byte-identical
+//! and skips the simulations.
+
+use revive_bench::{banner, Opts, Table, CP_INTERVAL};
+use revive_core::{nines, OutcomeTally};
+use revive_harness::{Args, Sweep, SweepJob};
+use revive_machine::{
+    fault_schedule, validate_slo_artifact, ErrorKind, ExperimentConfig, FaultOutcome, FaultProcess,
+    InjectPhase, InjectionPlan, ReviveConfig, RunResult, ServingReport, SloSpec, WorkloadSpec,
+    ARTIFACT_VERSION, SLO_SCHEMA,
+};
+use revive_sim::types::NodeId;
+use revive_sim::Ns;
+use revive_workloads::{Arrival, ServingKind};
+
+/// Ops per request (the last op is the request's commit write).
+const OPS_PER_REQUEST: u32 = 4;
+
+/// The redundancy backends the sweep compares (the baseline cannot take
+/// injections, so it appears only in the tail-inflation unit tests).
+#[derive(Clone, Copy)]
+enum Backend {
+    Parity,
+    DoubleParity,
+    Replication,
+}
+
+impl Backend {
+    const ALL: [Backend; 3] = [Backend::Parity, Backend::DoubleParity, Backend::Replication];
+
+    fn revive(self, interval: Ns) -> ReviveConfig {
+        let mut cfg = match self {
+            Backend::Parity => ReviveConfig::parity(interval),
+            Backend::DoubleParity => ReviveConfig::double_parity(interval),
+            Backend::Replication => ReviveConfig::replication(interval, 1),
+        };
+        // Keep one extra checkpoint recoverable so a fault landing just
+        // after a commit still rolls back within the retained set.
+        cfg.ckpt.retained = 3;
+        cfg
+    }
+
+    fn name(self) -> &'static str {
+        self.revive(CP_INTERVAL).mode.name()
+    }
+}
+
+/// One sweep coordinate.
+#[derive(Clone, Copy)]
+struct Point {
+    arrival: Arrival,
+    backend: Backend,
+    interval: Ns,
+}
+
+impl Point {
+    fn all() -> Vec<Point> {
+        // Arrival processes, per CPU: a moderate and a heavy Poisson
+        // stream, plus an on/off bursty stream that overloads the machine
+        // during bursts and drains between them.
+        let arrivals = [
+            Arrival::Poisson { mean_ns: 4_000 },
+            Arrival::Poisson { mean_ns: 1_000 },
+            Arrival::Bursty {
+                mean_ns: 500,
+                on_ns: 50_000,
+                off_ns: 50_000,
+            },
+        ];
+        let mut points = Vec::new();
+        for arrival in arrivals {
+            for backend in Backend::ALL {
+                for interval in [CP_INTERVAL, Ns(CP_INTERVAL.0 / 4)] {
+                    points.push(Point {
+                        arrival,
+                        backend,
+                        interval,
+                    });
+                }
+            }
+        }
+        points
+    }
+
+    fn kind(&self) -> ServingKind {
+        ServingKind {
+            arrival: self.arrival,
+            ops_per_request: OPS_PER_REQUEST,
+        }
+    }
+
+    fn config(&self, opts: Opts) -> ExperimentConfig {
+        let workload = WorkloadSpec::Serving(self.kind(), SloSpec::default_spec());
+        let mut cfg = ExperimentConfig::experiment(workload, self.backend.revive(self.interval));
+        cfg.ops_per_cpu = if opts.quick { 24_000 } else { 120_000 };
+        if let Some(seed) = opts.seed {
+            cfg.seed = seed;
+        }
+        if let Some(n) = opts.sim_threads {
+            cfg.sim_threads = n;
+        }
+        cfg.engine_prof = opts.engine_prof;
+        cfg
+    }
+
+    fn label(&self) -> String {
+        let arrival = match self.arrival {
+            Arrival::Poisson { mean_ns } => format!("p{mean_ns}"),
+            Arrival::Bursty { mean_ns, .. } => format!("b{mean_ns}"),
+        };
+        format!(
+            "{arrival}_{}_i{}us",
+            self.backend.name(),
+            self.interval.0 / 1_000
+        )
+    }
+
+    /// The stochastic fault schedule for this point's faulted run,
+    /// bounded by the clean run's duration so every fault lands mid-run.
+    fn fault_plans(&self, clean_sim: Ns, seed: u64) -> Vec<InjectionPlan> {
+        let horizon = Ns(clean_sim.0 * 3 / 5);
+        let process = match self.arrival {
+            // Independent faults against steady load…
+            Arrival::Poisson { .. } => FaultProcess::Exponential {
+                mtbf: Ns((clean_sim.0 / 3).max(1)),
+            },
+            // …correlated bursts against bursty load.
+            Arrival::Bursty { .. } => FaultProcess::CorrelatedBurst {
+                mtbb: Ns((clean_sim.0 / 2).max(1)),
+                burst_len: 2,
+                spacing: Ns((clean_sim.0 / 20).max(1)),
+            },
+        };
+        let mut times = fault_schedule(process, horizon, seed);
+        times.truncate(3);
+        if times.is_empty() {
+            // A short horizon can draw an empty schedule; a faulted run
+            // with zero faults measures nothing, so anchor one fault.
+            times.push(Ns(clean_sim.0 * 3 / 10));
+        }
+        times
+            .into_iter()
+            .map(|at| InjectionPlan {
+                after_checkpoint: 0,
+                interval_fraction: 0.0,
+                detection_delay: Ns((self.interval.0 as f64
+                    * ExperimentConfig::DEFAULT_DETECTION_FRACTION)
+                    as u64),
+                kind: ErrorKind::NodeLoss(NodeId(1)),
+                phase: InjectPhase::AtTime(at),
+                second: None,
+            })
+            .collect()
+    }
+}
+
+/// The serving report a run must carry (the workload spec guarantees it;
+/// its absence means a cached artifact predates the schema, which the
+/// config hash rules out).
+fn serving<'a>(r: &'a RunResult, label: &str) -> &'a ServingReport {
+    r.serving
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label}: serving run carried no serving report"))
+}
+
+fn profile_json(r: &RunResult) -> String {
+    let s = serving(r, "profile");
+    format!(
+        "\"sim_time_ns\": {}, \"admitted\": {}, \"completed\": {}, \
+         \"goodput_rps\": {:.1}, \"mean_ns\": {:.1}, \"p50_ns\": {}, \
+         \"p90_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"p9999_ns\": {}, \
+         \"max_ns\": {}, \"budget_burn\": {:.4}",
+        r.sim_time.0,
+        s.admitted,
+        s.completed,
+        s.goodput_per_sec(r.sim_time),
+        s.mean_ns,
+        s.p50_ns,
+        s.p90_ns,
+        s.p99_ns,
+        s.p999_ns,
+        s.p9999_ns,
+        s.max_ns,
+        s.ledger.budget_burn(),
+    )
+}
+
+/// One aggregated sweep row.
+struct Row {
+    point: Point,
+    clean: RunResult,
+    faulted: RunResult,
+    tally: OutcomeTally,
+}
+
+impl Row {
+    /// Downtime on the service timeline: how much longer the faulted run
+    /// took than its clean twin. Individual outages can overlap once the
+    /// first recovery pushes the clock past later scheduled fault
+    /// arrivals, so summing each `RecoveryOutcome::unavailable` may exceed
+    /// the run itself; the wall-clock extension is what open-loop clients
+    /// actually observe (re-executed work completes no new requests, so it
+    /// counts as down time).
+    fn downtime(&self) -> Ns {
+        Ns(self
+            .faulted
+            .sim_time
+            .0
+            .saturating_sub(self.clean.sim_time.0))
+    }
+
+    /// Downtime-based availability of the faulted run: the service-view
+    /// tally holds the single measured interruption, while `self.tally`
+    /// keeps the per-fault outages for MTBF/MTTR.
+    fn availability(&self) -> f64 {
+        let mut service = OutcomeTally::default();
+        for _ in 0..self.tally.unrecoverable {
+            service.record_unrecoverable();
+        }
+        service.record_recovered(self.downtime());
+        service.availability_from_downtime(self.faulted.sim_time)
+    }
+}
+
+fn render_slo(rows: &[Row]) -> String {
+    let slo = SloSpec::default_spec();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"schema\": \"{SLO_SCHEMA}\",\n"));
+    s.push_str(&format!("  \"version\": {ARTIFACT_VERSION},\n"));
+    s.push_str(&format!(
+        "  \"slo\": {{\"target_ns\": {}, \"budget_ppm\": {}, \"window_ns\": {}}},\n",
+        slo.target_ns, slo.budget_ppm, slo.window_ns
+    ));
+    s.push_str("  \"points\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let t = &row.tally;
+        let opt_ns = |v: Option<Ns>| match v {
+            Some(n) => n.0.to_string(),
+            None => "null".into(),
+        };
+        s.push_str("    {\n");
+        s.push_str(&format!(
+            "      \"backend\": \"{}\", \"arrival\": \"{}\", \"rate_rps\": {:.1}, \
+             \"interval_ns\": {},\n",
+            row.point.backend.name(),
+            row.point.kind().name(),
+            row.point.arrival.rate_per_sec(),
+            row.point.interval.0,
+        ));
+        s.push_str(&format!(
+            "      \"clean\": {{{}}},\n",
+            profile_json(&row.clean)
+        ));
+        s.push_str(&format!(
+            "      \"faulted\": {{{}, \"faults\": {}, \"recovered\": {}, \
+             \"unrecoverable\": {}, \"availability\": {}, \"downtime_ns\": {}, \
+             \"mtbf_ns\": {}, \"mttr_ns\": {}}}\n",
+            profile_json(&row.faulted),
+            t.faults(),
+            t.recovered,
+            t.unrecoverable,
+            row.availability(),
+            row.downtime().0,
+            opt_ns(t.mtbf(row.faulted.sim_time)),
+            opt_ns(t.mttr()),
+        ));
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args = Args::parse();
+    let opts = Opts::from_args(&args);
+    revive_bench::artifacts::init("slo");
+    banner(
+        "Open-loop serving SLO sweep",
+        "ReVive (ISCA 2002) §6 reframed — checkpoint stalls and recovery as request tail latency",
+        opts,
+    );
+
+    let points = Point::all();
+    println!(
+        "{} points (3 arrival processes x {} backends x 2 checkpoint intervals), clean + faulted runs\n",
+        points.len(),
+        Backend::ALL.len(),
+    );
+    let sweep = Sweep::new("slo", &args);
+
+    // Stage 1: the fault-free serving runs. Their durations bound the
+    // fault schedules, so they run (or load from cache) first.
+    let clean_jobs: Vec<SweepJob> = points
+        .iter()
+        .map(|p| SweepJob::new(format!("{}_clean", p.label()), p.config(opts)))
+        .collect();
+    let clean: Vec<RunResult> = sweep
+        .run_all(clean_jobs)
+        .into_iter()
+        .map(|o| o.result)
+        .collect();
+
+    // Stage 2: the same points under their stochastic fault schedules.
+    let faulted_jobs: Vec<SweepJob> = points
+        .iter()
+        .zip(&clean)
+        .enumerate()
+        .map(|(i, (p, c))| {
+            let cfg = p.config(opts);
+            let plans = p.fault_plans(c.sim_time, cfg.seed ^ (i as u64).wrapping_mul(0x9e37));
+            SweepJob::with_plans(format!("{}_faulted", p.label()), cfg, plans)
+        })
+        .collect();
+    let rows: Vec<Row> = sweep
+        .run_all(faulted_jobs)
+        .into_iter()
+        .zip(points.iter().zip(clean))
+        .map(|(o, (&point, clean))| {
+            let mut tally = OutcomeTally::default();
+            for outcome in &o.result.outcomes {
+                match outcome {
+                    FaultOutcome::Recovered(rec) => tally.record_recovered(rec.unavailable),
+                    FaultOutcome::Unrecoverable { .. } => tally.record_unrecoverable(),
+                }
+            }
+            Row {
+                point,
+                clean,
+                faulted: o.result,
+                tally,
+            }
+        })
+        .collect();
+
+    let mut table = Table::new([
+        "arrival",
+        "backend",
+        "ckpt",
+        "rps/cpu",
+        "p99.9 clean",
+        "p99.9 faulted",
+        "burn clean",
+        "burn faulted",
+        "faults",
+        "avail nines",
+    ]);
+    for row in &rows {
+        let c = serving(&row.clean, "clean");
+        let f = serving(&row.faulted, "faulted");
+        let avail = row.availability();
+        table.row([
+            row.point.kind().name().to_string(),
+            row.point.backend.name().to_string(),
+            format!("{}us", row.point.interval.0 / 1_000),
+            format!("{:.0}", row.point.arrival.rate_per_sec()),
+            format!("{}", Ns(c.p999_ns)),
+            format!("{}", Ns(f.p999_ns)),
+            format!("{:.3}", c.ledger.budget_burn()),
+            format!("{:.3}", f.ledger.budget_burn()),
+            row.tally.faults().to_string(),
+            format!("{:.1}", nines(avail)),
+        ]);
+    }
+    table.print();
+
+    let doc = render_slo(&rows);
+    if let Err(e) = validate_slo_artifact(&doc) {
+        eprintln!("\nslo artifact failed validation: {e}");
+        std::process::exit(1);
+    }
+    println!("\nslo artifact validates ({SLO_SCHEMA} v{ARTIFACT_VERSION})");
+    if revive_bench::artifacts::enabled() {
+        let dir = revive_bench::artifacts::dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+        } else {
+            let path = dir.join("slo.json");
+            match std::fs::write(&path, &doc) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+            }
+        }
+    }
+
+    // The reframing the sweep exists to demonstrate: live faults must
+    // inflate the measured tail beyond the fault-free profile.
+    let inflated = rows
+        .iter()
+        .filter(|r| serving(&r.faulted, "faulted").max_ns > serving(&r.clean, "clean").max_ns);
+    println!(
+        "tail inflation: {}/{} points show faulted max latency above clean max",
+        inflated.count(),
+        rows.len()
+    );
+}

@@ -189,6 +189,65 @@ impl OutcomeTally {
         let down = self.unavailable_total.0 as f64 + horizon.0 as f64 * self.unrecoverable as f64;
         ((total - down) / total).clamp(0.0, 1.0)
     }
+
+    /// Scenarios in which a fault actually fired (recovered or not); the
+    /// denominator of the derived MTBF/MTTR figures.
+    pub fn faults(&self) -> u64 {
+        self.recovered + self.unrecoverable
+    }
+
+    /// Derived mean time between failures when each tallied scenario
+    /// represents one `horizon` of operation: total operating time divided
+    /// by the number of faults that fired. `None` when no fault ever fired
+    /// (MTBF is unbounded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn mtbf(&self, horizon: Ns) -> Option<Ns> {
+        assert!(horizon > Ns::ZERO, "horizon must be positive");
+        let faults = self.faults();
+        if faults == 0 {
+            return None;
+        }
+        Some(Ns(horizon.0.saturating_mul(self.scenarios()) / faults))
+    }
+
+    /// Derived mean time to repair across *recovered* faults: the mean
+    /// measured outage. Unrecoverable faults have no repair time inside the
+    /// model (the machine is lost until replaced out-of-band), so they are
+    /// excluded here and accounted by [`OutcomeTally::availability`]
+    /// instead. `None` when nothing was recovered.
+    pub fn mttr(&self) -> Option<Ns> {
+        if self.recovered == 0 {
+            return None;
+        }
+        Some(Ns(self.unavailable_total.0 / self.recovered))
+    }
+
+    /// Downtime-based availability over an explicitly measured operating
+    /// time, `uptime / total`: use this when the tally accumulates outages
+    /// from one long serving run of length `total_time` (the SLO ledger's
+    /// accounting) rather than one fault per scenario-horizon. Recovered
+    /// outages count their measured unavailable time; any unrecoverable
+    /// fault zeroes availability (the serving run never came back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_time` is zero or shorter than the accumulated
+    /// downtime.
+    pub fn availability_from_downtime(&self, total_time: Ns) -> f64 {
+        assert!(total_time > Ns::ZERO, "total time must be positive");
+        assert!(
+            total_time >= self.unavailable_total,
+            "total time {total_time} is shorter than the accumulated downtime {}",
+            self.unavailable_total
+        );
+        if self.unrecoverable > 0 {
+            return 0.0;
+        }
+        (total_time.0 - self.unavailable_total.0) as f64 / total_time.0 as f64
+    }
 }
 
 /// Renders an availability as "count of nines" (0.99999 → 5.0); useful for
@@ -315,5 +374,60 @@ mod tests {
         let mut t = OutcomeTally::default();
         t.record_recovered(Ns::from_secs(2));
         let _ = t.availability(Ns::from_secs(1));
+    }
+
+    #[test]
+    fn tally_derives_mtbf_and_mttr() {
+        let day = Ns::from_secs(86_400);
+        let mut t = OutcomeTally::default();
+        // No faults yet: MTBF unbounded, MTTR undefined.
+        assert_eq!(t.mtbf(day), None);
+        assert_eq!(t.mttr(), None);
+        t.record_recovered(Ns::from_ms(800));
+        t.record_recovered(Ns::from_ms(200));
+        t.record_not_fired();
+        t.record_not_fired();
+        // 4 scenario-days of operation, 2 faults → MTBF of 2 days.
+        assert_eq!(t.mtbf(day), Some(Ns::from_secs(2 * 86_400)));
+        // Mean measured outage: (800 + 200) / 2 ms.
+        assert_eq!(t.mttr(), Some(Ns::from_ms(500)));
+        // An unrecoverable fault shortens MTBF but not MTTR (no repair).
+        t.record_unrecoverable();
+        assert_eq!(t.faults(), 3);
+        assert_eq!(t.mtbf(day), Some(Ns(day.0 * 5 / 3)));
+        assert_eq!(t.mttr(), Some(Ns::from_ms(500)));
+    }
+
+    #[test]
+    fn tally_downtime_availability() {
+        let mut t = OutcomeTally::default();
+        // Empty tally: fully available over any measured run.
+        assert_eq!(t.availability_from_downtime(Ns::from_secs(1)), 1.0);
+        t.record_recovered(Ns::from_ms(250));
+        t.record_recovered(Ns::from_ms(750));
+        // One simulated second down over 100 s of serving.
+        let a = t.availability_from_downtime(Ns::from_secs(100));
+        assert!((a - 0.99).abs() < 1e-12, "availability {a}");
+        // Consistency with the scenario-horizon model at one scenario: both
+        // charge the measured outage against the operating time.
+        let mut one = OutcomeTally::default();
+        one.record_recovered(Ns::from_secs(1));
+        assert!(
+            (one.availability(Ns::from_secs(100))
+                - one.availability_from_downtime(Ns::from_secs(100)))
+            .abs()
+                < 1e-12
+        );
+        // An unrecoverable fault in a measured run means it never came back.
+        t.record_unrecoverable();
+        assert_eq!(t.availability_from_downtime(Ns::from_secs(100)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than the accumulated downtime")]
+    fn downtime_rejects_too_short_total() {
+        let mut t = OutcomeTally::default();
+        t.record_recovered(Ns::from_secs(2));
+        let _ = t.availability_from_downtime(Ns::from_secs(1));
     }
 }

@@ -5,7 +5,7 @@ use revive_mem::cache::CacheConfig;
 use revive_mem::dram::DramConfig;
 use revive_net::fabric::FabricConfig;
 use revive_sim::time::Ns;
-use revive_workloads::{AppId, Scale, SyntheticKind, Workload};
+use revive_workloads::{AppId, Scale, ServingKind, SyntheticKind, Workload};
 
 /// Errors surfaced while assembling or running a machine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -353,6 +353,32 @@ impl ReviveConfig {
     }
 }
 
+/// The service-level objective an open-loop serving run is held to.
+/// Integer fields keep [`WorkloadSpec`] `Eq`, and because the spec is part
+/// of the experiment config its `Debug` form flows into `config_hash` —
+/// two runs with different SLO targets get distinct artifact identities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SloSpec {
+    /// A request completing within this many ns of its arrival is "good".
+    pub target_ns: u64,
+    /// Allowed violation budget, in violations per million requests.
+    pub budget_ppm: u32,
+    /// Accounting window (ns) for the per-window goodput series.
+    pub window_ns: u64,
+}
+
+impl SloSpec {
+    /// A 1 ms target with a 0.1% budget over 1 ms windows — loose enough
+    /// for fault-free runs, tight enough that a checkpoint stall burns it.
+    pub fn default_spec() -> SloSpec {
+        SloSpec {
+            target_ns: 1_000_000,
+            budget_ppm: 1_000,
+            window_ns: 1_000_000,
+        }
+    }
+}
+
 /// Which workload drives the machine.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WorkloadSpec {
@@ -360,6 +386,8 @@ pub enum WorkloadSpec {
     Splash(AppId),
     /// A synthetic corner.
     Synthetic(SyntheticKind),
+    /// An open-loop request serving stream, measured against an SLO.
+    Serving(ServingKind, SloSpec),
 }
 
 impl WorkloadSpec {
@@ -368,6 +396,7 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::Splash(a) => a.name(),
             WorkloadSpec::Synthetic(s) => s.name(),
+            WorkloadSpec::Serving(k, _) => k.name(),
         }
     }
 
@@ -376,6 +405,15 @@ impl WorkloadSpec {
         match self {
             WorkloadSpec::Splash(a) => Box::new(a.build(cpus, scale, seed)),
             WorkloadSpec::Synthetic(s) => Box::new(s.build(cpus, scale, seed)),
+            WorkloadSpec::Serving(k, _) => Box::new(k.build(cpus, scale, seed)),
+        }
+    }
+
+    /// The SLO for a serving workload, `None` for batch workloads.
+    pub fn slo(self) -> Option<SloSpec> {
+        match self {
+            WorkloadSpec::Serving(_, slo) => Some(slo),
+            _ => None,
         }
     }
 }

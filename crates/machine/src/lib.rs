@@ -21,6 +21,8 @@
 //! * [`metrics`] — the Figure 9/10 traffic classes and derived summaries.
 //! * [`sampling`] — per-epoch time series (log occupancy, traffic rates,
 //!   utilization gauges).
+//! * [`serving`] — request-lifecycle tracking and the SLO ledger for
+//!   open-loop serving runs.
 //! * [`report`] — machine-readable run artifacts (deterministic JSON) and
 //!   their validator.
 //! * [`page_table`] — first-touch page placement.
@@ -48,6 +50,7 @@ pub mod page_table;
 pub mod report;
 pub mod runner;
 pub mod sampling;
+pub mod serving;
 pub mod system;
 
 pub use campaign::{
@@ -55,21 +58,21 @@ pub use campaign::{
     ScenarioOutcome, ScenarioReport,
 };
 pub use config::{
-    ExperimentConfig, MachineConfig, MachineError, ObsConfig, ReviveConfig, ReviveMode,
+    ExperimentConfig, MachineConfig, MachineError, ObsConfig, ReviveConfig, ReviveMode, SloSpec,
     WorkloadSpec,
 };
 pub use differential::{differential_run, injected_vs_golden, AuditReport, DifferentialReport};
 pub use engine_prof::{EngineReport, SerialReason};
-pub use metrics::{Metrics, Summary, TrafficClass};
+pub use metrics::{Metrics, ServingReport, ServingWindow, SloLedger, Summary, TrafficClass};
 pub use page_table::PageTable;
 pub use report::{
     artifact_config_hash, content_hash, parse_json, parse_run_result, render_artifact,
-    validate_artifact, validate_frontier_artifact, write_atomic, Json, RunMeta, ARTIFACT_SCHEMA,
-    ARTIFACT_VERSION, FRONTIER_SCHEMA,
+    validate_artifact, validate_frontier_artifact, validate_slo_artifact, write_atomic, Json,
+    RunMeta, ARTIFACT_SCHEMA, ARTIFACT_VERSION, FRONTIER_SCHEMA, SLO_SCHEMA,
 };
 pub use runner::{
-    run_experiment, CommitPoint, ErrorKind, FaultOutcome, InjectPhase, InjectionPlan, NodeSet,
-    RecoveryOutcome, RunResult, Runner,
+    fault_schedule, run_experiment, CommitPoint, ErrorKind, FaultOutcome, FaultProcess,
+    InjectPhase, InjectionPlan, NodeSet, RecoveryOutcome, RunResult, Runner,
 };
 pub use sampling::{EpochSample, IntervalSampler, SampleInput};
 pub use system::System;

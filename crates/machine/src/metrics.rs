@@ -140,6 +140,108 @@ impl Metrics {
     }
 }
 
+/// The SLO ledger of one open-loop serving run: how many completed
+/// requests met the latency target, against the configured error budget.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SloLedger {
+    /// Latency target (ns): a request at or under this is "good".
+    pub target_ns: u64,
+    /// Allowed violations per million completed requests.
+    pub budget_ppm: u32,
+    /// Accounting window (ns) for the per-window series.
+    pub window_ns: u64,
+    /// Requests that met the target.
+    pub good: u64,
+    /// Requests that missed it.
+    pub violations: u64,
+}
+
+impl SloLedger {
+    /// Completed requests.
+    pub fn total(&self) -> u64 {
+        self.good + self.violations
+    }
+
+    /// Observed violations per million requests.
+    pub fn violation_ppm(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.violations as f64 * 1e6 / self.total() as f64
+        }
+    }
+
+    /// Fraction of the error budget burned (1.0 = exactly exhausted).
+    pub fn budget_burn(&self) -> f64 {
+        if self.budget_ppm == 0 {
+            if self.violations == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.violation_ppm() / self.budget_ppm as f64
+        }
+    }
+
+    /// Whether the run stayed within its error budget.
+    pub fn met(&self) -> bool {
+        self.budget_burn() <= 1.0
+    }
+}
+
+/// One accounting window of a serving run's goodput series.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServingWindow {
+    /// Window start (ns of simulated time).
+    pub start_ns: u64,
+    /// Requests completed in this window.
+    pub completed: u64,
+    /// Of those, requests that met the SLO target.
+    pub good: u64,
+}
+
+/// Per-request latency and SLO accounting of one open-loop serving run.
+/// All quantiles are in simulated nanoseconds, measured arrival→completion
+/// so checkpoint stalls, rollback re-execution, and open-loop queueing all
+/// show up in the tail.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServingReport {
+    /// Requests admitted (first op fetched).
+    pub admitted: u64,
+    /// Requests whose commit write completed.
+    pub completed: u64,
+    /// Mean latency (ns).
+    pub mean_ns: f64,
+    /// Worst-case latency (ns).
+    pub max_ns: u64,
+    /// Median latency (ns, histogram upper bound).
+    pub p50_ns: u64,
+    /// 90th percentile latency (ns).
+    pub p90_ns: u64,
+    /// 99th percentile latency (ns).
+    pub p99_ns: u64,
+    /// 99.9th percentile latency (ns).
+    pub p999_ns: u64,
+    /// 99.99th percentile latency (ns).
+    pub p9999_ns: u64,
+    /// The SLO ledger.
+    pub ledger: SloLedger,
+    /// Per-window goodput series, in window order.
+    pub windows: Vec<ServingWindow>,
+}
+
+impl ServingReport {
+    /// Goodput: good requests per second of simulated time.
+    pub fn goodput_per_sec(&self, sim_time: Ns) -> f64 {
+        if sim_time == Ns::ZERO {
+            0.0
+        } else {
+            self.ledger.good as f64 * 1e9 / sim_time.0 as f64
+        }
+    }
+}
+
 /// The derived, reportable metrics of one run.
 #[derive(Clone, Debug, Default)]
 pub struct Summary {

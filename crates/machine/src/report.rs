@@ -23,7 +23,7 @@ use revive_sim::trace::escape_json;
 
 use crate::config::ExperimentConfig;
 use crate::engine_prof::SerialReason;
-use crate::metrics::TrafficClass;
+use crate::metrics::{ServingReport, ServingWindow, SloLedger, TrafficClass};
 use crate::runner::{ErrorKind, FaultOutcome, InjectionPlan, RecoveryOutcome, RunResult};
 
 /// Identity of a run, embedded in its artifact. Wall-clock facts are
@@ -132,9 +132,12 @@ pub const ARTIFACT_SCHEMA: &str = "revive-run-artifact";
 /// version 6 added the optional host-dependent `engine` self-profile
 /// section (present only for `engine_prof` runs, DESIGN.md §15); version 7
 /// added the mandatory `redundancy` section (backend name, loss budget,
-/// storage overhead — the cost/availability axes of DESIGN.md §16).
+/// storage overhead — the cost/availability axes of DESIGN.md §16);
+/// version 8 added the optional `serving` section (request-latency
+/// distribution and SLO ledger, present only for open-loop serving runs,
+/// DESIGN.md §17) and the per-epoch `requests` completion counter.
 /// Earlier versions still validate.
-pub const ARTIFACT_VERSION: u64 = 7;
+pub const ARTIFACT_VERSION: u64 = 8;
 
 /// FNV-1a over the UTF-8 bytes of `s` — the content address used to key
 /// the result cache. Hand-rolled (the build is offline); 64-bit is plenty
@@ -453,7 +456,7 @@ pub fn render_artifact(meta: &RunMeta, r: &RunResult) -> String {
         }
         let _ = write!(
             o,
-            "{{\"t_ns\":{},\"net_bytes\":{},\"net_msgs\":{},\"mem_accesses\":{},\"retries\":{},\"ops\":{},\"log_bytes\":{},\"log_utilization_max\":{},\"outstanding_misses\":{},\"dir_busy\":{},\"dram_busy_ns\":{},\"link_busy_ns\":{},\"checkpoints\":{}}}",
+            "{{\"t_ns\":{},\"net_bytes\":{},\"net_msgs\":{},\"mem_accesses\":{},\"retries\":{},\"ops\":{},\"log_bytes\":{},\"log_utilization_max\":{},\"outstanding_misses\":{},\"dir_busy\":{},\"dram_busy_ns\":{},\"link_busy_ns\":{},\"checkpoints\":{},\"requests\":{}}}",
             e.t.0,
             u64_array(&e.net_bytes),
             u64_array(&e.net_msgs),
@@ -467,9 +470,48 @@ pub fn render_artifact(meta: &RunMeta, r: &RunResult) -> String {
             e.dram_busy.0,
             e.link_busy.0,
             e.checkpoints,
+            e.requests,
         );
     }
     o.push_str("],\n");
+
+    // -- serving: request-latency distribution and SLO ledger (version 8;
+    // only for open-loop serving runs) --
+    if let Some(s) = &r.serving {
+        let _ = write!(
+            o,
+            "\"serving\":{{\"admitted\":{},\"completed\":{},\"mean_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"p9999_ns\":{},",
+            s.admitted,
+            s.completed,
+            f64_json(s.mean_ns),
+            s.max_ns,
+            s.p50_ns,
+            s.p90_ns,
+            s.p99_ns,
+            s.p999_ns,
+            s.p9999_ns,
+        );
+        let _ = write!(
+            o,
+            "\"ledger\":{{\"target_ns\":{},\"budget_ppm\":{},\"window_ns\":{},\"good\":{},\"violations\":{}}},\"windows\":[",
+            s.ledger.target_ns,
+            s.ledger.budget_ppm,
+            s.ledger.window_ns,
+            s.ledger.good,
+            s.ledger.violations,
+        );
+        for (i, w) in s.windows.iter().enumerate() {
+            if i > 0 {
+                o.push(',');
+            }
+            let _ = write!(
+                o,
+                "{{\"start_ns\":{},\"completed\":{},\"good\":{}}}",
+                w.start_ns, w.completed, w.good
+            );
+        }
+        o.push_str("]},\n");
+    }
 
     // -- engine self-profile (version 6; only for engine_prof runs) --
     // The one deliberately host-dependent section: phase_ns is wall clock
@@ -1019,6 +1061,46 @@ pub fn validate_artifact(text: &str) -> Result<(), String> {
                 return Err(format!("epoch {key} must have 5 traffic classes"));
             }
         }
+        if version >= 8.0 && e.get("requests").and_then(Json::as_num).is_none() {
+            return Err("epoch lacks requests (required at version 8)".into());
+        }
+    }
+    // The serving section (version 8) is optional at every version — it
+    // exists only for open-loop serving runs — but must be well-formed
+    // when present.
+    if let Some(serving) = doc.get("serving") {
+        for key in [
+            "admitted",
+            "completed",
+            "mean_ns",
+            "max_ns",
+            "p50_ns",
+            "p90_ns",
+            "p99_ns",
+            "p999_ns",
+            "p9999_ns",
+        ] {
+            if serving.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("serving.{key} missing or not a number"));
+            }
+        }
+        let ledger = serving.get("ledger").ok_or("serving.ledger missing")?;
+        for key in ["target_ns", "budget_ppm", "window_ns", "good", "violations"] {
+            if ledger.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("serving.ledger.{key} missing or not a number"));
+            }
+        }
+        let windows = serving
+            .get("windows")
+            .and_then(Json::as_arr)
+            .ok_or("serving.windows missing or not an array")?;
+        for w in windows {
+            for key in ["start_ns", "completed", "good"] {
+                if w.get(key).and_then(Json::as_num).is_none() {
+                    return Err(format!("serving window lacks {key}"));
+                }
+            }
+        }
     }
     // The engine self-profile (version 6) is optional at every version —
     // it exists only for profiled runs — but must be well-formed when
@@ -1218,6 +1300,119 @@ pub fn validate_frontier_artifact(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The schema tag of the SLO sweep document emitted by the `slo` binary:
+/// one document summarizing every arrival-rate × backend × checkpoint-
+/// interval point, each carrying a fault-free and a live-fault serving
+/// profile (distinct from the per-run [`ARTIFACT_SCHEMA`] artifacts).
+pub const SLO_SCHEMA: &str = "revive-slo";
+
+/// Structural validation for the SLO sweep document. Each point must carry
+/// the sweep coordinates, a `clean` (fault-free) serving profile, and a
+/// `faulted` profile with availability accounting; latency quantiles must
+/// be monotone (p50 ≤ p99 ≤ p99.9 — guaranteed by construction from the
+/// tail histogram, so a violation means the document was not produced by
+/// the pipeline).
+pub fn validate_slo_artifact(text: &str) -> Result<(), String> {
+    let doc = parse_json(text)?;
+    let need = |key: &str| -> Result<&Json, String> {
+        doc.get(key).ok_or_else(|| format!("missing key '{key}'"))
+    };
+    if need("schema")?.as_str() != Some(SLO_SCHEMA) {
+        return Err(format!("schema is not '{SLO_SCHEMA}'"));
+    }
+    if need("version")?.as_num() != Some(ARTIFACT_VERSION as f64) {
+        return Err("unsupported slo document version".into());
+    }
+    let slo = need("slo")?;
+    for key in ["target_ns", "budget_ppm", "window_ns"] {
+        let v = slo
+            .get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("slo.{key} missing or not a number"))?;
+        if key != "budget_ppm" && v < 1.0 {
+            return Err(format!("slo.{key} must be positive"));
+        }
+    }
+    let points = need("points")?.as_arr().ok_or("'points' is not an array")?;
+    if points.is_empty() {
+        return Err("slo sweep has no points".into());
+    }
+    for p in points {
+        let backend = p
+            .get("backend")
+            .and_then(Json::as_str)
+            .ok_or("point lacks a backend name")?;
+        if p.get("arrival").and_then(Json::as_str).is_none() {
+            return Err(format!("point '{backend}' lacks an arrival-process name"));
+        }
+        let rate = p
+            .get("rate_rps")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("point '{backend}' lacks rate_rps"))?;
+        if rate <= 0.0 {
+            return Err(format!("point '{backend}' rate_rps must be positive"));
+        }
+        if p.get("interval_ns").and_then(Json::as_num).is_none() {
+            return Err(format!("point '{backend}' lacks interval_ns"));
+        }
+        for section in ["clean", "faulted"] {
+            let s = p
+                .get(section)
+                .ok_or_else(|| format!("point '{backend}' lacks the {section} section"))?;
+            for key in [
+                "sim_time_ns",
+                "admitted",
+                "completed",
+                "goodput_rps",
+                "mean_ns",
+                "p50_ns",
+                "p90_ns",
+                "p99_ns",
+                "p999_ns",
+                "p9999_ns",
+                "max_ns",
+                "budget_burn",
+            ] {
+                if s.get(key).and_then(Json::as_num).is_none() {
+                    return Err(format!("point '{backend}' {section}.{key} missing"));
+                }
+            }
+            let q = |key: &str| s.get(key).and_then(Json::as_num).unwrap_or(0.0);
+            if !(q("p50_ns") <= q("p99_ns") && q("p99_ns") <= q("p999_ns")) {
+                return Err(format!(
+                    "point '{backend}' {section} latency quantiles are not monotone"
+                ));
+            }
+            let admitted = q("admitted");
+            if q("completed") > admitted {
+                return Err(format!(
+                    "point '{backend}' {section} completed more requests than admitted"
+                ));
+            }
+        }
+        let faulted = p.get("faulted").expect("checked above");
+        for key in ["faults", "recovered", "unrecoverable", "downtime_ns"] {
+            if faulted.get(key).and_then(Json::as_num).is_none() {
+                return Err(format!("point '{backend}' faulted.{key} missing"));
+            }
+        }
+        let avail = faulted
+            .get("availability")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("point '{backend}' faulted.availability missing"))?;
+        if !(0.0..=1.0).contains(&avail) {
+            return Err(format!("point '{backend}' availability out of [0,1]"));
+        }
+        for key in ["mtbf_ns", "mttr_ns"] {
+            match faulted.get(key) {
+                Some(Json::Null | Json::Num(_)) => {}
+                _ => return Err(format!("point '{backend}' faulted.{key} mistyped")),
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The content hash recorded in a parsed artifact document (`None` for
 /// pre-version-3 artifacts, which predate content addressing).
 pub fn artifact_config_hash(doc: &Json) -> Option<&str> {
@@ -1229,7 +1424,8 @@ pub fn artifact_config_hash(doc: &Json) -> Option<&str> {
 /// the configuration about to run stands in for re-executing it.
 ///
 /// Only the fields the experiment binaries consume round-trip: end-of-run
-/// scalars, the traffic/cost summary, and the recovery outcomes (with phase
+/// scalars, the traffic/cost summary, the serving report when present, and
+/// the recovery outcomes (with phase
 /// durations rebuilt from the recorded spans). Latency histograms, the
 /// checkpoint timelines, epochs, and the event trace are left empty —
 /// binaries that render those (fig6/fig7, trace tooling) bypass the cache.
@@ -1362,6 +1558,42 @@ pub fn parse_run_result(doc: &Json) -> Result<RunResult, String> {
         out.recoveries.push(outcome);
     }
     out.recovery = out.recoveries.last().copied();
+
+    if let Some(s) = doc.get("serving") {
+        let ledger = s.get("ledger").ok_or("serving.ledger missing")?;
+        let windows = s
+            .get("windows")
+            .and_then(Json::as_arr)
+            .ok_or("serving.windows missing or not an array")?
+            .iter()
+            .map(|w| {
+                Ok(ServingWindow {
+                    start_ns: int(w, "serving window", "start_ns")?,
+                    completed: int(w, "serving window", "completed")?,
+                    good: int(w, "serving window", "good")?,
+                })
+            })
+            .collect::<Result<Vec<ServingWindow>, String>>()?;
+        out.serving = Some(ServingReport {
+            admitted: int(s, "serving", "admitted")?,
+            completed: int(s, "serving", "completed")?,
+            mean_ns: num(s, "serving", "mean_ns")?,
+            max_ns: int(s, "serving", "max_ns")?,
+            p50_ns: int(s, "serving", "p50_ns")?,
+            p90_ns: int(s, "serving", "p90_ns")?,
+            p99_ns: int(s, "serving", "p99_ns")?,
+            p999_ns: int(s, "serving", "p999_ns")?,
+            p9999_ns: int(s, "serving", "p9999_ns")?,
+            ledger: SloLedger {
+                target_ns: int(ledger, "serving.ledger", "target_ns")?,
+                budget_ppm: int(ledger, "serving.ledger", "budget_ppm")? as u32,
+                window_ns: int(ledger, "serving.ledger", "window_ns")?,
+                good: int(ledger, "serving.ledger", "good")?,
+                violations: int(ledger, "serving.ledger", "violations")?,
+            },
+            windows,
+        });
+    }
     Ok(out)
 }
 
@@ -1459,36 +1691,41 @@ mod tests {
     fn older_artifact_versions_still_validate() {
         let text = render_artifact(&test_meta(), &RunResult::default());
         // A v1 artifact predates both injections and content addressing.
-        let v1 = text.replace("\"version\":7,", "\"version\":1,");
+        let v1 = text.replace("\"version\":8,", "\"version\":1,");
         validate_artifact(&v1).unwrap();
         // A v2 artifact predates content addressing only.
         let v2 = text
-            .replace("\"version\":7,", "\"version\":2,")
+            .replace("\"version\":8,", "\"version\":2,")
             .replace(",\"config_hash\":\"0123456789abcdef\"", "");
         validate_artifact(&v2).unwrap();
         // A v3 artifact predates the fault-fabric counters: neither the
         // retry sections nor the new trace kinds are required.
         let v3 = text
-            .replace("\"version\":7,", "\"version\":3,")
+            .replace("\"version\":8,", "\"version\":3,")
             .replace(",\"retries\":[0,0,0,0,0]", "");
         validate_artifact(&v3).unwrap();
         // A v4 artifact predates the retry_backoff_capped trace kind.
         let v4 = text
-            .replace("\"version\":7,", "\"version\":4,")
+            .replace("\"version\":8,", "\"version\":4,")
             .replace(",\"retry_backoff_capped\":0", "");
         validate_artifact(&v4).unwrap();
         // A v5 artifact predates the engine section, which is optional
         // anyway: the plain downgrade validates as-is.
-        let v5 = text.replace("\"version\":7,", "\"version\":5,");
+        let v5 = text.replace("\"version\":8,", "\"version\":5,");
         validate_artifact(&v5).unwrap();
         // A v6 artifact predates the redundancy section.
         let v6: String = text
-            .replace("\"version\":7,", "\"version\":6,")
+            .replace("\"version\":8,", "\"version\":6,")
             .lines()
             .filter(|l| !l.starts_with("\"redundancy\""))
             .map(|l| format!("{l}\n"))
             .collect();
         validate_artifact(&v6).unwrap();
+        // A v7 artifact predates the serving section (optional at every
+        // version anyway) and the per-epoch request counter: the plain
+        // downgrade validates as-is.
+        let v7 = text.replace("\"version\":8,", "\"version\":7,");
+        validate_artifact(&v7).unwrap();
         // ...but a v7 artifact must carry it.
         let no_rdx: String = text
             .lines()
@@ -1767,6 +2004,113 @@ mod tests {
         assert!(validate_frontier_artifact("{}").is_err());
         let wrong_schema = full.replace(FRONTIER_SCHEMA, ARTIFACT_SCHEMA);
         assert!(validate_frontier_artifact(&wrong_schema).is_err());
+    }
+
+    #[test]
+    fn serving_section_renders_validates_and_round_trips() {
+        use crate::metrics::{ServingReport, ServingWindow, SloLedger};
+
+        let r = RunResult {
+            serving: Some(ServingReport {
+                admitted: 120,
+                completed: 100,
+                mean_ns: 850.5,
+                max_ns: 90_000,
+                p50_ns: 700,
+                p90_ns: 1_500,
+                p99_ns: 4_000,
+                p999_ns: 40_000,
+                p9999_ns: 90_000,
+                ledger: SloLedger {
+                    target_ns: 1_000,
+                    budget_ppm: 1_000,
+                    window_ns: 1_000_000,
+                    good: 80,
+                    violations: 20,
+                },
+                windows: vec![
+                    ServingWindow {
+                        start_ns: 0,
+                        completed: 60,
+                        good: 50,
+                    },
+                    ServingWindow {
+                        start_ns: 1_000_000,
+                        completed: 40,
+                        good: 30,
+                    },
+                ],
+            }),
+            ..RunResult::default()
+        };
+        let text = render_artifact(&test_meta(), &r);
+        validate_artifact(&text).unwrap();
+        let parsed = parse_run_result(&parse_json(&text).unwrap()).unwrap();
+        assert_eq!(parsed.serving, r.serving);
+        // A malformed serving section is rejected even though the section
+        // itself is optional.
+        let broken = text.replace("\"p999_ns\":40000,", "");
+        assert!(validate_artifact(&broken).is_err());
+        // Batch runs carry no serving section at all, and still validate.
+        let batch = render_artifact(&test_meta(), &RunResult::default());
+        validate_artifact(&batch).unwrap();
+        assert!(!batch.contains("\"serving\":"));
+    }
+
+    fn slo_point(backend: &str) -> String {
+        format!(
+            r#"{{"backend":"{backend}","arrival":"open-poisson","rate_rps":50000,
+               "interval_ns":2000000,
+               "clean":{{"sim_time_ns":1000000,"admitted":50,"completed":48,
+                        "goodput_rps":48000,"mean_ns":900,"p50_ns":700,
+                        "p90_ns":1500,"p99_ns":4000,"p999_ns":9000,
+                        "p9999_ns":9000,"max_ns":8000,"budget_burn":0.5}},
+               "faulted":{{"sim_time_ns":1200000,"admitted":50,"completed":47,
+                          "goodput_rps":39000,"mean_ns":1500,"p50_ns":800,
+                          "p90_ns":2000,"p99_ns":90000,"p999_ns":200000,
+                          "p9999_ns":200000,"max_ns":180000,"budget_burn":20.0,
+                          "faults":2,"recovered":2,"unrecoverable":0,
+                          "availability":0.9,"downtime_ns":120000,
+                          "mtbf_ns":600000,"mttr_ns":60000}}}}"#,
+        )
+    }
+
+    #[test]
+    fn slo_validator_accepts_the_sweep_and_rejects_malformed_points() {
+        let doc = format!(
+            r#"{{"schema":"{SLO_SCHEMA}","version":{ARTIFACT_VERSION},
+               "slo":{{"target_ns":1000,"budget_ppm":1000,"window_ns":1000000}},
+               "points":[{},{}]}}"#,
+            slo_point("xor"),
+            slo_point("replication"),
+        );
+        validate_slo_artifact(&doc).unwrap();
+
+        // Quantiles out of order mean the document was hand-edited.
+        let skewed = doc.replace("\"p99_ns\":4000", "\"p99_ns\":400");
+        let err = validate_slo_artifact(&skewed).unwrap_err();
+        assert!(err.contains("monotone"), "got: {err}");
+
+        // Completions cannot exceed admissions.
+        let overfull = doc.replace("\"completed\":48", "\"completed\":51");
+        assert!(validate_slo_artifact(&overfull).is_err());
+
+        // Availability is a probability.
+        let bad = doc.replace("\"availability\":0.9", "\"availability\":1.9");
+        assert!(validate_slo_artifact(&bad).is_err());
+
+        // Unfired-fault points may carry null MTBF/MTTR.
+        let null_mtbf = doc
+            .replace("\"mtbf_ns\":600000", "\"mtbf_ns\":null")
+            .replace("\"mttr_ns\":60000", "\"mttr_ns\":null");
+        validate_slo_artifact(&null_mtbf).unwrap();
+
+        // Schema mix-ups and version drift fail loudly.
+        assert!(validate_slo_artifact("{}").is_err());
+        let wrong_schema = doc.replace(SLO_SCHEMA, FRONTIER_SCHEMA);
+        assert!(validate_slo_artifact(&wrong_schema).is_err());
+        let drifted = doc.replace(&format!("\"version\":{ARTIFACT_VERSION}"), "\"version\":1");
+        assert!(validate_slo_artifact(&drifted).is_err());
     }
 
     #[test]

@@ -146,6 +146,12 @@ pub enum InjectPhase {
     /// Exactly on a named 2PC boundary of checkpoint `after_checkpoint + 1`
     /// (`interval_fraction` is ignored).
     CommitEdge(CommitPoint),
+    /// At an absolute simulated time, regardless of the checkpoint stream
+    /// (`after_checkpoint` and `interval_fraction` are ignored). This is
+    /// how stochastic fault *processes* ([`fault_schedule`]) land on the
+    /// machine: the serving experiments draw fault times over a long
+    /// horizon and replay them as a sequence of time-anchored plans.
+    AtTime(Ns),
 }
 
 impl InjectPhase {
@@ -158,8 +164,78 @@ impl InjectPhase {
             InjectPhase::CommitEdge(CommitPoint::AfterBarrier1) => "commit-after-barrier1",
             InjectPhase::CommitEdge(CommitPoint::AfterMark) => "commit-after-mark",
             InjectPhase::CommitEdge(CommitPoint::AfterCommit) => "commit-after-commit",
+            InjectPhase::AtTime(_) => "at-time",
         }
     }
+}
+
+/// A stochastic fault-arrival process over a long simulated horizon. Where
+/// [`InjectPhase`] anchors one scripted fault, a process generates a whole
+/// *schedule* of them — the availability view a serving machine is actually
+/// judged on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultProcess {
+    /// Independent faults: exponential inter-arrival gaps with the given
+    /// mean (a Poisson process of rate `1 / mtbf`).
+    Exponential {
+        /// Mean time between faults.
+        mtbf: Ns,
+    },
+    /// Correlated bursts (cascades): burst *starts* arrive exponentially
+    /// with mean `mtbb`, and each burst is `burst_len` faults spaced
+    /// `spacing` apart — the failure-cascade pattern that batch MTBF
+    /// numbers average away.
+    CorrelatedBurst {
+        /// Mean time between burst starts.
+        mtbb: Ns,
+        /// Faults per burst.
+        burst_len: u32,
+        /// Gap between consecutive faults of a burst.
+        spacing: Ns,
+    },
+}
+
+/// Draws a seeded, deterministic fault schedule from `process` over
+/// `[0, horizon)`: strictly increasing absolute times, ready to replay as
+/// [`InjectPhase::AtTime`] plans.
+pub fn fault_schedule(process: FaultProcess, horizon: Ns, seed: u64) -> Vec<Ns> {
+    let mut rng = revive_sim::rng::DetRng::seed(seed ^ 0xfa_17_5c_8d);
+    let mut gap = |mean: Ns| -> u64 {
+        let u = rng.unit().max(1e-12);
+        (((-u.ln()) * mean.0 as f64).round() as u64).max(1)
+    };
+    let mut out: Vec<Ns> = Vec::new();
+    match process {
+        FaultProcess::Exponential { mtbf } => {
+            assert!(mtbf > Ns::ZERO, "mtbf must be positive");
+            let mut t = gap(mtbf);
+            while t < horizon.0 {
+                out.push(Ns(t));
+                t += gap(mtbf);
+            }
+        }
+        FaultProcess::CorrelatedBurst {
+            mtbb,
+            burst_len,
+            spacing,
+        } => {
+            assert!(mtbb > Ns::ZERO, "mtbb must be positive");
+            assert!(burst_len > 0, "bursts need at least one fault");
+            assert!(spacing > Ns::ZERO, "burst spacing must be positive");
+            let mut t = gap(mtbb);
+            while t < horizon.0 {
+                for k in 0..burst_len as u64 {
+                    let at = t + k * spacing.0;
+                    if at < horizon.0 {
+                        out.push(Ns(at));
+                    }
+                }
+                // The next burst starts after this one ends.
+                t += (burst_len as u64 - 1) * spacing.0 + gap(mtbb);
+            }
+        }
+    }
+    out
 }
 
 /// A compact set of node indices, stored as a word-vector bitmap (like
@@ -401,6 +477,9 @@ pub struct RunResult {
     /// `cfg.engine_prof`): track 0 holds window spans, track `n + 1` lane
     /// `n`'s parallel-surface spans.
     pub host_spans: Vec<Span>,
+    /// Per-request latency and SLO accounting (`None` for batch
+    /// workloads; `Some` ⇔ the workload is `WorkloadSpec::Serving`).
+    pub serving: Option<crate::metrics::ServingReport>,
 }
 
 /// Drives one experiment to completion.
@@ -556,6 +635,9 @@ impl Runner {
                 }
                 InjectPhase::CommitEdge(point) => {
                     self.sys.inject_in_commit_of = Some((base + plan.after_checkpoint + 1, point));
+                }
+                InjectPhase::AtTime(at) => {
+                    self.sys.schedule_inject(at);
                 }
             }
             let live = plan.kind.is_live();
@@ -987,7 +1069,10 @@ impl Runner {
         Some(ok)
     }
 
-    fn collect(&self, outcomes: Vec<FaultOutcome>) -> RunResult {
+    fn collect(&mut self, outcomes: Vec<FaultOutcome>) -> RunResult {
+        // The run is over: no further rollback can retract a completion,
+        // so the tracker folds its provisional tail and reports.
+        let serving = self.sys.take_serving_report();
         let sys = &self.sys;
         let sim_time = sys.finish_time.unwrap_or_else(|| sys.now());
         let mut summary = Summary {
@@ -1069,6 +1154,7 @@ impl Runner {
             trace: sys.tracer.clone(),
             spans: sys.spans.clone(),
             fabric: sys.fabric.stats(),
+            serving,
         }
     }
 }

@@ -43,6 +43,10 @@ pub struct EpochSample {
     pub link_busy: Ns,
     /// Checkpoints committed so far (cumulative gauge).
     pub checkpoints: u64,
+    /// Serving requests completed this epoch (always zero for batch
+    /// workloads). Rollback can retract a not-yet-durable completion, so
+    /// the clamped delta may briefly read zero after a recovery.
+    pub requests: u64,
 }
 
 impl EpochSample {
@@ -61,6 +65,7 @@ struct Baseline {
     retries: [u64; 5],
     mem_accesses: [u64; 5],
     ops: u64,
+    requests: u64,
     dram_busy: Ns,
     fabric: FabricStats,
 }
@@ -106,6 +111,8 @@ pub struct SampleInput {
     pub fabric: FabricStats,
     /// Checkpoints committed so far.
     pub checkpoints: u64,
+    /// Cumulative serving requests completed (zero for batch workloads).
+    pub requests: u64,
 }
 
 impl IntervalSampler {
@@ -156,6 +163,7 @@ impl IntervalSampler {
                 .link_busy
                 .saturating_sub(self.prev.fabric.link_busy),
             checkpoints: input.checkpoints,
+            requests: input.requests.saturating_sub(self.prev.requests),
         });
         self.prev = Baseline {
             net_bytes: input.net_bytes,
@@ -163,6 +171,7 @@ impl IntervalSampler {
             retries: input.retries,
             mem_accesses: input.mem_accesses,
             ops: input.ops,
+            requests: input.requests,
             dram_busy: input.dram_busy,
             fabric: input.fabric,
         };
@@ -208,6 +217,7 @@ mod tests {
                 link_busy: Ns(bytes / 2),
             },
             checkpoints: 1,
+            requests: ops / 10,
         }
     }
 
@@ -222,6 +232,8 @@ mod tests {
         assert_eq!(got[1].net_bytes[0], 1_200);
         assert_eq!(got[0].ops, 50);
         assert_eq!(got[1].ops, 40);
+        assert_eq!(got[0].requests, 5);
+        assert_eq!(got[1].requests, 4);
         assert_eq!(got[1].retries[1], 12); // 20 - 8, a delta like the rest
         assert_eq!(got[1].dram_busy, Ns(1_200));
         assert_eq!(got[1].link_busy, Ns(600));

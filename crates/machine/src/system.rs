@@ -46,13 +46,14 @@ use revive_sim::trace::{CkptPhaseEvent, Span, TraceBuffer, TraceEvent};
 use revive_sim::types::NodeId;
 use revive_workloads::Workload;
 
-use crate::config::{ExperimentConfig, MachineError, ReviveMode};
+use crate::config::{ExperimentConfig, MachineError, ReviveMode, WorkloadSpec};
 use crate::differential::AuditReport;
 use crate::engine_prof::{EngineProfState, SerialReason};
-use crate::metrics::{Metrics, TrafficClass};
+use crate::metrics::{Metrics, ServingReport, TrafficClass};
 use crate::page_table::PageTable;
 use crate::runner::CommitPoint;
 use crate::sampling::{IntervalSampler, SampleInput};
+use crate::serving::ServingTracker;
 
 /// Debug aid: set `REVIVE_TRACE_LINE` to a decimal global line number to
 /// print every message touching that line to stderr — the fastest way to
@@ -519,6 +520,12 @@ pub struct System {
     /// never allocates (see `dir_in`).
     scratch_sends: Vec<CohSend>,
     scratch_par: Vec<OutMsg>,
+    /// Request-lifecycle tracking; `Some` ⇔ the workload is
+    /// [`WorkloadSpec::Serving`]. Batch runs pay one branch per op.
+    /// All tracker updates happen in the serial apply phase (`Ev::Cpu`
+    /// and cache deliveries never speculate), so serving accounting is
+    /// byte-identical at any `sim_threads` setting.
+    serving: Option<ServingTracker>,
 }
 
 impl System {
@@ -676,6 +683,12 @@ impl System {
         });
 
         let workload = cfg.workload.build(nodes, m.scale(), cfg.seed);
+        let serving = match cfg.workload {
+            WorkloadSpec::Serving(kind, slo) => {
+                Some(ServingTracker::new(slo, kind.ops_per_request, nodes))
+            }
+            _ => None,
+        };
         let mut queue = EventQueue::new();
         for c in 0..nodes {
             queue.schedule(Ns::ZERO, Ev::Cpu(c));
@@ -739,6 +752,7 @@ impl System {
             tracer,
             sampler,
             spans: Vec::new(),
+            serving,
             cfg,
         })
     }
@@ -789,6 +803,10 @@ impl System {
 
     fn token_is_write(token: OpToken) -> bool {
         token.0 >> 63 == 1
+    }
+
+    fn token_seq(token: OpToken) -> u64 {
+        token.0 & 0x0000_7FFF_FFFF_FFFF
     }
 
     fn send(&mut self, at: Ns, src: NodeId, dst: NodeId, class: TrafficClass, payload: Payload) {
@@ -952,6 +970,7 @@ impl System {
             dram_busy,
             fabric: self.fabric.stats(),
             checkpoints: self.ckpt_counter,
+            requests: self.serving.as_ref().map_or(0, |tr| tr.completed_so_far()),
         });
         let epoch = sampler.epoch();
         if self.running_cpus > 0 && !self.halted {
@@ -1629,8 +1648,32 @@ impl System {
             let op = match self.cpus[c].retry.take() {
                 Some(op) => op,
                 None => {
+                    // Open-loop gating: a serving CPU between requests
+                    // sleeps until its next request *arrives* — arrivals
+                    // are independent of service, so time lost to
+                    // checkpoints or recovery becomes queueing delay, not
+                    // a slower arrival process.
+                    if self.serving.is_some() {
+                        if let Some(st) = self.workload.request_status(c) {
+                            if st.ops_left == 0 && Ns(st.next_arrival) > t {
+                                self.cpus[c].local_time = t;
+                                self.queue.schedule(Ns(st.next_arrival), Ev::Cpu(c));
+                                return;
+                            }
+                        }
+                    }
                     self.cpus[c].fetched += 1;
-                    self.workload.next(c)
+                    let op = self.workload.next(c);
+                    if let Some(tr) = self.serving.as_mut() {
+                        if tr.is_first_op(self.cpus[c].fetched) {
+                            let st = self
+                                .workload
+                                .request_status(c)
+                                .expect("serving workload must report request status");
+                            tr.request_started(c, Ns(st.arrival));
+                        }
+                    }
+                    op
                 }
             };
             t += Ns(op.think_ns as u64);
@@ -1644,16 +1687,31 @@ impl System {
             } else {
                 Access::Read
             };
+            // The op's stream position and token sequence, captured before
+            // `finish_op` advances the counters: the serving tracker keys
+            // its commit write on both.
+            let pos = self.cpus[c].fetched;
+            let seq = self.ops_done[c];
             let token = self.make_token(c, op.write);
             let (outcome, sends) = self.nodes[c].ctrl.cpu_access(line, access, token);
             match outcome {
                 CpuOutcome::L1Hit => {
                     t += self.cfg.machine.l1_hit;
                     self.finish_op(c, &op);
+                    if let Some(tr) = self.serving.as_mut() {
+                        if tr.is_last_op(pos) {
+                            tr.complete_now(c, pos, t);
+                        }
+                    }
                 }
                 CpuOutcome::L2Hit => {
                     t += self.cfg.machine.l2_hit;
                     self.finish_op(c, &op);
+                    if let Some(tr) = self.serving.as_mut() {
+                        if tr.is_last_op(pos) {
+                            tr.complete_now(c, pos, t);
+                        }
+                    }
                 }
                 CpuOutcome::Miss | CpuOutcome::Coalesced => {
                     for s in sends {
@@ -1666,6 +1724,14 @@ impl System {
                     }
                     self.finish_op(c, &op);
                     if op.write {
+                        if let Some(tr) = self.serving.as_mut() {
+                            if tr.is_last_op(pos) {
+                                // A request's commit write completes when
+                                // its store is acknowledged, not when it is
+                                // posted.
+                                tr.arm(c, seq, pos);
+                            }
+                        }
                         self.cpus[c].pending_stores += 1;
                         if self.cpus[c].pending_stores >= self.cfg.machine.store_buffer {
                             self.cpus[c].store_stalled = true;
@@ -1711,6 +1777,9 @@ impl System {
         if Self::token_is_write(token) {
             debug_assert!(self.cpus[c].pending_stores > 0);
             self.cpus[c].pending_stores -= 1;
+            if let Some(tr) = self.serving.as_mut() {
+                tr.store_completed(c, Self::token_seq(token), t);
+            }
             if self.cpus[c].store_stalled {
                 self.cpus[c].store_stalled = false;
                 if self.ck_phase == CkPhase::Running {
@@ -2519,6 +2588,14 @@ impl System {
         while self.exec_snaps.len() > self.cfg.revive.ckpt.retained as usize + 1 {
             self.exec_snaps.pop_front();
         }
+        // Completions no rollback can reach — at or before the *oldest*
+        // retained snapshot's stream positions — are durable now; fold
+        // them into the SLO ledger. The rest stay provisional.
+        if let Some(tr) = self.serving.as_mut() {
+            let front = self.exec_snaps.front().expect("snapshot just pushed");
+            let parked: Vec<bool> = front.retry.iter().map(|r| r.is_some()).collect();
+            tr.fold_durable(&front.fetched, &parked);
+        }
     }
 
     /// Rewinds the CPUs' workload streams to the state captured at `target`'s
@@ -2572,6 +2649,20 @@ impl System {
         // of a later rollback to that interval.
         self.exec_snaps.retain(|s| s.interval <= target);
         self.shadows.retain(|s| s.interval <= target);
+        if let Some(tr) = self.serving.as_mut() {
+            // Completions past the rollback target will re-execute and
+            // complete again — drop them, squash in-flight commit writes,
+            // and re-derive each CPU's current-request arrival from the
+            // rebuilt (deterministic) workload stream.
+            let parked: Vec<bool> = snap.retry.iter().map(|r| r.is_some()).collect();
+            tr.drop_uncovered(&snap.fetched, &parked);
+            for c in 0..nodes {
+                tr.squash_cpu(c);
+                if let Some(st) = self.workload.request_status(c) {
+                    tr.resync_arrival(c, Ns(st.arrival));
+                }
+            }
+        }
         rolled
     }
 
@@ -2749,6 +2840,11 @@ impl System {
         self.ck_phase = CkPhase::Running;
         self.ck_flush_begun = false;
         self.ck_arrived = 0;
+        if let Some(tr) = self.serving.as_mut() {
+            // The squashed stores include any in-flight commit write;
+            // rollback re-execution will re-arm it.
+            tr.squash_cpu(c);
+        }
     }
 
     pub(crate) fn cpu_done(&self, c: usize) -> bool {
@@ -2761,6 +2857,19 @@ impl System {
 
     pub(crate) fn schedule_ckpt(&mut self, at: Ns) {
         self.queue.schedule(at.max(self.queue.now()), Ev::CkptStart);
+    }
+
+    /// Schedules a scripted fault at an absolute simulated time (the
+    /// time-anchored [`crate::runner::InjectPhase::AtTime`] plans).
+    pub(crate) fn schedule_inject(&mut self, at: Ns) {
+        self.queue.schedule(at.max(self.queue.now()), Ev::Inject);
+    }
+
+    /// Takes the serving tracker's final report (`None` for batch runs).
+    /// Folds any still-provisional completions — call only when the run is
+    /// over and no further rollback can happen.
+    pub(crate) fn take_serving_report(&mut self) -> Option<ServingReport> {
+        self.serving.take().map(|tr| tr.collect())
     }
 
     pub(crate) fn fabric_mean_latency(&self) -> Ns {

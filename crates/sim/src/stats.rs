@@ -270,6 +270,19 @@ impl Histogram {
         }
         upper(self.buckets.len())
     }
+
+    /// The p99.9 upper bound — see [`Histogram::quantile_upper_bound`] for
+    /// the granularity caveat: with power-of-two buckets, tail quantiles a
+    /// factor <2 apart collapse onto the same bucket boundary. SLO-grade
+    /// tails should use [`TailHistogram`].
+    pub fn p999(&self) -> u64 {
+        self.quantile_upper_bound(0.999)
+    }
+
+    /// The p99.99 upper bound (same granularity caveat as [`Histogram::p999`]).
+    pub fn p9999(&self) -> u64 {
+        self.quantile_upper_bound(0.9999)
+    }
 }
 
 /// `ceil(q · total)` computed in integer arithmetic.
@@ -329,6 +342,194 @@ impl fmt::Display for Histogram {
             }
         }
         Ok(())
+    }
+}
+
+/// Sub-bucket resolution of [`TailHistogram`]: each power-of-two octave is
+/// split into this many linear sub-buckets, bounding the relative error of
+/// any quantile to `1/TAIL_SUB_BUCKETS` (6.25%) instead of the factor-of-two
+/// granularity of [`Histogram`].
+pub const TAIL_SUB_BUCKETS: u64 = 16;
+
+/// A log-linear (HDR-style) histogram for SLO-grade tail quantiles.
+///
+/// [`Histogram`]'s power-of-two buckets are fine for traffic breakdowns but
+/// collapse p99/p99.9/p99.99 of a latency distribution into one bucket
+/// whenever the tail spans less than a factor of two — which request
+/// latencies routinely do. Here values below 2·[`TAIL_SUB_BUCKETS`] are
+/// exact and every octave `[2^k, 2^(k+1))` above that is split into
+/// [`TAIL_SUB_BUCKETS`] linear sub-buckets, so adjacent tail quantiles stay
+/// distinguishable at ≤ 6.25% relative error across the full `u64` range.
+///
+/// # Example
+///
+/// ```
+/// use revive_sim::stats::TailHistogram;
+/// let mut h = TailHistogram::new();
+/// for x in [100u64, 200, 400, 800] { h.record(x); }
+/// assert_eq!(h.total(), 4);
+/// assert!(h.quantile_upper_bound(0.5) < h.quantile_upper_bound(1.0));
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TailHistogram {
+    buckets: Vec<u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl TailHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> TailHistogram {
+        TailHistogram::default()
+    }
+
+    /// log2(TAIL_SUB_BUCKETS).
+    const SUB_SHIFT: u32 = TAIL_SUB_BUCKETS.trailing_zeros();
+
+    fn bucket_of(x: u64) -> usize {
+        if x < 2 * TAIL_SUB_BUCKETS {
+            return x as usize;
+        }
+        // 2^k <= x < 2^(k+1) with k > SUB_SHIFT: shift x down so the
+        // mantissa lands in [SUB, 2·SUB), giving SUB linear sub-buckets per
+        // octave, contiguous with the exact range below.
+        let k = 63 - x.leading_zeros();
+        let shift = k - Self::SUB_SHIFT;
+        (((shift as u64) << Self::SUB_SHIFT) + (x >> shift)) as usize
+    }
+
+    /// The inclusive upper bound of bucket `i` (saturating at `u64::MAX`
+    /// for the topmost octaves).
+    fn bucket_upper_bound(i: usize) -> u64 {
+        let i = i as u64;
+        if i < 2 * TAIL_SUB_BUCKETS {
+            return i;
+        }
+        // Inverse of `bucket_of`: index = (shift << SUB_SHIFT) + mantissa
+        // with mantissa in [SUB, 2·SUB), so index >> SUB_SHIFT = shift + 1.
+        let shift = (i >> Self::SUB_SHIFT) - 1;
+        let mantissa = (i & (TAIL_SUB_BUCKETS - 1)) + TAIL_SUB_BUCKETS;
+        let hi = (mantissa as u128 + 1) << shift;
+        u128::min(hi - 1, u64::MAX as u128) as u64
+    }
+
+    /// Records one sample. Counts saturate at `u64::MAX`.
+    pub fn record(&mut self, x: u64) {
+        let b = Self::bucket_of(x);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] = self.buckets[b].saturating_add(1);
+        self.total = self.total.saturating_add(1);
+        self.sum = self.sum.saturating_add(x as u128);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &TailHistogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.saturating_add(c);
+        }
+        self.total = self.total.saturating_add(other.total);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact arithmetic mean of the recorded samples (the sum is kept
+    /// alongside the buckets); zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The exact largest sample recorded; zero when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Nonzero buckets as `(inclusive_upper_bound, count)` pairs, for
+    /// report serialization.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_upper_bound(i), c))
+            .collect()
+    }
+
+    /// The smallest bucket bound `v` such that at least `q` (in `[0,1]`) of
+    /// the samples are `<= v` — same exact-rank arithmetic as
+    /// [`Histogram::quantile_upper_bound`], at log-linear resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0,1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let target = quantile_target(self.total, q);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_upper_bound(i);
+            }
+        }
+        Self::bucket_upper_bound(self.buckets.len().saturating_sub(1))
+    }
+
+    /// The median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile_upper_bound(0.5)
+    }
+
+    /// The p90 upper bound.
+    pub fn p90(&self) -> u64 {
+        self.quantile_upper_bound(0.9)
+    }
+
+    /// The p99 upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile_upper_bound(0.99)
+    }
+
+    /// The p99.9 upper bound.
+    pub fn p999(&self) -> u64 {
+        self.quantile_upper_bound(0.999)
+    }
+
+    /// The p99.99 upper bound.
+    pub fn p9999(&self) -> u64 {
+        self.quantile_upper_bound(0.9999)
+    }
+}
+
+impl fmt::Display for TailHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tail(n={} p50={} p99={} p999={} max={})",
+            self.total,
+            self.p50(),
+            self.p99(),
+            self.p999(),
+            self.max
+        )
     }
 }
 
@@ -508,5 +709,124 @@ mod tests {
         let mut h = Histogram::new();
         h.record(4);
         assert!(!h.to_string().is_empty());
+    }
+
+    #[test]
+    fn tail_histogram_buckets_are_exact_below_the_linear_range() {
+        for x in 0..2 * TAIL_SUB_BUCKETS {
+            assert_eq!(TailHistogram::bucket_of(x), x as usize);
+            assert_eq!(TailHistogram::bucket_upper_bound(x as usize), x);
+        }
+    }
+
+    #[test]
+    fn tail_histogram_bounds_bracket_their_values() {
+        // Every recorded value must fall at or below its bucket's reported
+        // upper bound, and above the previous bucket's.
+        for x in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            1000,
+            4096,
+            1 << 20,
+            (1 << 20) + 12345,
+            u64::MAX / 3,
+            u64::MAX,
+        ] {
+            let b = TailHistogram::bucket_of(x);
+            let hi = TailHistogram::bucket_upper_bound(b);
+            assert!(x <= hi, "x={x} above bound {hi}");
+            if b > 0 {
+                let prev = TailHistogram::bucket_upper_bound(b - 1);
+                assert!(x > prev, "x={x} not above previous bound {prev}");
+            }
+        }
+    }
+
+    #[test]
+    fn tail_histogram_relative_error_is_bounded() {
+        // Log-linear bucketing promises ≤ 1/TAIL_SUB_BUCKETS relative error.
+        for x in [100u64, 999, 52_431, 1_000_000, 123_456_789] {
+            let hi = TailHistogram::bucket_upper_bound(TailHistogram::bucket_of(x));
+            let err = (hi - x) as f64 / x as f64;
+            assert!(
+                err <= 1.0 / TAIL_SUB_BUCKETS as f64,
+                "x={x} bound={hi} err={err}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_distribution_tail_quantiles_do_not_collapse() {
+        // The bucket-resolution guard: a heavy-tailed latency distribution
+        // whose body and tail all land inside one power-of-two octave
+        // [2^19, 2^20). The coarse histogram puts every sample in a single
+        // bucket, so p50 = p99 = p99.9 = p99.99 — the tail "collapses". The
+        // log-linear histogram must keep all four strictly apart.
+        let mut coarse = Histogram::new();
+        let mut tail = TailHistogram::new();
+        let strata: [(u64, u64); 4] = [
+            (9_899, 530_000), // body: ranks 1..=9899
+            (90, 700_000),    // p99 stratum: ranks 9900..=9989
+            (9, 850_000),     // p99.9 stratum: ranks 9990..=9998
+            (2, 1_040_000),   // p99.99 stratum: ranks 9999..=10000
+        ];
+        for (n, x) in strata {
+            assert!((524_288..1_048_576).contains(&x), "outside the octave");
+            for _ in 0..n {
+                coarse.record(x);
+                tail.record(x);
+            }
+        }
+        // Coarse: one bucket, indistinguishable tail.
+        assert_eq!(coarse.quantile_upper_bound(0.5), (1 << 20) - 1);
+        assert_eq!(coarse.p999(), coarse.quantile_upper_bound(0.5));
+        assert_eq!(coarse.p9999(), coarse.p999());
+        // Log-linear: strictly ordered tail quantiles, each bracketing its
+        // exact rank value within the promised relative error.
+        let got = [tail.p50(), tail.p99(), tail.p999(), tail.p9999()];
+        assert!(got.windows(2).all(|w| w[0] < w[1]), "collapsed: {got:?}");
+        for (g, want) in got
+            .into_iter()
+            .zip([530_000u64, 700_000, 850_000, 1_040_000])
+        {
+            assert!(g >= want, "got={g} want>={want}");
+            assert!(
+                (g - want) as f64 / want as f64 <= 1.0 / TAIL_SUB_BUCKETS as f64,
+                "got={g} want={want}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_histogram_mean_max_and_merge() {
+        let mut a = TailHistogram::new();
+        a.record(100);
+        a.record(300);
+        let mut b = TailHistogram::new();
+        b.record(200);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.mean(), 200.0);
+        assert_eq!(a.max(), 300);
+        assert_eq!(TailHistogram::new().quantile_upper_bound(0.5), 0);
+        assert_eq!(TailHistogram::new().mean(), 0.0);
+        // Nonzero buckets round-trip the counts.
+        let nz = a.nonzero_buckets();
+        assert_eq!(nz.iter().map(|&(_, c)| c).sum::<u64>(), 3);
+        assert!(nz.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn tail_histogram_top_bucket_saturates() {
+        let mut h = TailHistogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.quantile_upper_bound(1.0), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
     }
 }

@@ -27,9 +27,11 @@
 //! ```
 
 pub mod patterns;
+pub mod serving;
 pub mod splash;
 pub mod synthetic;
 
+pub use serving::{Arrival, ServingKind};
 pub use splash::AppId;
 pub use synthetic::SyntheticKind;
 
@@ -48,6 +50,20 @@ pub struct Op {
     pub instructions: u32,
 }
 
+/// Where an open-loop serving CPU stands in its request stream
+/// ([`Workload::request_status`]). All times are workload-clock
+/// nanoseconds, the same clock the machine's simulated time runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestStatus {
+    /// Ops remaining in the in-flight request; 0 means the next `next()`
+    /// call starts a new request.
+    pub ops_left: u32,
+    /// Arrival time of the in-flight (or just-finished) request.
+    pub arrival: u64,
+    /// Arrival time of the next request to start.
+    pub next_arrival: u64,
+}
+
 /// A multiprocessor workload: one deterministic op stream per CPU.
 ///
 /// `Send` is a supertrait so a machine holding a boxed workload can be
@@ -61,6 +77,12 @@ pub trait Workload: Send {
     fn next(&mut self, cpu: usize) -> Op;
     /// Upper bound of the virtual address space touched.
     fn footprint_bytes(&self) -> u64;
+    /// Open-loop request bookkeeping for `cpu`, if this workload serves
+    /// requests. Batch workloads (the default) return `None` and the
+    /// machine runs them closed-loop, exactly as before.
+    fn request_status(&self, _cpu: usize) -> Option<RequestStatus> {
+        None
+    }
 }
 
 /// Scaling context: workloads size their regions relative to the simulated
